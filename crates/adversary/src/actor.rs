@@ -1,0 +1,288 @@
+//! The generic Byzantine actor.
+
+use crate::forgery::ProtocolForgery;
+use dex_simnet::{Actor, Context};
+use dex_types::ProcessId;
+
+/// What a Byzantine process does in a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ByzantineStrategy<V> {
+    /// Crash-like: never sends anything.
+    Silent,
+    /// Proposes `value` consistently to everyone.
+    ConsistentLie {
+        /// The value it pushes.
+        value: V,
+    },
+    /// Proposes `values[recipient mod len]` — different values to different
+    /// recipients (the Fig. 2 attack).
+    Equivocate {
+        /// Values cycled over the recipients; must be non-empty.
+        values: Vec<V>,
+    },
+    /// Equivocates like [`Self::Equivocate`] **and** injects forged
+    /// reactions (e.g. conflicting IDB echoes) towards every process for
+    /// every message it observes.
+    EchoPoison {
+        /// Values cycled over the recipients; must be non-empty.
+        values: Vec<V>,
+    },
+    /// Crashes **mid-broadcast**: proposes `value` honestly, but only to
+    /// the first `reach` recipients (by id), then stops forever. The
+    /// canonical hard case for one-step rules — part of the system has the
+    /// crashed process's entry in its view, the rest never will.
+    CrashMid {
+        /// The value proposed before crashing.
+        value: V,
+        /// Number of recipients (lowest ids first) that receive it.
+        reach: usize,
+    },
+}
+
+impl<V> ByzantineStrategy<V> {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ByzantineStrategy::Silent => "silent",
+            ByzantineStrategy::ConsistentLie { .. } => "lie",
+            ByzantineStrategy::Equivocate { .. } => "equivocate",
+            ByzantineStrategy::EchoPoison { .. } => "echo-poison",
+            ByzantineStrategy::CrashMid { .. } => "crash-mid",
+        }
+    }
+}
+
+/// A Byzantine process executing a [`ByzantineStrategy`] against the
+/// protocol described by the [`ProtocolForgery`] implementation `F`.
+#[derive(Clone, Debug)]
+pub struct ByzantineActor<F: ProtocolForgery> {
+    strategy: ByzantineStrategy<F::Value>,
+    /// Remaining forged-reaction sends; a hard cap keeping adversarial
+    /// traffic finite even if a forgery implementation reacts to reactions.
+    reaction_budget: usize,
+}
+
+impl<F: ProtocolForgery> ByzantineActor<F> {
+    /// Creates the actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an equivocation strategy carries an empty value list.
+    pub fn new(strategy: ByzantineStrategy<F::Value>) -> Self {
+        if let ByzantineStrategy::Equivocate { values } | ByzantineStrategy::EchoPoison { values } =
+            &strategy
+        {
+            assert!(!values.is_empty(), "equivocation needs at least one value");
+        }
+        ByzantineActor {
+            strategy,
+            reaction_budget: 100_000,
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> &ByzantineStrategy<F::Value> {
+        &self.strategy
+    }
+
+    fn value_for(&self, recipient: ProcessId) -> Option<F::Value> {
+        match &self.strategy {
+            ByzantineStrategy::Silent => None,
+            ByzantineStrategy::ConsistentLie { value } => Some(value.clone()),
+            ByzantineStrategy::Equivocate { values } | ByzantineStrategy::EchoPoison { values } => {
+                Some(values[recipient.index() % values.len()].clone())
+            }
+            ByzantineStrategy::CrashMid { value, reach } => {
+                (recipient.index() < *reach).then(|| value.clone())
+            }
+        }
+    }
+}
+
+impl<F: ProtocolForgery> Actor for ByzantineActor<F> {
+    type Msg = F;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, F>) {
+        let me = ctx.me();
+        for i in 0..ctx.n() {
+            let to = ProcessId::new(i);
+            if let Some(v) = self.value_for(to) {
+                for msg in F::forge_proposal(me, to, v) {
+                    ctx.send(to, msg);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: F, ctx: &mut Context<'_, F>) {
+        if let ByzantineStrategy::EchoPoison { .. } = &self.strategy {
+            let me = ctx.me();
+            for i in 0..ctx.n() {
+                let to = ProcessId::new(i);
+                if to == me {
+                    continue; // poisoning ourselves would loop forever
+                }
+                if let Some(v) = self.value_for(to) {
+                    for forged in F::forge_reaction(me, &msg, to, v) {
+                        if self.reaction_budget == 0 {
+                            return;
+                        }
+                        self.reaction_budget -= 1;
+                        ctx.send(to, forged);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_simnet::{DelayModel, Simulation};
+
+    /// Toy protocol: proposals only; reactions echo the observed value + 1.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Toy {
+        Proposal(u64),
+        Reaction(u64),
+    }
+
+    impl ProtocolForgery for Toy {
+        type Value = u64;
+
+        fn forge_proposal(_me: ProcessId, _to: ProcessId, value: u64) -> Vec<Self> {
+            vec![Toy::Proposal(value)]
+        }
+
+        fn forge_reaction(
+            _me: ProcessId,
+            observed: &Self,
+            _to: ProcessId,
+            value: u64,
+        ) -> Vec<Self> {
+            match observed {
+                Toy::Proposal(_) => vec![Toy::Reaction(value)],
+                Toy::Reaction(_) => Vec::new(), // keep it finite
+            }
+        }
+    }
+
+    /// A recorder node that collects everything it receives.
+    #[derive(Default)]
+    struct Recorder {
+        got: Vec<(ProcessId, Toy)>,
+    }
+
+    impl Actor for Recorder {
+        type Msg = Toy;
+        fn on_start(&mut self, _: &mut Context<'_, Toy>) {}
+        fn on_message(&mut self, from: ProcessId, msg: Toy, _: &mut Context<'_, Toy>) {
+            self.got.push((from, msg));
+        }
+    }
+
+    enum Node {
+        Byz(ByzantineActor<Toy>),
+        Rec(Recorder),
+    }
+
+    impl Actor for Node {
+        type Msg = Toy;
+        fn on_start(&mut self, ctx: &mut Context<'_, Toy>) {
+            match self {
+                Node::Byz(a) => a.on_start(ctx),
+                Node::Rec(a) => a.on_start(ctx),
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: Toy, ctx: &mut Context<'_, Toy>) {
+            match self {
+                Node::Byz(a) => a.on_message(from, msg, ctx),
+                Node::Rec(a) => a.on_message(from, msg, ctx),
+            }
+        }
+    }
+
+    fn run(strategy: ByzantineStrategy<u64>) -> Vec<Vec<(ProcessId, Toy)>> {
+        let nodes = vec![
+            Node::Byz(ByzantineActor::new(strategy)),
+            Node::Rec(Recorder::default()),
+            Node::Rec(Recorder::default()),
+            Node::Rec(Recorder::default()),
+        ];
+        let mut sim = Simulation::new(nodes, 7, DelayModel::Constant(1));
+        assert!(sim.run(100_000).quiescent);
+        sim.actors()
+            .iter()
+            .map(|n| match n {
+                Node::Rec(r) => r.got.clone(),
+                Node::Byz(_) => Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        let got = run(ByzantineStrategy::Silent);
+        assert!(got.iter().all(|g| g.is_empty()));
+    }
+
+    #[test]
+    fn consistent_lie_reaches_everyone_identically() {
+        let got = run(ByzantineStrategy::ConsistentLie { value: 9 });
+        for r in &got[1..] {
+            assert_eq!(r, &vec![(ProcessId::new(0), Toy::Proposal(9))]);
+        }
+    }
+
+    #[test]
+    fn equivocate_cycles_values_by_recipient() {
+        let got = run(ByzantineStrategy::Equivocate { values: vec![1, 2] });
+        // Recipient p1 gets values[1 % 2] = 2, p2 gets 1, p3 gets 2.
+        assert_eq!(got[1], vec![(ProcessId::new(0), Toy::Proposal(2))]);
+        assert_eq!(got[2], vec![(ProcessId::new(0), Toy::Proposal(1))]);
+        assert_eq!(got[3], vec![(ProcessId::new(0), Toy::Proposal(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_equivocation_list_panics() {
+        let _: ByzantineActor<Toy> =
+            ByzantineActor::new(ByzantineStrategy::Equivocate { values: vec![] });
+    }
+
+    #[test]
+    fn crash_mid_reaches_only_a_prefix() {
+        let got = run(ByzantineStrategy::CrashMid { value: 5, reach: 2 });
+        // Recipients p0 (the adversary itself, ignored) and p1 get the
+        // proposal; p2, p3 never hear from it.
+        assert_eq!(got[1], vec![(ProcessId::new(0), Toy::Proposal(5))]);
+        assert!(got[2].is_empty());
+        assert!(got[3].is_empty());
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(ByzantineStrategy::<u64>::Silent.label(), "silent");
+        assert_eq!(
+            ByzantineStrategy::ConsistentLie { value: 1u64 }.label(),
+            "lie"
+        );
+        assert_eq!(
+            ByzantineStrategy::Equivocate { values: vec![1u64] }.label(),
+            "equivocate"
+        );
+        assert_eq!(
+            ByzantineStrategy::EchoPoison { values: vec![1u64] }.label(),
+            "echo-poison"
+        );
+        assert_eq!(
+            ByzantineStrategy::CrashMid {
+                value: 1u64,
+                reach: 2
+            }
+            .label(),
+            "crash-mid"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! The protocol-forgery abstraction.
+
+use core::fmt::Debug;
+use dex_types::{ProcessId, Value};
+
+/// How to fabricate a protocol's messages, so the generic
+/// [`crate::ByzantineActor`] can attack any algorithm.
+///
+/// Implemented per wire-message type (e.g. for `DexMsg` and `BoscoMsg` in
+/// `dex-harness`).
+pub trait ProtocolForgery: Clone + Debug + Send + 'static {
+    /// The proposal value type.
+    type Value: Value;
+
+    /// The messages a process `me` would send to `to` when proposing
+    /// `value` — e.g. for DEX both the `P-Send` proposal and the `Id-Send`
+    /// init.
+    fn forge_proposal(me: ProcessId, to: ProcessId, value: Self::Value) -> Vec<Self>;
+
+    /// Malicious messages to inject towards `to` in *reaction* to an
+    /// observed message — e.g. conflicting IDB echoes. The default injects
+    /// nothing.
+    ///
+    /// Implementations must only react to *initiating* messages (proposals,
+    /// broadcast inits), never to reaction-type messages, so that two
+    /// adversaries cannot ping-pong forever. [`crate::ByzantineActor`]
+    /// additionally enforces a hard reaction budget as defence in depth.
+    fn forge_reaction(
+        _me: ProcessId,
+        _observed: &Self,
+        _to: ProcessId,
+        _value: Self::Value,
+    ) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy protocol whose only message is its proposal.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Toy(u64);
+
+    impl ProtocolForgery for Toy {
+        type Value = u64;
+
+        fn forge_proposal(_me: ProcessId, _to: ProcessId, value: u64) -> Vec<Self> {
+            vec![Toy(value)]
+        }
+    }
+
+    #[test]
+    fn default_reaction_is_empty() {
+        let observed = Toy(3);
+        let r = Toy::forge_reaction(ProcessId::new(0), &observed, ProcessId::new(1), 9);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn proposal_forgery_builds_messages() {
+        let msgs = Toy::forge_proposal(ProcessId::new(0), ProcessId::new(1), 7);
+        assert_eq!(msgs, vec![Toy(7)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Byzantine adversary strategies.
+//!
+//! The paper's lemmas quantify over *all* Byzantine behaviours; experiments
+//! exercise a representative, worst-case-oriented family:
+//!
+//! * [`ByzantineStrategy::Silent`] — crash-like: never sends anything. This
+//!   is the "weakest" fault, but the one that matters for adaptiveness
+//!   experiments (a silent process shrinks every correct view).
+//! * [`ByzantineStrategy::ConsistentLie`] — proposes a chosen value, the
+//!   same to everyone (legal but input-vector-defying behaviour).
+//! * [`ByzantineStrategy::Equivocate`] — proposes *different* values to
+//!   different recipients, the attack Identical Broadcast is built to
+//!   defuse (Fig. 2).
+//! * [`ByzantineStrategy::EchoPoison`] — equivocates *and* injects
+//!   conflicting witness/echo traffic in reaction to every broadcast it
+//!   observes, attacking the two-step channel directly.
+//!
+//! Strategies are generic over the protocol under attack through the
+//! [`ProtocolForgery`] trait, which knows how to fabricate that protocol's
+//! proposal-like and reaction-like messages. `dex-harness` implements the
+//! trait for Algorithm DEX and for the Bosco baseline, so every algorithm
+//! faces the same adversaries.
+//!
+//! The [`FaultPlan`] helper decides *which* processes are faulty in a run
+//! and is shared by all experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod forgery;
+mod plan;
+
+pub use actor::{ByzantineActor, ByzantineStrategy};
+pub use forgery::ProtocolForgery;
+pub use plan::FaultPlan;

@@ -1,0 +1,165 @@
+//! Fault plans: which processes are Byzantine in a run.
+
+use dex_types::{ProcessId, SystemConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// The set of Byzantine processes for one run (`f = |plan| ≤ t`).
+///
+/// # Examples
+///
+/// ```
+/// use dex_adversary::FaultPlan;
+/// use dex_types::{ProcessId, SystemConfig};
+///
+/// let cfg = SystemConfig::new(7, 1)?;
+/// let plan = FaultPlan::last_k(cfg, 1);
+/// assert!(plan.is_faulty(ProcessId::new(6)));
+/// assert_eq!(plan.f(), 1);
+/// assert_eq!(plan.correct(cfg).count(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    faulty: BTreeSet<ProcessId>,
+}
+
+impl FaultPlan {
+    /// No faults (`f = 0`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from an explicit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `t` processes are marked faulty or an id is out
+    /// of range — such a plan would void every guarantee under test.
+    pub fn from_ids<I: IntoIterator<Item = ProcessId>>(config: SystemConfig, ids: I) -> Self {
+        let faulty: BTreeSet<ProcessId> = ids.into_iter().collect();
+        assert!(
+            faulty.len() <= config.t(),
+            "fault plan exceeds t = {}: {faulty:?}",
+            config.t()
+        );
+        assert!(
+            faulty.iter().all(|p| p.index() < config.n()),
+            "fault plan names out-of-range processes: {faulty:?}"
+        );
+        FaultPlan { faulty }
+    }
+
+    /// The *last* `k` processes are faulty — keeps `p_0` correct, which the
+    /// oracle underlying consensus uses as its default coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > t`.
+    pub fn last_k(config: SystemConfig, k: usize) -> Self {
+        Self::from_ids(config, (config.n() - k..config.n()).map(ProcessId::new))
+    }
+
+    /// `k` uniformly random faulty processes, never including `p_0` (the
+    /// default oracle coordinator; experiments that want to attack the
+    /// coordinator pick explicit ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > t`.
+    pub fn random_k<R: Rng + ?Sized>(config: SystemConfig, k: usize, rng: &mut R) -> Self {
+        let mut candidates: Vec<ProcessId> = (1..config.n()).map(ProcessId::new).collect();
+        candidates.shuffle(rng);
+        Self::from_ids(config, candidates.into_iter().take(k))
+    }
+
+    /// Actual number of faults `f`.
+    pub fn f(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Whether `p` is Byzantine under this plan.
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.faulty.contains(&p)
+    }
+
+    /// Iterates over the faulty processes.
+    pub fn faulty(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.faulty.iter().copied()
+    }
+
+    /// Iterates over the correct processes.
+    pub fn correct(&self, config: SystemConfig) -> impl Iterator<Item = ProcessId> + '_ {
+        config.processes().filter(move |p| !self.is_faulty(*p))
+    }
+
+    /// The lowest-indexed correct process — used as the oracle coordinator.
+    pub fn coordinator(&self, config: SystemConfig) -> ProcessId {
+        self.correct(config)
+            .next()
+            .expect("f <= t < n implies a correct process exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(13, 2).unwrap()
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let plan = FaultPlan::none();
+        assert_eq!(plan.f(), 0);
+        assert_eq!(plan.correct(cfg()).count(), 13);
+    }
+
+    #[test]
+    fn last_k_marks_the_tail() {
+        let plan = FaultPlan::last_k(cfg(), 2);
+        assert!(plan.is_faulty(ProcessId::new(11)));
+        assert!(plan.is_faulty(ProcessId::new(12)));
+        assert!(!plan.is_faulty(ProcessId::new(0)));
+        assert_eq!(plan.coordinator(cfg()), ProcessId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds t")]
+    fn over_budget_plan_panics() {
+        let _ = FaultPlan::last_k(cfg(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_plan_panics() {
+        let _ = FaultPlan::from_ids(cfg(), [ProcessId::new(13)]);
+    }
+
+    #[test]
+    fn random_k_spares_p0_and_respects_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let plan = FaultPlan::random_k(cfg(), 2, &mut rng);
+            assert_eq!(plan.f(), 2);
+            assert!(!plan.is_faulty(ProcessId::new(0)));
+        }
+    }
+
+    #[test]
+    fn coordinator_skips_faulty_prefix() {
+        let plan = FaultPlan::from_ids(cfg(), [ProcessId::new(0), ProcessId::new(1)]);
+        assert_eq!(plan.coordinator(cfg()), ProcessId::new(2));
+    }
+
+    #[test]
+    fn faulty_iterator_is_sorted() {
+        let plan = FaultPlan::from_ids(cfg(), [ProcessId::new(5), ProcessId::new(2)]);
+        let ids: Vec<usize> = plan.faulty().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+}

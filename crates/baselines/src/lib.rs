@@ -1,0 +1,37 @@
+//! Baseline one-step Byzantine consensus algorithms (Table 1).
+//!
+//! * [`BoscoProcess`] — the one-step algorithm of Song & van Renesse
+//!   ("Bosco: One-Step Byzantine Asynchronous Consensus", DISC 2008),
+//!   reference \[12\] of the DEX paper. One round of `VOTE`s; on receiving
+//!   `n − t` of them (a **single, non-adaptive** evaluation — the contrast
+//!   DEX's incremental views exploit):
+//!   - decide `v` if more than `(n + 3t) / 2` votes carry `v`,
+//!   - adopt `v` as the underlying-consensus proposal if a unique `v` has
+//!     more than `(n − t) / 2` votes, else keep the own value,
+//!   - call the underlying consensus unconditionally.
+//!
+//!   The same algorithm is *weakly* one-step for `n > 5t` (one-step decision
+//!   guaranteed only with unanimous proposals and zero actual faults) and
+//!   *strongly* one-step for `n > 7t` (unanimous correct proposals suffice,
+//!   regardless of Byzantine interference) — the two Bosco rows of Table 1.
+//!
+//! * [`UnderlyingOnlyProcess`] — no expedition at all: propose the own
+//!   value to the underlying consensus immediately. With the idealized
+//!   oracle this decides in two steps always; it is the "plain consensus"
+//!   baseline for average-step comparisons.
+//!
+//! Both come with `dex-simnet` actor adapters ([`BoscoActor`],
+//! [`UnderlyingOnlyActor`]) mirroring `dex_core::DexActor`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bosco;
+pub mod crash;
+mod underlying_only;
+
+pub use bosco::{BoscoActor, BoscoDecision, BoscoMsg, BoscoPath, BoscoProcess, BoscoRecord};
+pub use crash::{
+    CrashActor, CrashDecision, CrashMsg, CrashOneStep, CrashPath, CrashRecord, CrashRule,
+};
+pub use underlying_only::{UnderlyingOnlyActor, UnderlyingOnlyProcess, UnderlyingOnlyRecord};

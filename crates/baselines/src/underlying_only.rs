@@ -1,0 +1,189 @@
+//! The non-expedited baseline: go straight to the underlying consensus.
+
+use crate::bosco::flush;
+use dex_simnet::{Actor, Context, Time};
+use dex_types::{ProcessId, StepDepth, Value};
+use dex_underlying::{Outbox, UnderlyingConsensus};
+use rand::rngs::StdRng;
+
+/// A process that simply proposes its value to the underlying consensus —
+/// the classic two-step-optimal path with no one-step attempt. With the
+/// oracle underlying consensus this pins the two-step lower bound of \[9\]
+/// that one-step algorithms try to beat for favourable inputs.
+#[derive(Debug)]
+pub struct UnderlyingOnlyProcess<V, U>
+where
+    V: Value,
+    U: UnderlyingConsensus<V>,
+{
+    uc: U,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V, U> UnderlyingOnlyProcess<V, U>
+where
+    V: Value,
+    U: UnderlyingConsensus<V>,
+{
+    /// Wraps an underlying-consensus endpoint.
+    pub fn new(uc: U) -> Self {
+        UnderlyingOnlyProcess {
+            uc,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Proposes to the underlying consensus.
+    pub fn propose(&mut self, value: V, rng: &mut StdRng, out: &mut Outbox<U::Msg>) {
+        self.uc.propose(value, rng, out);
+    }
+
+    /// Routes one message; returns the decision when it first appears.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: U::Msg,
+        rng: &mut StdRng,
+        out: &mut Outbox<U::Msg>,
+    ) -> Option<V> {
+        let before = self.uc.decision().is_some();
+        self.uc.on_message(from, msg, rng, out);
+        if !before {
+            return self.uc.decision().cloned();
+        }
+        None
+    }
+
+    /// The decided value, if any.
+    pub fn decision(&self) -> Option<&V> {
+        self.uc.decision()
+    }
+}
+
+/// A decision as observed inside a simulation run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnderlyingOnlyRecord<V> {
+    /// The decided value.
+    pub value: V,
+    /// Causal step depth of the decision (2 with the oracle primitive).
+    pub depth: StepDepth,
+    /// Virtual time of the decision.
+    pub at: Time,
+}
+
+/// Simulation adapter for [`UnderlyingOnlyProcess`].
+#[derive(Debug)]
+pub struct UnderlyingOnlyActor<V, U>
+where
+    V: Value,
+    U: UnderlyingConsensus<V>,
+{
+    process: UnderlyingOnlyProcess<V, U>,
+    proposal: V,
+    decision: Option<UnderlyingOnlyRecord<V>>,
+}
+
+impl<V, U> UnderlyingOnlyActor<V, U>
+where
+    V: Value,
+    U: UnderlyingConsensus<V>,
+{
+    /// Creates the actor; it proposes `proposal` at simulation start.
+    pub fn new(process: UnderlyingOnlyProcess<V, U>, proposal: V) -> Self {
+        UnderlyingOnlyActor {
+            process,
+            proposal,
+            decision: None,
+        }
+    }
+
+    /// The recorded decision, if any.
+    pub fn decision(&self) -> Option<&UnderlyingOnlyRecord<V>> {
+        self.decision.as_ref()
+    }
+}
+
+impl<V, U> Actor for UnderlyingOnlyActor<V, U>
+where
+    V: Value,
+    U: UnderlyingConsensus<V> + Send + 'static,
+{
+    type Msg = U::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let mut out = Outbox::new();
+        let v = self.proposal.clone();
+        self.process.propose(v, ctx.rng(), &mut out);
+        flush(&mut out, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        let mut out = Outbox::new();
+        let d = self.process.on_message(from, msg, ctx.rng(), &mut out);
+        flush(&mut out, ctx);
+        if let Some(value) = d {
+            self.decision = Some(UnderlyingOnlyRecord {
+                value,
+                depth: ctx.depth(),
+                at: ctx.now(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_simnet::{DelayModel, Simulation};
+    use dex_types::SystemConfig;
+    use dex_underlying::OracleConsensus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_underlying_only_decides_in_two_steps() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let actors: Vec<_> = (0..4)
+            .map(|i| {
+                let me = ProcessId::new(i);
+                UnderlyingOnlyActor::new(
+                    UnderlyingOnlyProcess::new(OracleConsensus::new(cfg, me, ProcessId::new(0))),
+                    7u64,
+                )
+            })
+            .collect();
+        let mut sim = Simulation::new(actors, 1, DelayModel::Uniform { min: 1, max: 10 });
+        assert!(sim.run(100_000).quiescent);
+        for a in sim.actors() {
+            let d = a.decision().expect("decided");
+            assert_eq!(d.value, 7);
+            assert_eq!(d.depth, StepDepth::new(2), "two-step lower bound");
+        }
+    }
+
+    #[test]
+    fn state_machine_reports_decision_once() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let me = ProcessId::new(1);
+        let mut proc: UnderlyingOnlyProcess<u64, OracleConsensus<u64>> =
+            UnderlyingOnlyProcess::new(OracleConsensus::new(cfg, me, ProcessId::new(0)));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Outbox::new();
+        proc.propose(3, &mut rng, &mut out);
+        let d = proc.on_message(
+            ProcessId::new(0),
+            dex_underlying::OracleMsg::Decide(3),
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(d, Some(3));
+        // Re-delivery does not re-report.
+        let d2 = proc.on_message(
+            ProcessId::new(0),
+            dex_underlying::OracleMsg::Decide(3),
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(d2, None);
+        assert_eq!(proc.decision(), Some(&3));
+    }
+}

@@ -1,0 +1,117 @@
+//! Ablations of design choices called out in `DESIGN.md` §6:
+//!
+//! * **coin mode** — common-coin abstraction vs purely local coins in the
+//!   randomized underlying consensus (binary, forced disagreement);
+//! * **network regime** — lockstep vs jittered vs heavy-tailed delays for a
+//!   full DEX fallback run (how much the 4-step figure costs in time under
+//!   increasingly hostile asynchrony).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_adversary::{ByzantineStrategy, FaultPlan};
+use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_simnet::{Actor, Context, DelayModel, Simulation};
+use dex_types::{InputVector, ProcessId, SystemConfig};
+use dex_underlying::{BrachaBinary, CoinMode, Dest, Outbox, UnderlyingConsensus};
+use std::hint::black_box;
+
+/// Minimal actor for bare binary consensus.
+struct BinActor {
+    bin: BrachaBinary,
+    proposal: bool,
+}
+
+impl Actor for BinActor {
+    type Msg = dex_underlying::BinaryMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let mut out = Outbox::new();
+        self.bin.propose(self.proposal, ctx.rng(), &mut out);
+        for (dest, m) in out.drain() {
+            match dest {
+                Dest::All => ctx.broadcast(m),
+                Dest::To(p) => ctx.send(p, m),
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        let mut out = Outbox::new();
+        self.bin.on_message(from, msg, ctx.rng(), &mut out);
+        for (dest, m) in out.drain() {
+            match dest {
+                Dest::All => ctx.broadcast(m),
+                Dest::To(p) => ctx.send(p, m),
+            }
+        }
+    }
+}
+
+fn run_binary(coin: CoinMode, seed: u64) -> bool {
+    let cfg = SystemConfig::new(6, 1).expect("6 > 5t");
+    let actors: Vec<BinActor> = (0..6)
+        .map(|i| BinActor {
+            bin: BrachaBinary::new(cfg, ProcessId::new(i), coin),
+            proposal: i % 2 == 0, // forced disagreement
+        })
+        .collect();
+    let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+    let out = sim.run(50_000_000);
+    assert!(out.quiescent);
+    sim.actors().iter().all(|a| a.bin.decision().is_some())
+}
+
+fn bench_coin_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coin");
+    group.sample_size(10);
+    for (name, coin) in [
+        ("common", CoinMode::Common { seed: 3 }),
+        ("local", CoinMode::Local),
+    ] {
+        group.bench_with_input(BenchmarkId::new("binary_split", name), &coin, |b, coin| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_binary(*coin, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_network");
+    group.sample_size(20);
+    let input = InputVector::new(vec![1u64, 1, 1, 1, 0, 0, 0]); // fallback path
+    let regimes = [
+        ("lockstep", DelayModel::Constant(1)),
+        ("jitter", DelayModel::Uniform { min: 1, max: 20 }),
+        ("heavy_tail", DelayModel::Exponential { mean: 10 }),
+    ];
+    for (name, delay) in regimes {
+        group.bench_with_input(
+            BenchmarkId::new("dex_fallback", name),
+            &delay,
+            |b, delay| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_spec(&RunSpec {
+                        config: SystemConfig::new(7, 1).expect("7 > 3"),
+                        algo: Algo::DexFreq,
+                        underlying: UnderlyingKind::Oracle,
+                        strategy: ByzantineStrategy::Silent,
+                        fault_plan: FaultPlan::none(),
+                        input: input.clone(),
+                        delay: delay.clone(),
+                        seed,
+                        max_events: 5_000_000,
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coin_modes, bench_network_regimes);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Full DEX runs through each decision path: one-step, two-step, and the
+//! 4-step fallback. The wall-clock gap between paths is the simulated
+//! counterpart of the paper's step-count argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_adversary::{ByzantineStrategy, FaultPlan};
+use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_simnet::DelayModel;
+use dex_types::{InputVector, SystemConfig};
+use std::hint::black_box;
+
+fn spec(input: InputVector<u64>, seed: u64) -> RunSpec {
+    RunSpec {
+        config: SystemConfig::new(7, 1).expect("7 > 3"),
+        algo: Algo::DexFreq,
+        underlying: UnderlyingKind::Oracle,
+        strategy: ByzantineStrategy::Silent,
+        fault_plan: FaultPlan::none(),
+        input,
+        delay: DelayModel::Uniform { min: 1, max: 10 },
+        seed,
+        max_events: 5_000_000,
+    }
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_paths");
+    let cases = [
+        ("one_step", InputVector::unanimous(7, 1)),
+        ("two_step", InputVector::new(vec![1, 1, 1, 1, 1, 0, 0])),
+        ("fallback", InputVector::new(vec![1, 1, 1, 1, 0, 0, 0])),
+    ];
+    for (name, input) in cases {
+        group.bench_with_input(BenchmarkId::new("dex_freq", name), &input, |b, input| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_spec(&spec(input.clone(), seed)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end algorithm comparison on the motivating workload: Zipf-skewed
+//! replicated-state-machine request contention, full simulation runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_adversary::ByzantineStrategy;
+use dex_harness::runner::{run_batch, Algo, BatchSpec, Placement, UnderlyingKind};
+use dex_simnet::DelayModel;
+use dex_types::SystemConfig;
+use dex_workloads::ZipfRequests;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let cfg = SystemConfig::new(8, 1).expect("8 > 3");
+    let workload = ZipfRequests { domain: 16, s: 2.0 };
+    for algo in [
+        Algo::DexFreq,
+        Algo::DexPrv { m: 0 },
+        Algo::Bosco,
+        Algo::UnderlyingOnly,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("zipf_smr", algo.label()),
+            &algo,
+            |b, algo| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let stats = run_batch(&BatchSpec {
+                        config: cfg,
+                        algo: *algo,
+                        underlying: UnderlyingKind::Oracle,
+                        strategy: ByzantineStrategy::Silent,
+                        f: 0,
+                        placement: Placement::LastK,
+                        workload: &workload,
+                        delay: DelayModel::Uniform { min: 1, max: 10 },
+                        runs: 5,
+                        seed0: seed * 1000,
+                        max_events: 5_000_000,
+                    });
+                    assert!(stats.clean());
+                    black_box(stats)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

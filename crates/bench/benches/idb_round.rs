@@ -1,0 +1,34 @@
+//! Cost of one full Identical Broadcast round (all `n` processes
+//! broadcasting concurrently) over the discrete-event simulator, as the
+//! system grows — the wall-clock price of the 2-step channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_harness::idb::{measure, IdbAdversary};
+use dex_types::SystemConfig;
+use std::hint::black_box;
+
+fn bench_idb_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idb_round");
+    group.sample_size(20);
+    for (n, t) in [(5usize, 1usize), (9, 2), (13, 3), (21, 5)] {
+        let cfg = SystemConfig::new(n, t).expect("n > 4t");
+        group.bench_with_input(BenchmarkId::new("all_correct", n), &cfg, |b, cfg| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(measure(*cfg, IdbAdversary::None, 1, seed))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("equivocators", n), &cfg, |b, cfg| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(measure(*cfg, IdbAdversary::Equivocate, 1, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_idb_round);
+criterion_main!(benches);

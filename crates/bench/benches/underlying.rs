@@ -1,0 +1,48 @@
+//! Oracle vs the real randomized stack as DEX's fallback engine — the cost
+//! of dropping the trusted-coordinator abstraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_adversary::{ByzantineStrategy, FaultPlan};
+use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_simnet::DelayModel;
+use dex_types::{InputVector, SystemConfig};
+use std::hint::black_box;
+
+fn bench_underlying(c: &mut Criterion) {
+    let mut group = c.benchmark_group("underlying");
+    group.sample_size(20);
+    // Fallback-forcing input: margin 1.
+    let input = InputVector::new(vec![1u64, 1, 1, 1, 0, 0, 0]);
+    for (name, underlying) in [
+        ("oracle", UnderlyingKind::Oracle),
+        ("mvc", UnderlyingKind::Mvc { coin_seed: 7 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("dex_fallback", name),
+            &underlying,
+            |b, underlying| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let r = run_spec(&RunSpec {
+                        config: SystemConfig::new(7, 1).expect("7 > 3"),
+                        algo: Algo::DexFreq,
+                        underlying: *underlying,
+                        strategy: ByzantineStrategy::Silent,
+                        fault_plan: FaultPlan::none(),
+                        input: input.clone(),
+                        delay: DelayModel::Uniform { min: 1, max: 10 },
+                        seed,
+                        max_events: 20_000_000,
+                    });
+                    assert!(r.agreement_ok());
+                    black_box(r)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_underlying);
+criterion_main!(benches);

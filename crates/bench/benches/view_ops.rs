@@ -1,0 +1,54 @@
+//! Microbenchmarks of the view algebra (§3.1) — the per-message hot path of
+//! Algorithm DEX: every reception re-evaluates `P1`/`P2`, which reduce to
+//! `1st`/`2nd` frequency counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_types::{ProcessId, View};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_view(n: usize, domain: u64, bottoms: usize, seed: u64) -> View<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries: Vec<Option<u64>> = (0..n).map(|_| Some(rng.random_range(0..domain))).collect();
+    for e in entries.iter_mut().take(bottoms) {
+        *e = None;
+    }
+    View::from_options(entries)
+}
+
+fn bench_view_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_ops");
+    for n in [7usize, 13, 43, 127] {
+        let view = random_view(n, 4, n / 8, 42);
+        let other = random_view(n, 4, n / 8, 43);
+        group.bench_with_input(BenchmarkId::new("frequency_margin", n), &n, |b, _| {
+            b.iter(|| black_box(&view).frequency_margin())
+        });
+        group.bench_with_input(BenchmarkId::new("first_second", n), &n, |b, _| {
+            b.iter(|| {
+                let v = black_box(&view);
+                (v.first().cloned(), v.second().cloned())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dist", n), &n, |b, _| {
+            b.iter(|| black_box(&view).dist(black_box(&other)))
+        });
+        group.bench_with_input(BenchmarkId::new("containment", n), &n, |b, _| {
+            b.iter(|| black_box(&view).is_contained_in(black_box(&other)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_set", n), &n, |b, _| {
+            let mut v = view.clone();
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                v.set(ProcessId::new(i), (i as u64) % 4);
+                v.frequency_margin()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_ops);
+criterion_main!(benches);

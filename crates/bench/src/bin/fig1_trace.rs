@@ -1,0 +1,39 @@
+//! **E2 — Fig. 1 semantics**: an annotated execution trace of one DEX run
+//! per input class, plus a decision-path census.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig1_trace
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+use dex_harness::trace;
+use dex_types::InputVector;
+
+fn main() {
+    let runs = runs_from_env(200);
+
+    println!("== One-step run (unanimous input)\n");
+    println!(
+        "{}",
+        trace::annotated_run(InputVector::unanimous(7, 5), 1, 1)
+    );
+
+    println!("== Two-step run (margin 3: in C2 \\ C1)\n");
+    println!(
+        "{}",
+        trace::annotated_run(InputVector::new(vec![5, 5, 5, 5, 5, 9, 9]), 1, 2)
+    );
+
+    println!("== Fallback run (margin 1: outside both conditions)\n");
+    println!(
+        "{}",
+        trace::annotated_run(InputVector::new(vec![5, 5, 5, 5, 9, 9, 9]), 1, 3)
+    );
+
+    let census = trace::path_census(1, runs, 2010);
+    emit(
+        "fig1_census",
+        &format!("Decision-path census per input class ({runs} runs each)"),
+        &census,
+    );
+}

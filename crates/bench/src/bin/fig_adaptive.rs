@@ -1,0 +1,24 @@
+//! **E4 — adaptiveness staircase** (Lemma 4): one-step decisions vs actual
+//! fault count `f` and input margin, DEX vs the non-adaptive Bosco.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_adaptive
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(50);
+    for t in [1usize, 2] {
+        let table = dex_harness::adaptive::run(dex_harness::adaptive::Opts {
+            t,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("fig_adaptive_t{t}"),
+            &format!("Adaptiveness staircase (n = 6t+1, t = {t}, {runs} runs per cell)"),
+            &table,
+        );
+    }
+}

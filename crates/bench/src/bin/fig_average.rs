@@ -1,0 +1,28 @@
+//! **E6 — the 3-vs-4-step trade-off** (§1.2, §5): mean decision steps vs
+//! input contention; locates where DEX's bigger fast path beats Bosco's
+//! cheaper fallback.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_average
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(100);
+    for (t, f) in [(1usize, 0usize), (2, 0), (2, 2)] {
+        let table = dex_harness::average_case::run(dex_harness::average_case::Opts {
+            t,
+            f,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("fig_average_t{t}_f{f}"),
+            &format!(
+                "Mean steps vs contention (n = 7t+1, t = {t}, f = {f}, {runs} runs per point)"
+            ),
+            &table,
+        );
+    }
+}

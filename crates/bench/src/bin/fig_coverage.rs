@@ -1,0 +1,24 @@
+//! **E8 — fast-path coverage** (Table 1 narrative): fraction of uniform and
+//! Zipf inputs decided in ≤ 1 and ≤ 2 steps, DEX vs Bosco.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_coverage
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(200);
+    for t in [1usize, 2] {
+        let table = dex_harness::coverage::run(dex_harness::coverage::Opts {
+            t,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("fig_coverage_t{t}"),
+            &format!("Fast-path coverage (n = 7t+1, t = {t}, {runs} runs per workload)"),
+            &table,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Step-count distributions per algorithm and contention level, rendered
+//! as ASCII histograms — the distributional view behind E6's means.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_hist
+//! ```
+
+use dex_adversary::{ByzantineStrategy, FaultPlan};
+use dex_bench::runs_from_env;
+use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_metrics::Histogram;
+use dex_simnet::DelayModel;
+use dex_types::{InputVector, SystemConfig};
+use dex_workloads::{BernoulliMix, InputGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn histogram(algo: Algo, p: f64, runs: usize) -> Histogram {
+    let cfg = SystemConfig::new(15, 2).expect("15 > 3t");
+    let workload = BernoulliMix { p, a: 1, b: 0 };
+    let mut h = Histogram::new();
+    for i in 0..runs {
+        let mut rng = StdRng::seed_from_u64(2010 + i as u64);
+        let input: InputVector<u64> = workload.generate(15, &mut rng);
+        let r = run_spec(&RunSpec {
+            config: cfg,
+            algo,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Silent,
+            fault_plan: FaultPlan::none(),
+            input,
+            delay: DelayModel::Uniform { min: 1, max: 10 },
+            seed: 77 + i as u64,
+            max_events: 10_000_000,
+        });
+        assert!(r.quiescent && r.agreement_ok() && r.all_decided());
+        for d in r.decided() {
+            h.add(d.steps);
+        }
+    }
+    h
+}
+
+fn main() {
+    let runs = runs_from_env(100);
+    for p in [0.95f64, 0.8, 0.6] {
+        println!("== step distribution at p(common value) = {p} (n = 15, t = 2, {runs} runs)\n");
+        for algo in [Algo::DexFreq, Algo::Bosco, Algo::UnderlyingOnly] {
+            let h = histogram(algo, p, runs);
+            println!("-- {} (mean {:.2} steps)", algo.label(), h.mean());
+            print!("{}", h.render(40));
+            println!();
+        }
+    }
+}

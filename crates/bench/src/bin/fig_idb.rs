@@ -1,0 +1,47 @@
+//! **E3 — Figs. 2 & 3**: Identical Broadcast properties under adversaries,
+//! and the exact two-step cost in well-behaved runs.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_idb
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+use dex_harness::idb;
+use dex_metrics::Table;
+use dex_types::SystemConfig;
+
+fn main() {
+    let runs = runs_from_env(50);
+    let table = idb::run(runs, 2010);
+    emit(
+        "fig_idb",
+        &format!("IDB agreement/termination grid ({runs} runs per cell)"),
+        &table,
+    );
+
+    // Fig. 3's cost claim, isolated: lockstep runs must deliver at exactly
+    // two point-to-point steps.
+    let mut cost = Table::new(vec![
+        "n".into(),
+        "t".into(),
+        "deliveries".into(),
+        "deliveries deeper than 2 steps".into(),
+    ]);
+    for t in 1..=2 {
+        for n in [4 * t + 1, 6 * t + 1] {
+            let cfg = SystemConfig::new(n, t).expect("n > 4t");
+            let s = idb::measure_lockstep(cfg, runs, 99);
+            cost.row(vec![
+                n.to_string(),
+                t.to_string(),
+                s.deliveries.to_string(),
+                s.deeper_than_two.to_string(),
+            ]);
+        }
+    }
+    emit(
+        "fig_idb_cost",
+        "IDB step cost in well-behaved (lockstep) runs — Fig. 3's 2-step claim",
+        &cost,
+    );
+}

@@ -1,0 +1,22 @@
+//! **E12 — decision latency in time units**: step counts translated to
+//! virtual time under lockstep, uniform and heavy-tailed networks.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_latency
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(100);
+    let table = dex_harness::latency::run(dex_harness::latency::Opts {
+        t: 1,
+        runs,
+        seed0: 2010,
+    });
+    emit(
+        "fig_latency",
+        &format!("Decision latency by network regime ({runs} runs per point)"),
+        &table,
+    );
+}

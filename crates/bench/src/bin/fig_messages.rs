@@ -1,0 +1,18 @@
+//! **E11 — message complexity**: delivered messages per consensus instance
+//! across algorithms and system sizes; the price of the two-step channel.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_messages
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(20);
+    let table = dex_harness::messages::run(dex_harness::messages::Opts { runs, seed0: 2010 });
+    emit(
+        "fig_messages",
+        &format!("Message complexity per consensus instance ({runs} runs per point)"),
+        &table,
+    );
+}

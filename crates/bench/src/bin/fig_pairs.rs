@@ -1,0 +1,24 @@
+//! **E7 — complementarity of the frequency and privileged pairs** (§1.2):
+//! each pair expedites inputs the other cannot.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_pairs
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(100);
+    for t in [1usize, 2] {
+        let table = dex_harness::pairs::run(dex_harness::pairs::Opts {
+            t,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("fig_pairs_t{t}"),
+            &format!("Pair complementarity (n = 6t+1, t = {t}, {runs} runs per point)"),
+            &table,
+        );
+    }
+}

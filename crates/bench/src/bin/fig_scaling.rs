@@ -1,0 +1,26 @@
+//! **E13 — scaling sweep**: fast-path coverage and message cost as the
+//! system grows at fixed `t` — the expedition thresholds depend on `t`,
+//! not `n`.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_scaling
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(50);
+    for (t, p) in [(1usize, 0.8f64), (2, 0.8)] {
+        let table = dex_harness::scaling::run(dex_harness::scaling::Opts {
+            t,
+            p,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("fig_scaling_t{t}"),
+            &format!("Scaling sweep (t = {t}, p = {p}, {runs} runs per size)"),
+            &table,
+        );
+    }
+}

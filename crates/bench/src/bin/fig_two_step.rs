@@ -1,0 +1,24 @@
+//! **E5 — double expedition** (Lemma 5): the conditional two-step channel
+//! across the margin sweep, vs Bosco's mandatory 3-step fallback.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin fig_two_step
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(50);
+    for t in [1usize, 2] {
+        let table = dex_harness::double_expedition::run(dex_harness::double_expedition::Opts {
+            t,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("fig_two_step_t{t}"),
+            &format!("Double-expedition margin sweep (n = 6t+1, t = {t}, {runs} runs per cell)"),
+            &table,
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! **E9 — Theorems 1 & 2**: exhaustive machine-check of the legality
+//! criteria LT1/LT2/LA3/LA4/LU5 for both condition-sequence pairs on
+//! enumerable instances.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin legality_check
+//! ```
+
+use dex_bench::emit;
+use dex_conditions::{verify, FrequencyPair, PrivilegedPair};
+use dex_metrics::Table;
+use dex_types::SystemConfig;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "pair".into(),
+        "n".into(),
+        "t".into(),
+        "|V|".into(),
+        "LT1".into(),
+        "LT2".into(),
+        "LA3".into(),
+        "LA4".into(),
+        "LU5".into(),
+        "verdict".into(),
+    ]);
+
+    // Frequency pair (Theorem 1): n > 6t.
+    for (n, domain) in [(7usize, 2u64), (7, 3), (8, 2)] {
+        let cfg = SystemConfig::new(n, 1).expect("n > 3t");
+        let pair = FrequencyPair::new(cfg).expect("n > 6t");
+        let values: Vec<u64> = (0..domain).collect();
+        let report = verify::check_legality(&pair, n, &values)
+            .unwrap_or_else(|v| panic!("Theorem 1 violated: {v:?}"));
+        table.row(vec![
+            "freq".into(),
+            n.to_string(),
+            "1".into(),
+            domain.to_string(),
+            report.lt1_checked.to_string(),
+            report.lt2_checked.to_string(),
+            report.la3_checked.to_string(),
+            report.la4_checked.to_string(),
+            report.lu5_checked.to_string(),
+            "legal".into(),
+        ]);
+    }
+
+    // Privileged pair (Theorem 2): n > 5t.
+    for (n, domain) in [(6usize, 2u64), (6, 3), (7, 2)] {
+        let cfg = SystemConfig::new(n, 1).expect("n > 3t");
+        let pair = PrivilegedPair::new(cfg, 1u64).expect("n > 5t");
+        let values: Vec<u64> = (0..domain).collect();
+        let report = verify::check_legality(&pair, n, &values)
+            .unwrap_or_else(|v| panic!("Theorem 2 violated: {v:?}"));
+        table.row(vec![
+            "prv(m=1)".into(),
+            n.to_string(),
+            "1".into(),
+            domain.to_string(),
+            report.lt1_checked.to_string(),
+            report.lt2_checked.to_string(),
+            report.la3_checked.to_string(),
+            report.la4_checked.to_string(),
+            report.lu5_checked.to_string(),
+            "legal".into(),
+        ]);
+    }
+
+    emit(
+        "legality_check",
+        "Exhaustive legality verification (cells = implications checked)",
+        &table,
+    );
+}

@@ -1,0 +1,41 @@
+//! **E1 — regenerates Table 1** of the paper: feasibility of one-step and
+//! two-step decision per algorithm and resilience level.
+//!
+//! ```text
+//! cargo run --release -p dex-bench --bin table1
+//! DEX_RUNS=500 cargo run --release -p dex-bench --bin table1
+//! ```
+
+use dex_bench::{emit, runs_from_env};
+
+fn main() {
+    let runs = runs_from_env(100);
+    for t in [1usize, 2] {
+        let table = dex_harness::table1::run(dex_harness::table1::Opts {
+            t,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("table1_t{t}"),
+            &format!("Table 1 (empirical), t = {t}, {runs} runs per cell"),
+            &table,
+        );
+    }
+    for t in [1usize, 2] {
+        let crash = dex_harness::crash_rows::run(dex_harness::crash_rows::Opts {
+            t,
+            runs,
+            seed0: 2010,
+        });
+        emit(
+            &format!("table1_crash_t{t}"),
+            &format!("Table 1 crash-model rows (n = 3t+1, t = {t}, {runs} runs per cell)"),
+            &crash,
+        );
+    }
+    println!(
+        "The remaining crash row (Mostefaoui et al., synchronous, t+1 processes) assumes\n\
+         a synchronous system and is cited analytically — see EXPERIMENTS.md §E1."
+    );
+}

@@ -1,0 +1,72 @@
+//! Broadcast instance keys.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use dex_types::ProcessId;
+
+/// Identifies one broadcast instance and names its originating process.
+///
+/// The paper's Identical Broadcast is *single-shot per sender*: the
+/// `first-echo(j)` / `first-accept(j)` guards are indexed by the sender `j`
+/// alone, which is exactly what Algorithm DEX needs (each process broadcasts
+/// one proposal). Round-based protocols reuse the primitive by extending the
+/// key with a tag — `(sender, round)` — giving one independent single-shot
+/// instance per tag.
+///
+/// The origin matters for safety: a correct process only honours an `init`
+/// message whose *network sender* equals the key's origin, so a Byzantine
+/// process cannot open a broadcast instance on someone else's behalf.
+///
+/// # Examples
+///
+/// ```
+/// use dex_broadcast::InstanceKey;
+/// use dex_types::ProcessId;
+///
+/// let plain: ProcessId = ProcessId::new(2);
+/// assert_eq!(plain.origin(), ProcessId::new(2));
+///
+/// let tagged = (ProcessId::new(2), 7u32);
+/// assert_eq!(tagged.origin(), ProcessId::new(2));
+/// ```
+pub trait InstanceKey: Clone + Eq + Hash + Debug + Send + 'static {
+    /// The process this broadcast instance originates from.
+    fn origin(&self) -> ProcessId;
+}
+
+impl InstanceKey for ProcessId {
+    fn origin(&self) -> ProcessId {
+        *self
+    }
+}
+
+impl<T> InstanceKey for (ProcessId, T)
+where
+    T: Clone + Eq + Hash + Debug + Send + 'static,
+{
+    fn origin(&self) -> ProcessId {
+        self.0
+    }
+}
+
+impl<T, U> InstanceKey for (ProcessId, T, U)
+where
+    T: Clone + Eq + Hash + Debug + Send + 'static,
+    U: Clone + Eq + Hash + Debug + Send + 'static,
+{
+    fn origin(&self) -> ProcessId {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origins_are_extracted() {
+        assert_eq!(ProcessId::new(4).origin(), ProcessId::new(4));
+        assert_eq!((ProcessId::new(4), "tag").origin(), ProcessId::new(4));
+        assert_eq!((ProcessId::new(4), 1u8, 2u8).origin(), ProcessId::new(4));
+    }
+}

@@ -1,0 +1,257 @@
+//! Bracha-style Reliable Broadcast (init / echo / ready).
+//!
+//! Not part of the DEX paper itself, but a classic sibling of Identical
+//! Broadcast used by the randomized underlying consensus in
+//! `dex-underlying`, and a useful comparison point: RB tolerates `n > 3t`
+//! (better than IDB's `n > 4t`) at the cost of **three** point-to-point
+//! steps per broadcast instead of two. RB additionally guarantees
+//! *totality*: if any correct process delivers, every correct process
+//! eventually delivers, even for a faulty sender.
+
+use crate::key::InstanceKey;
+use crate::Action;
+use dex_types::{ProcessId, SystemConfig, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A protocol message of Reliable Broadcast.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RbMessage<K, V> {
+    /// The sender starts broadcasting `value`.
+    Init {
+        /// The broadcast instance.
+        key: K,
+        /// The broadcast value.
+        value: V,
+    },
+    /// First-round witness.
+    Echo {
+        /// The broadcast instance.
+        key: K,
+        /// The witnessed value.
+        value: V,
+    },
+    /// Second-round commitment: the sender has seen enough echoes or enough
+    /// readies to be sure the value is locked.
+    Ready {
+        /// The broadcast instance.
+        key: K,
+        /// The locked value.
+        value: V,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct InstanceState<V> {
+    echoed: bool,
+    readied: bool,
+    delivered: bool,
+    echoes: HashMap<V, HashSet<ProcessId>>,
+    readies: HashMap<V, HashSet<ProcessId>>,
+}
+
+impl<V> Default for InstanceState<V> {
+    fn default() -> Self {
+        InstanceState {
+            echoed: false,
+            readied: false,
+            delivered: false,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+        }
+    }
+}
+
+/// Bracha's reliable broadcast state machine (one per process).
+///
+/// Thresholds for `n` processes and `t` faults:
+///
+/// * echo on first `init` from the origin;
+/// * `ready` on `> (n + t) / 2` matching echoes, or on `t + 1` matching
+///   readies (amplification);
+/// * deliver on `2t + 1` matching readies.
+///
+/// Requires `n > 3t`.
+#[derive(Clone, Debug)]
+pub struct ReliableBroadcast<K, V> {
+    config: SystemConfig,
+    instances: HashMap<K, InstanceState<V>>,
+}
+
+impl<K: InstanceKey, V: Value> ReliableBroadcast<K, V> {
+    /// Creates the state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` (guaranteed by [`SystemConfig`]'s own
+    /// invariant, asserted here for symmetry with
+    /// [`crate::IdenticalBroadcast`]).
+    pub fn new(config: SystemConfig) -> Self {
+        assert!(
+            config.n() > 3 * config.t(),
+            "reliable broadcast requires n > 3t, got {config}"
+        );
+        ReliableBroadcast {
+            config,
+            instances: HashMap::new(),
+        }
+    }
+
+    /// `RB-Send`: builds the `Init` message the caller must broadcast to all
+    /// processes (including itself).
+    pub fn rb_send(key: K, value: V) -> RbMessage<K, V> {
+        RbMessage::Init { key, value }
+    }
+
+    /// Whether `key` has been delivered locally.
+    pub fn has_delivered(&self, key: &K) -> bool {
+        self.instances.get(key).is_some_and(|s| s.delivered)
+    }
+
+    fn echo_quorum(&self) -> usize {
+        // > (n + t) / 2, i.e. floor((n + t) / 2) + 1.
+        (self.config.n() + self.config.t()) / 2 + 1
+    }
+
+    /// Handles one received protocol message. `from` must be the
+    /// authenticated network-level sender.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: RbMessage<K, V>,
+    ) -> Vec<Action<K, RbMessage<K, V>, V>> {
+        match msg {
+            RbMessage::Init { key, value } => {
+                if from != key.origin() {
+                    return Vec::new();
+                }
+                let state = self.instances.entry(key.clone()).or_default();
+                if state.echoed {
+                    return Vec::new();
+                }
+                state.echoed = true;
+                vec![Action::Broadcast(RbMessage::Echo { key, value })]
+            }
+            RbMessage::Echo { key, value } => {
+                let echo_quorum = self.echo_quorum();
+                let state = self.instances.entry(key.clone()).or_default();
+                state.echoes.entry(value.clone()).or_default().insert(from);
+                let num = state.echoes[&value].len();
+                if num >= echo_quorum && !state.readied {
+                    state.readied = true;
+                    return vec![Action::Broadcast(RbMessage::Ready { key, value })];
+                }
+                Vec::new()
+            }
+            RbMessage::Ready { key, value } => {
+                let state = self.instances.entry(key.clone()).or_default();
+                state.readies.entry(value.clone()).or_default().insert(from);
+                let num = state.readies[&value].len();
+                let mut actions = Vec::new();
+                // Thresholds written as in the literature (t + 1, 2t + 1).
+                #[allow(clippy::int_plus_one)]
+                if num >= self.config.t() + 1 && !state.readied {
+                    state.readied = true;
+                    actions.push(Action::Broadcast(RbMessage::Ready {
+                        key: key.clone(),
+                        value: value.clone(),
+                    }));
+                }
+                if num >= 2 * self.config.t() + 1 && !state.delivered {
+                    let state = self.instances.get_mut(&key).expect("state exists");
+                    state.delivered = true;
+                    actions.push(Action::Deliver { key, value });
+                }
+                actions
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Rb = ReliableBroadcast<ProcessId, u64>;
+    type Act = Action<ProcessId, RbMessage<ProcessId, u64>, u64>;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn rb(n: usize, t: usize) -> Rb {
+        ReliableBroadcast::new(SystemConfig::new(n, t).unwrap())
+    }
+
+    fn echo(value: u64) -> RbMessage<ProcessId, u64> {
+        RbMessage::Echo { key: p(0), value }
+    }
+
+    fn ready(value: u64) -> RbMessage<ProcessId, u64> {
+        RbMessage::Ready { key: p(0), value }
+    }
+
+    #[test]
+    fn init_triggers_echo_once() {
+        let mut m = rb(4, 1);
+        let a = m.on_message(p(0), Rb::rb_send(p(0), 5));
+        assert_eq!(a, vec![Act::Broadcast(echo(5))]);
+        assert!(m.on_message(p(0), Rb::rb_send(p(0), 5)).is_empty());
+    }
+
+    #[test]
+    fn forged_init_is_ignored() {
+        let mut m = rb(4, 1);
+        assert!(m
+            .on_message(
+                p(2),
+                RbMessage::Init {
+                    key: p(0),
+                    value: 5
+                }
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn ready_after_echo_quorum() {
+        // n = 4, t = 1: echo quorum = (4+1)/2 + 1 = 3.
+        let mut m = rb(4, 1);
+        assert!(m.on_message(p(1), echo(5)).is_empty());
+        assert!(m.on_message(p(2), echo(5)).is_empty());
+        let a = m.on_message(p(3), echo(5));
+        assert_eq!(a, vec![Act::Broadcast(ready(5))]);
+    }
+
+    #[test]
+    fn ready_amplification_at_t_plus_one() {
+        let mut m = rb(4, 1);
+        assert!(m.on_message(p(1), ready(5)).is_empty());
+        let a = m.on_message(p(2), ready(5));
+        assert_eq!(a, vec![Act::Broadcast(ready(5))]);
+    }
+
+    #[test]
+    fn delivery_at_2t_plus_one_readies_once() {
+        let mut m = rb(4, 1);
+        m.on_message(p(1), ready(5));
+        m.on_message(p(2), ready(5));
+        let a = m.on_message(p(3), ready(5));
+        assert!(a.contains(&Act::Deliver {
+            key: p(0),
+            value: 5
+        }));
+        assert!(m.has_delivered(&p(0)));
+        assert!(m.on_message(p(0), ready(5)).is_empty());
+    }
+
+    #[test]
+    fn conflicting_values_do_not_mix_counts() {
+        let mut m = rb(7, 2);
+        m.on_message(p(1), ready(5));
+        m.on_message(p(2), ready(6));
+        m.on_message(p(3), ready(5));
+        // 2 readies for 5 and 1 for 6: amplification threshold is t+1 = 3,
+        // so nothing fires yet.
+        assert!(!m.has_delivered(&p(0)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Integration: Identical Broadcast running over the discrete-event
+//! simulator, against equivocating and silent Byzantine senders.
+//!
+//! This reproduces the scenario of Fig. 2 in the paper: a faulty `p_3` sends
+//! *different* messages to different processes, yet all correct processes
+//! `Id-Receive` the same message (or nothing at all) for it.
+
+use dex_broadcast::{Action, IdbMessage, IdenticalBroadcast};
+use dex_simnet::{Actor, Context, DelayModel, Simulation};
+use dex_types::{ProcessId, StepDepth, SystemConfig};
+
+type Msg = IdbMessage<ProcessId, u64>;
+
+/// What a node delivered: (origin, value, causal depth at delivery).
+type Delivery = (ProcessId, u64, StepDepth);
+
+enum Node {
+    Correct {
+        value: u64,
+        machine: IdenticalBroadcast<ProcessId, u64>,
+        delivered: Vec<Delivery>,
+    },
+    /// Sends value `a` to the first half and `b` to the rest; echoes
+    /// conflicting values too.
+    Equivocator { a: u64, b: u64 },
+    /// Sends nothing, ever.
+    Silent,
+}
+
+impl Node {
+    fn correct(cfg: SystemConfig, value: u64) -> Self {
+        Node::Correct {
+            value,
+            machine: IdenticalBroadcast::new(cfg),
+            delivered: Vec::new(),
+        }
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        match self {
+            Node::Correct { delivered, .. } => delivered,
+            _ => &[],
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = ctx.me();
+        match self {
+            Node::Correct { value, .. } => {
+                ctx.broadcast(IdenticalBroadcast::id_send(me, *value));
+            }
+            Node::Equivocator { a, b } => {
+                let n = ctx.n();
+                for i in 0..n {
+                    let v = if i < n / 2 { *a } else { *b };
+                    ctx.send(ProcessId::new(i), IdbMessage::Init { key: me, value: v });
+                }
+            }
+            Node::Silent => {}
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match self {
+            Node::Correct {
+                machine, delivered, ..
+            } => {
+                for action in machine.on_message(from, msg) {
+                    match action {
+                        Action::Broadcast(m) => ctx.broadcast(m),
+                        Action::Deliver { key, value } => {
+                            delivered.push((key, value, ctx.depth()));
+                        }
+                    }
+                }
+            }
+            Node::Equivocator { a, b } => {
+                // Echo conflicting values for every opened instance (reacting
+                // to inits only keeps the behaviour finite).
+                if let IdbMessage::Init { key, .. } = msg {
+                    let n = ctx.n();
+                    for i in 0..n {
+                        let v = if i % 2 == 0 { *a } else { *b };
+                        ctx.send(ProcessId::new(i), IdbMessage::Echo { key, value: v });
+                    }
+                }
+            }
+            Node::Silent => {}
+        }
+    }
+}
+
+fn run(nodes: Vec<Node>, seed: u64) -> Simulation<Node> {
+    let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 20 });
+    let outcome = sim.run(2_000_000);
+    assert!(outcome.quiescent, "IDB must terminate");
+    sim
+}
+
+fn correct_ids(sim: &Simulation<Node>) -> Vec<ProcessId> {
+    (0..sim.n())
+        .map(ProcessId::new)
+        .filter(|p| matches!(sim.actor(*p), Node::Correct { .. }))
+        .collect()
+}
+
+#[test]
+fn all_correct_termination_and_validity() {
+    // n = 5, t = 1, nobody faulty: everyone delivers everyone's value.
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    for seed in 0..20 {
+        let nodes: Vec<Node> = (0..5).map(|i| Node::correct(cfg, 100 + i as u64)).collect();
+        let sim = run(nodes, seed);
+        for p in correct_ids(&sim) {
+            let deliveries = sim.actor(p).deliveries();
+            assert_eq!(deliveries.len(), 5, "seed {seed}: all broadcasts delivered");
+            for origin in 0..5 {
+                let (_, v, _) = deliveries
+                    .iter()
+                    .find(|(k, _, _)| k.index() == origin)
+                    .expect("delivery from each origin");
+                assert_eq!(*v, 100 + origin as u64, "validity: value unaltered");
+            }
+        }
+    }
+}
+
+#[test]
+fn idb_costs_exactly_two_steps() {
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    let nodes: Vec<Node> = (0..5).map(|i| Node::correct(cfg, i as u64)).collect();
+    let sim = run(nodes, 3);
+    for p in correct_ids(&sim) {
+        for (_, _, depth) in sim.actor(p).deliveries() {
+            assert_eq!(
+                *depth,
+                StepDepth::new(2),
+                "one IDB step = two point-to-point steps (Fig. 3)"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivocating_sender_cannot_split_correct_processes() {
+    // Fig. 2: p4 equivocates between 7 and 9. Whatever correct processes
+    // deliver for p4, they must deliver the same value.
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    for seed in 0..50 {
+        let mut nodes: Vec<Node> = (0..4).map(|i| Node::correct(cfg, i as u64)).collect();
+        nodes.push(Node::Equivocator { a: 7, b: 9 });
+        let sim = run(nodes, seed);
+
+        let mut delivered_for_p4 = Vec::new();
+        for p in correct_ids(&sim) {
+            for (k, v, _) in sim.actor(p).deliveries() {
+                if k.index() == 4 {
+                    delivered_for_p4.push(*v);
+                }
+            }
+            // Correct senders' broadcasts are always delivered.
+            for origin in 0..4 {
+                assert!(
+                    sim.actor(p)
+                        .deliveries()
+                        .iter()
+                        .any(|(k, v, _)| k.index() == origin && *v == origin as u64),
+                    "seed {seed}: correct broadcast lost"
+                );
+            }
+        }
+        // Agreement: all deliveries for the equivocator carry one value.
+        delivered_for_p4.dedup();
+        assert!(
+            delivered_for_p4.len() <= 1,
+            "seed {seed}: correct processes delivered different values {delivered_for_p4:?}"
+        );
+    }
+}
+
+#[test]
+fn silent_sender_only_blocks_its_own_broadcast() {
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    for seed in 0..10 {
+        let mut nodes: Vec<Node> = (0..4).map(|i| Node::correct(cfg, i as u64)).collect();
+        nodes.push(Node::Silent);
+        let sim = run(nodes, seed);
+        for p in correct_ids(&sim) {
+            let deliveries = sim.actor(p).deliveries();
+            // Exactly the 4 correct broadcasts are delivered.
+            assert_eq!(deliveries.len(), 4, "seed {seed}");
+            assert!(deliveries.iter().all(|(k, _, _)| k.index() != 4));
+        }
+    }
+}
+
+#[test]
+fn validity_exactly_once_per_sender() {
+    let cfg = SystemConfig::new(9, 2).unwrap();
+    for seed in 0..10 {
+        let mut nodes: Vec<Node> = (0..7).map(|i| Node::correct(cfg, i as u64)).collect();
+        nodes.push(Node::Equivocator { a: 50, b: 60 });
+        nodes.push(Node::Equivocator { a: 70, b: 80 });
+        let sim = run(nodes, seed);
+        for p in correct_ids(&sim) {
+            let deliveries = sim.actor(p).deliveries();
+            let mut origins: Vec<usize> = deliveries.iter().map(|(k, _, _)| k.index()).collect();
+            let before = origins.len();
+            origins.sort_unstable();
+            origins.dedup();
+            assert_eq!(before, origins.len(), "seed {seed}: duplicate delivery");
+        }
+    }
+}
+
+#[test]
+fn deterministic_replay_under_same_seed() {
+    let cfg = SystemConfig::new(5, 1).unwrap();
+    let collect = |seed: u64| {
+        let mut nodes: Vec<Node> = (0..4).map(|i| Node::correct(cfg, i as u64)).collect();
+        nodes.push(Node::Equivocator { a: 1, b: 2 });
+        let sim = run(nodes, seed);
+        correct_ids(&sim)
+            .into_iter()
+            .map(|p| sim.actor(p).deliveries().to_vec())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(collect(11), collect(11));
+}

@@ -1,0 +1,209 @@
+//! Property-based tests of the broadcast state machines: arbitrary
+//! (adversarial) message sequences can never forge deliveries, duplicate
+//! them, or make one machine emit unboundedly.
+
+use dex_broadcast::{Action, IdbMessage, IdenticalBroadcast, RbMessage, ReliableBroadcast};
+use dex_types::{ProcessId, SystemConfig};
+use proptest::prelude::*;
+
+const N: usize = 9;
+const T: usize = 2;
+
+#[derive(Clone, Debug)]
+enum Input {
+    Init {
+        from: usize,
+        origin: usize,
+        value: u64,
+    },
+    Echo {
+        from: usize,
+        origin: usize,
+        value: u64,
+    },
+    Ready {
+        from: usize,
+        origin: usize,
+        value: u64,
+    },
+}
+
+fn input_strategy() -> impl Strategy<Value = Input> {
+    (0usize..N, 0usize..N, 0u64..3, 0u8..3).prop_map(|(from, origin, value, kind)| match kind {
+        0 => Input::Init {
+            from,
+            origin,
+            value,
+        },
+        1 => Input::Echo {
+            from,
+            origin,
+            value,
+        },
+        _ => Input::Ready {
+            from,
+            origin,
+            value,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Feed an arbitrary message soup into one IDB machine; invariants:
+    /// at most one delivery per instance, every delivered value had at
+    /// least `n − t` distinct witnesses, at most one *broadcast* action per
+    /// instance (the single echo), and inits from non-origins do nothing.
+    #[test]
+    fn idb_machine_invariants(inputs in proptest::collection::vec(input_strategy(), 1..200)) {
+        let cfg = SystemConfig::new(N, T).unwrap();
+        let mut idb: IdenticalBroadcast<ProcessId, u64> = IdenticalBroadcast::new(cfg);
+        let mut deliveries: Vec<(ProcessId, u64)> = Vec::new();
+        let mut echoes_sent: Vec<ProcessId> = Vec::new();
+        for input in &inputs {
+            let (from, msg) = match *input {
+                Input::Init { from, origin, value } => (
+                    ProcessId::new(from),
+                    IdbMessage::Init { key: ProcessId::new(origin), value },
+                ),
+                Input::Echo { from, origin, value } | Input::Ready { from, origin, value } => (
+                    ProcessId::new(from),
+                    IdbMessage::Echo { key: ProcessId::new(origin), value },
+                ),
+            };
+            for action in idb.on_message(from, msg) {
+                match action {
+                    Action::Broadcast(IdbMessage::Echo { key, .. }) => echoes_sent.push(key),
+                    Action::Broadcast(IdbMessage::Init { .. }) => {
+                        prop_assert!(false, "the machine never emits inits");
+                    }
+                    Action::Deliver { key, value } => {
+                        prop_assert!(
+                            idb.witness_count(&key, &value) >= cfg.quorum(),
+                            "delivery without a quorum of witnesses"
+                        );
+                        deliveries.push((key, value));
+                    }
+                }
+            }
+        }
+        // At most one delivery and one echo per instance.
+        let mut keys: Vec<ProcessId> = deliveries.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len(), "double delivery");
+        let mut es = echoes_sent.clone();
+        es.sort_unstable();
+        let before = es.len();
+        es.dedup();
+        prop_assert_eq!(before, es.len(), "double echo for one instance");
+    }
+
+    /// Same soup against the reliable-broadcast machine.
+    #[test]
+    fn rb_machine_invariants(inputs in proptest::collection::vec(input_strategy(), 1..200)) {
+        let cfg = SystemConfig::new(N, T).unwrap();
+        let mut rb: ReliableBroadcast<ProcessId, u64> = ReliableBroadcast::new(cfg);
+        let mut delivered: Vec<ProcessId> = Vec::new();
+        let mut readies: Vec<ProcessId> = Vec::new();
+        for input in &inputs {
+            let (from, msg) = match *input {
+                Input::Init { from, origin, value } => (
+                    ProcessId::new(from),
+                    RbMessage::Init { key: ProcessId::new(origin), value },
+                ),
+                Input::Echo { from, origin, value } => (
+                    ProcessId::new(from),
+                    RbMessage::Echo { key: ProcessId::new(origin), value },
+                ),
+                Input::Ready { from, origin, value } => (
+                    ProcessId::new(from),
+                    RbMessage::Ready { key: ProcessId::new(origin), value },
+                ),
+            };
+            for action in rb.on_message(from, msg) {
+                match action {
+                    Action::Broadcast(RbMessage::Ready { key, .. }) => readies.push(key),
+                    Action::Broadcast(RbMessage::Echo { .. }) => {}
+                    Action::Broadcast(RbMessage::Init { .. }) => {
+                        prop_assert!(false, "the machine never emits inits");
+                    }
+                    Action::Deliver { key, .. } => delivered.push(key),
+                }
+            }
+        }
+        delivered.sort_unstable();
+        let before = delivered.len();
+        delivered.dedup();
+        prop_assert_eq!(before, delivered.len(), "double delivery");
+        readies.sort_unstable();
+        let before = readies.len();
+        readies.dedup();
+        prop_assert_eq!(before, readies.len(), "double ready per instance");
+    }
+
+    /// Cross-machine agreement: two correct IDB machines fed (possibly
+    /// different interleavings of) the same global message pool never
+    /// deliver different values for the same instance.
+    #[test]
+    fn idb_agreement_across_machines(
+        inputs in proptest::collection::vec(input_strategy(), 1..150),
+        order in proptest::collection::vec(any::<prop::sample::Index>(), 0..150),
+    ) {
+        let cfg = SystemConfig::new(N, T).unwrap();
+        let to_msg = |input: &Input| match *input {
+            Input::Init { from, origin, value } => (
+                ProcessId::new(from),
+                IdbMessage::Init { key: ProcessId::new(origin), value },
+            ),
+            Input::Echo { from, origin, value } | Input::Ready { from, origin, value } => (
+                ProcessId::new(from),
+                IdbMessage::Echo { key: ProcessId::new(origin), value },
+            ),
+        };
+        let mut a: IdenticalBroadcast<ProcessId, u64> = IdenticalBroadcast::new(cfg);
+        let mut b: IdenticalBroadcast<ProcessId, u64> = IdenticalBroadcast::new(cfg);
+        let mut da = std::collections::HashMap::new();
+        let mut db = std::collections::HashMap::new();
+        for input in &inputs {
+            let (from, msg) = to_msg(input);
+            for action in a.on_message(from, msg) {
+                if let Action::Deliver { key, value } = action {
+                    da.insert(key, value);
+                }
+            }
+        }
+        // b sees a permuted sub-multiset of the same pool.
+        for idx in &order {
+            let input = idx.get(&inputs);
+            let (from, msg) = to_msg(input);
+            for action in b.on_message(from, msg) {
+                if let Action::Deliver { key, value } = action {
+                    db.insert(key, value);
+                }
+            }
+        }
+        // NOTE: raw message soups can contain equivocated echo sets that no
+        // run with ≤ t Byzantine processes produces, so cross-machine
+        // agreement is only guaranteed when each sender echoes one value —
+        // enforce that precondition by filtering.
+        let mut seen: std::collections::HashMap<(ProcessId, ProcessId), u64> =
+            std::collections::HashMap::new();
+        let honest = inputs.iter().all(|i| match *i {
+            Input::Echo { from, origin, value } | Input::Ready { from, origin, value } => {
+                *seen.entry((ProcessId::new(from), ProcessId::new(origin))).or_insert(value)
+                    == value
+            }
+            Input::Init { .. } => true,
+        });
+        if honest {
+            for (key, va) in &da {
+                if let Some(vb) = db.get(key) {
+                    prop_assert_eq!(va, vb, "agreement violated on {:?}", key);
+                }
+            }
+        }
+    }
+}

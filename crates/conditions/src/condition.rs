@@ -1,0 +1,225 @@
+//! The `Condition` abstraction (§2.3).
+
+use dex_types::{InputVector, Value};
+
+/// A condition: a subset of all possible input vectors `V^n` (§2.3).
+///
+/// Condition-based algorithms guarantee an expedited decision for inputs
+/// belonging to the condition. The two concrete families from the paper are
+/// [`crate::FrequencyCondition`] (`C^freq_d`) and
+/// [`crate::PrivilegedCondition`] (`C^prv(m)_d`); both belong to the class of
+/// *d-legal* conditions of Mostefaoui et al. \[10\], which this trait can
+/// also express for testing purposes.
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{Condition, FrequencyCondition};
+/// use dex_types::InputVector;
+///
+/// let c = FrequencyCondition::new(2); // margin > 2
+/// let input = InputVector::new(vec![7u64, 7, 7, 7, 1]);
+/// assert!(c.contains(&input));        // margin 4 - 1 = 3 > 2
+/// ```
+pub trait Condition<V: Value> {
+    /// Whether `input ∈ C`.
+    fn contains(&self, input: &InputVector<V>) -> bool;
+
+    /// A short human-readable description, e.g. `C^freq_4`.
+    fn describe(&self) -> String;
+}
+
+impl<V: Value, C: Condition<V> + ?Sized> Condition<V> for &C {
+    fn contains(&self, input: &InputVector<V>) -> bool {
+        (**self).contains(input)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Checks the *d-legality* properties of \[10\] for a condition `C` with a
+/// candidate decision function `F`, on a finite set of sample inputs:
+///
+/// * **T_{C→d}**: `∀I ∈ C : #_{F(I)}(I) > d` — the decided value appears more
+///   than `d` times, so it survives `d` missing entries.
+/// * **A_{C→d}**: `∀I, I' ∈ C : dist(I, I') ≤ d ⇒ F(I) = F(I')` — close
+///   vectors decide alike.
+///
+/// Returns the first violating input (pair) found, or `Ok(())`.
+///
+/// This is a *testing* utility: it validates the paper's claim that
+/// `C^freq_d` and `C^prv(m)_d` are d-legal on enumerable instances.
+///
+/// # Errors
+///
+/// [`DLegalityViolation::Termination`] when some `I ∈ C` has
+/// `#_{F(I)}(I) ≤ d`; [`DLegalityViolation::Agreement`] when two vectors in
+/// `C` within distance `d` decide differently.
+pub fn check_d_legality<V, C, F>(
+    condition: &C,
+    decide: F,
+    d: usize,
+    samples: &[InputVector<V>],
+) -> Result<(), DLegalityViolation<V>>
+where
+    V: Value,
+    C: Condition<V>,
+    F: Fn(&InputVector<V>) -> V,
+{
+    let members: Vec<&InputVector<V>> = samples
+        .iter()
+        .filter(|input| condition.contains(input))
+        .collect();
+    for input in &members {
+        let v = decide(input);
+        if input.count_of(&v) <= d {
+            return Err(DLegalityViolation::Termination {
+                input: (*input).clone(),
+                decided: v,
+            });
+        }
+    }
+    for (i, a) in members.iter().enumerate() {
+        for b in &members[i + 1..] {
+            if a.dist(b) <= d && decide(a) != decide(b) {
+                return Err(DLegalityViolation::Agreement {
+                    left: (*a).clone(),
+                    right: (*b).clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A violation of the d-legality properties found by [`check_d_legality`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DLegalityViolation<V> {
+    /// `#_{F(I)}(I) ≤ d` for a member `I` of the condition.
+    Termination {
+        /// The violating input vector.
+        input: InputVector<V>,
+        /// The value `F(I)` that appears too few times.
+        decided: V,
+    },
+    /// Two members within distance `d` decide differently.
+    Agreement {
+        /// First vector.
+        left: InputVector<V>,
+        /// Second vector.
+        right: InputVector<V>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyCondition;
+    use crate::PrivilegedCondition;
+    use dex_types::InputVector;
+
+    fn all_vectors(n: usize, domain: &[u64]) -> Vec<InputVector<u64>> {
+        let mut out = Vec::new();
+        let mut idx = vec![0usize; n];
+        loop {
+            out.push(InputVector::new(idx.iter().map(|&i| domain[i]).collect()));
+            let mut pos = 0;
+            loop {
+                if pos == n {
+                    return out;
+                }
+                idx[pos] += 1;
+                if idx[pos] < domain.len() {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_condition_is_d_legal() {
+        // The paper cites [10]: C^freq_d is d-legal with F = 1st.
+        let samples = all_vectors(5, &[0, 1, 2]);
+        for d in 0..4 {
+            let c = FrequencyCondition::new(d);
+            check_d_legality(
+                &c,
+                |input: &InputVector<u64>| *input.to_view().first().unwrap(),
+                d,
+                &samples,
+            )
+            .unwrap_or_else(|e| panic!("C^freq_{d} not d-legal: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn privileged_condition_is_d_legal() {
+        // C^prv(m)_d is d-legal with F = m.
+        let samples = all_vectors(5, &[0, 1, 2]);
+        for d in 0..4 {
+            let c = PrivilegedCondition::new(1u64, d);
+            check_d_legality(&c, |_| 1u64, d, &samples)
+                .unwrap_or_else(|e| panic!("C^prv(1)_{d} not d-legal: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn d_legality_detects_termination_violation() {
+        // A bogus condition containing everything fails termination for d >= n.
+        #[derive(Debug)]
+        struct All;
+        impl Condition<u64> for All {
+            fn contains(&self, _: &InputVector<u64>) -> bool {
+                true
+            }
+            fn describe(&self) -> String {
+                "All".into()
+            }
+        }
+        let samples = all_vectors(3, &[0, 1]);
+        let err = check_d_legality(&All, |_| 0u64, 2, &samples).unwrap_err();
+        assert!(matches!(err, DLegalityViolation::Termination { .. }));
+    }
+
+    #[test]
+    fn d_legality_detects_agreement_violation() {
+        // Majority always appears more than d = 1 times for n = 3, so
+        // termination holds, but majorities of close vectors disagree:
+        // (0,0,1) -> 0 and (0,1,1) -> 1 at distance 1.
+        #[derive(Debug)]
+        struct All;
+        impl Condition<u64> for All {
+            fn contains(&self, _: &InputVector<u64>) -> bool {
+                true
+            }
+            fn describe(&self) -> String {
+                "All".into()
+            }
+        }
+        let samples = all_vectors(3, &[0, 1]);
+        let err = check_d_legality(
+            &All,
+            |i: &InputVector<u64>| *i.to_view().first().unwrap(),
+            1,
+            &samples,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DLegalityViolation::Agreement { .. }));
+    }
+
+    #[test]
+    fn reference_to_condition_is_condition() {
+        let c = FrequencyCondition::new(1);
+        let r: &FrequencyCondition = &c;
+        let input = InputVector::new(vec![1u64, 1, 1]);
+        assert!(Condition::<u64>::contains(&r, &input));
+        assert_eq!(
+            Condition::<u64>::describe(&r),
+            Condition::<u64>::describe(&c)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Errors raised when constructing condition-sequence pairs.
+
+use core::fmt;
+use dex_types::SystemConfig;
+use std::error::Error;
+
+/// Error constructing a legality pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PairError {
+    /// The system configuration does not satisfy the resilience bound the
+    /// pair requires (`n > 6t` for the frequency pair, `n > 5t` for the
+    /// privileged pair).
+    InsufficientResilience {
+        /// The offered configuration.
+        config: SystemConfig,
+        /// Minimum number of processes required for this `t`.
+        required_n: usize,
+        /// Name of the pair that was being constructed.
+        pair: &'static str,
+    },
+}
+
+impl fmt::Display for PairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairError::InsufficientResilience {
+                config,
+                required_n,
+                pair,
+            } => write!(
+                f,
+                "{pair} requires n >= {required_n} for t = {}, got n = {}",
+                config.t(),
+                config.n()
+            ),
+        }
+    }
+}
+
+impl Error for PairError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_pair_and_bound() {
+        let e = PairError::InsufficientResilience {
+            config: SystemConfig::new(6, 1).unwrap(),
+            required_n: 7,
+            pair: "FrequencyPair",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("FrequencyPair"));
+        assert!(msg.contains("n >= 7"));
+        assert!(msg.contains("n = 6"));
+    }
+}

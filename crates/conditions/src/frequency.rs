@@ -1,0 +1,248 @@
+//! The frequency-based condition and condition-sequence pair (§3.3).
+
+use crate::condition::Condition;
+use crate::error::PairError;
+use crate::pair::LegalityPair;
+use dex_types::{InputVector, SystemConfig, Value, View};
+
+/// The frequency-based condition `C^freq_d` (§3.3):
+///
+/// ```text
+/// C^freq_d = { I ∈ V^n | #_{1st(I)}(I) − #_{2nd(I)}(I) > d }
+/// ```
+///
+/// i.e. the most frequent value beats the runner-up by a margin larger than
+/// `d`. `C^freq_d` is a *d-legal* condition \[10\].
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{Condition, FrequencyCondition};
+/// use dex_types::InputVector;
+///
+/// let c = FrequencyCondition::new(2);
+/// assert!(c.contains(&InputVector::new(vec![1u64, 1, 1, 1, 1, 2, 2])));  // 5-2 = 3 > 2
+/// assert!(!c.contains(&InputVector::new(vec![1u64, 1, 1, 1, 2, 2, 2]))); // 4-3 = 1 ≤ 2
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FrequencyCondition {
+    d: usize,
+}
+
+impl FrequencyCondition {
+    /// Creates `C^freq_d`.
+    pub const fn new(d: usize) -> Self {
+        FrequencyCondition { d }
+    }
+
+    /// The margin parameter `d`.
+    pub const fn d(&self) -> usize {
+        self.d
+    }
+}
+
+impl<V: Value> Condition<V> for FrequencyCondition {
+    fn contains(&self, input: &InputVector<V>) -> bool {
+        input.to_view().frequency_margin() > self.d
+    }
+
+    fn describe(&self) -> String {
+        format!("C^freq_{}", self.d)
+    }
+}
+
+/// The frequency-based legal condition-sequence pair `P_freq` (§3.3):
+///
+/// * `C¹_k = C^freq_{4t+2k}` — one-step sequence,
+/// * `C²_k = C^freq_{2t+2k}` — two-step sequence,
+/// * `P1(J) ≡ #_{1st(J)}(J) − #_{2nd(J)}(J) > 4t`,
+/// * `P2(J) ≡ #_{1st(J)}(J) − #_{2nd(J)}(J) > 2t`,
+/// * `F(J) = 1st(J)`.
+///
+/// Legal by Theorem 1; requires `n > 6t` to be meaningful (the one-step
+/// margin `4t + 2k` must fit into a view of `n − t` known entries).
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{FrequencyPair, LegalityPair};
+/// use dex_types::{InputVector, SystemConfig};
+///
+/// let pair = FrequencyPair::new(SystemConfig::new(13, 2)?)?;
+/// let input = InputVector::new(vec![5u64; 13]);
+/// // Unanimous input is in C¹_k for every k ≤ t (margin 13 > 4t + 2k = 8 + 2k).
+/// assert!(pair.in_c1(&input, 0));
+/// assert!(pair.in_c1(&input, 2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrequencyPair {
+    config: SystemConfig,
+}
+
+impl FrequencyPair {
+    /// Creates the pair for a given system configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`PairError::InsufficientResilience`] unless `n > 6t` (§3.3: "the
+    /// stronger assumption n > 6t is required to construct `P_freq`").
+    pub fn new(config: SystemConfig) -> Result<Self, PairError> {
+        if !config.supports_frequency_pair() {
+            return Err(PairError::InsufficientResilience {
+                config,
+                required_n: 6 * config.t() + 1,
+                pair: "FrequencyPair",
+            });
+        }
+        Ok(FrequencyPair { config })
+    }
+
+    /// The configuration this pair was built for.
+    pub const fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// The one-step condition `C¹_k = C^freq_{4t+2k}`.
+    pub fn c1(&self, k: usize) -> FrequencyCondition {
+        FrequencyCondition::new(4 * self.config.t() + 2 * k)
+    }
+
+    /// The two-step condition `C²_k = C^freq_{2t+2k}`.
+    pub fn c2(&self, k: usize) -> FrequencyCondition {
+        FrequencyCondition::new(2 * self.config.t() + 2 * k)
+    }
+}
+
+impl<V: Value> LegalityPair<V> for FrequencyPair {
+    fn name(&self) -> &'static str {
+        "freq"
+    }
+
+    fn t(&self) -> usize {
+        self.config.t()
+    }
+
+    fn p1(&self, view: &View<V>) -> bool {
+        view.frequency_margin() > 4 * self.config.t()
+    }
+
+    fn p2(&self, view: &View<V>) -> bool {
+        view.frequency_margin() > 2 * self.config.t()
+    }
+
+    fn decide(&self, view: &View<V>) -> Option<V> {
+        view.first().cloned()
+    }
+
+    fn in_c1(&self, input: &InputVector<V>, k: usize) -> bool {
+        self.c1(k).contains(input)
+    }
+
+    fn in_c2(&self, input: &InputVector<V>, k: usize) -> bool {
+        self.c2(k).contains(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(n: usize, t: usize) -> FrequencyPair {
+        FrequencyPair::new(SystemConfig::new(n, t).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_insufficient_resilience() {
+        // n = 6t is not enough.
+        let cfg = SystemConfig::new(12, 2).unwrap();
+        assert!(matches!(
+            FrequencyPair::new(cfg),
+            Err(PairError::InsufficientResilience { required_n: 13, .. })
+        ));
+        // n = 6t + 1 is the minimum.
+        assert!(FrequencyPair::new(SystemConfig::new(13, 2).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn condition_thresholds_follow_definition() {
+        let p = pair(13, 2);
+        assert_eq!(p.c1(0).d(), 8);
+        assert_eq!(p.c1(2).d(), 12);
+        assert_eq!(p.c2(0).d(), 4);
+        assert_eq!(p.c2(2).d(), 8);
+    }
+
+    #[test]
+    fn sequences_are_monotone_decreasing() {
+        // C_k ⊇ C_{k+1}: a larger d means fewer inputs.
+        let p = pair(13, 2);
+        let borderline = InputVector::new(vec![1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2]);
+        // margin = 10 - 3 = 7: in C²_0 (d=4) and C²_1 (d=6) but not C²_2 (d=8).
+        assert!(p.in_c2(&borderline, 0));
+        assert!(p.in_c2(&borderline, 1));
+        assert!(!p.in_c2(&borderline, 2));
+        // Never in any C¹_k (7 ≤ 8).
+        assert!(!p.in_c1(&borderline, 0));
+    }
+
+    #[test]
+    fn p1_implies_p2() {
+        // 4t > 2t, so P1 is strictly stronger.
+        let p = pair(7, 1);
+        let mut view = InputVector::unanimous(7, 1u64).to_view();
+        assert!(LegalityPair::<u64>::p1(&p, &view));
+        assert!(LegalityPair::<u64>::p2(&p, &view));
+        // Drop margin to 3: P2 holds (3 > 2) but P1 fails (3 ≤ 4).
+        view.set(dex_types::ProcessId::new(0), 2);
+        view.set(dex_types::ProcessId::new(1), 2);
+        assert_eq!(view.frequency_margin(), 3);
+        assert!(!LegalityPair::<u64>::p1(&p, &view));
+        assert!(LegalityPair::<u64>::p2(&p, &view));
+    }
+
+    #[test]
+    fn decide_is_first_value() {
+        let p = pair(7, 1);
+        let view = InputVector::new(vec![4u64, 4, 4, 9, 9, 9, 9]).to_view();
+        assert_eq!(LegalityPair::<u64>::decide(&p, &view), Some(9));
+        let empty = View::<u64>::bottom(7);
+        assert_eq!(LegalityPair::<u64>::decide(&p, &empty), None);
+    }
+
+    #[test]
+    fn p_predicates_on_partial_views() {
+        let p = pair(7, 1);
+        // View with one ⊥ and margin exactly 4t+1 = 5.
+        let view = View::from_options(vec![
+            Some(1u64),
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(1),
+            None,
+        ]);
+        assert_eq!(view.frequency_margin(), 6);
+        assert!(LegalityPair::<u64>::p1(&p, &view));
+    }
+
+    #[test]
+    fn describe_names_condition() {
+        let c = FrequencyCondition::new(4);
+        assert_eq!(Condition::<u64>::describe(&c), "C^freq_4");
+    }
+
+    #[test]
+    fn unanimous_inputs_always_in_c1_when_margin_fits() {
+        // n = 6t+1: unanimous margin n = 6t+1 > 4t + 2k ⟺ 2t + 1 > 2k ⟺ k ≤ t.
+        for t in 1..4 {
+            let n = 6 * t + 1;
+            let p = pair(n, t);
+            let unanimous = InputVector::unanimous(n, 42u64);
+            for k in 0..=t {
+                assert!(p.in_c1(&unanimous, k), "t={t}, k={k}");
+            }
+        }
+    }
+}

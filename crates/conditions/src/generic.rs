@@ -1,0 +1,176 @@
+//! Building new condition-sequence pairs from arbitrary d-legal condition
+//! families.
+//!
+//! Theorem 3 quantifies over *any* legal pair, not just the two examples of
+//! §3.3/§3.4. This module provides the scaffolding to define new pairs:
+//!
+//! 1. implement [`ConditionFamily`] — a `d`-indexed family of conditions
+//!    `C_d` with a membership *score* (the family is `{I | score(I) > d}`),
+//!    plus the predicates/decision function shape;
+//! 2. wrap it in [`FamilyPair`] with one-step/two-step threshold functions
+//!    `d¹(t, k)` and `d²(t, k)`;
+//! 3. machine-check legality with [`crate::verify::check_legality`] before
+//!    trusting it — the checker exists precisely so new pairs don't rely on
+//!    hand-waving.
+//!
+//! The paper's two pairs are expressible in this scheme (score = frequency
+//! margin with thresholds `4t + 2k` / `2t + 2k`; score = `#m` with
+//! thresholds `3t + k` / `2t + k`), and `examples/custom_pair.rs` walks
+//! through defining and verifying a brand-new one.
+
+use crate::pair::LegalityPair;
+use dex_types::{InputVector, SystemConfig, Value, View};
+
+/// A `d`-indexed condition family `C_d = { I | score(I) > d }` together
+/// with the decision function used when the family's predicate holds.
+///
+/// The score must be **monotone under entry removal in a bounded way** for
+/// the resulting pair to stand a chance of being legal; the legality
+/// checker is the arbiter either way.
+pub trait ConditionFamily<V: Value>: Send + Sync {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The membership score of a complete input vector (`I ∈ C_d ⇔
+    /// score(I) > d`).
+    fn score_input(&self, input: &InputVector<V>) -> usize;
+
+    /// The score of a (possibly partial) view, used by the predicates.
+    fn score_view(&self, view: &View<V>) -> usize;
+
+    /// The decision function `F` (must satisfy LU5 for the pair to be
+    /// legal). `None` only on the all-`⊥` view.
+    fn decide(&self, view: &View<V>) -> Option<V>;
+}
+
+/// A legality-pair built from a [`ConditionFamily`] and two threshold
+/// functions:
+///
+/// * `C¹_k = C_{d1(t, k)}`, `P1(J) ≡ score(J) > d1(t, 0) = d1_base`,
+/// * `C²_k = C_{d2(t, k)}`, `P2(J) ≡ score(J) > d2_base`.
+///
+/// Thresholds are affine in `k`: `d(t, k) = base(t) + slope · k`, matching
+/// the shape of both published pairs.
+pub struct FamilyPair<F> {
+    config: SystemConfig,
+    family: F,
+    d1_base: usize,
+    d1_slope: usize,
+    d2_base: usize,
+    d2_slope: usize,
+}
+
+impl<F> FamilyPair<F> {
+    /// Creates the pair. `d1_base`/`d2_base` are the `k = 0` thresholds
+    /// (also used as the view predicates); the slopes scale with the fault
+    /// count `k`.
+    pub fn new(
+        config: SystemConfig,
+        family: F,
+        d1_base: usize,
+        d1_slope: usize,
+        d2_base: usize,
+        d2_slope: usize,
+    ) -> Self {
+        FamilyPair {
+            config,
+            family,
+            d1_base,
+            d1_slope,
+            d2_base,
+            d2_slope,
+        }
+    }
+
+    /// The configuration this pair was built for.
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// The wrapped family.
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+}
+
+impl<V: Value, F: ConditionFamily<V>> LegalityPair<V> for FamilyPair<F> {
+    fn name(&self) -> &'static str {
+        self.family.name()
+    }
+
+    fn t(&self) -> usize {
+        self.config.t()
+    }
+
+    fn p1(&self, view: &View<V>) -> bool {
+        self.family.score_view(view) > self.d1_base
+    }
+
+    fn p2(&self, view: &View<V>) -> bool {
+        self.family.score_view(view) > self.d2_base
+    }
+
+    fn decide(&self, view: &View<V>) -> Option<V> {
+        self.family.decide(view)
+    }
+
+    fn in_c1(&self, input: &InputVector<V>, k: usize) -> bool {
+        self.family.score_input(input) > self.d1_base + self.d1_slope * k
+    }
+
+    fn in_c2(&self, input: &InputVector<V>, k: usize) -> bool {
+        self.family.score_input(input) > self.d2_base + self.d2_slope * k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    /// The frequency family expressed through the generic scaffolding.
+    struct FreqFamily;
+
+    impl ConditionFamily<u64> for FreqFamily {
+        fn name(&self) -> &'static str {
+            "freq-generic"
+        }
+        fn score_input(&self, input: &InputVector<u64>) -> usize {
+            input.to_view().frequency_margin()
+        }
+        fn score_view(&self, view: &View<u64>) -> usize {
+            view.frequency_margin()
+        }
+        fn decide(&self, view: &View<u64>) -> Option<u64> {
+            view.first().copied()
+        }
+    }
+
+    #[test]
+    fn generic_frequency_pair_reproduces_theorem1() {
+        // d¹ = 4t + 2k, d² = 2t + 2k for n = 7, t = 1.
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let pair = FamilyPair::new(cfg, FreqFamily, 4, 2, 2, 2);
+        verify::check_legality(&pair, 7, &[0u64, 1])
+            .expect("the generic wrapping of P_freq must be legal");
+    }
+
+    #[test]
+    fn weakened_thresholds_are_caught_by_the_checker() {
+        // d¹ = 2t: the one-step predicate is too permissive; LA3 breaks.
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let pair = FamilyPair::new(cfg, FreqFamily, 2, 2, 2, 2);
+        assert!(verify::check_legality(&pair, 7, &[0u64, 1]).is_err());
+    }
+
+    #[test]
+    fn membership_uses_affine_thresholds() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let pair = FamilyPair::new(cfg, FreqFamily, 4, 2, 2, 2);
+        // margin 5: in C¹_0 (5 > 4) but not C¹_1 (5 ≤ 6).
+        let input = InputVector::new(vec![1u64, 1, 1, 1, 1, 1, 0]);
+        assert!(pair.in_c1(&input, 0));
+        assert!(!pair.in_c1(&input, 1));
+        assert!(pair.in_c2(&input, 1)); // 5 > 4
+    }
+}

@@ -1,0 +1,127 @@
+//! The `LegalityPair` abstraction: `(S¹, S²)` with `P1`, `P2`, `F` (§3.2).
+
+use dex_types::{InputVector, Value, View};
+
+/// A condition-sequence pair `(S¹, S²)` together with the predicates `P1`,
+/// `P2` and decision function `F` that witness its legality (§3.2).
+///
+/// `S¹ = (C¹_0, …, C¹_t)` characterises one-step decisions and
+/// `S² = (C²_0, …, C²_t)` two-step decisions. The five legality criteria
+/// relate the pieces:
+///
+/// * **LT1** `∀k ≤ t, ∀J ∈ V^n_k : (∃I ∈ C¹_k, dist(J, I) ≤ k) ⇒ P1(J)`
+/// * **LT2** likewise for `C²_k` / `P2`
+/// * **LA3** `P1(J) ∧ (∃I ≥ J, I' ≥ J', dist(I, I') ≤ t) ⇒ F(J) = F(J')`
+/// * **LA4** `P2(J) ∧ (∃I ≥ J, I ≥ J') ⇒ F(J) = F(J')`
+/// * **LU5** a unique value occurring more than `t` times is decided
+///
+/// Implementations **must** uphold these criteria — Algorithm DEX's safety
+/// (Lemmas 2–5) depends on them. Both provided implementations are verified
+/// exhaustively in [`crate::verify`].
+///
+/// The trait is object-safe so the harness can treat pairs uniformly.
+pub trait LegalityPair<V: Value>: Send + Sync {
+    /// A short name for reports, e.g. `"freq"` or `"prv"`.
+    fn name(&self) -> &'static str;
+
+    /// The failure bound `t` this pair was configured with.
+    fn t(&self) -> usize;
+
+    /// The predicate `P1`: does view `J` contain sufficient information for a
+    /// **one-step** decision?
+    fn p1(&self, view: &View<V>) -> bool;
+
+    /// The predicate `P2`: does view `J` contain sufficient information for a
+    /// **two-step** decision?
+    fn p2(&self, view: &View<V>) -> bool;
+
+    /// The decision function `F`. Returns `None` only for the all-`⊥` view,
+    /// which never occurs in the algorithm (views are only evaluated once
+    /// `|J| ≥ n − t ≥ 1`).
+    fn decide(&self, view: &View<V>) -> Option<V>;
+
+    /// Membership test `I ∈ C¹_k` — the condition valid when the actual
+    /// number of failures is `k` (one-step sequence).
+    fn in_c1(&self, input: &InputVector<V>, k: usize) -> bool;
+
+    /// Membership test `I ∈ C²_k` (two-step sequence).
+    fn in_c2(&self, input: &InputVector<V>, k: usize) -> bool;
+}
+
+impl<V: Value, P: LegalityPair<V> + ?Sized> LegalityPair<V> for &P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn t(&self) -> usize {
+        (**self).t()
+    }
+    fn p1(&self, view: &View<V>) -> bool {
+        (**self).p1(view)
+    }
+    fn p2(&self, view: &View<V>) -> bool {
+        (**self).p2(view)
+    }
+    fn decide(&self, view: &View<V>) -> Option<V> {
+        (**self).decide(view)
+    }
+    fn in_c1(&self, input: &InputVector<V>, k: usize) -> bool {
+        (**self).in_c1(input, k)
+    }
+    fn in_c2(&self, input: &InputVector<V>, k: usize) -> bool {
+        (**self).in_c2(input, k)
+    }
+}
+
+impl<V: Value, P: LegalityPair<V> + ?Sized> LegalityPair<V> for std::sync::Arc<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn t(&self) -> usize {
+        (**self).t()
+    }
+    fn p1(&self, view: &View<V>) -> bool {
+        (**self).p1(view)
+    }
+    fn p2(&self, view: &View<V>) -> bool {
+        (**self).p2(view)
+    }
+    fn decide(&self, view: &View<V>) -> Option<V> {
+        (**self).decide(view)
+    }
+    fn in_c1(&self, input: &InputVector<V>, k: usize) -> bool {
+        (**self).in_c1(input, k)
+    }
+    fn in_c2(&self, input: &InputVector<V>, k: usize) -> bool {
+        (**self).in_c2(input, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyPair;
+    use dex_types::SystemConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let pair: Box<dyn LegalityPair<u64>> = Box::new(FrequencyPair::new(cfg).unwrap());
+        assert_eq!(pair.name(), "freq");
+        assert_eq!(pair.t(), 1);
+    }
+
+    #[test]
+    fn references_and_arcs_delegate() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let pair = FrequencyPair::new(cfg).unwrap();
+        let view = InputVector::unanimous(7, 3u64).to_view();
+
+        let by_ref: &FrequencyPair = &pair;
+        assert!(LegalityPair::<u64>::p1(&by_ref, &view));
+
+        let by_arc = Arc::new(FrequencyPair::new(cfg).unwrap());
+        assert!(LegalityPair::<u64>::p1(&by_arc, &view));
+        assert_eq!(LegalityPair::<u64>::decide(&by_arc, &view), Some(3));
+    }
+}

@@ -1,0 +1,262 @@
+//! The privileged-value condition and condition-sequence pair (§3.4).
+
+use crate::condition::Condition;
+use crate::error::PairError;
+use crate::pair::LegalityPair;
+use dex_types::{InputVector, SystemConfig, Value, View};
+
+/// The privileged-value condition `C^prv(m)_d` (§3.4):
+///
+/// ```text
+/// C^prv(m)_d = { I ∈ V^n | #_m(I) > d }
+/// ```
+///
+/// A designated value `m`, known a priori to every process (e.g. `Commit` in
+/// atomic commitment), appears more than `d` times. `C^prv(m)_d` is a
+/// *d-legal* condition \[10\].
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{Condition, PrivilegedCondition};
+/// use dex_types::InputVector;
+///
+/// let c = PrivilegedCondition::new("commit".to_string(), 2);
+/// let i = InputVector::new(vec!["commit".into(), "commit".into(), "commit".into(), "abort".into()]);
+/// assert!(c.contains(&i)); // 3 > 2
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PrivilegedCondition<V> {
+    m: V,
+    d: usize,
+}
+
+impl<V: Value> PrivilegedCondition<V> {
+    /// Creates `C^prv(m)_d`.
+    pub const fn new(m: V, d: usize) -> Self {
+        PrivilegedCondition { m, d }
+    }
+
+    /// The privileged value `m`.
+    pub const fn privileged(&self) -> &V {
+        &self.m
+    }
+
+    /// The occurrence threshold `d`.
+    pub const fn d(&self) -> usize {
+        self.d
+    }
+}
+
+impl<V: Value> Condition<V> for PrivilegedCondition<V> {
+    fn contains(&self, input: &InputVector<V>) -> bool {
+        input.count_of(&self.m) > self.d
+    }
+
+    fn describe(&self) -> String {
+        format!("C^prv({:?})_{}", self.m, self.d)
+    }
+}
+
+/// The privileged-value legal condition-sequence pair `P_prv` (§3.4):
+///
+/// * `C¹_k = C^prv(m)_{3t+k}` — one-step sequence,
+/// * `C²_k = C^prv(m)_{2t+k}` — two-step sequence,
+/// * `P1(J) ≡ #_m(J) > 3t`,
+/// * `P2(J) ≡ #_m(J) > 2t`,
+/// * `F(J) = m` if `#_m(J) > t`, otherwise the most frequent non-`⊥` value.
+///
+/// Legal by Theorem 2; requires `n > 5t` to be meaningful. Compared with
+/// [`crate::FrequencyPair`], this pair expedites a *complementary* set of
+/// inputs: it fires whenever the privileged value is popular enough,
+/// regardless of the margin over the runner-up, but never fires for
+/// non-privileged values.
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{LegalityPair, PrivilegedPair};
+/// use dex_types::{InputVector, SystemConfig};
+///
+/// let pair = PrivilegedPair::new(SystemConfig::new(6, 1)?, 1u64)?;
+/// let view = InputVector::new(vec![1u64, 1, 1, 1, 0, 0]).to_view();
+/// assert!(pair.p1(&view));            // #m = 4 > 3t = 3
+/// assert_eq!(pair.decide(&view), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrivilegedPair<V> {
+    config: SystemConfig,
+    m: V,
+}
+
+impl<V: Value> PrivilegedPair<V> {
+    /// Creates the pair for a given configuration and privileged value `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`PairError::InsufficientResilience`] unless `n > 5t` (§3.4: "the
+    /// assumption n > 5t is required to make `P_prv` meaningful").
+    pub fn new(config: SystemConfig, m: V) -> Result<Self, PairError> {
+        if !config.supports_privileged_pair() {
+            return Err(PairError::InsufficientResilience {
+                config,
+                required_n: 5 * config.t() + 1,
+                pair: "PrivilegedPair",
+            });
+        }
+        Ok(PrivilegedPair { config, m })
+    }
+
+    /// The configuration this pair was built for.
+    pub const fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// The privileged value `m`, known a priori to every process.
+    pub const fn privileged(&self) -> &V {
+        &self.m
+    }
+
+    /// The one-step condition `C¹_k = C^prv(m)_{3t+k}`.
+    pub fn c1(&self, k: usize) -> PrivilegedCondition<V> {
+        PrivilegedCondition::new(self.m.clone(), 3 * self.config.t() + k)
+    }
+
+    /// The two-step condition `C²_k = C^prv(m)_{2t+k}`.
+    pub fn c2(&self, k: usize) -> PrivilegedCondition<V> {
+        PrivilegedCondition::new(self.m.clone(), 2 * self.config.t() + k)
+    }
+}
+
+impl<V: Value> LegalityPair<V> for PrivilegedPair<V> {
+    fn name(&self) -> &'static str {
+        "prv"
+    }
+
+    fn t(&self) -> usize {
+        self.config.t()
+    }
+
+    fn p1(&self, view: &View<V>) -> bool {
+        view.count_of(&self.m) > 3 * self.config.t()
+    }
+
+    fn p2(&self, view: &View<V>) -> bool {
+        view.count_of(&self.m) > 2 * self.config.t()
+    }
+
+    fn decide(&self, view: &View<V>) -> Option<V> {
+        if view.count_of(&self.m) > self.config.t() {
+            Some(self.m.clone())
+        } else {
+            view.first().cloned()
+        }
+    }
+
+    fn in_c1(&self, input: &InputVector<V>, k: usize) -> bool {
+        self.c1(k).contains(input)
+    }
+
+    fn in_c2(&self, input: &InputVector<V>, k: usize) -> bool {
+        self.c2(k).contains(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_types::ProcessId;
+
+    fn pair(n: usize, t: usize) -> PrivilegedPair<u64> {
+        PrivilegedPair::new(SystemConfig::new(n, t).unwrap(), 1u64).unwrap()
+    }
+
+    #[test]
+    fn rejects_insufficient_resilience() {
+        let cfg = SystemConfig::new(10, 2).unwrap(); // n = 5t is not enough
+        assert!(matches!(
+            PrivilegedPair::new(cfg, 1u64),
+            Err(PairError::InsufficientResilience { required_n: 11, .. })
+        ));
+        assert!(PrivilegedPair::new(SystemConfig::new(11, 2).unwrap(), 1u64).is_ok());
+    }
+
+    #[test]
+    fn condition_thresholds_follow_definition() {
+        let p = pair(11, 2);
+        assert_eq!(p.c1(0).d(), 6);
+        assert_eq!(p.c1(2).d(), 8);
+        assert_eq!(p.c2(0).d(), 4);
+        assert_eq!(p.c2(2).d(), 6);
+        assert_eq!(p.c1(0).privileged(), &1);
+    }
+
+    #[test]
+    fn predicates_count_privileged_value_only() {
+        let p = pair(6, 1);
+        // 4 copies of m = 1: P1 (4 > 3) and P2 (4 > 2) hold.
+        let view = InputVector::new(vec![1u64, 1, 1, 1, 0, 2]).to_view();
+        assert!(p.p1(&view));
+        assert!(p.p2(&view));
+        // 3 copies: only P2.
+        let view = InputVector::new(vec![1u64, 1, 1, 0, 0, 2]).to_view();
+        assert!(!p.p1(&view));
+        assert!(p.p2(&view));
+        // Overwhelming *non-privileged* majority never triggers P1/P2.
+        let view = InputVector::unanimous(6, 9u64).to_view();
+        assert!(!p.p1(&view));
+        assert!(!p.p2(&view));
+    }
+
+    #[test]
+    fn decide_prefers_privileged_above_t() {
+        let p = pair(6, 1);
+        // m appears twice (> t = 1) but 9 is the most frequent value.
+        let view = InputVector::new(vec![1u64, 1, 9, 9, 9, 9]).to_view();
+        assert_eq!(p.decide(&view), Some(1));
+        // m appears once (≤ t): fall back to most frequent.
+        let view = InputVector::new(vec![1u64, 9, 9, 9, 9, 8]).to_view();
+        assert_eq!(p.decide(&view), Some(9));
+    }
+
+    #[test]
+    fn decide_none_only_on_bottom_view() {
+        let p = pair(6, 1);
+        assert_eq!(p.decide(&View::<u64>::bottom(6)), None);
+        let mut v = View::<u64>::bottom(6);
+        v.set(ProcessId::new(0), 5);
+        assert_eq!(p.decide(&v), Some(5));
+    }
+
+    #[test]
+    fn sequences_are_monotone_decreasing() {
+        let p = pair(11, 2);
+        // #m = 7: in C¹_0 (d=6) but not C¹_1 (d=7); in C²_k for all k ≤ 2.
+        let mut entries = vec![1u64; 7];
+        entries.extend_from_slice(&[0, 0, 0, 0]);
+        let input = InputVector::new(entries);
+        assert!(p.in_c1(&input, 0));
+        assert!(!p.in_c1(&input, 1));
+        for k in 0..=2 {
+            assert!(p.in_c2(&input, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn string_values_work() {
+        let cfg = SystemConfig::new(6, 1).unwrap();
+        let p = PrivilegedPair::new(cfg, "commit".to_string()).unwrap();
+        let i: InputVector<String> = vec![
+            "commit".to_string(),
+            "commit".to_string(),
+            "commit".to_string(),
+            "commit".to_string(),
+            "abort".to_string(),
+            "abort".to_string(),
+        ]
+        .into();
+        assert!(p.in_c1(&i, 0));
+        assert_eq!(p.decide(&i.to_view()), Some("commit".to_string()));
+    }
+}

@@ -1,0 +1,161 @@
+//! Adaptive condition sequences (§2.3).
+
+use crate::condition::Condition;
+use dex_types::{InputVector, Value};
+
+/// A condition sequence `(C_0, C_1, …, C_t)` with `C_k ⊇ C_{k+1}` (§2.3).
+///
+/// The `k`-th condition is the set of input vectors for which the expedited
+/// decision is guaranteed when the *actual* number of faults is `k`. The
+/// containment requirement formalises adaptiveness: fewer faults admit more
+/// inputs.
+///
+/// This type is a generic container over any [`Condition`] family; the pairs
+/// in this crate build their sequences on the fly (e.g.
+/// [`crate::FrequencyPair::c1`]), but the explicit sequence form is useful
+/// for testing monotonicity and for exploring custom pairs.
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{ConditionSequence, FrequencyCondition};
+///
+/// // The one-step sequence of P_freq for t = 2: d = 8, 10, 12.
+/// let seq = ConditionSequence::new((0..=2).map(|k| FrequencyCondition::new(8 + 2 * k)));
+/// assert_eq!(seq.t(), 2);
+/// assert_eq!(seq.condition(1).d(), 10);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConditionSequence<C> {
+    conditions: Vec<C>,
+}
+
+impl<C> ConditionSequence<C> {
+    /// Builds a sequence from conditions `C_0 … C_t` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty: a sequence must define at least
+    /// `C_0`.
+    pub fn new<I: IntoIterator<Item = C>>(conditions: I) -> Self {
+        let conditions: Vec<C> = conditions.into_iter().collect();
+        assert!(
+            !conditions.is_empty(),
+            "a condition sequence needs at least C_0"
+        );
+        ConditionSequence { conditions }
+    }
+
+    /// The failure bound `t` (sequence length minus one).
+    pub fn t(&self) -> usize {
+        self.conditions.len() - 1
+    }
+
+    /// The condition `C_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > t`.
+    pub fn condition(&self, k: usize) -> &C {
+        &self.conditions[k]
+    }
+
+    /// Iterates over `(k, C_k)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &C)> {
+        self.conditions.iter().enumerate()
+    }
+}
+
+impl<C> ConditionSequence<C> {
+    /// Checks `I ∈ C_k` for a concrete input.
+    pub fn contains<V>(&self, input: &InputVector<V>, k: usize) -> bool
+    where
+        V: Value,
+        C: Condition<V>,
+    {
+        self.condition(k).contains(input)
+    }
+
+    /// Verifies the adaptiveness requirement `C_k ⊇ C_{k+1}` on a sample of
+    /// inputs: no sampled input may be in `C_{k+1}` but outside `C_k`.
+    ///
+    /// Returns the first violation `(k, input_index)` if any.
+    pub fn check_monotone_on<V>(&self, samples: &[InputVector<V>]) -> Result<(), (usize, usize)>
+    where
+        V: Value,
+        C: Condition<V>,
+    {
+        for k in 0..self.t() {
+            for (idx, input) in samples.iter().enumerate() {
+                if self.contains(input, k + 1) && !self.contains(input, k) {
+                    return Err((k, idx));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrequencyCondition, PrivilegedCondition};
+
+    #[test]
+    #[should_panic(expected = "at least C_0")]
+    fn empty_sequence_panics() {
+        let _ = ConditionSequence::<FrequencyCondition>::new(std::iter::empty());
+    }
+
+    #[test]
+    fn indexing_and_t() {
+        let seq = ConditionSequence::new(vec![
+            FrequencyCondition::new(4),
+            FrequencyCondition::new(6),
+            FrequencyCondition::new(8),
+        ]);
+        assert_eq!(seq.t(), 2);
+        assert_eq!(seq.condition(0).d(), 4);
+        assert_eq!(seq.condition(2).d(), 8);
+        assert_eq!(seq.iter().count(), 3);
+    }
+
+    #[test]
+    fn freq_sequences_are_monotone() {
+        let seq = ConditionSequence::new((0..=2).map(|k| FrequencyCondition::new(4 + 2 * k)));
+        let samples: Vec<InputVector<u64>> = (0..=9)
+            .map(|ones| {
+                let mut v = vec![1u64; ones];
+                v.extend(vec![0u64; 9 - ones]);
+                InputVector::new(v)
+            })
+            .collect();
+        seq.check_monotone_on(&samples).unwrap();
+    }
+
+    #[test]
+    fn prv_sequences_are_monotone() {
+        let seq = ConditionSequence::new((0..=2).map(|k| PrivilegedCondition::new(1u64, 4 + k)));
+        let samples: Vec<InputVector<u64>> = (0..=9)
+            .map(|ones| {
+                let mut v = vec![1u64; ones];
+                v.extend(vec![0u64; 9 - ones]);
+                InputVector::new(v)
+            })
+            .collect();
+        seq.check_monotone_on(&samples).unwrap();
+    }
+
+    #[test]
+    fn monotonicity_violation_is_reported() {
+        // A deliberately backwards sequence: C_0 ⊂ C_1.
+        let seq =
+            ConditionSequence::new(vec![FrequencyCondition::new(8), FrequencyCondition::new(2)]);
+        let samples = vec![InputVector::new(vec![1u64, 1, 1, 1, 1, 0, 0, 0, 0])];
+        // margin = 1: in C_1 (d=2? no, margin 1 ≤ 2)... use margin 4 sample:
+        let samples2 = vec![InputVector::new(vec![1u64, 1, 1, 1, 1, 1, 0, 0])];
+        // margin = 6 - 2 = 4 > 2 (in C_1) but 4 ≤ 8 (not in C_0).
+        assert!(seq.check_monotone_on(&samples).is_ok() || samples.is_empty());
+        assert_eq!(seq.check_monotone_on(&samples2), Err((0, 0)));
+    }
+}

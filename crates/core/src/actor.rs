@@ -1,0 +1,189 @@
+//! Simulation adapter: `DexProcess` as a `dex-simnet` actor.
+
+use crate::process::{DecisionPath, DexMsg, DexProcess};
+use dex_conditions::LegalityPair;
+use dex_simnet::{Actor, Context, Time};
+use dex_types::{ProcessId, StepDepth, Value};
+use dex_underlying::{Dest, Outbox, UnderlyingConsensus};
+
+/// A decision as observed inside a simulation run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecisionRecord<V> {
+    /// The decided value.
+    pub value: V,
+    /// Which mechanism decided.
+    pub path: DecisionPath,
+    /// Causal communication-step depth of the triggering message — the
+    /// paper's step count: 1 for one-step, 2 for two-step decisions.
+    pub depth: StepDepth,
+    /// Virtual time of the decision.
+    pub at: Time,
+}
+
+/// Wraps a [`DexProcess`] as a discrete-event-simulation actor.
+///
+/// The actor proposes on start, routes messages, and records the decision
+/// with its causal depth and virtual time for the experiment harness.
+#[derive(Debug)]
+pub struct DexActor<V, P, U>
+where
+    V: Value,
+    U: UnderlyingConsensus<V>,
+{
+    process: DexProcess<V, P, U>,
+    proposal: V,
+    decision: Option<DecisionRecord<V>>,
+}
+
+impl<V, P, U> DexActor<V, P, U>
+where
+    V: Value,
+    P: LegalityPair<V>,
+    U: UnderlyingConsensus<V>,
+{
+    /// Creates the actor; it will propose `proposal` at simulation start.
+    pub fn new(process: DexProcess<V, P, U>, proposal: V) -> Self {
+        DexActor {
+            process,
+            proposal,
+            decision: None,
+        }
+    }
+
+    /// The recorded decision, if the process has decided.
+    pub fn decision(&self) -> Option<&DecisionRecord<V>> {
+        self.decision.as_ref()
+    }
+
+    /// The wrapped state machine (for view diagnostics).
+    pub fn process(&self) -> &DexProcess<V, P, U> {
+        &self.process
+    }
+
+    fn flush(out: &mut Outbox<DexMsg<V, U::Msg>>, ctx: &mut Context<'_, DexMsg<V, U::Msg>>) {
+        for (dest, m) in out.drain() {
+            match dest {
+                Dest::All => ctx.broadcast(m),
+                Dest::To(p) => ctx.send(p, m),
+            }
+        }
+    }
+}
+
+impl<V, P, U> Actor for DexActor<V, P, U>
+where
+    V: Value,
+    P: LegalityPair<V> + Send + 'static,
+    U: UnderlyingConsensus<V> + Send + 'static,
+{
+    type Msg = DexMsg<V, U::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let mut out = Outbox::new();
+        let v = self.proposal.clone();
+        self.process.propose(v, ctx.rng(), &mut out);
+        Self::flush(&mut out, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        let mut out = Outbox::new();
+        let decision = self.process.on_message(from, msg, ctx.rng(), &mut out);
+        Self::flush(&mut out, ctx);
+        if let Some(d) = decision {
+            self.decision = Some(DecisionRecord {
+                value: d.value,
+                path: d.path,
+                depth: ctx.depth(),
+                at: ctx.now(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_conditions::FrequencyPair;
+    use dex_simnet::{DelayModel, Simulation};
+    use dex_types::SystemConfig;
+    use dex_underlying::OracleConsensus;
+
+    fn build(
+        n: usize,
+        t: usize,
+        proposals: &[u64],
+    ) -> Vec<DexActor<u64, FrequencyPair, OracleConsensus<u64>>> {
+        let cfg = SystemConfig::new(n, t).unwrap();
+        proposals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let me = ProcessId::new(i);
+                DexActor::new(
+                    DexProcess::new(
+                        cfg,
+                        me,
+                        FrequencyPair::new(cfg).unwrap(),
+                        OracleConsensus::new(cfg, me, ProcessId::new(0)),
+                    ),
+                    *v,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_run_decides_one_step_everywhere() {
+        for seed in 0..10 {
+            let actors = build(7, 1, &[3; 7]);
+            let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+            assert!(sim.run(1_000_000).quiescent, "seed {seed}");
+            for a in sim.actors() {
+                let d = a.decision().expect("decided");
+                assert_eq!(d.value, 3);
+                assert_eq!(d.path, DecisionPath::OneStep);
+                assert_eq!(d.depth, StepDepth::new(1), "one-step = causal depth 1");
+            }
+        }
+    }
+
+    #[test]
+    fn moderate_margin_decides_two_steps() {
+        // 5 vs 2 margin 3: P2 (> 2) yes, P1 (> 4) no.
+        for seed in 0..10 {
+            let actors = build(7, 1, &[3, 3, 3, 3, 3, 9, 9]);
+            let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+            assert!(sim.run(1_000_000).quiescent, "seed {seed}");
+            for a in sim.actors() {
+                let d = a.decision().expect("decided");
+                assert_eq!(d.value, 3, "seed {seed}");
+                assert_ne!(d.path, DecisionPath::OneStep, "margin too small for P1");
+                if d.path == DecisionPath::TwoStep {
+                    assert_eq!(d.depth, StepDepth::new(2), "two-step = causal depth 2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_input_falls_back_to_underlying() {
+        // 4 vs 3: margin 1 ≤ 2t, no expedited path; UC (oracle, 2 more
+        // steps after the 2-step IDB) decides at depth 4.
+        for seed in 0..10 {
+            let actors = build(7, 1, &[3, 3, 3, 3, 9, 9, 9]);
+            let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+            assert!(sim.run(1_000_000).quiescent, "seed {seed}");
+            let first = sim.actors()[0].decision().unwrap().value;
+            for a in sim.actors() {
+                let d = a.decision().expect("decided");
+                assert_eq!(d.path, DecisionPath::Underlying, "seed {seed}");
+                assert_eq!(d.value, first, "agreement, seed {seed}");
+                assert_eq!(
+                    d.depth,
+                    StepDepth::new(4),
+                    "well-behaved worst case is four steps (paper §5)"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Edge paths of the DEX state machine: participation before proposing
+//! (late joiners), Byzantine double-inits, UC decisions racing the views,
+//! and decision stability.
+
+use dex_broadcast::IdbMessage;
+use dex_conditions::FrequencyPair;
+use dex_core::{DecisionPath, DexMsg, DexProcess};
+use dex_types::{ProcessId, SystemConfig};
+use dex_underlying::{OracleConsensus, OracleMsg, Outbox};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+type Proc = DexProcess<u64, FrequencyPair, OracleConsensus<u64>>;
+type Out = Outbox<DexMsg<u64, OracleMsg<u64>>>;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn proc(me: usize) -> Proc {
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    DexProcess::new(
+        cfg,
+        p(me),
+        FrequencyPair::new(cfg).unwrap(),
+        OracleConsensus::new(cfg, p(me), p(0)),
+    )
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+/// Feed a complete IDB exchange (echoes from everyone) for `origin`.
+fn idb_all_echoes(
+    proc_: &mut Proc,
+    origin: usize,
+    v: u64,
+    out: &mut Out,
+) -> Option<dex_core::Decision<u64>> {
+    let mut decision = None;
+    for echoer in 0..7 {
+        if let Some(d) = proc_.on_message(
+            p(echoer),
+            DexMsg::Idb(IdbMessage::Echo {
+                key: p(origin),
+                value: v,
+            }),
+            &mut rng(),
+            out,
+        ) {
+            decision = Some(d);
+        }
+    }
+    decision
+}
+
+#[test]
+fn messages_before_propose_are_processed() {
+    // A late-joining process (e.g. a replica that has not yet proposed for
+    // this slot) must still build views from incoming traffic.
+    let mut pr = proc(0);
+    let mut out: Out = Outbox::new();
+    for j in 1..7 {
+        pr.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+    }
+    // 6 entries without our own: quorum reached, P1 margin 6 > 4.
+    let d = pr.decision().expect("decided before proposing");
+    assert_eq!(d.value, 5);
+    assert_eq!(d.path, DecisionPath::OneStep);
+    // Proposing afterwards still works and does not re-decide.
+    pr.propose(9, &mut rng(), &mut out);
+    assert_eq!(pr.decision().unwrap().value, 5);
+}
+
+#[test]
+fn two_step_channel_works_without_own_proposal() {
+    let mut pr = proc(0);
+    let mut out: Out = Outbox::new();
+    for origin in 1..7 {
+        idb_all_echoes(&mut pr, origin, 4, &mut out);
+    }
+    let d = pr.decision().expect("P2 fires on 6 delivered entries");
+    assert_eq!(d.path, DecisionPath::TwoStep);
+    // The UC proposal also fired (lines 12–15 are unconditional).
+    assert!(pr.uc_proposed());
+}
+
+#[test]
+fn byzantine_double_init_cannot_corrupt_j2() {
+    // A faulty origin sends two different inits; IDB's first-echo guard
+    // means only one gains our echo, and only a quorum-backed value can
+    // deliver. Feed echoes for both values from disjoint witness sets that
+    // are each below quorum: nothing delivers.
+    let mut pr = proc(0);
+    let mut out: Out = Outbox::new();
+    for echoer in 1..4 {
+        pr.on_message(
+            p(echoer),
+            DexMsg::Idb(IdbMessage::Echo {
+                key: p(6),
+                value: 1,
+            }),
+            &mut rng(),
+            &mut out,
+        );
+    }
+    for echoer in 4..7 {
+        pr.on_message(
+            p(echoer),
+            DexMsg::Idb(IdbMessage::Echo {
+                key: p(6),
+                value: 2,
+            }),
+            &mut rng(),
+            &mut out,
+        );
+    }
+    assert_eq!(pr.j2().get(p(6)), None, "split witnesses never deliver");
+}
+
+#[test]
+fn uc_decide_before_any_view_quorum() {
+    // The fallback can race ahead of both views (e.g. under targeted
+    // delays); the process adopts it and stays consistent.
+    let mut pr = proc(3);
+    let mut out: Out = Outbox::new();
+    pr.propose(5, &mut rng(), &mut out);
+    let d = pr
+        .on_message(p(0), DexMsg::Uc(OracleMsg::Decide(8)), &mut rng(), &mut out)
+        .expect("adopt UC decision");
+    assert_eq!(d.path, DecisionPath::Underlying);
+    // Later view completions do not override it.
+    for j in 1..7 {
+        pr.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+    }
+    assert_eq!(pr.decision().unwrap().value, 8);
+}
+
+#[test]
+fn forged_uc_decide_is_ignored() {
+    let mut pr = proc(3); // oracle coordinator is p0
+    let mut out: Out = Outbox::new();
+    pr.propose(5, &mut rng(), &mut out);
+    assert!(pr
+        .on_message(
+            p(6),
+            DexMsg::Uc(OracleMsg::Decide(666)),
+            &mut rng(),
+            &mut out
+        )
+        .is_none());
+    assert!(pr.decision().is_none());
+}
+
+#[test]
+fn uc_proposal_fires_exactly_once_despite_more_deliveries() {
+    let mut pr = proc(0);
+    let mut out: Out = Outbox::new();
+    pr.propose(5, &mut rng(), &mut out);
+    out.drain();
+    for origin in 1..7 {
+        idb_all_echoes(&mut pr, origin, 5, &mut out);
+    }
+    let proposals = out
+        .drain()
+        .into_iter()
+        .filter(|(_, m)| matches!(m, DexMsg::Uc(OracleMsg::Propose(_))))
+        .count();
+    assert_eq!(proposals, 1, "lines 12-15 run once");
+}

@@ -1,0 +1,67 @@
+//! Experiment harness: assembles algorithms, workloads, adversaries and the
+//! simulator into reproducible experiments.
+//!
+//! The pieces:
+//!
+//! * [`AnyUc`] — a uniform wrapper over the underlying-consensus
+//!   implementations (idealized oracle vs the real randomized stack), so a
+//!   single node type serves every experiment.
+//! * [`nodes`] — heterogeneous actor enums (`DexNode`, `BoscoNode`,
+//!   `PlainNode`) mixing correct protocol actors with Byzantine actors, plus
+//!   the [`ProtocolForgery`](dex_adversary::ProtocolForgery)
+//!   implementations that let the generic adversary attack each protocol.
+//! * [`runner`] — single-run and batch execution with safety checking
+//!   (agreement / unanimity / termination violations are *counted*, the
+//!   experiment asserts they stay zero) and step/latency statistics.
+//! * One module per paper experiment (see `DESIGN.md` §4): [`table1`],
+//!   [`crash_rows`], [`adaptive`], [`double_expedition`], [`average_case`],
+//!   [`pairs`], [`coverage`], [`idb`], [`trace`], [`messages`],
+//!   [`latency`], [`scaling`].
+//!
+//! # Examples
+//!
+//! A single DEX run on a unanimous input:
+//!
+//! ```
+//! use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+//! use dex_adversary::{ByzantineStrategy, FaultPlan};
+//! use dex_simnet::DelayModel;
+//! use dex_types::{InputVector, SystemConfig};
+//!
+//! let config = SystemConfig::new(7, 1)?;
+//! let result = run_spec(&RunSpec {
+//!     config,
+//!     algo: Algo::DexFreq,
+//!     underlying: UnderlyingKind::Oracle,
+//!     strategy: ByzantineStrategy::Silent,
+//!     fault_plan: FaultPlan::none(),
+//!     input: InputVector::unanimous(7, 3),
+//!     delay: DelayModel::Uniform { min: 1, max: 10 },
+//!     seed: 1,
+//!     max_events: 1_000_000,
+//! });
+//! assert!(result.agreement_ok());
+//! assert_eq!(result.max_steps(), Some(1)); // unanimous ⇒ one-step everywhere
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod average_case;
+pub mod coverage;
+pub mod crash_rows;
+pub mod double_expedition;
+pub mod idb;
+pub mod latency;
+pub mod messages;
+pub mod nodes;
+pub mod pairs;
+pub mod runner;
+pub mod scaling;
+pub mod table1;
+pub mod trace;
+mod ucwrap;
+
+pub use ucwrap::{AnyUc, AnyUcMsg};

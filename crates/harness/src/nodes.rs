@@ -1,0 +1,189 @@
+//! Heterogeneous node types: correct protocol actors mixed with Byzantine
+//! actors, plus the forgery implementations the generic adversary needs.
+
+// Node enums hold whole protocol actors inline; boxing them would buy
+// nothing in a simulation that owns every actor for its full lifetime.
+#![allow(clippy::large_enum_variant)]
+
+use crate::ucwrap::{AnyUc, AnyUcMsg};
+use dex_adversary::{ByzantineActor, ProtocolForgery};
+use dex_baselines::{BoscoActor, BoscoMsg, CrashActor, CrashMsg, UnderlyingOnlyActor};
+use dex_conditions::{FrequencyPair, PrivilegedPair};
+use dex_core::{DexActor, DexMsg};
+use dex_simnet::{Actor, Context};
+use dex_types::ProcessId;
+use dex_underlying::OracleMsg;
+
+/// Messages of DEX over the unified underlying consensus.
+pub type DexWire = DexMsg<u64, AnyUcMsg>;
+/// Messages of Bosco over the unified underlying consensus.
+pub type BoscoWire = BoscoMsg<u64, AnyUcMsg>;
+
+impl ProtocolForgery for AnyUcMsg {
+    type Value = u64;
+
+    fn forge_proposal(_me: ProcessId, _to: ProcessId, value: u64) -> Vec<Self> {
+        vec![AnyUcMsg::Oracle(OracleMsg::Propose(value))]
+    }
+}
+
+/// A DEX system node: a correct process running one of the two legality
+/// pairs, or a Byzantine process.
+pub enum DexNode {
+    /// Correct process, frequency pair.
+    Freq(DexActor<u64, FrequencyPair, AnyUc>),
+    /// Correct process, privileged-value pair.
+    Prv(DexActor<u64, PrivilegedPair<u64>, AnyUc>),
+    /// Byzantine process.
+    Byz(ByzantineActor<DexWire>),
+}
+
+impl Actor for DexNode {
+    type Msg = DexWire;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            DexNode::Freq(a) => a.on_start(ctx),
+            DexNode::Prv(a) => a.on_start(ctx),
+            DexNode::Byz(a) => a.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            DexNode::Freq(a) => a.on_message(from, msg, ctx),
+            DexNode::Prv(a) => a.on_message(from, msg, ctx),
+            DexNode::Byz(a) => a.on_message(from, msg, ctx),
+        }
+    }
+}
+
+/// A Bosco system node.
+pub enum BoscoNode {
+    /// Correct process.
+    Correct(BoscoActor<u64, AnyUc>),
+    /// Byzantine process.
+    Byz(ByzantineActor<BoscoWire>),
+}
+
+impl Actor for BoscoNode {
+    type Msg = BoscoWire;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            BoscoNode::Correct(a) => a.on_start(ctx),
+            BoscoNode::Byz(a) => a.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            BoscoNode::Correct(a) => a.on_message(from, msg, ctx),
+            BoscoNode::Byz(a) => a.on_message(from, msg, ctx),
+        }
+    }
+}
+
+/// Messages of the crash-model algorithms over the unified underlying
+/// consensus.
+pub type CrashWire = CrashMsg<u64, AnyUcMsg>;
+
+/// A crash-model system node (Table 1's crash rows).
+pub enum CrashNode {
+    /// Correct process.
+    Correct(CrashActor<u64, AnyUc>),
+    /// Crashed (or, for robustness checks, Byzantine) process.
+    Byz(ByzantineActor<CrashWire>),
+}
+
+impl Actor for CrashNode {
+    type Msg = CrashWire;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            CrashNode::Correct(a) => a.on_start(ctx),
+            CrashNode::Byz(a) => a.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            CrashNode::Correct(a) => a.on_message(from, msg, ctx),
+            CrashNode::Byz(a) => a.on_message(from, msg, ctx),
+        }
+    }
+}
+
+/// An underlying-only system node.
+pub enum PlainNode {
+    /// Correct process.
+    Correct(UnderlyingOnlyActor<u64, AnyUc>),
+    /// Byzantine process.
+    Byz(ByzantineActor<AnyUcMsg>),
+}
+
+impl Actor for PlainNode {
+    type Msg = AnyUcMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            PlainNode::Correct(a) => a.on_start(ctx),
+            PlainNode::Byz(a) => a.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            PlainNode::Correct(a) => a.on_message(from, msg, ctx),
+            PlainNode::Byz(a) => a.on_message(from, msg, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dex_forgery_builds_both_channels() {
+        let msgs = DexWire::forge_proposal(ProcessId::new(2), ProcessId::new(0), 9);
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(msgs[0], DexMsg::Proposal(9)));
+        assert!(matches!(
+            &msgs[1],
+            DexMsg::Idb(dex_broadcast::IdbMessage::Init { key, value: 9 }) if key.index() == 2
+        ));
+    }
+
+    #[test]
+    fn dex_forgery_reacts_to_inits_with_conflicting_echoes() {
+        let observed: DexWire = DexMsg::Idb(dex_broadcast::IdbMessage::Init {
+            key: ProcessId::new(4),
+            value: 1,
+        });
+        let forged = DexWire::forge_reaction(ProcessId::new(2), &observed, ProcessId::new(0), 8);
+        assert_eq!(forged.len(), 1);
+        assert!(matches!(
+            &forged[0],
+            DexMsg::Idb(dex_broadcast::IdbMessage::Echo { key, value: 8 }) if key.index() == 4
+        ));
+    }
+
+    #[test]
+    fn dex_forgery_ignores_echoes() {
+        let observed: DexWire = DexMsg::Idb(dex_broadcast::IdbMessage::Echo {
+            key: ProcessId::new(4),
+            value: 1,
+        });
+        assert!(
+            DexWire::forge_reaction(ProcessId::new(2), &observed, ProcessId::new(0), 8).is_empty()
+        );
+    }
+
+    #[test]
+    fn bosco_forgery_is_vote_only() {
+        let msgs = BoscoWire::forge_proposal(ProcessId::new(1), ProcessId::new(0), 3);
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(msgs[0], BoscoMsg::Vote(3)));
+    }
+}

@@ -1,0 +1,736 @@
+//! Single-run and batch experiment execution.
+
+use crate::nodes::{BoscoNode, CrashNode, DexNode, PlainNode};
+use crate::ucwrap::AnyUc;
+use dex_adversary::{ByzantineActor, ByzantineStrategy, FaultPlan};
+use dex_baselines::{
+    BoscoActor, BoscoPath, BoscoProcess, CrashActor, CrashOneStep, CrashPath, CrashRule,
+    UnderlyingOnlyActor, UnderlyingOnlyProcess,
+};
+use dex_conditions::{FrequencyPair, PrivilegedPair};
+use dex_core::{DecisionPath, DexActor, DexProcess};
+use dex_metrics::{Counter, Summary};
+use dex_simnet::{DelayModel, Simulation};
+use dex_types::{InputVector, ProcessId, SystemConfig};
+use dex_workloads::InputGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which algorithm a run executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algo {
+    /// DEX with the frequency-based pair (`n > 6t`).
+    DexFreq,
+    /// DEX with the privileged-value pair (`n > 5t`); `m` is the privileged
+    /// value.
+    DexPrv {
+        /// The privileged value.
+        m: u64,
+    },
+    /// The Bosco baseline (weakly one-step at `n > 5t`, strongly at
+    /// `n > 7t`).
+    Bosco,
+    /// No expedition: straight to the underlying consensus.
+    UnderlyingOnly,
+    /// Crash-model baseline of Brasileiro et al. \[2\] (`n > 3t`, crash
+    /// faults only — run it with the `Silent` strategy).
+    Brasileiro,
+    /// Adaptive condition-based crash-model one-step rule (spirit of
+    /// Izumi–Masuzawa \[8\]; crash faults only).
+    CrashAdaptive,
+}
+
+impl Algo {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::DexFreq => "dex-freq",
+            Algo::DexPrv { .. } => "dex-prv",
+            Algo::Bosco => "bosco",
+            Algo::UnderlyingOnly => "underlying-only",
+            Algo::Brasileiro => "brasileiro",
+            Algo::CrashAdaptive => "crash-adaptive",
+        }
+    }
+}
+
+/// Which underlying consensus a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnderlyingKind {
+    /// Idealized 2-step coordinator.
+    Oracle,
+    /// Real randomized stack, with a shared common-coin seed.
+    Mvc {
+        /// Shared seed of the common-coin abstraction.
+        coin_seed: u64,
+    },
+}
+
+/// Full description of a single run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// System size and fault bound.
+    pub config: SystemConfig,
+    /// Algorithm under test.
+    pub algo: Algo,
+    /// Underlying consensus implementation.
+    pub underlying: UnderlyingKind,
+    /// Strategy executed by every Byzantine process.
+    pub strategy: ByzantineStrategy<u64>,
+    /// Which processes are Byzantine.
+    pub fault_plan: FaultPlan,
+    /// The input vector; faulty entries are the adversary's nominal values.
+    pub input: InputVector<u64>,
+    /// Network delay model.
+    pub delay: DelayModel,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Delivery cap (guards against livelock).
+    pub max_events: u64,
+}
+
+/// Result of one correct process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcessResult {
+    /// The decided value.
+    pub value: u64,
+    /// `"1-step"`, `"2-step"` or `"fallback"`.
+    pub path: &'static str,
+    /// Causal communication steps to the decision.
+    pub steps: u32,
+    /// Virtual-time latency to the decision.
+    pub latency: u64,
+}
+
+/// Per-process outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The process was Byzantine; its behaviour is not measured.
+    Faulty,
+    /// A correct process that never decided (a termination violation when
+    /// the run was quiescent).
+    Undecided,
+    /// A correct process that decided.
+    Decided(ProcessResult),
+}
+
+/// Result of one run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunResult {
+    /// Outcome of each process, indexed by id.
+    pub outcomes: Vec<Outcome>,
+    /// Whether the network drained before the event cap.
+    pub quiescent: bool,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+impl RunResult {
+    /// Iterates over the decided correct processes.
+    pub fn decided(&self) -> impl Iterator<Item = &ProcessResult> {
+        self.outcomes.iter().filter_map(|o| match o {
+            Outcome::Decided(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Agreement: all decided correct processes agree.
+    pub fn agreement_ok(&self) -> bool {
+        let mut values = self.decided().map(|r| r.value);
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    /// Termination: every correct process decided.
+    pub fn all_decided(&self) -> bool {
+        !self
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, Outcome::Undecided))
+    }
+
+    /// Unanimity: when all correct processes proposed `v`, all decisions
+    /// must be `v`. Returns `true` when the premise does not apply.
+    pub fn unanimity_ok(&self, input: &InputVector<u64>, plan: &FaultPlan) -> bool {
+        let mut correct_values = input
+            .iter()
+            .filter(|(p, _)| !plan.is_faulty(*p))
+            .map(|(_, v)| *v);
+        let Some(first) = correct_values.next() else {
+            return true;
+        };
+        if !correct_values.all(|v| v == first) {
+            return true; // premise does not hold
+        }
+        self.decided().all(|r| r.value == first)
+    }
+
+    /// The largest step count among decided processes.
+    pub fn max_steps(&self) -> Option<u32> {
+        self.decided().map(|r| r.steps).max()
+    }
+
+    /// Mean step count among decided processes.
+    pub fn mean_steps(&self) -> Option<f64> {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for r in self.decided() {
+            sum += u64::from(r.steps);
+            n += 1;
+        }
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+}
+
+fn byz_strategy(spec: &RunSpec) -> ByzantineStrategy<u64> {
+    spec.strategy.clone()
+}
+
+fn make_uc(spec: &RunSpec, me: ProcessId) -> AnyUc {
+    match spec.underlying {
+        UnderlyingKind::Oracle => {
+            AnyUc::oracle(spec.config, me, spec.fault_plan.coordinator(spec.config))
+        }
+        UnderlyingKind::Mvc { coin_seed } => AnyUc::mvc(spec.config, me, coin_seed),
+    }
+}
+
+/// Executes one run.
+///
+/// # Panics
+///
+/// Panics if the spec's algorithm cannot be instantiated for its
+/// configuration (e.g. `DexFreq` with `n ≤ 6t`) or the fault plan exceeds
+/// `t` — misconfigured experiments should fail loudly.
+pub fn run_spec(spec: &RunSpec) -> RunResult {
+    assert_eq!(
+        spec.input.n(),
+        spec.config.n(),
+        "input vector must match system size"
+    );
+    match spec.algo {
+        Algo::DexFreq | Algo::DexPrv { .. } => run_dex(spec),
+        Algo::Bosco => run_bosco(spec),
+        Algo::UnderlyingOnly => run_plain(spec),
+        Algo::Brasileiro => run_crash(spec, CrashRule::Brasileiro),
+        Algo::CrashAdaptive => run_crash(spec, CrashRule::Adaptive),
+    }
+}
+
+fn run_crash(spec: &RunSpec, rule: CrashRule) -> RunResult {
+    let cfg = spec.config;
+    let nodes: Vec<CrashNode> = cfg
+        .processes()
+        .map(|me| {
+            if spec.fault_plan.is_faulty(me) {
+                CrashNode::Byz(ByzantineActor::new(byz_strategy(spec)))
+            } else {
+                CrashNode::Correct(CrashActor::new(
+                    CrashOneStep::new(cfg, me, rule, make_uc(spec, me)),
+                    *spec.input.get(me),
+                ))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let run = sim.run(spec.max_events);
+    let outcomes = sim
+        .actors()
+        .iter()
+        .map(|node| match node {
+            CrashNode::Byz(_) => Outcome::Faulty,
+            CrashNode::Correct(a) => match a.decision() {
+                None => Outcome::Undecided,
+                Some(d) => Outcome::Decided(ProcessResult {
+                    value: d.value,
+                    path: match d.path {
+                        CrashPath::OneStep => DecisionPath::OneStep.label(),
+                        CrashPath::Underlying => DecisionPath::Underlying.label(),
+                    },
+                    steps: d.depth.get(),
+                    latency: d.at.as_units(),
+                }),
+            },
+        })
+        .collect();
+    RunResult {
+        outcomes,
+        quiescent: run.quiescent,
+        messages: sim.stats().delivered,
+    }
+}
+
+fn run_dex(spec: &RunSpec) -> RunResult {
+    let cfg = spec.config;
+    let nodes: Vec<DexNode> = cfg
+        .processes()
+        .map(|me| {
+            if spec.fault_plan.is_faulty(me) {
+                DexNode::Byz(ByzantineActor::new(byz_strategy(spec)))
+            } else {
+                let proposal = *spec.input.get(me);
+                match spec.algo {
+                    Algo::DexFreq => DexNode::Freq(DexActor::new(
+                        DexProcess::new(
+                            cfg,
+                            me,
+                            FrequencyPair::new(cfg).expect("n > 6t required for DexFreq"),
+                            make_uc(spec, me),
+                        ),
+                        proposal,
+                    )),
+                    Algo::DexPrv { m } => DexNode::Prv(DexActor::new(
+                        DexProcess::new(
+                            cfg,
+                            me,
+                            PrivilegedPair::new(cfg, m).expect("n > 5t required for DexPrv"),
+                            make_uc(spec, me),
+                        ),
+                        proposal,
+                    )),
+                    _ => unreachable!(),
+                }
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let run = sim.run(spec.max_events);
+    let outcomes = sim
+        .actors()
+        .iter()
+        .map(|node| match node {
+            DexNode::Byz(_) => Outcome::Faulty,
+            DexNode::Freq(a) => dex_outcome(a.decision()),
+            DexNode::Prv(a) => dex_outcome(a.decision()),
+        })
+        .collect();
+    RunResult {
+        outcomes,
+        quiescent: run.quiescent,
+        messages: sim.stats().delivered,
+    }
+}
+
+fn dex_outcome(d: Option<&dex_core::DecisionRecord<u64>>) -> Outcome {
+    match d {
+        None => Outcome::Undecided,
+        Some(d) => Outcome::Decided(ProcessResult {
+            value: d.value,
+            path: d.path.label(),
+            steps: d.depth.get(),
+            latency: d.at.as_units(),
+        }),
+    }
+}
+
+fn run_bosco(spec: &RunSpec) -> RunResult {
+    let cfg = spec.config;
+    let nodes: Vec<BoscoNode> = cfg
+        .processes()
+        .map(|me| {
+            if spec.fault_plan.is_faulty(me) {
+                BoscoNode::Byz(ByzantineActor::new(byz_strategy(spec)))
+            } else {
+                BoscoNode::Correct(BoscoActor::new(
+                    BoscoProcess::new(cfg, me, make_uc(spec, me)),
+                    *spec.input.get(me),
+                ))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let run = sim.run(spec.max_events);
+    let outcomes = sim
+        .actors()
+        .iter()
+        .map(|node| match node {
+            BoscoNode::Byz(_) => Outcome::Faulty,
+            BoscoNode::Correct(a) => match a.decision() {
+                None => Outcome::Undecided,
+                Some(d) => Outcome::Decided(ProcessResult {
+                    value: d.value,
+                    path: match d.path {
+                        BoscoPath::OneStep => DecisionPath::OneStep.label(),
+                        BoscoPath::Underlying => DecisionPath::Underlying.label(),
+                    },
+                    steps: d.depth.get(),
+                    latency: d.at.as_units(),
+                }),
+            },
+        })
+        .collect();
+    RunResult {
+        outcomes,
+        quiescent: run.quiescent,
+        messages: sim.stats().delivered,
+    }
+}
+
+fn run_plain(spec: &RunSpec) -> RunResult {
+    let cfg = spec.config;
+    let nodes: Vec<PlainNode> = cfg
+        .processes()
+        .map(|me| {
+            if spec.fault_plan.is_faulty(me) {
+                PlainNode::Byz(ByzantineActor::new(byz_strategy(spec)))
+            } else {
+                PlainNode::Correct(UnderlyingOnlyActor::new(
+                    UnderlyingOnlyProcess::new(make_uc(spec, me)),
+                    *spec.input.get(me),
+                ))
+            }
+        })
+        .collect();
+    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let run = sim.run(spec.max_events);
+    let outcomes = sim
+        .actors()
+        .iter()
+        .map(|node| match node {
+            PlainNode::Byz(_) => Outcome::Faulty,
+            PlainNode::Correct(a) => match a.decision() {
+                None => Outcome::Undecided,
+                Some(d) => Outcome::Decided(ProcessResult {
+                    value: d.value,
+                    path: DecisionPath::Underlying.label(),
+                    steps: d.depth.get(),
+                    latency: d.at.as_units(),
+                }),
+            },
+        })
+        .collect();
+    RunResult {
+        outcomes,
+        quiescent: run.quiescent,
+        messages: sim.stats().delivered,
+    }
+}
+
+/// How faulty processes are placed in batch runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// The last `f` processes are faulty (deterministic; keeps `p_0` as the
+    /// oracle coordinator).
+    LastK,
+    /// `f` random non-`p_0` processes per run.
+    RandomK,
+}
+
+/// Description of a batch of runs.
+pub struct BatchSpec<'a> {
+    /// System size and fault bound.
+    pub config: SystemConfig,
+    /// Algorithm under test.
+    pub algo: Algo,
+    /// Underlying consensus implementation.
+    pub underlying: UnderlyingKind,
+    /// Strategy executed by Byzantine processes.
+    pub strategy: ByzantineStrategy<u64>,
+    /// Actual number of faults per run (`f ≤ t`).
+    pub f: usize,
+    /// Fault placement policy.
+    pub placement: Placement,
+    /// Input-vector generator (fresh vector per run).
+    pub workload: &'a (dyn InputGenerator + Sync),
+    /// Delay model.
+    pub delay: DelayModel,
+    /// Number of runs.
+    pub runs: usize,
+    /// Base seed; run `i` uses `seed0 + i`.
+    pub seed0: u64,
+    /// Delivery cap per run.
+    pub max_events: u64,
+}
+
+/// Aggregated results of a batch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Number of runs executed.
+    pub runs: usize,
+    /// Decision-path histogram over all correct processes.
+    pub paths: Counter<&'static str>,
+    /// Step counts over all correct processes.
+    pub steps: Summary,
+    /// Virtual-time decision latencies.
+    pub latency: Summary,
+    /// Messages delivered per run.
+    pub messages: Summary,
+    /// Correct processes that never decided.
+    pub undecided: usize,
+    /// Runs violating agreement (must stay 0).
+    pub agreement_violations: usize,
+    /// Runs violating unanimity (must stay 0).
+    pub unanimity_violations: usize,
+    /// Runs that hit the event cap (must stay 0 for terminating protocols).
+    pub non_quiescent: usize,
+}
+
+impl BatchStats {
+    /// Fraction of correct-process decisions that used `path`.
+    pub fn path_fraction(&self, path: &'static str) -> f64 {
+        self.paths.fraction(&path)
+    }
+
+    /// `true` when no safety or liveness violation was observed.
+    pub fn clean(&self) -> bool {
+        self.agreement_violations == 0
+            && self.unanimity_violations == 0
+            && self.undecided == 0
+            && self.non_quiescent == 0
+    }
+}
+
+/// Executes one indexed run of a batch and folds it into `stats`.
+fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
+    let seed = spec.seed0 + i as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+    let input = spec.workload.generate(spec.config.n(), &mut rng);
+    let fault_plan = match spec.placement {
+        Placement::LastK => FaultPlan::last_k(spec.config, spec.f),
+        Placement::RandomK => FaultPlan::random_k(spec.config, spec.f, &mut rng),
+    };
+    let run = run_spec(&RunSpec {
+        config: spec.config,
+        algo: spec.algo,
+        underlying: spec.underlying,
+        strategy: spec.strategy.clone(),
+        fault_plan: fault_plan.clone(),
+        input: input.clone(),
+        delay: spec.delay.clone(),
+        seed,
+        max_events: spec.max_events,
+    });
+    stats.runs += 1;
+    if !run.quiescent {
+        stats.non_quiescent += 1;
+    }
+    if !run.agreement_ok() {
+        stats.agreement_violations += 1;
+    }
+    if !run.unanimity_ok(&input, &fault_plan) {
+        stats.unanimity_violations += 1;
+    }
+    for outcome in &run.outcomes {
+        match outcome {
+            Outcome::Faulty => {}
+            Outcome::Undecided => stats.undecided += 1,
+            Outcome::Decided(r) => {
+                stats.paths.add(r.path);
+                stats.steps.add(f64::from(r.steps));
+                stats.latency.add(r.latency as f64);
+            }
+        }
+    }
+    stats.messages.add(run.messages as f64);
+}
+
+/// Executes a batch of runs, aggregating statistics.
+pub fn run_batch(spec: &BatchSpec<'_>) -> BatchStats {
+    let mut stats = BatchStats::default();
+    for i in 0..spec.runs {
+        run_batch_index(spec, i, &mut stats);
+    }
+    stats
+}
+
+/// [`run_batch_parallel`] with one worker per available core — the default
+/// for the experiment modules (results are identical to the sequential
+/// runner's, just faster).
+pub fn run_batch_auto(spec: &BatchSpec<'_>) -> BatchStats {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_batch_parallel(spec, threads)
+}
+
+/// Like [`run_batch`], but fans the (independent, individually seeded)
+/// runs across `threads` OS threads. The aggregate statistics are
+/// identical to the sequential runner's: every per-run quantity is keyed
+/// by its seed, and [`BatchStats`] aggregation is order-insensitive
+/// (counters commute; [`Summary`] quantiles sort internally).
+pub fn run_batch_parallel(spec: &BatchSpec<'_>, threads: usize) -> BatchStats {
+    let threads = threads.clamp(1, spec.runs.max(1));
+    let mut partials: Vec<BatchStats> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let spec_ref = &*spec;
+            handles.push(scope.spawn(move || {
+                let mut stats = BatchStats::default();
+                let mut i = worker;
+                while i < spec_ref.runs {
+                    run_batch_index(spec_ref, i, &mut stats);
+                    i += threads;
+                }
+                stats
+            }));
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("batch worker panicked"));
+        }
+    });
+    let mut merged = BatchStats::default();
+    for p in partials {
+        merged.runs += p.runs;
+        merged.undecided += p.undecided;
+        merged.agreement_violations += p.agreement_violations;
+        merged.unanimity_violations += p.unanimity_violations;
+        merged.non_quiescent += p.non_quiescent;
+        merged.steps.merge(&p.steps);
+        merged.latency.merge(&p.latency);
+        merged.messages.merge(&p.messages);
+        for (path, count) in p.paths.iter() {
+            merged.paths.add_n(path, count);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_workloads::Unanimous;
+
+    fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunSpec {
+        RunSpec {
+            config: SystemConfig::new(n, t).unwrap(),
+            algo,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Silent,
+            fault_plan: FaultPlan::none(),
+            input,
+            delay: DelayModel::Uniform { min: 1, max: 10 },
+            seed: 7,
+            max_events: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn dex_freq_unanimous_is_one_step() {
+        let spec = base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3));
+        let r = run_spec(&spec);
+        assert!(r.quiescent && r.agreement_ok() && r.all_decided());
+        assert_eq!(r.max_steps(), Some(1));
+        assert!(r.decided().all(|p| p.path == "1-step" && p.value == 3));
+    }
+
+    #[test]
+    fn bosco_unanimous_is_one_step() {
+        let spec = base_spec(7, 1, Algo::Bosco, InputVector::unanimous(7, 3));
+        let r = run_spec(&spec);
+        assert_eq!(r.max_steps(), Some(1));
+        assert!(r.decided().all(|p| p.path == "1-step"));
+    }
+
+    #[test]
+    fn underlying_only_is_two_steps() {
+        let spec = base_spec(7, 1, Algo::UnderlyingOnly, InputVector::unanimous(7, 3));
+        let r = run_spec(&spec);
+        assert_eq!(r.max_steps(), Some(2));
+        assert!(r.decided().all(|p| p.path == "fallback"));
+    }
+
+    #[test]
+    fn dex_prv_commit_heavy_is_one_step() {
+        // m = 1, 5 of 6 propose it: #m = 5 > 3t = 3.
+        let input = InputVector::new(vec![1, 1, 1, 1, 1, 0]);
+        let spec = base_spec(6, 1, Algo::DexPrv { m: 1 }, input);
+        let r = run_spec(&spec);
+        assert!(r.agreement_ok());
+        assert!(r.decided().all(|p| p.value == 1));
+        assert_eq!(r.max_steps(), Some(1));
+    }
+
+    #[test]
+    fn silent_fault_run_with_dex() {
+        let spec = RunSpec {
+            fault_plan: FaultPlan::last_k(SystemConfig::new(7, 1).unwrap(), 1),
+            ..base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3))
+        };
+        let r = run_spec(&spec);
+        assert!(r.quiescent && r.agreement_ok() && r.all_decided());
+        assert!(matches!(r.outcomes[6], Outcome::Faulty));
+        // 6 unanimous entries reachable: margin 6 > 4 ⇒ still one-step.
+        assert_eq!(r.max_steps(), Some(1));
+    }
+
+    #[test]
+    fn equivocator_cannot_break_agreement() {
+        for seed in 0..10 {
+            let spec = RunSpec {
+                fault_plan: FaultPlan::last_k(SystemConfig::new(7, 1).unwrap(), 1),
+                strategy: ByzantineStrategy::EchoPoison { values: vec![3, 9] },
+                seed,
+                ..base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3))
+            };
+            let r = run_spec(&spec);
+            assert!(r.agreement_ok(), "seed {seed}");
+            assert!(r.unanimity_ok(&InputVector::unanimous(7, 3), &spec.fault_plan));
+            assert!(r.all_decided(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_runner_aggregates_cleanly() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let workload = Unanimous { value: 5 };
+        let stats = run_batch(&BatchSpec {
+            config: cfg,
+            algo: Algo::DexFreq,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Silent,
+            f: 1,
+            placement: Placement::RandomK,
+            workload: &workload,
+            delay: DelayModel::Uniform { min: 1, max: 10 },
+            runs: 20,
+            seed0: 100,
+            max_events: 1_000_000,
+        });
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.runs, 20);
+        assert_eq!(stats.path_fraction("1-step"), 1.0);
+        assert_eq!(stats.steps.mean(), 1.0);
+    }
+
+    #[test]
+    fn parallel_batch_equals_sequential_batch() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let workload = dex_workloads::BernoulliMix { p: 0.8, a: 1, b: 0 };
+        let spec = BatchSpec {
+            config: cfg,
+            algo: Algo::DexFreq,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Equivocate { values: vec![0, 1] },
+            f: 1,
+            placement: Placement::RandomK,
+            workload: &workload,
+            delay: DelayModel::Uniform { min: 1, max: 10 },
+            runs: 24,
+            seed0: 9,
+            max_events: 5_000_000,
+        };
+        let seq = run_batch(&spec);
+        let par = run_batch_parallel(&spec, 4);
+        assert!(seq.clean() && par.clean());
+        assert_eq!(seq.runs, par.runs);
+        assert_eq!(seq.steps.mean(), par.steps.mean());
+        assert_eq!(seq.steps.quantile(0.99), par.steps.quantile(0.99));
+        assert_eq!(seq.messages.mean(), par.messages.mean());
+        assert_eq!(seq.paths.count(&"1-step"), par.paths.count(&"1-step"),);
+    }
+
+    #[test]
+    fn mvc_underlying_full_stack_run() {
+        // Split input forces the randomized fallback to do real work.
+        let input = InputVector::new(vec![3, 3, 3, 9, 9, 9, 9]);
+        let spec = RunSpec {
+            underlying: UnderlyingKind::Mvc { coin_seed: 11 },
+            max_events: 10_000_000,
+            ..base_spec(7, 1, Algo::DexFreq, input)
+        };
+        let r = run_spec(&spec);
+        assert!(r.quiescent);
+        assert!(r.agreement_ok());
+        assert!(r.all_decided());
+    }
+}

@@ -1,0 +1,165 @@
+//! Uniform wrapper over the underlying-consensus implementations.
+
+use dex_types::{ProcessId, SystemConfig};
+use dex_underlying::{
+    CoinMode, Dest, MvcMsg, OracleConsensus, OracleMsg, Outbox, ReducedMvc, UnderlyingConsensus,
+};
+use rand::rngs::StdRng;
+
+/// Wire messages of [`AnyUc`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnyUcMsg {
+    /// Oracle traffic.
+    Oracle(OracleMsg<u64>),
+    /// Randomized-stack traffic.
+    Mvc(MvcMsg<u64>),
+}
+
+/// Either underlying-consensus implementation behind one message type, so
+/// experiment node types need no extra generic parameter.
+// One AnyUc lives inside each simulated process for its whole lifetime;
+// boxing the larger variant would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum AnyUc {
+    /// The idealized 2-step coordinator primitive.
+    Oracle(OracleConsensus<u64>),
+    /// The real randomized stack (reliable broadcast + binary consensus).
+    Mvc(ReducedMvc<u64>),
+}
+
+impl AnyUc {
+    /// Builds the oracle variant; `coordinator` must be a correct process.
+    pub fn oracle(config: SystemConfig, me: ProcessId, coordinator: ProcessId) -> Self {
+        AnyUc::Oracle(OracleConsensus::new(config, me, coordinator))
+    }
+
+    /// Builds the randomized variant with a common-coin seed shared by all
+    /// processes. The fallback value for hopelessly split proposals is
+    /// `u64::MAX` (never used as a workload value).
+    pub fn mvc(config: SystemConfig, me: ProcessId, coin_seed: u64) -> Self {
+        AnyUc::Mvc(ReducedMvc::new(
+            config,
+            me,
+            CoinMode::Common { seed: coin_seed },
+            u64::MAX,
+        ))
+    }
+}
+
+fn forward<M>(mut sub: Outbox<M>, out: &mut Outbox<AnyUcMsg>, wrap: impl Fn(M) -> AnyUcMsg) {
+    for (dest, m) in sub.drain() {
+        match dest {
+            Dest::All => out.broadcast(wrap(m)),
+            Dest::To(p) => out.send(p, wrap(m)),
+        }
+    }
+}
+
+impl UnderlyingConsensus<u64> for AnyUc {
+    type Msg = AnyUcMsg;
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyUc::Oracle(u) => u.name(),
+            AnyUc::Mvc(u) => u.name(),
+        }
+    }
+
+    fn propose(&mut self, value: u64, rng: &mut StdRng, out: &mut Outbox<AnyUcMsg>) {
+        match self {
+            AnyUc::Oracle(u) => {
+                let mut sub = Outbox::new();
+                u.propose(value, rng, &mut sub);
+                forward(sub, out, AnyUcMsg::Oracle);
+            }
+            AnyUc::Mvc(u) => {
+                let mut sub = Outbox::new();
+                u.propose(value, rng, &mut sub);
+                forward(sub, out, AnyUcMsg::Mvc);
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: AnyUcMsg,
+        rng: &mut StdRng,
+        out: &mut Outbox<AnyUcMsg>,
+    ) {
+        match (self, msg) {
+            (AnyUc::Oracle(u), AnyUcMsg::Oracle(m)) => {
+                let mut sub = Outbox::new();
+                u.on_message(from, m, rng, &mut sub);
+                forward(sub, out, AnyUcMsg::Oracle);
+            }
+            (AnyUc::Mvc(u), AnyUcMsg::Mvc(m)) => {
+                let mut sub = Outbox::new();
+                u.on_message(from, m, rng, &mut sub);
+                forward(sub, out, AnyUcMsg::Mvc);
+            }
+            // Cross-variant traffic can only come from Byzantine processes.
+            _ => {}
+        }
+    }
+
+    fn decision(&self) -> Option<&u64> {
+        match self {
+            AnyUc::Oracle(u) => u.decision(),
+            AnyUc::Mvc(u) => u.decision(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_variant_routes_messages() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let mut uc = AnyUc::oracle(cfg, ProcessId::new(1), ProcessId::new(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Outbox::new();
+        uc.propose(5, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(uc.name(), "oracle");
+        uc.on_message(
+            ProcessId::new(0),
+            AnyUcMsg::Oracle(OracleMsg::Decide(5)),
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(uc.decision(), Some(&5));
+    }
+
+    #[test]
+    fn mismatched_variant_traffic_is_dropped() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let mut uc = AnyUc::oracle(cfg, ProcessId::new(1), ProcessId::new(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Outbox::new();
+        // A Byzantine process sends MVC traffic at an oracle endpoint.
+        uc.on_message(
+            ProcessId::new(3),
+            AnyUcMsg::Mvc(MvcMsg::Prop(dex_broadcast::RbMessage::Init {
+                key: ProcessId::new(3),
+                value: 9,
+            })),
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(uc.decision(), None);
+    }
+
+    #[test]
+    fn mvc_variant_constructs() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let uc = AnyUc::mvc(cfg, ProcessId::new(0), 42);
+        assert_eq!(uc.name(), "mvc");
+        assert_eq!(uc.decision(), None);
+    }
+}

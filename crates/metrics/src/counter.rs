@@ -1,0 +1,134 @@
+//! Categorical frequency counts.
+
+use std::collections::BTreeMap;
+
+/// Frequency counts of categorical outcomes (e.g. decision paths).
+///
+/// Keys are kept in a `BTreeMap` so reports iterate in a stable order.
+///
+/// # Examples
+///
+/// ```
+/// use dex_metrics::Counter;
+/// let mut c = Counter::new();
+/// c.add("1-step");
+/// c.add("1-step");
+/// c.add("fallback");
+/// assert_eq!(c.count(&"1-step"), 2);
+/// assert!((c.fraction(&"1-step") - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counter<K: Ord> {
+    counts: BTreeMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Ord> Default for Counter<K> {
+    fn default() -> Self {
+        Counter {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Ord> Counter<K> {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn add(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `weight` occurrences of `key`.
+    pub fn add_n(&mut self, key: K, weight: u64) {
+        *self.counts.entry(key).or_insert(0) += weight;
+        self.total += weight;
+    }
+
+    /// Occurrences of `key`.
+    pub fn count(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total occurrences across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `count(key) / total`, or 0 when empty.
+    pub fn fraction(&self, key: &K) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count(key) as f64 / self.total as f64
+    }
+
+    /// Iterates over `(key, count)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, c)| (k, *c))
+    }
+
+    /// The most frequent key (smallest key on ties), if any.
+    pub fn mode(&self) -> Option<&K> {
+        self.counts
+            .iter()
+            .max_by(|(ka, ca), (kb, cb)| ca.cmp(cb).then_with(|| kb.cmp(ka)))
+            .map(|(k, _)| k)
+    }
+}
+
+impl<K: Ord> FromIterator<K> for Counter<K> {
+    fn from_iter<T: IntoIterator<Item = K>>(iter: T) -> Self {
+        let mut c = Counter::new();
+        for k in iter {
+            c.add(k);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_fractions() {
+        let c: Counter<&str> = ["a", "b", "a", "a"].into_iter().collect();
+        assert_eq!(c.count(&"a"), 3);
+        assert_eq!(c.count(&"b"), 1);
+        assert_eq!(c.count(&"z"), 0);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.fraction(&"a"), 0.75);
+        assert_eq!(c.fraction(&"z"), 0.0);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c: Counter<u8> = Counter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.fraction(&1), 0.0);
+        assert_eq!(c.mode(), None);
+    }
+
+    #[test]
+    fn mode_breaks_ties_toward_smaller_key() {
+        let mut c = Counter::new();
+        c.add_n(2u8, 5);
+        c.add_n(1u8, 5);
+        assert_eq!(c.mode(), Some(&1));
+        c.add(2);
+        assert_eq!(c.mode(), Some(&2));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let c: Counter<u8> = [3, 1, 2, 1].into_iter().collect();
+        let keys: Vec<u8> = c.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+}

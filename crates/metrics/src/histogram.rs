@@ -1,0 +1,144 @@
+//! Integer-bucket histograms with ASCII rendering.
+
+use std::collections::BTreeMap;
+
+/// A histogram over small non-negative integer outcomes (step counts,
+/// rounds), with an ASCII bar renderer for the figure binaries.
+///
+/// # Examples
+///
+/// ```
+/// use dex_metrics::Histogram;
+/// let mut h = Histogram::new();
+/// h.add(1);
+/// h.add(1);
+/// h.add(4);
+/// assert_eq!(h.count(1), 2);
+/// assert!((h.mean() - 2.0).abs() < 1e-12);
+/// assert!(h.render(10).contains('#'));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: u32) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Occurrences of `value`.
+    pub fn count(&self, value: u32) -> u64 {
+        self.buckets.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.buckets.iter().map(|(v, c)| u64::from(*v) * c).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The largest observed value.
+    pub fn max(&self) -> Option<u32> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in &other.buckets {
+            *self.buckets.entry(*v).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Renders horizontal ASCII bars, one line per bucket, scaled so the
+    /// fullest bucket spans `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let peak = self.buckets.values().copied().max().unwrap_or(0).max(1);
+        for (value, count) in &self.buckets {
+            let bar = (count * width as u64).div_ceil(peak) as usize;
+            out.push_str(&format!(
+                "{value:>4} | {:<width$} {count} ({:.1}%)\n",
+                "#".repeat(bar),
+                100.0 * *count as f64 / self.total.max(1) as f64,
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<u32> for Histogram {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<u32> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_mean() {
+        let h: Histogram = [1, 1, 2, 4].into_iter().collect();
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.max(), Some(4));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.render(10), "");
+    }
+
+    #[test]
+    fn render_scales_to_peak() {
+        let h: Histogram = [1, 1, 1, 1, 2].into_iter().collect();
+        let text = h.render(20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].matches('#').count() == 20, "{text}");
+        assert!(lines[1].matches('#').count() < 20);
+        assert!(lines[0].contains("80.0%"));
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let mut a: Histogram = [1, 2].into_iter().collect();
+        let b: Histogram = [2, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Convenience KV-cluster runner (the common case of
+//! [`run_generic_cluster`](crate::run_generic_cluster)).
+
+use crate::command::Command;
+use crate::kvstore::KvStore;
+use crate::replica::{run_generic_cluster, GenericClusterOptions, GenericClusterOutcome};
+use dex_types::SystemConfig;
+
+/// Options for [`run_cluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterOptions {
+    /// System size and fault bound (`n > 6t` — replicas run DEX-freq).
+    pub config: SystemConfig,
+    /// Per-replica client-request queues (index = replica id).
+    pub pending: Vec<Vec<Command>>,
+    /// Number of log slots to commit.
+    pub target_slots: u64,
+    /// Indices of Byzantine replicas (at most `t`; `0` must stay correct).
+    pub byzantine: Vec<usize>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Result of a KV-cluster run.
+pub type ClusterOutcome = GenericClusterOutcome<Command>;
+
+/// Builds and runs a replicated-KV cluster to quiescence. Byzantine
+/// replicas equivocate between two recognisable poison commands
+/// (`put(666,666)` / `put(999,999)`), which the tests use to confirm
+/// forged proposals never commit.
+///
+/// # Panics
+///
+/// Same conditions as [`run_generic_cluster`].
+pub fn run_cluster(options: ClusterOptions) -> ClusterOutcome {
+    run_generic_cluster::<KvStore>(GenericClusterOptions {
+        config: options.config,
+        pending: options.pending,
+        target_slots: options.target_slots,
+        byzantine: options.byzantine,
+        byz_values: vec![Command::put(666, 666), Command::put(999, 999)],
+        seed: options.seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(7, 1).unwrap()
+    }
+
+    #[test]
+    fn uncontended_cluster_commits_on_the_fast_path() {
+        let requests = vec![Command::put(1, 10), Command::add(1, 5), Command::delete(2)];
+        let outcome = run_cluster(ClusterOptions {
+            config: cfg(),
+            pending: vec![requests.clone(); 7],
+            target_slots: 3,
+            byzantine: vec![],
+            seed: 42,
+        });
+        assert!(outcome.converged());
+        let log = outcome.logs[0].clone().unwrap();
+        assert_eq!(log, requests);
+        // Identical queues ⇒ unanimous proposals ⇒ all one-step.
+        assert_eq!(outcome.one_step_fraction(), 1.0);
+    }
+
+    #[test]
+    fn contended_cluster_still_converges() {
+        // Every replica observed the requests in a different order.
+        let base = [
+            Command::put(1, 10),
+            Command::put(2, 20),
+            Command::add(1, 1),
+            Command::delete(2),
+        ];
+        let pending: Vec<Vec<Command>> = (0..7)
+            .map(|i| {
+                let mut v = base.to_vec();
+                v.rotate_left(i % base.len());
+                v
+            })
+            .collect();
+        for seed in 0..5 {
+            let outcome = run_cluster(ClusterOptions {
+                config: cfg(),
+                pending: pending.clone(),
+                target_slots: 4,
+                byzantine: vec![],
+                seed,
+            });
+            assert!(outcome.converged(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn byzantine_replica_cannot_diverge_the_cluster() {
+        let requests = vec![Command::put(1, 1), Command::put(2, 2), Command::put(3, 3)];
+        for seed in 0..5 {
+            let outcome = run_cluster(ClusterOptions {
+                config: cfg(),
+                pending: vec![requests.clone(); 7],
+                target_slots: 3,
+                byzantine: vec![6],
+                seed,
+            });
+            assert!(outcome.converged(), "seed {seed}");
+            // The forged 666/999 commands never enter the log: they are
+            // only ever proposed by the Byzantine replica.
+            let log = outcome.logs[0].clone().unwrap();
+            assert!(
+                !log.contains(&Command::put(666, 666)),
+                "seed {seed}: {log:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_queues_fill_slots_with_noops() {
+        let outcome = run_cluster(ClusterOptions {
+            config: cfg(),
+            pending: vec![vec![]; 7],
+            target_slots: 2,
+            byzantine: vec![],
+            seed: 7,
+        });
+        assert!(outcome.converged());
+        assert_eq!(
+            outcome.logs[0].clone().unwrap(),
+            vec![Command::Noop, Command::Noop]
+        );
+    }
+}

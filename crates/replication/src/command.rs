@@ -1,0 +1,98 @@
+//! Replicated commands.
+
+use core::fmt;
+
+/// An operation on the replicated key-value store.
+///
+/// Commands are DEX proposal values, so they carry the full
+/// [`Value`](dex_types::Value) trait bundle (ordered, hashable, cloneable).
+/// `Noop` exists so a replica with an empty request queue can still
+/// propose something for a slot (consensus needs a value from everyone).
+///
+/// # Examples
+///
+/// ```
+/// use dex_replication::Command;
+/// let c = Command::put(3, 99);
+/// assert_eq!(c.to_string(), "put(3=99)");
+/// assert!(Command::Noop < c);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Command {
+    /// Do nothing (empty slot).
+    #[default]
+    Noop,
+    /// Delete a key.
+    Delete {
+        /// The key to remove.
+        key: u64,
+    },
+    /// Write `value` under `key`.
+    Put {
+        /// The key.
+        key: u64,
+        /// The value.
+        value: u64,
+    },
+    /// Add `delta` to the value under `key` (missing keys count as 0) —
+    /// a non-commutative-with-Put operation, so ordering mistakes between
+    /// replicas are visible in the digest.
+    Add {
+        /// The key.
+        key: u64,
+        /// The increment.
+        delta: u64,
+    },
+}
+
+impl Command {
+    /// Convenience constructor for [`Command::Put`].
+    pub const fn put(key: u64, value: u64) -> Self {
+        Command::Put { key, value }
+    }
+
+    /// Convenience constructor for [`Command::Add`].
+    pub const fn add(key: u64, delta: u64) -> Self {
+        Command::Add { key, delta }
+    }
+
+    /// Convenience constructor for [`Command::Delete`].
+    pub const fn delete(key: u64) -> Self {
+        Command::Delete { key }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Noop => write!(f, "noop"),
+            Command::Delete { key } => write!(f, "del({key})"),
+            Command::Put { key, value } => write!(f, "put({key}={value})"),
+            Command::Add { key, delta } => write!(f, "add({key}+={delta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_are_consensus_values() {
+        fn assert_value<V: dex_types::Value>() {}
+        assert_value::<Command>();
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Command::Noop.to_string(), "noop");
+        assert_eq!(Command::put(1, 2).to_string(), "put(1=2)");
+        assert_eq!(Command::add(1, 2).to_string(), "add(1+=2)");
+        assert_eq!(Command::delete(7).to_string(), "del(7)");
+    }
+
+    #[test]
+    fn default_is_noop() {
+        assert_eq!(Command::default(), Command::Noop);
+    }
+}

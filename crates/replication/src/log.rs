@@ -1,0 +1,154 @@
+//! The slot-indexed replicated log.
+
+use dex_types::Value;
+
+/// A commit log: slot `s` holds the command consensus instance `s` decided.
+/// Slots may commit out of order (instances run concurrently); commands are
+/// *applied* strictly in order via [`next_applicable`](Self::next_applicable).
+///
+/// # Examples
+///
+/// ```
+/// use dex_replication::ReplicatedLog;
+/// let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
+/// log.commit(1, 20); // slot 1 decides before slot 0
+/// assert_eq!(log.next_applicable(), None);
+/// log.commit(0, 10);
+/// assert_eq!(log.next_applicable(), Some(&10));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplicatedLog<V> {
+    slots: Vec<Option<V>>,
+    applied: usize,
+}
+
+impl<V: Value> Default for ReplicatedLog<V> {
+    fn default() -> Self {
+        ReplicatedLog {
+            slots: Vec::new(),
+            applied: 0,
+        }
+    }
+}
+
+impl<V: Value> ReplicatedLog<V> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ReplicatedLog::default()
+    }
+
+    /// Records the decision of slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already committed with a *different* value —
+    /// that would be an agreement violation and must never be papered over.
+    pub fn commit(&mut self, slot: usize, value: V) {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, None);
+        }
+        match &self.slots[slot] {
+            Some(existing) => assert_eq!(
+                existing, &value,
+                "slot {slot} double-committed with different values"
+            ),
+            None => self.slots[slot] = Some(value),
+        }
+    }
+
+    /// Whether `slot` has committed.
+    pub fn is_committed(&self, slot: usize) -> bool {
+        self.slots.get(slot).is_some_and(Option::is_some)
+    }
+
+    /// The committed value of `slot`, if any.
+    pub fn get(&self, slot: usize) -> Option<&V> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Number of committed slots in the contiguous prefix.
+    pub fn committed_prefix(&self) -> usize {
+        self.slots.iter().take_while(|s| s.is_some()).count()
+    }
+
+    /// Number of slots applied to the state machine so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// The next command ready to apply in order, if its slot committed.
+    /// Call [`mark_applied`](Self::mark_applied) after applying it.
+    pub fn next_applicable(&self) -> Option<&V> {
+        self.slots.get(self.applied).and_then(Option::as_ref)
+    }
+
+    /// Advances the applied cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current slot has not committed yet.
+    pub fn mark_applied(&mut self) {
+        assert!(
+            self.is_committed(self.applied),
+            "cannot apply an uncommitted slot"
+        );
+        self.applied += 1;
+    }
+
+    /// The contiguous committed prefix as a vector (for cross-replica
+    /// comparison).
+    pub fn prefix(&self) -> Vec<V> {
+        self.slots
+            .iter()
+            .take_while(|s| s.is_some())
+            .map(|s| s.clone().expect("prefix is committed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_commit_in_order_apply() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
+        log.commit(2, 30);
+        assert_eq!(log.committed_prefix(), 0);
+        assert_eq!(log.next_applicable(), None);
+        log.commit(0, 10);
+        log.commit(1, 20);
+        assert_eq!(log.committed_prefix(), 3);
+        assert_eq!(log.next_applicable(), Some(&10));
+        log.mark_applied();
+        assert_eq!(log.next_applicable(), Some(&20));
+        log.mark_applied();
+        log.mark_applied();
+        assert_eq!(log.applied(), 3);
+        assert_eq!(log.next_applicable(), None);
+        assert_eq!(log.prefix(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn idempotent_recommit_is_fine() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
+        log.commit(0, 5);
+        log.commit(0, 5);
+        assert_eq!(log.get(0), Some(&5));
+    }
+
+    #[test]
+    #[should_panic(expected = "double-committed")]
+    fn conflicting_recommit_panics() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
+        log.commit(0, 5);
+        log.commit(0, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncommitted")]
+    fn premature_apply_panics() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
+        log.mark_applied();
+    }
+}

@@ -1,0 +1,472 @@
+//! The replica actor: one DEX instance per log slot, generic over the
+//! replicated [`StateMachine`].
+
+use crate::log::ReplicatedLog;
+use crate::machine::StateMachine;
+use dex_adversary::{ByzantineActor, ByzantineStrategy, ProtocolForgery};
+use dex_conditions::FrequencyPair;
+use dex_core::{DecisionPath, DexMsg, DexProcess};
+use dex_simnet::{Actor, Context, DelayModel, Simulation};
+use dex_types::{ProcessId, StepDepth, SystemConfig, Value};
+use dex_underlying::{Dest, OracleConsensus, OracleMsg, Outbox};
+use std::collections::{HashMap, VecDeque};
+
+/// Per-slot DEX wire messages for command type `C`.
+pub type SlotMsg<C> = DexMsg<C, OracleMsg<C>>;
+
+/// Cluster wire messages: slot-tagged DEX traffic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplicaMsg<C> {
+    /// The log slot this message belongs to.
+    pub slot: u64,
+    /// The DEX message for that slot's instance.
+    pub inner: SlotMsg<C>,
+}
+
+impl<C: Value> ProtocolForgery for ReplicaMsg<C> {
+    type Value = C;
+
+    /// A Byzantine replica opens the first few slots with its own
+    /// (possibly equivocated) proposals.
+    fn forge_proposal(me: ProcessId, _to: ProcessId, value: C) -> Vec<Self> {
+        (0..4)
+            .flat_map(|slot| {
+                [
+                    ReplicaMsg {
+                        slot,
+                        inner: DexMsg::Proposal(value.clone()),
+                    },
+                    ReplicaMsg {
+                        slot,
+                        inner: DexMsg::Idb(dex_broadcast::IdbMessage::Init {
+                            key: me,
+                            value: value.clone(),
+                        }),
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    /// Poison the two-step channel of whichever slot instance it observes
+    /// being opened (inits only — keeps traffic finite).
+    fn forge_reaction(_me: ProcessId, observed: &Self, _to: ProcessId, value: C) -> Vec<Self> {
+        match &observed.inner {
+            DexMsg::Idb(dex_broadcast::IdbMessage::Init { key, .. }) => vec![ReplicaMsg {
+                slot: observed.slot,
+                inner: DexMsg::Idb(dex_broadcast::IdbMessage::Echo { key: *key, value }),
+            }],
+            _ => Vec::new(),
+        }
+    }
+}
+
+type SlotInstance<C> = DexProcess<C, FrequencyPair, OracleConsensus<C>>;
+
+/// How one slot decided at one replica.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlotPath {
+    /// The slot.
+    pub slot: u64,
+    /// Which DEX mechanism decided it.
+    pub path: DecisionPath,
+    /// Causal depth of the decision message.
+    pub depth: StepDepth,
+}
+
+/// A correct replica: sequential multi-slot DEX, a replicated log and the
+/// state machine `SM`.
+///
+/// The replica proposes for slot `s + 1` once slot `s` has decided locally;
+/// its proposal is the first pending client command not yet in the
+/// committed prefix, or the default ("noop") command when the queue is
+/// empty. Messages for not-yet-proposed slots are processed immediately
+/// (instances are created on demand), so a slow replica still helps fast
+/// ones commit.
+pub struct Replica<SM: StateMachine> {
+    config: SystemConfig,
+    me: ProcessId,
+    coordinator: ProcessId,
+    pending: VecDeque<SM::Command>,
+    target_slots: u64,
+    instances: HashMap<u64, SlotInstance<SM::Command>>,
+    log: ReplicatedLog<SM::Command>,
+    machine: SM,
+    paths: Vec<SlotPath>,
+    next_to_propose: u64,
+}
+
+impl<SM: StateMachine> Replica<SM> {
+    /// Creates a replica with its locally observed client requests.
+    pub fn new(
+        config: SystemConfig,
+        me: ProcessId,
+        coordinator: ProcessId,
+        pending: Vec<SM::Command>,
+        target_slots: u64,
+    ) -> Self {
+        Replica {
+            config,
+            me,
+            coordinator,
+            pending: pending.into(),
+            target_slots,
+            instances: HashMap::new(),
+            log: ReplicatedLog::new(),
+            machine: SM::default(),
+            paths: Vec::new(),
+            next_to_propose: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The committed log.
+    pub fn log(&self) -> &ReplicatedLog<SM::Command> {
+        &self.log
+    }
+
+    /// The applied state machine.
+    pub fn machine(&self) -> &SM {
+        &self.machine
+    }
+
+    /// Decision paths per slot, in decision order.
+    pub fn paths(&self) -> &[SlotPath] {
+        &self.paths
+    }
+
+    fn instance(&mut self, slot: u64) -> &mut SlotInstance<SM::Command> {
+        let (config, me, coordinator) = (self.config, self.me, self.coordinator);
+        self.instances.entry(slot).or_insert_with(|| {
+            DexProcess::new(
+                config,
+                me,
+                FrequencyPair::new(config).expect("n > 6t checked by cluster builder"),
+                OracleConsensus::new(config, me, coordinator),
+            )
+        })
+    }
+
+    /// Picks the proposal for a slot: first pending command not already
+    /// committed somewhere in the log prefix.
+    fn next_proposal(&mut self) -> SM::Command {
+        let prefix = self.log.prefix();
+        while let Some(cmd) = self.pending.front().cloned() {
+            if prefix.contains(&cmd) {
+                self.pending.pop_front();
+            } else {
+                return cmd;
+            }
+        }
+        SM::Command::default()
+    }
+
+    fn propose_due_slots(&mut self, ctx: &mut Context<'_, ReplicaMsg<SM::Command>>) {
+        // Propose slot s when all slots < s have decided locally.
+        while self.next_to_propose < self.target_slots
+            && (self.next_to_propose == 0
+                || self
+                    .instances
+                    .get(&(self.next_to_propose - 1))
+                    .is_some_and(|i| i.decision().is_some()))
+        {
+            let slot = self.next_to_propose;
+            self.next_to_propose += 1;
+            let proposal = self.next_proposal();
+            let mut out = Outbox::new();
+            self.instance(slot).propose(proposal, ctx.rng(), &mut out);
+            flush_slot(slot, out, ctx);
+        }
+    }
+
+    fn apply_ready(&mut self) {
+        while let Some(cmd) = self.log.next_applicable().cloned() {
+            self.machine.apply(&cmd);
+            self.log.mark_applied();
+        }
+    }
+}
+
+fn flush_slot<C: Value>(
+    slot: u64,
+    mut out: Outbox<SlotMsg<C>>,
+    ctx: &mut Context<'_, ReplicaMsg<C>>,
+) {
+    for (dest, inner) in out.drain() {
+        let msg = ReplicaMsg { slot, inner };
+        match dest {
+            Dest::All => ctx.broadcast(msg),
+            Dest::To(p) => ctx.send(p, msg),
+        }
+    }
+}
+
+impl<SM: StateMachine> Actor for Replica<SM> {
+    type Msg = ReplicaMsg<SM::Command>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.propose_due_slots(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        let slot = msg.slot;
+        if slot >= self.target_slots {
+            return; // Byzantine traffic beyond the agreed horizon
+        }
+        let mut out = Outbox::new();
+        let decision = {
+            let instance = self.instance(slot);
+            instance.on_message(from, msg.inner, ctx.rng(), &mut out)
+        };
+        flush_slot(slot, out, ctx);
+        if let Some(d) = decision {
+            self.log.commit(slot as usize, d.value.clone());
+            self.paths.push(SlotPath {
+                slot,
+                path: d.path,
+                depth: ctx.depth(),
+            });
+            // Drop the command we proposed if it just committed.
+            if self.pending.front() == Some(&d.value) {
+                self.pending.pop_front();
+            }
+            self.apply_ready();
+            self.propose_due_slots(ctx);
+        }
+    }
+}
+
+/// A cluster node: correct replica or Byzantine process.
+pub enum Node<SM: StateMachine> {
+    /// Correct replica.
+    Correct(Replica<SM>),
+    /// Byzantine replica (equivocates on the first slots and poisons
+    /// whatever instances it observes).
+    Byz(ByzantineActor<ReplicaMsg<SM::Command>>),
+}
+
+impl<SM: StateMachine> Actor for Node<SM> {
+    type Msg = ReplicaMsg<SM::Command>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            Node::Correct(r) => r.on_start(ctx),
+            Node::Byz(b) => b.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            Node::Correct(r) => r.on_message(from, msg, ctx),
+            Node::Byz(b) => b.on_message(from, msg, ctx),
+        }
+    }
+}
+
+/// Options for [`run_generic_cluster`] (see also `run_cluster` in the
+/// crate root for the KV special case).
+#[derive(Clone, Debug)]
+pub struct GenericClusterOptions<C> {
+    /// System size and fault bound (`n > 6t` — replicas run DEX-freq).
+    pub config: SystemConfig,
+    /// Per-replica client-request queues (index = replica id).
+    pub pending: Vec<Vec<C>>,
+    /// Number of log slots to commit.
+    pub target_slots: u64,
+    /// Indices of Byzantine replicas (at most `t`; `0` must stay correct —
+    /// it coordinates the oracle fallback).
+    pub byzantine: Vec<usize>,
+    /// Values the Byzantine replicas equivocate between (ignored when
+    /// `byzantine` is empty; must be non-empty otherwise).
+    pub byz_values: Vec<C>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Result of a cluster run, generic over the state machine.
+#[derive(Clone, Debug)]
+pub struct GenericClusterOutcome<C> {
+    /// Committed log prefix per replica (`None` for Byzantine replicas).
+    pub logs: Vec<Option<Vec<C>>>,
+    /// State digest per replica (`None` for Byzantine replicas).
+    pub digests: Vec<Option<u64>>,
+    /// Decision paths per replica.
+    pub paths: Vec<Vec<SlotPath>>,
+    /// Whether the simulation drained.
+    pub quiescent: bool,
+}
+
+impl<C: Value> GenericClusterOutcome<C> {
+    /// Whether all correct replicas committed the full target prefix with
+    /// identical logs and identical state digests.
+    pub fn converged(&self) -> bool {
+        let mut logs = self.logs.iter().flatten();
+        let Some(first) = logs.next() else {
+            return false;
+        };
+        self.quiescent
+            && logs.all(|l| l == first)
+            && self
+                .digests
+                .iter()
+                .flatten()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == 1
+    }
+
+    /// Fraction of slot decisions (across correct replicas) on the
+    /// one-step path.
+    pub fn one_step_fraction(&self) -> f64 {
+        let total: usize = self.paths.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let one: usize = self
+            .paths
+            .iter()
+            .flatten()
+            .filter(|p| p.path == DecisionPath::OneStep)
+            .count();
+        one as f64 / total as f64
+    }
+}
+
+/// Builds and runs a cluster of `Replica<SM>` to quiescence.
+///
+/// # Panics
+///
+/// Panics if the options are inconsistent (pending queues vs `n`, more than
+/// `t` Byzantine replicas, replica 0 Byzantine, `n ≤ 6t`, or Byzantine
+/// replicas without `byz_values`) or if a correct replica fails to commit
+/// the full prefix (a liveness bug).
+pub fn run_generic_cluster<SM: StateMachine>(
+    options: GenericClusterOptions<SM::Command>,
+) -> GenericClusterOutcome<SM::Command> {
+    let cfg = options.config;
+    assert!(
+        cfg.supports_frequency_pair(),
+        "replicas run DEX-freq: n > 6t"
+    );
+    assert_eq!(options.pending.len(), cfg.n(), "one queue per replica");
+    assert!(options.byzantine.len() <= cfg.t(), "at most t Byzantine");
+    assert!(!options.byzantine.contains(&0), "p0 coordinates the oracle");
+    assert!(
+        options.byzantine.is_empty() || !options.byz_values.is_empty(),
+        "byzantine replicas need values to push"
+    );
+
+    let nodes: Vec<Node<SM>> = options
+        .pending
+        .iter()
+        .enumerate()
+        .map(|(i, queue)| {
+            if options.byzantine.contains(&i) {
+                Node::Byz(ByzantineActor::new(ByzantineStrategy::EchoPoison {
+                    values: options.byz_values.clone(),
+                }))
+            } else {
+                Node::Correct(Replica::new(
+                    cfg,
+                    ProcessId::new(i),
+                    ProcessId::new(0),
+                    queue.clone(),
+                    options.target_slots,
+                ))
+            }
+        })
+        .collect();
+
+    let mut sim = Simulation::new(nodes, options.seed, DelayModel::Uniform { min: 1, max: 10 });
+    let run = sim.run(50_000_000);
+
+    let mut logs = Vec::new();
+    let mut digests = Vec::new();
+    let mut paths = Vec::new();
+    for node in sim.actors() {
+        match node {
+            Node::Correct(r) => {
+                assert_eq!(
+                    r.log().committed_prefix(),
+                    options.target_slots as usize,
+                    "replica {} missed slots",
+                    r.me
+                );
+                logs.push(Some(r.log().prefix()));
+                digests.push(Some(r.machine().digest()));
+                paths.push(r.paths().to_vec());
+            }
+            Node::Byz(_) => {
+                logs.push(None);
+                digests.push(None);
+                paths.push(Vec::new());
+            }
+        }
+    }
+    GenericClusterOutcome {
+        logs,
+        digests,
+        paths,
+        quiescent: run.quiescent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::TotalOrder;
+    use crate::Command;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(7, 1).unwrap()
+    }
+
+    #[test]
+    fn total_order_broadcast_delivers_identically() {
+        // Atomic broadcast: arbitrary u64 payloads, every correct replica
+        // delivers the same sequence.
+        let payloads: Vec<u64> = vec![901, 902, 903, 904];
+        let pending: Vec<Vec<u64>> = (0..7)
+            .map(|i| {
+                let mut p = payloads.clone();
+                let len = p.len();
+                p.rotate_left(i % len);
+                p
+            })
+            .collect();
+        for seed in 0..5 {
+            let outcome = run_generic_cluster::<TotalOrder<u64>>(GenericClusterOptions {
+                config: cfg(),
+                pending: pending.clone(),
+                target_slots: 4,
+                byzantine: vec![6],
+                byz_values: vec![666, 999],
+                seed,
+            });
+            assert!(outcome.converged(), "seed {seed}: {:?}", outcome.logs);
+            let delivered = outcome.logs[0].clone().unwrap();
+            assert_eq!(delivered.len(), 4);
+            for p in &delivered {
+                assert!(payloads.contains(p) || *p == 0, "foreign payload {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_and_kv_runners_share_machinery() {
+        let outcome = run_generic_cluster::<crate::KvStore>(GenericClusterOptions {
+            config: cfg(),
+            pending: vec![vec![Command::put(5, 50)]; 7],
+            target_slots: 1,
+            byzantine: vec![],
+            byz_values: vec![],
+            seed: 3,
+        });
+        assert!(outcome.converged());
+        assert_eq!(outcome.logs[0].clone().unwrap(), vec![Command::put(5, 50)]);
+    }
+}

@@ -1,0 +1,177 @@
+//! The actor abstraction and the per-delivery context handed to actors.
+
+use crate::time::Time;
+use dex_types::{ProcessId, StepDepth};
+use rand::rngs::StdRng;
+
+/// A process state machine driven by message deliveries.
+///
+/// Correct processes implement the protocol under test; Byzantine processes
+/// are actors implementing an adversarial strategy (see the `dex-adversary`
+/// crate). The simulator calls [`on_start`](Actor::on_start) exactly once per
+/// actor before any delivery, then [`on_message`](Actor::on_message) for each
+/// delivered message, in virtual-time order.
+///
+/// Actors must be deterministic given the context's seeded RNG; this is what
+/// makes whole simulations replayable from a seed.
+pub trait Actor {
+    /// The message type exchanged by this system of actors.
+    type Msg: Clone + core::fmt::Debug + Send + 'static;
+
+    /// Called once at time zero, before any message is delivered. Initial
+    /// sends from here carry causal depth 1 (the first communication step).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called for each delivered message. Sends from here carry depth
+    /// `ctx.depth() + 1`.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+}
+
+/// Everything an actor may observe and do while handling one delivery.
+///
+/// Outgoing messages are buffered and dispatched by the simulator after the
+/// handler returns, with per-message delays sampled from the simulation's
+/// [`DelayModel`](crate::DelayModel).
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    me: ProcessId,
+    n: usize,
+    now: Time,
+    depth: StepDepth,
+    rng: &'a mut StdRng,
+    outbox: Vec<(ProcessId, M)>,
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    pub(crate) fn new(
+        me: ProcessId,
+        n: usize,
+        now: Time,
+        depth: StepDepth,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        Context {
+            me,
+            n,
+            now,
+            depth,
+            rng,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Builds a context for an **external runtime** (e.g. the threaded
+    /// runtime in `dex-threadnet`) that drives [`Actor`]s outside this
+    /// simulator. The runtime is responsible for supplying a coherent
+    /// `(now, depth)` pair and for dispatching the outbox afterwards via
+    /// [`take_outbox`](Self::take_outbox).
+    pub fn external(
+        me: ProcessId,
+        n: usize,
+        now: Time,
+        depth: StepDepth,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        Context::new(me, n, now, depth, rng)
+    }
+
+    /// Drains the buffered sends — the external-runtime counterpart of the
+    /// simulator's internal dispatch.
+    pub fn take_outbox(&mut self) -> Vec<(ProcessId, M)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// This actor's process id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The causal depth of the message being handled ([`StepDepth::ZERO`]
+    /// inside [`Actor::on_start`]). Messages sent now will carry
+    /// `self.depth().next()`.
+    pub fn depth(&self) -> StepDepth {
+        self.depth
+    }
+
+    /// Sends `msg` to a single process. Sending to oneself is allowed and
+    /// goes through the network like any other message (the paper's
+    /// broadcasts include the sender).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to **every** process, including this one.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.n {
+            self.outbox.push((ProcessId::new(i), msg.clone()));
+        }
+    }
+
+    /// Sends `msg` to every process except this one.
+    pub fn broadcast_others(&mut self, msg: M) {
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.outbox.push((ProcessId::new(i), msg.clone()));
+            }
+        }
+    }
+
+    /// The deterministic per-simulation RNG (shared by all actors; use for
+    /// randomized protocols such as coin flips).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    pub(crate) fn into_outbox(self) -> Vec<(ProcessId, M)> {
+        self.outbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_sends() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx: Context<'_, u8> =
+            Context::new(ProcessId::new(1), 3, Time::ZERO, StepDepth::ZERO, &mut rng);
+        assert_eq!(ctx.me(), ProcessId::new(1));
+        assert_eq!(ctx.n(), 3);
+        ctx.send(ProcessId::new(0), 9);
+        ctx.broadcast(7);
+        ctx.broadcast_others(5);
+        let out = ctx.into_outbox();
+        assert_eq!(out.len(), 1 + 3 + 2);
+        assert_eq!(out[0], (ProcessId::new(0), 9));
+        // broadcast includes self…
+        assert!(out[1..4].iter().any(|(to, _)| *to == ProcessId::new(1)));
+        // …broadcast_others does not.
+        assert!(out[4..].iter().all(|(to, _)| *to != ProcessId::new(1)));
+    }
+
+    #[test]
+    fn context_exposes_time_and_depth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ctx: Context<'_, u8> = Context::new(
+            ProcessId::new(0),
+            1,
+            Time::new(44),
+            StepDepth::new(2),
+            &mut rng,
+        );
+        assert_eq!(ctx.now(), Time::new(44));
+        assert_eq!(ctx.depth(), StepDepth::new(2));
+    }
+}

@@ -1,0 +1,207 @@
+//! Message delay models.
+
+use dex_types::ProcessId;
+use rand::{Rng, RngExt};
+
+/// How long a message takes from send to delivery, in virtual time units.
+///
+/// All models produce strictly positive delays, so causality is preserved
+/// (a reaction is never delivered at the same instant as its cause). The
+/// asynchronous model allows *any* finite delay; the models here let
+/// experiments explore well-behaved runs (small jitter) as well as heavily
+/// skewed ones.
+///
+/// # Examples
+///
+/// ```
+/// use dex_simnet::DelayModel;
+/// use dex_types::ProcessId;
+/// let model = DelayModel::Uniform { min: 5, max: 15 };
+/// let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+/// let d = model.sample(&mut rng, ProcessId::new(0), ProcessId::new(1));
+/// assert!((5..=15).contains(&d));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum DelayModel {
+    /// Every message takes exactly this many units (synchronous lockstep —
+    /// useful for step-exact unit tests).
+    Constant(u64),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Minimum delay (≥ 1 is enforced at sampling time).
+        min: u64,
+        /// Maximum delay (inclusive).
+        max: u64,
+    },
+    /// Geometric approximation of an exponential with the given mean —
+    /// occasionally produces very long tails, as asynchrony permits.
+    Exponential {
+        /// Mean delay.
+        mean: u64,
+    },
+    /// A base model with a set of *slow* processes: any message sent **by**
+    /// a slow process is stretched by `factor`. This simulates slow-but-
+    /// correct processes, important for adaptiveness experiments (a view can
+    /// be missing entries from slow correct processes, not only from faulty
+    /// ones).
+    Skewed {
+        /// Model applied to ordinary messages.
+        base: Box<DelayModel>,
+        /// Processes whose outgoing messages are slowed.
+        slow: Vec<ProcessId>,
+        /// Multiplier applied to slow senders' delays.
+        factor: u64,
+    },
+    /// A base model with explicit per-link overrides — the *scheduling
+    /// adversary*: asynchrony lets an adversary pick any finite delay for
+    /// any link, and targeted link slowdowns are how one starves a specific
+    /// process of specific views.
+    Targeted {
+        /// Model applied to non-overridden links.
+        base: Box<DelayModel>,
+        /// `(from, to, fixed_delay)` overrides.
+        links: Vec<(ProcessId, ProcessId, u64)>,
+    },
+}
+
+impl DelayModel {
+    /// Samples the delay of one message from `from` to `to`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, from: ProcessId, to: ProcessId) -> u64 {
+        let raw = match self {
+            DelayModel::Constant(units) => (*units).max(1),
+            DelayModel::Uniform { min, max } => {
+                let lo = (*min).max(1);
+                let hi = (*max).max(lo);
+                rng.random_range(lo..=hi)
+            }
+            DelayModel::Exponential { mean } => {
+                // Inverse-transform sampling, clamped to [1, 50 * mean].
+                let mean = (*mean).max(1) as f64;
+                let u: f64 = rng.random_range(0.0_f64..1.0).max(1e-12);
+                let d = (-u.ln() * mean).ceil() as u64;
+                d.clamp(1, (mean as u64) * 50)
+            }
+            DelayModel::Skewed { base, slow, factor } => {
+                let d = base.sample(rng, from, to);
+                if slow.contains(&from) {
+                    d.saturating_mul((*factor).max(1))
+                } else {
+                    d
+                }
+            }
+            DelayModel::Targeted { base, links } => links
+                .iter()
+                .find(|(f, t, _)| *f == from && *t == to)
+                .map(|(_, _, d)| (*d).max(1))
+                .unwrap_or_else(|| base.sample(rng, from, to)),
+        };
+        raw.max(1)
+    }
+}
+
+impl Default for DelayModel {
+    /// A mildly jittered network: uniform in `[1, 10]`.
+    fn default() -> Self {
+        DelayModel::Uniform { min: 1, max: 10 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant_and_positive() {
+        let m = DelayModel::Constant(0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = DelayModel::Uniform { min: 3, max: 9 };
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = m.sample(&mut r, ProcessId::new(0), ProcessId::new(1));
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let m = DelayModel::Uniform { min: 0, max: 0 };
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)), 1);
+    }
+
+    #[test]
+    fn exponential_is_positive_and_bounded() {
+        let m = DelayModel::Exponential { mean: 10 };
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = m.sample(&mut r, ProcessId::new(0), ProcessId::new(1));
+            assert!(d >= 1);
+            assert!(d <= 500);
+        }
+    }
+
+    #[test]
+    fn skewed_slows_only_slow_senders() {
+        let m = DelayModel::Skewed {
+            base: Box::new(DelayModel::Constant(4)),
+            slow: vec![ProcessId::new(2)],
+            factor: 10,
+        };
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)), 4);
+        assert_eq!(m.sample(&mut r, ProcessId::new(2), ProcessId::new(1)), 40);
+    }
+
+    #[test]
+    fn targeted_overrides_specific_links_only() {
+        let m = DelayModel::Targeted {
+            base: Box::new(DelayModel::Constant(2)),
+            links: vec![(ProcessId::new(0), ProcessId::new(1), 100)],
+        };
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)), 100);
+        assert_eq!(m.sample(&mut r, ProcessId::new(1), ProcessId::new(0)), 2);
+        assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(2)), 2);
+    }
+
+    #[test]
+    fn targeted_zero_override_is_clamped() {
+        let m = DelayModel::Targeted {
+            base: Box::new(DelayModel::Constant(2)),
+            links: vec![(ProcessId::new(0), ProcessId::new(1), 0)],
+        };
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)), 1);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let m = DelayModel::Uniform { min: 1, max: 100 };
+        let seq1: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..50)
+                .map(|_| m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)))
+                .collect()
+        };
+        let seq2: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..50)
+                .map(|_| m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)))
+                .collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+}

@@ -1,0 +1,408 @@
+//! The discrete-event simulation engine.
+
+use crate::actor::{Actor, Context};
+use crate::delay::DelayModel;
+use crate::stats::NetStats;
+use crate::time::Time;
+use crate::trace::{Trace, TraceEvent};
+use dex_types::{ProcessId, StepDepth};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An in-flight message.
+#[derive(Clone, Debug)]
+struct Envelope<M> {
+    from: ProcessId,
+    to: ProcessId,
+    depth: StepDepth,
+    payload: M,
+}
+
+/// Heap entry ordered by `(deliver_at, seq)`; `seq` is a monotone counter
+/// breaking ties deterministically.
+#[derive(Debug)]
+struct Queued<M> {
+    deliver_at: Time,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .cmp(&other.deliver_at)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Result of running a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunOutcome {
+    /// Number of messages delivered during this run call.
+    pub delivered: u64,
+    /// `true` when the network drained completely; `false` when the event
+    /// cap was hit first (e.g. a livelocked protocol).
+    pub quiescent: bool,
+    /// Virtual time at the end of the run.
+    pub ended_at: Time,
+}
+
+/// A deterministic discrete-event simulation of `n` actors exchanging
+/// messages over reliable asynchronous links.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    queue: BinaryHeap<Reverse<Queued<A::Msg>>>,
+    now: Time,
+    seq: u64,
+    rng: StdRng,
+    delay: DelayModel,
+    stats: NetStats,
+    trace: Option<Trace>,
+    started: bool,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over the given actors (actor `i` is process
+    /// `p_i`), a seed for all randomness (delays and actor RNG), and a delay
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors` is empty.
+    pub fn new(actors: Vec<A>, seed: u64, delay: DelayModel) -> Self {
+        assert!(!actors.is_empty(), "need at least one actor");
+        Simulation {
+            actors,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            delay,
+            stats: NetStats::default(),
+            trace: None,
+            started: false,
+        }
+    }
+
+    /// Enables trace recording (allocates one string per network event).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Borrows an actor's state (e.g. to read its decision after the run).
+    pub fn actor(&self, id: ProcessId) -> &A {
+        &self.actors[id.index()]
+    }
+
+    /// Borrows all actors.
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Mutably borrows an actor (for test setups that need to tweak state
+    /// between steps).
+    pub fn actor_mut(&mut self, id: ProcessId) -> &mut A {
+        &mut self.actors[id.index()]
+    }
+
+    fn dispatch(&mut self, from: ProcessId, outbox: Vec<(ProcessId, A::Msg)>, depth: StepDepth)
+    where
+        A::Msg: core::fmt::Debug,
+    {
+        for (to, payload) in outbox {
+            let delay = self.delay.sample(&mut self.rng, from, to);
+            let deliver_at = self.now + delay;
+            self.stats.record_send(depth);
+            if let Some(trace) = &mut self.trace {
+                trace.push(TraceEvent::Send {
+                    from,
+                    to,
+                    depth,
+                    at: self.now,
+                    payload: format!("{payload:?}"),
+                });
+            }
+            self.seq += 1;
+            self.queue.push(Reverse(Queued {
+                deliver_at,
+                seq: self.seq,
+                env: Envelope {
+                    from,
+                    to,
+                    depth,
+                    payload,
+                },
+            }));
+        }
+    }
+
+    /// Runs `on_start` on every actor (idempotent; also called implicitly by
+    /// [`run`](Self::run) / [`step`](Self::step)).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let n = self.actors.len();
+        for i in 0..n {
+            let me = ProcessId::new(i);
+            let mut ctx = Context::new(me, n, self.now, StepDepth::ZERO, &mut self.rng);
+            self.actors[i].on_start(&mut ctx);
+            let outbox = ctx.into_outbox();
+            self.dispatch(me, outbox, StepDepth::ONE);
+        }
+    }
+
+    /// Delivers the next queued message, advancing virtual time. Returns the
+    /// `(from, to, depth)` of the delivered message, or `None` when the
+    /// network is quiescent.
+    pub fn step(&mut self) -> Option<(ProcessId, ProcessId, StepDepth)> {
+        self.start();
+        let Reverse(queued) = self.queue.pop()?;
+        self.now = queued.deliver_at;
+        let Envelope {
+            from,
+            to,
+            depth,
+            payload,
+        } = queued.env;
+        self.stats.record_delivery(depth);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Deliver {
+                from,
+                to,
+                depth,
+                at: self.now,
+                payload: format!("{payload:?}"),
+            });
+        }
+        let n = self.actors.len();
+        let mut ctx = Context::new(to, n, self.now, depth, &mut self.rng);
+        self.actors[to.index()].on_message(from, payload, &mut ctx);
+        let outbox = ctx.into_outbox();
+        self.dispatch(to, outbox, depth.next());
+        Some((from, to, depth))
+    }
+
+    /// Runs until the network drains or `max_events` deliveries have
+    /// happened, whichever comes first.
+    pub fn run(&mut self, max_events: u64) -> RunOutcome {
+        let mut delivered = 0;
+        while delivered < max_events {
+            if self.step().is_none() {
+                return RunOutcome {
+                    delivered,
+                    quiescent: true,
+                    ended_at: self.now,
+                };
+            }
+            delivered += 1;
+        }
+        RunOutcome {
+            delivered,
+            quiescent: self.queue.is_empty(),
+            ended_at: self.now,
+        }
+    }
+
+    /// Runs until `stop(actors)` returns `true`, the network drains, or
+    /// `max_events` deliveries have happened. Returns the outcome; check
+    /// `stop` again afterwards to distinguish success from exhaustion.
+    pub fn run_until<F>(&mut self, max_events: u64, mut stop: F) -> RunOutcome
+    where
+        F: FnMut(&[A]) -> bool,
+    {
+        self.start();
+        let mut delivered = 0;
+        while delivered < max_events && !stop(&self.actors) {
+            if self.step().is_none() {
+                return RunOutcome {
+                    delivered,
+                    quiescent: true,
+                    ended_at: self.now,
+                };
+            }
+            delivered += 1;
+        }
+        RunOutcome {
+            delivered,
+            quiescent: self.queue.is_empty(),
+            ended_at: self.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every received message back `count` times, decrementing.
+    struct Echo {
+        received: Vec<(ProcessId, u32, StepDepth)>,
+    }
+
+    impl Actor for Echo {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.broadcast_others(2);
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.received.push((from, msg, ctx.depth()));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    fn echo_sim(n: usize, seed: u64) -> Simulation<Echo> {
+        Simulation::new(
+            (0..n)
+                .map(|_| Echo {
+                    received: Vec::new(),
+                })
+                .collect(),
+            seed,
+            DelayModel::Uniform { min: 1, max: 10 },
+        )
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut sim = echo_sim(3, 1);
+        let out = sim.run(1_000);
+        assert!(out.quiescent);
+        // p0 broadcasts 2 to p1,p2; each replies 1; p0 replies 0 to each; done.
+        // Total deliveries: 2 + 2 + 2 = 6.
+        assert_eq!(out.delivered, 6);
+        assert_eq!(sim.stats().delivered, 6);
+    }
+
+    #[test]
+    fn causal_depth_increases_along_chains() {
+        let mut sim = echo_sim(2, 3);
+        sim.run(1_000);
+        let p0 = sim.actor(ProcessId::new(0));
+        let p1 = sim.actor(ProcessId::new(1));
+        // p1 got the initial 2 at depth 1 and the follow-up 0 at depth 3.
+        assert_eq!(p1.received[0].2, StepDepth::new(1));
+        assert_eq!(p1.received[1].2, StepDepth::new(3));
+        // p0 got the reply 1 at depth 2.
+        assert_eq!(p0.received[0].2, StepDepth::new(2));
+        // Deepest message actually sent is the final 0-reply at depth 3.
+        assert_eq!(sim.stats().max_depth, StepDepth::new(3));
+    }
+
+    #[test]
+    fn event_cap_stops_runaway() {
+        /// Two actors ping forever.
+        struct Forever;
+        impl Actor for Forever {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast_others(());
+            }
+            fn on_message(&mut self, from: ProcessId, _: (), ctx: &mut Context<'_, ()>) {
+                ctx.send(from, ());
+            }
+        }
+        let mut sim = Simulation::new(vec![Forever, Forever], 0, DelayModel::Constant(1));
+        let out = sim.run(100);
+        assert_eq!(out.delivered, 100);
+        assert!(!out.quiescent);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        let render = |seed: u64| {
+            let mut sim = echo_sim(4, seed);
+            sim.enable_trace();
+            sim.run(10_000);
+            sim.trace().unwrap().render()
+        };
+        assert_eq!(render(77), render(77));
+        assert_ne!(render(77), render(78));
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut sim = echo_sim(3, 5);
+        let out = sim.run_until(1_000, |actors| {
+            actors.iter().map(|a| a.received.len()).sum::<usize>() >= 2
+        });
+        assert!(out.delivered <= 6);
+        let total: usize = sim.actors().iter().map(|a| a.received.len()).sum();
+        assert!(total >= 2);
+    }
+
+    #[test]
+    fn virtual_time_is_monotone() {
+        let mut sim = echo_sim(3, 9);
+        sim.start();
+        let mut last = Time::ZERO;
+        while sim.step().is_some() {
+            assert!(sim.now() >= last);
+            last = sim.now();
+        }
+    }
+
+    #[test]
+    fn self_messages_are_delivered() {
+        struct SelfSend {
+            got: bool,
+        }
+        impl Actor for SelfSend {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                let me = ctx.me();
+                ctx.send(me, ());
+            }
+            fn on_message(&mut self, from: ProcessId, _: (), ctx: &mut Context<'_, ()>) {
+                assert_eq!(from, ctx.me());
+                self.got = true;
+            }
+        }
+        let mut sim = Simulation::new(vec![SelfSend { got: false }], 0, DelayModel::Constant(1));
+        sim.run(10);
+        assert!(sim.actor(ProcessId::new(0)).got);
+    }
+}

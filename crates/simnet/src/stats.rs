@@ -1,0 +1,69 @@
+//! Network-level statistics.
+
+use dex_types::StepDepth;
+
+/// Counters maintained by the simulator across one run.
+///
+/// # Examples
+///
+/// ```
+/// use dex_simnet::NetStats;
+/// let stats = NetStats::default();
+/// assert_eq!(stats.sent, 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to actors.
+    pub delivered: u64,
+    /// The deepest causal step observed on any message.
+    pub max_depth: StepDepth,
+    /// Delivered-message count per causal depth (index = depth − 1).
+    pub per_depth: Vec<u64>,
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&mut self, depth: StepDepth) {
+        self.sent += 1;
+        if depth > self.max_depth {
+            self.max_depth = depth;
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, depth: StepDepth) {
+        self.delivered += 1;
+        let idx = depth.get().saturating_sub(1) as usize;
+        if self.per_depth.len() <= idx {
+            self.per_depth.resize(idx + 1, 0);
+        }
+        self.per_depth[idx] += 1;
+    }
+
+    /// Delivered messages at a given causal depth.
+    pub fn delivered_at_depth(&self, depth: StepDepth) -> u64 {
+        let idx = depth.get().saturating_sub(1) as usize;
+        self.per_depth.get(idx).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send(StepDepth::new(1));
+        s.record_send(StepDepth::new(3));
+        s.record_delivery(StepDepth::new(1));
+        s.record_delivery(StepDepth::new(1));
+        s.record_delivery(StepDepth::new(3));
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.max_depth, StepDepth::new(3));
+        assert_eq!(s.delivered_at_depth(StepDepth::new(1)), 2);
+        assert_eq!(s.delivered_at_depth(StepDepth::new(2)), 0);
+        assert_eq!(s.delivered_at_depth(StepDepth::new(3)), 1);
+    }
+}

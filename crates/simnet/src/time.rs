@@ -1,0 +1,74 @@
+//! Virtual time.
+
+use core::fmt;
+use core::ops::Add;
+
+/// A point in virtual time, in abstract delay units.
+///
+/// The asynchronous model places no meaning on absolute time; [`Time`] exists
+/// so the simulator can order deliveries and so experiments can report
+/// decision *latency* alongside decision *steps*.
+///
+/// # Examples
+///
+/// ```
+/// use dex_simnet::Time;
+/// let t = Time::ZERO + 25;
+/// assert_eq!(t.as_units(), 25);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of virtual time.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time point from raw units.
+    pub const fn new(units: u64) -> Self {
+        Time(units)
+    }
+
+    /// Raw units since the origin.
+    pub const fn as_units(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self − earlier`.
+    pub const fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Time::ZERO + 5;
+        let b = a + 10;
+        assert!(a < b);
+        assert_eq!(b.since(a), 10);
+        assert_eq!(a.since(b), 0); // saturating
+        assert_eq!(b.as_units(), 15);
+    }
+
+    #[test]
+    fn display_shows_units() {
+        assert_eq!((Time::ZERO + 3).to_string(), "t=3");
+    }
+}

@@ -1,0 +1,132 @@
+//! Optional execution tracing.
+
+use crate::time::Time;
+use dex_types::{ProcessId, StepDepth};
+
+/// One network-level event in a traced run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A message entered the network.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Causal step depth carried by the message.
+        depth: StepDepth,
+        /// Virtual send time.
+        at: Time,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// A message was delivered to its recipient.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Causal step depth carried by the message.
+        depth: StepDepth,
+        /// Virtual delivery time.
+        at: Time,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+}
+
+impl TraceEvent {
+    /// Renders the event as a single log line.
+    pub fn render(&self) -> String {
+        match self {
+            TraceEvent::Send {
+                from,
+                to,
+                depth,
+                at,
+                payload,
+            } => format!("{at} SEND    {from} -> {to} [d{}] {payload}", depth.get()),
+            TraceEvent::Deliver {
+                from,
+                to,
+                depth,
+                at,
+                payload,
+            } => format!("{at} DELIVER {from} -> {to} [d{}] {payload}", depth.get()),
+        }
+    }
+}
+
+/// A recorded execution trace (only populated when tracing is enabled on the
+/// simulation — tracing allocates a string per event, so it is off by
+/// default).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Appends an event.
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the whole trace, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_endpoints_and_depth() {
+        let ev = TraceEvent::Send {
+            from: ProcessId::new(0),
+            to: ProcessId::new(2),
+            depth: StepDepth::new(1),
+            at: Time::new(5),
+            payload: "Proposal(7)".into(),
+        };
+        let line = ev.render();
+        assert!(line.contains("p0 -> p2"));
+        assert!(line.contains("[d1]"));
+        assert!(line.contains("Proposal(7)"));
+    }
+
+    #[test]
+    fn trace_accumulates_in_order() {
+        let mut tr = Trace::default();
+        assert!(tr.is_empty());
+        tr.push(TraceEvent::Deliver {
+            from: ProcessId::new(1),
+            to: ProcessId::new(0),
+            depth: StepDepth::new(2),
+            at: Time::new(9),
+            payload: "x".into(),
+        });
+        assert_eq!(tr.len(), 1);
+        assert!(tr.render().contains("DELIVER"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Process identities and the `(n, t)` system configuration.
+
+use crate::error::ConfigError;
+use core::fmt;
+
+/// Identity of a process `p_i` in the system `Π = {p_0, …, p_{n-1}}`.
+///
+/// The paper indexes processes from 1; we use 0-based indices because they
+/// double as vector positions in [`crate::InputVector`] and [`crate::View`].
+///
+/// # Examples
+///
+/// ```
+/// use dex_types::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from its 0-based index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the 0-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> Self {
+        id.0
+    }
+}
+
+/// The static system configuration `(n, t)`: `n` processes of which at most
+/// `t` may be Byzantine (§2.1).
+///
+/// Every process knows `t` in advance; nobody knows the *actual* number of
+/// failures `f ≤ t`. The resilience predicates below encode the assumptions
+/// each component of the paper requires:
+///
+/// | predicate | bound | needed by |
+/// |---|---|---|
+/// | [`supports_identical_broadcast`](Self::supports_identical_broadcast) | `n > 4t` | IDB (appendix, Thm. 4) |
+/// | [`supports_one_step`](Self::supports_one_step) | `n > 5t` | any one-step Byzantine consensus (§2.1) |
+/// | [`supports_privileged_pair`](Self::supports_privileged_pair) | `n > 5t` | `P_prv` (§3.4) |
+/// | [`supports_frequency_pair`](Self::supports_frequency_pair) | `n > 6t` | `P_freq` (§3.3) |
+/// | [`supports_strongly_one_step`](Self::supports_strongly_one_step) | `n > 7t` | strongly one-step Bosco (Table 1) |
+///
+/// # Examples
+///
+/// ```
+/// use dex_types::SystemConfig;
+/// let cfg = SystemConfig::new(13, 2)?;
+/// assert_eq!(cfg.quorum(), 11);           // n - t
+/// assert!(cfg.supports_frequency_pair()); // 13 > 12
+/// assert!(!cfg.supports_strongly_one_step());
+/// # Ok::<(), dex_types::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SystemConfig {
+    n: usize,
+    t: usize,
+}
+
+impl SystemConfig {
+    /// Creates a configuration with `n` processes tolerating up to `t`
+    /// Byzantine failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooFewProcesses`] unless `n > 3t` and `n ≥ 1`:
+    /// below `3t + 1` not even the underlying consensus primitive is
+    /// realisable in an asynchronous Byzantine system, so such configurations
+    /// are rejected outright.
+    pub fn new(n: usize, t: usize) -> Result<Self, ConfigError> {
+        if n == 0 || n <= 3 * t {
+            return Err(ConfigError::TooFewProcesses { n, t });
+        }
+        Ok(SystemConfig { n, t })
+    }
+
+    /// The total number of processes `n`.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The failure bound `t` known to every process.
+    pub const fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The wait threshold `n − t`: the number of messages a correct process
+    /// can always expect to receive (line 7/12 of Fig. 1).
+    pub const fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// The IDB echo-amplification threshold `n − 2t` (Fig. 3).
+    pub const fn echo_threshold(&self) -> usize {
+        self.n - 2 * self.t
+    }
+
+    /// `n > 4t`: Identical Broadcast is implementable (appendix, Thm. 4).
+    pub const fn supports_identical_broadcast(&self) -> bool {
+        self.n > 4 * self.t
+    }
+
+    /// `n > 5t`: necessary for one-step Byzantine decision (§2.1) and for
+    /// the privileged-value pair to be meaningful (§3.4).
+    pub const fn supports_one_step(&self) -> bool {
+        self.n > 5 * self.t
+    }
+
+    /// `n > 5t`: the privileged-value condition-sequence pair `P_prv`.
+    pub const fn supports_privileged_pair(&self) -> bool {
+        self.n > 5 * self.t
+    }
+
+    /// `n > 6t`: the frequency-based condition-sequence pair `P_freq` (§3.3).
+    pub const fn supports_frequency_pair(&self) -> bool {
+        self.n > 6 * self.t
+    }
+
+    /// `n > 7t`: strongly one-step consensus à la Bosco (Table 1).
+    pub const fn supports_strongly_one_step(&self) -> bool {
+        self.n > 7 * self.t
+    }
+
+    /// Iterates over all process ids `p_0 … p_{n-1}`.
+    pub fn processes(&self) -> impl ExactSizeIterator<Item = ProcessId> {
+        (0..self.n).map(ProcessId::new)
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(n={}, t={})", self.n, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(SystemConfig::new(0, 0).is_err());
+        assert!(SystemConfig::new(3, 1).is_err());
+        assert!(SystemConfig::new(6, 2).is_err());
+    }
+
+    #[test]
+    fn accepts_minimal_underlying_config() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        assert_eq!(cfg.n(), 4);
+        assert_eq!(cfg.t(), 1);
+        assert_eq!(cfg.quorum(), 3);
+        assert_eq!(cfg.echo_threshold(), 2);
+    }
+
+    #[test]
+    fn resilience_ladder_is_ordered() {
+        // Each rung of the ladder implies every rung below it.
+        for n in 1..60 {
+            for t in 0..=(n / 3) {
+                let Ok(cfg) = SystemConfig::new(n, t) else {
+                    continue;
+                };
+                if cfg.supports_strongly_one_step() {
+                    assert!(cfg.supports_frequency_pair());
+                }
+                if cfg.supports_frequency_pair() {
+                    assert!(cfg.supports_privileged_pair());
+                }
+                if cfg.supports_privileged_pair() {
+                    assert!(cfg.supports_identical_broadcast());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_configs_match_table1() {
+        // Table 1: Bosco-weak 5t+1, DEX-freq 6t+1, Bosco-strong 7t+1.
+        let t = 2;
+        let weak = SystemConfig::new(5 * t + 1, t).unwrap();
+        assert!(weak.supports_one_step());
+        assert!(!weak.supports_frequency_pair());
+
+        let freq = SystemConfig::new(6 * t + 1, t).unwrap();
+        assert!(freq.supports_frequency_pair());
+        assert!(!freq.supports_strongly_one_step());
+
+        let strong = SystemConfig::new(7 * t + 1, t).unwrap();
+        assert!(strong.supports_strongly_one_step());
+    }
+
+    #[test]
+    fn process_iteration_covers_all_ids() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let ids: Vec<_> = cfg.processes().collect();
+        assert_eq!(ids.len(), 7);
+        assert_eq!(ids[0], ProcessId::new(0));
+        assert_eq!(ids[6], ProcessId::new(6));
+    }
+
+    #[test]
+    fn process_id_conversions_roundtrip() {
+        let p: ProcessId = 5usize.into();
+        let back: usize = p.into();
+        assert_eq!(back, 5);
+        assert_eq!(format!("{p}"), "p5");
+        assert_eq!(format!("{p:?}"), "ProcessId(5)");
+    }
+
+    #[test]
+    fn zero_t_configs_support_everything() {
+        let cfg = SystemConfig::new(1, 0).unwrap();
+        assert!(cfg.supports_strongly_one_step());
+        assert_eq!(cfg.quorum(), 1);
+    }
+
+    #[test]
+    fn display_formats_config() {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        assert_eq!(cfg.to_string(), "(n=7, t=1)");
+    }
+}

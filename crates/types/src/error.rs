@@ -1,0 +1,48 @@
+//! Error types.
+
+use core::fmt;
+use std::error::Error;
+
+/// Error building a [`crate::SystemConfig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `n ≤ 3t` (or `n = 0`): no asynchronous Byzantine consensus component
+    /// is realisable at all.
+    TooFewProcesses {
+        /// Requested number of processes.
+        n: usize,
+        /// Requested failure bound.
+        t: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewProcesses { n, t } => {
+                write!(f, "need n > 3t and n >= 1, got n={n}, t={t}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ConfigError::TooFewProcesses { n: 3, t: 1 };
+        let msg = e.to_string();
+        assert!(msg.contains("n=3"));
+        assert!(msg.contains("t=1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Communication-step accounting.
+
+use core::fmt;
+use core::ops::Add;
+
+/// The causal communication-step depth of a message or decision.
+///
+/// The paper measures algorithm cost in *communication steps*: the initial
+/// proposal broadcast is step 1, a message sent in reaction to step-1
+/// messages is step 2, and so on. A "one-step decision" is one triggered
+/// purely by step-1 messages; the Identical Broadcast of the appendix costs
+/// exactly two point-to-point steps per IDB step.
+///
+/// We track this as a *causal depth*: every message carries the depth of the
+/// deepest message its sender had consumed when producing it, plus one.
+/// A decision's step count is the depth of the message that triggered it.
+///
+/// # Examples
+///
+/// ```
+/// use dex_types::StepDepth;
+/// let start = StepDepth::ZERO;
+/// let proposal = start.next();           // step 1: initial broadcast
+/// let echo = proposal.next();            // step 2: reaction to a proposal
+/// assert_eq!(proposal.get(), 1);
+/// assert_eq!(echo.get(), 2);
+/// assert_eq!(proposal.max(echo), echo);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct StepDepth(u32);
+
+impl StepDepth {
+    /// Depth zero: local computation before any message is sent.
+    pub const ZERO: StepDepth = StepDepth(0);
+
+    /// Depth one: the initial proposal broadcast.
+    pub const ONE: StepDepth = StepDepth(1);
+
+    /// Creates a depth from a raw step count.
+    pub const fn new(steps: u32) -> Self {
+        StepDepth(steps)
+    }
+
+    /// Returns the raw step count.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The depth of a message sent in reaction to this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        StepDepth(self.0 + 1)
+    }
+}
+
+impl Add<u32> for StepDepth {
+    type Output = StepDepth;
+
+    fn add(self, rhs: u32) -> StepDepth {
+        StepDepth(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for StepDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} step(s)", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_then_next_is_one() {
+        assert_eq!(StepDepth::ZERO.next(), StepDepth::ONE);
+        assert_eq!(StepDepth::ONE.get(), 1);
+    }
+
+    #[test]
+    fn ordering_follows_depth() {
+        let one = StepDepth::new(1);
+        let four = StepDepth::new(4);
+        assert!(one < four);
+        assert_eq!(one.max(four), four);
+    }
+
+    #[test]
+    fn add_offsets_depth() {
+        assert_eq!(StepDepth::ONE + 2, StepDepth::new(3));
+    }
+
+    #[test]
+    fn display_mentions_steps() {
+        assert_eq!(StepDepth::new(2).to_string(), "2 step(s)");
+    }
+}

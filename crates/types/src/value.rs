@@ -1,0 +1,56 @@
+//! The proposal-value abstraction.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A consensus proposal value.
+///
+/// The paper assumes an *ordered* set `V` of proposal values (§3.1); the
+/// ordering is load-bearing: when two values appear equally often in a view,
+/// `1st(J)` selects the **largest** one, so every implementation of the view
+/// algebra needs `Ord`. Values travel between simulated processes, hence the
+/// `Send + Sync + 'static` bounds.
+///
+/// `Value` is a blanket trait: anything with the right standard-library
+/// traits implements it automatically. `u64`, `i32`, `String`, `bool` and
+/// small enums all qualify.
+///
+/// # Examples
+///
+/// ```
+/// fn assert_value<V: dex_types::Value>() {}
+/// assert_value::<u64>();
+/// assert_value::<String>();
+/// ```
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
+
+impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::Value;
+
+    fn takes_value<V: Value>(v: V) -> V {
+        v
+    }
+
+    #[test]
+    fn primitive_types_are_values() {
+        assert_eq!(takes_value(7u64), 7u64);
+        assert_eq!(takes_value(-3i32), -3i32);
+        assert!(takes_value(true));
+        assert_eq!(takes_value("commit".to_string()), "commit");
+    }
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    enum Vote {
+        Abort,
+        Commit,
+    }
+
+    #[test]
+    fn custom_enums_are_values() {
+        assert_eq!(takes_value(Vote::Commit), Vote::Commit);
+        assert!(Vote::Abort < Vote::Commit);
+    }
+}

@@ -1,0 +1,389 @@
+//! Views and the view algebra of §3.1.
+
+use crate::{ProcessId, Value};
+use core::fmt;
+use std::collections::HashMap;
+
+/// A view `J ∈ (V ∪ {⊥})^n`: an input vector with up to `t` entries replaced
+/// by the default value `⊥` (§3.1). Entry `i` is `None` when the view has not
+/// (yet) learnt `p_i`'s proposal.
+///
+/// All operators the legality proofs use are provided:
+///
+/// * `#_v(J)` — [`count_of`](Self::count_of)
+/// * `|J|` — [`len_non_default`](Self::len_non_default)
+/// * `1st(J)`, `2nd(J)` — [`first`](Self::first), [`second`](Self::second)
+///   (most frequent non-`⊥` value; ties broken by the **largest** value)
+/// * `dist(J₁, J₂)` — [`dist`](Self::dist) (Hamming distance)
+/// * `J₁ ≤ J₂` — [`is_contained_in`](Self::is_contained_in)
+///
+/// # Examples
+///
+/// ```
+/// use dex_types::View;
+/// let j = View::from_options(vec![Some(1u64), Some(1), Some(2), None]);
+/// assert_eq!(j.count_of(&1), 2);
+/// assert_eq!(j.len_non_default(), 3);
+/// assert_eq!(j.first(), Some(&1));
+/// assert_eq!(j.second(), Some(&2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct View<V> {
+    entries: Vec<Option<V>>,
+}
+
+impl<V: Value> View<V> {
+    /// The all-`⊥` view `⊥^n`.
+    pub fn bottom(n: usize) -> Self {
+        View {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Builds a view directly from `(V ∪ {⊥})` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn from_options(entries: Vec<Option<V>>) -> Self {
+        assert!(!entries.is_empty(), "view must be non-empty");
+        View { entries }
+    }
+
+    /// The dimension `n` of the view.
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for `p_i` (`None` = `⊥`).
+    pub fn get(&self, id: ProcessId) -> Option<&V> {
+        self.entries[id.index()].as_ref()
+    }
+
+    /// Records `p_i`'s value. Returns the previous entry.
+    ///
+    /// Views are maintained *incrementally* in Fig. 1 (lines 6, 11): each
+    /// message reception fills in one entry.
+    pub fn set(&mut self, id: ProcessId, v: V) -> Option<V> {
+        self.entries[id.index()].replace(v)
+    }
+
+    /// Clears `p_i`'s entry back to `⊥`. Returns the previous entry.
+    pub fn clear(&mut self, id: ProcessId) -> Option<V> {
+        self.entries[id.index()].take()
+    }
+
+    /// `#_v(J)`: the number of occurrences of `v`.
+    pub fn count_of(&self, v: &V) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.as_ref() == Some(v))
+            .count()
+    }
+
+    /// `|J|`: the number of non-`⊥` entries.
+    pub fn len_non_default(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The number of `⊥` entries.
+    pub fn len_default(&self) -> usize {
+        self.n() - self.len_non_default()
+    }
+
+    /// Whether the view belongs to `V^n_k`: at most `k` entries are `⊥`.
+    pub fn in_vnk(&self, k: usize) -> bool {
+        self.len_default() <= k
+    }
+
+    /// Occurrence counts of every non-`⊥` value.
+    pub fn histogram(&self) -> HashMap<&V, usize> {
+        let mut h = HashMap::new();
+        for e in self.entries.iter().flatten() {
+            *h.entry(e).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// `1st(J)`: the most frequent non-`⊥` value; when several values are
+    /// tied for most frequent, the **largest** is selected (§3.3). `None` iff
+    /// the view is all-`⊥`.
+    pub fn first(&self) -> Option<&V> {
+        self.histogram()
+            .into_iter()
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
+            .map(|(v, _)| v)
+    }
+
+    /// `2nd(J)`: the second most frequent value — `1st(Ĵ)` where `Ĵ` is `J`
+    /// with every occurrence of `1st(J)` replaced by `⊥` (§3.3). `None` if
+    /// fewer than two distinct values occur.
+    pub fn second(&self) -> Option<&V> {
+        let first = self.first()?;
+        self.histogram()
+            .into_iter()
+            .filter(|(v, _)| *v != first)
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
+            .map(|(v, _)| v)
+    }
+
+    /// The frequency margin `#_1st(J)(J) − #_2nd(J)(J)`, the quantity tested
+    /// by the frequency-based predicates `P1/P2` (§3.3). If only one distinct
+    /// value occurs the margin is its full count; an all-`⊥` view has margin
+    /// zero.
+    pub fn frequency_margin(&self) -> usize {
+        match self.first() {
+            None => 0,
+            Some(f) => {
+                let cf = self.count_of(f);
+                let cs = self.second().map_or(0, |s| self.count_of(s));
+                cf - cs
+            }
+        }
+    }
+
+    /// `dist(J₁, J₂)`: the Hamming distance (`⊥` is a normal symbol: a `⊥`
+    /// entry differs from any non-`⊥` entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dist(&self, other: &View<V>) -> usize {
+        assert_eq!(self.n(), other.n(), "views must have equal dimension");
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Containment `self ≤ other`: every non-`⊥` entry of `self` equals the
+    /// corresponding entry of `other` (§3.1).
+    pub fn is_contained_in(&self, other: &View<V>) -> bool {
+        self.n() == other.n()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.is_none() || a == b)
+    }
+
+    /// Whether two views are *compatible*: some common vector `I'` contains
+    /// both (used in Case 3 of Lemma 2 — this holds exactly when the views
+    /// never disagree on a non-`⊥` entry).
+    pub fn is_compatible_with(&self, other: &View<V>) -> bool {
+        self.n() == other.n()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.is_none() || b.is_none() || a == b)
+    }
+
+    /// The least upper bound of two compatible views: each entry takes the
+    /// non-`⊥` value when available. Returns `None` for incompatible views.
+    pub fn join(&self, other: &View<V>) -> Option<View<V>> {
+        if !self.is_compatible_with(other) {
+            return None;
+        }
+        Some(View {
+            entries: self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .map(|(a, b)| a.clone().or_else(|| b.clone()))
+                .collect(),
+        })
+    }
+
+    /// Completes the view into a full vector by filling `⊥` entries from
+    /// `base` — the `I¹_i` / `I²_i` construction of the correctness proofs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn complete_with(&self, base: &crate::InputVector<V>) -> crate::InputVector<V> {
+        assert_eq!(self.n(), base.n(), "dimension mismatch");
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                e.clone()
+                    .unwrap_or_else(|| base.get(ProcessId::new(i)).clone())
+            })
+            .collect()
+    }
+
+    /// Iterates over `(ProcessId, Option<&V>)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Option<&V>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ProcessId::new(i), v.as_ref()))
+    }
+
+    /// Iterates over the non-`⊥` entries with their process ids.
+    pub fn iter_known(&self) -> impl Iterator<Item = (ProcessId, &V)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (ProcessId::new(i), v)))
+    }
+
+    /// Borrows the raw entries.
+    pub fn as_options(&self) -> &[Option<V>] {
+        &self.entries
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for View<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match e {
+                Some(v) => write!(f, "{v}")?,
+                None => write!(f, "⊥")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputVector;
+
+    fn v(entries: Vec<Option<u64>>) -> View<u64> {
+        View::from_options(entries)
+    }
+
+    #[test]
+    fn bottom_has_no_known_entries() {
+        let j = View::<u64>::bottom(4);
+        assert_eq!(j.len_non_default(), 0);
+        assert_eq!(j.len_default(), 4);
+        assert_eq!(j.first(), None);
+        assert_eq!(j.frequency_margin(), 0);
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut j = View::<u64>::bottom(3);
+        assert_eq!(j.set(ProcessId::new(1), 7), None);
+        assert_eq!(j.get(ProcessId::new(1)), Some(&7));
+        assert_eq!(j.set(ProcessId::new(1), 9), Some(7));
+        assert_eq!(j.clear(ProcessId::new(1)), Some(9));
+        assert_eq!(j.len_non_default(), 0);
+    }
+
+    #[test]
+    fn first_and_second_by_frequency() {
+        let j = v(vec![Some(1), Some(1), Some(1), Some(2), Some(2), Some(3)]);
+        assert_eq!(j.first(), Some(&1));
+        assert_eq!(j.second(), Some(&2));
+        assert_eq!(j.frequency_margin(), 1);
+    }
+
+    #[test]
+    fn first_tie_break_is_largest_value() {
+        let j = v(vec![Some(1), Some(2), Some(1), Some(2)]);
+        assert_eq!(j.first(), Some(&2));
+        assert_eq!(j.second(), Some(&1));
+        assert_eq!(j.frequency_margin(), 0);
+    }
+
+    #[test]
+    fn second_tie_break_is_largest_value() {
+        let j = v(vec![Some(5), Some(5), Some(5), Some(1), Some(3)]);
+        assert_eq!(j.first(), Some(&5));
+        assert_eq!(j.second(), Some(&3));
+    }
+
+    #[test]
+    fn single_value_margin_is_full_count() {
+        let j = v(vec![Some(4), Some(4), None]);
+        assert_eq!(j.frequency_margin(), 2);
+        assert_eq!(j.second(), None);
+    }
+
+    #[test]
+    fn dist_treats_bottom_as_symbol() {
+        let a = v(vec![Some(1), None, Some(3)]);
+        let b = v(vec![Some(1), Some(2), None]);
+        assert_eq!(a.dist(&b), 2);
+    }
+
+    #[test]
+    fn containment_ignores_bottom_entries() {
+        let small = v(vec![Some(1), None, None]);
+        let big = v(vec![Some(1), Some(2), Some(3)]);
+        assert!(small.is_contained_in(&big));
+        assert!(!big.is_contained_in(&small));
+        // A view is always contained in itself.
+        assert!(big.is_contained_in(&big));
+    }
+
+    #[test]
+    fn containment_fails_on_conflicting_entry() {
+        let a = v(vec![Some(1), None]);
+        let b = v(vec![Some(2), Some(2)]);
+        assert!(!a.is_contained_in(&b));
+    }
+
+    #[test]
+    fn compatibility_and_join() {
+        let a = v(vec![Some(1), None, Some(3)]);
+        let b = v(vec![Some(1), Some(2), None]);
+        assert!(a.is_compatible_with(&b));
+        let j = a.join(&b).unwrap();
+        assert_eq!(j, v(vec![Some(1), Some(2), Some(3)]));
+
+        let c = v(vec![Some(9), None, None]);
+        assert!(!a.is_compatible_with(&c));
+        assert!(a.join(&c).is_none());
+    }
+
+    #[test]
+    fn vnk_membership() {
+        let j = v(vec![Some(1), None, None, Some(2)]);
+        assert!(j.in_vnk(2));
+        assert!(j.in_vnk(3));
+        assert!(!j.in_vnk(1));
+    }
+
+    #[test]
+    fn complete_with_fills_bottom_entries() {
+        let j = v(vec![Some(9), None, Some(9)]);
+        let base = InputVector::new(vec![1u64, 2, 3]);
+        let completed = j.complete_with(&base);
+        assert_eq!(completed.as_slice(), &[9, 2, 9]);
+        // The completed vector contains the view.
+        assert!(j.is_contained_in(&completed.to_view()));
+    }
+
+    #[test]
+    fn histogram_counts_every_value() {
+        let j = v(vec![Some(1), Some(1), Some(2), None]);
+        let h = j.histogram();
+        assert_eq!(h[&1], 2);
+        assert_eq!(h[&2], 1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn iter_known_skips_bottom() {
+        let j = v(vec![None, Some(5), None, Some(6)]);
+        let known: Vec<_> = j.iter_known().map(|(p, v)| (p.index(), *v)).collect();
+        assert_eq!(known, vec![(1, 5), (3, 6)]);
+    }
+
+    #[test]
+    fn display_renders_bottom() {
+        let j = v(vec![Some(1), None]);
+        assert_eq!(j.to_string(), "[1, ⊥]");
+    }
+}

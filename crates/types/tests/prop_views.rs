@@ -1,0 +1,141 @@
+//! Property-based tests of the view algebra (§3.1): the legality proofs
+//! lean on these identities, so they are checked on random views.
+
+use dex_types::{InputVector, ProcessId, View};
+use proptest::prelude::*;
+
+fn view_strategy(n: usize, domain: u64) -> impl Strategy<Value = View<u64>> {
+    proptest::collection::vec(proptest::option::weighted(0.8, 0..domain), n)
+        .prop_map(View::from_options)
+}
+
+fn vector_strategy(n: usize, domain: u64) -> impl Strategy<Value = InputVector<u64>> {
+    proptest::collection::vec(0..domain, n).prop_map(InputVector::new)
+}
+
+proptest! {
+    #[test]
+    fn dist_is_a_metric(
+        a in view_strategy(9, 3),
+        b in view_strategy(9, 3),
+        c in view_strategy(9, 3),
+    ) {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(a.dist(&a), 0);
+        prop_assert_eq!(a.dist(&b), b.dist(&a));
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c));
+    }
+
+    #[test]
+    fn containment_is_a_partial_order(
+        a in view_strategy(8, 3),
+        b in view_strategy(8, 3),
+    ) {
+        prop_assert!(a.is_contained_in(&a));
+        if a.is_contained_in(&b) && b.is_contained_in(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // Containment implies compatibility.
+        if a.is_contained_in(&b) {
+            prop_assert!(a.is_compatible_with(&b));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(
+        a in view_strategy(8, 3),
+        b in view_strategy(8, 3),
+    ) {
+        match a.join(&b) {
+            Some(j) => {
+                prop_assert!(a.is_compatible_with(&b));
+                prop_assert!(a.is_contained_in(&j));
+                prop_assert!(b.is_contained_in(&j));
+                // Minimality: every entry of the join comes from a or b.
+                for (p, v) in j.iter() {
+                    prop_assert!(v == a.get(p) || v == b.get(p));
+                }
+            }
+            None => prop_assert!(!a.is_compatible_with(&b)),
+        }
+    }
+
+    #[test]
+    fn first_is_most_frequent_largest_on_ties(view in view_strategy(10, 4)) {
+        if let Some(first) = view.first() {
+            let c_first = view.count_of(first);
+            for (v, c) in view.histogram() {
+                prop_assert!(c <= c_first);
+                if c == c_first {
+                    prop_assert!(v <= first);
+                }
+            }
+        } else {
+            prop_assert_eq!(view.len_non_default(), 0);
+        }
+    }
+
+    #[test]
+    fn second_is_runner_up(view in view_strategy(10, 4)) {
+        if let (Some(first), Some(second)) = (view.first(), view.second()) {
+            prop_assert_ne!(first, second);
+            let c_second = view.count_of(second);
+            for (v, c) in view.histogram() {
+                if v != first {
+                    prop_assert!(c <= c_second);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_margin_matches_definition(view in view_strategy(10, 4)) {
+        let expected = match view.first() {
+            None => 0,
+            Some(f) => view.count_of(f) - view.second().map_or(0, |s| view.count_of(s)),
+        };
+        prop_assert_eq!(view.frequency_margin(), expected);
+    }
+
+    #[test]
+    fn counts_are_consistent(view in view_strategy(12, 3)) {
+        let total: usize = view.histogram().values().sum();
+        prop_assert_eq!(total, view.len_non_default());
+        prop_assert_eq!(view.len_non_default() + view.len_default(), view.n());
+    }
+
+    #[test]
+    fn complete_with_produces_superview(
+        view in view_strategy(8, 3),
+        base in vector_strategy(8, 3),
+    ) {
+        let completed = view.complete_with(&base);
+        prop_assert!(view.is_contained_in(&completed.to_view()));
+        // The completion only fills ⊥ entries from the base.
+        prop_assert!(view.dist(&completed.to_view()) == view.len_default());
+    }
+
+    #[test]
+    fn set_then_clear_is_identity(
+        view in view_strategy(8, 3),
+        idx in 0usize..8,
+        value in 0u64..3,
+    ) {
+        let mut v = view.clone();
+        let p = ProcessId::new(idx);
+        let before = v.get(p).cloned();
+        v.set(p, value);
+        prop_assert_eq!(v.get(p), Some(&value));
+        v.clear(p);
+        prop_assert_eq!(v.get(p), None);
+        if let Some(b) = before {
+            v.set(p, b);
+            prop_assert_eq!(&v, &view);
+        }
+    }
+
+    #[test]
+    fn vnk_membership_matches_default_count(view in view_strategy(9, 2), k in 0usize..10) {
+        prop_assert_eq!(view.in_vnk(k), view.len_default() <= k);
+    }
+}

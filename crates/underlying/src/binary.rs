@@ -1,0 +1,395 @@
+//! Randomized asynchronous binary Byzantine consensus.
+//!
+//! A Ben-Or-style protocol whose per-phase messages travel over the paper's
+//! **Identical Broadcast**, so Byzantine processes cannot equivocate within
+//! a phase. Three phases per round:
+//!
+//! 1. **Report** — IDB-broadcast the current estimate; on `n − t`
+//!    deliveries adopt the majority value.
+//! 2. **Propose** — IDB-broadcast the adopted value; a value seen more than
+//!    `(n + t) / 2` times becomes *locked* (at most one value can ever be
+//!    locked in a round, by quorum intersection over the equivocation-free
+//!    per-sender values).
+//! 3. **Candidate** — IDB-broadcast `(value, locked)`; on `n − t`
+//!    deliveries: `2t + 1` locked copies ⇒ **decide**, `t + 1` locked copies
+//!    ⇒ adopt, otherwise flip a coin.
+//!
+//! Resilience: `n > 5t` (the unanimity-preservation argument needs
+//! `n − 2t > (n + t) / 2`). Termination holds with probability 1; with the
+//! [`CoinMode::Common`] abstraction of a common-coin primitive the expected
+//! number of rounds is O(1), with purely local coins it is exponential in
+//! `n` (fine for the small systems in the experiments, and faithful to the
+//! original Ben-Or construction).
+
+use crate::outbox::Outbox;
+use crate::traits::UnderlyingConsensus;
+use dex_broadcast::{Action, IdbMessage, IdenticalBroadcast};
+use dex_types::{ProcessId, SystemConfig};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// Phase payloads (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PhasePayload {
+    /// Phase 1: current estimate.
+    Report(bool),
+    /// Phase 2: majority-adopted value.
+    Propose(bool),
+    /// Phase 3: candidate value, flagged when locked by a phase-2 quorum.
+    Candidate {
+        /// The candidate value.
+        value: bool,
+        /// Whether a `> (n + t) / 2` phase-2 quorum backed it.
+        locked: bool,
+    },
+}
+
+/// Broadcast-instance key: `(origin, round, phase)`.
+pub type BinKey = (ProcessId, u32, u8);
+
+/// Wire message: an Identical Broadcast message carrying a phase payload.
+pub type BinaryMsg = IdbMessage<BinKey, PhasePayload>;
+
+/// Where coin flips come from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoinMode {
+    /// Independent local coins (Ben-Or's original scheme): correct with
+    /// probability-1 termination, exponential expected rounds.
+    Local,
+    /// A shared deterministic coin derived from the round number and this
+    /// seed — the standard *common coin* abstraction; every correct process
+    /// flips the same value, giving expected O(1) rounds. All processes must
+    /// be configured with the same seed.
+    Common {
+        /// Shared seed of the common-coin oracle.
+        seed: u64,
+    },
+}
+
+impl CoinMode {
+    fn flip(self, round: u32, rng: &mut StdRng) -> bool {
+        match self {
+            CoinMode::Local => rng.random_bool(0.5),
+            CoinMode::Common { seed } => {
+                // SplitMix64 finalizer over (seed, round).
+                let mut z = seed ^ (u64::from(round)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) & 1 == 1
+            }
+        }
+    }
+}
+
+/// The randomized binary consensus state machine of one process.
+///
+/// Satisfies the underlying-consensus contract of §2.2 for `V = bool`:
+/// agreement, unanimity, termination with probability 1. Used as the spine
+/// of the multivalued [`crate::ReducedMvc`].
+#[derive(Clone, Debug)]
+pub struct BrachaBinary {
+    config: SystemConfig,
+    me: ProcessId,
+    coin: CoinMode,
+    idb: IdenticalBroadcast<BinKey, PhasePayload>,
+    est: Option<bool>,
+    round: u32,
+    phase: u8,
+    delivered: HashMap<(u32, u8), HashMap<ProcessId, PhasePayload>>,
+    decision: Option<bool>,
+    decide_round: Option<u32>,
+    halted: bool,
+    max_rounds: u32,
+}
+
+impl BrachaBinary {
+    /// Default bound on rounds before the machine gives up (a safety net
+    /// for simulations; with a common coin real executions finish in a few
+    /// rounds).
+    pub const DEFAULT_MAX_ROUNDS: u32 = 64;
+
+    /// Creates one process's endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 5t`.
+    pub fn new(config: SystemConfig, me: ProcessId, coin: CoinMode) -> Self {
+        assert!(
+            config.supports_one_step(),
+            "randomized binary consensus (this construction) requires n > 5t, got {config}"
+        );
+        BrachaBinary {
+            config,
+            me,
+            coin,
+            idb: IdenticalBroadcast::new(config),
+            est: None,
+            round: 1,
+            phase: 1,
+            delivered: HashMap::new(),
+            decision: None,
+            decide_round: None,
+            halted: false,
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Overrides the round cap.
+    pub fn set_max_rounds(&mut self, max_rounds: u32) {
+        self.max_rounds = max_rounds;
+    }
+
+    /// The round this process is currently in (1-based).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether the machine stopped making progress (decided and wound down,
+    /// or hit the round cap).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn payload_matches_phase(phase: u8, payload: &PhasePayload) -> bool {
+        matches!(
+            (phase, payload),
+            (1, PhasePayload::Report(_))
+                | (2, PhasePayload::Propose(_))
+                | (3, PhasePayload::Candidate { .. })
+        )
+    }
+
+    fn idb_broadcast(&mut self, payload: PhasePayload, out: &mut Outbox<BinaryMsg>) {
+        let key = (self.me, self.round, self.phase);
+        out.broadcast(IdenticalBroadcast::id_send(key, payload));
+    }
+
+    fn start_phase(&mut self, out: &mut Outbox<BinaryMsg>) {
+        let est = self.est.expect("started only after propose");
+        let payload = match self.phase {
+            1 => PhasePayload::Report(est),
+            2 => PhasePayload::Propose(est),
+            3 => {
+                let lock = self.locked_value();
+                PhasePayload::Candidate {
+                    value: lock.unwrap_or(est),
+                    locked: lock.is_some(),
+                }
+            }
+            _ => unreachable!("phases are 1..=3"),
+        };
+        self.idb_broadcast(payload, out);
+    }
+
+    /// The phase-2 locked value, if any (`> (n + t) / 2` matching copies).
+    fn locked_value(&self) -> Option<bool> {
+        let quorum = (self.config.n() + self.config.t()) / 2 + 1;
+        let phase2 = self.delivered.get(&(self.round, 2))?;
+        for candidate in [false, true] {
+            let count = phase2
+                .values()
+                .filter(|p| matches!(p, PhasePayload::Propose(v) if *v == candidate))
+                .count();
+            if count >= quorum {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn try_advance(&mut self, rng: &mut StdRng, out: &mut Outbox<BinaryMsg>) {
+        loop {
+            if self.halted || self.est.is_none() {
+                return;
+            }
+            let have = self
+                .delivered
+                .get(&(self.round, self.phase))
+                .map_or(0, HashMap::len);
+            if have < self.config.quorum() {
+                return;
+            }
+            match self.phase {
+                1 => {
+                    let phase1 = &self.delivered[&(self.round, 1)];
+                    let trues = phase1
+                        .values()
+                        .filter(|p| matches!(p, PhasePayload::Report(true)))
+                        .count();
+                    let falses = phase1.len() - trues;
+                    if trues != falses {
+                        self.est = Some(trues > falses);
+                    }
+                    self.phase = 2;
+                    self.start_phase(out);
+                }
+                2 => {
+                    self.phase = 3;
+                    self.start_phase(out);
+                }
+                3 => {
+                    let phase3 = &self.delivered[&(self.round, 3)];
+                    let locked_count = |v: bool| {
+                        phase3
+                            .values()
+                            .filter(|p| {
+                                matches!(p, PhasePayload::Candidate { value, locked: true } if *value == v)
+                            })
+                            .count()
+                    };
+                    let t = self.config.t();
+                    // Thresholds written as in the protocol (2t + 1, t + 1).
+                    #[allow(clippy::int_plus_one)]
+                    let mut next_est = None;
+                    for v in [false, true] {
+                        let c = locked_count(v);
+                        if c >= 2 * t + 1 {
+                            if self.decision.is_none() {
+                                self.decision = Some(v);
+                                self.decide_round = Some(self.round);
+                            }
+                            next_est = Some(v);
+                        } else if c >= t + 1 {
+                            next_est = Some(v);
+                        }
+                    }
+                    self.est = Some(match next_est {
+                        Some(v) => v,
+                        None => self.coin.flip(self.round, rng),
+                    });
+                    // Wind down: one extra round after deciding lets every
+                    // other correct process reach its own decision.
+                    let past_decide = self.decide_round.is_some_and(|dr| self.round >= dr + 1);
+                    if past_decide || self.round >= self.max_rounds {
+                        self.halted = true;
+                        return;
+                    }
+                    self.round += 1;
+                    self.phase = 1;
+                    self.start_phase(out);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+impl UnderlyingConsensus<bool> for BrachaBinary {
+    type Msg = BinaryMsg;
+
+    fn name(&self) -> &'static str {
+        "bracha-binary"
+    }
+
+    fn propose(&mut self, value: bool, rng: &mut StdRng, out: &mut Outbox<BinaryMsg>) {
+        if self.est.is_some() {
+            return;
+        }
+        self.est = Some(value);
+        self.start_phase(out);
+        self.try_advance(rng, out);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BinaryMsg,
+        rng: &mut StdRng,
+        out: &mut Outbox<BinaryMsg>,
+    ) {
+        for action in self.idb.on_message(from, msg) {
+            match action {
+                Action::Broadcast(m) => out.broadcast(m),
+                Action::Deliver { key, value } => {
+                    let (origin, round, phase) = key;
+                    if Self::payload_matches_phase(phase, &value) {
+                        self.delivered
+                            .entry((round, phase))
+                            .or_default()
+                            .insert(origin, value);
+                    }
+                }
+            }
+        }
+        self.try_advance(rng, out);
+    }
+
+    fn decision(&self) -> Option<&bool> {
+        self.decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "n > 5t")]
+    fn rejects_insufficient_resilience() {
+        let _ = BrachaBinary::new(
+            SystemConfig::new(5, 1).unwrap(),
+            ProcessId::new(0),
+            CoinMode::Local,
+        );
+    }
+
+    #[test]
+    fn common_coin_is_common_and_varied() {
+        let coin = CoinMode::Common { seed: 42 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<bool> = (1..64).map(|r| coin.flip(r, &mut rng)).collect();
+        let seq2: Vec<bool> = (1..64).map(|r| coin.flip(r, &mut rng)).collect();
+        assert_eq!(seq, seq2, "same round + seed => same flip");
+        assert!(seq.iter().any(|b| *b));
+        assert!(seq.iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn propose_broadcasts_round1_report() {
+        let cfg = SystemConfig::new(6, 1).unwrap();
+        let mut bin = BrachaBinary::new(cfg, ProcessId::new(0), CoinMode::Local);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Outbox::new();
+        bin.propose(true, &mut rng, &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0].1 {
+            IdbMessage::Init { key, value } => {
+                assert_eq!(*key, (ProcessId::new(0), 1, 1));
+                assert_eq!(*value, PhasePayload::Report(true));
+            }
+            other => panic!("expected Init, got {other:?}"),
+        }
+        // Second propose is a no-op.
+        bin.propose(false, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn payload_phase_matching_filters_mismatches() {
+        assert!(BrachaBinary::payload_matches_phase(
+            1,
+            &PhasePayload::Report(true)
+        ));
+        assert!(!BrachaBinary::payload_matches_phase(
+            1,
+            &PhasePayload::Propose(true)
+        ));
+        assert!(BrachaBinary::payload_matches_phase(
+            3,
+            &PhasePayload::Candidate {
+                value: false,
+                locked: true
+            }
+        ));
+        assert!(!BrachaBinary::payload_matches_phase(
+            2,
+            &PhasePayload::Candidate {
+                value: false,
+                locked: false
+            }
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! Underlying consensus primitives.
+//!
+//! Algorithm DEX assumes "an underlying consensus primitive that ensures
+//! agreement, termination and unanimity, but provides no guarantees about
+//! its running time" (§2.2). The primitive is an *abstraction* of whatever
+//! extra assumption (partial synchrony, failure detectors, randomization)
+//! makes asynchronous Byzantine consensus solvable at all.
+//!
+//! This crate provides the [`UnderlyingConsensus`] trait plus two
+//! implementations at opposite ends of the realism spectrum:
+//!
+//! * [`OracleConsensus`] — an idealized primitive built around a designated
+//!   *correct* coordinator (a stand-in for, e.g., a stable leader elected by
+//!   an Ω failure detector). It decides in exactly **two** point-to-point
+//!   steps, which is the best case the literature's 3-vs-4-step comparison
+//!   (paper §1.2 and §5) assumes for the fallback path.
+//! * [`ReducedMvc`] over [`BrachaBinary`] — a real randomized asynchronous
+//!   protocol with no oracle: proposals travel by Bracha reliable broadcast,
+//!   a Ben-Or-style binary consensus (phases transported over Identical
+//!   Broadcast to rule out equivocation, `n > 5t`) agrees on whether a
+//!   dominant proposal exists, and the unique dominant value (uniqueness
+//!   needs `n > 4t`) is adopted. It satisfies exactly the paper's three
+//!   required properties — agreement, termination (with probability 1),
+//!   unanimity — deciding a designated fallback value when proposals are
+//!   hopelessly split, which the spec permits.
+//!
+//! Implementations are transport-agnostic state machines: outgoing messages
+//! are pushed into an [`Outbox`] and the caller (a simulated actor, a
+//! thread, a test) moves them.
+//!
+//! # Examples
+//!
+//! Driving the oracle by hand with three processes:
+//!
+//! ```
+//! use dex_underlying::{OracleConsensus, Outbox, UnderlyingConsensus};
+//! use dex_types::{ProcessId, SystemConfig};
+//! use rand::SeedableRng;
+//!
+//! let cfg = SystemConfig::new(4, 1)?;
+//! let coordinator = ProcessId::new(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//!
+//! let mut uc: OracleConsensus<u64> = OracleConsensus::new(cfg, ProcessId::new(1), coordinator);
+//! let mut out = Outbox::new();
+//! uc.propose(9, &mut rng, &mut out);
+//! assert_eq!(out.drain().len(), 1); // one Propose to the coordinator
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// Quorum thresholds are written exactly as in the papers (t + 1, 2t + 1, …).
+#![allow(clippy::int_plus_one)]
+#![warn(missing_docs)]
+
+mod binary;
+mod mvc;
+mod oracle;
+mod outbox;
+mod traits;
+
+pub use binary::{BinKey, BinaryMsg, BrachaBinary, CoinMode, PhasePayload};
+pub use mvc::{MvcMsg, ReducedMvc};
+pub use oracle::{OracleConsensus, OracleMsg};
+pub use outbox::{Dest, Outbox};
+pub use traits::UnderlyingConsensus;

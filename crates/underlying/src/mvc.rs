@@ -1,0 +1,224 @@
+//! Multivalued underlying consensus reduced to binary consensus.
+//!
+//! The reduction (in the style of Correia–Neves–Veríssimo):
+//!
+//! 1. Every process **reliable-broadcasts** its proposal (one RB instance
+//!    per origin — Byzantine proposals are at least *consistent* across
+//!    correct receivers, and RB totality ensures everyone eventually
+//!    delivers the same proposal set).
+//! 2. After `n − t` proposals are delivered: if some value `v` occurs at
+//!    least `n − 2t` times, propose `1` to the binary consensus, else `0`.
+//! 3. If the binary consensus decides `1`: wait until *some* value reaches
+//!    `n − 2t` delivered copies and decide it — that value is **unique**
+//!    because two values with `n − 2t` copies each would need
+//!    `2(n − 2t) ≤ n`, i.e. `n ≤ 4t`, contradicting `n > 4t`. If the binary
+//!    consensus decides `0`, decide the designated **fallback** value.
+//!
+//! This satisfies exactly the underlying-consensus contract of §2.2:
+//!
+//! * **Agreement** — binary agreement + uniqueness of the dominant value.
+//! * **Termination** — if binary decides `1`, some correct process saw
+//!   `n − 2t` copies (binary unanimity rules out a pure-Byzantine `1`), and
+//!   RB totality propagates those copies to everyone.
+//! * **Unanimity** — all-correct-propose-`v` forces every correct process
+//!   to see ≥ `n − 2t` copies of `v`, hence a unanimous binary `1` and a
+//!   `v` decision.
+//!
+//! Note the contract does **not** include "the decision was proposed by
+//! someone" — and indeed the fallback value may be nobody's proposal. The
+//! paper's formal definition (§2.2) requires only the three properties
+//! above, which is what makes this reduction admissible as DEX's fallback
+//! engine.
+
+use crate::binary::{BinaryMsg, BrachaBinary, CoinMode};
+use crate::outbox::Outbox;
+use crate::traits::UnderlyingConsensus;
+use dex_broadcast::{Action, RbMessage, ReliableBroadcast};
+use dex_types::{ProcessId, SystemConfig, Value};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Wire messages: proposal dissemination or binary-consensus traffic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MvcMsg<V> {
+    /// Reliable-broadcast traffic for proposals.
+    Prop(RbMessage<ProcessId, V>),
+    /// Binary-consensus traffic.
+    Bin(BinaryMsg),
+}
+
+/// Multivalued underlying consensus for one process.
+///
+/// Requires `n > 5t` (inherited from [`BrachaBinary`]; the uniqueness
+/// argument only needs `n > 4t`).
+#[derive(Clone, Debug)]
+pub struct ReducedMvc<V> {
+    config: SystemConfig,
+    me: ProcessId,
+    rb: ReliableBroadcast<ProcessId, V>,
+    bin: BrachaBinary,
+    proposals: HashMap<ProcessId, V>,
+    proposed: bool,
+    bin_proposed: bool,
+    fallback: V,
+    decision: Option<V>,
+}
+
+impl<V: Value> ReducedMvc<V> {
+    /// Creates one process's endpoint. All processes must use the same
+    /// `fallback` value and, for [`CoinMode::Common`], the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 5t` (see [`BrachaBinary::new`]).
+    pub fn new(config: SystemConfig, me: ProcessId, coin: CoinMode, fallback: V) -> Self {
+        ReducedMvc {
+            config,
+            me,
+            rb: ReliableBroadcast::new(config),
+            bin: BrachaBinary::new(config, me, coin),
+            proposals: HashMap::new(),
+            proposed: false,
+            bin_proposed: false,
+            fallback,
+            decision: None,
+        }
+    }
+
+    /// The dominance threshold `n − 2t`.
+    fn dominance(&self) -> usize {
+        self.config.n() - 2 * self.config.t()
+    }
+
+    /// A value with at least `n − 2t` delivered copies, if any (unique for
+    /// `n > 4t`).
+    fn dominant_value(&self) -> Option<&V> {
+        let mut counts: HashMap<&V, usize> = HashMap::new();
+        for v in self.proposals.values() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .find(|(_, c)| *c >= self.dominance())
+            .map(|(v, _)| v)
+    }
+
+    fn maybe_bin_propose(&mut self, rng: &mut StdRng, out: &mut Outbox<MvcMsg<V>>) {
+        if self.bin_proposed || self.proposals.len() < self.config.quorum() {
+            return;
+        }
+        self.bin_proposed = true;
+        let bit = self.dominant_value().is_some();
+        let mut bin_out = Outbox::new();
+        self.bin.propose(bit, rng, &mut bin_out);
+        for (dest, m) in bin_out.drain() {
+            match dest {
+                crate::outbox::Dest::All => out.broadcast(MvcMsg::Bin(m)),
+                crate::outbox::Dest::To(p) => out.send(p, MvcMsg::Bin(m)),
+            }
+        }
+    }
+
+    fn try_finish(&mut self) {
+        if self.decision.is_some() {
+            return;
+        }
+        match self.bin.decision() {
+            Some(true) => {
+                if let Some(v) = self.dominant_value() {
+                    self.decision = Some(v.clone());
+                }
+                // else: totality will deliver more proposals; try again later.
+            }
+            Some(false) => {
+                self.decision = Some(self.fallback.clone());
+            }
+            None => {}
+        }
+    }
+}
+
+impl<V: Value> UnderlyingConsensus<V> for ReducedMvc<V> {
+    type Msg = MvcMsg<V>;
+
+    fn name(&self) -> &'static str {
+        "mvc"
+    }
+
+    fn propose(&mut self, value: V, _rng: &mut StdRng, out: &mut Outbox<MvcMsg<V>>) {
+        if self.proposed {
+            return;
+        }
+        self.proposed = true;
+        let init = ReliableBroadcast::rb_send(self.me, value);
+        out.broadcast(MvcMsg::Prop(init));
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: MvcMsg<V>,
+        rng: &mut StdRng,
+        out: &mut Outbox<MvcMsg<V>>,
+    ) {
+        match msg {
+            MvcMsg::Prop(m) => {
+                for action in self.rb.on_message(from, m) {
+                    match action {
+                        Action::Broadcast(m) => out.broadcast(MvcMsg::Prop(m)),
+                        Action::Deliver { key, value } => {
+                            self.proposals.insert(key, value);
+                        }
+                    }
+                }
+                self.maybe_bin_propose(rng, out);
+                self.try_finish();
+            }
+            MvcMsg::Bin(m) => {
+                let mut bin_out = Outbox::new();
+                self.bin.on_message(from, m, rng, &mut bin_out);
+                for (dest, m) in bin_out.drain() {
+                    match dest {
+                        crate::outbox::Dest::All => out.broadcast(MvcMsg::Bin(m)),
+                        crate::outbox::Dest::To(p) => out.send(p, MvcMsg::Bin(m)),
+                    }
+                }
+                self.try_finish();
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<&V> {
+        self.decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn propose_reliable_broadcasts_once() {
+        let cfg = SystemConfig::new(6, 1).unwrap();
+        let mut mvc: ReducedMvc<u64> =
+            ReducedMvc::new(cfg, ProcessId::new(2), CoinMode::Common { seed: 1 }, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Outbox::new();
+        mvc.propose(5, &mut rng, &mut out);
+        mvc.propose(6, &mut rng, &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(
+            &msgs[0].1,
+            MvcMsg::Prop(RbMessage::Init { key, value: 5 }) if *key == ProcessId::new(2)
+        ));
+    }
+
+    #[test]
+    fn dominance_threshold_is_n_minus_2t() {
+        let cfg = SystemConfig::new(6, 1).unwrap();
+        let mvc: ReducedMvc<u64> = ReducedMvc::new(cfg, ProcessId::new(0), CoinMode::Local, 0);
+        assert_eq!(mvc.dominance(), 4);
+    }
+}

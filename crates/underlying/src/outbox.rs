@@ -1,0 +1,103 @@
+//! Outgoing-message buffer decoupling protocol logic from transport.
+
+use dex_types::ProcessId;
+
+/// Destination of an outgoing message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dest {
+    /// A single process.
+    To(ProcessId),
+    /// Every process, including the sender.
+    All,
+}
+
+/// A buffer of outgoing `(destination, message)` pairs.
+///
+/// Protocol state machines push here; the embedding actor drains and maps
+/// onto the actual transport (a `dex_simnet::Context` or a thread channel).
+///
+/// # Examples
+///
+/// ```
+/// use dex_underlying::{Dest, Outbox};
+/// use dex_types::ProcessId;
+///
+/// let mut out: Outbox<&'static str> = Outbox::new();
+/// out.send(ProcessId::new(2), "hello");
+/// out.broadcast("to all");
+/// assert_eq!(out.drain().len(), 2);
+/// assert!(out.drain().is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Outbox<M> {
+    msgs: Vec<(Dest, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues a message to one process.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.msgs.push((Dest::To(to), msg));
+    }
+
+    /// Queues a message to every process (including the sender — protocol
+    /// broadcasts in the paper always include the sender itself).
+    pub fn broadcast(&mut self, msg: M) {
+        self.msgs.push((Dest::All, msg));
+    }
+
+    /// Takes all queued messages, leaving the outbox empty.
+    pub fn drain(&mut self) -> Vec<(Dest, M)> {
+        std::mem::take(&mut self.msgs)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Maps the message type, preserving destinations — used by wrappers
+    /// that embed one protocol's messages inside another's envelope.
+    pub fn map_into<N, F: FnMut(M) -> N>(self, mut f: F) -> Outbox<N> {
+        Outbox {
+            msgs: self.msgs.into_iter().map(|(d, m)| (d, f(m))).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_broadcast_drain() {
+        let mut out = Outbox::new();
+        out.send(ProcessId::new(1), 10u8);
+        out.broadcast(20u8);
+        assert_eq!(out.len(), 2);
+        let msgs = out.drain();
+        assert_eq!(msgs[0], (Dest::To(ProcessId::new(1)), 10));
+        assert_eq!(msgs[1], (Dest::All, 20));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_into_preserves_destinations() {
+        let mut out = Outbox::new();
+        out.send(ProcessId::new(3), 5u8);
+        out.broadcast(6u8);
+        let mapped: Outbox<String> = out.map_into(|m| format!("v{m}"));
+        let msgs = mapped.msgs;
+        assert_eq!(msgs[0], (Dest::To(ProcessId::new(3)), "v5".to_string()));
+        assert_eq!(msgs[1], (Dest::All, "v6".to_string()));
+    }
+}

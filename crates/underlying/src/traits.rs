@@ -1,0 +1,65 @@
+//! The `UnderlyingConsensus` abstraction (§2.2).
+
+use crate::outbox::Outbox;
+use dex_types::{ProcessId, Value};
+use rand::rngs::StdRng;
+
+/// The underlying consensus primitive assumed by Algorithm DEX (§2.2):
+/// `UC_propose(v)` / `UC_decide(v)` with **agreement**, **termination** and
+/// **unanimity**, but *no bound on running time*.
+///
+/// One instance lives inside each process. The embedding layer:
+///
+/// 1. calls [`propose`](UnderlyingConsensus::propose) exactly once,
+/// 2. routes every received protocol message into
+///    [`on_message`](UnderlyingConsensus::on_message),
+/// 3. transmits whatever lands in the [`Outbox`], and
+/// 4. polls [`decision`](UnderlyingConsensus::decision) (or checks it after
+///    each `on_message`) for `UC_decide`.
+///
+/// The `rng` parameter is the process's deterministic randomness source —
+/// randomized implementations ([`crate::BrachaBinary`]) draw their coins
+/// from it; deterministic ones ignore it.
+pub trait UnderlyingConsensus<V: Value>: Send {
+    /// This implementation's wire message type.
+    type Msg: Clone + core::fmt::Debug + Send + 'static;
+
+    /// Short name for reports (e.g. `"oracle"`, `"mvc"`).
+    fn name(&self) -> &'static str;
+
+    /// `UC_propose(v)`. Must be called at most once; later calls are
+    /// ignored.
+    fn propose(&mut self, value: V, rng: &mut StdRng, out: &mut Outbox<Self::Msg>);
+
+    /// Feeds one received message (with its authenticated sender) into the
+    /// protocol.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        rng: &mut StdRng,
+        out: &mut Outbox<Self::Msg>,
+    );
+
+    /// `UC_decide`: the decided value once the protocol has terminated
+    /// locally.
+    fn decision(&self) -> Option<&V>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleConsensus;
+    use dex_types::SystemConfig;
+
+    #[test]
+    fn trait_is_usable_generically() {
+        fn poke<V: Value, U: UnderlyingConsensus<V>>(u: &U) -> Option<&V> {
+            u.decision()
+        }
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let uc: OracleConsensus<u64> =
+            OracleConsensus::new(cfg, ProcessId::new(0), ProcessId::new(0));
+        assert_eq!(poke(&uc), None);
+    }
+}

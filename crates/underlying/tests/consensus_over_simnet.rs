@@ -1,0 +1,259 @@
+//! Integration: the underlying consensus implementations running over the
+//! discrete-event simulator, with and without faults.
+
+use dex_simnet::{Actor, Context, DelayModel, Simulation};
+use dex_types::{ProcessId, StepDepth, SystemConfig, Value};
+use dex_underlying::{CoinMode, Dest, OracleConsensus, Outbox, ReducedMvc, UnderlyingConsensus};
+
+/// Wraps any `UnderlyingConsensus` as a simnet actor.
+struct UcActor<V: Value, U: UnderlyingConsensus<V>> {
+    uc: U,
+    proposal: V,
+    decided_at: Option<StepDepth>,
+}
+
+impl<V: Value, U: UnderlyingConsensus<V>> UcActor<V, U> {
+    fn new(uc: U, proposal: V) -> Self {
+        UcActor {
+            uc,
+            proposal,
+            decided_at: None,
+        }
+    }
+
+    fn decision(&self) -> Option<&V> {
+        self.uc.decision()
+    }
+
+    fn flush(out: &mut Outbox<U::Msg>, ctx: &mut Context<'_, U::Msg>) {
+        for (dest, m) in out.drain() {
+            match dest {
+                Dest::All => ctx.broadcast(m),
+                Dest::To(p) => ctx.send(p, m),
+            }
+        }
+    }
+}
+
+impl<V: Value, U: UnderlyingConsensus<V> + 'static> Actor for UcActor<V, U> {
+    type Msg = U::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, U::Msg>) {
+        let mut out = Outbox::new();
+        let v = self.proposal.clone();
+        self.uc.propose(v, ctx.rng(), &mut out);
+        Self::flush(&mut out, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: U::Msg, ctx: &mut Context<'_, U::Msg>) {
+        let mut out = Outbox::new();
+        self.uc.on_message(from, msg, ctx.rng(), &mut out);
+        Self::flush(&mut out, ctx);
+        if self.uc.decision().is_some() && self.decided_at.is_none() {
+            self.decided_at = Some(ctx.depth());
+        }
+    }
+}
+
+/// Either a live consensus participant or a crashed process.
+enum Node<V: Value, U: UnderlyingConsensus<V>> {
+    Live(UcActor<V, U>),
+    Crashed,
+}
+
+impl<V: Value, U: UnderlyingConsensus<V> + 'static> Actor for Node<V, U> {
+    type Msg = U::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, U::Msg>) {
+        if let Node::Live(a) = self {
+            a.on_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: U::Msg, ctx: &mut Context<'_, U::Msg>) {
+        if let Node::Live(a) = self {
+            a.on_message(from, msg, ctx);
+        }
+    }
+}
+
+fn oracle_nodes(
+    cfg: SystemConfig,
+    proposals: &[u64],
+    crashed: &[usize],
+) -> Vec<Node<u64, OracleConsensus<u64>>> {
+    // The coordinator must be correct: pick the first non-crashed process.
+    let coordinator = (0..cfg.n())
+        .find(|i| !crashed.contains(i))
+        .map(ProcessId::new)
+        .expect("at least one correct process");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if crashed.contains(&i) {
+                Node::Crashed
+            } else {
+                Node::Live(UcActor::new(
+                    OracleConsensus::new(cfg, ProcessId::new(i), coordinator),
+                    *v,
+                ))
+            }
+        })
+        .collect()
+}
+
+fn mvc_nodes(
+    cfg: SystemConfig,
+    proposals: &[u64],
+    crashed: &[usize],
+    coin: CoinMode,
+) -> Vec<Node<u64, ReducedMvc<u64>>> {
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if crashed.contains(&i) {
+                Node::Crashed
+            } else {
+                Node::Live(UcActor::new(
+                    ReducedMvc::new(cfg, ProcessId::new(i), coin, u64::MAX),
+                    *v,
+                ))
+            }
+        })
+        .collect()
+}
+
+fn decisions<V: Value, U: UnderlyingConsensus<V> + 'static>(
+    sim: &Simulation<Node<V, U>>,
+) -> Vec<Option<V>>
+where
+    U::Msg: Clone,
+{
+    sim.actors()
+        .iter()
+        .map(|n| match n {
+            Node::Live(a) => a.decision().cloned(),
+            Node::Crashed => None,
+        })
+        .collect()
+}
+
+#[test]
+fn oracle_decides_in_two_steps_all_correct() {
+    let cfg = SystemConfig::new(4, 1).unwrap();
+    for seed in 0..20 {
+        let nodes = oracle_nodes(cfg, &[7, 7, 9, 7], &[]);
+        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        assert!(sim.run(100_000).quiescent);
+        let ds = decisions(&sim);
+        // Agreement + termination.
+        assert!(ds.iter().all(|d| d.is_some()), "seed {seed}");
+        assert!(ds.iter().all(|d| d == &ds[0]), "seed {seed}");
+        // Plurality of any n−t subset of (7,7,9,7) is 7.
+        assert_eq!(ds[0], Some(7));
+        // Two-step decision depth.
+        for node in sim.actors() {
+            if let Node::Live(a) = node {
+                assert_eq!(a.decided_at, Some(StepDepth::new(2)), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_tolerates_crashed_minority() {
+    let cfg = SystemConfig::new(4, 1).unwrap();
+    for seed in 0..10 {
+        let nodes = oracle_nodes(cfg, &[5, 5, 5, 5], &[3]);
+        let mut sim = Simulation::new(nodes, seed, DelayModel::default());
+        assert!(sim.run(100_000).quiescent);
+        let ds = decisions(&sim);
+        for (i, d) in ds.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(*d, Some(5), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_crashed_coordinator_candidate_is_skipped() {
+    // Process 0 is crashed; the helper must route around it.
+    let cfg = SystemConfig::new(4, 1).unwrap();
+    let nodes = oracle_nodes(cfg, &[5, 6, 6, 6], &[0]);
+    let mut sim = Simulation::new(nodes, 1, DelayModel::default());
+    assert!(sim.run(100_000).quiescent);
+    let ds = decisions(&sim);
+    assert_eq!(ds[1], Some(6));
+    assert_eq!(ds[1], ds[2]);
+    assert_eq!(ds[2], ds[3]);
+}
+
+#[test]
+fn mvc_unanimity_all_correct() {
+    let cfg = SystemConfig::new(6, 1).unwrap();
+    for seed in 0..10 {
+        let nodes = mvc_nodes(cfg, &[7; 6], &[], CoinMode::Common { seed: 99 });
+        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        let out = sim.run(3_000_000);
+        assert!(out.quiescent, "seed {seed}: must terminate");
+        let ds = decisions(&sim);
+        assert!(ds.iter().all(|d| *d == Some(7)), "seed {seed}: {ds:?}");
+    }
+}
+
+#[test]
+fn mvc_agreement_on_split_proposals() {
+    let cfg = SystemConfig::new(6, 1).unwrap();
+    for seed in 0..10 {
+        let nodes = mvc_nodes(cfg, &[1, 2, 3, 4, 5, 6], &[], CoinMode::Common { seed: 5 });
+        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        assert!(sim.run(3_000_000).quiescent, "seed {seed}");
+        let ds = decisions(&sim);
+        assert!(ds.iter().all(|d| d.is_some()), "seed {seed}");
+        assert!(ds.iter().all(|d| d == &ds[0]), "seed {seed}: {ds:?}");
+    }
+}
+
+#[test]
+fn mvc_tolerates_silent_fault() {
+    let cfg = SystemConfig::new(6, 1).unwrap();
+    for seed in 0..10 {
+        let nodes = mvc_nodes(cfg, &[4; 6], &[2], CoinMode::Common { seed: 3 });
+        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        assert!(sim.run(3_000_000).quiescent, "seed {seed}");
+        let ds = decisions(&sim);
+        for (i, d) in ds.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*d, Some(4), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mvc_local_coin_still_terminates() {
+    // Local coins: exponential expected rounds, but n is tiny and the split
+    // needs only a couple of lucky flips.
+    let cfg = SystemConfig::new(6, 1).unwrap();
+    let nodes = mvc_nodes(cfg, &[1, 1, 1, 2, 2, 2], &[], CoinMode::Local);
+    let mut sim = Simulation::new(nodes, 42, DelayModel::Uniform { min: 1, max: 5 });
+    assert!(sim.run(20_000_000).quiescent);
+    let ds = decisions(&sim);
+    assert!(ds.iter().all(|d| d.is_some()));
+    assert!(ds.iter().all(|d| d == &ds[0]));
+}
+
+#[test]
+fn mvc_decisions_are_deterministic_per_seed() {
+    let cfg = SystemConfig::new(6, 1).unwrap();
+    let run = |seed| {
+        let nodes = mvc_nodes(cfg, &[1, 2, 1, 2, 1, 2], &[], CoinMode::Common { seed: 8 });
+        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        assert!(sim.run(3_000_000).quiescent);
+        decisions(&sim)
+    };
+    assert_eq!(run(3), run(3));
+}

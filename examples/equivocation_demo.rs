@@ -1,0 +1,104 @@
+//! Fig. 2 live: a Byzantine sender equivocates, Identical Broadcast makes
+//! every correct process deliver the same message anyway — and the same
+//! attack *does* split the plain point-to-point views, which is exactly
+//! why DEX runs its one-step channel at the stricter `P1` threshold.
+//!
+//! ```text
+//! cargo run --example equivocation_demo
+//! ```
+
+use dex::broadcast::{Action, IdbMessage, IdenticalBroadcast};
+use dex::prelude::*;
+
+type Msg = IdbMessage<ProcessId, u64>;
+
+enum Node {
+    Correct {
+        machine: IdenticalBroadcast<ProcessId, u64>,
+        p_view: Vec<(ProcessId, u64)>, // what plain sends would have shown
+        id_view: Vec<(ProcessId, u64)>, // what IDB actually delivers
+    },
+    Equivocator,
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = ctx.me();
+        match self {
+            Node::Correct { .. } => ctx.broadcast(IdenticalBroadcast::id_send(me, 100)),
+            Node::Equivocator => {
+                // p4 tells half the system "7" and the other half "9".
+                for i in 0..ctx.n() {
+                    let value = if i < ctx.n() / 2 { 7 } else { 9 };
+                    ctx.send(ProcessId::new(i), IdbMessage::Init { key: me, value });
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Node::Correct {
+            machine,
+            p_view,
+            id_view,
+        } = self
+        {
+            if let IdbMessage::Init { key, value } = &msg {
+                if *key == from {
+                    p_view.push((from, *value)); // the raw, splittable view
+                }
+            }
+            for action in machine.on_message(from, msg) {
+                match action {
+                    Action::Broadcast(m) => ctx.broadcast(m),
+                    Action::Deliver { key, value } => id_view.push((key, value)),
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("Identical Broadcast vs an equivocating sender (n = 5, t = 1)\n");
+    let cfg = SystemConfig::new(5, 1).expect("5 > 4t");
+    let mut nodes: Vec<Node> = (0..4)
+        .map(|_| Node::Correct {
+            machine: IdenticalBroadcast::new(cfg),
+            p_view: Vec::new(),
+            id_view: Vec::new(),
+        })
+        .collect();
+    nodes.push(Node::Equivocator);
+
+    let mut sim = Simulation::new(nodes, 3, DelayModel::Uniform { min: 1, max: 15 });
+    assert!(sim.run(1_000_000).quiescent);
+
+    for i in 0..4 {
+        if let Node::Correct {
+            p_view, id_view, ..
+        } = sim.actor(ProcessId::new(i))
+        {
+            let raw: Vec<String> = p_view
+                .iter()
+                .filter(|(from, _)| from.index() == 4)
+                .map(|(_, v)| v.to_string())
+                .collect();
+            let idb: Vec<String> = id_view
+                .iter()
+                .filter(|(from, _)| from.index() == 4)
+                .map(|(_, v)| v.to_string())
+                .collect();
+            println!(
+                "p{i}: raw init from p4 = [{}]   Id-Received from p4 = [{}]",
+                raw.join(", "),
+                idb.join(", ")
+            );
+        }
+    }
+    println!(
+        "\nThe raw inits differ across receivers (7 vs 9); the Id-Receive column is\n\
+         identical everywhere (or empty) — the agreement property of Theorem 4."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: DEX deciding in one step on a unanimous input, then the
+//! full path ladder (one-step / two-step / fallback) as agreement degrades.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dex::prelude::*;
+
+fn run_once(label: &str, input: InputVector<u64>) {
+    let config = SystemConfig::new(7, 1).expect("7 > 3t");
+    let result = run_spec(&RunSpec {
+        config,
+        algo: Algo::DexFreq,
+        underlying: UnderlyingKind::Oracle,
+        strategy: ByzantineStrategy::Silent,
+        fault_plan: FaultPlan::none(),
+        input: input.clone(),
+        delay: DelayModel::Uniform { min: 1, max: 10 },
+        seed: 2010,
+        max_events: 1_000_000,
+    });
+    assert!(result.agreement_ok(), "agreement must hold");
+    assert!(result.all_decided(), "termination must hold");
+    println!("{label}: input {input}");
+    for (i, outcome) in result.outcomes.iter().enumerate() {
+        if let dex::harness::runner::Outcome::Decided(r) = outcome {
+            println!(
+                "  p{i} decided {} via {:>8} after {} step(s)",
+                r.value, r.path, r.steps
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("DEX (frequency pair), n = 7, t = 1, oracle fallback\n");
+
+    // All processes propose the same value: margin 7 > 4t = 4 ⇒ one step.
+    run_once("unanimous", InputVector::unanimous(7, 42));
+
+    // 5-vs-2 split: margin 3 ∈ (2t, 4t] ⇒ the doubly-expedited two-step
+    // channel — the paper's new capability.
+    run_once(
+        "moderate split",
+        InputVector::new(vec![42, 42, 42, 42, 42, 7, 7]),
+    );
+
+    // 4-vs-3 split: margin 1 ≤ 2t ⇒ underlying consensus (4 steps total).
+    run_once(
+        "heavy split",
+        InputVector::new(vec![42, 42, 42, 42, 7, 7, 7]),
+    );
+}

@@ -1,0 +1,216 @@
+//! `dex-sim` — command-line driver for one-off consensus simulations.
+//!
+//! ```text
+//! cargo run --release --bin dex-sim -- --n 7 --t 1 --algo dex-freq \
+//!     --workload bernoulli:0.8 --adversary equivocate --f 1 --runs 50
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! | flag | values | default |
+//! |---|---|---|
+//! | `--n` | system size | `7` |
+//! | `--t` | fault bound | `1` |
+//! | `--f` | actual faults per run (≤ t) | `0` |
+//! | `--algo` | `dex-freq`, `dex-prv:<m>`, `bosco`, `plain`, `brasileiro`, `crash-adaptive` | `dex-freq` |
+//! | `--workload` | `unanimous:<v>`, `bernoulli:<p>`, `uniform:<domain>`, `zipf:<domain>:<s>`, `split:<minor_count>` | `unanimous:1` |
+//! | `--adversary` | `silent`, `lie:<v>`, `equivocate`, `echo-poison`, `crash-mid:<reach>` | `silent` |
+//! | `--underlying` | `oracle`, `mvc` | `oracle` |
+//! | `--runs` | batch size | `20` |
+//! | `--seed` | base seed | `0` |
+
+use dex::adversary::ByzantineStrategy;
+use dex::harness::runner::{run_batch, Algo, BatchSpec, Placement, UnderlyingKind};
+use dex::simnet::DelayModel;
+use dex::types::SystemConfig;
+use dex::workloads::{
+    BernoulliMix, InputGenerator, SplitCount, Unanimous, UniformRandom, ZipfRequests,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags() -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("missing value for --{name}");
+                std::process::exit(2);
+            });
+            flags.insert(name.to_string(), value);
+        } else {
+            eprintln!("unexpected argument: {arg} (flags look like --name value)");
+            std::process::exit(2);
+        }
+    }
+    flags
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("could not parse --{key} {raw}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() -> ExitCode {
+    let flags = parse_flags();
+    if flags.contains_key("help") {
+        println!("see the module docs at the top of src/bin/dex-sim.rs for the flag table");
+        return ExitCode::SUCCESS;
+    }
+    let n: usize = parse(&flags, "n", 7);
+    let t: usize = parse(&flags, "t", 1);
+    let f: usize = parse(&flags, "f", 0);
+    let runs: usize = parse(&flags, "runs", 20);
+    let seed0: u64 = parse(&flags, "seed", 0);
+
+    let config = match SystemConfig::new(n, t) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad configuration: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let algo_raw = flags.get("algo").map(String::as_str).unwrap_or("dex-freq");
+    let algo = match algo_raw.split(':').collect::<Vec<_>>().as_slice() {
+        ["dex-freq"] => Algo::DexFreq,
+        ["dex-prv"] => Algo::DexPrv { m: 1 },
+        ["dex-prv", m] => Algo::DexPrv {
+            m: m.parse().expect("numeric privileged value"),
+        },
+        ["bosco"] => Algo::Bosco,
+        ["plain"] | ["underlying-only"] => Algo::UnderlyingOnly,
+        ["brasileiro"] => Algo::Brasileiro,
+        ["crash-adaptive"] => Algo::CrashAdaptive,
+        _ => {
+            eprintln!("unknown --algo {algo_raw}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workload_raw = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("unanimous:1");
+    let workload: Box<dyn InputGenerator + Sync> =
+        match workload_raw.split(':').collect::<Vec<_>>().as_slice() {
+            ["unanimous", v] => Box::new(Unanimous {
+                value: v.parse().expect("numeric value"),
+            }),
+            ["unanimous"] => Box::new(Unanimous { value: 1 }),
+            ["bernoulli", p] => Box::new(BernoulliMix {
+                p: p.parse().expect("probability"),
+                a: 1,
+                b: 0,
+            }),
+            ["uniform", d] => Box::new(UniformRandom {
+                domain: d.parse().expect("domain size"),
+            }),
+            ["zipf", d, s] => Box::new(ZipfRequests {
+                domain: d.parse().expect("domain size"),
+                s: s.parse().expect("skew"),
+            }),
+            ["split", mc] => Box::new(SplitCount {
+                major: 1,
+                minor: 0,
+                minor_count: mc.parse().expect("minority count"),
+            }),
+            _ => {
+                eprintln!("unknown --workload {workload_raw}");
+                return ExitCode::from(2);
+            }
+        };
+
+    let adversary_raw = flags
+        .get("adversary")
+        .map(String::as_str)
+        .unwrap_or("silent");
+    let strategy = match adversary_raw.split(':').collect::<Vec<_>>().as_slice() {
+        ["silent"] => ByzantineStrategy::Silent,
+        ["lie", v] => ByzantineStrategy::ConsistentLie {
+            value: v.parse().expect("numeric value"),
+        },
+        ["lie"] => ByzantineStrategy::ConsistentLie { value: 0 },
+        ["equivocate"] => ByzantineStrategy::Equivocate { values: vec![0, 1] },
+        ["echo-poison"] => ByzantineStrategy::EchoPoison { values: vec![0, 1] },
+        ["crash-mid", reach] => ByzantineStrategy::CrashMid {
+            value: 1,
+            reach: reach.parse().expect("reach"),
+        },
+        _ => {
+            eprintln!("unknown --adversary {adversary_raw}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let underlying = match flags
+        .get("underlying")
+        .map(String::as_str)
+        .unwrap_or("oracle")
+    {
+        "oracle" => UnderlyingKind::Oracle,
+        "mvc" => UnderlyingKind::Mvc { coin_seed: seed0 },
+        other => {
+            eprintln!("unknown --underlying {other}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let stats = run_batch(&BatchSpec {
+        config,
+        algo,
+        underlying,
+        strategy,
+        f,
+        placement: Placement::RandomK,
+        workload: workload.as_ref(),
+        delay: DelayModel::Uniform { min: 1, max: 10 },
+        runs,
+        seed0,
+        max_events: 50_000_000,
+    });
+
+    println!(
+        "{} on {} | workload {} | adversary {} (f = {f}) | {} runs",
+        algo.label(),
+        config,
+        workload.name(),
+        adversary_raw,
+        stats.runs
+    );
+    println!(
+        "decision paths: 1-step {:.1}%  2-step {:.1}%  fallback {:.1}%",
+        100.0 * stats.path_fraction("1-step"),
+        100.0 * stats.path_fraction("2-step"),
+        100.0 * stats.path_fraction("fallback"),
+    );
+    println!(
+        "steps: mean {:.2}  min {:.0}  max {:.0}   latency: mean {:.1}  p99 {:.1}",
+        stats.steps.mean(),
+        stats.steps.min().unwrap_or(0.0),
+        stats.steps.max().unwrap_or(0.0),
+        stats.latency.mean(),
+        stats.latency.quantile(0.99).unwrap_or(0.0),
+    );
+    println!(
+        "messages/run: mean {:.0}   violations: agreement {}  unanimity {}  undecided {}  non-quiescent {}",
+        stats.messages.mean(),
+        stats.agreement_violations,
+        stats.unanimity_violations,
+        stats.undecided,
+        stats.non_quiescent,
+    );
+    if stats.clean() {
+        println!("all runs clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("VIOLATIONS DETECTED");
+        ExitCode::FAILURE
+    }
+}

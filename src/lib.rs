@@ -1,0 +1,86 @@
+//! # DEX — Doubly-Expedited One-Step Byzantine Consensus
+//!
+//! A complete Rust reproduction of *“Doubly-Expedited One-Step Byzantine
+//! Consensus”* (Banu, Izumi, Wada — DSN 2010): the DEX algorithm, its
+//! legality framework and both legal condition-sequence pairs, the
+//! Identical Broadcast primitive, two underlying-consensus engines, the
+//! Bosco baseline, a deterministic discrete-event simulator plus a real
+//! threaded runtime, Byzantine adversaries, workloads, and an experiment
+//! harness regenerating every table/figure-level claim of the paper.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `dex-types` | process ids, configs, input vectors, views, step depths |
+//! | [`conditions`] | `dex-conditions` | conditions, legality pairs, exhaustive verifier |
+//! | [`broadcast`] | `dex-broadcast` | Identical Broadcast (Fig. 3), reliable broadcast |
+//! | [`underlying`] | `dex-underlying` | oracle + randomized underlying consensus |
+//! | [`core`] | `dex-core` | **Algorithm DEX** (Fig. 1) |
+//! | [`baselines`] | `dex-baselines` | Bosco, underlying-only |
+//! | [`adversary`] | `dex-adversary` | Byzantine strategies, fault plans |
+//! | [`simnet`] | `dex-simnet` | deterministic discrete-event simulator |
+//! | [`threadnet`] | `dex-threadnet` | threaded runtime over crossbeam channels |
+//! | [`workloads`] | `dex-workloads` | input-vector generators |
+//! | [`metrics`] | `dex-metrics` | summaries, counters, tables |
+//! | [`replication`] | `dex-replication` | replicated KV state machine on multi-slot DEX |
+//! | [`harness`] | `dex-harness` | per-experiment drivers (E1–E13) |
+//!
+//! # Quickstart
+//!
+//! Seven processes, one tolerated fault, unanimous proposals — the paper's
+//! flagship scenario, deciding in a **single communication step**:
+//!
+//! ```
+//! use dex::prelude::*;
+//!
+//! let config = SystemConfig::new(7, 1)?;
+//! let result = run_spec(&RunSpec {
+//!     config,
+//!     algo: Algo::DexFreq,
+//!     underlying: UnderlyingKind::Oracle,
+//!     strategy: ByzantineStrategy::Silent,
+//!     fault_plan: FaultPlan::none(),
+//!     input: InputVector::unanimous(7, 42),
+//!     delay: DelayModel::Uniform { min: 1, max: 10 },
+//!     seed: 1,
+//!     max_events: 1_000_000,
+//! });
+//! assert!(result.agreement_ok() && result.all_decided());
+//! assert_eq!(result.max_steps(), Some(1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios (state-machine replication,
+//! atomic commitment, equivocation defence, threaded execution) and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dex_adversary as adversary;
+pub use dex_baselines as baselines;
+pub use dex_broadcast as broadcast;
+pub use dex_conditions as conditions;
+pub use dex_core as core;
+pub use dex_harness as harness;
+pub use dex_metrics as metrics;
+pub use dex_replication as replication;
+pub use dex_simnet as simnet;
+pub use dex_threadnet as threadnet;
+pub use dex_types as types;
+pub use dex_underlying as underlying;
+pub use dex_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use dex_adversary::{ByzantineStrategy, FaultPlan};
+    pub use dex_conditions::{FrequencyPair, LegalityPair, PrivilegedPair};
+    pub use dex_core::{DecisionPath, DexActor, DexMsg, DexProcess};
+    pub use dex_harness::runner::{
+        run_batch, run_spec, Algo, BatchSpec, Placement, RunResult, RunSpec, UnderlyingKind,
+    };
+    pub use dex_simnet::{Actor, Context, DelayModel, Simulation};
+    pub use dex_types::{InputVector, ProcessId, StepDepth, SystemConfig, View};
+    pub use dex_underlying::{OracleConsensus, Outbox, ReducedMvc, UnderlyingConsensus};
+}

@@ -1,0 +1,220 @@
+//! Boundary exactness: the paper's thresholds are tight. These tests place
+//! the system *exactly at* each boundary and check that guarantees hold
+//! there and stop holding one tick below — surgically, with deterministic
+//! lockstep schedules.
+
+use dex::adversary::{ByzantineStrategy, FaultPlan};
+use dex::conditions::{FrequencyPair, PairError, PrivilegedPair};
+use dex::harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex::simnet::DelayModel;
+use dex::types::{InputVector, ProcessId, SystemConfig};
+
+fn lockstep_spec(
+    cfg: SystemConfig,
+    algo: Algo,
+    input: InputVector<u64>,
+    strategy: ByzantineStrategy<u64>,
+    f: usize,
+    seed: u64,
+) -> RunSpec {
+    RunSpec {
+        config: cfg,
+        algo,
+        underlying: UnderlyingKind::Oracle,
+        strategy,
+        fault_plan: FaultPlan::last_k(cfg, f),
+        input,
+        delay: DelayModel::Constant(1),
+        seed,
+        max_events: 10_000_000,
+    }
+}
+
+#[test]
+fn pair_constructors_enforce_exact_resilience() {
+    // n = 6t is rejected, n = 6t + 1 accepted (frequency pair).
+    for t in 1..=4 {
+        let low = SystemConfig::new(6 * t, t).unwrap();
+        assert!(matches!(
+            FrequencyPair::new(low),
+            Err(PairError::InsufficientResilience { .. })
+        ));
+        let ok = SystemConfig::new(6 * t + 1, t).unwrap();
+        assert!(FrequencyPair::new(ok).is_ok());
+    }
+    // n = 5t rejected, n = 5t + 1 accepted (privileged pair). n = 5t may
+    // violate even the SystemConfig invariant for small t, so start at 2.
+    for t in 2..=4 {
+        let low = SystemConfig::new(5 * t, t).unwrap();
+        assert!(PrivilegedPair::new(low, 1u64).is_err());
+        let ok = SystemConfig::new(5 * t + 1, t).unwrap();
+        assert!(PrivilegedPair::new(ok, 1u64).is_ok());
+    }
+}
+
+#[test]
+fn p1_fires_exactly_above_4t() {
+    // n = 13, t = 2: margin 9 > 8 fires, margin 8 does not — measured
+    // through the actual algorithm, not just the predicate.
+    let cfg = SystemConfig::new(13, 2).unwrap();
+    // margin 9: mc = 2.
+    let mut in_c1 = vec![1u64; 13];
+    in_c1[0] = 0;
+    in_c1[1] = 0;
+    let r = run_spec(&lockstep_spec(
+        cfg,
+        Algo::DexFreq,
+        InputVector::new(in_c1),
+        ByzantineStrategy::Silent,
+        0,
+        1,
+    ));
+    assert!(r.decided().all(|p| p.steps == 1), "margin 9 > 4t = 8");
+
+    // margin 7: mc = 3 — strictly between 2t and 4t: all two-step.
+    let mut in_c2 = vec![1u64; 13];
+    for e in in_c2.iter_mut().take(3) {
+        *e = 0;
+    }
+    let r = run_spec(&lockstep_spec(
+        cfg,
+        Algo::DexFreq,
+        InputVector::new(in_c2),
+        ByzantineStrategy::Silent,
+        0,
+        1,
+    ));
+    assert!(
+        r.decided().all(|p| p.steps == 2),
+        "margin 7 ∈ (4, 8] is exactly the two-step band"
+    );
+}
+
+#[test]
+fn p2_boundary_at_2t() {
+    let cfg = SystemConfig::new(13, 2).unwrap();
+    // margin 5 > 4 = 2t: two-step. margin 3 ≤ 4: fallback.
+    for (mc, expected_steps) in [(4usize, 2u32), (5, 4)] {
+        let mut entries = vec![1u64; 13];
+        for e in entries.iter_mut().take(mc) {
+            *e = 0;
+        }
+        let r = run_spec(&lockstep_spec(
+            cfg,
+            Algo::DexFreq,
+            InputVector::new(entries),
+            ByzantineStrategy::Silent,
+            0,
+            2,
+        ));
+        assert!(
+            r.decided().all(|p| p.steps == expected_steps),
+            "mc = {mc}: expected {expected_steps} steps, got {:?}",
+            r.decided().map(|p| p.steps).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn prv_p1_boundary_at_3t() {
+    let cfg = SystemConfig::new(11, 2).unwrap();
+    // #m = 7 > 6 = 3t: one-step. #m = 6: not guaranteed — with lockstep
+    // full views it means P1 never fires (view #m = 6 exactly), so the
+    // two-step or fallback path handles it (#m = 6 > 4 = 2t ⇒ two-step).
+    for (commits, expected_steps) in [(7usize, 1u32), (6, 2)] {
+        let mut entries = vec![0u64; 11];
+        for e in entries.iter_mut().take(commits) {
+            *e = 1;
+        }
+        let r = run_spec(&lockstep_spec(
+            cfg,
+            Algo::DexPrv { m: 1 },
+            InputVector::new(entries),
+            ByzantineStrategy::Silent,
+            0,
+            3,
+        ));
+        assert!(
+            r.decided()
+                .all(|p| p.steps == expected_steps && p.value == 1),
+            "#m = {commits}: {:?}",
+            r.decided().map(|p| (p.steps, p.value)).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn bosco_strong_boundary_at_7t() {
+    // Unanimous correct proposals, t lying faults. At n = 7t + 1 the
+    // supermajority rule is guaranteed; at n = 6t + 1 the liar can break it
+    // in lockstep runs (all n views include its t lies: n − t matching
+    // votes vs threshold (n + 3t)/2 + 1; for n = 13, t = 2: 11 vs 10 — it
+    // still fires! The *weak* bound is about guarantee under adversarial
+    // scheduling, so check the genuinely losing case: the liar's votes plus
+    // scheduling). We pin the exact counting instead:
+    let t = 2;
+    let strong = SystemConfig::new(7 * t + 1, t).unwrap(); // 15
+    let r = run_spec(&lockstep_spec(
+        strong,
+        Algo::Bosco,
+        InputVector::unanimous(15, 1),
+        ByzantineStrategy::ConsistentLie { value: 0 },
+        t,
+        4,
+    ));
+    // Threshold: > (15 + 6)/2 = 10.5 ⇒ ≥ 11 matching among the first 13.
+    // Worst case includes both lies: 11 true votes ≥ 11 ⇒ always decides.
+    assert!(
+        r.decided().all(|p| p.steps == 1),
+        "strongly one-step at n = 7t + 1: {:?}",
+        r.decided().map(|p| p.steps).collect::<Vec<_>>()
+    );
+
+    let weak = SystemConfig::new(6 * t + 1, t).unwrap(); // 13
+    let mut one_step_everywhere = true;
+    for seed in 0..30 {
+        let r = run_spec(&RunSpec {
+            delay: DelayModel::Uniform { min: 1, max: 20 },
+            seed,
+            ..lockstep_spec(
+                weak,
+                Algo::Bosco,
+                InputVector::unanimous(13, 1),
+                ByzantineStrategy::ConsistentLie { value: 0 },
+                t,
+                0,
+            )
+        });
+        if !r.decided().all(|p| p.steps == 1) {
+            one_step_everywhere = false;
+        }
+        assert!(r.agreement_ok() && r.all_decided());
+    }
+    assert!(
+        !one_step_everywhere,
+        "below 7t + 1 Bosco must lose one-step decisions on some schedule"
+    );
+}
+
+#[test]
+fn idb_quorums_are_exact() {
+    use dex::broadcast::{Action, IdbMessage, IdenticalBroadcast};
+    // n = 9, t = 2: amplification at exactly n − 2t = 5, acceptance at
+    // exactly n − t = 7 — one echo earlier, nothing happens.
+    let cfg = SystemConfig::new(9, 2).unwrap();
+    let mut idb: IdenticalBroadcast<ProcessId, u64> = IdenticalBroadcast::new(cfg);
+    let key = ProcessId::new(0);
+    for i in 1..5 {
+        assert!(idb
+            .on_message(ProcessId::new(i), IdbMessage::Echo { key, value: 7 })
+            .is_empty());
+    }
+    let at5 = idb.on_message(ProcessId::new(5), IdbMessage::Echo { key, value: 7 });
+    assert!(matches!(at5.as_slice(), [Action::Broadcast(_)]));
+    assert!(idb
+        .on_message(ProcessId::new(6), IdbMessage::Echo { key, value: 7 })
+        .is_empty());
+    // Our own amplified echo counts as the 7th witness when it loops back.
+    let at7 = idb.on_message(ProcessId::new(7), IdbMessage::Echo { key, value: 7 });
+    assert!(at7.contains(&Action::Deliver { key, value: 7 }));
+}

@@ -1,0 +1,61 @@
+//! Full-stack determinism: identical seeds reproduce identical executions
+//! bit-for-bit, across every algorithm and adversary. This is what makes
+//! every number in EXPERIMENTS.md reproducible.
+
+use dex::adversary::{ByzantineStrategy, FaultPlan};
+use dex::harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex::simnet::DelayModel;
+use dex::types::{InputVector, SystemConfig};
+
+fn spec(algo: Algo, underlying: UnderlyingKind, seed: u64) -> RunSpec {
+    let config = SystemConfig::new(8, 1).unwrap();
+    RunSpec {
+        config,
+        algo,
+        underlying,
+        strategy: ByzantineStrategy::EchoPoison { values: vec![0, 9] },
+        fault_plan: FaultPlan::last_k(config, 1),
+        input: InputVector::new(vec![1, 1, 1, 0, 1, 0, 1, 1]),
+        delay: DelayModel::Exponential { mean: 7 },
+        seed,
+        max_events: 20_000_000,
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_runs() {
+    for algo in [Algo::DexFreq, Algo::DexPrv { m: 1 }, Algo::Bosco] {
+        let a = run_spec(&spec(algo, UnderlyingKind::Oracle, 42));
+        let b = run_spec(&spec(algo, UnderlyingKind::Oracle, 42));
+        assert_eq!(a, b, "{} must replay identically", algo.label());
+    }
+}
+
+#[test]
+fn different_seeds_change_schedules() {
+    let a = run_spec(&spec(Algo::DexFreq, UnderlyingKind::Oracle, 1));
+    let b = run_spec(&spec(Algo::DexFreq, UnderlyingKind::Oracle, 2));
+    // Values must agree across runs only *within* a run; message counts
+    // almost surely differ between seeds.
+    assert!(a.agreement_ok() && b.agreement_ok());
+    assert_ne!(
+        (a.messages, a.outcomes),
+        (b.messages, b.outcomes),
+        "distinct seeds should explore distinct schedules"
+    );
+}
+
+#[test]
+fn randomized_underlying_replays_too() {
+    let a = run_spec(&spec(
+        Algo::DexFreq,
+        UnderlyingKind::Mvc { coin_seed: 3 },
+        9,
+    ));
+    let b = run_spec(&spec(
+        Algo::DexFreq,
+        UnderlyingKind::Mvc { coin_seed: 3 },
+        9,
+    ));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,84 @@
+//! Cross-crate safety matrix (E10): Lemmas 1–3 must hold for every
+//! algorithm × adversary × workload × underlying-consensus combination.
+
+use dex::adversary::ByzantineStrategy;
+use dex::harness::runner::{run_batch, Algo, BatchSpec, Placement, UnderlyingKind};
+use dex::simnet::DelayModel;
+use dex::types::SystemConfig;
+use dex::workloads::{BernoulliMix, InputGenerator, Unanimous, UniformRandom};
+
+fn grid(underlying: UnderlyingKind, runs: usize) {
+    let t = 1usize;
+    let cfg = SystemConfig::new(7 * t + 1, t).unwrap();
+    let strategies: Vec<ByzantineStrategy<u64>> = vec![
+        ByzantineStrategy::Silent,
+        ByzantineStrategy::ConsistentLie { value: 0 },
+        ByzantineStrategy::Equivocate { values: vec![0, 1] },
+        ByzantineStrategy::EchoPoison { values: vec![0, 1] },
+        ByzantineStrategy::CrashMid { value: 1, reach: 4 },
+    ];
+    let workloads: Vec<Box<dyn InputGenerator + Sync>> = vec![
+        Box::new(Unanimous { value: 1 }),
+        Box::new(BernoulliMix { p: 0.7, a: 1, b: 0 }),
+        Box::new(UniformRandom { domain: 3 }),
+    ];
+    for algo in [Algo::DexFreq, Algo::DexPrv { m: 1 }, Algo::Bosco] {
+        for strategy in &strategies {
+            for workload in &workloads {
+                let stats = run_batch(&BatchSpec {
+                    config: cfg,
+                    algo,
+                    underlying,
+                    strategy: strategy.clone(),
+                    f: t,
+                    placement: Placement::RandomK,
+                    workload: workload.as_ref(),
+                    delay: DelayModel::Uniform { min: 1, max: 20 },
+                    runs,
+                    seed0: 77,
+                    max_events: 20_000_000,
+                });
+                assert!(
+                    stats.clean(),
+                    "{} / {} / {}: {stats:?}",
+                    algo.label(),
+                    strategy.label(),
+                    workload.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn safety_grid_with_oracle_underlying() {
+    grid(UnderlyingKind::Oracle, 8);
+}
+
+#[test]
+fn safety_grid_with_randomized_underlying() {
+    // The full randomized stack (reliable broadcast + binary consensus) as
+    // the fallback engine — slower, so fewer runs.
+    grid(UnderlyingKind::Mvc { coin_seed: 13 }, 3);
+}
+
+#[test]
+fn underlying_only_baseline_is_safe_too() {
+    let cfg = SystemConfig::new(8, 1).unwrap();
+    let workload = UniformRandom { domain: 3 };
+    let stats = run_batch(&BatchSpec {
+        config: cfg,
+        algo: Algo::UnderlyingOnly,
+        underlying: UnderlyingKind::Oracle,
+        strategy: ByzantineStrategy::Silent,
+        f: 1,
+        placement: Placement::RandomK,
+        workload: &workload,
+        delay: DelayModel::Uniform { min: 1, max: 20 },
+        runs: 20,
+        seed0: 5,
+        max_events: 5_000_000,
+    });
+    assert!(stats.clean(), "{stats:?}");
+    assert_eq!(stats.steps.mean(), 2.0);
+}

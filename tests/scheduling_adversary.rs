@@ -1,0 +1,121 @@
+//! The scheduling adversary: asynchrony lets the adversary choose any
+//! finite per-link delay. These tests combine targeted link slowdowns with
+//! Byzantine behaviour and check that safety never bends and that the
+//! paper's fast-path guarantees degrade exactly as predicted (a starved
+//! process falls back without dragging anyone into disagreement).
+
+use dex::adversary::{ByzantineStrategy, FaultPlan};
+use dex::harness::runner::{run_spec, Algo, Outcome, RunSpec, UnderlyingKind};
+use dex::simnet::DelayModel;
+use dex::types::{InputVector, ProcessId, SystemConfig};
+
+fn targeted(links: Vec<(usize, usize, u64)>) -> DelayModel {
+    DelayModel::Targeted {
+        base: Box::new(DelayModel::Uniform { min: 1, max: 5 }),
+        links: links
+            .into_iter()
+            .map(|(f, t, d)| (ProcessId::new(f), ProcessId::new(t), d))
+            .collect(),
+    }
+}
+
+#[test]
+fn starving_one_process_of_proposals_only_slows_that_process() {
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    // Every proposal *to* p6 is delayed enormously; p6 still decides (via
+    // the late messages or the fallback) and everyone agrees.
+    let links: Vec<(usize, usize, u64)> = (0..6).map(|from| (from, 6, 50_000)).collect();
+    for seed in 0..10 {
+        let r = run_spec(&RunSpec {
+            config: cfg,
+            algo: Algo::DexFreq,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Silent,
+            fault_plan: FaultPlan::none(),
+            input: InputVector::unanimous(7, 3),
+            delay: targeted(links.clone()),
+            seed,
+            max_events: 10_000_000,
+        });
+        assert!(
+            r.quiescent && r.agreement_ok() && r.all_decided(),
+            "seed {seed}"
+        );
+        // The un-starved processes still enjoy the one-step path.
+        for (i, o) in r.outcomes.iter().enumerate() {
+            if i < 6 {
+                if let Outcome::Decided(p) = o {
+                    assert_eq!(p.steps, 1, "seed {seed}: p{i} took {} steps", p.steps);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn slow_coordinator_link_cannot_break_agreement() {
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    // Split input (fallback path) and a crawling link to the oracle
+    // coordinator from half the system: the fallback gets slow, not wrong.
+    let links: Vec<(usize, usize, u64)> = (3..7).map(|from| (from, 0, 20_000)).collect();
+    for seed in 0..10 {
+        let r = run_spec(&RunSpec {
+            config: cfg,
+            algo: Algo::DexFreq,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Silent,
+            fault_plan: FaultPlan::none(),
+            input: InputVector::new(vec![3, 3, 3, 3, 9, 9, 9]),
+            delay: targeted(links.clone()),
+            seed,
+            max_events: 10_000_000,
+        });
+        assert!(
+            r.quiescent && r.agreement_ok() && r.all_decided(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn byzantine_plus_scheduling_adversary() {
+    // Equivocator + targeted delays that deliver its lies fast and the
+    // truth slowly: the strongest combination our model offers.
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    let mut links = Vec::new();
+    for to in 0..6usize {
+        // Correct traffic among p0..p5 crawls…
+        for from in 0..6usize {
+            if from != to {
+                links.push((from, to, 2_000));
+            }
+        }
+    }
+    for seed in 0..10 {
+        let r = run_spec(&RunSpec {
+            config: cfg,
+            algo: Algo::DexFreq,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::EchoPoison { values: vec![3, 9] },
+            fault_plan: FaultPlan::last_k(cfg, 1),
+            input: InputVector::unanimous(7, 3),
+            delay: DelayModel::Targeted {
+                base: Box::new(DelayModel::Constant(1)), // …while p6's lies fly
+                links: links
+                    .iter()
+                    .map(|(f, t, d)| (ProcessId::new(*f), ProcessId::new(*t), *d))
+                    .collect(),
+            },
+            seed,
+            max_events: 10_000_000,
+        });
+        assert!(
+            r.quiescent && r.agreement_ok() && r.all_decided(),
+            "seed {seed}"
+        );
+        assert!(
+            r.unanimity_ok(&InputVector::unanimous(7, 3), &FaultPlan::last_k(cfg, 1)),
+            "seed {seed}: unanimity must survive the combined adversary"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Lemmas 4 & 5 as executable bounds: for any input and any fault count
+//! `f ≤ t`, membership in `C¹_f` forces one-step decisions and membership
+//! in `C²_f` forces ≤ two-step decisions — for both legal pairs, under the
+//! worst-case lying adversary.
+
+use dex::adversary::{ByzantineStrategy, FaultPlan};
+use dex::conditions::{FrequencyPair, LegalityPair, PrivilegedPair};
+use dex::harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex::simnet::DelayModel;
+use dex::types::{InputVector, ProcessId, SystemConfig};
+
+/// Runs `algo` with the last `f` processes lying with value `lie`, and
+/// returns the worst (max) decision step among correct processes.
+fn worst_steps(
+    cfg: SystemConfig,
+    algo: Algo,
+    input: &InputVector<u64>,
+    f: usize,
+    lie: u64,
+    seed: u64,
+) -> u32 {
+    let result = run_spec(&RunSpec {
+        config: cfg,
+        algo,
+        underlying: UnderlyingKind::Oracle,
+        strategy: ByzantineStrategy::ConsistentLie { value: lie },
+        fault_plan: FaultPlan::from_ids(cfg, (cfg.n() - f..cfg.n()).map(ProcessId::new)),
+        input: input.clone(),
+        // Lockstep delivery = the paper's well-behaved-run regime, where
+        // the exact step counts of Lemmas 4/5 are the measured depths.
+        delay: DelayModel::Constant(1),
+        seed,
+        max_events: 10_000_000,
+    });
+    assert!(result.quiescent && result.agreement_ok() && result.all_decided());
+    result.max_steps().expect("correct processes decided")
+}
+
+#[test]
+fn lemma4_lemma5_frequency_pair() {
+    let cfg = SystemConfig::new(13, 2).unwrap();
+    let pair = FrequencyPair::new(cfg).unwrap();
+    for mc in 0..=4usize {
+        // Deterministic split: mc zeros then ones; the faulty tail lies 0.
+        let mut entries = vec![1u64; 13];
+        for e in entries.iter_mut().take(mc) {
+            *e = 0;
+        }
+        let input = InputVector::new(entries);
+        for f in 0..=2usize {
+            for seed in 0..3u64 {
+                let steps = worst_steps(cfg, Algo::DexFreq, &input, f, 0, 100 + seed);
+                if pair.in_c1(&input, f) {
+                    assert_eq!(
+                        steps, 1,
+                        "Lemma 4: {input} in C1_{f} must decide in one step"
+                    );
+                } else if pair.in_c2(&input, f) {
+                    assert!(
+                        steps <= 2,
+                        "Lemma 5: {input} in C2_{f} must decide in <= 2 steps, took {steps}"
+                    );
+                } else {
+                    assert!(
+                        steps <= 4,
+                        "outside both conditions the oracle fallback caps at 4, took {steps}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma4_lemma5_privileged_pair() {
+    let cfg = SystemConfig::new(11, 2).unwrap();
+    let m = 1u64;
+    let pair = PrivilegedPair::new(cfg, m).unwrap();
+    for commits in [11usize, 9, 8, 7, 6, 4] {
+        let mut entries = vec![0u64; 11];
+        for e in entries.iter_mut().take(commits) {
+            *e = m;
+        }
+        let input = InputVector::new(entries);
+        for f in 0..=2usize {
+            for seed in 0..3u64 {
+                // The adversary lies with the non-privileged value.
+                let steps = worst_steps(cfg, Algo::DexPrv { m }, &input, f, 0, 200 + seed);
+                if pair.in_c1(&input, f) {
+                    assert_eq!(
+                        steps, 1,
+                        "Lemma 4 (prv): #m = {commits}, f = {f} must be one-step"
+                    );
+                } else if pair.in_c2(&input, f) {
+                    assert!(
+                        steps <= 2,
+                        "Lemma 5 (prv): #m = {commits}, f = {f} must be <= 2 steps, took {steps}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn condition_membership_is_the_exact_boundary() {
+    // One tick below the C¹ boundary the guarantee must *not* hold under
+    // the worst-case liar: margin = 4t + 2f exactly ⇒ no one-step.
+    let cfg = SystemConfig::new(13, 2).unwrap();
+    let pair = FrequencyPair::new(cfg).unwrap();
+    // mc = 2: margin 9 = 4t + 2f + 1 with f = 0 ⇒ in C¹_0; with f = 1,
+    // 9 ≤ 8 + 2 ⇒ outside C¹_1 (but inside C²_1: 9 > 4 + 2).
+    let mut entries = vec![1u64; 13];
+    entries[0] = 0;
+    entries[1] = 0;
+    let input = InputVector::new(entries);
+    assert!(pair.in_c1(&input, 0));
+    assert!(!pair.in_c1(&input, 1));
+    assert!(pair.in_c2(&input, 1));
+
+    assert_eq!(worst_steps(cfg, Algo::DexFreq, &input, 0, 0, 7), 1);
+    let steps_f1 = worst_steps(cfg, Algo::DexFreq, &input, 1, 0, 7);
+    assert!(
+        (1..=2).contains(&steps_f1),
+        "outside C1_1 one-step is not guaranteed but C2_1 caps at 2, got {steps_f1}"
+    );
+}
