@@ -50,6 +50,8 @@ where
     votes: View<V>,
     evaluated: bool,
     decided: Option<BoscoDecision<V>>,
+    /// Reusable buffer for underlying-consensus output.
+    uc_out: Outbox<U::Msg>,
 }
 
 impl<V, U> BoscoProcess<V, U>
@@ -67,6 +69,7 @@ where
             votes: View::bottom(config.n()),
             evaluated: false,
             decided: None,
+            uc_out: Outbox::new(),
         }
     }
 
@@ -107,9 +110,8 @@ where
         match msg {
             BoscoMsg::Vote(v) => self.on_vote(from, v, rng, out),
             BoscoMsg::Uc(m) => {
-                let mut uc_out = Outbox::new();
-                self.uc.on_message(from, m, rng, &mut uc_out);
-                forward_uc(uc_out, out);
+                self.uc.on_message(from, m, rng, &mut self.uc_out);
+                forward_uc(&mut self.uc_out, out);
                 if self.decided.is_none() {
                     if let Some(v) = self.uc.decision() {
                         let d = BoscoDecision {
@@ -142,32 +144,31 @@ where
         self.evaluated = true;
 
         let mut decision = None;
-        let histogram = self.votes.histogram();
-        if let Some((winner, _)) = histogram
-            .iter()
-            .find(|(_, c)| **c >= self.decide_threshold())
-        {
-            let d = BoscoDecision {
-                value: (*winner).clone(),
-                path: BoscoPath::OneStep,
-            };
-            self.decided = Some(d.clone());
-            decision = Some(d);
+        // The decide threshold exceeds n/2, so only the most frequent value
+        // can reach it: one O(1) tally lookup replaces the histogram scan.
+        let top = self.votes.first_with_count();
+        if let Some((winner, count)) = top {
+            if count >= self.decide_threshold() {
+                let d = BoscoDecision {
+                    value: winner.clone(),
+                    path: BoscoPath::OneStep,
+                };
+                self.decided = Some(d.clone());
+                decision = Some(d);
+            }
         }
 
-        // Proposal adoption: a unique value above (n − t) / 2.
-        let above: Vec<&V> = histogram
-            .iter()
-            .filter(|(_, c)| **c >= self.adopt_threshold())
-            .map(|(v, _)| *v)
-            .collect();
-        let x = match above.as_slice() {
-            [v] => (*v).clone(),
+        // Proposal adoption: a unique value above (n − t) / 2. Unique ⇔ the
+        // most frequent value reaches the threshold and the runner-up does
+        // not (for t ≥ 2, two values can clear it simultaneously).
+        let adopt = self.adopt_threshold();
+        let runner_up = self.votes.second_with_count().map_or(0, |(_, c)| c);
+        let x = match top {
+            Some((v, c)) if c >= adopt && runner_up < adopt => v.clone(),
             _ => self.own.clone().expect("proposed before votes arrive"),
         };
-        let mut uc_out = Outbox::new();
-        self.uc.propose(x, rng, &mut uc_out);
-        forward_uc(uc_out, out);
+        self.uc.propose(x, rng, &mut self.uc_out);
+        forward_uc(&mut self.uc_out, out);
         decision
     }
 }
@@ -184,8 +185,8 @@ where
     }
 }
 
-fn forward_uc<V, U>(mut uc_out: Outbox<U>, out: &mut Outbox<BoscoMsg<V, U>>) {
-    for (dest, m) in uc_out.drain() {
+fn forward_uc<V, U>(uc_out: &mut Outbox<U>, out: &mut Outbox<BoscoMsg<V, U>>) {
+    for (dest, m) in uc_out.drain_iter() {
         match dest {
             Dest::All => out.broadcast(BoscoMsg::Uc(m)),
             Dest::To(p) => out.send(p, BoscoMsg::Uc(m)),
@@ -268,7 +269,7 @@ where
 }
 
 pub(crate) fn flush<M: Clone>(out: &mut Outbox<M>, ctx: &mut Context<'_, M>) {
-    for (dest, m) in out.drain() {
+    for (dest, m) in out.drain_iter() {
         match dest {
             Dest::All => ctx.broadcast(m),
             Dest::To(p) => ctx.send(p, m),

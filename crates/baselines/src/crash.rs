@@ -106,6 +106,8 @@ where
     evaluated: bool,
     uc_proposed: bool,
     decided: Option<CrashDecision<V>>,
+    /// Reusable buffer for underlying-consensus output.
+    uc_out: Outbox<U::Msg>,
 }
 
 impl<V, U> CrashOneStep<V, U>
@@ -125,6 +127,7 @@ where
             evaluated: false,
             uc_proposed: false,
             decided: None,
+            uc_out: Outbox::new(),
         }
     }
 
@@ -159,9 +162,8 @@ where
         match msg {
             CrashMsg::Value(v) => self.on_value(from, v, rng, out),
             CrashMsg::Uc(m) => {
-                let mut uc_out = Outbox::new();
-                self.uc.on_message(from, m, rng, &mut uc_out);
-                forward_uc(uc_out, out);
+                self.uc.on_message(from, m, rng, &mut self.uc_out);
+                forward_uc(&mut self.uc_out, out);
                 if self.decided.is_none() {
                     if let Some(v) = self.uc.decision() {
                         let d = CrashDecision {
@@ -204,8 +206,9 @@ where
         }
         self.evaluated = true;
         let mut decision = None;
-        let first = self.view.first().expect("quorum entries").clone();
-        if self.view.count_of(&first) == self.view.len_non_default() && self.decided.is_none() {
+        let (first, count) = self.view.first_with_count().expect("quorum entries");
+        let (first, count) = (first.clone(), count);
+        if count == self.view.len_non_default() && self.decided.is_none() {
             // All received values are equal: decide.
             let d = CrashDecision {
                 value: first.clone(),
@@ -215,16 +218,17 @@ where
             decision = Some(d);
         }
         // Proposal adoption: a value with ≥ n − 2t copies (unique whenever
-        // some process decided, since 2(n − 2t) > n − t for n > 3t).
-        let est = if self.view.count_of(&first) >= self.config.echo_threshold() {
+        // some process decided, since 2(n − 2t) > n − t for n > 3t). Only
+        // the most frequent value can hold n − 2t > (n − t)/2 copies of a
+        // quorum-sized view, so the top tally entry settles it.
+        let est = if count >= self.config.echo_threshold() {
             first
         } else {
             self.own.clone().expect("proposed before values arrive")
         };
         self.uc_proposed = true;
-        let mut uc_out = Outbox::new();
-        self.uc.propose(est, rng, &mut uc_out);
-        forward_uc(uc_out, out);
+        self.uc.propose(est, rng, &mut self.uc_out);
+        forward_uc(&mut self.uc_out, out);
         decision
     }
 
@@ -247,9 +251,8 @@ where
         if !self.uc_proposed && self.view.len_non_default() >= self.config.quorum() {
             self.uc_proposed = true;
             let est = self.view.first().expect("quorum entries").clone();
-            let mut uc_out = Outbox::new();
-            self.uc.propose(est, rng, &mut uc_out);
-            forward_uc(uc_out, out);
+            self.uc.propose(est, rng, &mut self.uc_out);
+            forward_uc(&mut self.uc_out, out);
         }
         decision
     }
@@ -267,8 +270,8 @@ where
     }
 }
 
-fn forward_uc<V, U>(mut uc_out: Outbox<U>, out: &mut Outbox<CrashMsg<V, U>>) {
-    for (dest, m) in uc_out.drain() {
+fn forward_uc<V, U>(uc_out: &mut Outbox<U>, out: &mut Outbox<CrashMsg<V, U>>) {
+    for (dest, m) in uc_out.drain_iter() {
         match dest {
             dex_underlying::Dest::All => out.broadcast(CrashMsg::Uc(m)),
             dex_underlying::Dest::To(p) => out.send(p, CrashMsg::Uc(m)),

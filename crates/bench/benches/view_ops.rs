@@ -1,8 +1,14 @@
 //! Microbenchmarks of the view algebra (§3.1) — the per-message hot path of
 //! Algorithm DEX: every reception re-evaluates `P1`/`P2`, which reduce to
 //! `1st`/`2nd` frequency counting.
+//!
+//! The `naive_*` entries recompute each statistic from scratch (the
+//! pre-tally implementation, see `dex_bench::naive`) for comparison against
+//! the O(1) incremental tally; `bench_view_tally` turns the same comparison
+//! into a JSON artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_bench::naive;
 use dex_types::{ProcessId, View};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -45,6 +51,18 @@ fn bench_view_ops(c: &mut Criterion) {
                 v.set(ProcessId::new(i), (i as u64) % 4);
                 v.frequency_margin()
             })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_frequency_margin", n), &n, |b, _| {
+            b.iter(|| naive::frequency_margin(black_box(&view)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_first_second", n), &n, |b, _| {
+            b.iter(|| naive::first_second(black_box(&view)))
+        });
+        group.bench_with_input(BenchmarkId::new("count_of", n), &n, |b, _| {
+            b.iter(|| black_box(&view).count_of(black_box(&1)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_count_of", n), &n, |b, _| {
+            b.iter(|| naive::count_of(black_box(&view), black_box(&1)))
         });
     }
     group.finish();

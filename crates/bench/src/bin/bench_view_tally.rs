@@ -1,0 +1,183 @@
+//! Emits `BENCH_view_tally.json`: the naive O(n) recount vs the O(1)
+//! incremental tally on the per-message predicate queries.
+//!
+//! Measures, for each system size `n`, the cost of one "predicate read"
+//! (`1st`, `2nd`, `margin(J)`, `#v(J)` — everything `P1`/`P2` consume per
+//! delivered message) under both implementations, plus a full delivery
+//! sweep (`set` + predicate read per entry). Uses `std::time::Instant`
+//! directly so the binary has no bench-framework dependency.
+//!
+//! Usage: `cargo run --release -p dex-bench --bin bench_view_tally [out.json]`
+//! (run from the repo root; the default output path is
+//! `BENCH_view_tally.json` in the current directory).
+
+use dex_bench::naive;
+use dex_types::{ProcessId, View};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [7, 13, 43, 127];
+const DOMAIN: u64 = 4;
+const REPS: usize = 5;
+
+fn random_view(n: usize, seed: u64) -> View<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries = (0..n)
+        .map(|i| (i >= n / 8).then(|| rng.random_range(0..DOMAIN)))
+        .collect();
+    View::from_options(entries)
+}
+
+/// Nanoseconds per call: calibrates the iteration count to ~20 ms of work,
+/// then takes the best of [`REPS`] timed repetitions (minimum is the right
+/// statistic for a noisy shared machine — it bounds the true cost).
+fn time_ns<F: FnMut() -> u64>(mut f: F) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            acc = acc.wrapping_add(f());
+        }
+        black_box(acc);
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..iters {
+            acc = acc.wrapping_add(f());
+        }
+        black_box(acc);
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// One predicate read via the incremental tally (all O(1) lookups).
+fn tally_read(view: &View<u64>) -> u64 {
+    let (v1, c1) = view.first_with_count().map_or((0, 0), |(v, c)| (*v, c));
+    let c2 = view.second_with_count().map_or(0, |(_, c)| c);
+    v1 + (c1 + c2 + view.frequency_margin() + view.count_of(&1) + view.len_non_default()) as u64
+}
+
+/// The same read with every statistic recomputed from scratch.
+fn naive_read(view: &View<u64>) -> u64 {
+    let (first, second) = naive::first_second(view);
+    let (v1, c1) = first.map_or((0, 0), |(v, c)| (v, c));
+    let c2 = second.map_or(0, |(_, c)| c);
+    let len = view.as_options().iter().flatten().count();
+    v1 + (c1 + c2 + naive::frequency_margin(view) + naive::count_of(view, &1) + len) as u64
+}
+
+struct Row {
+    n: usize,
+    read_naive: f64,
+    read_tally: f64,
+    sweep_naive: f64,
+    sweep_tally: f64,
+}
+
+impl Row {
+    fn read_speedup(&self) -> f64 {
+        self.read_naive / self.read_tally
+    }
+    fn sweep_speedup(&self) -> f64 {
+        self.sweep_naive / self.sweep_tally
+    }
+}
+
+fn measure(n: usize) -> Row {
+    let view = random_view(n, 42);
+    let read_tally = time_ns(|| tally_read(black_box(&view)));
+    let read_naive = time_ns(|| naive_read(black_box(&view)));
+    // Delivery sweep: write one entry, then evaluate the predicates — the
+    // actual shape of the DEX per-message hot path.
+    let mut sweep_view = view.clone();
+    let mut i = 0usize;
+    let sweep_tally = time_ns(|| {
+        i = (i + 1) % n;
+        sweep_view.set(ProcessId::new(i), i as u64 % DOMAIN);
+        tally_read(&sweep_view)
+    });
+    let mut sweep_view = view.clone();
+    let mut i = 0usize;
+    let sweep_naive = time_ns(|| {
+        i = (i + 1) % n;
+        sweep_view.set(ProcessId::new(i), i as u64 % DOMAIN);
+        naive_read(&sweep_view)
+    });
+    Row {
+        n,
+        read_naive,
+        read_tally,
+        sweep_naive,
+        sweep_tally,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_view_tally.json".to_string());
+
+    println!("== View tally microbenchmark (ns/op, best of {REPS})\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "n", "read naive", "read tally", "speedup", "sweep naive", "sweep tally", "speedup"
+    );
+    let rows: Vec<Row> = SIZES.iter().map(|&n| measure(n)).collect();
+    for r in &rows {
+        println!(
+            "{:>5} {:>12.1} {:>12.1} {:>8.1}x {:>12.1} {:>12.1} {:>8.1}x",
+            r.n,
+            r.read_naive,
+            r.read_tally,
+            r.read_speedup(),
+            r.sweep_naive,
+            r.sweep_tally,
+            r.sweep_speedup()
+        );
+    }
+    let min_read = rows.iter().map(Row::read_speedup).fold(f64::INFINITY, f64::min);
+    let max_read = rows.iter().map(Row::read_speedup).fold(0.0, f64::max);
+    println!("\npredicate-read speedup: {min_read:.1}x – {max_read:.1}x (target ≥ 10x at large n)");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"view_tally\",\n");
+    json.push_str("  \"unit\": \"ns_per_op\",\n");
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"max_read_speedup\": {max_read:.2},\n"));
+    json.push_str(&format!("  \"min_read_speedup\": {min_read:.2},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"read_naive_ns\": {:.2}, \"read_tally_ns\": {:.2}, \
+             \"read_speedup\": {:.2}, \"sweep_naive_ns\": {:.2}, \"sweep_tally_ns\": {:.2}, \
+             \"sweep_speedup\": {:.2}}}{}\n",
+            r.n,
+            r.read_naive,
+            r.read_tally,
+            r.read_speedup(),
+            r.sweep_naive,
+            r.sweep_tally,
+            r.sweep_speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("[json written to {out_path}]"),
+        Err(e) => {
+            eprintln!("[json not written: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

@@ -131,9 +131,14 @@ fn all_correct_termination_and_validity() {
 
 #[test]
 fn idb_costs_exactly_two_steps() {
+    // Step-exact assertion, so run in synchronous lockstep: under random
+    // delays a process can collect n − 2t echoes before the origin's init
+    // reaches it, and its witness-amplified echo then delivers at depth 3.
     let cfg = SystemConfig::new(5, 1).unwrap();
     let nodes: Vec<Node> = (0..5).map(|i| Node::correct(cfg, i as u64)).collect();
-    let sim = run(nodes, 3);
+    let mut sim = Simulation::new(nodes, 3, DelayModel::Constant(1));
+    let outcome = sim.run(2_000_000);
+    assert!(outcome.quiescent, "IDB must terminate");
     for p in correct_ids(&sim) {
         for (_, _, depth) in sim.actor(p).deliveries() {
             assert_eq!(

@@ -131,6 +131,18 @@ impl<V: Value> LegalityPair<V> for FrequencyPair {
         view.frequency_margin() > 2 * self.config.t()
     }
 
+    // Adding one non-⊥ entry increments a single occurrence count, so the
+    // frequency margin rises by at most 1 per insertion: at least
+    // (threshold + 1) − margin further entries are needed before P1/P2 can
+    // flip.
+    fn p1_deficit(&self, view: &View<V>) -> usize {
+        (4 * self.config.t() + 1).saturating_sub(view.frequency_margin())
+    }
+
+    fn p2_deficit(&self, view: &View<V>) -> usize {
+        (2 * self.config.t() + 1).saturating_sub(view.frequency_margin())
+    }
+
     fn decide(&self, view: &View<V>) -> Option<V> {
         view.first().cloned()
     }

@@ -1,0 +1,229 @@
+//! Watermark gating for the per-message predicate hot path.
+//!
+//! Fig. 1 re-evaluates `P1(J1)`/`P2(J2)` after every message reception, but
+//! most receptions cannot possibly flip a predicate: a view that just
+//! reached 5 entries can never satisfy a predicate needing a margin of 9,
+//! and after a failed test the [`LegalityPair::p1_deficit`] bound tells us
+//! how many *more* entries are required before the next test can succeed.
+//!
+//! [`DecisionGate`] turns that bound into a monotone watermark on `|J|`.
+//! This is sound only for **grow-only** views — exactly what the algorithm
+//! maintains (entries are written once, first value wins, never cleared).
+
+use crate::pair::LegalityPair;
+use dex_types::{Value, View};
+
+/// A skip-until watermark for one predicate (`P1` or `P2`) over one view.
+///
+/// The gate starts at the quorum size `n − t` (Fig. 1 evaluates predicates
+/// only on views with `|J| ≥ n − t`) and, after every failed evaluation,
+/// advances to `|J| +` the pair's deficit bound, so intermediate receptions
+/// skip the predicate entirely — O(1) comparisons instead of predicate
+/// work.
+///
+/// # Examples
+///
+/// ```
+/// use dex_conditions::{DecisionGate, FrequencyPair};
+/// use dex_types::{ProcessId, SystemConfig, View};
+///
+/// let cfg = SystemConfig::new(13, 2)?;
+/// let pair = FrequencyPair::new(cfg)?;
+/// let mut gate = DecisionGate::new(cfg.quorum());
+/// let mut view = View::<u64>::bottom(13);
+/// let mut fired = false;
+/// for i in 0..11 {
+///     view.set(ProcessId::new(i), 1);
+///     fired = gate.try_p1(&pair, &view);
+/// }
+/// // Margin 11 > 4t = 8: the predicate fired once the view became quorate.
+/// assert!(fired);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionGate {
+    /// Evaluate only once `|J|` reaches this watermark.
+    skip_until: usize,
+    /// Number of actual predicate evaluations (diagnostics / tests).
+    evals: usize,
+    /// Number of receptions short-circuited without evaluating.
+    skips: usize,
+}
+
+impl DecisionGate {
+    /// A gate that first evaluates at `|J| = quorum` (use `n − t`).
+    pub fn new(quorum: usize) -> Self {
+        DecisionGate {
+            skip_until: quorum,
+            evals: 0,
+            skips: 0,
+        }
+    }
+
+    /// Evaluates `pair.p1(view)`, unless the watermark proves the predicate
+    /// cannot yet hold. On a failed evaluation the watermark advances by
+    /// the pair's [`LegalityPair::p1_deficit`] bound.
+    pub fn try_p1<V: Value, P: LegalityPair<V> + ?Sized>(
+        &mut self,
+        pair: &P,
+        view: &View<V>,
+    ) -> bool {
+        self.try_with(view, |v| pair.p1(v), |v| pair.p1_deficit(v))
+    }
+
+    /// The [`Self::try_p1`] analogue for `P2`.
+    pub fn try_p2<V: Value, P: LegalityPair<V> + ?Sized>(
+        &mut self,
+        pair: &P,
+        view: &View<V>,
+    ) -> bool {
+        self.try_with(view, |v| pair.p2(v), |v| pair.p2_deficit(v))
+    }
+
+    fn try_with<V: Value>(
+        &mut self,
+        view: &View<V>,
+        predicate: impl FnOnce(&View<V>) -> bool,
+        deficit: impl FnOnce(&View<V>) -> usize,
+    ) -> bool {
+        let len = view.len_non_default();
+        if len < self.skip_until {
+            self.skips += 1;
+            return false;
+        }
+        self.evals += 1;
+        if predicate(view) {
+            true
+        } else {
+            // deficit must be ≥ 1 after a failed test; clamp defensively so
+            // a buggy implementation degrades to test-every-message rather
+            // than a livelock or a missed decision.
+            self.skip_until = len + deficit(view).max(1);
+            false
+        }
+    }
+
+    /// How many times the predicate was actually evaluated.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// How many receptions were short-circuited without evaluation.
+    pub fn skips(&self) -> usize {
+        self.skips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrequencyPair, PrivilegedPair};
+    use dex_types::{ProcessId, SystemConfig};
+
+    #[test]
+    fn gate_fires_exactly_when_ungated_predicate_does() {
+        // Feed adversarial-ish sequences and check the gated decision point
+        // matches evaluating p1/p2 on every message.
+        let cfg = SystemConfig::new(13, 2).unwrap();
+        let pair = FrequencyPair::new(cfg).unwrap();
+        for pattern in [
+            vec![1u64; 13],
+            vec![1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1],
+            vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9],
+        ] {
+            let mut gated = DecisionGate::new(cfg.quorum());
+            let mut view = View::<u64>::bottom(13);
+            let mut gated_fired_at = None;
+            let mut plain_fired_at = None;
+            for (i, v) in pattern.iter().enumerate() {
+                view.set(ProcessId::new(i), *v);
+                if gated_fired_at.is_none() && gated.try_p1(&pair, &view) {
+                    gated_fired_at = Some(i);
+                }
+                let quorate = view.len_non_default() >= cfg.quorum();
+                if plain_fired_at.is_none() && quorate && pair.p1(&view) {
+                    plain_fired_at = Some(i);
+                }
+            }
+            assert_eq!(gated_fired_at, plain_fired_at, "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn gate_skips_below_quorum_and_after_failures() {
+        let cfg = SystemConfig::new(13, 2).unwrap();
+        let pair = FrequencyPair::new(cfg).unwrap();
+        let mut gate = DecisionGate::new(cfg.quorum());
+        let mut view = View::<u64>::bottom(13);
+        // Alternate two values: the margin stays ≤ 1, so after the first
+        // quorate failure the deficit pushes the watermark past n and no
+        // further evaluation happens.
+        for i in 0..13 {
+            view.set(ProcessId::new(i), (i % 2) as u64);
+            assert!(!gate.try_p1(&pair, &view));
+        }
+        assert_eq!(gate.evals(), 1, "one failed test, then pure skips");
+        assert_eq!(gate.skips(), 12);
+    }
+
+    #[test]
+    fn privileged_gate_counts_only_m() {
+        let cfg = SystemConfig::new(11, 2).unwrap();
+        let pair = PrivilegedPair::new(cfg, 1u64).unwrap();
+        let mut gate = DecisionGate::new(cfg.quorum());
+        let mut view = View::<u64>::bottom(11);
+        // 9 non-privileged entries: quorate but #m = 0, deficit 3t+1 = 7
+        // pushes the watermark out of reach.
+        for i in 0..9 {
+            view.set(ProcessId::new(i), 5);
+            assert!(!gate.try_p1(&pair, &view));
+        }
+        assert_eq!(gate.evals(), 1);
+        // Two privileged entries are not enough to re-trigger a test.
+        view.set(ProcessId::new(9), 1);
+        view.set(ProcessId::new(10), 1);
+        assert!(!gate.try_p1(&pair, &view));
+        assert_eq!(gate.evals(), 1);
+    }
+
+    #[test]
+    fn default_deficit_degrades_to_per_message_testing() {
+        // A pair relying on the default deficit (1) evaluates on every
+        // quorate reception but still fires at the right moment.
+        struct EveryMessage;
+        impl LegalityPair<u64> for EveryMessage {
+            fn name(&self) -> &'static str {
+                "every"
+            }
+            fn t(&self) -> usize {
+                1
+            }
+            fn p1(&self, view: &View<u64>) -> bool {
+                view.count_of(&7) >= 6
+            }
+            fn p2(&self, _view: &View<u64>) -> bool {
+                false
+            }
+            fn decide(&self, view: &View<u64>) -> Option<u64> {
+                view.first().cloned()
+            }
+            fn in_c1(&self, _: &dex_types::InputVector<u64>, _: usize) -> bool {
+                false
+            }
+            fn in_c2(&self, _: &dex_types::InputVector<u64>, _: usize) -> bool {
+                false
+            }
+        }
+        let mut gate = DecisionGate::new(4);
+        let mut view = View::<u64>::bottom(7);
+        let mut fired = None;
+        for i in 0..7 {
+            view.set(ProcessId::new(i), 7);
+            if fired.is_none() && gate.try_p1(&EveryMessage, &view) {
+                fired = Some(i);
+            }
+        }
+        assert_eq!(fired, Some(5), "fires on the sixth 7");
+        assert_eq!(gate.evals(), 3, "evaluated at |J| = 4, 5, 6");
+    }
+}

@@ -50,6 +50,7 @@
 mod condition;
 mod error;
 mod frequency;
+mod gate;
 mod generic;
 mod pair;
 mod privileged;
@@ -59,6 +60,7 @@ pub mod verify;
 pub use condition::{check_d_legality, Condition, DLegalityViolation};
 pub use error::PairError;
 pub use frequency::{FrequencyCondition, FrequencyPair};
+pub use gate::DecisionGate;
 pub use generic::{ConditionFamily, FamilyPair};
 pub use pair::LegalityPair;
 pub use privileged::{PrivilegedCondition, PrivilegedPair};

@@ -35,6 +35,24 @@ pub trait LegalityPair<V: Value>: Send + Sync {
     /// **two-step** decision?
     fn p2(&self, view: &View<V>) -> bool;
 
+    /// Assuming `P1(view)` is false, a lower bound on how many *additional*
+    /// non-`⊥` entries must be added to `view` before `P1` can possibly
+    /// become true. Used by [`crate::DecisionGate`] to skip re-evaluating
+    /// `P1` while the view cannot have changed enough to flip it.
+    ///
+    /// Must be ≥ 1 when `P1(view)` is false, and must stay a valid lower
+    /// bound for *grow-only* views (entries are added, never changed or
+    /// cleared). The default is the always-sound bound 1 (re-test after
+    /// every insertion).
+    fn p1_deficit(&self, _view: &View<V>) -> usize {
+        1
+    }
+
+    /// The [`Self::p1_deficit`] analogue for `P2`.
+    fn p2_deficit(&self, _view: &View<V>) -> usize {
+        1
+    }
+
     /// The decision function `F`. Returns `None` only for the all-`⊥` view,
     /// which never occurs in the algorithm (views are only evaluated once
     /// `|J| ≥ n − t ≥ 1`).
@@ -61,6 +79,12 @@ impl<V: Value, P: LegalityPair<V> + ?Sized> LegalityPair<V> for &P {
     fn p2(&self, view: &View<V>) -> bool {
         (**self).p2(view)
     }
+    fn p1_deficit(&self, view: &View<V>) -> usize {
+        (**self).p1_deficit(view)
+    }
+    fn p2_deficit(&self, view: &View<V>) -> usize {
+        (**self).p2_deficit(view)
+    }
     fn decide(&self, view: &View<V>) -> Option<V> {
         (**self).decide(view)
     }
@@ -84,6 +108,12 @@ impl<V: Value, P: LegalityPair<V> + ?Sized> LegalityPair<V> for std::sync::Arc<P
     }
     fn p2(&self, view: &View<V>) -> bool {
         (**self).p2(view)
+    }
+    fn p1_deficit(&self, view: &View<V>) -> usize {
+        (**self).p1_deficit(view)
+    }
+    fn p2_deficit(&self, view: &View<V>) -> usize {
+        (**self).p2_deficit(view)
     }
     fn decide(&self, view: &View<V>) -> Option<V> {
         (**self).decide(view)

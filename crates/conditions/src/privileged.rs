@@ -146,6 +146,17 @@ impl<V: Value> LegalityPair<V> for PrivilegedPair<V> {
         view.count_of(&self.m) > 2 * self.config.t()
     }
 
+    // Each insertion adds at most one occurrence of `m`, so at least
+    // (threshold + 1) − #_m(J) further entries are needed before P1/P2 can
+    // flip.
+    fn p1_deficit(&self, view: &View<V>) -> usize {
+        (3 * self.config.t() + 1).saturating_sub(view.count_of(&self.m))
+    }
+
+    fn p2_deficit(&self, view: &View<V>) -> usize {
+        (2 * self.config.t() + 1).saturating_sub(view.count_of(&self.m))
+    }
+
     fn decide(&self, view: &View<V>) -> Option<V> {
         if view.count_of(&self.m) > self.config.t() {
             Some(self.m.clone())

@@ -324,18 +324,19 @@ pub fn check_lu5<V: Value, P: LegalityPair<V>>(
     let t = pair.t();
     let mut checked = 0;
     for view in all_views(n, domain, t) {
-        let over_t: Vec<&V> = {
-            let hist = view.histogram();
-            hist.into_iter()
-                .filter(|(_, c)| *c > t)
-                .map(|(v, _)| v)
-                .collect()
+        // A *unique* value tops `t` occurrences exactly when the most
+        // frequent value does but the runner-up does not — two O(1) tally
+        // lookups instead of a histogram scan.
+        let dominant = match (view.first_with_count(), view.second_with_count()) {
+            (Some((v1, c1)), second) if c1 > t && second.is_none_or(|(_, c2)| c2 <= t) => {
+                Some(v1.clone())
+            }
+            _ => None,
         };
-        if let [dominant] = over_t.as_slice() {
+        if let Some(dominant) = dominant {
             checked += 1;
             let decided = pair.decide(&view);
-            if decided.as_ref() != Some(*dominant) {
-                let dominant = (*dominant).clone();
+            if decided.as_ref() != Some(&dominant) {
                 return Err(LegalityViolation::Lu5 {
                     view,
                     dominant,

@@ -1,7 +1,7 @@
 //! The DEX state machine (Fig. 1), transport-agnostic.
 
 use dex_broadcast::{Action, IdbMessage, IdenticalBroadcast};
-use dex_conditions::LegalityPair;
+use dex_conditions::{DecisionGate, LegalityPair};
 use dex_types::{ProcessId, SystemConfig, Value, View};
 use dex_underlying::{Outbox, UnderlyingConsensus};
 use rand::rngs::StdRng;
@@ -67,6 +67,15 @@ where
     uc: U,
     j1: View<V>,
     j2: View<V>,
+    /// Watermark gate for `P1(J1)` — sound because `J1` is grow-only
+    /// (first value wins, entries never cleared).
+    p1_gate: DecisionGate,
+    /// Watermark gate for `P2(J2)` — sound because IDB agreement makes
+    /// `J2` grow-only too.
+    p2_gate: DecisionGate,
+    /// Reusable buffer for underlying-consensus output, so each UC step
+    /// wraps messages without allocating a fresh outbox.
+    uc_out: Outbox<U::Msg>,
     decided: Option<Decision<V>>,
     proposed: bool,
     uc_proposed: bool,
@@ -94,6 +103,9 @@ where
             uc,
             j1: View::bottom(config.n()),
             j2: View::bottom(config.n()),
+            p1_gate: DecisionGate::new(config.quorum()),
+            p2_gate: DecisionGate::new(config.quorum()),
+            uc_out: Outbox::new(),
             decided: None,
             proposed: false,
             uc_proposed: false,
@@ -163,10 +175,10 @@ where
         if self.j1.get(from).is_none() {
             self.j1.set(from, v);
         }
-        if self.decided.is_none()
-            && self.j1.len_non_default() >= self.config.quorum()
-            && self.pair.p1(&self.j1)
-        {
+        // Line 7's adaptive re-check, gated: the gate skips the predicate
+        // until |J1| ≥ n − t and, after each failed test, until the tally
+        // has grown enough that P1 could possibly flip.
+        if self.decided.is_none() && self.p1_gate.try_p1(&self.pair, &self.j1) {
             let value = self
                 .pair
                 .decide(&self.j1)
@@ -208,14 +220,10 @@ where
                     .pair
                     .decide(&self.j2)
                     .expect("J2 has at least n - t entries");
-                let mut uc_out = Outbox::new();
-                self.uc.propose(proposal, rng, &mut uc_out);
-                forward_uc(uc_out, out);
+                self.uc.propose(proposal, rng, &mut self.uc_out);
+                forward_uc(&mut self.uc_out, out);
             }
-            if self.decided.is_none()
-                && self.j2.len_non_default() >= self.config.quorum()
-                && self.pair.p2(&self.j2)
-            {
+            if self.decided.is_none() && self.p2_gate.try_p2(&self.pair, &self.j2) {
                 // Lines 16–18.
                 let value = self
                     .pair
@@ -240,9 +248,8 @@ where
         rng: &mut StdRng,
         out: &mut Outbox<DexMsg<V, U::Msg>>,
     ) -> Option<Decision<V>> {
-        let mut uc_out = Outbox::new();
-        self.uc.on_message(from, msg, rng, &mut uc_out);
-        forward_uc(uc_out, out);
+        self.uc.on_message(from, msg, rng, &mut self.uc_out);
+        forward_uc(&mut self.uc_out, out);
         if self.decided.is_none() {
             if let Some(v) = self.uc.decision() {
                 let d = Decision {
@@ -285,9 +292,10 @@ where
     }
 }
 
-/// Wraps underlying-consensus outbox messages into `DexMsg::Uc`.
-fn forward_uc<V, U>(mut uc_out: Outbox<U>, out: &mut Outbox<DexMsg<V, U>>) {
-    for (dest, m) in uc_out.drain() {
+/// Wraps underlying-consensus outbox messages into `DexMsg::Uc`, draining
+/// in place so the UC scratch outbox keeps its buffer.
+fn forward_uc<V, U>(uc_out: &mut Outbox<U>, out: &mut Outbox<DexMsg<V, U>>) {
+    for (dest, m) in uc_out.drain_iter() {
         match dest {
             dex_underlying::Dest::All => out.broadcast(DexMsg::Uc(m)),
             dex_underlying::Dest::To(p) => out.send(p, DexMsg::Uc(m)),

@@ -1,13 +1,29 @@
 //! Numeric sample summaries.
 
+use std::cell::OnceCell;
+
 /// A summary of numeric samples: count, mean, min, max, percentiles.
 ///
 /// Samples are retained (sorted lazily) so exact percentiles are available;
 /// experiment batches are small enough (≤ 10⁶ samples) for this to be the
-/// right trade-off.
-#[derive(Clone, PartialEq, Debug, Default)]
+/// right trade-off. The sorted order is computed once on the first
+/// [`quantile`](Self::quantile) call and cached until the next mutation, so
+/// reading many percentiles of a finished batch sorts exactly once.
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     samples: Vec<f64>,
+    /// Sorted copy of `samples`, filled lazily by `quantile` and cleared by
+    /// every mutation (`add` / `merge`). `OnceCell` keeps the type `Send`
+    /// (batches are built inside worker threads and moved out by value).
+    sorted: OnceCell<Vec<f64>>,
+}
+
+/// Equality is over the samples only — whether the sort cache happens to be
+/// populated is not an observable property.
+impl PartialEq for Summary {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl Summary {
@@ -25,6 +41,7 @@ impl Summary {
     pub fn add(&mut self, x: f64) {
         assert!(x.is_finite(), "non-finite sample {x}");
         self.samples.push(x);
+        self.sorted.take();
     }
 
     /// Number of samples.
@@ -60,8 +77,11 @@ impl Summary {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let sorted = self.sorted.get_or_init(|| {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            sorted
+        });
         let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
         Some(sorted[idx])
     }
@@ -80,6 +100,7 @@ impl Summary {
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         self.samples.extend_from_slice(&other.samples);
+        self.sorted.take();
     }
 }
 
@@ -145,6 +166,29 @@ mod tests {
     fn quantile_range_checked() {
         let s: Summary = [1.0].into_iter().collect();
         let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn quantile_cache_is_invalidated_by_add_and_merge() {
+        let mut s: Summary = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(s.quantile(1.0), Some(3.0)); // populates the cache
+        s.add(10.0);
+        assert_eq!(s.quantile(1.0), Some(10.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        let other: Summary = [0.5].into_iter().collect();
+        s.merge(&other);
+        assert_eq!(s.quantile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn clones_and_equality_ignore_cache_state() {
+        let warm: Summary = [2.0, 1.0].into_iter().collect();
+        let _ = warm.quantile(0.5);
+        let cold: Summary = [2.0, 1.0].into_iter().collect();
+        assert_eq!(warm, cold);
+        let cloned = warm.clone();
+        assert_eq!(cloned.quantile(0.5), Some(2.0));
+        assert_eq!(cloned, warm);
     }
 
     #[test]

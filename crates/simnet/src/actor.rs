@@ -50,13 +50,27 @@ impl<'a, M: Clone> Context<'a, M> {
         depth: StepDepth,
         rng: &'a mut StdRng,
     ) -> Self {
+        Context::with_buffer(me, n, now, depth, rng, Vec::new())
+    }
+
+    /// Like `new`, but backs the outbox with a caller-provided buffer so the
+    /// simulator can recycle one allocation across all deliveries.
+    pub(crate) fn with_buffer(
+        me: ProcessId,
+        n: usize,
+        now: Time,
+        depth: StepDepth,
+        rng: &'a mut StdRng,
+        outbox: Vec<(ProcessId, M)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty());
         Context {
             me,
             n,
             now,
             depth,
             rng,
-            outbox: Vec::new(),
+            outbox,
         }
     }
 

@@ -75,6 +75,9 @@ pub struct Simulation<A: Actor> {
     stats: NetStats,
     trace: Option<Trace>,
     started: bool,
+    /// Recycled outbox buffer handed to each delivery's [`Context`], so the
+    /// per-message hot path allocates nothing in the steady state.
+    scratch: Vec<(ProcessId, A::Msg)>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -97,6 +100,7 @@ impl<A: Actor> Simulation<A> {
             stats: NetStats::default(),
             trace: None,
             started: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -141,11 +145,11 @@ impl<A: Actor> Simulation<A> {
         &mut self.actors[id.index()]
     }
 
-    fn dispatch(&mut self, from: ProcessId, outbox: Vec<(ProcessId, A::Msg)>, depth: StepDepth)
+    fn dispatch(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, A::Msg)>, depth: StepDepth)
     where
         A::Msg: core::fmt::Debug,
     {
-        for (to, payload) in outbox {
+        for (to, payload) in outbox.drain(..) {
             let delay = self.delay.sample(&mut self.rng, from, to);
             let deliver_at = self.now + delay;
             self.stats.record_send(depth);
@@ -182,10 +186,12 @@ impl<A: Actor> Simulation<A> {
         let n = self.actors.len();
         for i in 0..n {
             let me = ProcessId::new(i);
-            let mut ctx = Context::new(me, n, self.now, StepDepth::ZERO, &mut self.rng);
+            let buf = std::mem::take(&mut self.scratch);
+            let mut ctx = Context::with_buffer(me, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
             self.actors[i].on_start(&mut ctx);
-            let outbox = ctx.into_outbox();
-            self.dispatch(me, outbox, StepDepth::ONE);
+            let mut outbox = ctx.into_outbox();
+            self.dispatch(me, &mut outbox, StepDepth::ONE);
+            self.scratch = outbox;
         }
     }
 
@@ -213,10 +219,12 @@ impl<A: Actor> Simulation<A> {
             });
         }
         let n = self.actors.len();
-        let mut ctx = Context::new(to, n, self.now, depth, &mut self.rng);
+        let buf = std::mem::take(&mut self.scratch);
+        let mut ctx = Context::with_buffer(to, n, self.now, depth, &mut self.rng, buf);
         self.actors[to.index()].on_message(from, payload, &mut ctx);
-        let outbox = ctx.into_outbox();
-        self.dispatch(to, outbox, depth.next());
+        let mut outbox = ctx.into_outbox();
+        self.dispatch(to, &mut outbox, depth.next());
+        self.scratch = outbox;
         Some((from, to, depth))
     }
 

@@ -1,21 +1,45 @@
 //! Views and the view algebra of §3.1.
+//!
+//! # Incremental tallies
+//!
+//! Views sit on the protocol's hot path: Fig. 1 re-evaluates the legality
+//! predicates `P1(J1)`/`P2(J2)` after *every* message reception, and those
+//! predicates are built from `#_v(J)`, `|J|`, `1st(J)`, `2nd(J)` and the
+//! frequency margin. Recomputing them by scanning the entry vector (and
+//! rebuilding a histogram) made each delivery O(n) with an allocation.
+//!
+//! [`View`] therefore maintains a tally alongside the entries: a per-value
+//! occurrence map, the count of non-`⊥` entries, and the top-two
+//! `(value, count)` pairs under the paper's ordering (count first, ties
+//! broken by the **largest** value, §3.3). [`set`](View::set) and
+//! [`clear`](View::clear) update the tally in O(1) amortized time —
+//! increments adjust the top-two directly; only a decrement of a value
+//! currently *in* the top two forces a rescan, which never happens in the
+//! protocol proper because entries are written once (first-value-wins) and
+//! never cleared. All frequency queries are then O(1) and allocation-free.
 
 use crate::{ProcessId, Value};
 use core::fmt;
+use core::hash::{Hash, Hasher};
 use std::collections::HashMap;
 
 /// A view `J ∈ (V ∪ {⊥})^n`: an input vector with up to `t` entries replaced
 /// by the default value `⊥` (§3.1). Entry `i` is `None` when the view has not
 /// (yet) learnt `p_i`'s proposal.
 ///
-/// All operators the legality proofs use are provided:
+/// All operators the legality proofs use are provided, in O(1):
 ///
 /// * `#_v(J)` — [`count_of`](Self::count_of)
 /// * `|J|` — [`len_non_default`](Self::len_non_default)
 /// * `1st(J)`, `2nd(J)` — [`first`](Self::first), [`second`](Self::second)
 ///   (most frequent non-`⊥` value; ties broken by the **largest** value)
-/// * `dist(J₁, J₂)` — [`dist`](Self::dist) (Hamming distance)
-/// * `J₁ ≤ J₂` — [`is_contained_in`](Self::is_contained_in)
+/// * `#_1st(J)(J) − #_2nd(J)(J)` — [`frequency_margin`](Self::frequency_margin)
+///
+/// plus the O(n) structural operators `dist(J₁, J₂)` ([`dist`](Self::dist),
+/// Hamming distance) and `J₁ ≤ J₂` ([`is_contained_in`](Self::is_contained_in)).
+///
+/// Equality and hashing consider only the entries (two views with the same
+/// entries are equal however they were built).
 ///
 /// # Examples
 ///
@@ -27,9 +51,38 @@ use std::collections::HashMap;
 /// assert_eq!(j.first(), Some(&1));
 /// assert_eq!(j.second(), Some(&2));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Debug)]
 pub struct View<V> {
     entries: Vec<Option<V>>,
+    /// Occurrences of each non-`⊥` value currently in `entries`.
+    counts: HashMap<V, usize>,
+    /// Number of non-`⊥` entries (`|J|`).
+    non_default: usize,
+    /// `(1st(J), #_1st(J)(J))` under the §3.3 ordering.
+    top1: Option<(V, usize)>,
+    /// `(2nd(J), #_2nd(J)(J))`; `None` if fewer than two distinct values.
+    top2: Option<(V, usize)>,
+}
+
+impl<V: PartialEq> PartialEq for View<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<V: Eq> Eq for View<V> {}
+
+impl<V: Hash> Hash for View<V> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.entries.hash(state);
+    }
+}
+
+/// The §3.3 ordering on tally pairs: more occurrences wins; on equal counts
+/// the larger value wins.
+#[inline]
+fn beats<V: Ord>(v: &V, c: usize, v_other: &V, c_other: usize) -> bool {
+    c > c_other || (c == c_other && v > v_other)
 }
 
 impl<V: Value> View<V> {
@@ -37,6 +90,10 @@ impl<V: Value> View<V> {
     pub fn bottom(n: usize) -> Self {
         View {
             entries: vec![None; n],
+            counts: HashMap::new(),
+            non_default: 0,
+            top1: None,
+            top2: None,
         }
     }
 
@@ -47,7 +104,21 @@ impl<V: Value> View<V> {
     /// Panics if `entries` is empty.
     pub fn from_options(entries: Vec<Option<V>>) -> Self {
         assert!(!entries.is_empty(), "view must be non-empty");
-        View { entries }
+        let mut view = View {
+            entries,
+            counts: HashMap::new(),
+            non_default: 0,
+            top1: None,
+            top2: None,
+        };
+        for i in 0..view.entries.len() {
+            if let Some(v) = view.entries[i].clone() {
+                view.non_default += 1;
+                view.increment(&v);
+            }
+        }
+        view.debug_check_tally();
+        view
     }
 
     /// The dimension `n` of the view.
@@ -63,32 +134,47 @@ impl<V: Value> View<V> {
     /// Records `p_i`'s value. Returns the previous entry.
     ///
     /// Views are maintained *incrementally* in Fig. 1 (lines 6, 11): each
-    /// message reception fills in one entry.
+    /// message reception fills in one entry, and this updates the tally in
+    /// O(1).
     pub fn set(&mut self, id: ProcessId, v: V) -> Option<V> {
-        self.entries[id.index()].replace(v)
+        let slot = &mut self.entries[id.index()];
+        if slot.as_ref() == Some(&v) {
+            return slot.replace(v); // same value: tally unchanged
+        }
+        let prev = slot.replace(v.clone());
+        match &prev {
+            Some(old) => self.decrement(old),
+            None => self.non_default += 1,
+        }
+        self.increment(&v);
+        self.debug_check_tally();
+        prev
     }
 
     /// Clears `p_i`'s entry back to `⊥`. Returns the previous entry.
     pub fn clear(&mut self, id: ProcessId) -> Option<V> {
-        self.entries[id.index()].take()
+        let prev = self.entries[id.index()].take();
+        if let Some(old) = &prev {
+            self.non_default -= 1;
+            self.decrement(old);
+            self.debug_check_tally();
+        }
+        prev
     }
 
-    /// `#_v(J)`: the number of occurrences of `v`.
+    /// `#_v(J)`: the number of occurrences of `v`. O(1).
     pub fn count_of(&self, v: &V) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.as_ref() == Some(v))
-            .count()
+        self.counts.get(v).copied().unwrap_or(0)
     }
 
-    /// `|J|`: the number of non-`⊥` entries.
+    /// `|J|`: the number of non-`⊥` entries. O(1).
     pub fn len_non_default(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.non_default
     }
 
-    /// The number of `⊥` entries.
+    /// The number of `⊥` entries. O(1).
     pub fn len_default(&self) -> usize {
-        self.n() - self.len_non_default()
+        self.n() - self.non_default
     }
 
     /// Whether the view belongs to `V^n_k`: at most `k` entries are `⊥`.
@@ -97,48 +183,153 @@ impl<V: Value> View<V> {
     }
 
     /// Occurrence counts of every non-`⊥` value.
+    ///
+    /// Prefer the O(1) queries ([`count_of`](Self::count_of),
+    /// [`first_with_count`](Self::first_with_count),
+    /// [`second_with_count`](Self::second_with_count)) on hot paths; this
+    /// allocates a fresh map.
     pub fn histogram(&self) -> HashMap<&V, usize> {
-        let mut h = HashMap::new();
-        for e in self.entries.iter().flatten() {
-            *h.entry(e).or_insert(0) += 1;
-        }
-        h
+        self.counts.iter().map(|(v, c)| (v, *c)).collect()
     }
 
     /// `1st(J)`: the most frequent non-`⊥` value; when several values are
     /// tied for most frequent, the **largest** is selected (§3.3). `None` iff
-    /// the view is all-`⊥`.
+    /// the view is all-`⊥`. O(1).
     pub fn first(&self) -> Option<&V> {
-        self.histogram()
-            .into_iter()
-            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
-            .map(|(v, _)| v)
+        self.top1.as_ref().map(|(v, _)| v)
     }
 
     /// `2nd(J)`: the second most frequent value — `1st(Ĵ)` where `Ĵ` is `J`
     /// with every occurrence of `1st(J)` replaced by `⊥` (§3.3). `None` if
-    /// fewer than two distinct values occur.
+    /// fewer than two distinct values occur. O(1).
     pub fn second(&self) -> Option<&V> {
-        let first = self.first()?;
-        self.histogram()
-            .into_iter()
-            .filter(|(v, _)| *v != first)
-            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
-            .map(|(v, _)| v)
+        self.top2.as_ref().map(|(v, _)| v)
+    }
+
+    /// `(1st(J), #_1st(J)(J))` in one O(1) lookup.
+    pub fn first_with_count(&self) -> Option<(&V, usize)> {
+        self.top1.as_ref().map(|(v, c)| (v, *c))
+    }
+
+    /// `(2nd(J), #_2nd(J)(J))` in one O(1) lookup.
+    pub fn second_with_count(&self) -> Option<(&V, usize)> {
+        self.top2.as_ref().map(|(v, c)| (v, *c))
     }
 
     /// The frequency margin `#_1st(J)(J) − #_2nd(J)(J)`, the quantity tested
     /// by the frequency-based predicates `P1/P2` (§3.3). If only one distinct
     /// value occurs the margin is its full count; an all-`⊥` view has margin
-    /// zero.
+    /// zero. O(1).
     pub fn frequency_margin(&self) -> usize {
-        match self.first() {
-            None => 0,
-            Some(f) => {
-                let cf = self.count_of(f);
-                let cs = self.second().map_or(0, |s| self.count_of(s));
-                cf - cs
+        let c1 = self.top1.as_ref().map_or(0, |(_, c)| *c);
+        let c2 = self.top2.as_ref().map_or(0, |(_, c)| *c);
+        c1 - c2
+    }
+
+    /// Adds one occurrence of `v` to the tally and restores the top-two
+    /// invariant. O(1): one increment moves `(v, c)` up by a single count, so
+    /// the only candidates for the new top two are the old top two and `v`.
+    fn increment(&mut self, v: &V) {
+        let c = {
+            let c = self.counts.entry(v.clone()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if let Some((v1, c1)) = &mut self.top1 {
+            if v1 == v {
+                *c1 = c; // already the leader; lead only widens
+                return;
             }
+            if let Some((v2, c2)) = &mut self.top2 {
+                if v2 == v {
+                    *c2 = c;
+                    let (v1, c1) = self.top1.as_ref().expect("top1 set");
+                    if beats(v, c, v1, *c1) {
+                        core::mem::swap(&mut self.top1, &mut self.top2);
+                    }
+                    return;
+                }
+            }
+            // `v` rises from outside the top two.
+            let (v1, c1) = self.top1.as_ref().expect("top1 set");
+            if beats(v, c, v1, *c1) {
+                self.top2 = self.top1.take();
+                self.top1 = Some((v.clone(), c));
+            } else {
+                match &self.top2 {
+                    Some((v2, c2)) if !beats(v, c, v2, *c2) => {}
+                    _ => self.top2 = Some((v.clone(), c)),
+                }
+            }
+        } else {
+            self.top1 = Some((v.clone(), c));
+        }
+    }
+
+    /// Removes one occurrence of `v` from the tally. O(1) unless `v` is one
+    /// of the current top two, in which case the top pair is recomputed by a
+    /// scan of the distinct values. The protocol proper never takes the slow
+    /// path: entries are written once (first-value-wins) and never cleared.
+    fn decrement(&mut self, v: &V) {
+        match self.counts.get_mut(v) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counts.remove(v);
+            }
+            None => debug_assert!(false, "decrement of untallied value"),
+        }
+        let in_top = matches!(&self.top1, Some((v1, _)) if v1 == v)
+            || matches!(&self.top2, Some((v2, _)) if v2 == v);
+        if in_top {
+            self.rebuild_top();
+        }
+    }
+
+    /// Recomputes the top-two pairs from the occurrence map.
+    fn rebuild_top(&mut self) {
+        let mut top1: Option<(&V, usize)> = None;
+        let mut top2: Option<(&V, usize)> = None;
+        for (v, &c) in &self.counts {
+            match top1 {
+                Some((v1, c1)) if !beats(v, c, v1, c1) => match top2 {
+                    Some((v2, c2)) if !beats(v, c, v2, c2) => {}
+                    _ => top2 = Some((v, c)),
+                },
+                _ => {
+                    top2 = top1;
+                    top1 = Some((v, c));
+                }
+            }
+        }
+        self.top1 = top1.map(|(v, c)| (v.clone(), c));
+        self.top2 = top2.map(|(v, c)| (v.clone(), c));
+    }
+
+    /// Oracle: in debug builds, recount everything from the raw entries and
+    /// assert the incremental tally agrees.
+    #[inline]
+    fn debug_check_tally(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut counts: HashMap<V, usize> = HashMap::new();
+            let mut non_default = 0;
+            for v in self.entries.iter().flatten() {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+                non_default += 1;
+            }
+            assert_eq!(self.counts, counts, "tally counts diverged");
+            assert_eq!(self.non_default, non_default, "|J| diverged");
+            let naive_first = counts
+                .iter()
+                .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
+                .map(|(v, c)| (v.clone(), *c));
+            assert_eq!(self.top1, naive_first, "1st(J) diverged");
+            let naive_second = counts
+                .iter()
+                .filter(|(v, _)| Some(*v) != naive_first.as_ref().map(|(v, _)| v))
+                .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
+                .map(|(v, c)| (v.clone(), *c));
+            assert_eq!(self.top2, naive_second, "2nd(J) diverged");
         }
     }
 
@@ -186,14 +377,13 @@ impl<V: Value> View<V> {
         if !self.is_compatible_with(other) {
             return None;
         }
-        Some(View {
-            entries: self
-                .entries
+        Some(View::from_options(
+            self.entries
                 .iter()
                 .zip(&other.entries)
                 .map(|(a, b)| a.clone().or_else(|| b.clone()))
                 .collect(),
-        })
+        ))
     }
 
     /// Completes the view into a full vector by filling `⊥` entries from
@@ -308,6 +498,74 @@ mod tests {
         let j = v(vec![Some(4), Some(4), None]);
         assert_eq!(j.frequency_margin(), 2);
         assert_eq!(j.second(), None);
+    }
+
+    #[test]
+    fn counts_with_first_and_second() {
+        let j = v(vec![Some(1), Some(1), Some(1), Some(2), Some(2), None]);
+        assert_eq!(j.first_with_count(), Some((&1, 3)));
+        assert_eq!(j.second_with_count(), Some((&2, 2)));
+        assert_eq!(View::<u64>::bottom(3).first_with_count(), None);
+    }
+
+    #[test]
+    fn incremental_sets_track_leader_changes() {
+        // Drive the top-two through promotions, swaps and ties; the debug
+        // oracle in set() re-verifies the whole tally at every step.
+        let mut j = View::<u64>::bottom(8);
+        j.set(ProcessId::new(0), 5);
+        assert_eq!(j.first_with_count(), Some((&5, 1)));
+        j.set(ProcessId::new(1), 3);
+        // Tie at one occurrence each: larger value leads.
+        assert_eq!(j.first(), Some(&5));
+        assert_eq!(j.second(), Some(&3));
+        j.set(ProcessId::new(2), 3);
+        // 3 overtakes 5.
+        assert_eq!(j.first_with_count(), Some((&3, 2)));
+        assert_eq!(j.second_with_count(), Some((&5, 1)));
+        // A third value rises from outside the top two.
+        j.set(ProcessId::new(3), 9);
+        j.set(ProcessId::new(4), 9);
+        j.set(ProcessId::new(5), 9);
+        assert_eq!(j.first_with_count(), Some((&9, 3)));
+        assert_eq!(j.second_with_count(), Some((&3, 2)));
+        assert_eq!(j.frequency_margin(), 1);
+    }
+
+    #[test]
+    fn overwrite_and_clear_keep_tally_exact() {
+        let mut j = View::<u64>::bottom(4);
+        j.set(ProcessId::new(0), 1);
+        j.set(ProcessId::new(1), 1);
+        j.set(ProcessId::new(2), 2);
+        // Overwrite the leader's occurrence with the runner-up's value.
+        assert_eq!(j.set(ProcessId::new(0), 2), Some(1));
+        assert_eq!(j.first_with_count(), Some((&2, 2)));
+        assert_eq!(j.second_with_count(), Some((&1, 1)));
+        // Clearing the last occurrence of a value removes it entirely.
+        j.clear(ProcessId::new(1));
+        assert_eq!(j.second(), None);
+        assert_eq!(j.count_of(&1), 0);
+        // Overwriting with an equal value is a no-op on the tally.
+        assert_eq!(j.set(ProcessId::new(0), 2), Some(2));
+        assert_eq!(j.first_with_count(), Some((&2, 2)));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_construction_order() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = v(vec![Some(1), Some(2), None]);
+        let mut b = View::<u64>::bottom(3);
+        b.set(ProcessId::new(1), 2);
+        b.set(ProcessId::new(0), 1);
+        assert_eq!(a, b);
+        let hash = |view: &View<u64>| {
+            let mut h = DefaultHasher::new();
+            view.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 
     #[test]

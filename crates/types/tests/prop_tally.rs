@@ -1,0 +1,142 @@
+//! Property tests pinning the incremental tally to a from-scratch oracle.
+//!
+//! `View` maintains per-value counts and the top-two `(value, count)` pair
+//! incrementally (see `view.rs`); every query the legality predicates rely
+//! on must agree with a naive recount of the raw entries — including the
+//! §3.3 tie-break, which prefers the **largest** value among equal counts.
+//! The oracle below is written independently of `View`'s own internals
+//! (it only reads `as_options`), so a bug in the tally bookkeeping cannot
+//! hide in the checker.
+
+use dex_types::{ProcessId, View};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N: usize = 9;
+const DOMAIN: u64 = 4;
+
+/// One mutation: `Some(v)` sets the slot, `None` clears it.
+type Op = (usize, Option<u64>);
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0usize..N, proptest::option::weighted(0.7, 0..DOMAIN)), 0..40)
+}
+
+fn view_strategy() -> impl Strategy<Value = View<u64>> {
+    proptest::collection::vec(proptest::option::weighted(0.8, 0..DOMAIN), N)
+        .prop_map(View::from_options)
+}
+
+fn naive_counts(shadow: &[Option<u64>]) -> HashMap<u64, usize> {
+    let mut counts = HashMap::new();
+    for v in shadow.iter().flatten() {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// From-scratch top-two with the §3.3 tie-break: more occurrences wins, and
+/// among equal counts the larger value wins.
+fn naive_top_two(shadow: &[Option<u64>]) -> (Option<(u64, usize)>, Option<(u64, usize)>) {
+    let counts = naive_counts(shadow);
+    let best = |skip: Option<u64>| {
+        counts
+            .iter()
+            .filter(|(v, _)| Some(**v) != skip)
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| va.cmp(vb)))
+            .map(|(v, c)| (*v, *c))
+    };
+    let first = best(None);
+    let second = first.and_then(|(f, _)| best(Some(f)));
+    (first, second)
+}
+
+/// Asserts every tally-backed query against the oracle.
+fn check_against_oracle(view: &View<u64>, shadow: &[Option<u64>]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(view.as_options(), shadow);
+    let counts = naive_counts(shadow);
+    for v in 0..DOMAIN {
+        prop_assert_eq!(view.count_of(&v), counts.get(&v).copied().unwrap_or(0));
+    }
+    prop_assert_eq!(view.len_non_default(), counts.values().sum::<usize>());
+
+    let (first, second) = naive_top_two(shadow);
+    prop_assert_eq!(view.first_with_count().map(|(v, c)| (*v, c)), first);
+    prop_assert_eq!(view.second_with_count().map(|(v, c)| (*v, c)), second);
+    prop_assert_eq!(view.first().copied(), first.map(|(v, _)| v));
+    prop_assert_eq!(view.second().copied(), second.map(|(v, _)| v));
+
+    let margin = match (first, second) {
+        (Some((_, c1)), Some((_, c2))) => c1 - c2,
+        (Some((_, c1)), None) => c1,
+        _ => 0,
+    };
+    prop_assert_eq!(view.frequency_margin(), margin);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn random_mutation_sequences_match_recount(ops in ops_strategy()) {
+        let mut view: View<u64> = View::bottom(N);
+        let mut shadow: Vec<Option<u64>> = vec![None; N];
+        for (idx, op) in ops {
+            match op {
+                Some(v) => {
+                    view.set(ProcessId::new(idx), v);
+                    shadow[idx] = Some(v);
+                }
+                None => {
+                    view.clear(ProcessId::new(idx));
+                    shadow[idx] = None;
+                }
+            }
+            // The tally must be exact after *every* step, not just at the
+            // end — an intermediate drift that later self-corrects would
+            // still mis-gate the per-message predicates.
+            check_against_oracle(&view, &shadow)?;
+        }
+    }
+
+    #[test]
+    fn constructed_views_match_recount(view in view_strategy()) {
+        let shadow = view.as_options().to_vec();
+        check_against_oracle(&view, &shadow)?;
+    }
+
+    #[test]
+    fn joins_match_recount(a in view_strategy(), b in view_strategy()) {
+        if let Some(j) = a.join(&b) {
+            let shadow = j.as_options().to_vec();
+            check_against_oracle(&j, &shadow)?;
+        }
+    }
+
+    #[test]
+    fn largest_value_wins_count_ties(ops in ops_strategy()) {
+        // Focused restatement of the §3.3 tie-break on the same sequences:
+        // whenever first/second exist, no other value may beat them under
+        // the (count, value) lexicographic order.
+        let mut view: View<u64> = View::bottom(N);
+        for (idx, op) in ops {
+            match op {
+                Some(v) => {
+                    view.set(ProcessId::new(idx), v);
+                }
+                None => {
+                    view.clear(ProcessId::new(idx));
+                }
+            }
+        }
+        if let Some((v1, c1)) = view.first_with_count() {
+            for (v, c) in view.histogram() {
+                prop_assert!((c, v) <= (c1, v1));
+                if let Some((v2, c2)) = view.second_with_count() {
+                    if v != v1 {
+                        prop_assert!((c, v) <= (c2, v2));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -51,8 +51,19 @@ impl<M> Outbox<M> {
     }
 
     /// Takes all queued messages, leaving the outbox empty.
+    ///
+    /// This hands over the backing buffer itself (the outbox restarts with
+    /// no capacity). Hot paths that drain the same outbox repeatedly should
+    /// prefer [`drain_iter`](Self::drain_iter), which keeps the allocation.
     pub fn drain(&mut self) -> Vec<(Dest, M)> {
         std::mem::take(&mut self.msgs)
+    }
+
+    /// Drains all queued messages in place, retaining the buffer's capacity
+    /// for the next batch — the allocation-free counterpart of
+    /// [`drain`](Self::drain).
+    pub fn drain_iter(&mut self) -> std::vec::Drain<'_, (Dest, M)> {
+        self.msgs.drain(..)
     }
 
     /// Number of queued messages.
@@ -88,6 +99,22 @@ mod tests {
         assert_eq!(msgs[0], (Dest::To(ProcessId::new(1)), 10));
         assert_eq!(msgs[1], (Dest::All, 20));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drain_iter_keeps_capacity() {
+        let mut out = Outbox::new();
+        for i in 0..64u8 {
+            out.broadcast(i);
+        }
+        let drained: Vec<_> = out.drain_iter().collect();
+        assert_eq!(drained.len(), 64);
+        assert!(out.is_empty());
+        assert!(out.msgs.capacity() >= 64, "buffer must be reusable");
+        // A plain drain() surrenders the buffer.
+        out.broadcast(1);
+        let _ = out.drain();
+        assert_eq!(out.msgs.capacity(), 0);
     }
 
     #[test]

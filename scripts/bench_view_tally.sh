@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_view_tally.json at the repo root: naive O(n) recount vs
+# the O(1) incremental view tally on the predicate hot path (see DESIGN.md,
+# "Performance"). Pass an argument to write elsewhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p dex-bench --bin bench_view_tally -- "${1:-BENCH_view_tally.json}"

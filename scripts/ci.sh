@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, and a criterion smoke run
+# of the view-algebra microbenchmarks (the per-message hot path).
+#
+# The workspace builds fully offline: every external dependency is vendored
+# as a path crate under vendor/ and pinned by the committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release --workspace
+
+echo "== test"
+cargo test -q --workspace
+
+echo "== bench smoke: view_ops"
+# CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads it
+# per sample (see vendor/criterion).
+CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
+
+echo "== ci OK"

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — measured with
+//! plain `std::time::Instant` wall clocks instead of criterion's
+//! statistical machinery.
+//!
+//! Each benchmark runs a short calibration pass to pick an iteration count
+//! targeting ~`measure_ms` of wall time per sample, takes `sample_size`
+//! samples, and prints the median, min and max ns/iter in a
+//! criterion-flavoured one-line format. Set `CRITERION_MEASURE_MS` to
+//! lengthen samples for steadier numbers.
+
+use std::time::Instant;
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`, matching criterion's display format.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    /// Total elapsed nanoseconds across all sample batches.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one timing sample per batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_ns.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+            self.sample_ns.push(ns);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Unused compatibility knob (criterion's measurement-time hint).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.parent
+            .run_bench(&label, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.parent.run_bench(&label, sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure_ms: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(10.0);
+        Criterion { measure_ms }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored: the test
+    /// runner passes `--bench`/`--test` flags through).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            parent: self,
+        }
+    }
+
+    /// Benchmarks `f` without a group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_bench(name, 20, |b| f(b));
+        self
+    }
+
+    fn run_bench<F: FnMut(&mut Bencher)>(&mut self, label: &str, sample_size: usize, mut f: F) {
+        // Calibration: find an iteration count filling ~measure_ms per sample.
+        let mut calib = Bencher {
+            iters: 1,
+            sample_ns: Vec::with_capacity(1),
+        };
+        f(&mut calib);
+        let per_iter_ns = calib.sample_ns.first().copied().unwrap_or(1.0).max(0.5);
+        let target_ns = self.measure_ms * 1e6;
+        let iters = ((target_ns / per_iter_ns) as u64).clamp(1, 10_000_000);
+
+        let mut bencher = Bencher {
+            iters,
+            sample_ns: Vec::with_capacity(sample_size),
+        };
+        f(&mut bencher);
+
+        let mut samples = bencher.sample_ns;
+        if samples.is_empty() {
+            println!("{label:<40} (no samples: closure never called iter)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!("{label:<40} time: [{min:>12.2} ns {median:>12.2} ns {max:>12.2} ns]");
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with --test flags; in that
+            // mode just exercise one calibration pass cheaply.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_format() {
+        let id = BenchmarkId::new("margin", 13);
+        assert_eq!(id.id, "margin/13");
+    }
+}

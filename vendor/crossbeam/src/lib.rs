@@ -1,0 +1,52 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided (the subset `dex-threadnet` uses:
+//! `unbounded`, `Sender`, `Receiver`, `RecvTimeoutError`), implemented on
+//! top of `std::sync::mpsc`. The std channel is MPSC rather than MPMC,
+//! which matches how the threaded runtime actually wires its channels: one
+//! receiver per worker plus one for the dispatcher.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    /// Re-exported error types with crossbeam's names.
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    /// The sending half of a channel (cloneable).
+    pub use std::sync::mpsc::Sender;
+    /// The receiving half of a channel.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5u8).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(6u8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(rx.recv().unwrap(), 6);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,473 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the slice of proptest this workspace uses: the
+//! [`Strategy`] trait with `prop_map`/`boxed`, range/tuple/`Just`
+//! strategies, [`collection::vec`], [`option::of`]/[`option::weighted`],
+//! the [`proptest!`]/[`prop_oneof!`]/`prop_assert*` macros and
+//! [`ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with the sampled inputs'
+//!   `Debug` description (when available via the strategy) but is not
+//!   minimized.
+//! * **Deterministic seeding** — cases are derived from a fixed seed mixed
+//!   with the test-function name, so failures are reproducible without a
+//!   regression file. `*.proptest-regressions` files are ignored.
+
+use rand::rngs::StdRng;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Unused; kept for struct-update compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property case (carried by `prop_assert*` early returns).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a over a string: stable per-test seeds from test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Builds the per-test RNG. Override the base seed with the
+/// `PROPTEST_SEED` environment variable to explore different samples.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    StdRng::seed_from_u64(base ^ fnv1a(test_name))
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A length specification: a fixed size or a size range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` samples.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` with length in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Option<V>` with a fixed `Some` probability.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        p_some: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(self.p_some) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` with probability `p_some`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p_some: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { p_some, inner }
+    }
+
+    /// `Some` with probability 0.5.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+}
+
+/// Arbitrary values (`proptest::arbitrary`): types with a canonical
+/// full-domain strategy, reachable via [`any`].
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A type with a canonical strategy covering its whole domain.
+    pub trait Arbitrary: Sized {
+        /// Draws one uniform value.
+        fn generate(rng: &mut StdRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyStrategy<A> {
+        _marker: core::marker::PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut StdRng) -> A {
+            A::generate(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`, mirroring `proptest::prelude::any`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy {
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    macro_rules! impl_arbitrary_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn generate(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+}
+
+pub use arbitrary::any;
+
+/// Sampling helpers (`proptest::sample`).
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use rand::rngs::StdRng;
+
+    /// A position into a not-yet-known collection, mirroring
+    /// `proptest::sample::Index`: stores a uniform fraction and projects it
+    /// onto whatever length it is applied to.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Projects onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.raw as u128 * len as u128) >> 64) as usize
+        }
+
+        /// The element of `slice` this index selects.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn generate(rng: &mut StdRng) -> Self {
+            Index {
+                raw: rng.next_u64(),
+            }
+        }
+    }
+}
+
+/// The `prop` alias module exposed by proptest's prelude
+/// (`prop::collection::vec(...)`, `prop::sample::Index`, ...).
+pub mod prop {
+    pub use crate::{collection, option, sample, strategy};
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case fails with the stringified condition (plus optional formatted
+/// context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?}): {}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring proptest's macro of the same name.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn prop(x in 0u64..10, v in collection::vec(0u64..4, 5)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let run = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(e) = run() {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..4, 10u32..20).prop_map(|(a, b)| (a as u32) + b) ) {
+            prop_assert!((10..24).contains(&pair));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u64..3, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn oneof_and_options(
+            x in prop_oneof![Just(1u8), Just(2u8), (5u8..7)],
+            o in crate::option::weighted(0.5, 0u8..2),
+        ) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+            if let Some(v) = o { prop_assert!(v < 2); }
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0u8..4) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("assertion failed"), "got: {msg}");
+    }
+}

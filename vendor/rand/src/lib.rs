@@ -1,0 +1,380 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the small slice of the `rand` 0.9 API it actually
+//! uses: a deterministic [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64), the [`SeedableRng`]/[`Rng`]/[`RngExt`] traits, and
+//! [`seq::SliceRandom`] for `shuffle`/`choose`.
+//!
+//! Determinism is load-bearing for the whole repository (replayable
+//! simulations are keyed by a `u64` seed), so the generator here is fixed
+//! and self-contained; it never touches OS entropy.
+
+/// Random number generator engines.
+pub mod rngs {
+    /// A deterministic xoshiro256++ generator, the workspace's standard RNG.
+    ///
+    /// Statistically strong enough for simulation workloads, trivially
+    /// seedable from a `u64`, and with no platform dependencies.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        /// Builds a generator whose full 256-bit state is expanded from
+        /// `seed` with SplitMix64 (the reference xoshiro seeding procedure).
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+
+        /// The next raw 64-bit output (xoshiro256++ step).
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// The next raw 32-bit output.
+        #[inline]
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// A uniformly distributed value of any [`crate::Standard`] type.
+        #[inline]
+        pub fn random<T: crate::Standard>(&mut self) -> T {
+            T::standard(self)
+        }
+
+        /// A uniform sample from `range` (`a..b` or `a..=b`, integer or
+        /// float).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        #[inline]
+        pub fn random_range<T, R: crate::SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+
+        /// `true` with probability `p`.
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `0 ≤ p ≤ 1`.
+        #[inline]
+        pub fn random_bool(&mut self, p: f64) -> bool {
+            assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+            self.next_f64() < p
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            StdRng::next_u64(self)
+        }
+    }
+}
+
+/// Seeding constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::seed_from_u64(seed)
+    }
+}
+
+/// A source of randomness, mirroring `rand::Rng`.
+///
+/// The convenience samplers are defaulted methods built on [`Rng::next_u64`],
+/// so trait-generic call sites (`R: Rng`) get the full API; the concrete
+/// [`rngs::StdRng`] also carries inherent copies for call sites that don't
+/// import the trait.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32-bit output.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly distributed value of any [`Standard`] type.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// A uniform sample from `range` (`a..b` or `a..=b`, integer or float).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+}
+
+/// Extension alias kept for source compatibility with code written against
+/// newer `rand` API sketches (`use rand::RngExt`). All functionality lives
+/// on [`Rng`] / the inherent `StdRng` methods; this trait deliberately adds
+/// nothing, so importing both `Rng` and `RngExt` never creates method
+/// ambiguity.
+pub trait RngExt: Rng {}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types samplable uniformly from their full domain (`rng.random()`).
+pub trait Standard {
+    /// Draws a uniform value.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Ranges that can be sampled uniformly (`rng.random_range(a..b)`).
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                self.start + (self.end - self.start) * rng.next_f64() as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                lo + (hi - lo) * rng.next_f64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use crate::Rng;
+
+    /// Random operations on slices (`shuffle`, `choose`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0usize..=4);
+            assert!(y <= 4);
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([9u8].choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn uniformish_distribution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buckets = [0usize; 8];
+        for _ in 0..80_000 {
+            buckets[rng.random_range(0usize..8)] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "skewed bucket: {buckets:?}");
+        }
+    }
+}
