@@ -106,7 +106,6 @@ impl FaultPlan {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn cfg() -> SystemConfig {
         SystemConfig::new(13, 2).unwrap()

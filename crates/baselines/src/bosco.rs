@@ -1,5 +1,6 @@
 //! The Bosco one-step Byzantine consensus baseline.
 
+use dex_obs::{obs_code, EventKind, Recorder, Scheme, ViewTag};
 use dex_simnet::{Actor, Context, Time};
 use dex_types::{ProcessId, StepDepth, SystemConfig, Value, View};
 use dex_underlying::{Dest, Outbox, UnderlyingConsensus};
@@ -217,6 +218,7 @@ where
     process: BoscoProcess<V, U>,
     proposal: V,
     decision: Option<BoscoRecord<V>>,
+    obs: Recorder,
 }
 
 impl<V, U> BoscoActor<V, U>
@@ -230,7 +232,19 @@ where
             process,
             proposal,
             decision: None,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Turns on structured event recording (see `dex-obs`) for process
+    /// index `me`.
+    pub fn enable_obs(&mut self, me: u16) {
+        self.obs = Recorder::new(me);
+    }
+
+    /// The structured-event recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The recorded decision, if any.
@@ -249,15 +263,42 @@ where
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         let mut out = Outbox::new();
         let v = self.proposal.clone();
+        if self.obs.is_active() {
+            self.obs.record(EventKind::ViewSet {
+                view: ViewTag::J1,
+                origin: self.obs.me(),
+                code: obs_code(&v),
+            });
+        }
         self.process.propose(v, ctx.rng(), &mut out);
         flush(&mut out, ctx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        // First value wins in the vote view, so only a fresh entry is a
+        // mutation worth recording.
+        if self.obs.is_active() {
+            if let BoscoMsg::Vote(v) = &msg {
+                if self.process.votes.get(from).is_none() {
+                    self.obs.record(EventKind::ViewSet {
+                        view: ViewTag::J1,
+                        origin: from.index() as u16,
+                        code: obs_code(v),
+                    });
+                }
+            }
+        }
         let mut out = Outbox::new();
         let d = self.process.on_message(from, msg, ctx.rng(), &mut out);
         flush(&mut out, ctx);
         if let Some(d) = d {
+            self.obs.record(EventKind::Decide {
+                scheme: match d.path {
+                    BoscoPath::OneStep => Scheme::OneStep,
+                    BoscoPath::Underlying => Scheme::Fallback,
+                },
+                code: obs_code(&d.value),
+            });
             self.decision = Some(BoscoRecord {
                 value: d.value,
                 path: d.path,
@@ -265,6 +306,10 @@ where
                 at: ctx.now(),
             });
         }
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.active_mut()
     }
 }
 
@@ -281,7 +326,6 @@ pub(crate) fn flush<M: Clone>(out: &mut Outbox<M>, ctx: &mut Context<'_, M>) {
 mod tests {
     use super::*;
     use dex_underlying::{OracleConsensus, OracleMsg};
-    use rand::SeedableRng;
 
     type Proc = BoscoProcess<u64, OracleConsensus<u64>>;
     type Out = Outbox<BoscoMsg<u64, OracleMsg<u64>>>;

@@ -37,6 +37,7 @@
 //! adversaries.
 
 use crate::bosco::flush;
+use dex_obs::{obs_code, EventKind, Recorder, Scheme, ViewTag};
 use dex_simnet::{Actor, Context, Time};
 use dex_types::{ProcessId, StepDepth, SystemConfig, Value, View};
 use dex_underlying::{Outbox, UnderlyingConsensus};
@@ -302,6 +303,7 @@ where
     process: CrashOneStep<V, U>,
     proposal: V,
     decision: Option<CrashRecord<V>>,
+    obs: Recorder,
 }
 
 impl<V, U> CrashActor<V, U>
@@ -315,7 +317,19 @@ where
             process,
             proposal,
             decision: None,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Turns on structured event recording (see `dex-obs`) for process
+    /// index `me`.
+    pub fn enable_obs(&mut self, me: u16) {
+        self.obs = Recorder::new(me);
+    }
+
+    /// The structured-event recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The recorded decision, if any.
@@ -334,15 +348,41 @@ where
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         let mut out = Outbox::new();
         let v = self.proposal.clone();
+        if self.obs.is_active() {
+            self.obs.record(EventKind::ViewSet {
+                view: ViewTag::J1,
+                origin: self.obs.me(),
+                code: obs_code(&v),
+            });
+        }
         self.process.propose(v, ctx.rng(), &mut out);
         flush(&mut out, ctx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        // First value wins in the receipt view: record fresh entries only.
+        if self.obs.is_active() {
+            if let CrashMsg::Value(v) = &msg {
+                if self.process.view.get(from).is_none() {
+                    self.obs.record(EventKind::ViewSet {
+                        view: ViewTag::J1,
+                        origin: from.index() as u16,
+                        code: obs_code(v),
+                    });
+                }
+            }
+        }
         let mut out = Outbox::new();
         let d = self.process.on_message(from, msg, ctx.rng(), &mut out);
         flush(&mut out, ctx);
         if let Some(d) = d {
+            self.obs.record(EventKind::Decide {
+                scheme: match d.path {
+                    CrashPath::OneStep => Scheme::OneStep,
+                    CrashPath::Underlying => Scheme::Fallback,
+                },
+                code: obs_code(&d.value),
+            });
             self.decision = Some(CrashRecord {
                 value: d.value,
                 path: d.path,
@@ -351,13 +391,16 @@ where
             });
         }
     }
+
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.active_mut()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dex_underlying::{OracleConsensus, OracleMsg};
-    use rand::SeedableRng;
 
     type Proc = CrashOneStep<u64, OracleConsensus<u64>>;
     type Out = Outbox<CrashMsg<u64, OracleMsg<u64>>>;

@@ -1,6 +1,7 @@
 //! The non-expedited baseline: go straight to the underlying consensus.
 
 use crate::bosco::flush;
+use dex_obs::{obs_code, EventKind, Recorder, Scheme};
 use dex_simnet::{Actor, Context, Time};
 use dex_types::{ProcessId, StepDepth, Value};
 use dex_underlying::{Outbox, UnderlyingConsensus};
@@ -81,6 +82,7 @@ where
     process: UnderlyingOnlyProcess<V, U>,
     proposal: V,
     decision: Option<UnderlyingOnlyRecord<V>>,
+    obs: Recorder,
 }
 
 impl<V, U> UnderlyingOnlyActor<V, U>
@@ -94,7 +96,19 @@ where
             process,
             proposal,
             decision: None,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Turns on structured event recording (see `dex-obs`) for process
+    /// index `me`.
+    pub fn enable_obs(&mut self, me: u16) {
+        self.obs = Recorder::new(me);
+    }
+
+    /// The structured-event recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The recorded decision, if any.
@@ -122,12 +136,20 @@ where
         let d = self.process.on_message(from, msg, ctx.rng(), &mut out);
         flush(&mut out, ctx);
         if let Some(value) = d {
+            self.obs.record(EventKind::Decide {
+                scheme: Scheme::Fallback,
+                code: obs_code(&value),
+            });
             self.decision = Some(UnderlyingOnlyRecord {
                 value,
                 depth: ctx.depth(),
                 at: ctx.now(),
             });
         }
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.active_mut()
     }
 }
 
@@ -137,7 +159,6 @@ mod tests {
     use dex_simnet::{DelayModel, Simulation};
     use dex_types::SystemConfig;
     use dex_underlying::OracleConsensus;
-    use rand::SeedableRng;
 
     #[test]
     fn oracle_underlying_only_decides_in_two_steps() {

@@ -11,7 +11,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_bench::naive;
 use dex_types::{ProcessId, View};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 fn random_view(n: usize, domain: u64, bottoms: usize, seed: u64) -> View<u64> {

@@ -14,7 +14,6 @@
 use dex_bench::naive;
 use dex_types::{ProcessId, View};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -146,7 +145,10 @@ fn main() {
             r.sweep_speedup()
         );
     }
-    let min_read = rows.iter().map(Row::read_speedup).fold(f64::INFINITY, f64::min);
+    let min_read = rows
+        .iter()
+        .map(Row::read_speedup)
+        .fold(f64::INFINITY, f64::min);
     let max_read = rows.iter().map(Row::read_speedup).fold(0.0, f64::max);
     println!("\npredicate-read speedup: {min_read:.1}x – {max_read:.1}x (target ≥ 10x at large n)");
 

@@ -13,7 +13,6 @@ use dex_simnet::DelayModel;
 use dex_types::{InputVector, SystemConfig};
 use dex_workloads::{BernoulliMix, InputGenerator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn histogram(algo: Algo, p: f64, runs: usize) -> Histogram {
     let cfg = SystemConfig::new(15, 2).expect("15 > 3t");

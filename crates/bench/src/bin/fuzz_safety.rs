@@ -13,7 +13,6 @@ use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
 use dex_simnet::DelayModel;
 use dex_types::{InputVector, SystemConfig};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn random_spec(rng: &mut StdRng) -> RunSpec {
     let t = rng.random_range(1..=2usize);

@@ -20,9 +20,12 @@ pub mod naive {
     use dex_types::{Value, View};
     use std::collections::HashMap;
 
+    /// A value with its occurrence count, as returned by [`first_second`].
+    pub type Ranked<V> = Option<(V, usize)>;
+
     /// `(1st(J), 2nd(J))` with occurrence counts, recomputed from scratch.
     /// Ties break towards the largest value (§3.3), matching `View`.
-    pub fn first_second<V: Value>(view: &View<V>) -> (Option<(V, usize)>, Option<(V, usize)>) {
+    pub fn first_second<V: Value>(view: &View<V>) -> (Ranked<V>, Ranked<V>) {
         let mut counts: HashMap<&V, usize> = HashMap::new();
         for v in view.as_options().iter().flatten() {
             *counts.entry(v).or_insert(0) += 1;

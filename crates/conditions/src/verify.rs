@@ -29,6 +29,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Verifier errors deliberately carry the whole counterexample (view plus
+// witness input vector); they occur once, on a cold path, and boxing them
+// would only obscure the diagnostics.
+#![allow(clippy::result_large_err)]
+
 use crate::pair::LegalityPair;
 use dex_types::{InputVector, Value, View};
 

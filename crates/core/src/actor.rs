@@ -60,6 +60,12 @@ where
         &self.process
     }
 
+    /// Mutable access to the wrapped state machine (e.g. to enable
+    /// structured event recording before the run starts).
+    pub fn process_mut(&mut self) -> &mut DexProcess<V, P, U> {
+        &mut self.process
+    }
+
     fn flush(out: &mut Outbox<DexMsg<V, U::Msg>>, ctx: &mut Context<'_, DexMsg<V, U::Msg>>) {
         for (dest, m) in out.drain() {
             match dest {
@@ -97,6 +103,10 @@ where
                 at: ctx.now(),
             });
         }
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
+        self.process.obs_mut().active_mut()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use dex_broadcast::{Action, IdbMessage, IdenticalBroadcast};
 use dex_conditions::{DecisionGate, LegalityPair};
+use dex_obs::{obs_code, EventKind, PredTag, Recorder, Scheme, ViewTag};
 use dex_types::{ProcessId, SystemConfig, Value, View};
 use dex_underlying::{Outbox, UnderlyingConsensus};
 use rand::rngs::StdRng;
@@ -79,6 +80,37 @@ where
     decided: Option<Decision<V>>,
     proposed: bool,
     uc_proposed: bool,
+    /// Structured-event recorder (disabled by default: one branch per
+    /// call site, no storage). See `dex-obs`.
+    obs: Recorder,
+}
+
+/// Maps a decision path to its observability scheme tag.
+fn scheme_of(path: DecisionPath) -> Scheme {
+    match path {
+        DecisionPath::OneStep => Scheme::OneStep,
+        DecisionPath::TwoStep => Scheme::TwoStep,
+        DecisionPath::Underlying => Scheme::Fallback,
+    }
+}
+
+/// Builds a `Predicate` event carrying the tally snapshot the evaluation
+/// saw — what lets the trace checker cross-validate its replay against the
+/// live views.
+fn predicate_snapshot<V: Value>(pred: PredTag, held: bool, view: &View<V>) -> EventKind {
+    let (top_count, top_code) = view
+        .first_with_count()
+        .map(|(v, c)| (c as u16, obs_code(v)))
+        .unwrap_or((0, 0));
+    let second_count = view.second_with_count().map(|(_, c)| c as u16).unwrap_or(0);
+    EventKind::Predicate {
+        pred,
+        held,
+        len: view.len_non_default() as u16,
+        top_count,
+        second_count,
+        top_code,
+    }
 }
 
 impl<V, P, U> DexProcess<V, P, U>
@@ -109,7 +141,26 @@ where
             decided: None,
             proposed: false,
             uc_proposed: false,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Turns on structured event recording for this process (preallocates
+    /// the log's first chunk; see `dex-obs`).
+    pub fn enable_obs(&mut self) {
+        self.obs = Recorder::new(self.me.index() as u16);
+    }
+
+    /// The structured-event recorder (disabled unless
+    /// [`enable_obs`](Self::enable_obs) was called).
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable access to the recorder, for the network runtime's clock
+    /// stamping and send/deliver recording.
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// This process's id.
@@ -146,6 +197,21 @@ where
         self.proposed = true;
         self.j1.set(self.me, value.clone()); // line 2
         self.j2.set(self.me, value.clone());
+        if self.obs.is_active() {
+            let me = self.me.index() as u16;
+            let code = obs_code(&value);
+            self.obs.record(EventKind::ViewSet {
+                view: ViewTag::J1,
+                origin: me,
+                code,
+            });
+            self.obs.record(EventKind::ViewSet {
+                view: ViewTag::J2,
+                origin: me,
+                code,
+            });
+            self.obs.record(EventKind::IdbInit { origin: me, code });
+        }
         out.broadcast(DexMsg::Proposal(value.clone())); // line 3: P-Send
         out.broadcast(DexMsg::Idb(IdenticalBroadcast::id_send(self.me, value)));
         // line 4: Id-Send
@@ -173,22 +239,40 @@ where
         // different values; re-writing the entry would let it steer the view
         // after we have evaluated predicates on it.
         if self.j1.get(from).is_none() {
+            if self.obs.is_active() {
+                self.obs.record(EventKind::ViewSet {
+                    view: ViewTag::J1,
+                    origin: from.index() as u16,
+                    code: obs_code(&v),
+                });
+            }
             self.j1.set(from, v);
         }
         // Line 7's adaptive re-check, gated: the gate skips the predicate
         // until |J1| ≥ n − t and, after each failed test, until the tally
         // has grown enough that P1 could possibly flip.
-        if self.decided.is_none() && self.p1_gate.try_p1(&self.pair, &self.j1) {
-            let value = self
-                .pair
-                .decide(&self.j1)
-                .expect("J1 has at least n - t entries");
-            let d = Decision {
-                value,
-                path: DecisionPath::OneStep,
-            };
-            self.decided = Some(d.clone());
-            return Some(d);
+        if self.decided.is_none() {
+            let fired = self.p1_gate.try_p1(&self.pair, &self.j1);
+            if self.obs.is_active() && self.j1.len_non_default() >= self.config.quorum() {
+                self.obs
+                    .record(predicate_snapshot(PredTag::P1, fired, &self.j1));
+            }
+            if fired {
+                let value = self
+                    .pair
+                    .decide(&self.j1)
+                    .expect("J1 has at least n - t entries");
+                self.obs.record(EventKind::Decide {
+                    scheme: Scheme::OneStep,
+                    code: obs_code(&value),
+                });
+                let d = Decision {
+                    value,
+                    path: DecisionPath::OneStep,
+                };
+                self.decided = Some(d.clone());
+                return Some(d);
+            }
         }
         None
     }
@@ -202,6 +286,18 @@ where
         rng: &mut StdRng,
         out: &mut Outbox<DexMsg<V, U::Msg>>,
     ) -> Option<Decision<V>> {
+        if self.obs.is_active() {
+            match &msg {
+                IdbMessage::Init { key, value } => self.obs.record(EventKind::IdbInit {
+                    origin: key.index() as u16,
+                    code: obs_code(value),
+                }),
+                IdbMessage::Echo { key, value } => self.obs.record(EventKind::IdbEcho {
+                    origin: key.index() as u16,
+                    code: obs_code(value),
+                }),
+            }
+        }
         let mut delivered = Vec::new();
         for action in self.idb.on_message(from, msg) {
             match action {
@@ -211,6 +307,19 @@ where
         }
         let mut decision = None;
         for (origin, value) in delivered {
+            if self.obs.is_active() {
+                let origin_idx = origin.index() as u16;
+                let code = obs_code(&value);
+                self.obs.record(EventKind::IdbAccept {
+                    origin: origin_idx,
+                    code,
+                });
+                self.obs.record(EventKind::ViewSet {
+                    view: ViewTag::J2,
+                    origin: origin_idx,
+                    code,
+                });
+            }
             self.j2.set(origin, value); // line 11 (IDB agreement makes overwrites impossible)
             if self.j2.len_non_default() >= self.config.quorum() && !self.uc_proposed {
                 // Lines 12–15: activate the underlying consensus. This runs
@@ -220,21 +329,35 @@ where
                     .pair
                     .decide(&self.j2)
                     .expect("J2 has at least n - t entries");
+                self.obs.record(EventKind::Fallback {
+                    code: obs_code(&proposal),
+                });
                 self.uc.propose(proposal, rng, &mut self.uc_out);
                 forward_uc(&mut self.uc_out, out);
             }
-            if self.decided.is_none() && self.p2_gate.try_p2(&self.pair, &self.j2) {
-                // Lines 16–18.
-                let value = self
-                    .pair
-                    .decide(&self.j2)
-                    .expect("J2 has at least n - t entries");
-                let d = Decision {
-                    value,
-                    path: DecisionPath::TwoStep,
-                };
-                self.decided = Some(d.clone());
-                decision = Some(d);
+            if self.decided.is_none() {
+                let fired = self.p2_gate.try_p2(&self.pair, &self.j2);
+                if self.obs.is_active() && self.j2.len_non_default() >= self.config.quorum() {
+                    self.obs
+                        .record(predicate_snapshot(PredTag::P2, fired, &self.j2));
+                }
+                if fired {
+                    // Lines 16–18.
+                    let value = self
+                        .pair
+                        .decide(&self.j2)
+                        .expect("J2 has at least n - t entries");
+                    self.obs.record(EventKind::Decide {
+                        scheme: Scheme::TwoStep,
+                        code: obs_code(&value),
+                    });
+                    let d = Decision {
+                        value,
+                        path: DecisionPath::TwoStep,
+                    };
+                    self.decided = Some(d.clone());
+                    decision = Some(d);
+                }
             }
         }
         decision
@@ -256,6 +379,10 @@ where
                     value: v.clone(),
                     path: DecisionPath::Underlying,
                 };
+                self.obs.record(EventKind::Decide {
+                    scheme: scheme_of(d.path),
+                    code: obs_code(&d.value),
+                });
                 self.decided = Some(d.clone());
                 return Some(d);
             }
@@ -308,7 +435,6 @@ mod tests {
     use super::*;
     use dex_conditions::{FrequencyPair, PrivilegedPair};
     use dex_underlying::{OracleConsensus, OracleMsg};
-    use rand::SeedableRng;
 
     type Freq = DexProcess<u64, FrequencyPair, OracleConsensus<u64>>;
     type Out = Outbox<DexMsg<u64, OracleMsg<u64>>>;

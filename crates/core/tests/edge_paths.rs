@@ -8,7 +8,6 @@ use dex_core::{DecisionPath, DexMsg, DexProcess};
 use dex_types::{ProcessId, SystemConfig};
 use dex_underlying::{OracleConsensus, OracleMsg, Outbox};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 type Proc = DexProcess<u64, FrequencyPair, OracleConsensus<u64>>;
 type Out = Outbox<DexMsg<u64, OracleMsg<u64>>>;

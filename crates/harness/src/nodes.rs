@@ -38,6 +38,30 @@ pub enum DexNode {
     Byz(ByzantineActor<DexWire>),
 }
 
+impl DexNode {
+    /// Enables structured event recording on correct nodes (no-op for
+    /// Byzantine nodes, whose logs would be untrusted anyway). The process
+    /// id is taken from the wrapped state machine.
+    pub fn enable_obs(&mut self, _me: u16) {
+        match self {
+            DexNode::Freq(a) => a.process_mut().enable_obs(),
+            DexNode::Prv(a) => a.process_mut().enable_obs(),
+            DexNode::Byz(_) => {}
+        }
+    }
+
+    /// Copies out the recorded trace (`None` for Byzantine nodes or when
+    /// recording was never enabled).
+    pub fn obs_trace(&self) -> Option<dex_obs::ProcessTrace> {
+        let obs = match self {
+            DexNode::Freq(a) => a.process().obs(),
+            DexNode::Prv(a) => a.process().obs(),
+            DexNode::Byz(_) => return None,
+        };
+        obs.is_active().then(|| obs.trace())
+    }
+}
+
 impl Actor for DexNode {
     type Msg = DexWire;
 
@@ -56,6 +80,14 @@ impl Actor for DexNode {
             DexNode::Byz(a) => a.on_message(from, msg, ctx),
         }
     }
+
+    fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
+        match self {
+            DexNode::Freq(a) => a.recorder_mut(),
+            DexNode::Prv(a) => a.recorder_mut(),
+            DexNode::Byz(_) => None,
+        }
+    }
 }
 
 /// A Bosco system node.
@@ -64,6 +96,23 @@ pub enum BoscoNode {
     Correct(BoscoActor<u64, AnyUc>),
     /// Byzantine process.
     Byz(ByzantineActor<BoscoWire>),
+}
+
+impl BoscoNode {
+    /// Enables structured event recording on correct nodes.
+    pub fn enable_obs(&mut self, me: u16) {
+        if let BoscoNode::Correct(a) = self {
+            a.enable_obs(me);
+        }
+    }
+
+    /// Copies out the recorded trace, if any.
+    pub fn obs_trace(&self) -> Option<dex_obs::ProcessTrace> {
+        match self {
+            BoscoNode::Correct(a) => a.obs().is_active().then(|| a.obs().trace()),
+            BoscoNode::Byz(_) => None,
+        }
+    }
 }
 
 impl Actor for BoscoNode {
@@ -82,6 +131,13 @@ impl Actor for BoscoNode {
             BoscoNode::Byz(a) => a.on_message(from, msg, ctx),
         }
     }
+
+    fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
+        match self {
+            BoscoNode::Correct(a) => a.recorder_mut(),
+            BoscoNode::Byz(_) => None,
+        }
+    }
 }
 
 /// Messages of the crash-model algorithms over the unified underlying
@@ -94,6 +150,23 @@ pub enum CrashNode {
     Correct(CrashActor<u64, AnyUc>),
     /// Crashed (or, for robustness checks, Byzantine) process.
     Byz(ByzantineActor<CrashWire>),
+}
+
+impl CrashNode {
+    /// Enables structured event recording on correct nodes.
+    pub fn enable_obs(&mut self, me: u16) {
+        if let CrashNode::Correct(a) = self {
+            a.enable_obs(me);
+        }
+    }
+
+    /// Copies out the recorded trace, if any.
+    pub fn obs_trace(&self) -> Option<dex_obs::ProcessTrace> {
+        match self {
+            CrashNode::Correct(a) => a.obs().is_active().then(|| a.obs().trace()),
+            CrashNode::Byz(_) => None,
+        }
+    }
 }
 
 impl Actor for CrashNode {
@@ -112,6 +185,13 @@ impl Actor for CrashNode {
             CrashNode::Byz(a) => a.on_message(from, msg, ctx),
         }
     }
+
+    fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
+        match self {
+            CrashNode::Correct(a) => a.recorder_mut(),
+            CrashNode::Byz(_) => None,
+        }
+    }
 }
 
 /// An underlying-only system node.
@@ -120,6 +200,23 @@ pub enum PlainNode {
     Correct(UnderlyingOnlyActor<u64, AnyUc>),
     /// Byzantine process.
     Byz(ByzantineActor<AnyUcMsg>),
+}
+
+impl PlainNode {
+    /// Enables structured event recording on correct nodes.
+    pub fn enable_obs(&mut self, me: u16) {
+        if let PlainNode::Correct(a) = self {
+            a.enable_obs(me);
+        }
+    }
+
+    /// Copies out the recorded trace, if any.
+    pub fn obs_trace(&self) -> Option<dex_obs::ProcessTrace> {
+        match self {
+            PlainNode::Correct(a) => a.obs().is_active().then(|| a.obs().trace()),
+            PlainNode::Byz(_) => None,
+        }
+    }
 }
 
 impl Actor for PlainNode {
@@ -136,6 +233,13 @@ impl Actor for PlainNode {
         match self {
             PlainNode::Correct(a) => a.on_message(from, msg, ctx),
             PlainNode::Byz(a) => a.on_message(from, msg, ctx),
+        }
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
+        match self {
+            PlainNode::Correct(a) => a.recorder_mut(),
+            PlainNode::Byz(_) => None,
         }
     }
 }

@@ -10,11 +10,11 @@ use dex_baselines::{
 use dex_conditions::{FrequencyPair, PrivilegedPair};
 use dex_core::{DecisionPath, DexActor, DexProcess};
 use dex_metrics::{Counter, Summary};
+use dex_obs::{obs_code, ProcessTrace, RunTrace, SchemeRules, TraceMeta};
 use dex_simnet::{DelayModel, Simulation};
 use dex_types::{InputVector, ProcessId, SystemConfig};
 use dex_workloads::InputGenerator;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which algorithm a run executes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -209,18 +209,107 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         spec.config.n(),
         "input vector must match system size"
     );
-    match spec.algo {
-        Algo::DexFreq | Algo::DexPrv { .. } => run_dex(spec),
-        Algo::Bosco => run_bosco(spec),
-        Algo::UnderlyingOnly => run_plain(spec),
-        Algo::Brasileiro => run_crash(spec, CrashRule::Brasileiro),
-        Algo::CrashAdaptive => run_crash(spec, CrashRule::Adaptive),
+    dispatch_spec(spec, false).0
+}
+
+/// A run's measured result together with the structured event trace of
+/// every process (see `dex-obs`). Byzantine processes contribute empty
+/// traces; the checker excludes them anyway.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// The ordinary measured result.
+    pub result: RunResult,
+    /// The full trace, ready for [`dex_obs::check`].
+    pub trace: RunTrace,
+}
+
+/// Like [`run_spec`], but with per-process event recording enabled, so the
+/// finished run can be replayed through the `dex-obs` invariant checker.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_spec`].
+pub fn run_spec_traced(spec: &RunSpec) -> TracedRun {
+    assert_eq!(
+        spec.input.n(),
+        spec.config.n(),
+        "input vector must match system size"
+    );
+    let (result, processes) = dispatch_spec(spec, true);
+    TracedRun {
+        result,
+        trace: RunTrace {
+            meta: trace_meta(spec),
+            processes,
+        },
     }
 }
 
-fn run_crash(spec: &RunSpec, rule: CrashRule) -> RunResult {
+fn dispatch_spec(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+    match spec.algo {
+        Algo::DexFreq | Algo::DexPrv { .. } => run_dex(spec, trace),
+        Algo::Bosco => run_bosco(spec, trace),
+        Algo::UnderlyingOnly => run_plain(spec, trace),
+        Algo::Brasileiro => run_crash(spec, CrashRule::Brasileiro, trace),
+        Algo::CrashAdaptive => run_crash(spec, CrashRule::Adaptive, trace),
+    }
+}
+
+/// Builds the checker-facing metadata for a run: which invariant family
+/// applies (DEX predicate rules vs. opaque structural checks), who is
+/// faulty, and a code→value legend for humans reading the artifact.
+fn trace_meta(spec: &RunSpec) -> TraceMeta {
+    let rules = match spec.algo {
+        Algo::DexFreq => SchemeRules::Frequency,
+        Algo::DexPrv { m } => SchemeRules::Privileged {
+            m_code: obs_code(&m),
+        },
+        _ => SchemeRules::Opaque,
+    };
+    let faulty: Vec<u16> = spec
+        .config
+        .processes()
+        .filter(|p| spec.fault_plan.is_faulty(*p))
+        .map(|p| p.index() as u16)
+        .collect();
+    let mut legend = std::collections::BTreeMap::new();
+    for (_, v) in spec.input.iter() {
+        legend.insert(obs_code(v), v.to_string());
+    }
+    if let Algo::DexPrv { m } = spec.algo {
+        legend.insert(obs_code(&m), m.to_string());
+    }
+    TraceMeta {
+        seed: spec.seed,
+        n: spec.config.n() as u16,
+        t: spec.config.t() as u16,
+        algo: spec.algo.label().to_string(),
+        rules,
+        faulty,
+        legend: legend.into_iter().collect(),
+    }
+}
+
+/// Harvests every node's trace after a run, substituting an empty trace
+/// for nodes that recorded nothing (Byzantine or recording disabled).
+fn collect_traces<'a, N: 'a>(
+    nodes: impl Iterator<Item = &'a N>,
+    obs_trace: impl Fn(&N) -> Option<ProcessTrace>,
+) -> Vec<ProcessTrace> {
+    nodes
+        .enumerate()
+        .map(|(i, n)| {
+            obs_trace(n).unwrap_or(ProcessTrace {
+                id: i as u16,
+                events: Vec::new(),
+            })
+        })
+        .collect()
+}
+
+fn run_crash(spec: &RunSpec, rule: CrashRule, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
-    let nodes: Vec<CrashNode> = cfg
+    let mut nodes: Vec<CrashNode> = cfg
         .processes()
         .map(|me| {
             if spec.fault_plan.is_faulty(me) {
@@ -233,6 +322,11 @@ fn run_crash(spec: &RunSpec, rule: CrashRule) -> RunResult {
             }
         })
         .collect();
+    if trace {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.enable_obs(i as u16);
+        }
+    }
     let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
     let run = sim.run(spec.max_events);
     let outcomes = sim
@@ -254,16 +348,20 @@ fn run_crash(spec: &RunSpec, rule: CrashRule) -> RunResult {
             },
         })
         .collect();
-    RunResult {
-        outcomes,
-        quiescent: run.quiescent,
-        messages: sim.stats().delivered,
-    }
+    let traces = collect_traces(sim.actors().iter(), CrashNode::obs_trace);
+    (
+        RunResult {
+            outcomes,
+            quiescent: run.quiescent,
+            messages: sim.stats().delivered,
+        },
+        traces,
+    )
 }
 
-fn run_dex(spec: &RunSpec) -> RunResult {
+fn run_dex(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
-    let nodes: Vec<DexNode> = cfg
+    let mut nodes: Vec<DexNode> = cfg
         .processes()
         .map(|me| {
             if spec.fault_plan.is_faulty(me) {
@@ -294,6 +392,11 @@ fn run_dex(spec: &RunSpec) -> RunResult {
             }
         })
         .collect();
+    if trace {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.enable_obs(i as u16);
+        }
+    }
     let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
     let run = sim.run(spec.max_events);
     let outcomes = sim
@@ -305,11 +408,15 @@ fn run_dex(spec: &RunSpec) -> RunResult {
             DexNode::Prv(a) => dex_outcome(a.decision()),
         })
         .collect();
-    RunResult {
-        outcomes,
-        quiescent: run.quiescent,
-        messages: sim.stats().delivered,
-    }
+    let traces = collect_traces(sim.actors().iter(), DexNode::obs_trace);
+    (
+        RunResult {
+            outcomes,
+            quiescent: run.quiescent,
+            messages: sim.stats().delivered,
+        },
+        traces,
+    )
 }
 
 fn dex_outcome(d: Option<&dex_core::DecisionRecord<u64>>) -> Outcome {
@@ -324,9 +431,9 @@ fn dex_outcome(d: Option<&dex_core::DecisionRecord<u64>>) -> Outcome {
     }
 }
 
-fn run_bosco(spec: &RunSpec) -> RunResult {
+fn run_bosco(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
-    let nodes: Vec<BoscoNode> = cfg
+    let mut nodes: Vec<BoscoNode> = cfg
         .processes()
         .map(|me| {
             if spec.fault_plan.is_faulty(me) {
@@ -339,6 +446,11 @@ fn run_bosco(spec: &RunSpec) -> RunResult {
             }
         })
         .collect();
+    if trace {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.enable_obs(i as u16);
+        }
+    }
     let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
     let run = sim.run(spec.max_events);
     let outcomes = sim
@@ -360,16 +472,20 @@ fn run_bosco(spec: &RunSpec) -> RunResult {
             },
         })
         .collect();
-    RunResult {
-        outcomes,
-        quiescent: run.quiescent,
-        messages: sim.stats().delivered,
-    }
+    let traces = collect_traces(sim.actors().iter(), BoscoNode::obs_trace);
+    (
+        RunResult {
+            outcomes,
+            quiescent: run.quiescent,
+            messages: sim.stats().delivered,
+        },
+        traces,
+    )
 }
 
-fn run_plain(spec: &RunSpec) -> RunResult {
+fn run_plain(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
-    let nodes: Vec<PlainNode> = cfg
+    let mut nodes: Vec<PlainNode> = cfg
         .processes()
         .map(|me| {
             if spec.fault_plan.is_faulty(me) {
@@ -382,6 +498,11 @@ fn run_plain(spec: &RunSpec) -> RunResult {
             }
         })
         .collect();
+    if trace {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.enable_obs(i as u16);
+        }
+    }
     let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
     let run = sim.run(spec.max_events);
     let outcomes = sim
@@ -400,11 +521,15 @@ fn run_plain(spec: &RunSpec) -> RunResult {
             },
         })
         .collect();
-    RunResult {
-        outcomes,
-        quiescent: run.quiescent,
-        messages: sim.stats().delivered,
-    }
+    let traces = collect_traces(sim.actors().iter(), PlainNode::obs_trace);
+    (
+        RunResult {
+            outcomes,
+            quiescent: run.quiescent,
+            messages: sim.stats().delivered,
+        },
+        traces,
+    )
 }
 
 /// How faulty processes are placed in batch runs.
@@ -523,6 +648,31 @@ fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
         }
     }
     stats.messages.add(run.messages as f64);
+}
+
+/// Reconstructs batch run `i`'s spec — the same seed, workload draw and
+/// fault placement [`run_batch`] would use — and executes it with event
+/// recording enabled. This is how `--trace` replays a batch member
+/// deterministically: same batch spec and index ⇒ identical trace.
+pub fn traced_batch_run(spec: &BatchSpec<'_>, i: usize) -> TracedRun {
+    let seed = spec.seed0 + i as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+    let input = spec.workload.generate(spec.config.n(), &mut rng);
+    let fault_plan = match spec.placement {
+        Placement::LastK => FaultPlan::last_k(spec.config, spec.f),
+        Placement::RandomK => FaultPlan::random_k(spec.config, spec.f, &mut rng),
+    };
+    run_spec_traced(&RunSpec {
+        config: spec.config,
+        algo: spec.algo,
+        underlying: spec.underlying,
+        strategy: spec.strategy.clone(),
+        fault_plan,
+        input,
+        delay: spec.delay.clone(),
+        seed,
+        max_events: spec.max_events,
+    })
 }
 
 /// Executes a batch of runs, aggregating statistics.

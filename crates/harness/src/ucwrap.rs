@@ -115,7 +115,6 @@ impl UnderlyingConsensus<u64> for AnyUc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn oracle_variant_routes_messages() {

@@ -1,0 +1,692 @@
+//! Trace replay and invariant checking.
+//!
+//! The checker consumes a [`RunTrace`] — the per-process event logs of one
+//! finished run plus metadata — and verifies runtime invariants derived
+//! from the paper's lemmas (LT1/LT2 termination step counts, LA3/LA4
+//! agreement, LU5 unanimity) and from the Identical Broadcast
+//! specification:
+//!
+//! * **single-decision** — no correct process records two `Decide` events.
+//! * **agreement** — all correct processes' decided codes are equal.
+//! * **step-scheme** — a decision's causal depth matches its scheme:
+//!   1-step ⇔ depth 1, 2-step ⇔ depth 2, fallback ⇒ depth ≥ 3 under DEX
+//!   rules (the underlying consensus costs extra steps after the 2-step
+//!   IDB exchange), depth ≥ 2 under [`SchemeRules::Opaque`].
+//! * **one-step-p1 / two-step-p2** — an expedited decision implies the
+//!   corresponding legality predicate actually held on the view
+//!   reconstructed from the `ViewSet` events preceding the decision
+//!   (Fig. 1 lines 7–8 and 16–17). Checked only when the rules are known
+//!   ([`SchemeRules::Frequency`] / [`SchemeRules::Privileged`]).
+//! * **predicate-witness** — the recorded `Predicate` snapshot nearest
+//!   before an expedited decision says `held` and agrees with the
+//!   reconstructed tally (the recorder and the replay must not diverge).
+//! * **idb-agreement** — no two correct processes accept different values
+//!   for the same broadcast instance.
+//! * **idb-validity** — what correct processes accept from a correct
+//!   origin is what that origin recorded sending (`IdbInit` on itself).
+//! * **log-agreement** — replication only: no two correct replicas commit
+//!   different commands in the same slot.
+
+use crate::event::{Event, EventKind, PredTag, Scheme, ViewTag};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which legality pair governed the traced run — tells the checker how to
+/// re-evaluate P1/P2 from a reconstructed view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchemeRules {
+    /// `P_freq`: P1 ⇔ margin > 4t, P2 ⇔ margin > 2t (on quorate views).
+    Frequency,
+    /// `P_prv(m)`: P1 ⇔ #m > 3t, P2 ⇔ #m > 2t.
+    Privileged {
+        /// Code of the privileged value `m`.
+        m_code: u64,
+    },
+    /// Rules unknown to the checker (baselines); predicate reconstruction
+    /// is skipped, structural invariants still apply.
+    Opaque,
+}
+
+impl SchemeRules {
+    /// Stable label used in the JSON artifact.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeRules::Frequency => "frequency",
+            SchemeRules::Privileged { .. } => "privileged",
+            SchemeRules::Opaque => "opaque",
+        }
+    }
+}
+
+/// Run metadata carried alongside the event logs.
+#[derive(Clone, Debug)]
+pub struct TraceMeta {
+    /// The run's seed.
+    pub seed: u64,
+    /// System size.
+    pub n: u16,
+    /// Resilience bound.
+    pub t: u16,
+    /// Algorithm label (e.g. `dex-freq`).
+    pub algo: String,
+    /// How to re-evaluate the legality predicates.
+    pub rules: SchemeRules,
+    /// Indices of faulty processes (their logs are not trusted and are
+    /// excluded from every invariant).
+    pub faulty: Vec<u16>,
+    /// Human-readable decoding of value codes, sorted by code.
+    pub legend: Vec<(u64, String)>,
+}
+
+/// One process's recorded events.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTrace {
+    /// The process index.
+    pub id: u16,
+    /// Events in record order.
+    pub events: Vec<Event>,
+}
+
+/// A complete run: metadata plus one trace per process.
+#[derive(Clone, Debug)]
+pub struct RunTrace {
+    /// Run metadata.
+    pub meta: TraceMeta,
+    /// Per-process traces, sorted by process id.
+    pub processes: Vec<ProcessTrace>,
+}
+
+/// One invariant violation found by the checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// The process whose trace exhibits the failure.
+    pub process: u16,
+    /// Deterministic human-readable context.
+    pub detail: String,
+}
+
+/// The checker's verdict: how many checks ran per invariant, and every
+/// violation found.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// `(invariant, number of individual checks performed)`, fixed order.
+    pub checks: Vec<(&'static str, usize)>,
+    /// All violations, in deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Whether every invariant held.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total number of individual checks performed.
+    pub fn total_checks(&self) -> usize {
+        self.checks.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// A view reconstructed from `ViewSet` events: first value wins per origin.
+#[derive(Debug, Default)]
+struct ReplayView {
+    /// origin → code (first occurrence).
+    entries: BTreeMap<u16, u64>,
+}
+
+impl ReplayView {
+    fn set_first(&mut self, origin: u16, code: u64) {
+        self.entries.entry(origin).or_insert(code);
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Tally: code → occurrences, deterministic order.
+    fn counts(&self) -> BTreeMap<u64, usize> {
+        let mut counts = BTreeMap::new();
+        for code in self.entries.values() {
+            *counts.entry(*code).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// `(top_count, second_count, top_code)` of the tally; zeroes on empty.
+    fn top2(&self) -> (usize, usize, u64) {
+        let mut top = (0usize, 0u64);
+        let mut second = 0usize;
+        for (code, count) in self.counts() {
+            if count > top.0 {
+                second = top.0;
+                top = (count, code);
+            } else if count > second {
+                second = count;
+            }
+        }
+        (top.0, second, top.1)
+    }
+
+    fn count_of(&self, code: u64) -> usize {
+        self.entries.values().filter(|c| **c == code).count()
+    }
+}
+
+/// Replays `trace` up to (not including) event index `end`, reconstructing
+/// the view tagged `tag`.
+fn replay_view(trace: &ProcessTrace, tag: ViewTag, end: usize) -> ReplayView {
+    let mut view = ReplayView::default();
+    for e in &trace.events[..end] {
+        if let EventKind::ViewSet {
+            view: v,
+            origin,
+            code,
+        } = e.kind
+        {
+            if v == tag {
+                view.set_first(origin, code);
+            }
+        }
+    }
+    view
+}
+
+/// Finds the last `Predicate` event for `pred` strictly before `end`.
+fn last_predicate(trace: &ProcessTrace, pred: PredTag, end: usize) -> Option<&Event> {
+    trace.events[..end]
+        .iter()
+        .rev()
+        .find(|e| matches!(e.kind, EventKind::Predicate { pred: p, .. } if p == pred))
+}
+
+/// Checks every invariant on `run`; returns counts and violations.
+pub fn check(run: &RunTrace) -> CheckReport {
+    let mut report = CheckReport::default();
+    let n = run.meta.n as usize;
+    let t = run.meta.t as usize;
+    let quorum = n - t;
+    let faulty: BTreeSet<u16> = run.meta.faulty.iter().copied().collect();
+    let correct: Vec<&ProcessTrace> = run
+        .processes
+        .iter()
+        .filter(|p| !faulty.contains(&p.id))
+        .collect();
+
+    let mut single_decision = 0usize;
+    let mut agreement = 0usize;
+    let mut step_scheme = 0usize;
+    let mut one_step_p1 = 0usize;
+    let mut two_step_p2 = 0usize;
+    let mut predicate_witness = 0usize;
+    let mut idb_agreement = 0usize;
+    let mut idb_validity = 0usize;
+    let mut log_agreement = 0usize;
+    let mut violations = Vec::new();
+
+    // Per-process walk: decisions, step counts, predicate reconstruction.
+    let mut first_decides: Vec<(u16, u64)> = Vec::new();
+    for tr in &correct {
+        let decides: Vec<(usize, &Event)> = tr
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Decide { .. }))
+            .collect();
+
+        single_decision += 1;
+        if decides.len() > 1 {
+            violations.push(Violation {
+                invariant: "single-decision",
+                process: tr.id,
+                detail: format!("{} Decide events recorded", decides.len()),
+            });
+        }
+
+        for (idx, event) in decides {
+            let (scheme, code) = match event.kind {
+                EventKind::Decide { scheme, code } => (scheme, code),
+                _ => unreachable!("filtered on Decide"),
+            };
+            if first_decides.iter().all(|(id, _)| *id != tr.id) {
+                first_decides.push((tr.id, code));
+            }
+
+            // Step counts match the decision scheme (LT1/LT2).
+            step_scheme += 1;
+            let dex_rules = run.meta.rules != SchemeRules::Opaque;
+            let depth_ok = match scheme {
+                Scheme::OneStep => event.depth == 1,
+                Scheme::TwoStep => event.depth == 2,
+                Scheme::Fallback => event.depth >= if dex_rules { 3 } else { 2 },
+            };
+            if !depth_ok {
+                violations.push(Violation {
+                    invariant: "step-scheme",
+                    process: tr.id,
+                    detail: format!(
+                        "{} decision at causal depth {}",
+                        scheme.label(),
+                        event.depth
+                    ),
+                });
+            }
+
+            // Expedited decisions imply the predicate held on the recorded
+            // snapshot — re-evaluated from first principles.
+            if dex_rules {
+                let (tag, pred) = match scheme {
+                    Scheme::OneStep => (ViewTag::J1, PredTag::P1),
+                    Scheme::TwoStep => (ViewTag::J2, PredTag::P2),
+                    Scheme::Fallback => continue,
+                };
+                let invariant = match pred {
+                    PredTag::P1 => "one-step-p1",
+                    PredTag::P2 => "two-step-p2",
+                };
+                match pred {
+                    PredTag::P1 => one_step_p1 += 1,
+                    PredTag::P2 => two_step_p2 += 1,
+                }
+                let view = replay_view(tr, tag, idx);
+                let (top, second, top_code) = view.top2();
+                let threshold_ok = match (&run.meta.rules, pred) {
+                    (SchemeRules::Frequency, PredTag::P1) => top - second > 4 * t,
+                    (SchemeRules::Frequency, PredTag::P2) => top - second > 2 * t,
+                    (SchemeRules::Privileged { m_code }, PredTag::P1) => {
+                        view.count_of(*m_code) > 3 * t
+                    }
+                    (SchemeRules::Privileged { m_code }, PredTag::P2) => {
+                        view.count_of(*m_code) > 2 * t
+                    }
+                    (SchemeRules::Opaque, _) => unreachable!("dex_rules checked"),
+                };
+                let decided_ok = match &run.meta.rules {
+                    SchemeRules::Frequency => code == top_code,
+                    SchemeRules::Privileged { m_code } => code == *m_code,
+                    SchemeRules::Opaque => unreachable!("dex_rules checked"),
+                };
+                if view.len() < quorum || !threshold_ok || !decided_ok {
+                    violations.push(Violation {
+                        invariant,
+                        process: tr.id,
+                        detail: format!(
+                            "{} held on replayed {}? |J|={} (quorum {}), top {}x{:016x}, \
+                             second {}, decided {:016x}",
+                            pred.label(),
+                            tag.label(),
+                            view.len(),
+                            quorum,
+                            top,
+                            top_code,
+                            second,
+                            code
+                        ),
+                    });
+                }
+
+                // The recorder's own snapshot must exist, say `held`, and
+                // agree with the replay.
+                predicate_witness += 1;
+                match last_predicate(tr, pred, idx) {
+                    Some(w) => {
+                        if let EventKind::Predicate {
+                            held,
+                            len,
+                            top_count,
+                            second_count,
+                            top_code: w_top,
+                            ..
+                        } = w.kind
+                        {
+                            let tally_ok = len as usize == view.len()
+                                && top_count as usize == top
+                                && second_count as usize == second
+                                && (top <= second || w_top == top_code);
+                            if !held || !tally_ok {
+                                violations.push(Violation {
+                                    invariant: "predicate-witness",
+                                    process: tr.id,
+                                    detail: format!(
+                                        "recorded {} snapshot (held={held}, |J|={len}, \
+                                         top {top_count}, second {second_count}) \
+                                         disagrees with replay (|J|={}, top {}, second {})",
+                                        pred.label(),
+                                        view.len(),
+                                        top,
+                                        second
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    None => violations.push(Violation {
+                        invariant: "predicate-witness",
+                        process: tr.id,
+                        detail: format!(
+                            "no {} evaluation recorded before the {} decision",
+                            pred.label(),
+                            scheme.label()
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+
+    // Agreement (LA3/LA4): all first decisions carry the same code.
+    if let Some((ref_id, ref_code)) = first_decides.first().copied() {
+        for (id, code) in &first_decides[1..] {
+            agreement += 1;
+            if *code != ref_code {
+                violations.push(Violation {
+                    invariant: "agreement",
+                    process: *id,
+                    detail: format!(
+                        "decided {:016x} but process {} decided {:016x}",
+                        code, ref_id, ref_code
+                    ),
+                });
+            }
+        }
+    }
+
+    // IDB agreement + validity on accepted values.
+    // origin → (first accepting process, code).
+    let mut accepted: BTreeMap<u16, (u16, u64)> = BTreeMap::new();
+    for tr in &correct {
+        for e in &tr.events {
+            if let EventKind::IdbAccept { origin, code } = e.kind {
+                idb_agreement += 1;
+                match accepted.get(&origin) {
+                    None => {
+                        accepted.insert(origin, (tr.id, code));
+                    }
+                    Some((first, ref_code)) if *ref_code != code => {
+                        violations.push(Violation {
+                            invariant: "idb-agreement",
+                            process: tr.id,
+                            detail: format!(
+                                "accepted {:016x} from origin {} but process {} \
+                                 accepted {:016x}",
+                                code, origin, first, ref_code
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    for (origin, (_, code)) in &accepted {
+        if faulty.contains(origin) {
+            continue; // validity says nothing about Byzantine origins
+        }
+        let Some(origin_tr) = correct.iter().find(|tr| tr.id == *origin) else {
+            continue;
+        };
+        let sent = origin_tr.events.iter().find_map(|e| match e.kind {
+            EventKind::IdbInit { origin: o, code } if o == *origin => Some(code),
+            _ => None,
+        });
+        idb_validity += 1;
+        match sent {
+            Some(sent_code) if sent_code == *code => {}
+            Some(sent_code) => violations.push(Violation {
+                invariant: "idb-validity",
+                process: *origin,
+                detail: format!(
+                    "correct origin sent {:016x} but {:016x} was accepted",
+                    sent_code, code
+                ),
+            }),
+            None => violations.push(Violation {
+                invariant: "idb-validity",
+                process: *origin,
+                detail: "value accepted from a correct origin that recorded no IdbInit".to_string(),
+            }),
+        }
+    }
+
+    // Replicated-log agreement: slot → (first committing replica, code).
+    let mut committed: BTreeMap<u32, (u16, u64)> = BTreeMap::new();
+    for tr in &correct {
+        for e in &tr.events {
+            if let EventKind::Commit { slot, code } = e.kind {
+                log_agreement += 1;
+                match committed.get(&slot) {
+                    None => {
+                        committed.insert(slot, (tr.id, code));
+                    }
+                    Some((first, ref_code)) if *ref_code != code => {
+                        violations.push(Violation {
+                            invariant: "log-agreement",
+                            process: tr.id,
+                            detail: format!(
+                                "slot {} committed {:016x} but replica {} \
+                                 committed {:016x}",
+                                slot, code, first, ref_code
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    report.checks = vec![
+        ("single-decision", single_decision),
+        ("agreement", agreement),
+        ("step-scheme", step_scheme),
+        ("one-step-p1", one_step_p1),
+        ("two-step-p2", two_step_p2),
+        ("predicate-witness", predicate_witness),
+        ("idb-agreement", idb_agreement),
+        ("idb-validity", idb_validity),
+        ("log-agreement", log_agreement),
+    ];
+    report.violations = violations;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Scheme;
+
+    fn meta(rules: SchemeRules) -> TraceMeta {
+        TraceMeta {
+            seed: 0,
+            n: 7,
+            t: 1,
+            algo: "test".into(),
+            rules,
+            faulty: Vec::new(),
+            legend: Vec::new(),
+        }
+    }
+
+    fn ev(at: u64, depth: u32, kind: EventKind) -> Event {
+        Event { at, depth, kind }
+    }
+
+    /// A trace where `id` legally one-step decides on a unanimous J1.
+    fn unanimous_one_step(id: u16, code: u64) -> ProcessTrace {
+        let mut events = Vec::new();
+        for origin in 0..6u16 {
+            events.push(ev(
+                origin as u64,
+                1,
+                EventKind::ViewSet {
+                    view: ViewTag::J1,
+                    origin,
+                    code,
+                },
+            ));
+        }
+        events.push(ev(
+            6,
+            1,
+            EventKind::Predicate {
+                pred: PredTag::P1,
+                held: true,
+                len: 6,
+                top_count: 6,
+                second_count: 0,
+                top_code: code,
+            },
+        ));
+        events.push(ev(
+            6,
+            1,
+            EventKind::Decide {
+                scheme: Scheme::OneStep,
+                code,
+            },
+        ));
+        ProcessTrace { id, events }
+    }
+
+    #[test]
+    fn clean_one_step_run_passes() {
+        let run = RunTrace {
+            meta: meta(SchemeRules::Frequency),
+            processes: (0..7).map(|i| unanimous_one_step(i, 42)).collect(),
+        };
+        let report = check(&run);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert!(report.total_checks() > 0);
+    }
+
+    #[test]
+    fn disagreement_is_flagged() {
+        let mut processes: Vec<ProcessTrace> = (0..6).map(|i| unanimous_one_step(i, 42)).collect();
+        processes.push(unanimous_one_step(6, 43));
+        let run = RunTrace {
+            meta: meta(SchemeRules::Frequency),
+            processes,
+        };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "agreement" && v.process == 6));
+    }
+
+    #[test]
+    fn one_step_without_margin_is_flagged() {
+        // J1 = 4×42, 2×9: margin 2 ≤ 4t — P1 cannot have held.
+        let mut events = Vec::new();
+        for origin in 0..6u16 {
+            let code = if origin < 4 { 42 } else { 9 };
+            events.push(ev(
+                origin as u64,
+                1,
+                EventKind::ViewSet {
+                    view: ViewTag::J1,
+                    origin,
+                    code,
+                },
+            ));
+        }
+        events.push(ev(
+            6,
+            1,
+            EventKind::Decide {
+                scheme: Scheme::OneStep,
+                code: 42,
+            },
+        ));
+        let run = RunTrace {
+            meta: meta(SchemeRules::Frequency),
+            processes: vec![ProcessTrace { id: 0, events }],
+        };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "one-step-p1"));
+        // The missing Predicate witness is also flagged.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "predicate-witness"));
+    }
+
+    #[test]
+    fn wrong_depth_is_flagged() {
+        let mut tr = unanimous_one_step(0, 42);
+        // Corrupt the decide depth: 1-step decision at depth 2.
+        let last = tr.events.last_mut().unwrap();
+        last.depth = 2;
+        let run = RunTrace {
+            meta: meta(SchemeRules::Frequency),
+            processes: vec![tr],
+        };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "step-scheme"));
+    }
+
+    #[test]
+    fn idb_disagreement_and_validity_are_flagged() {
+        let t0 = ProcessTrace {
+            id: 0,
+            events: vec![
+                ev(0, 1, EventKind::IdbInit { origin: 0, code: 5 }),
+                ev(1, 2, EventKind::IdbAccept { origin: 0, code: 7 }),
+            ],
+        };
+        let t1 = ProcessTrace {
+            id: 1,
+            events: vec![ev(1, 2, EventKind::IdbAccept { origin: 0, code: 8 })],
+        };
+        let run = RunTrace {
+            meta: meta(SchemeRules::Opaque),
+            processes: vec![t0, t1],
+        };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "idb-agreement"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "idb-validity"));
+    }
+
+    #[test]
+    fn faulty_processes_are_excluded() {
+        let mut m = meta(SchemeRules::Frequency);
+        m.faulty = vec![6];
+        let mut processes: Vec<ProcessTrace> = (0..6).map(|i| unanimous_one_step(i, 42)).collect();
+        processes.push(unanimous_one_step(6, 43)); // liar, but faulty
+        let run = RunTrace { meta: m, processes };
+        assert!(check(&run).is_ok());
+    }
+
+    #[test]
+    fn log_disagreement_is_flagged() {
+        let t0 = ProcessTrace {
+            id: 0,
+            events: vec![ev(0, 1, EventKind::Commit { slot: 3, code: 5 })],
+        };
+        let t1 = ProcessTrace {
+            id: 1,
+            events: vec![ev(0, 1, EventKind::Commit { slot: 3, code: 6 })],
+        };
+        let run = RunTrace {
+            meta: meta(SchemeRules::Opaque),
+            processes: vec![t0, t1],
+        };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "log-agreement"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Deterministic JSON rendering of a checked run trace.
+//!
+//! Hand-rolled on purpose: the artifact must be **byte-identical** for the
+//! same seed, so every key is emitted in a fixed order, all numbers are
+//! integers (no float formatting), value codes are fixed-width hex strings,
+//! and nothing depends on hash-map iteration order. One event per line
+//! keeps the artifact diffable.
+
+use crate::checker::{CheckReport, RunTrace, SchemeRules};
+use crate::event::{Event, EventKind};
+use core::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a value code as a fixed-width hex JSON string.
+fn code(c: u64, out: &mut String) {
+    let _ = write!(out, "\"{c:016x}\"");
+}
+
+fn event(e: &Event, out: &mut String) {
+    let _ = write!(out, "{{\"at\":{},\"depth\":{},\"kind\":", e.at, e.depth);
+    match e.kind {
+        EventKind::Send { to } => {
+            let _ = write!(out, "\"send\",\"to\":{to}");
+        }
+        EventKind::Deliver { from } => {
+            let _ = write!(out, "\"deliver\",\"from\":{from}");
+        }
+        EventKind::ViewSet {
+            view,
+            origin,
+            code: c,
+        } => {
+            let _ = write!(
+                out,
+                "\"view_set\",\"view\":\"{}\",\"origin\":{},\"code\":",
+                view.label(),
+                origin
+            );
+            code(c, out);
+        }
+        EventKind::Predicate {
+            pred,
+            held,
+            len,
+            top_count,
+            second_count,
+            top_code,
+        } => {
+            let _ = write!(
+                out,
+                "\"pred\",\"pred\":\"{}\",\"held\":{},\"len\":{},\"top\":{},\"second\":{},\"top_code\":",
+                pred.label(),
+                held,
+                len,
+                top_count,
+                second_count
+            );
+            code(top_code, out);
+        }
+        EventKind::Decide { scheme, code: c } => {
+            let _ = write!(
+                out,
+                "\"decide\",\"scheme\":\"{}\",\"code\":",
+                scheme.label()
+            );
+            code(c, out);
+        }
+        EventKind::IdbInit { origin, code: c } => {
+            let _ = write!(out, "\"idb_init\",\"origin\":{origin},\"code\":");
+            code(c, out);
+        }
+        EventKind::IdbEcho { origin, code: c } => {
+            let _ = write!(out, "\"idb_echo\",\"origin\":{origin},\"code\":");
+            code(c, out);
+        }
+        EventKind::IdbAccept { origin, code: c } => {
+            let _ = write!(out, "\"idb_accept\",\"origin\":{origin},\"code\":");
+            code(c, out);
+        }
+        EventKind::Fallback { code: c } => {
+            out.push_str("\"fallback\",\"code\":");
+            code(c, out);
+        }
+        EventKind::Commit { slot, code: c } => {
+            let _ = write!(out, "\"commit\",\"slot\":{slot},\"code\":");
+            code(c, out);
+        }
+    }
+    out.push('}');
+}
+
+/// Renders the full artifact: metadata, checker verdict, per-process event
+/// logs. Same input ⇒ byte-identical output.
+pub fn render(run: &RunTrace, report: &CheckReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n\"schema\":\"dex-trace/1\",\n");
+    let _ = write!(
+        out,
+        "\"seed\":{},\n\"n\":{},\n\"t\":{},\n\"algo\":",
+        run.meta.seed, run.meta.n, run.meta.t
+    );
+    escape(&run.meta.algo, &mut out);
+    let _ = write!(out, ",\n\"rules\":\"{}\"", run.meta.rules.label());
+    if let SchemeRules::Privileged { m_code } = run.meta.rules {
+        out.push_str(",\n\"m_code\":");
+        code(m_code, &mut out);
+    }
+    out.push_str(",\n\"faulty\":[");
+    for (i, f) in run.meta.faulty.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{f}");
+    }
+    out.push_str("],\n\"legend\":[");
+    for (i, (c, label)) in run.meta.legend.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"code\":");
+        code(*c, &mut out);
+        out.push_str(",\"value\":");
+        escape(label, &mut out);
+        out.push('}');
+    }
+    out.push_str("],\n\"check\":{\"ok\":");
+    let _ = write!(out, "{}", report.is_ok());
+    out.push_str(",\"checks\":[");
+    for (i, (invariant, count)) in report.checks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"invariant\":\"{invariant}\",\"count\":{count}}}");
+    }
+    out.push_str("],\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"invariant\":\"{}\",\"process\":{},\"detail\":",
+            v.invariant, v.process
+        );
+        escape(&v.detail, &mut out);
+        out.push('}');
+    }
+    out.push_str("]},\n\"processes\":[");
+    for (i, p) in run.processes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{{\"id\":{},\"events\":[", p.id);
+        for (j, e) in p.events.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            event(e, &mut out);
+        }
+        out.push_str("\n]}");
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, ProcessTrace, TraceMeta};
+    use crate::event::{PredTag, Scheme, ViewTag};
+
+    fn sample() -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                seed: 42,
+                n: 4,
+                t: 0,
+                algo: "dex-freq".into(),
+                rules: SchemeRules::Frequency,
+                faulty: vec![3],
+                legend: vec![(5, "5".into())],
+            },
+            processes: vec![ProcessTrace {
+                id: 0,
+                events: vec![
+                    Event {
+                        at: 1,
+                        depth: 1,
+                        kind: EventKind::Deliver { from: 2 },
+                    },
+                    Event {
+                        at: 1,
+                        depth: 1,
+                        kind: EventKind::ViewSet {
+                            view: ViewTag::J1,
+                            origin: 2,
+                            code: 5,
+                        },
+                    },
+                    Event {
+                        at: 1,
+                        depth: 1,
+                        kind: EventKind::Predicate {
+                            pred: PredTag::P1,
+                            held: true,
+                            len: 4,
+                            top_count: 4,
+                            second_count: 0,
+                            top_code: 5,
+                        },
+                    },
+                    Event {
+                        at: 1,
+                        depth: 1,
+                        kind: EventKind::Decide {
+                            scheme: Scheme::OneStep,
+                            code: 5,
+                        },
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let run = sample();
+        let report = check(&run);
+        assert_eq!(render(&run, &report), render(&run, &report));
+    }
+
+    #[test]
+    fn render_contains_fixed_keys_and_hex_codes() {
+        let run = sample();
+        let report = check(&run);
+        let s = render(&run, &report);
+        assert!(s.starts_with("{\n\"schema\":\"dex-trace/1\""));
+        assert!(s.contains("\"rules\":\"frequency\""));
+        assert!(s.contains("\"code\":\"0000000000000005\""));
+        assert!(s.contains("\"scheme\":\"1-step\""));
+        assert!(s.contains("\"faulty\":[3]"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut out = String::new();
+        escape("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

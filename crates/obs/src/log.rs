@@ -1,0 +1,123 @@
+//! Chunked-arena event storage.
+//!
+//! The log is a sequence of fixed-capacity chunks. Pushing an event is an
+//! index bump into the tail chunk; when a chunk fills, a new one is
+//! preallocated in a single (rare, amortized) allocation. Existing events
+//! are never moved or reallocated, so `push` never copies the log and the
+//! hot path — one `Vec::push` into spare capacity — does not allocate.
+
+use crate::event::Event;
+
+/// Events per arena chunk. 4096 × ~32 B ≈ 128 KiB per chunk; a full DEX
+/// run for n ≤ 16 fits comfortably in the first chunk.
+pub const CHUNK_EVENTS: usize = 4096;
+
+/// An append-only event arena with O(1) non-moving push.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    chunks: Vec<Vec<Event>>,
+}
+
+impl EventLog {
+    /// An empty log with no storage reserved (used by disabled recorders,
+    /// which never push).
+    pub fn new() -> Self {
+        EventLog { chunks: Vec::new() }
+    }
+
+    /// An empty log with the first chunk preallocated, so the first
+    /// [`CHUNK_EVENTS`] pushes perform zero allocations.
+    pub fn preallocated() -> Self {
+        EventLog {
+            chunks: vec![Vec::with_capacity(CHUNK_EVENTS)],
+        }
+    }
+
+    /// Appends an event. Amortized O(1); allocates only on chunk rollover
+    /// (every [`CHUNK_EVENTS`] pushes).
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        match self.chunks.last_mut() {
+            Some(tail) if tail.len() < CHUNK_EVENTS => tail.push(event),
+            _ => {
+                let mut tail = Vec::with_capacity(CHUNK_EVENTS);
+                tail.push(event);
+                self.chunks.push(tail);
+            }
+        }
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(Vec::is_empty)
+    }
+
+    /// Iterates events in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.chunks.iter().flatten()
+    }
+
+    /// Copies the log out into one contiguous vector (record order).
+    pub fn to_vec(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        for chunk in &self.chunks {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(at: u64) -> Event {
+        Event {
+            at,
+            depth: 0,
+            kind: EventKind::Send { to: 0 },
+        }
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut log = EventLog::preallocated();
+        for i in 0..10 {
+            log.push(ev(i));
+        }
+        assert_eq!(log.len(), 10);
+        let ats: Vec<u64> = log.iter().map(|e| e.at).collect();
+        assert_eq!(ats, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rollover_preserves_order_and_capacity_invariant() {
+        let mut log = EventLog::preallocated();
+        let total = CHUNK_EVENTS * 2 + 7;
+        for i in 0..total {
+            log.push(ev(i as u64));
+        }
+        assert_eq!(log.len(), total);
+        assert_eq!(log.to_vec().len(), total);
+        assert_eq!(log.to_vec()[total - 1].at, (total - 1) as u64);
+        // No chunk ever exceeds its fixed capacity (no reallocation).
+        for chunk in &log.chunks {
+            assert!(chunk.len() <= CHUNK_EVENTS);
+            assert_eq!(chunk.capacity(), CHUNK_EVENTS);
+        }
+    }
+
+    #[test]
+    fn empty_log_reserves_nothing() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.chunks.capacity(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The per-process recorder threaded through protocol state machines.
+//!
+//! A [`Recorder`] is either *disabled* (the default: every call is a no-op
+//! and no storage is reserved, so instrumented code costs one branch on the
+//! hot path) or *active* (events are stamped with the current virtual
+//! clock/depth and appended to a preallocated [`EventLog`]).
+//!
+//! The network runtime owns the clock: it calls
+//! [`set_clock`](Recorder::set_clock) before handing a delivery to the
+//! actor, so protocol code just calls [`record`](Recorder::record) with an
+//! [`EventKind`] and never thinks about time.
+
+use crate::checker::ProcessTrace;
+use crate::event::{Event, EventKind};
+use crate::log::EventLog;
+
+/// A per-process event recorder.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    active: bool,
+    me: u16,
+    at: u64,
+    depth: u32,
+    log: EventLog,
+}
+
+impl Recorder {
+    /// A disabled recorder: [`record`](Self::record) is a no-op, nothing is
+    /// allocated. This is what instrumented state machines start with.
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// An active recorder for process `me`, with the log's first chunk
+    /// preallocated.
+    pub fn new(me: u16) -> Self {
+        Recorder {
+            active: true,
+            me,
+            at: 0,
+            depth: 0,
+            log: EventLog::preallocated(),
+        }
+    }
+
+    /// Whether events are being captured.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// `Some(self)` when active — lets runtimes skip clock stamping for
+    /// disabled recorders without a separate flag check at each call site.
+    #[inline]
+    pub fn active_mut(&mut self) -> Option<&mut Recorder> {
+        if self.active {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    /// The process this recorder belongs to.
+    pub fn me(&self) -> u16 {
+        self.me
+    }
+
+    /// Stamps the clock used for subsequent [`record`](Self::record) calls.
+    /// Called by the network runtime at each delivery boundary.
+    #[inline]
+    pub fn set_clock(&mut self, at: u64, depth: u32) {
+        self.at = at;
+        self.depth = depth;
+    }
+
+    /// Appends an event stamped with the current clock. No-op when
+    /// disabled.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind) {
+        if self.active {
+            self.log.push(Event {
+                at: self.at,
+                depth: self.depth,
+                kind,
+            });
+        }
+    }
+
+    /// Appends an event with an explicit clock (used by runtimes for
+    /// send/deliver stamping where the event's depth differs from the
+    /// handler's). No-op when disabled.
+    #[inline]
+    pub fn record_at(&mut self, at: u64, depth: u32, kind: EventKind) {
+        if self.active {
+            self.log.push(Event { at, depth, kind });
+        }
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether no events have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Copies the captured events out as a [`ProcessTrace`] for checking
+    /// and serialization.
+    pub fn trace(&self) -> ProcessTrace {
+        ProcessTrace {
+            id: self.me,
+            events: self.log.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Scheme;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_active());
+        r.record(EventKind::Send { to: 3 });
+        r.record_at(9, 1, EventKind::Deliver { from: 1 });
+        assert!(r.is_empty());
+        assert!(r.active_mut().is_none());
+    }
+
+    #[test]
+    fn active_recorder_stamps_clock() {
+        let mut r = Recorder::new(2);
+        assert!(r.is_active());
+        r.set_clock(10, 1);
+        r.record(EventKind::Decide {
+            scheme: Scheme::OneStep,
+            code: 7,
+        });
+        r.record_at(11, 2, EventKind::Send { to: 0 });
+        let t = r.trace();
+        assert_eq!(t.id, 2);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!((t.events[0].at, t.events[0].depth), (10, 1));
+        assert_eq!((t.events[1].at, t.events[1].depth), (11, 2));
+    }
+}

@@ -6,6 +6,7 @@ use crate::machine::StateMachine;
 use dex_adversary::{ByzantineActor, ByzantineStrategy, ProtocolForgery};
 use dex_conditions::FrequencyPair;
 use dex_core::{DecisionPath, DexMsg, DexProcess};
+use dex_obs::{obs_code, EventKind, Recorder};
 use dex_simnet::{Actor, Context, DelayModel, Simulation};
 use dex_types::{ProcessId, StepDepth, SystemConfig, Value};
 use dex_underlying::{Dest, OracleConsensus, OracleMsg, Outbox};
@@ -94,6 +95,7 @@ pub struct Replica<SM: StateMachine> {
     machine: SM,
     paths: Vec<SlotPath>,
     next_to_propose: u64,
+    obs: Recorder,
 }
 
 impl<SM: StateMachine> Replica<SM> {
@@ -116,7 +118,19 @@ impl<SM: StateMachine> Replica<SM> {
             machine: SM::default(),
             paths: Vec::new(),
             next_to_propose: 0,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Turns on structured event recording for this replica (commit events
+    /// plus the runtime's send/deliver stamps; see `dex-obs`).
+    pub fn enable_obs(&mut self) {
+        self.obs = Recorder::new(self.me.index() as u16);
+    }
+
+    /// The structured-event recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
     }
 
     /// This replica's id.
@@ -224,6 +238,12 @@ impl<SM: StateMachine> Actor for Replica<SM> {
         };
         flush_slot(slot, out, ctx);
         if let Some(d) = decision {
+            if self.obs.is_active() {
+                self.obs.record(EventKind::Commit {
+                    slot: slot as u32,
+                    code: obs_code(&d.value),
+                });
+            }
             self.log.commit(slot as usize, d.value.clone());
             self.paths.push(SlotPath {
                 slot,
@@ -263,6 +283,13 @@ impl<SM: StateMachine> Actor for Node<SM> {
         match self {
             Node::Correct(r) => r.on_message(from, msg, ctx),
             Node::Byz(b) => b.on_message(from, msg, ctx),
+        }
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        match self {
+            Node::Correct(r) => r.obs.active_mut(),
+            Node::Byz(_) => None,
         }
     }
 }
@@ -454,6 +481,58 @@ mod tests {
                 assert!(payloads.contains(p) || *p == 0, "foreign payload {p}");
             }
         }
+    }
+
+    #[test]
+    fn traced_cluster_passes_log_agreement_checks() {
+        // Manual cluster build so we can switch on recording; the runner
+        // helpers keep recording off for the measurement paths.
+        let cfg = cfg();
+        let nodes: Vec<Node<crate::KvStore>> = (0..7)
+            .map(|i| {
+                let mut r = Replica::new(
+                    cfg,
+                    ProcessId::new(i),
+                    ProcessId::new(0),
+                    vec![Command::put(5, 50), Command::put(6, 60)],
+                    2,
+                );
+                r.enable_obs();
+                Node::Correct(r)
+            })
+            .collect();
+        let mut sim = Simulation::new(nodes, 11, DelayModel::Uniform { min: 1, max: 10 });
+        assert!(sim.run(50_000_000).quiescent);
+        let processes: Vec<dex_obs::ProcessTrace> = sim
+            .actors()
+            .iter()
+            .map(|node| match node {
+                Node::Correct(r) => r.obs().trace(),
+                Node::Byz(_) => unreachable!(),
+            })
+            .collect();
+        assert!(processes.iter().all(|p| !p.events.is_empty()));
+        let run = dex_obs::RunTrace {
+            meta: dex_obs::TraceMeta {
+                seed: 11,
+                n: 7,
+                t: 1,
+                algo: "replication".to_string(),
+                rules: dex_obs::SchemeRules::Opaque,
+                faulty: Vec::new(),
+                legend: Vec::new(),
+            },
+            processes,
+        };
+        let report = dex_obs::check(&run);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        let log_checks = report
+            .checks
+            .iter()
+            .find(|(name, _)| *name == "log-agreement")
+            .map(|(_, count)| *count)
+            .unwrap();
+        assert!(log_checks > 0, "commit events must drive log-agreement");
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub trait Actor {
     /// Called for each delivered message. Sends from here carry depth
     /// `ctx.depth() + 1`.
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// The actor's structured-event recorder (see `dex-obs`), if it has an
+    /// **active** one. The runtime uses this to stamp the virtual clock at
+    /// each delivery boundary and to record message send/deliver events
+    /// alongside the actor's own protocol events. The default (`None`)
+    /// keeps uninstrumented actors and disabled recorders zero-cost.
+    fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
+        None
+    }
 }
 
 /// Everything an actor may observe and do while handling one delivery.
@@ -154,7 +163,6 @@ impl<'a, M: Clone> Context<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn context_buffers_sends() {

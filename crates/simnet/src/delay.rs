@@ -1,7 +1,7 @@
 //! Message delay models.
 
 use dex_types::ProcessId;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// How long a message takes from send to delivery, in virtual time units.
 ///
@@ -110,7 +110,6 @@ impl Default for DelayModel {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

@@ -7,7 +7,6 @@ use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 use dex_types::{ProcessId, StepDepth};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -153,6 +152,15 @@ impl<A: Actor> Simulation<A> {
             let delay = self.delay.sample(&mut self.rng, from, to);
             let deliver_at = self.now + delay;
             self.stats.record_send(depth);
+            if let Some(rec) = self.actors[from.index()].recorder_mut() {
+                rec.record_at(
+                    self.now.as_units(),
+                    depth.get(),
+                    dex_obs::EventKind::Send {
+                        to: to.index() as u16,
+                    },
+                );
+            }
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEvent::Send {
                     from,
@@ -187,7 +195,8 @@ impl<A: Actor> Simulation<A> {
         for i in 0..n {
             let me = ProcessId::new(i);
             let buf = std::mem::take(&mut self.scratch);
-            let mut ctx = Context::with_buffer(me, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
+            let mut ctx =
+                Context::with_buffer(me, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
             self.actors[i].on_start(&mut ctx);
             let mut outbox = ctx.into_outbox();
             self.dispatch(me, &mut outbox, StepDepth::ONE);
@@ -219,6 +228,14 @@ impl<A: Actor> Simulation<A> {
             });
         }
         let n = self.actors.len();
+        if let Some(rec) = self.actors[to.index()].recorder_mut() {
+            // Stamp the recipient's clock so protocol events recorded inside
+            // the handler carry the delivery's virtual time and causal depth.
+            rec.set_clock(self.now.as_units(), depth.get());
+            rec.record(dex_obs::EventKind::Deliver {
+                from: from.index() as u16,
+            });
+        }
         let buf = std::mem::take(&mut self.scratch);
         let mut ctx = Context::with_buffer(to, n, self.now, depth, &mut self.rng, buf);
         self.actors[to.index()].on_message(from, payload, &mut ctx);

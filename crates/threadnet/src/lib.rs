@@ -43,7 +43,6 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dex_simnet::{Actor, Context, Time};
 use dex_types::{ProcessId, StepDepth};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
@@ -221,19 +220,52 @@ where
                     ));
                 }
             };
+            // Per-process delivery sequence, used as the recorder's clock:
+            // wall time is not reproducible, but per-process event order is
+            // what the trace checker consumes.
+            let mut local_seq = 0u64;
             {
                 let mut ctx = Context::external(me, n, Time::ZERO, StepDepth::ZERO, &mut rng);
                 actor.on_start(&mut ctx);
                 let out = ctx.take_outbox();
+                if let Some(rec) = actor.recorder_mut() {
+                    for (to, _) in &out {
+                        rec.record_at(
+                            local_seq,
+                            StepDepth::ONE.get(),
+                            dex_obs::EventKind::Send {
+                                to: to.index() as u16,
+                            },
+                        );
+                    }
+                }
                 queue_out(out, StepDepth::ONE);
             }
             loop {
                 match rx.recv_timeout(Duration::from_millis(20)) {
                     Ok(env) => {
                         let now = Time::new(start.elapsed().as_micros() as u64);
+                        local_seq += 1;
+                        if let Some(rec) = actor.recorder_mut() {
+                            rec.set_clock(local_seq, env.depth.get());
+                            rec.record(dex_obs::EventKind::Deliver {
+                                from: env.from.index() as u16,
+                            });
+                        }
                         let mut ctx = Context::external(me, n, now, env.depth, &mut rng);
                         actor.on_message(env.from, env.payload, &mut ctx);
                         let out = ctx.take_outbox();
+                        if let Some(rec) = actor.recorder_mut() {
+                            for (to, _) in &out {
+                                rec.record_at(
+                                    local_seq,
+                                    env.depth.next().get(),
+                                    dex_obs::EventKind::Send {
+                                        to: to.index() as u16,
+                                    },
+                                );
+                            }
+                        }
                         queue_out(out, env.depth.next());
                         delivered.fetch_add(1, Ordering::AcqRel);
                         inflight.fetch_sub(1, Ordering::AcqRel);

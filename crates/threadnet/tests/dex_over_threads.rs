@@ -75,3 +75,52 @@ fn moderate_margin_uses_fast_paths_under_threads() {
         assert_ne!(d.path, DecisionPath::OneStep, "margin 3 ≤ 4t blocks P1");
     }
 }
+
+#[test]
+fn traced_run_checks_clean_under_threads() {
+    // Event recording under real concurrency: per-process event order is
+    // still causally consistent, so the invariant checker must accept it
+    // (cross-run byte-stability is only promised for the simulator).
+    let mut actors = build(7, 1, &[5; 7]);
+    for (i, a) in actors.iter_mut().enumerate() {
+        a.process_mut().enable_obs();
+        assert_eq!(a.process().obs().me(), i as u16);
+    }
+    let result = run_network(actors, options(5));
+    assert!(result.quiescent);
+    let processes: Vec<dex_obs::ProcessTrace> = result
+        .actors
+        .iter()
+        .map(|a| a.process().obs().trace())
+        .collect();
+    for p in &processes {
+        assert!(
+            p.events
+                .iter()
+                .any(|e| matches!(e.kind, dex_obs::EventKind::Send { .. })),
+            "process {} recorded no sends",
+            p.id
+        );
+        assert!(
+            p.events
+                .iter()
+                .any(|e| matches!(e.kind, dex_obs::EventKind::Decide { .. })),
+            "process {} recorded no decision",
+            p.id
+        );
+    }
+    let run = dex_obs::RunTrace {
+        meta: dex_obs::TraceMeta {
+            seed: 5,
+            n: 7,
+            t: 1,
+            algo: "dex-freq".to_string(),
+            rules: dex_obs::SchemeRules::Frequency,
+            faulty: Vec::new(),
+            legend: Vec::new(),
+        },
+        processes,
+    };
+    let report = dex_obs::check(&run);
+    assert!(report.is_ok(), "{:?}", report.violations);
+}

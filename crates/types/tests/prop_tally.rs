@@ -19,7 +19,10 @@ const DOMAIN: u64 = 4;
 type Op = (usize, Option<u64>);
 
 fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec((0usize..N, proptest::option::weighted(0.7, 0..DOMAIN)), 0..40)
+    proptest::collection::vec(
+        (0usize..N, proptest::option::weighted(0.7, 0..DOMAIN)),
+        0..40,
+    )
 }
 
 fn view_strategy() -> impl Strategy<Value = View<u64>> {
@@ -35,9 +38,11 @@ fn naive_counts(shadow: &[Option<u64>]) -> HashMap<u64, usize> {
     counts
 }
 
+type Ranked = Option<(u64, usize)>;
+
 /// From-scratch top-two with the §3.3 tie-break: more occurrences wins, and
 /// among equal counts the larger value wins.
-fn naive_top_two(shadow: &[Option<u64>]) -> (Option<(u64, usize)>, Option<(u64, usize)>) {
+fn naive_top_two(shadow: &[Option<u64>]) -> (Ranked, Ranked) {
     let counts = naive_counts(shadow);
     let best = |skip: Option<u64>| {
         counts

@@ -26,7 +26,6 @@ use crate::traits::UnderlyingConsensus;
 use dex_broadcast::{Action, IdbMessage, IdenticalBroadcast};
 use dex_types::{ProcessId, SystemConfig};
 use rand::rngs::StdRng;
-use rand::RngExt;
 use std::collections::HashMap;
 
 /// Phase payloads (see module docs).
@@ -323,7 +322,6 @@ impl UnderlyingConsensus<bool> for BrachaBinary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     #[should_panic(expected = "n > 5t")]

@@ -196,7 +196,6 @@ impl<V: Value> UnderlyingConsensus<V> for ReducedMvc<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn propose_reliable_broadcasts_once() {

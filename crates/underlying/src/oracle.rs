@@ -129,7 +129,6 @@ impl<V: Value> UnderlyingConsensus<V> for OracleConsensus<V> {
 mod tests {
     use super::*;
     use crate::outbox::Dest;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)

@@ -39,7 +39,6 @@
 use dex_types::InputVector;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::RngExt;
 
 /// A seeded generator of input vectors over `u64` proposal values.
 pub trait InputGenerator {
@@ -225,7 +224,6 @@ impl InputGenerator for ZipfRequests {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)

@@ -14,7 +14,6 @@
 use dex::prelude::*;
 use dex::workloads::{BernoulliMix, InputGenerator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const COMMIT: u64 = 1;
 const ABORT: u64 = 0;

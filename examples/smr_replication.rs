@@ -18,7 +18,6 @@ use dex::metrics::Counter;
 use dex::prelude::*;
 use dex::workloads::{InputGenerator, ZipfRequests};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SLOTS: usize = 40;
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Bench-regression gate: reruns the view-tally microbenchmark and compares
+# the per-read speedup of the O(1) incremental tally against the committed
+# baseline (BENCH_view_tally.json). Fails if any system size regressed by
+# more than 30% — generous enough for shared-runner noise, tight enough to
+# catch the hot path going accidentally O(n) again.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_view_tally.json
+if [[ ! -f "$BASELINE" ]]; then
+  echo "missing committed baseline $BASELINE" >&2
+  exit 1
+fi
+
+FRESH=$(mktemp -t bench_view_tally.XXXXXX)
+trap 'rm -f "$FRESH"' EXIT
+
+./scripts/bench_view_tally.sh "$FRESH" > /dev/null
+
+# Per-n result lines look like:
+#   {"n": 7, ..., "read_speedup": 39.07, ...}
+extract() {
+  sed -n 's/.*"n": *\([0-9]*\),.*"read_speedup": *\([0-9.]*\),.*/\1 \2/p' "$1"
+}
+
+paste <(extract "$BASELINE") <(extract "$FRESH") | awk '
+  NF < 4 || $1 != $3 {
+    print "baseline and fresh run disagree on benched sizes" > "/dev/stderr"
+    fail = 1
+    exit 1
+  }
+  {
+    printf "n=%-4d baseline %8.2fx   fresh %8.2fx   ratio %.2f\n", $1, $2, $4, $4 / $2
+    if ($4 < 0.7 * $2) {
+      printf "REGRESSION at n=%d: read speedup %.2fx < 70%% of baseline %.2fx\n", $1, $4, $2 > "/dev/stderr"
+      fail = 1
+    }
+  }
+  END { exit fail }
+'
+
+echo "bench gate OK"

@@ -1,21 +1,52 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, full test suite, and a criterion smoke run
-# of the view-algebra microbenchmarks (the per-message hot path).
+# Tier-1 CI gate: formatting, lints, a warning-free release build, the full
+# test suite, example smoke runs, a determinism check of the --trace
+# artifact, a criterion smoke run of the view-algebra microbenchmarks, and
+# the bench-regression gate.
 #
 # The workspace builds fully offline: every external dependency is vendored
 # as a path crate under vendor/ and pinned by the committed Cargo.lock.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release)"
-cargo build --release --workspace
+# Lints gate first-party code only; vendored stand-ins are checked as-is.
+FIRST_PARTY=(--workspace --exclude criterion --exclude crossbeam --exclude proptest --exclude rand)
+
+echo "== fmt"
+cargo fmt --all -- --check
+
+echo "== clippy"
+cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
+
+echo "== build (release, deny warnings)"
+RUSTFLAGS="-D warnings" cargo build --release --workspace
+
+echo "== build examples (deny warnings)"
+RUSTFLAGS="-D warnings" cargo build --release --examples
 
 echo "== test"
 cargo test -q --workspace
+
+echo "== example smoke: quickstart, equivocation_demo"
+cargo run --release -q --example quickstart > /dev/null
+cargo run --release -q --example equivocation_demo > /dev/null
+
+echo "== trace determinism: dex-sim --trace twice, byte-identical artifact"
+TRACE_ARGS=(--n 7 --t 1 --algo dex-freq --workload bernoulli:0.8 --f 1
+            --adversary equivocate --runs 3 --seed 31 --trace)
+rm -f results/trace_31.json results/trace_31.first.json
+cargo run --release -q --bin dex-sim -- "${TRACE_ARGS[@]}" > /dev/null
+mv results/trace_31.json results/trace_31.first.json
+cargo run --release -q --bin dex-sim -- "${TRACE_ARGS[@]}" > /dev/null
+cmp results/trace_31.json results/trace_31.first.json
+rm -f results/trace_31.json results/trace_31.first.json
 
 echo "== bench smoke: view_ops"
 # CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads it
 # per sample (see vendor/criterion).
 CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
+
+echo "== bench gate: view-tally speedup vs committed baseline"
+./scripts/bench_check.sh
 
 echo "== ci OK"

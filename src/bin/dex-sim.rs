@@ -18,9 +18,12 @@
 //! | `--underlying` | `oracle`, `mvc` | `oracle` |
 //! | `--runs` | batch size | `20` |
 //! | `--seed` | base seed | `0` |
+//! | `--trace` | (no value) record run 0, check invariants, write `results/trace_<seed>.json` | off |
 
 use dex::adversary::ByzantineStrategy;
-use dex::harness::runner::{run_batch, Algo, BatchSpec, Placement, UnderlyingKind};
+use dex::harness::runner::{
+    run_batch, traced_batch_run, Algo, BatchSpec, Placement, UnderlyingKind,
+};
 use dex::simnet::DelayModel;
 use dex::types::SystemConfig;
 use dex::workloads::{
@@ -29,15 +32,22 @@ use dex::workloads::{
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// Flags that take no value; their presence means "on".
+const BOOLEAN_FLAGS: &[&str] = &["trace", "help"];
+
 fn parse_flags() -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            let value = args.next().unwrap_or_else(|| {
-                eprintln!("missing value for --{name}");
-                std::process::exit(2);
-            });
+            let value = if BOOLEAN_FLAGS.contains(&name) {
+                "1".to_string()
+            } else {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --{name}");
+                    std::process::exit(2);
+                })
+            };
             flags.insert(name.to_string(), value);
         } else {
             eprintln!("unexpected argument: {arg} (flags look like --name value)");
@@ -162,7 +172,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let stats = run_batch(&BatchSpec {
+    let batch = BatchSpec {
         config,
         algo,
         underlying,
@@ -174,7 +184,8 @@ fn main() -> ExitCode {
         runs,
         seed0,
         max_events: 50_000_000,
-    });
+    };
+    let stats = run_batch(&batch);
 
     println!(
         "{} on {} | workload {} | adversary {} (f = {f}) | {} runs",
@@ -206,7 +217,34 @@ fn main() -> ExitCode {
         stats.undecided,
         stats.non_quiescent,
     );
-    if stats.clean() {
+    let mut trace_ok = true;
+    if flags.contains_key("trace") {
+        let traced = traced_batch_run(&batch, 0);
+        let report = dex::obs::check(&traced.trace);
+        let events: usize = traced.trace.processes.iter().map(|p| p.events.len()).sum();
+        if let Err(e) = std::fs::create_dir_all("results") {
+            eprintln!("cannot create results/: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = format!("results/trace_{seed0}.json");
+        if let Err(e) = std::fs::write(&path, dex::obs::json::render(&traced.trace, &report)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: run 0 re-executed with recording — {events} events, {} invariant checks, {} violations → {path}",
+            report.total_checks(),
+            report.violations.len(),
+        );
+        for v in &report.violations {
+            eprintln!(
+                "trace violation [{}] p{}: {}",
+                v.invariant, v.process, v.detail
+            );
+        }
+        trace_ok = report.is_ok();
+    }
+    if stats.clean() && trace_ok {
         println!("all runs clean");
         ExitCode::SUCCESS
     } else {

@@ -23,6 +23,7 @@
 //! | [`threadnet`] | `dex-threadnet` | threaded runtime over crossbeam channels |
 //! | [`workloads`] | `dex-workloads` | input-vector generators |
 //! | [`metrics`] | `dex-metrics` | summaries, counters, tables |
+//! | [`obs`] | `dex-obs` | structured event traces + trace-driven invariant checker |
 //! | [`replication`] | `dex-replication` | replicated KV state machine on multi-slot DEX |
 //! | [`harness`] | `dex-harness` | per-experiment drivers (E1–E13) |
 //!
@@ -65,6 +66,7 @@ pub use dex_conditions as conditions;
 pub use dex_core as core;
 pub use dex_harness as harness;
 pub use dex_metrics as metrics;
+pub use dex_obs as obs;
 pub use dex_replication as replication;
 pub use dex_simnet as simnet;
 pub use dex_threadnet as threadnet;
@@ -78,8 +80,10 @@ pub mod prelude {
     pub use dex_conditions::{FrequencyPair, LegalityPair, PrivilegedPair};
     pub use dex_core::{DecisionPath, DexActor, DexMsg, DexProcess};
     pub use dex_harness::runner::{
-        run_batch, run_spec, Algo, BatchSpec, Placement, RunResult, RunSpec, UnderlyingKind,
+        run_batch, run_spec, run_spec_traced, traced_batch_run, Algo, BatchSpec, Placement,
+        RunResult, RunSpec, TracedRun, UnderlyingKind,
     };
+    pub use dex_obs::{check, CheckReport, RunTrace};
     pub use dex_simnet::{Actor, Context, DelayModel, Simulation};
     pub use dex_types::{InputVector, ProcessId, StepDepth, SystemConfig, View};
     pub use dex_underlying::{OracleConsensus, Outbox, ReducedMvc, UnderlyingConsensus};

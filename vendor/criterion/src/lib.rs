@@ -89,15 +89,19 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` with `input`, labelled by `id`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.id);
         let sample_size = self.sample_size;
-        self.parent
-            .run_bench(&label, sample_size, |b| f(b, input));
+        self.parent.run_bench(&label, sample_size, |b| f(b, input));
         self
     }
 

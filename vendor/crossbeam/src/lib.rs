@@ -8,12 +8,12 @@
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
-    /// Re-exported error types with crossbeam's names.
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
-    /// The sending half of a channel (cloneable).
-    pub use std::sync::mpsc::Sender;
     /// The receiving half of a channel.
     pub use std::sync::mpsc::Receiver;
+    /// The sending half of a channel (cloneable).
+    pub use std::sync::mpsc::Sender;
+    /// Re-exported error types with crossbeam's names.
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {

@@ -28,11 +28,7 @@ pub trait Strategy {
     ///
     /// Panics after 1000 consecutive rejections (the predicate is too
     /// restrictive for sampling without shrinking).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -96,7 +92,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 samples in a row: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 samples in a row: {}",
+            self.whence
+        );
     }
 }
 
