@@ -114,7 +114,7 @@ impl<F: ProtocolForgery> Actor for ByzantineActor<F> {
         }
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: F, ctx: &mut Context<'_, F>) {
+    fn on_message(&mut self, _from: ProcessId, msg: &F, ctx: &mut Context<'_, F>) {
         if let ByzantineStrategy::EchoPoison { .. } = &self.strategy {
             let me = ctx.me();
             for i in 0..ctx.n() {
@@ -123,7 +123,7 @@ impl<F: ProtocolForgery> Actor for ByzantineActor<F> {
                     continue; // poisoning ourselves would loop forever
                 }
                 if let Some(v) = self.value_for(to) {
-                    for forged in F::forge_reaction(me, &msg, to, v) {
+                    for forged in F::forge_reaction(me, msg, to, v) {
                         if self.reaction_budget == 0 {
                             return;
                         }
@@ -177,8 +177,8 @@ mod tests {
     impl Actor for Recorder {
         type Msg = Toy;
         fn on_start(&mut self, _: &mut Context<'_, Toy>) {}
-        fn on_message(&mut self, from: ProcessId, msg: Toy, _: &mut Context<'_, Toy>) {
-            self.got.push((from, msg));
+        fn on_message(&mut self, from: ProcessId, msg: &Toy, _: &mut Context<'_, Toy>) {
+            self.got.push((from, msg.clone()));
         }
     }
 
@@ -195,7 +195,7 @@ mod tests {
                 Node::Rec(a) => a.on_start(ctx),
             }
         }
-        fn on_message(&mut self, from: ProcessId, msg: Toy, ctx: &mut Context<'_, Toy>) {
+        fn on_message(&mut self, from: ProcessId, msg: &Toy, ctx: &mut Context<'_, Toy>) {
             match self {
                 Node::Byz(a) => a.on_message(from, msg, ctx),
                 Node::Rec(a) => a.on_message(from, msg, ctx),

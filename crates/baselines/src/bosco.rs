@@ -3,7 +3,7 @@
 use dex_obs::{obs_code, EventKind, Recorder, Scheme, ViewTag};
 use dex_simnet::{Actor, Context, Time};
 use dex_types::{ProcessId, StepDepth, SystemConfig, Value, View};
-use dex_underlying::{Dest, Outbox, UnderlyingConsensus};
+use dex_underlying::{Outbox, UnderlyingConsensus};
 use rand::rngs::StdRng;
 
 /// Wire messages of Bosco.
@@ -104,7 +104,7 @@ where
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: BoscoMsg<V, U::Msg>,
+        msg: &BoscoMsg<V, U::Msg>,
         rng: &mut StdRng,
         out: &mut Outbox<BoscoMsg<V, U::Msg>>,
     ) -> Option<BoscoDecision<V>> {
@@ -131,12 +131,12 @@ where
     fn on_vote(
         &mut self,
         from: ProcessId,
-        v: V,
+        v: &V,
         rng: &mut StdRng,
         out: &mut Outbox<BoscoMsg<V, U::Msg>>,
     ) -> Option<BoscoDecision<V>> {
         if self.votes.get(from).is_none() {
-            self.votes.set(from, v);
+            self.votes.set(from, v.clone());
         }
         // Single evaluation at exactly n − t votes — Bosco is not adaptive.
         if self.evaluated || self.votes.len_non_default() < self.config.quorum() {
@@ -187,12 +187,7 @@ where
 }
 
 fn forward_uc<V, U>(uc_out: &mut Outbox<U>, out: &mut Outbox<BoscoMsg<V, U>>) {
-    for (dest, m) in uc_out.drain_iter() {
-        match dest {
-            Dest::All => out.broadcast(BoscoMsg::Uc(m)),
-            Dest::To(p) => out.send(p, BoscoMsg::Uc(m)),
-        }
-    }
+    uc_out.map_drain_into(out, BoscoMsg::Uc);
 }
 
 /// A decision as observed inside a simulation run.
@@ -274,11 +269,11 @@ where
         flush(&mut out, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         // First value wins in the vote view, so only a fresh entry is a
         // mutation worth recording.
         if self.obs.is_active() {
-            if let BoscoMsg::Vote(v) = &msg {
+            if let BoscoMsg::Vote(v) = msg {
                 if self.process.votes.get(from).is_none() {
                     self.obs.record(EventKind::ViewSet {
                         view: ViewTag::J1,
@@ -315,10 +310,7 @@ where
 
 pub(crate) fn flush<M: Clone>(out: &mut Outbox<M>, ctx: &mut Context<'_, M>) {
     for (dest, m) in out.drain_iter() {
-        match dest {
-            Dest::All => ctx.broadcast(m),
-            Dest::To(p) => ctx.send(p, m),
-        }
+        ctx.send_dest(dest, m);
     }
 }
 
@@ -358,7 +350,7 @@ mod tests {
         pr.propose(5, &mut rng(), &mut out);
         let mut d = None;
         for j in 1..6 {
-            d = pr.on_message(p(j), BoscoMsg::Vote(5), &mut rng(), &mut out);
+            d = pr.on_message(p(j), &BoscoMsg::Vote(5), &mut rng(), &mut out);
         }
         let d = d.expect("6 unanimous votes ≥ decide threshold 6");
         assert_eq!(d.value, 5);
@@ -373,10 +365,10 @@ mod tests {
         out.drain();
         for j in 1..5 {
             assert!(pr
-                .on_message(p(j), BoscoMsg::Vote(5), &mut rng(), &mut out)
+                .on_message(p(j), &BoscoMsg::Vote(5), &mut rng(), &mut out)
                 .is_none());
         }
-        let d = pr.on_message(p(5), BoscoMsg::Vote(9), &mut rng(), &mut out);
+        let d = pr.on_message(p(5), &BoscoMsg::Vote(9), &mut rng(), &mut out);
         assert!(d.is_none(), "5 matching votes < 6");
         // But the UC was called with the majority value 5 (count 5 ≥ 4).
         let sent = out.drain();
@@ -394,13 +386,13 @@ mod tests {
         let mut out: Out = Outbox::new();
         pr.propose(5, &mut rng(), &mut out);
         for j in 1..5 {
-            pr.on_message(p(j), BoscoMsg::Vote(5), &mut rng(), &mut out);
+            pr.on_message(p(j), &BoscoMsg::Vote(5), &mut rng(), &mut out);
         }
         assert!(pr
-            .on_message(p(5), BoscoMsg::Vote(9), &mut rng(), &mut out)
+            .on_message(p(5), &BoscoMsg::Vote(9), &mut rng(), &mut out)
             .is_none());
         assert!(pr
-            .on_message(p(6), BoscoMsg::Vote(5), &mut rng(), &mut out)
+            .on_message(p(6), &BoscoMsg::Vote(5), &mut rng(), &mut out)
             .is_none());
         assert!(pr.decision().is_none());
     }
@@ -413,9 +405,9 @@ mod tests {
         out.drain();
         // Votes: own 5, then 9, 9, 9, 2, 2 → 9 has 3 < 4, nothing adopts.
         for (j, v) in [(1, 9), (2, 9), (3, 9), (4, 2)] {
-            pr.on_message(p(j), BoscoMsg::Vote(v), &mut rng(), &mut out);
+            pr.on_message(p(j), &BoscoMsg::Vote(v), &mut rng(), &mut out);
         }
-        pr.on_message(p(5), BoscoMsg::Vote(2), &mut rng(), &mut out);
+        pr.on_message(p(5), &BoscoMsg::Vote(2), &mut rng(), &mut out);
         let sent = out.drain();
         assert!(sent
             .iter()
@@ -430,7 +422,7 @@ mod tests {
         let d = pr
             .on_message(
                 p(0),
-                BoscoMsg::Uc(OracleMsg::Decide(8)),
+                &BoscoMsg::Uc(OracleMsg::Decide(8)),
                 &mut rng(),
                 &mut out,
             )
@@ -444,8 +436,8 @@ mod tests {
         let mut pr = proc(7, 1, 0);
         let mut out: Out = Outbox::new();
         pr.propose(5, &mut rng(), &mut out);
-        pr.on_message(p(1), BoscoMsg::Vote(5), &mut rng(), &mut out);
-        pr.on_message(p(1), BoscoMsg::Vote(9), &mut rng(), &mut out);
+        pr.on_message(p(1), &BoscoMsg::Vote(5), &mut rng(), &mut out);
+        pr.on_message(p(1), &BoscoMsg::Vote(9), &mut rng(), &mut out);
         assert_eq!(pr.votes.get(p(1)), Some(&5));
     }
 }

@@ -156,7 +156,7 @@ where
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: CrashMsg<V, U::Msg>,
+        msg: &CrashMsg<V, U::Msg>,
         rng: &mut StdRng,
         out: &mut Outbox<CrashMsg<V, U::Msg>>,
     ) -> Option<CrashDecision<V>> {
@@ -183,12 +183,12 @@ where
     fn on_value(
         &mut self,
         from: ProcessId,
-        v: V,
+        v: &V,
         rng: &mut StdRng,
         out: &mut Outbox<CrashMsg<V, U::Msg>>,
     ) -> Option<CrashDecision<V>> {
         if self.view.get(from).is_none() {
-            self.view.set(from, v);
+            self.view.set(from, v.clone());
         }
         match self.rule {
             CrashRule::Brasileiro => self.brasileiro_step(rng, out),
@@ -272,12 +272,7 @@ where
 }
 
 fn forward_uc<V, U>(uc_out: &mut Outbox<U>, out: &mut Outbox<CrashMsg<V, U>>) {
-    for (dest, m) in uc_out.drain_iter() {
-        match dest {
-            dex_underlying::Dest::All => out.broadcast(CrashMsg::Uc(m)),
-            dex_underlying::Dest::To(p) => out.send(p, CrashMsg::Uc(m)),
-        }
-    }
+    uc_out.map_drain_into(out, CrashMsg::Uc);
 }
 
 /// A decision as observed inside a simulation run.
@@ -359,10 +354,10 @@ where
         flush(&mut out, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         // First value wins in the receipt view: record fresh entries only.
         if self.obs.is_active() {
-            if let CrashMsg::Value(v) = &msg {
+            if let CrashMsg::Value(v) = msg {
                 if self.process.view.get(from).is_none() {
                     self.obs.record(EventKind::ViewSet {
                         view: ViewTag::J1,
@@ -425,10 +420,10 @@ mod tests {
         let mut out: Out = Outbox::new();
         pr.propose(5, &mut rng(), &mut out);
         assert!(pr
-            .on_message(p(1), CrashMsg::Value(5), &mut rng(), &mut out)
+            .on_message(p(1), &CrashMsg::Value(5), &mut rng(), &mut out)
             .is_none());
         let d = pr
-            .on_message(p(2), CrashMsg::Value(5), &mut rng(), &mut out)
+            .on_message(p(2), &CrashMsg::Value(5), &mut rng(), &mut out)
             .expect("3 unanimous receipts at n - t = 3");
         assert_eq!(d.value, 5);
         assert_eq!(d.path, CrashPath::OneStep);
@@ -440,8 +435,8 @@ mod tests {
         let mut out: Out = Outbox::new();
         pr.propose(5, &mut rng(), &mut out);
         out.drain();
-        pr.on_message(p(1), CrashMsg::Value(5), &mut rng(), &mut out);
-        let d = pr.on_message(p(2), CrashMsg::Value(9), &mut rng(), &mut out);
+        pr.on_message(p(1), &CrashMsg::Value(5), &mut rng(), &mut out);
+        let d = pr.on_message(p(2), &CrashMsg::Value(9), &mut rng(), &mut out);
         assert!(d.is_none(), "not unanimous");
         // n − 2t = 2 copies of 5 ⇒ est = 5.
         let sent = out.drain();
@@ -455,12 +450,12 @@ mod tests {
         let mut pr = proc(4, 1, CrashRule::Brasileiro);
         let mut out: Out = Outbox::new();
         pr.propose(5, &mut rng(), &mut out);
-        pr.on_message(p(1), CrashMsg::Value(9), &mut rng(), &mut out);
-        pr.on_message(p(2), CrashMsg::Value(5), &mut rng(), &mut out);
+        pr.on_message(p(1), &CrashMsg::Value(9), &mut rng(), &mut out);
+        pr.on_message(p(2), &CrashMsg::Value(5), &mut rng(), &mut out);
         // The 4th value would make the view unanimous-majority, but the
         // rule already fired.
         assert!(pr
-            .on_message(p(3), CrashMsg::Value(5), &mut rng(), &mut out)
+            .on_message(p(3), &CrashMsg::Value(5), &mut rng(), &mut out)
             .is_none());
         assert!(pr.decision().is_none());
     }
@@ -475,14 +470,14 @@ mod tests {
         for j in 1..4 {
             // 4 fives, missing 3 ⇒ margin 4 ≤ 6: no decision.
             assert!(pr
-                .on_message(p(j), CrashMsg::Value(5), &mut rng(), &mut out)
+                .on_message(p(j), &CrashMsg::Value(5), &mut rng(), &mut out)
                 .is_none());
         }
         assert!(pr
-            .on_message(p(4), CrashMsg::Value(9), &mut rng(), &mut out)
+            .on_message(p(4), &CrashMsg::Value(9), &mut rng(), &mut out)
             .is_none()); // 5 entries, margin 3 ≤ 4
         let d = pr
-            .on_message(p(5), CrashMsg::Value(5), &mut rng(), &mut out)
+            .on_message(p(5), &CrashMsg::Value(5), &mut rng(), &mut out)
             .expect("6 entries, margin 5 - 1 = 4 > 2·1 = 2");
         assert_eq!(d.value, 5);
         assert_eq!(d.path, CrashPath::OneStep);
@@ -496,15 +491,15 @@ mod tests {
         let mut out: Out = Outbox::new();
         pr.propose(5, &mut rng(), &mut out);
         for j in 1..4 {
-            pr.on_message(p(j), CrashMsg::Value(5), &mut rng(), &mut out);
+            pr.on_message(p(j), &CrashMsg::Value(5), &mut rng(), &mut out);
         }
         for j in 4..6 {
             assert!(pr
-                .on_message(p(j), CrashMsg::Value(9), &mut rng(), &mut out)
+                .on_message(p(j), &CrashMsg::Value(9), &mut rng(), &mut out)
                 .is_none());
         }
         let d = pr
-            .on_message(p(6), CrashMsg::Value(9), &mut rng(), &mut out)
+            .on_message(p(6), &CrashMsg::Value(9), &mut rng(), &mut out)
             .expect("full view, margin 1 > 0");
         assert_eq!(d.value, 5);
     }
@@ -523,7 +518,7 @@ mod tests {
         let d = pr
             .on_message(
                 p(0),
-                CrashMsg::Uc(OracleMsg::Decide(9)),
+                &CrashMsg::Uc(OracleMsg::Decide(9)),
                 &mut rng(),
                 &mut out,
             )

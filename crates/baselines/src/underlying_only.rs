@@ -43,7 +43,7 @@ where
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: U::Msg,
+        msg: &U::Msg,
         rng: &mut StdRng,
         out: &mut Outbox<U::Msg>,
     ) -> Option<V> {
@@ -131,7 +131,7 @@ where
         flush(&mut out, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         let mut out = Outbox::new();
         let d = self.process.on_message(from, msg, ctx.rng(), &mut out);
         flush(&mut out, ctx);
@@ -192,7 +192,7 @@ mod tests {
         proc.propose(3, &mut rng, &mut out);
         let d = proc.on_message(
             ProcessId::new(0),
-            dex_underlying::OracleMsg::Decide(3),
+            &dex_underlying::OracleMsg::Decide(3),
             &mut rng,
             &mut out,
         );
@@ -200,7 +200,7 @@ mod tests {
         // Re-delivery does not re-report.
         let d2 = proc.on_message(
             ProcessId::new(0),
-            dex_underlying::OracleMsg::Decide(3),
+            &dex_underlying::OracleMsg::Decide(3),
             &mut rng,
             &mut out,
         );

@@ -11,7 +11,7 @@ use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
 use dex_simnet::{Actor, Context, DelayModel, Simulation};
 use dex_types::{InputVector, ProcessId, SystemConfig};
-use dex_underlying::{BrachaBinary, CoinMode, Dest, Outbox, UnderlyingConsensus};
+use dex_underlying::{BrachaBinary, CoinMode, Outbox, UnderlyingConsensus};
 use std::hint::black_box;
 
 /// Minimal actor for bare binary consensus.
@@ -27,21 +27,15 @@ impl Actor for BinActor {
         let mut out = Outbox::new();
         self.bin.propose(self.proposal, ctx.rng(), &mut out);
         for (dest, m) in out.drain() {
-            match dest {
-                Dest::All => ctx.broadcast(m),
-                Dest::To(p) => ctx.send(p, m),
-            }
+            ctx.send_dest(dest, m);
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         let mut out = Outbox::new();
         self.bin.on_message(from, msg, ctx.rng(), &mut out);
         for (dest, m) in out.drain() {
-            match dest {
-                Dest::All => ctx.broadcast(m),
-                Dest::To(p) => ctx.send(p, m),
-            }
+            ctx.send_dest(dest, m);
         }
     }
 }

@@ -1,0 +1,333 @@
+//! Emits `BENCH_simnet.json`: the legacy eager-clone delivery core vs the
+//! shared-payload (slab) fast path of `dex-simnet`.
+//!
+//! Runs the same broadcast-heavy gossip workload — the communication shape
+//! of a DEX round, where every protocol message is a `Dest::All` multicast
+//! of a non-trivial payload — through two engines:
+//!
+//! * **legacy**: a faithful replica of the pre-slab simulator, embedded
+//!   below. Broadcasts are expanded eagerly into `n` per-recipient clones
+//!   and the payload travels inside every heap entry, so each heap sift
+//!   moves the payload too.
+//! * **fastpath**: [`dex_simnet::Simulation`] — one slab slot per
+//!   multicast, `Copy` heap keys, refcounted release.
+//!
+//! Reported per system size: ns per delivered message for both engines,
+//! their ratio, and payload clones per multicast (the legacy engine pays
+//! `n` per broadcast; the fast path must report exactly **0**).
+//!
+//! Usage: `cargo run --release -p dex-bench --bin bench_simnet [out.json]`
+//! (run from the repo root; the default output path is `BENCH_simnet.json`
+//! in the current directory).
+
+use dex_simnet::{Actor, Context, DelayModel, Simulation, Time};
+use dex_types::{ProcessId, StepDepth};
+use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [7, 13, 43, 127];
+/// Payload weight in u64 words (~256 bytes): a proposal plus the view
+/// digest a DEX wire message carries — heavy enough that cloning shows up.
+const PAYLOAD_WORDS: usize = 32;
+/// Rebroadcast budget per process: bounds the gossip cascade so deliveries
+/// scale as `n^2 * (1 + BUDGET)` instead of exponentially.
+const REBROADCAST_BUDGET: u32 = 4;
+const REPS: usize = 5;
+
+/// Global clone counter; both engines run the same payload type, so any
+/// copy made anywhere — eager expansion, heap churn, actor code — is
+/// observed here.
+static CLONES: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+struct Payload(Vec<u64>);
+
+impl Payload {
+    fn fresh(tag: u64) -> Self {
+        Payload((0..PAYLOAD_WORDS as u64).map(|i| tag ^ i).collect())
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        Payload(self.0.clone())
+    }
+}
+
+/// The workload actor: broadcast on start, then rebroadcast each received
+/// payload until the per-process budget is spent.
+struct Gossip {
+    budget: u32,
+    received: u64,
+}
+
+impl Gossip {
+    fn new() -> Self {
+        Gossip {
+            budget: REBROADCAST_BUDGET,
+            received: 0,
+        }
+    }
+
+    fn react(&mut self, msg: &Payload) -> Option<Payload> {
+        self.received = self.received.wrapping_add(msg.0[0]);
+        if self.budget > 0 {
+            self.budget -= 1;
+            Some(Payload::fresh(self.received))
+        } else {
+            None
+        }
+    }
+}
+
+impl Actor for Gossip {
+    type Msg = Payload;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+        ctx.broadcast(Payload::fresh(ctx.me().index() as u64));
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: &Payload, ctx: &mut Context<'_, Payload>) {
+        if let Some(reply) = self.react(msg) {
+            ctx.broadcast(reply);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine: the pre-slab delivery core, reproduced verbatim in shape.
+// Broadcast expansion clones the payload per recipient at *send* time and
+// every heap entry carries its payload.
+
+struct LegacyEntry {
+    deliver_at: Time,
+    seq: u64,
+    /// Unused by the workload but kept so the entry matches the pre-slab
+    /// heap layout byte for byte — entry weight is what is being measured.
+    #[allow(dead_code)]
+    from: ProcessId,
+    to: ProcessId,
+    depth: StepDepth,
+    payload: Payload,
+}
+
+impl PartialEq for LegacyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for LegacyEntry {}
+impl PartialOrd for LegacyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LegacyEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .cmp(&other.deliver_at)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct LegacySim {
+    actors: Vec<Gossip>,
+    queue: BinaryHeap<Reverse<LegacyEntry>>,
+    now: Time,
+    seq: u64,
+    rng: StdRng,
+    delay: DelayModel,
+    multicasts: u64,
+}
+
+impl LegacySim {
+    fn new(n: usize, seed: u64, delay: DelayModel) -> Self {
+        LegacySim {
+            actors: (0..n).map(|_| Gossip::new()).collect(),
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            delay,
+            multicasts: 0,
+        }
+    }
+
+    /// Eager expansion: one clone per recipient, pushed straight onto the
+    /// delivery heap — the pre-slab `Context::broadcast` semantics.
+    fn broadcast(&mut self, from: ProcessId, depth: StepDepth, payload: Payload) {
+        self.multicasts += 1;
+        let n = self.actors.len();
+        for i in 0..n {
+            let to = ProcessId::new(i);
+            let delay = self.delay.sample(&mut self.rng, from, to);
+            self.seq += 1;
+            self.queue.push(Reverse(LegacyEntry {
+                deliver_at: self.now + delay,
+                seq: self.seq,
+                from,
+                to,
+                depth,
+                payload: payload.clone(),
+            }));
+        }
+    }
+
+    /// Runs the gossip workload to quiescence; returns deliveries.
+    fn run(&mut self) -> u64 {
+        let n = self.actors.len();
+        for i in 0..n {
+            let p = Payload::fresh(i as u64);
+            self.broadcast(ProcessId::new(i), StepDepth::ONE, p);
+        }
+        let mut delivered = 0;
+        while let Some(Reverse(entry)) = self.queue.pop() {
+            self.now = entry.deliver_at;
+            delivered += 1;
+            let reply = self.actors[entry.to.index()].react(&entry.payload);
+            if let Some(p) = reply {
+                self.broadcast(entry.to, entry.depth.next(), p);
+            }
+        }
+        delivered
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+struct Engine {
+    ns_per_delivery: f64,
+    delivered: u64,
+    multicasts: u64,
+    clones: u64,
+}
+
+impl Engine {
+    fn clones_per_multicast(&self) -> f64 {
+        self.clones as f64 / self.multicasts as f64
+    }
+}
+
+fn best_of<F: FnMut() -> (u64, u64, u64)>(mut run: F) -> Engine {
+    let mut best = f64::INFINITY;
+    let (mut delivered, mut multicasts, mut clones) = (0, 0, 0);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (d, m, c) = run();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        black_box(d);
+        best = best.min(elapsed / d as f64);
+        (delivered, multicasts, clones) = (d, m, c);
+    }
+    Engine {
+        ns_per_delivery: best,
+        delivered,
+        multicasts,
+        clones,
+    }
+}
+
+fn measure(n: usize) -> (Engine, Engine) {
+    let delay = DelayModel::Uniform { min: 1, max: 20 };
+    let legacy = best_of(|| {
+        let before = CLONES.load(Ordering::Relaxed);
+        let mut sim = LegacySim::new(n, 42, delay.clone());
+        let delivered = sim.run();
+        let clones = CLONES.load(Ordering::Relaxed) - before;
+        (delivered, sim.multicasts, clones)
+    });
+    let fastpath = best_of(|| {
+        let before = CLONES.load(Ordering::Relaxed);
+        let mut sim = Simulation::new((0..n).map(|_| Gossip::new()).collect(), 42, delay.clone());
+        let out = sim.run(u64::MAX);
+        assert!(out.quiescent);
+        let stats = sim.stats();
+        assert_eq!(
+            stats.payload_clones, 0,
+            "network-level clones on the fast path"
+        );
+        let clones = CLONES.load(Ordering::Relaxed) - before;
+        (out.delivered, stats.multicasts, clones)
+    });
+    // Same workload, same budget: both engines must do identical logical work.
+    assert_eq!(legacy.delivered, fastpath.delivered, "n = {n}");
+    assert_eq!(legacy.multicasts, fastpath.multicasts, "n = {n}");
+    (legacy, fastpath)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simnet.json".to_string());
+
+    println!("== Simnet delivery-core benchmark (ns/delivered message, best of {REPS})\n");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "n", "delivered", "legacy", "fastpath", "speedup", "legacy cl/mc", "fast cl/mc"
+    );
+    let rows: Vec<(usize, Engine, Engine)> = SIZES
+        .iter()
+        .map(|&n| {
+            let (l, f) = measure(n);
+            (n, l, f)
+        })
+        .collect();
+    for (n, l, f) in &rows {
+        println!(
+            "{:>5} {:>10} {:>12.1} {:>12.1} {:>8.2}x {:>14.2} {:>14.2}",
+            n,
+            l.delivered,
+            l.ns_per_delivery,
+            f.ns_per_delivery,
+            l.ns_per_delivery / f.ns_per_delivery,
+            l.clones_per_multicast(),
+            f.clones_per_multicast(),
+        );
+    }
+    let min_speedup = rows
+        .iter()
+        .map(|(_, l, f)| l.ns_per_delivery / f.ns_per_delivery)
+        .fold(f64::INFINITY, f64::min);
+    let max_speedup = rows
+        .iter()
+        .map(|(_, l, f)| l.ns_per_delivery / f.ns_per_delivery)
+        .fold(0.0, f64::max);
+    println!("\ndelivery speedup: {min_speedup:.2}x – {max_speedup:.2}x (target ≥ 1.5x at n ≥ 43)");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"simnet\",\n");
+    json.push_str("  \"unit\": \"ns_per_delivered_message\",\n");
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {},\n", PAYLOAD_WORDS * 8));
+    json.push_str(&format!("  \"min_speedup\": {min_speedup:.2},\n"));
+    json.push_str(&format!("  \"max_speedup\": {max_speedup:.2},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (n, l, f)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"delivered\": {}, \"legacy_ns\": {:.2}, \"fastpath_ns\": {:.2}, \
+             \"speedup\": {:.2}, \"legacy_clones_per_multicast\": {:.2}, \
+             \"fastpath_clones_per_multicast\": {:.2}}}{}\n",
+            n,
+            l.delivered,
+            l.ns_per_delivery,
+            f.ns_per_delivery,
+            l.ns_per_delivery / f.ns_per_delivery,
+            l.clones_per_multicast(),
+            f.clones_per_multicast(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("[json written to {out_path}]"),
+        Err(e) => {
+            eprintln!("[json not written: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

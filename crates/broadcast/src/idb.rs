@@ -95,11 +95,13 @@ impl<K: InstanceKey, V: Value> IdenticalBroadcast<K, V> {
     }
 
     /// Handles one received protocol message, returning the actions to
-    /// perform. `from` must be the authenticated network-level sender.
+    /// perform. `from` must be the authenticated network-level sender. The
+    /// message is borrowed (multicast payloads are shared by the network
+    /// layer); the machine clones only what it stores.
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: IdbMessage<K, V>,
+        msg: &IdbMessage<K, V>,
     ) -> Vec<Action<K, IdbMessage<K, V>, V>> {
         match msg {
             IdbMessage::Init { key, value } => self.on_init(from, key, value),
@@ -123,8 +125,8 @@ impl<K: InstanceKey, V: Value> IdenticalBroadcast<K, V> {
     fn on_init(
         &mut self,
         from: ProcessId,
-        key: K,
-        value: V,
+        key: &K,
+        value: &V,
     ) -> Vec<Action<K, IdbMessage<K, V>, V>> {
         // Only the instance's origin may open it; anything else is a forgery
         // (possible only from Byzantine processes) and is ignored.
@@ -136,22 +138,31 @@ impl<K: InstanceKey, V: Value> IdenticalBroadcast<K, V> {
             return Vec::new(); // first-echo(j) guard
         }
         state.echoed = true;
-        vec![Action::Broadcast(IdbMessage::Echo { key, value })]
+        vec![Action::Broadcast(IdbMessage::Echo {
+            key: key.clone(),
+            value: value.clone(),
+        })]
     }
 
     fn on_echo(
         &mut self,
         from: ProcessId,
-        key: K,
-        value: V,
+        key: &K,
+        value: &V,
     ) -> Vec<Action<K, IdbMessage<K, V>, V>> {
         let state = self.instances.entry(key.clone()).or_default();
-        state
-            .witnesses
-            .entry(value.clone())
-            .or_default()
-            .insert(from);
-        let num = state.witnesses[&value].len();
+        // Clone the value only for the first witness of a distinct value;
+        // the all-to-all echo flood then only inserts sender ids.
+        let num = match state.witnesses.get_mut(value) {
+            Some(set) => {
+                set.insert(from);
+                set.len()
+            }
+            None => {
+                state.witnesses.insert(value.clone(), HashSet::from([from]));
+                1
+            }
+        };
         let mut actions = Vec::new();
         if num >= self.config.echo_threshold() && !state.echoed {
             // Witness amplification: enough echoes convince us even without
@@ -164,9 +175,11 @@ impl<K: InstanceKey, V: Value> IdenticalBroadcast<K, V> {
         }
         if num >= self.config.quorum() && !state.accepted {
             // first-accept(j) guard.
-            let state = self.instances.get_mut(&key).expect("state exists");
             state.accepted = true;
-            actions.push(Action::Deliver { key, value });
+            actions.push(Action::Deliver {
+                key: key.clone(),
+                value: value.clone(),
+            });
         }
         actions
     }
@@ -201,10 +214,10 @@ mod tests {
     fn init_from_origin_triggers_single_echo() {
         let mut idb = Idb::new(cfg(5, 1));
         let init = Idb::id_send(p(0), 7);
-        let a1 = idb.on_message(p(0), init.clone());
+        let a1 = idb.on_message(p(0), &init);
         assert_eq!(a1, vec![Act::Broadcast(echo(0, 7))]);
         // Duplicate init: first-echo guard suppresses a second echo.
-        let a2 = idb.on_message(p(0), init);
+        let a2 = idb.on_message(p(0), &init);
         assert!(a2.is_empty());
     }
 
@@ -216,7 +229,7 @@ mod tests {
             key: p(0),
             value: 9,
         };
-        assert!(idb.on_message(p(3), forged).is_empty());
+        assert!(idb.on_message(p(3), &forged).is_empty());
         assert_eq!(idb.witness_count(&p(0), &9), 0);
     }
 
@@ -224,9 +237,9 @@ mod tests {
     fn amplification_at_n_minus_2t() {
         // n = 5, t = 1: n − 2t = 3 echoes make us echo without an init.
         let mut idb = Idb::new(cfg(5, 1));
-        assert!(idb.on_message(p(1), echo(0, 7)).is_empty());
-        assert!(idb.on_message(p(2), echo(0, 7)).is_empty());
-        let a = idb.on_message(p(3), echo(0, 7));
+        assert!(idb.on_message(p(1), &echo(0, 7)).is_empty());
+        assert!(idb.on_message(p(2), &echo(0, 7)).is_empty());
+        let a = idb.on_message(p(3), &echo(0, 7));
         assert_eq!(a, vec![Act::Broadcast(echo(0, 7))]);
     }
 
@@ -235,16 +248,16 @@ mod tests {
         // n = 5, t = 1: n − t = 4 echoes accept.
         let mut idb = Idb::new(cfg(5, 1));
         for i in 1..4 {
-            idb.on_message(p(i), echo(0, 7));
+            idb.on_message(p(i), &echo(0, 7));
         }
-        let a = idb.on_message(p(4), echo(0, 7));
+        let a = idb.on_message(p(4), &echo(0, 7));
         assert!(a.contains(&Act::Deliver {
             key: p(0),
             value: 7
         }));
         assert!(idb.has_accepted(&p(0)));
         // A fifth echo changes nothing: first-accept guard.
-        let a2 = idb.on_message(p(0), echo(0, 7));
+        let a2 = idb.on_message(p(0), &echo(0, 7));
         assert!(a2.is_empty());
     }
 
@@ -252,7 +265,7 @@ mod tests {
     fn duplicate_echoes_from_same_witness_count_once() {
         let mut idb = Idb::new(cfg(5, 1));
         for _ in 0..10 {
-            idb.on_message(p(1), echo(0, 7));
+            idb.on_message(p(1), &echo(0, 7));
         }
         assert_eq!(idb.witness_count(&p(0), &7), 1);
         assert!(!idb.has_accepted(&p(0)));
@@ -261,8 +274,8 @@ mod tests {
     #[test]
     fn conflicting_echo_values_are_tracked_separately() {
         let mut idb = Idb::new(cfg(9, 2));
-        idb.on_message(p(1), echo(0, 7));
-        idb.on_message(p(2), echo(0, 8));
+        idb.on_message(p(1), &echo(0, 7));
+        idb.on_message(p(2), &echo(0, 8));
         assert_eq!(idb.witness_count(&p(0), &7), 1);
         assert_eq!(idb.witness_count(&p(0), &8), 1);
     }
@@ -271,9 +284,9 @@ mod tests {
     fn echo_after_amplified_echo_is_suppressed() {
         // Once we echoed (via init), amplification must not echo again.
         let mut idb = Idb::new(cfg(5, 1));
-        idb.on_message(p(0), Idb::id_send(p(0), 7));
+        idb.on_message(p(0), &Idb::id_send(p(0), 7));
         for i in 1..4 {
-            let a = idb.on_message(p(i), echo(0, 7));
+            let a = idb.on_message(p(i), &echo(0, 7));
             for act in &a {
                 assert!(!matches!(act, Act::Broadcast(_)), "unexpected re-echo");
             }
@@ -286,7 +299,7 @@ mod tests {
         let k1 = (p(0), 1u32);
         let k2 = (p(0), 2u32);
         for i in 1..=4 {
-            idb.on_message(p(i), IdbMessage::Echo { key: k1, value: 7 });
+            idb.on_message(p(i), &IdbMessage::Echo { key: k1, value: 7 });
         }
         assert!(idb.has_accepted(&k1));
         assert!(!idb.has_accepted(&k2));
@@ -300,7 +313,7 @@ mod tests {
         let mut idb = Idb::new(cfg(9, 2));
         let mut delivered = false;
         for i in 1..=7 {
-            for act in idb.on_message(p(i), echo(0, 3)) {
+            for act in idb.on_message(p(i), &echo(0, 3)) {
                 if matches!(act, Act::Deliver { .. }) {
                     delivered = true;
                 }

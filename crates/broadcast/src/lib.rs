@@ -43,7 +43,7 @@
 //! let init = IdenticalBroadcast::<ProcessId, u64>::id_send(ProcessId::new(0), 7);
 //!
 //! // Our process receives the init from p0 and echoes.
-//! let actions = idb.on_message(ProcessId::new(0), init.clone());
+//! let actions = idb.on_message(ProcessId::new(0), &init);
 //! assert!(matches!(actions[0], Action::Broadcast(_)));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

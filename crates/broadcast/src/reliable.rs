@@ -49,6 +49,26 @@ struct InstanceState<V> {
     readies: HashMap<V, HashSet<ProcessId>>,
 }
 
+/// Records `from` as a witness for `value` and returns the resulting count.
+/// Clones the value only for the first witness of a distinct value, so the
+/// all-to-all flood only inserts sender ids.
+fn witness<V: Value>(
+    map: &mut HashMap<V, HashSet<ProcessId>>,
+    value: &V,
+    from: ProcessId,
+) -> usize {
+    match map.get_mut(value) {
+        Some(set) => {
+            set.insert(from);
+            set.len()
+        }
+        None => {
+            map.insert(value.clone(), HashSet::from([from]));
+            1
+        }
+    }
+}
+
 impl<V> Default for InstanceState<V> {
     fn default() -> Self {
         InstanceState {
@@ -113,11 +133,13 @@ impl<K: InstanceKey, V: Value> ReliableBroadcast<K, V> {
     }
 
     /// Handles one received protocol message. `from` must be the
-    /// authenticated network-level sender.
+    /// authenticated network-level sender. The message is borrowed
+    /// (multicast payloads are shared by the network layer); the machine
+    /// clones only what it stores.
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: RbMessage<K, V>,
+        msg: &RbMessage<K, V>,
     ) -> Vec<Action<K, RbMessage<K, V>, V>> {
         match msg {
             RbMessage::Init { key, value } => {
@@ -129,23 +151,27 @@ impl<K: InstanceKey, V: Value> ReliableBroadcast<K, V> {
                     return Vec::new();
                 }
                 state.echoed = true;
-                vec![Action::Broadcast(RbMessage::Echo { key, value })]
+                vec![Action::Broadcast(RbMessage::Echo {
+                    key: key.clone(),
+                    value: value.clone(),
+                })]
             }
             RbMessage::Echo { key, value } => {
                 let echo_quorum = self.echo_quorum();
                 let state = self.instances.entry(key.clone()).or_default();
-                state.echoes.entry(value.clone()).or_default().insert(from);
-                let num = state.echoes[&value].len();
+                let num = witness(&mut state.echoes, value, from);
                 if num >= echo_quorum && !state.readied {
                     state.readied = true;
-                    return vec![Action::Broadcast(RbMessage::Ready { key, value })];
+                    return vec![Action::Broadcast(RbMessage::Ready {
+                        key: key.clone(),
+                        value: value.clone(),
+                    })];
                 }
                 Vec::new()
             }
             RbMessage::Ready { key, value } => {
                 let state = self.instances.entry(key.clone()).or_default();
-                state.readies.entry(value.clone()).or_default().insert(from);
-                let num = state.readies[&value].len();
+                let num = witness(&mut state.readies, value, from);
                 let mut actions = Vec::new();
                 // Thresholds written as in the literature (t + 1, 2t + 1).
                 #[allow(clippy::int_plus_one)]
@@ -157,9 +183,11 @@ impl<K: InstanceKey, V: Value> ReliableBroadcast<K, V> {
                     }));
                 }
                 if num >= 2 * self.config.t() + 1 && !state.delivered {
-                    let state = self.instances.get_mut(&key).expect("state exists");
                     state.delivered = true;
-                    actions.push(Action::Deliver { key, value });
+                    actions.push(Action::Deliver {
+                        key: key.clone(),
+                        value: value.clone(),
+                    });
                 }
                 actions
             }
@@ -193,9 +221,9 @@ mod tests {
     #[test]
     fn init_triggers_echo_once() {
         let mut m = rb(4, 1);
-        let a = m.on_message(p(0), Rb::rb_send(p(0), 5));
+        let a = m.on_message(p(0), &Rb::rb_send(p(0), 5));
         assert_eq!(a, vec![Act::Broadcast(echo(5))]);
-        assert!(m.on_message(p(0), Rb::rb_send(p(0), 5)).is_empty());
+        assert!(m.on_message(p(0), &Rb::rb_send(p(0), 5)).is_empty());
     }
 
     #[test]
@@ -204,7 +232,7 @@ mod tests {
         assert!(m
             .on_message(
                 p(2),
-                RbMessage::Init {
+                &RbMessage::Init {
                     key: p(0),
                     value: 5
                 }
@@ -216,40 +244,40 @@ mod tests {
     fn ready_after_echo_quorum() {
         // n = 4, t = 1: echo quorum = (4+1)/2 + 1 = 3.
         let mut m = rb(4, 1);
-        assert!(m.on_message(p(1), echo(5)).is_empty());
-        assert!(m.on_message(p(2), echo(5)).is_empty());
-        let a = m.on_message(p(3), echo(5));
+        assert!(m.on_message(p(1), &echo(5)).is_empty());
+        assert!(m.on_message(p(2), &echo(5)).is_empty());
+        let a = m.on_message(p(3), &echo(5));
         assert_eq!(a, vec![Act::Broadcast(ready(5))]);
     }
 
     #[test]
     fn ready_amplification_at_t_plus_one() {
         let mut m = rb(4, 1);
-        assert!(m.on_message(p(1), ready(5)).is_empty());
-        let a = m.on_message(p(2), ready(5));
+        assert!(m.on_message(p(1), &ready(5)).is_empty());
+        let a = m.on_message(p(2), &ready(5));
         assert_eq!(a, vec![Act::Broadcast(ready(5))]);
     }
 
     #[test]
     fn delivery_at_2t_plus_one_readies_once() {
         let mut m = rb(4, 1);
-        m.on_message(p(1), ready(5));
-        m.on_message(p(2), ready(5));
-        let a = m.on_message(p(3), ready(5));
+        m.on_message(p(1), &ready(5));
+        m.on_message(p(2), &ready(5));
+        let a = m.on_message(p(3), &ready(5));
         assert!(a.contains(&Act::Deliver {
             key: p(0),
             value: 5
         }));
         assert!(m.has_delivered(&p(0)));
-        assert!(m.on_message(p(0), ready(5)).is_empty());
+        assert!(m.on_message(p(0), &ready(5)).is_empty());
     }
 
     #[test]
     fn conflicting_values_do_not_mix_counts() {
         let mut m = rb(7, 2);
-        m.on_message(p(1), ready(5));
-        m.on_message(p(2), ready(6));
-        m.on_message(p(3), ready(5));
+        m.on_message(p(1), &ready(5));
+        m.on_message(p(2), &ready(6));
+        m.on_message(p(3), &ready(5));
         // 2 readies for 5 and 1 for 6: amplification threshold is t+1 = 3,
         // so nothing fires yet.
         assert!(!m.has_delivered(&p(0)));

@@ -72,7 +72,7 @@ proptest! {
                     IdbMessage::Echo { key: ProcessId::new(origin), value },
                 ),
             };
-            for action in idb.on_message(from, msg) {
+            for action in idb.on_message(from, &msg) {
                 match action {
                     Action::Broadcast(IdbMessage::Echo { key, .. }) => echoes_sent.push(key),
                     Action::Broadcast(IdbMessage::Init { .. }) => {
@@ -123,7 +123,7 @@ proptest! {
                     RbMessage::Ready { key: ProcessId::new(origin), value },
                 ),
             };
-            for action in rb.on_message(from, msg) {
+            for action in rb.on_message(from, &msg) {
                 match action {
                     Action::Broadcast(RbMessage::Ready { key, .. }) => readies.push(key),
                     Action::Broadcast(RbMessage::Echo { .. }) => {}
@@ -169,7 +169,7 @@ proptest! {
         let mut db = std::collections::HashMap::new();
         for input in &inputs {
             let (from, msg) = to_msg(input);
-            for action in a.on_message(from, msg) {
+            for action in a.on_message(from, &msg) {
                 if let Action::Deliver { key, value } = action {
                     da.insert(key, value);
                 }
@@ -179,7 +179,7 @@ proptest! {
         for idx in &order {
             let input = idx.get(&inputs);
             let (from, msg) = to_msg(input);
-            for action in b.on_message(from, msg) {
+            for action in b.on_message(from, &msg) {
                 if let Action::Deliver { key, value } = action {
                     db.insert(key, value);
                 }

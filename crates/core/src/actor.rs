@@ -4,7 +4,7 @@ use crate::process::{DecisionPath, DexMsg, DexProcess};
 use dex_conditions::LegalityPair;
 use dex_simnet::{Actor, Context, Time};
 use dex_types::{ProcessId, StepDepth, Value};
-use dex_underlying::{Dest, Outbox, UnderlyingConsensus};
+use dex_underlying::{Outbox, UnderlyingConsensus};
 
 /// A decision as observed inside a simulation run.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -68,10 +68,7 @@ where
 
     fn flush(out: &mut Outbox<DexMsg<V, U::Msg>>, ctx: &mut Context<'_, DexMsg<V, U::Msg>>) {
         for (dest, m) in out.drain() {
-            match dest {
-                Dest::All => ctx.broadcast(m),
-                Dest::To(p) => ctx.send(p, m),
-            }
+            ctx.send_dest(dest, m);
         }
     }
 }
@@ -91,7 +88,7 @@ where
         Self::flush(&mut out, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         let mut out = Outbox::new();
         let decision = self.process.on_message(from, msg, ctx.rng(), &mut out);
         Self::flush(&mut out, ctx);

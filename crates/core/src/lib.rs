@@ -47,7 +47,7 @@
 //! // n − t = 6 entries of 42, margin 6 > 4t = 4 ⇒ one-step decision.
 //! let mut decision = None;
 //! for j in 1..6 {
-//!     decision = p0.on_message(ProcessId::new(j), DexMsg::Proposal(42), &mut rng, &mut out);
+//!     decision = p0.on_message(ProcessId::new(j), &DexMsg::Proposal(42), &mut rng, &mut out);
 //!     if decision.is_some() { break; }
 //! }
 //! let d = decision.expect("one-step decision fires at n - t unanimous proposals");

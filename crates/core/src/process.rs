@@ -222,7 +222,7 @@ where
     pub fn on_message(
         &mut self,
         from: ProcessId,
-        msg: DexMsg<V, U::Msg>,
+        msg: &DexMsg<V, U::Msg>,
         rng: &mut StdRng,
         out: &mut Outbox<DexMsg<V, U::Msg>>,
     ) -> Option<Decision<V>> {
@@ -234,7 +234,7 @@ where
     }
 
     /// Lines 5–9: update `J1`, then try the one-step decision.
-    fn on_proposal(&mut self, from: ProcessId, v: V) -> Option<Decision<V>> {
+    fn on_proposal(&mut self, from: ProcessId, v: &V) -> Option<Decision<V>> {
         // First value wins: a Byzantine process may P-Send repeatedly with
         // different values; re-writing the entry would let it steer the view
         // after we have evaluated predicates on it.
@@ -243,10 +243,10 @@ where
                 self.obs.record(EventKind::ViewSet {
                     view: ViewTag::J1,
                     origin: from.index() as u16,
-                    code: obs_code(&v),
+                    code: obs_code(v),
                 });
             }
-            self.j1.set(from, v);
+            self.j1.set(from, v.clone());
         }
         // Line 7's adaptive re-check, gated: the gate skips the predicate
         // until |J1| ≥ n − t and, after each failed test, until the tally
@@ -282,12 +282,12 @@ where
     fn on_idb(
         &mut self,
         from: ProcessId,
-        msg: IdbMessage<ProcessId, V>,
+        msg: &IdbMessage<ProcessId, V>,
         rng: &mut StdRng,
         out: &mut Outbox<DexMsg<V, U::Msg>>,
     ) -> Option<Decision<V>> {
         if self.obs.is_active() {
-            match &msg {
+            match msg {
                 IdbMessage::Init { key, value } => self.obs.record(EventKind::IdbInit {
                     origin: key.index() as u16,
                     code: obs_code(value),
@@ -367,7 +367,7 @@ where
     fn on_uc(
         &mut self,
         from: ProcessId,
-        msg: U::Msg,
+        msg: &U::Msg,
         rng: &mut StdRng,
         out: &mut Outbox<DexMsg<V, U::Msg>>,
     ) -> Option<Decision<V>> {
@@ -420,14 +420,10 @@ where
 }
 
 /// Wraps underlying-consensus outbox messages into `DexMsg::Uc`, draining
-/// in place so the UC scratch outbox keeps its buffer.
+/// in place so both the UC scratch outbox and the destination keep their
+/// buffers.
 fn forward_uc<V, U>(uc_out: &mut Outbox<U>, out: &mut Outbox<DexMsg<V, U>>) {
-    for (dest, m) in uc_out.drain_iter() {
-        match dest {
-            dex_underlying::Dest::All => out.broadcast(DexMsg::Uc(m)),
-            dex_underlying::Dest::To(p) => out.send(p, DexMsg::Uc(m)),
-        }
-    }
+    uc_out.map_drain_into(out, DexMsg::Uc);
 }
 
 #[cfg(test)]
@@ -484,7 +480,7 @@ mod tests {
         proc.propose(5, &mut rng(), &mut out);
         let mut decision = None;
         for j in 1..6 {
-            decision = proc.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+            decision = proc.on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out);
         }
         let d = decision.expect("6 unanimous entries, margin 6 > 4");
         assert_eq!(d.value, 5);
@@ -499,7 +495,7 @@ mod tests {
         proc.propose(5, &mut rng(), &mut out);
         for j in 1..5 {
             // Only 5 entries total: |J1| = 5 < 6 = n − t.
-            let d = proc.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+            let d = proc.on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out);
             assert!(d.is_none());
         }
     }
@@ -514,14 +510,14 @@ mod tests {
         proc.propose(5, &mut rng(), &mut out);
         for j in 1..5 {
             assert!(proc
-                .on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out)
+                .on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out)
                 .is_none());
         }
         assert!(proc
-            .on_message(p(5), DexMsg::Proposal(9), &mut rng(), &mut out)
+            .on_message(p(5), &DexMsg::Proposal(9), &mut rng(), &mut out)
             .is_none()); // |J1| = 6, margin 5 - 1 = 4, not enough
         let d = proc
-            .on_message(p(6), DexMsg::Proposal(5), &mut rng(), &mut out)
+            .on_message(p(6), &DexMsg::Proposal(5), &mut rng(), &mut out)
             .expect("margin 6 - 1 = 5 > 4");
         assert_eq!(d.path, DecisionPath::OneStep);
         assert_eq!(d.value, 5);
@@ -532,8 +528,8 @@ mod tests {
         let mut proc = freq_process(7, 1, 0);
         let mut out: Out = Outbox::new();
         proc.propose(5, &mut rng(), &mut out);
-        proc.on_message(p(1), DexMsg::Proposal(5), &mut rng(), &mut out);
-        proc.on_message(p(1), DexMsg::Proposal(9), &mut rng(), &mut out);
+        proc.on_message(p(1), &DexMsg::Proposal(5), &mut rng(), &mut out);
+        proc.on_message(p(1), &DexMsg::Proposal(9), &mut rng(), &mut out);
         assert_eq!(proc.j1().get(p(1)), Some(&5), "first value wins");
     }
 
@@ -544,7 +540,7 @@ mod tests {
         for echoer in 0..7 {
             let d = proc.on_message(
                 p(echoer),
-                DexMsg::Idb(IdbMessage::Echo {
+                &DexMsg::Idb(IdbMessage::Echo {
                     key: p(origin),
                     value: v,
                 }),
@@ -596,7 +592,7 @@ mod tests {
         let mut out: Out = Outbox::new();
         proc.propose(5, &mut rng(), &mut out);
         for j in 1..6 {
-            proc.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+            proc.on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out);
         }
         assert_eq!(proc.decision().unwrap().path, DecisionPath::OneStep);
         out.drain();
@@ -613,7 +609,12 @@ mod tests {
         proc.propose(5, &mut rng(), &mut out);
         // UC decide arrives from the coordinator.
         let d = proc
-            .on_message(p(0), DexMsg::Uc(OracleMsg::Decide(8)), &mut rng(), &mut out)
+            .on_message(
+                p(0),
+                &DexMsg::Uc(OracleMsg::Decide(8)),
+                &mut rng(),
+                &mut out,
+            )
             .expect("adopt UC decision");
         assert_eq!(d.path, DecisionPath::Underlying);
         assert_eq!(d.value, 8);
@@ -625,10 +626,15 @@ mod tests {
         let mut out: Out = Outbox::new();
         proc.propose(5, &mut rng(), &mut out);
         for j in 2..7 {
-            proc.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+            proc.on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out);
         }
         assert_eq!(proc.decision().unwrap().path, DecisionPath::OneStep);
-        let d = proc.on_message(p(0), DexMsg::Uc(OracleMsg::Decide(8)), &mut rng(), &mut out);
+        let d = proc.on_message(
+            p(0),
+            &DexMsg::Uc(OracleMsg::Decide(8)),
+            &mut rng(),
+            &mut out,
+        );
         assert!(d.is_none());
         assert_eq!(proc.decision().unwrap().value, 5);
     }
@@ -646,7 +652,7 @@ mod tests {
         proc.propose(1, &mut rng(), &mut out);
         let mut decision = None;
         for j in 1..5 {
-            decision = proc.on_message(p(j), DexMsg::Proposal(1), &mut rng(), &mut out);
+            decision = proc.on_message(p(j), &DexMsg::Proposal(1), &mut rng(), &mut out);
         }
         // #m(J1) = 5 > 3t = 3 ⇒ one-step.
         let d = decision.expect("P1_prv fires");

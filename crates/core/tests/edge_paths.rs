@@ -41,7 +41,7 @@ fn idb_all_echoes(
     for echoer in 0..7 {
         if let Some(d) = proc_.on_message(
             p(echoer),
-            DexMsg::Idb(IdbMessage::Echo {
+            &DexMsg::Idb(IdbMessage::Echo {
                 key: p(origin),
                 value: v,
             }),
@@ -61,7 +61,7 @@ fn messages_before_propose_are_processed() {
     let mut pr = proc(0);
     let mut out: Out = Outbox::new();
     for j in 1..7 {
-        pr.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+        pr.on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out);
     }
     // 6 entries without our own: quorum reached, P1 margin 6 > 4.
     let d = pr.decision().expect("decided before proposing");
@@ -96,7 +96,7 @@ fn byzantine_double_init_cannot_corrupt_j2() {
     for echoer in 1..4 {
         pr.on_message(
             p(echoer),
-            DexMsg::Idb(IdbMessage::Echo {
+            &DexMsg::Idb(IdbMessage::Echo {
                 key: p(6),
                 value: 1,
             }),
@@ -107,7 +107,7 @@ fn byzantine_double_init_cannot_corrupt_j2() {
     for echoer in 4..7 {
         pr.on_message(
             p(echoer),
-            DexMsg::Idb(IdbMessage::Echo {
+            &DexMsg::Idb(IdbMessage::Echo {
                 key: p(6),
                 value: 2,
             }),
@@ -126,12 +126,17 @@ fn uc_decide_before_any_view_quorum() {
     let mut out: Out = Outbox::new();
     pr.propose(5, &mut rng(), &mut out);
     let d = pr
-        .on_message(p(0), DexMsg::Uc(OracleMsg::Decide(8)), &mut rng(), &mut out)
+        .on_message(
+            p(0),
+            &DexMsg::Uc(OracleMsg::Decide(8)),
+            &mut rng(),
+            &mut out,
+        )
         .expect("adopt UC decision");
     assert_eq!(d.path, DecisionPath::Underlying);
     // Later view completions do not override it.
     for j in 1..7 {
-        pr.on_message(p(j), DexMsg::Proposal(5), &mut rng(), &mut out);
+        pr.on_message(p(j), &DexMsg::Proposal(5), &mut rng(), &mut out);
     }
     assert_eq!(pr.decision().unwrap().value, 8);
 }
@@ -144,7 +149,7 @@ fn forged_uc_decide_is_ignored() {
     assert!(pr
         .on_message(
             p(6),
-            DexMsg::Uc(OracleMsg::Decide(666)),
+            &DexMsg::Uc(OracleMsg::Decide(666)),
             &mut rng(),
             &mut out
         )

@@ -60,7 +60,7 @@ impl Actor for Node {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Msg, ctx: &mut Context<'_, Msg>) {
         match self {
             Node::Correct {
                 machine, delivered, ..
@@ -79,7 +79,13 @@ impl Actor for Node {
                     let n = ctx.n();
                     for i in 0..n {
                         let v = if i % 2 == 0 { 666 } else { 777 };
-                        ctx.send(ProcessId::new(i), IdbMessage::Echo { key, value: v });
+                        ctx.send(
+                            ProcessId::new(i),
+                            IdbMessage::Echo {
+                                key: *key,
+                                value: v,
+                            },
+                        );
                     }
                 }
             }

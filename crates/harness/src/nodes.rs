@@ -73,7 +73,7 @@ impl Actor for DexNode {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         match self {
             DexNode::Freq(a) => a.on_message(from, msg, ctx),
             DexNode::Prv(a) => a.on_message(from, msg, ctx),
@@ -125,7 +125,7 @@ impl Actor for BoscoNode {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         match self {
             BoscoNode::Correct(a) => a.on_message(from, msg, ctx),
             BoscoNode::Byz(a) => a.on_message(from, msg, ctx),
@@ -179,7 +179,7 @@ impl Actor for CrashNode {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         match self {
             CrashNode::Correct(a) => a.on_message(from, msg, ctx),
             CrashNode::Byz(a) => a.on_message(from, msg, ctx),
@@ -229,7 +229,7 @@ impl Actor for PlainNode {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         match self {
             PlainNode::Correct(a) => a.on_message(from, msg, ctx),
             PlainNode::Byz(a) => a.on_message(from, msg, ctx),

@@ -2,7 +2,7 @@
 
 use dex_types::{ProcessId, SystemConfig};
 use dex_underlying::{
-    CoinMode, Dest, MvcMsg, OracleConsensus, OracleMsg, Outbox, ReducedMvc, UnderlyingConsensus,
+    CoinMode, MvcMsg, OracleConsensus, OracleMsg, Outbox, ReducedMvc, UnderlyingConsensus,
 };
 use rand::rngs::StdRng;
 
@@ -48,12 +48,7 @@ impl AnyUc {
 }
 
 fn forward<M>(mut sub: Outbox<M>, out: &mut Outbox<AnyUcMsg>, wrap: impl Fn(M) -> AnyUcMsg) {
-    for (dest, m) in sub.drain() {
-        match dest {
-            Dest::All => out.broadcast(wrap(m)),
-            Dest::To(p) => out.send(p, wrap(m)),
-        }
-    }
+    sub.map_drain_into(out, wrap);
 }
 
 impl UnderlyingConsensus<u64> for AnyUc {
@@ -84,7 +79,7 @@ impl UnderlyingConsensus<u64> for AnyUc {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: AnyUcMsg,
+        msg: &AnyUcMsg,
         rng: &mut StdRng,
         out: &mut Outbox<AnyUcMsg>,
     ) {
@@ -127,7 +122,7 @@ mod tests {
         assert_eq!(uc.name(), "oracle");
         uc.on_message(
             ProcessId::new(0),
-            AnyUcMsg::Oracle(OracleMsg::Decide(5)),
+            &AnyUcMsg::Oracle(OracleMsg::Decide(5)),
             &mut rng,
             &mut out,
         );
@@ -143,7 +138,7 @@ mod tests {
         // A Byzantine process sends MVC traffic at an oracle endpoint.
         uc.on_message(
             ProcessId::new(3),
-            AnyUcMsg::Mvc(MvcMsg::Prop(dex_broadcast::RbMessage::Init {
+            &AnyUcMsg::Mvc(MvcMsg::Prop(dex_broadcast::RbMessage::Init {
                 key: ProcessId::new(3),
                 value: 9,
             })),

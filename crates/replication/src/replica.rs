@@ -9,7 +9,7 @@ use dex_core::{DecisionPath, DexMsg, DexProcess};
 use dex_obs::{obs_code, EventKind, Recorder};
 use dex_simnet::{Actor, Context, DelayModel, Simulation};
 use dex_types::{ProcessId, StepDepth, SystemConfig, Value};
-use dex_underlying::{Dest, OracleConsensus, OracleMsg, Outbox};
+use dex_underlying::{OracleConsensus, OracleMsg, Outbox};
 use std::collections::{HashMap, VecDeque};
 
 /// Per-slot DEX wire messages for command type `C`.
@@ -211,11 +211,7 @@ fn flush_slot<C: Value>(
     ctx: &mut Context<'_, ReplicaMsg<C>>,
 ) {
     for (dest, inner) in out.drain() {
-        let msg = ReplicaMsg { slot, inner };
-        match dest {
-            Dest::All => ctx.broadcast(msg),
-            Dest::To(p) => ctx.send(p, msg),
-        }
+        ctx.send_dest(dest, ReplicaMsg { slot, inner });
     }
 }
 
@@ -226,7 +222,7 @@ impl<SM: StateMachine> Actor for Replica<SM> {
         self.propose_due_slots(ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         let slot = msg.slot;
         if slot >= self.target_slots {
             return; // Byzantine traffic beyond the agreed horizon
@@ -234,7 +230,7 @@ impl<SM: StateMachine> Actor for Replica<SM> {
         let mut out = Outbox::new();
         let decision = {
             let instance = self.instance(slot);
-            instance.on_message(from, msg.inner, ctx.rng(), &mut out)
+            instance.on_message(from, &msg.inner, ctx.rng(), &mut out)
         };
         flush_slot(slot, out, ctx);
         if let Some(d) = decision {
@@ -279,7 +275,7 @@ impl<SM: StateMachine> Actor for Node<SM> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
         match self {
             Node::Correct(r) => r.on_message(from, msg, ctx),
             Node::Byz(b) => b.on_message(from, msg, ctx),

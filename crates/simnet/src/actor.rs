@@ -1,7 +1,7 @@
 //! The actor abstraction and the per-delivery context handed to actors.
 
 use crate::time::Time;
-use dex_types::{ProcessId, StepDepth};
+use dex_types::{Dest, ProcessId, StepDepth};
 use rand::rngs::StdRng;
 
 /// A process state machine driven by message deliveries.
@@ -12,8 +12,11 @@ use rand::rngs::StdRng;
 /// actor before any delivery, then [`on_message`](Actor::on_message) for each
 /// delivered message, in virtual-time order.
 ///
-/// Actors must be deterministic given the context's seeded RNG; this is what
-/// makes whole simulations replayable from a seed.
+/// Messages are delivered **by reference**: a multicast keeps a single
+/// shared payload in the simulator's slab (see DESIGN.md §10), so handlers
+/// clone only the parts they store. Actors must be deterministic given the
+/// context's seeded RNG; this is what makes whole simulations replayable
+/// from a seed.
 pub trait Actor {
     /// The message type exchanged by this system of actors.
     type Msg: Clone + core::fmt::Debug + Send + 'static;
@@ -24,7 +27,7 @@ pub trait Actor {
 
     /// Called for each delivered message. Sends from here carry depth
     /// `ctx.depth() + 1`.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>);
 
     /// The actor's structured-event recorder (see `dex-obs`), if it has an
     /// **active** one. The runtime uses this to stamp the virtual clock at
@@ -38,9 +41,11 @@ pub trait Actor {
 
 /// Everything an actor may observe and do while handling one delivery.
 ///
-/// Outgoing messages are buffered and dispatched by the simulator after the
-/// handler returns, with per-message delays sampled from the simulation's
-/// [`DelayModel`](crate::DelayModel).
+/// Outgoing messages are buffered as `(Dest, Msg)` pairs and dispatched by
+/// the simulator after the handler returns, with per-message delays sampled
+/// from the simulation's [`DelayModel`](crate::DelayModel). A
+/// [`broadcast`](Self::broadcast) stays a single [`Dest::All`] entry — the
+/// payload is never cloned per recipient on this path.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     me: ProcessId,
@@ -48,7 +53,8 @@ pub struct Context<'a, M> {
     now: Time,
     depth: StepDepth,
     rng: &'a mut StdRng,
-    outbox: Vec<(ProcessId, M)>,
+    outbox: Vec<(Dest, M)>,
+    clones: u64,
 }
 
 impl<'a, M: Clone> Context<'a, M> {
@@ -70,7 +76,7 @@ impl<'a, M: Clone> Context<'a, M> {
         now: Time,
         depth: StepDepth,
         rng: &'a mut StdRng,
-        outbox: Vec<(ProcessId, M)>,
+        outbox: Vec<(Dest, M)>,
     ) -> Self {
         debug_assert!(outbox.is_empty());
         Context {
@@ -80,6 +86,7 @@ impl<'a, M: Clone> Context<'a, M> {
             depth,
             rng,
             outbox,
+            clones: 0,
         }
     }
 
@@ -98,9 +105,10 @@ impl<'a, M: Clone> Context<'a, M> {
         Context::new(me, n, now, depth, rng)
     }
 
-    /// Drains the buffered sends — the external-runtime counterpart of the
-    /// simulator's internal dispatch.
-    pub fn take_outbox(&mut self) -> Vec<(ProcessId, M)> {
+    /// Drains the buffered `(Dest, Msg)` sends — the external-runtime
+    /// counterpart of the simulator's internal dispatch. A [`Dest::All`]
+    /// entry is still unexpanded; the runtime decides how to fan it out.
+    pub fn take_outbox(&mut self) -> Vec<(Dest, M)> {
         std::mem::take(&mut self.outbox)
     }
 
@@ -130,21 +138,34 @@ impl<'a, M: Clone> Context<'a, M> {
     /// goes through the network like any other message (the paper's
     /// broadcasts include the sender).
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push((Dest::To(to), msg));
     }
 
-    /// Sends `msg` to **every** process, including this one.
+    /// Queues `msg` for an explicit destination — the passthrough used by
+    /// actors that drain a protocol-level `Outbox` whose entries already
+    /// carry a [`Dest`].
+    pub fn send_dest(&mut self, dest: Dest, msg: M) {
+        self.outbox.push((dest, msg));
+    }
+
+    /// Sends `msg` to **every** process, including this one. The message
+    /// stays a single queued entry; the simulator shares one payload among
+    /// all `n` deliveries, cloning nothing.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.n {
-            self.outbox.push((ProcessId::new(i), msg.clone()));
-        }
+        self.outbox.push((Dest::All, msg));
     }
 
     /// Sends `msg` to every process except this one.
+    ///
+    /// This is a per-recipient expansion (it clones the payload `n − 1`
+    /// times, counted in [`NetStats::payload_clones`](crate::NetStats)); the
+    /// paper's protocols broadcast to everyone *including* the sender, so
+    /// the hot paths use [`broadcast`](Self::broadcast) instead.
     pub fn broadcast_others(&mut self, msg: M) {
         for i in 0..self.n {
             if i != self.me.index() {
-                self.outbox.push((ProcessId::new(i), msg.clone()));
+                self.outbox.push((Dest::To(ProcessId::new(i)), msg.clone()));
+                self.clones += 1;
             }
         }
     }
@@ -155,7 +176,13 @@ impl<'a, M: Clone> Context<'a, M> {
         self.rng
     }
 
-    pub(crate) fn into_outbox(self) -> Vec<(ProcessId, M)> {
+    /// Payload clones performed by this context so far (only
+    /// [`broadcast_others`](Self::broadcast_others) clones).
+    pub(crate) fn cloned(&self) -> u64 {
+        self.clones
+    }
+
+    pub(crate) fn into_outbox(self) -> Vec<(Dest, M)> {
         self.outbox
     }
 }
@@ -174,13 +201,18 @@ mod tests {
         ctx.send(ProcessId::new(0), 9);
         ctx.broadcast(7);
         ctx.broadcast_others(5);
+        ctx.send_dest(Dest::All, 4);
+        assert_eq!(ctx.cloned(), 2, "only broadcast_others clones");
         let out = ctx.into_outbox();
-        assert_eq!(out.len(), 1 + 3 + 2);
-        assert_eq!(out[0], (ProcessId::new(0), 9));
-        // broadcast includes self…
-        assert!(out[1..4].iter().any(|(to, _)| *to == ProcessId::new(1)));
-        // …broadcast_others does not.
-        assert!(out[4..].iter().all(|(to, _)| *to != ProcessId::new(1)));
+        // send + one unexpanded broadcast + 2 expanded others + send_dest.
+        assert_eq!(out.len(), 1 + 1 + 2 + 1);
+        assert_eq!(out[0], (Dest::To(ProcessId::new(0)), 9));
+        // broadcast stays a single Dest::All entry…
+        assert_eq!(out[1], (Dest::All, 7));
+        // …broadcast_others expands, skipping self.
+        assert_eq!(out[2], (Dest::To(ProcessId::new(0)), 5));
+        assert_eq!(out[3], (Dest::To(ProcessId::new(2)), 5));
+        assert_eq!(out[4], (Dest::All, 4));
     }
 
     #[test]

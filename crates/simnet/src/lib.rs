@@ -36,9 +36,9 @@
 //!             ctx.send(ProcessId::new(1), 7);
 //!         }
 //!     }
-//!     fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
+//!     fn on_message(&mut self, _from: ProcessId, msg: &u32, ctx: &mut Context<'_, u32>) {
 //!         self.got += 1;
-//!         if msg > 0 && ctx.me() == ProcessId::new(1) {
+//!         if *msg > 0 && ctx.me() == ProcessId::new(1) {
 //!             ctx.send(ProcessId::new(0), msg - 1);
 //!         }
 //!     }
@@ -60,13 +60,15 @@
 mod actor;
 mod delay;
 mod sim;
+mod slab;
 mod stats;
 mod time;
 mod trace;
 
 pub use actor::{Actor, Context};
 pub use delay::DelayModel;
+pub use dex_types::Dest;
 pub use sim::{RunOutcome, Simulation};
 pub use stats::NetStats;
 pub use time::Time;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceDetail, TraceEvent};

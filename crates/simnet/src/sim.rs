@@ -2,44 +2,41 @@
 
 use crate::actor::{Actor, Context};
 use crate::delay::DelayModel;
+use crate::slab::PayloadSlab;
 use crate::stats::NetStats;
 use crate::time::Time;
-use crate::trace::{Trace, TraceEvent};
-use dex_types::{ProcessId, StepDepth};
+use crate::trace::{Trace, TraceDetail, TraceEvent};
+use dex_types::{Dest, ProcessId, StepDepth};
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// An in-flight message.
-#[derive(Clone, Debug)]
-struct Envelope<M> {
-    from: ProcessId,
-    to: ProcessId,
-    depth: StepDepth,
-    payload: M,
-}
-
-/// Heap entry ordered by `(deliver_at, seq)`; `seq` is a monotone counter
-/// breaking ties deterministically.
-#[derive(Debug)]
-struct Queued<M> {
+/// Compact heap entry: ordering fields plus a key into the payload slab.
+///
+/// `seq` is a monotone counter breaking `deliver_at` ties deterministically.
+/// The entry is `Copy` and payload-free, so `BinaryHeap` comparisons and
+/// sifts never touch (or move) message payloads — a multicast's payload is
+/// stored once in the slab and shared by all its deliveries.
+#[derive(Clone, Copy, Debug)]
+struct QueueKey {
     deliver_at: Time,
     seq: u64,
-    env: Envelope<M>,
+    slot: u32,
+    to: ProcessId,
 }
 
-impl<M> PartialEq for Queued<M> {
+impl PartialEq for QueueKey {
     fn eq(&self, other: &Self) -> bool {
         self.deliver_at == other.deliver_at && self.seq == other.seq
     }
 }
-impl<M> Eq for Queued<M> {}
-impl<M> PartialOrd for Queued<M> {
+impl Eq for QueueKey {}
+impl PartialOrd for QueueKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Queued<M> {
+impl Ord for QueueKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.deliver_at
             .cmp(&other.deliver_at)
@@ -66,7 +63,10 @@ pub struct RunOutcome {
 #[derive(Debug)]
 pub struct Simulation<A: Actor> {
     actors: Vec<A>,
-    queue: BinaryHeap<Reverse<Queued<A::Msg>>>,
+    queue: BinaryHeap<Reverse<QueueKey>>,
+    /// In-flight payload storage; a `Dest::All` multicast holds one slot
+    /// shared (refcounted) by all `n` deliveries.
+    slab: PayloadSlab<A::Msg>,
     now: Time,
     seq: u64,
     rng: StdRng,
@@ -76,7 +76,7 @@ pub struct Simulation<A: Actor> {
     started: bool,
     /// Recycled outbox buffer handed to each delivery's [`Context`], so the
     /// per-message hot path allocates nothing in the steady state.
-    scratch: Vec<(ProcessId, A::Msg)>,
+    scratch: Vec<(Dest, A::Msg)>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -92,6 +92,7 @@ impl<A: Actor> Simulation<A> {
         Simulation {
             actors,
             queue: BinaryHeap::new(),
+            slab: PayloadSlab::new(),
             now: Time::ZERO,
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -103,9 +104,19 @@ impl<A: Actor> Simulation<A> {
         }
     }
 
-    /// Enables trace recording (allocates one string per network event).
+    /// Enables trace recording **with payload rendering** — one string
+    /// allocation per network event. Equivalent to
+    /// [`enable_trace_detail`](Self::enable_trace_detail) with
+    /// [`TraceDetail::Payloads`].
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::default());
+        self.enable_trace_detail(TraceDetail::Payloads);
+    }
+
+    /// Enables trace recording at an explicit detail level.
+    /// [`TraceDetail::Events`] records endpoints/depth/timing only and
+    /// allocates no strings.
+    pub fn enable_trace_detail(&mut self, detail: TraceDetail) {
+        self.trace = Some(Trace::with_detail(detail));
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -144,43 +155,63 @@ impl<A: Actor> Simulation<A> {
         &mut self.actors[id.index()]
     }
 
-    fn dispatch(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, A::Msg)>, depth: StepDepth)
-    where
-        A::Msg: core::fmt::Debug,
-    {
-        for (to, payload) in outbox.drain(..) {
-            let delay = self.delay.sample(&mut self.rng, from, to);
-            let deliver_at = self.now + delay;
-            self.stats.record_send(depth);
-            if let Some(rec) = self.actors[from.index()].recorder_mut() {
-                rec.record_at(
-                    self.now.as_units(),
-                    depth.get(),
-                    dex_obs::EventKind::Send {
-                        to: to.index() as u16,
-                    },
-                );
-            }
-            if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Send {
-                    from,
-                    to,
-                    depth,
-                    at: self.now,
-                    payload: format!("{payload:?}"),
-                });
-            }
-            self.seq += 1;
-            self.queue.push(Reverse(Queued {
-                deliver_at,
-                seq: self.seq,
-                env: Envelope {
-                    from,
-                    to,
-                    depth,
-                    payload,
+    /// Enqueues one delivery of the payload in `slot`, sampling its link
+    /// delay. For a `Dest::All` multicast this is called for `to = 0..n` in
+    /// ascending order — exactly the order the old eager per-recipient
+    /// expansion produced — so the RNG stream, `seq` numbering and thus the
+    /// whole virtual-time schedule are unchanged by the slab fast path.
+    fn schedule(&mut self, from: ProcessId, to: ProcessId, depth: StepDepth, slot: u32) {
+        let delay = self.delay.sample(&mut self.rng, from, to);
+        let deliver_at = self.now + delay;
+        self.stats.record_send(depth);
+        if let Some(rec) = self.actors[from.index()].recorder_mut() {
+            rec.record_at(
+                self.now.as_units(),
+                depth.get(),
+                dex_obs::EventKind::Send {
+                    to: to.index() as u16,
                 },
-            }));
+            );
+        }
+        if let Some(trace) = &mut self.trace {
+            let payload = match trace.detail() {
+                TraceDetail::Payloads => format!("{:?}", self.slab.payload(slot)),
+                TraceDetail::Events => String::new(),
+            };
+            trace.push(TraceEvent::Send {
+                from,
+                to,
+                depth,
+                at: self.now,
+                payload,
+            });
+        }
+        self.seq += 1;
+        self.queue.push(Reverse(QueueKey {
+            deliver_at,
+            seq: self.seq,
+            slot,
+            to,
+        }));
+    }
+
+    fn dispatch(&mut self, from: ProcessId, outbox: &mut Vec<(Dest, A::Msg)>, depth: StepDepth) {
+        let n = self.actors.len();
+        for (dest, payload) in outbox.drain(..) {
+            match dest {
+                Dest::To(to) => {
+                    let slot = self.slab.insert(payload, from, depth, 1);
+                    self.schedule(from, to, depth, slot);
+                }
+                Dest::All => {
+                    // One shared payload, n pending deliveries, zero clones.
+                    self.stats.multicasts += 1;
+                    let slot = self.slab.insert(payload, from, depth, n as u32);
+                    for i in 0..n {
+                        self.schedule(from, ProcessId::new(i), depth, slot);
+                    }
+                }
+            }
         }
     }
 
@@ -198,6 +229,7 @@ impl<A: Actor> Simulation<A> {
             let mut ctx =
                 Context::with_buffer(me, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
             self.actors[i].on_start(&mut ctx);
+            self.stats.payload_clones += ctx.cloned();
             let mut outbox = ctx.into_outbox();
             self.dispatch(me, &mut outbox, StepDepth::ONE);
             self.scratch = outbox;
@@ -209,22 +241,22 @@ impl<A: Actor> Simulation<A> {
     /// network is quiescent.
     pub fn step(&mut self) -> Option<(ProcessId, ProcessId, StepDepth)> {
         self.start();
-        let Reverse(queued) = self.queue.pop()?;
-        self.now = queued.deliver_at;
-        let Envelope {
-            from,
-            to,
-            depth,
-            payload,
-        } = queued.env;
+        let Reverse(key) = self.queue.pop()?;
+        self.now = key.deliver_at;
+        let to = key.to;
+        let (from, depth) = self.slab.meta(key.slot);
         self.stats.record_delivery(depth);
         if let Some(trace) = &mut self.trace {
+            let payload = match trace.detail() {
+                TraceDetail::Payloads => format!("{:?}", self.slab.payload(key.slot)),
+                TraceDetail::Events => String::new(),
+            };
             trace.push(TraceEvent::Deliver {
                 from,
                 to,
                 depth,
                 at: self.now,
-                payload: format!("{payload:?}"),
+                payload,
             });
         }
         let n = self.actors.len();
@@ -238,8 +270,10 @@ impl<A: Actor> Simulation<A> {
         }
         let buf = std::mem::take(&mut self.scratch);
         let mut ctx = Context::with_buffer(to, n, self.now, depth, &mut self.rng, buf);
-        self.actors[to.index()].on_message(from, payload, &mut ctx);
+        self.actors[to.index()].on_message(from, self.slab.payload(key.slot), &mut ctx);
+        self.stats.payload_clones += ctx.cloned();
         let mut outbox = ctx.into_outbox();
+        self.slab.release(key.slot);
         self.dispatch(to, &mut outbox, depth.next());
         self.scratch = outbox;
         Some((from, to, depth))
@@ -311,9 +345,9 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
-            self.received.push((from, msg, ctx.depth()));
-            if msg > 0 {
+        fn on_message(&mut self, from: ProcessId, msg: &u32, ctx: &mut Context<'_, u32>) {
+            self.received.push((from, *msg, ctx.depth()));
+            if *msg > 0 {
                 ctx.send(from, msg - 1);
             }
         }
@@ -366,7 +400,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
                 ctx.broadcast_others(());
             }
-            fn on_message(&mut self, from: ProcessId, _: (), ctx: &mut Context<'_, ()>) {
+            fn on_message(&mut self, from: ProcessId, _: &(), ctx: &mut Context<'_, ()>) {
                 ctx.send(from, ());
             }
         }
@@ -386,6 +420,59 @@ mod tests {
         };
         assert_eq!(render(77), render(77));
         assert_ne!(render(77), render(78));
+    }
+
+    #[test]
+    fn events_only_trace_matches_payload_trace_shape() {
+        let run = |detail: TraceDetail| {
+            let mut sim = echo_sim(4, 21);
+            sim.enable_trace_detail(detail);
+            sim.run(10_000);
+            sim.trace().unwrap().clone()
+        };
+        let full = run(TraceDetail::Payloads);
+        let lean = run(TraceDetail::Events);
+        assert_eq!(full.len(), lean.len());
+        for (f, l) in full.events().iter().zip(lean.events()) {
+            match (f, l) {
+                (
+                    TraceEvent::Send {
+                        from: f1,
+                        to: t1,
+                        at: a1,
+                        payload: p1,
+                        ..
+                    },
+                    TraceEvent::Send {
+                        from: f2,
+                        to: t2,
+                        at: a2,
+                        payload: p2,
+                        ..
+                    },
+                )
+                | (
+                    TraceEvent::Deliver {
+                        from: f1,
+                        to: t1,
+                        at: a1,
+                        payload: p1,
+                        ..
+                    },
+                    TraceEvent::Deliver {
+                        from: f2,
+                        to: t2,
+                        at: a2,
+                        payload: p2,
+                        ..
+                    },
+                ) => {
+                    assert_eq!((f1, t1, a1), (f2, t2, a2));
+                    assert!(!p1.is_empty() && p2.is_empty());
+                }
+                _ => panic!("event kinds diverged"),
+            }
+        }
     }
 
     #[test]
@@ -421,7 +508,7 @@ mod tests {
                 let me = ctx.me();
                 ctx.send(me, ());
             }
-            fn on_message(&mut self, from: ProcessId, _: (), ctx: &mut Context<'_, ()>) {
+            fn on_message(&mut self, from: ProcessId, _: &(), ctx: &mut Context<'_, ()>) {
                 assert_eq!(from, ctx.me());
                 self.got = true;
             }
@@ -429,5 +516,79 @@ mod tests {
         let mut sim = Simulation::new(vec![SelfSend { got: false }], 0, DelayModel::Constant(1));
         sim.run(10);
         assert!(sim.actor(ProcessId::new(0)).got);
+    }
+
+    /// A payload whose clones are observable, for the zero-clone assertions.
+    #[derive(Debug)]
+    struct CountedPayload(std::sync::Arc<std::sync::atomic::AtomicU64>);
+    impl Clone for CountedPayload {
+        fn clone(&self) -> Self {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CountedPayload(self.0.clone())
+        }
+    }
+
+    struct Gossip {
+        counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        rounds: u32,
+        got: u32,
+    }
+    impl Actor for Gossip {
+        type Msg = (u32, CountedPayload);
+        fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.broadcast((self.rounds, CountedPayload(self.counter.clone())));
+            }
+        }
+        fn on_message(
+            &mut self,
+            _from: ProcessId,
+            msg: &Self::Msg,
+            ctx: &mut Context<'_, Self::Msg>,
+        ) {
+            self.got += 1;
+            if msg.0 > 0 {
+                ctx.broadcast((msg.0 - 1, CountedPayload(self.counter.clone())));
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_payloads_are_never_cloned_by_the_network() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let n = 5;
+        let mut sim = Simulation::new(
+            (0..n)
+                .map(|_| Gossip {
+                    counter: counter.clone(),
+                    rounds: 2,
+                    got: 0,
+                })
+                .collect(),
+            3,
+            DelayModel::Uniform { min: 1, max: 4 },
+        );
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        // Every broadcast reached all n processes…
+        assert_eq!(sim.stats().delivered, sim.stats().multicasts * n as u64);
+        assert!(sim.stats().multicasts > 1);
+        // …and neither the actors nor the network ever cloned a payload.
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(sim.stats().payload_clones, 0);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_after_delivery() {
+        let mut sim = echo_sim(4, 13);
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.slab.live(), 0, "all slots released");
+        assert!(
+            sim.slab.capacity() < sim.stats().sent as usize,
+            "slots were reused across the run (capacity {} vs {} sends)",
+            sim.slab.capacity(),
+            sim.stats().sent
+        );
     }
 }

@@ -17,6 +17,13 @@ pub struct NetStats {
     pub sent: u64,
     /// Messages delivered to actors.
     pub delivered: u64,
+    /// `Dest::All` multicasts dispatched. Each one stores its payload once
+    /// in the simulator's slab, shared by all `n` deliveries.
+    pub multicasts: u64,
+    /// Payload clones performed by the network layer. `Dest::All` traffic
+    /// contributes **zero**; only the per-recipient
+    /// `Context::broadcast_others` expansion clones (`n − 1` per call).
+    pub payload_clones: u64,
     /// The deepest causal step observed on any message.
     pub max_depth: StepDepth,
     /// Delivered-message count per causal depth (index = depth − 1).

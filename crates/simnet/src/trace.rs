@@ -3,6 +3,21 @@
 use crate::time::Time;
 use dex_types::{ProcessId, StepDepth};
 
+/// How much a recorded trace captures per network event.
+///
+/// Rendering a payload costs a `format!("{payload:?}")` allocation per send
+/// *and* per delivery; the [`Events`](TraceDetail::Events) level skips it,
+/// so traces used only for event counting / schedule inspection allocate no
+/// strings on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceDetail {
+    /// Record endpoints, depth and timing only; `payload` fields stay empty.
+    #[default]
+    Events,
+    /// Additionally record the `Debug` rendering of every payload.
+    Payloads,
+}
+
 /// One network-level event in a traced run.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TraceEvent {
@@ -56,15 +71,29 @@ impl TraceEvent {
     }
 }
 
-/// A recorded execution trace (only populated when tracing is enabled on the
-/// simulation — tracing allocates a string per event, so it is off by
-/// default).
+/// A recorded execution trace (only populated when tracing is enabled on
+/// the simulation; payload strings are only rendered at
+/// [`TraceDetail::Payloads`]).
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    detail: TraceDetail,
 }
 
 impl Trace {
+    /// Creates an empty trace recording at the given detail level.
+    pub(crate) fn with_detail(detail: TraceDetail) -> Self {
+        Trace {
+            events: Vec::new(),
+            detail,
+        }
+    }
+
+    /// The detail level this trace records at.
+    pub fn detail(&self) -> TraceDetail {
+        self.detail
+    }
+
     /// Appends an event.
     pub(crate) fn push(&mut self, ev: TraceEvent) {
         self.events.push(ev);

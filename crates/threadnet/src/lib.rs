@@ -25,7 +25,7 @@
 //!     fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
 //!         ctx.broadcast_others(1);
 //!     }
-//!     fn on_message(&mut self, _f: ProcessId, _m: u8, _c: &mut Context<'_, u8>) {
+//!     fn on_message(&mut self, _f: ProcessId, _m: &u8, _c: &mut Context<'_, u8>) {
 //!         self.got += 1;
 //!     }
 //! }
@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use dex_simnet::{Actor, Context, Time};
+use dex_simnet::{Actor, Context, Dest, Time};
 use dex_types::{ProcessId, StepDepth};
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
@@ -207,6 +207,24 @@ where
         handles.push(thread::spawn(move || {
             let me = ProcessId::new(i);
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            // The simulator shares one payload among a multicast's
+            // recipients; threads cannot, so fan-out is expanded (with the
+            // necessary clones) at this boundary.
+            let expand = |out: Vec<(Dest, A::Msg)>| -> Vec<(ProcessId, A::Msg)> {
+                let mut flat = Vec::with_capacity(out.len());
+                for (dest, payload) in out {
+                    match dest {
+                        Dest::To(to) => flat.push((to, payload)),
+                        Dest::All => {
+                            for j in 0..n - 1 {
+                                flat.push((ProcessId::new(j), payload.clone()));
+                            }
+                            flat.push((ProcessId::new(n - 1), payload));
+                        }
+                    }
+                }
+                flat
+            };
             let queue_out = |out: Vec<(ProcessId, A::Msg)>, depth: StepDepth| {
                 for (to, payload) in out {
                     inflight.fetch_add(1, Ordering::AcqRel);
@@ -227,7 +245,7 @@ where
             {
                 let mut ctx = Context::external(me, n, Time::ZERO, StepDepth::ZERO, &mut rng);
                 actor.on_start(&mut ctx);
-                let out = ctx.take_outbox();
+                let out = expand(ctx.take_outbox());
                 if let Some(rec) = actor.recorder_mut() {
                     for (to, _) in &out {
                         rec.record_at(
@@ -253,8 +271,8 @@ where
                             });
                         }
                         let mut ctx = Context::external(me, n, now, env.depth, &mut rng);
-                        actor.on_message(env.from, env.payload, &mut ctx);
-                        let out = ctx.take_outbox();
+                        actor.on_message(env.from, &env.payload, &mut ctx);
+                        let out = expand(ctx.take_outbox());
                         if let Some(rec) = actor.recorder_mut() {
                             for (to, _) in &out {
                                 rec.record_at(
@@ -328,9 +346,9 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Context<'_, u32>) {
-            self.got.push((from, msg, ctx.depth()));
-            if msg > 0 {
+        fn on_message(&mut self, from: ProcessId, msg: &u32, ctx: &mut Context<'_, u32>) {
+            self.got.push((from, *msg, ctx.depth()));
+            if *msg > 0 {
                 ctx.send(from, msg - 1);
             }
         }
@@ -367,7 +385,7 @@ mod tests {
         impl Actor for Quiet {
             type Msg = ();
             fn on_start(&mut self, _: &mut Context<'_, ()>) {}
-            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, ()>) {}
+            fn on_message(&mut self, _: ProcessId, _: &(), _: &mut Context<'_, ()>) {}
         }
         let result = run_network(vec![Quiet, Quiet], NetworkOptions::default());
         assert!(result.quiescent);
@@ -382,7 +400,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
                 ctx.broadcast_others(());
             }
-            fn on_message(&mut self, from: ProcessId, _: (), ctx: &mut Context<'_, ()>) {
+            fn on_message(&mut self, from: ProcessId, _: &(), ctx: &mut Context<'_, ()>) {
                 ctx.send(from, ());
             }
         }

@@ -1,0 +1,33 @@
+//! Message destinations.
+
+use crate::config::ProcessId;
+
+/// Destination of an outgoing message.
+///
+/// A broadcast stays a *single* [`Dest::All`] entry all the way from the
+/// protocol outbox (`dex_underlying::Outbox`) through the network runtime
+/// (`dex_simnet::Context`) until the simulator expands it at dispatch time
+/// against one shared payload — the zero-clone multicast fast path (see
+/// DESIGN.md §10).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dest {
+    /// A single process.
+    To(ProcessId),
+    /// Every process, including the sender (protocol broadcasts in the
+    /// paper always include the sender itself).
+    All,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_is_copy_and_comparable() {
+        let a = Dest::To(ProcessId::new(2));
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, Dest::All);
+        assert_eq!(Dest::All, Dest::All);
+    }
+}

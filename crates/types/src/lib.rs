@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod dest;
 mod error;
 mod step;
 mod value;
@@ -44,6 +45,7 @@ mod vector;
 mod view;
 
 pub use config::{ProcessId, SystemConfig};
+pub use dest::Dest;
 pub use error::ConfigError;
 pub use step::StepDepth;
 pub use value::Value;

@@ -293,7 +293,7 @@ impl UnderlyingConsensus<bool> for BrachaBinary {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: BinaryMsg,
+        msg: &BinaryMsg,
         rng: &mut StdRng,
         out: &mut Outbox<BinaryMsg>,
     ) {

@@ -111,12 +111,7 @@ impl<V: Value> ReducedMvc<V> {
         let bit = self.dominant_value().is_some();
         let mut bin_out = Outbox::new();
         self.bin.propose(bit, rng, &mut bin_out);
-        for (dest, m) in bin_out.drain() {
-            match dest {
-                crate::outbox::Dest::All => out.broadcast(MvcMsg::Bin(m)),
-                crate::outbox::Dest::To(p) => out.send(p, MvcMsg::Bin(m)),
-            }
-        }
+        bin_out.map_drain_into(out, MvcMsg::Bin);
     }
 
     fn try_finish(&mut self) {
@@ -157,7 +152,7 @@ impl<V: Value> UnderlyingConsensus<V> for ReducedMvc<V> {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: MvcMsg<V>,
+        msg: &MvcMsg<V>,
         rng: &mut StdRng,
         out: &mut Outbox<MvcMsg<V>>,
     ) {
@@ -177,12 +172,7 @@ impl<V: Value> UnderlyingConsensus<V> for ReducedMvc<V> {
             MvcMsg::Bin(m) => {
                 let mut bin_out = Outbox::new();
                 self.bin.on_message(from, m, rng, &mut bin_out);
-                for (dest, m) in bin_out.drain() {
-                    match dest {
-                        crate::outbox::Dest::All => out.broadcast(MvcMsg::Bin(m)),
-                        crate::outbox::Dest::To(p) => out.send(p, MvcMsg::Bin(m)),
-                    }
-                }
+                bin_out.map_drain_into(out, MvcMsg::Bin);
                 self.try_finish();
             }
         }

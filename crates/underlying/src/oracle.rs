@@ -89,7 +89,7 @@ impl<V: Value> UnderlyingConsensus<V> for OracleConsensus<V> {
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         _rng: &mut StdRng,
         out: &mut Outbox<Self::Msg>,
     ) {
@@ -98,7 +98,7 @@ impl<V: Value> UnderlyingConsensus<V> for OracleConsensus<V> {
                 if self.me != self.coordinator {
                     return; // not addressed to us; ignore strays
                 }
-                self.proposals.set(from, v);
+                self.proposals.set(from, v.clone());
                 if !self.announced && self.proposals.len_non_default() >= self.config.quorum() {
                     self.announced = true;
                     let winner = self
@@ -114,7 +114,7 @@ impl<V: Value> UnderlyingConsensus<V> for OracleConsensus<V> {
                     return; // forgery from a Byzantine process
                 }
                 if self.decision.is_none() {
-                    self.decision = Some(v);
+                    self.decision = Some(v.clone());
                 }
             }
         }
@@ -156,10 +156,10 @@ mod tests {
     fn coordinator_announces_plurality_at_quorum() {
         let mut coord: OracleConsensus<u64> = OracleConsensus::new(cfg(), p(0), p(0));
         let mut out = Outbox::new();
-        coord.on_message(p(1), OracleMsg::Propose(7), &mut rng(), &mut out);
-        coord.on_message(p(2), OracleMsg::Propose(7), &mut rng(), &mut out);
+        coord.on_message(p(1), &OracleMsg::Propose(7), &mut rng(), &mut out);
+        coord.on_message(p(2), &OracleMsg::Propose(7), &mut rng(), &mut out);
         assert!(out.is_empty()); // quorum is 3
-        coord.on_message(p(3), OracleMsg::Propose(9), &mut rng(), &mut out);
+        coord.on_message(p(3), &OracleMsg::Propose(9), &mut rng(), &mut out);
         let msgs = out.drain();
         assert_eq!(msgs, vec![(Dest::All, OracleMsg::Decide(7))]);
     }
@@ -169,10 +169,10 @@ mod tests {
         let mut coord: OracleConsensus<u64> = OracleConsensus::new(cfg(), p(0), p(0));
         let mut out = Outbox::new();
         for i in 1..4 {
-            coord.on_message(p(i), OracleMsg::Propose(7), &mut rng(), &mut out);
+            coord.on_message(p(i), &OracleMsg::Propose(7), &mut rng(), &mut out);
         }
         out.drain();
-        coord.on_message(p(0), OracleMsg::Propose(7), &mut rng(), &mut out);
+        coord.on_message(p(0), &OracleMsg::Propose(7), &mut rng(), &mut out);
         assert!(out.is_empty());
     }
 
@@ -180,12 +180,12 @@ mod tests {
     fn decide_accepted_only_from_coordinator() {
         let mut uc: OracleConsensus<u64> = OracleConsensus::new(cfg(), p(1), p(0));
         let mut out = Outbox::new();
-        uc.on_message(p(2), OracleMsg::Decide(666), &mut rng(), &mut out);
+        uc.on_message(p(2), &OracleMsg::Decide(666), &mut rng(), &mut out);
         assert_eq!(uc.decision(), None);
-        uc.on_message(p(0), OracleMsg::Decide(7), &mut rng(), &mut out);
+        uc.on_message(p(0), &OracleMsg::Decide(7), &mut rng(), &mut out);
         assert_eq!(uc.decision(), Some(&7));
         // First decision sticks.
-        uc.on_message(p(0), OracleMsg::Decide(8), &mut rng(), &mut out);
+        uc.on_message(p(0), &OracleMsg::Decide(8), &mut rng(), &mut out);
         assert_eq!(uc.decision(), Some(&7));
     }
 
@@ -194,7 +194,7 @@ mod tests {
         let mut uc: OracleConsensus<u64> = OracleConsensus::new(cfg(), p(1), p(0));
         let mut out = Outbox::new();
         for i in 0..4 {
-            uc.on_message(p(i), OracleMsg::Propose(7), &mut rng(), &mut out);
+            uc.on_message(p(i), &OracleMsg::Propose(7), &mut rng(), &mut out);
         }
         assert!(out.is_empty());
         assert_eq!(uc.decision(), None);
@@ -205,9 +205,9 @@ mod tests {
         // All correct propose 7, a faulty process proposes 9: plurality is 7.
         let mut coord: OracleConsensus<u64> = OracleConsensus::new(cfg(), p(0), p(0));
         let mut out = Outbox::new();
-        coord.on_message(p(3), OracleMsg::Propose(9), &mut rng(), &mut out);
-        coord.on_message(p(1), OracleMsg::Propose(7), &mut rng(), &mut out);
-        coord.on_message(p(2), OracleMsg::Propose(7), &mut rng(), &mut out);
+        coord.on_message(p(3), &OracleMsg::Propose(9), &mut rng(), &mut out);
+        coord.on_message(p(1), &OracleMsg::Propose(7), &mut rng(), &mut out);
+        coord.on_message(p(2), &OracleMsg::Propose(7), &mut rng(), &mut out);
         let msgs = out.drain();
         assert_eq!(msgs, vec![(Dest::All, OracleMsg::Decide(7))]);
     }

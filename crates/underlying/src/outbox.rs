@@ -2,14 +2,7 @@
 
 use dex_types::ProcessId;
 
-/// Destination of an outgoing message.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Dest {
-    /// A single process.
-    To(ProcessId),
-    /// Every process, including the sender.
-    All,
-}
+pub use dex_types::Dest;
 
 /// A buffer of outgoing `(destination, message)` pairs.
 ///
@@ -83,6 +76,15 @@ impl<M> Outbox<M> {
             msgs: self.msgs.into_iter().map(|(d, m)| (d, f(m))).collect(),
         }
     }
+
+    /// Drains this outbox into `dst`, mapping each message through `f` and
+    /// preserving destinations. Both buffers keep their capacity, so a
+    /// wrapper that forwards an inner protocol's messages every step
+    /// allocates nothing in the steady state — the in-place counterpart of
+    /// [`map_into`](Self::map_into).
+    pub fn map_drain_into<N, F: FnMut(M) -> N>(&mut self, dst: &mut Outbox<N>, mut f: F) {
+        dst.msgs.extend(self.msgs.drain(..).map(|(d, m)| (d, f(m))));
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +117,26 @@ mod tests {
         out.broadcast(1);
         let _ = out.drain();
         assert_eq!(out.msgs.capacity(), 0);
+    }
+
+    #[test]
+    fn map_drain_into_reuses_both_buffers() {
+        let mut src = Outbox::new();
+        let mut dst: Outbox<u16> = Outbox::new();
+        for round in 0..3u16 {
+            for i in 0..32u8 {
+                src.send(ProcessId::new(i as usize), i);
+            }
+            src.broadcast(99);
+            src.map_drain_into(&mut dst, |m| u16::from(m) + round);
+            assert!(src.is_empty());
+            assert_eq!(dst.len(), 33);
+            assert_eq!(dst.msgs[0], (Dest::To(ProcessId::new(0)), round));
+            assert_eq!(dst.msgs[32], (Dest::All, 99 + round));
+            let cap_before = src.msgs.capacity();
+            dst.msgs.clear();
+            assert!(cap_before >= 33, "source buffer must be reusable");
+        }
     }
 
     #[test]

@@ -32,11 +32,13 @@ pub trait UnderlyingConsensus<V: Value>: Send {
     fn propose(&mut self, value: V, rng: &mut StdRng, out: &mut Outbox<Self::Msg>);
 
     /// Feeds one received message (with its authenticated sender) into the
-    /// protocol.
+    /// protocol. The message is borrowed — the network layer shares one
+    /// payload among all recipients of a multicast — so implementations
+    /// clone only what they store.
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: Self::Msg,
+        msg: &Self::Msg,
         rng: &mut StdRng,
         out: &mut Outbox<Self::Msg>,
     );

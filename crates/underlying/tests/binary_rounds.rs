@@ -4,7 +4,7 @@
 
 use dex_simnet::{Actor, Context, DelayModel, Simulation};
 use dex_types::{ProcessId, SystemConfig};
-use dex_underlying::{BinaryMsg, BrachaBinary, CoinMode, Dest, Outbox, UnderlyingConsensus};
+use dex_underlying::{BinaryMsg, BrachaBinary, CoinMode, Outbox, UnderlyingConsensus};
 
 struct BinNode {
     bin: BrachaBinary,
@@ -14,10 +14,7 @@ struct BinNode {
 impl BinNode {
     fn flush(out: &mut Outbox<BinaryMsg>, ctx: &mut Context<'_, BinaryMsg>) {
         for (dest, m) in out.drain() {
-            match dest {
-                Dest::All => ctx.broadcast(m),
-                Dest::To(p) => ctx.send(p, m),
-            }
+            ctx.send_dest(dest, m);
         }
     }
 }
@@ -31,7 +28,7 @@ impl Actor for BinNode {
         Self::flush(&mut out, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: BinaryMsg, ctx: &mut Context<'_, BinaryMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &BinaryMsg, ctx: &mut Context<'_, BinaryMsg>) {
         let mut out = Outbox::new();
         self.bin.on_message(from, msg, ctx.rng(), &mut out);
         Self::flush(&mut out, ctx);
@@ -140,7 +137,7 @@ fn silent_fault_does_not_block_rounds() {
     impl Actor for Silent {
         type Msg = BinaryMsg;
         fn on_start(&mut self, _: &mut Context<'_, BinaryMsg>) {}
-        fn on_message(&mut self, _: ProcessId, _: BinaryMsg, _: &mut Context<'_, BinaryMsg>) {}
+        fn on_message(&mut self, _: ProcessId, _: &BinaryMsg, _: &mut Context<'_, BinaryMsg>) {}
     }
     enum Node {
         Live(BinNode),
@@ -154,7 +151,7 @@ fn silent_fault_does_not_block_rounds() {
                 Node::Dead(s) => s.on_start(ctx),
             }
         }
-        fn on_message(&mut self, f: ProcessId, m: BinaryMsg, ctx: &mut Context<'_, BinaryMsg>) {
+        fn on_message(&mut self, f: ProcessId, m: &BinaryMsg, ctx: &mut Context<'_, BinaryMsg>) {
             match self {
                 Node::Live(n) => n.on_message(f, m, ctx),
                 Node::Dead(s) => s.on_message(f, m, ctx),

@@ -3,7 +3,7 @@
 
 use dex_simnet::{Actor, Context, DelayModel, Simulation};
 use dex_types::{ProcessId, StepDepth, SystemConfig, Value};
-use dex_underlying::{CoinMode, Dest, OracleConsensus, Outbox, ReducedMvc, UnderlyingConsensus};
+use dex_underlying::{CoinMode, OracleConsensus, Outbox, ReducedMvc, UnderlyingConsensus};
 
 /// Wraps any `UnderlyingConsensus` as a simnet actor.
 struct UcActor<V: Value, U: UnderlyingConsensus<V>> {
@@ -27,10 +27,7 @@ impl<V: Value, U: UnderlyingConsensus<V>> UcActor<V, U> {
 
     fn flush(out: &mut Outbox<U::Msg>, ctx: &mut Context<'_, U::Msg>) {
         for (dest, m) in out.drain() {
-            match dest {
-                Dest::All => ctx.broadcast(m),
-                Dest::To(p) => ctx.send(p, m),
-            }
+            ctx.send_dest(dest, m);
         }
     }
 }
@@ -45,7 +42,7 @@ impl<V: Value, U: UnderlyingConsensus<V> + 'static> Actor for UcActor<V, U> {
         Self::flush(&mut out, ctx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: U::Msg, ctx: &mut Context<'_, U::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &U::Msg, ctx: &mut Context<'_, U::Msg>) {
         let mut out = Outbox::new();
         self.uc.on_message(from, msg, ctx.rng(), &mut out);
         Self::flush(&mut out, ctx);
@@ -70,7 +67,7 @@ impl<V: Value, U: UnderlyingConsensus<V> + 'static> Actor for Node<V, U> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: U::Msg, ctx: &mut Context<'_, U::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &U::Msg, ctx: &mut Context<'_, U::Msg>) {
         if let Node::Live(a) = self {
             a.on_message(from, msg, ctx);
         }

@@ -38,14 +38,14 @@ impl Actor for Node {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Msg, ctx: &mut Context<'_, Msg>) {
         if let Node::Correct {
             machine,
             p_view,
             id_view,
         } = self
         {
-            if let IdbMessage::Init { key, value } = &msg {
+            if let IdbMessage::Init { key, value } = msg {
                 if *key == from {
                     p_view.push((from, *value)); // the raw, splittable view
                 }

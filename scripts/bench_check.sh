@@ -1,43 +1,70 @@
 #!/usr/bin/env bash
-# Bench-regression gate: reruns the view-tally microbenchmark and compares
-# the per-read speedup of the O(1) incremental tally against the committed
-# baseline (BENCH_view_tally.json). Fails if any system size regressed by
-# more than 30% — generous enough for shared-runner noise, tight enough to
-# catch the hot path going accidentally O(n) again.
+# Bench-regression gate: reruns the committed microbenchmarks and compares
+# fresh speedups against the committed baselines. Fails if any system size
+# regressed by more than 30% — generous enough for shared-runner noise,
+# tight enough to catch a hot path going accidentally O(n) again.
+#
+# Gated benchmarks:
+#   * BENCH_view_tally.json — O(1) incremental view tally vs naive recount
+#     (read_speedup per n).
+#   * BENCH_simnet.json — shared-payload delivery core vs the legacy
+#     eager-clone engine (speedup per n), plus a hard zero on
+#     fastpath_clones_per_multicast: Dest::All traffic must never clone.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_view_tally.json
-if [[ ! -f "$BASELINE" ]]; then
-  echo "missing committed baseline $BASELINE" >&2
-  exit 1
-fi
-
-FRESH=$(mktemp -t bench_view_tally.XXXXXX)
-trap 'rm -f "$FRESH"' EXIT
-
-./scripts/bench_view_tally.sh "$FRESH" > /dev/null
-
-# Per-n result lines look like:
-#   {"n": 7, ..., "read_speedup": 39.07, ...}
-extract() {
-  sed -n 's/.*"n": *\([0-9]*\),.*"read_speedup": *\([0-9.]*\),.*/\1 \2/p' "$1"
+# compare_speedups BASELINE FRESH FIELD: both files carry per-n result
+# lines like {"n": 7, ..., "FIELD": 39.07, ...}; fail when fresh < 70% of
+# baseline at any n.
+compare_speedups() {
+  local baseline=$1 fresh=$2 field=$3
+  paste <(sed -n 's/.*"n": *\([0-9]*\),.*"'"$field"'": *\([0-9.]*\).*/\1 \2/p' "$baseline") \
+        <(sed -n 's/.*"n": *\([0-9]*\),.*"'"$field"'": *\([0-9.]*\).*/\1 \2/p' "$fresh") \
+  | awk -v field="$field" '
+    NF < 4 || $1 != $3 {
+      print "baseline and fresh run disagree on benched sizes" > "/dev/stderr"
+      fail = 1
+      exit 1
+    }
+    {
+      printf "n=%-4d baseline %8.2fx   fresh %8.2fx   ratio %.2f\n", $1, $2, $4, $4 / $2
+      if ($4 < 0.7 * $2) {
+        printf "REGRESSION at n=%d: %s %.2fx < 70%% of baseline %.2fx\n", $1, field, $4, $2 > "/dev/stderr"
+        fail = 1
+      }
+    }
+    END { exit fail }
+  '
 }
 
-paste <(extract "$BASELINE") <(extract "$FRESH") | awk '
-  NF < 4 || $1 != $3 {
-    print "baseline and fresh run disagree on benched sizes" > "/dev/stderr"
-    fail = 1
+require_baseline() {
+  if [[ ! -f "$1" ]]; then
+    echo "missing committed baseline $1" >&2
     exit 1
-  }
-  {
-    printf "n=%-4d baseline %8.2fx   fresh %8.2fx   ratio %.2f\n", $1, $2, $4, $4 / $2
-    if ($4 < 0.7 * $2) {
-      printf "REGRESSION at n=%d: read speedup %.2fx < 70%% of baseline %.2fx\n", $1, $4, $2 > "/dev/stderr"
-      fail = 1
-    }
-  }
-  END { exit fail }
-'
+  fi
+}
+
+require_baseline BENCH_view_tally.json
+require_baseline BENCH_simnet.json
+
+FRESH_TALLY=$(mktemp -t bench_view_tally.XXXXXX)
+FRESH_SIMNET=$(mktemp -t bench_simnet.XXXXXX)
+trap 'rm -f "$FRESH_TALLY" "$FRESH_SIMNET"' EXIT
+
+echo "-- view tally: naive vs incremental (read_speedup)"
+./scripts/bench_view_tally.sh "$FRESH_TALLY" > /dev/null
+compare_speedups BENCH_view_tally.json "$FRESH_TALLY" read_speedup
+
+echo "-- simnet delivery core: legacy vs fast path (speedup)"
+./scripts/bench_simnet.sh "$FRESH_SIMNET" > /dev/null
+compare_speedups BENCH_simnet.json "$FRESH_SIMNET" speedup
+
+# The zero-clone contract is exact, not statistical: any non-zero value
+# means a multicast payload was copied by the network layer.
+if sed -n 's/.*"fastpath_clones_per_multicast": *\([0-9.]*\).*/\1/p' "$FRESH_SIMNET" \
+   | grep -qv '^0\(\.0*\)\?$'; then
+  echo "zero-clone violation: fastpath_clones_per_multicast != 0" >&2
+  exit 1
+fi
 
 echo "bench gate OK"

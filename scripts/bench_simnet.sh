@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_simnet.json at the repo root: the legacy eager-clone
+# delivery core vs the shared-payload slab fast path of dex-simnet (see
+# DESIGN.md, "Network fast path"). Pass an argument to write elsewhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p dex-bench --bin bench_simnet -- "${1:-BENCH_simnet.json}"

@@ -31,6 +31,9 @@ echo "== example smoke: quickstart, equivocation_demo"
 cargo run --release -q --example quickstart > /dev/null
 cargo run --release -q --example equivocation_demo > /dev/null
 
+echo "== trace determinism: multicast fast path vs eager expansion"
+cargo test -q -p dex-simnet --test prop_multicast
+
 echo "== trace determinism: dex-sim --trace twice, byte-identical artifact"
 TRACE_ARGS=(--n 7 --t 1 --algo dex-freq --workload bernoulli:0.8 --f 1
             --adversary equivocate --runs 3 --seed 31 --trace)
@@ -46,7 +49,7 @@ echo "== bench smoke: view_ops"
 # per sample (see vendor/criterion).
 CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
 
-echo "== bench gate: view-tally speedup vs committed baseline"
+echo "== bench gate: view-tally + simnet speedups vs committed baselines"
 ./scripts/bench_check.sh
 
 echo "== ci OK"

@@ -206,15 +206,15 @@ fn idb_quorums_are_exact() {
     let key = ProcessId::new(0);
     for i in 1..5 {
         assert!(idb
-            .on_message(ProcessId::new(i), IdbMessage::Echo { key, value: 7 })
+            .on_message(ProcessId::new(i), &IdbMessage::Echo { key, value: 7 })
             .is_empty());
     }
-    let at5 = idb.on_message(ProcessId::new(5), IdbMessage::Echo { key, value: 7 });
+    let at5 = idb.on_message(ProcessId::new(5), &IdbMessage::Echo { key, value: 7 });
     assert!(matches!(at5.as_slice(), [Action::Broadcast(_)]));
     assert!(idb
-        .on_message(ProcessId::new(6), IdbMessage::Echo { key, value: 7 })
+        .on_message(ProcessId::new(6), &IdbMessage::Echo { key, value: 7 })
         .is_empty());
     // Our own amplified echo counts as the 7th witness when it loops back.
-    let at7 = idb.on_message(ProcessId::new(7), IdbMessage::Echo { key, value: 7 });
+    let at7 = idb.on_message(ProcessId::new(7), &IdbMessage::Echo { key, value: 7 });
     assert!(at7.contains(&Action::Deliver { key, value: 7 }));
 }
