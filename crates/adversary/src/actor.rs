@@ -210,7 +210,10 @@ mod tests {
             Node::Rec(Recorder::default()),
             Node::Rec(Recorder::default()),
         ];
-        let mut sim = Simulation::new(nodes, 7, DelayModel::Constant(1));
+        let mut sim = Simulation::builder(nodes)
+            .seed(7)
+            .delay(DelayModel::Constant(1))
+            .build();
         assert!(sim.run(100_000).quiescent);
         sim.actors()
             .iter()

@@ -172,7 +172,10 @@ mod tests {
                 )
             })
             .collect();
-        let mut sim = Simulation::new(actors, 1, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(actors)
+            .seed(1)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(100_000).quiescent);
         for a in sim.actors() {
             let d = a.decision().expect("decided");

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_adversary::{ByzantineStrategy, FaultPlan};
-use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_simnet::{Actor, Context, DelayModel, Simulation};
 use dex_types::{InputVector, ProcessId, SystemConfig};
 use dex_underlying::{BrachaBinary, CoinMode, Outbox, UnderlyingConsensus};
@@ -48,7 +48,10 @@ fn run_binary(coin: CoinMode, seed: u64) -> bool {
             proposal: i % 2 == 0, // forced disagreement
         })
         .collect();
-    let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+    let mut sim = Simulation::builder(actors)
+        .seed(seed)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build();
     let out = sim.run(50_000_000);
     assert!(out.quiescent);
     sim.actors().iter().all(|a| a.bin.decision().is_some())
@@ -89,7 +92,8 @@ fn bench_network_regimes(c: &mut Criterion) {
                 let mut seed = 0;
                 b.iter(|| {
                     seed += 1;
-                    black_box(run_spec(&RunSpec {
+                    black_box(run_instance(&RunInstance {
+                        faults: dex_simnet::FaultSchedule::none(),
                         config: SystemConfig::new(7, 1).expect("7 > 3"),
                         algo: Algo::DexFreq,
                         underlying: UnderlyingKind::Oracle,

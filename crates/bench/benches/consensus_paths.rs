@@ -4,13 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_adversary::{ByzantineStrategy, FaultPlan};
-use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_simnet::DelayModel;
 use dex_types::{InputVector, SystemConfig};
 use std::hint::black_box;
 
-fn spec(input: InputVector<u64>, seed: u64) -> RunSpec {
-    RunSpec {
+fn spec(input: InputVector<u64>, seed: u64) -> RunInstance {
+    RunInstance {
+        faults: dex_simnet::FaultSchedule::none(),
         config: SystemConfig::new(7, 1).expect("7 > 3"),
         algo: Algo::DexFreq,
         underlying: UnderlyingKind::Oracle,
@@ -35,7 +36,7 @@ fn bench_paths(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(run_spec(&spec(input.clone(), seed)))
+                black_box(run_instance(&spec(input.clone(), seed)))
             })
         });
     }

@@ -28,6 +28,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 b.iter(|| {
                     seed += 1;
                     let stats = run_batch(&BatchSpec {
+                        chaos: dex_harness::spec::ChaosSpec::None,
                         config: cfg,
                         algo: *algo,
                         underlying: UnderlyingKind::Oracle,

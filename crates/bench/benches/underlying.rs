@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_adversary::{ByzantineStrategy, FaultPlan};
-use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_simnet::DelayModel;
 use dex_types::{InputVector, SystemConfig};
 use std::hint::black_box;
@@ -24,7 +24,8 @@ fn bench_underlying(c: &mut Criterion) {
                 let mut seed = 0;
                 b.iter(|| {
                     seed += 1;
-                    let r = run_spec(&RunSpec {
+                    let r = run_instance(&RunInstance {
+                        faults: dex_simnet::FaultSchedule::none(),
                         config: SystemConfig::new(7, 1).expect("7 > 3"),
                         algo: Algo::DexFreq,
                         underlying: *underlying,

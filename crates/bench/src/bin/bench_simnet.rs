@@ -243,7 +243,10 @@ fn measure(n: usize) -> (Engine, Engine) {
     });
     let fastpath = best_of(|| {
         let before = CLONES.load(Ordering::Relaxed);
-        let mut sim = Simulation::new((0..n).map(|_| Gossip::new()).collect(), 42, delay.clone());
+        let mut sim = Simulation::builder((0..n).map(|_| Gossip::new()).collect())
+            .seed(42)
+            .delay(delay.clone())
+            .build();
         let out = sim.run(u64::MAX);
         assert!(out.quiescent);
         let stats = sim.stats();

@@ -7,7 +7,7 @@
 
 use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_bench::runs_from_env;
-use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_metrics::Histogram;
 use dex_simnet::DelayModel;
 use dex_types::{InputVector, SystemConfig};
@@ -21,7 +21,8 @@ fn histogram(algo: Algo, p: f64, runs: usize) -> Histogram {
     for i in 0..runs {
         let mut rng = StdRng::seed_from_u64(2010 + i as u64);
         let input: InputVector<u64> = workload.generate(15, &mut rng);
-        let r = run_spec(&RunSpec {
+        let r = run_instance(&RunInstance {
+            faults: dex_simnet::FaultSchedule::none(),
             config: cfg,
             algo,
             underlying: UnderlyingKind::Oracle,

@@ -1,6 +1,11 @@
-//! Randomized safety fuzzer: samples configurations, inputs, adversaries
-//! and schedules at random and checks Lemmas 1–3 on every run. Any
-//! violation aborts with the reproducer spec printed.
+//! Randomized safety fuzzer: samples configurations, inputs, adversaries,
+//! schedules and chaos fault-schedules at random and checks Lemmas 1–3 on
+//! every run. Any violation aborts with the reproducer spec printed.
+//!
+//! Chaos is sampled from the eventually-clean family only (healing
+//! partitions, recovering crashes, duplication, drops confined to links
+//! touching Byzantine processes), so termination stays assertable and the
+//! fuzzer can keep requiring `all_decided` on every run.
 //!
 //! ```text
 //! cargo run --release -p dex-bench --bin fuzz_safety            # 500 runs
@@ -9,12 +14,13 @@
 
 use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_bench::runs_from_env;
-use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex_harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
+use dex_harness::spec::ChaosSpec;
 use dex_simnet::DelayModel;
 use dex_types::{InputVector, SystemConfig};
 use rand::rngs::StdRng;
 
-fn random_spec(rng: &mut StdRng) -> RunSpec {
+fn random_spec(rng: &mut StdRng) -> RunInstance {
     let t = rng.random_range(1..=2usize);
     let (algo, n) = match rng.random_range(0..4u8) {
         0 => (Algo::DexFreq, 6 * t + 1 + rng.random_range(0..3usize)),
@@ -55,12 +61,37 @@ fn random_spec(rng: &mut StdRng) -> RunSpec {
             mean: rng.random_range(2..20),
         },
     };
-    RunSpec {
+    let fault_plan = FaultPlan::random_k(config, f, rng);
+    let chaos = match rng.random_range(0..5u8) {
+        0 => ChaosSpec::None,
+        1 => ChaosSpec::DropHeavy {
+            p: rng.random_range(0.1..0.6),
+        },
+        2 => ChaosSpec::DupHeavy {
+            p: rng.random_range(0.05..0.5),
+        },
+        3 => {
+            let open = rng.random_range(0..20u64);
+            ChaosSpec::PartitionHeal {
+                open,
+                heal: open + rng.random_range(10..150u64),
+            }
+        }
+        _ => {
+            let down = rng.random_range(1..10u64);
+            ChaosSpec::CrashRecover {
+                down,
+                up: down + rng.random_range(10..120u64),
+            }
+        }
+    };
+    RunInstance {
+        faults: chaos.build(config, &fault_plan),
         config,
         algo,
         underlying: UnderlyingKind::Oracle,
         strategy,
-        fault_plan: FaultPlan::random_k(config, f, rng),
+        fault_plan,
         input: InputVector::new(entries),
         delay,
         seed: rng.random(),
@@ -78,7 +109,7 @@ fn main() {
     let started = std::time::Instant::now();
     for i in 0..budget {
         let spec = random_spec(&mut rng);
-        let result = run_spec(&spec);
+        let result = run_instance(&spec);
         let ok = result.quiescent
             && result.agreement_ok()
             && result.all_decided()

@@ -61,6 +61,7 @@ fn main() {
         for (sname, strategy) in &strategies {
             for (wname, workload) in &workloads {
                 let stats = run_batch(&BatchSpec {
+                    chaos: dex_harness::spec::ChaosSpec::None,
                     config: cfg,
                     algo,
                     underlying: UnderlyingKind::Oracle,

@@ -101,7 +101,10 @@ impl Actor for Node {
 }
 
 fn run(nodes: Vec<Node>, seed: u64) -> Simulation<Node> {
-    let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 20 });
+    let mut sim = Simulation::builder(nodes)
+        .seed(seed)
+        .delay(DelayModel::Uniform { min: 1, max: 20 })
+        .build();
     let outcome = sim.run(2_000_000);
     assert!(outcome.quiescent, "IDB must terminate");
     sim
@@ -142,7 +145,10 @@ fn idb_costs_exactly_two_steps() {
     // reaches it, and its witness-amplified echo then delivers at depth 3.
     let cfg = SystemConfig::new(5, 1).unwrap();
     let nodes: Vec<Node> = (0..5).map(|i| Node::correct(cfg, i as u64)).collect();
-    let mut sim = Simulation::new(nodes, 3, DelayModel::Constant(1));
+    let mut sim = Simulation::builder(nodes)
+        .seed(3)
+        .delay(DelayModel::Constant(1))
+        .build();
     let outcome = sim.run(2_000_000);
     assert!(outcome.quiescent, "IDB must terminate");
     for p in correct_ids(&sim) {

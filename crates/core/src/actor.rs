@@ -143,7 +143,10 @@ mod tests {
     fn unanimous_run_decides_one_step_everywhere() {
         for seed in 0..10 {
             let actors = build(7, 1, &[3; 7]);
-            let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+            let mut sim = Simulation::builder(actors)
+                .seed(seed)
+                .delay(DelayModel::Uniform { min: 1, max: 10 })
+                .build();
             assert!(sim.run(1_000_000).quiescent, "seed {seed}");
             for a in sim.actors() {
                 let d = a.decision().expect("decided");
@@ -159,7 +162,10 @@ mod tests {
         // 5 vs 2 margin 3: P2 (> 2) yes, P1 (> 4) no.
         for seed in 0..10 {
             let actors = build(7, 1, &[3, 3, 3, 3, 3, 9, 9]);
-            let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+            let mut sim = Simulation::builder(actors)
+                .seed(seed)
+                .delay(DelayModel::Uniform { min: 1, max: 10 })
+                .build();
             assert!(sim.run(1_000_000).quiescent, "seed {seed}");
             for a in sim.actors() {
                 let d = a.decision().expect("decided");
@@ -178,7 +184,10 @@ mod tests {
         // steps after the 2-step IDB) decides at depth 4.
         for seed in 0..10 {
             let actors = build(7, 1, &[3, 3, 3, 3, 9, 9, 9]);
-            let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+            let mut sim = Simulation::builder(actors)
+                .seed(seed)
+                .delay(DelayModel::Uniform { min: 1, max: 10 })
+                .build();
             assert!(sim.run(1_000_000).quiescent, "seed {seed}");
             let first = sim.actors()[0].decision().unwrap().value;
             for a in sim.actors() {

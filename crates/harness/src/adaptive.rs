@@ -14,7 +14,7 @@
 //! evaluation at `n − t` votes keys only on `t`, so its one-step region
 //! does not grow when `f < t`.
 
-use crate::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use crate::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_metrics::{Summary, Table};
 use dex_simnet::DelayModel;
@@ -63,7 +63,8 @@ fn one_step_fraction(
 ) -> f64 {
     let mut fractions = Summary::new();
     for i in 0..runs {
-        let result = run_spec(&RunSpec {
+        let result = run_instance(&RunInstance {
+            faults: dex_simnet::FaultSchedule::none(),
             config: cfg,
             algo,
             underlying: UnderlyingKind::Oracle,

@@ -45,6 +45,7 @@ impl Default for Opts {
 pub fn mean_steps(cfg: SystemConfig, algo: Algo, p: f64, f: usize, runs: usize, seed0: u64) -> f64 {
     let workload = BernoulliMix { p, a: 1, b: 0 };
     let stats = run_batch_auto(&BatchSpec {
+        chaos: crate::spec::ChaosSpec::None,
         config: cfg,
         algo,
         underlying: UnderlyingKind::Oracle,

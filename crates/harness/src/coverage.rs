@@ -47,6 +47,7 @@ fn fractions(
     seed0: u64,
 ) -> (f64, f64) {
     let stats = run_batch_auto(&BatchSpec {
+        chaos: crate::spec::ChaosSpec::None,
         config: cfg,
         algo,
         underlying: UnderlyingKind::Oracle,

@@ -70,6 +70,7 @@ pub fn run(opts: Opts) -> Table {
                 ("margin-2 split", &thin_margin),
             ] {
                 let stats = run_batch_auto(&BatchSpec {
+                    chaos: crate::spec::ChaosSpec::None,
                     config: cfg,
                     algo,
                     underlying: UnderlyingKind::Oracle,

@@ -8,7 +8,7 @@
 //! underlying consensus). Margins above `4t + 2f` collapse to one step;
 //! margins at or below `2t + 2f` fall back (4 steps for DEX).
 
-use crate::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use crate::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_metrics::{Summary, Table};
 use dex_simnet::DelayModel;
@@ -61,7 +61,8 @@ pub fn measure(
         for e in entries.iter_mut().take(mc) {
             *e = 0;
         }
-        let result = run_spec(&RunSpec {
+        let result = run_instance(&RunInstance {
+            faults: dex_simnet::FaultSchedule::none(),
             config: cfg,
             algo,
             underlying: UnderlyingKind::Oracle,

@@ -166,7 +166,10 @@ fn measure_with(
                 }
             })
             .collect();
-        let mut sim = Simulation::new(nodes, seed0 + i as u64, delay.clone());
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed0 + i as u64)
+            .delay(delay.clone())
+            .build();
         let out = sim.run(10_000_000);
         assert!(out.quiescent, "IDB run must drain");
         stats.runs += 1;

@@ -58,6 +58,7 @@ pub fn run(opts: Opts) -> Table {
             for algo in [Algo::DexFreq, Algo::Bosco, Algo::UnderlyingOnly] {
                 let workload = BernoulliMix { p, a: 1, b: 0 };
                 let stats = run_batch_auto(&BatchSpec {
+                    chaos: crate::spec::ChaosSpec::None,
                     config: cfg,
                     algo,
                     underlying: UnderlyingKind::Oracle,

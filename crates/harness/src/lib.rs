@@ -10,6 +10,9 @@
 //!   `PlainNode`) mixing correct protocol actors with Byzantine actors, plus
 //!   the [`ProtocolForgery`](dex_adversary::ProtocolForgery)
 //!   implementations that let the generic adversary attack each protocol.
+//! * [`spec`] — the unified, serializable [`RunSpec`](spec::RunSpec)
+//!   (system size, algorithm, workload, adversary, chaos schedule, seed…)
+//!   that maps 1:1 onto the `dex-sim` CLI flags and runs batches directly.
 //! * [`runner`] — single-run and batch execution with safety checking
 //!   (agreement / unanimity / termination violations are *counted*, the
 //!   experiment asserts they stay zero) and step/latency statistics.
@@ -20,16 +23,32 @@
 //!
 //! # Examples
 //!
-//! A single DEX run on a unanimous input:
+//! A whole experiment as one [`RunSpec`](spec::RunSpec):
 //!
 //! ```
-//! use dex_harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+//! use dex_harness::spec::{ChaosSpec, RunSpec, WorkloadSpec};
+//!
+//! let spec = RunSpec {
+//!     workload: WorkloadSpec::Unanimous { value: 3 },
+//!     chaos: ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+//!     runs: 4,
+//!     ..RunSpec::default()
+//! };
+//! let stats = spec.run()?;
+//! assert!(stats.clean()); // safe during the cut, live after the heal
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! A single DEX run via the lower-level [`RunInstance`](runner::RunInstance):
+//!
+//! ```
+//! use dex_harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 //! use dex_adversary::{ByzantineStrategy, FaultPlan};
-//! use dex_simnet::DelayModel;
+//! use dex_simnet::{DelayModel, FaultSchedule};
 //! use dex_types::{InputVector, SystemConfig};
 //!
 //! let config = SystemConfig::new(7, 1)?;
-//! let result = run_spec(&RunSpec {
+//! let result = run_instance(&RunInstance {
 //!     config,
 //!     algo: Algo::DexFreq,
 //!     underlying: UnderlyingKind::Oracle,
@@ -37,6 +56,7 @@
 //!     fault_plan: FaultPlan::none(),
 //!     input: InputVector::unanimous(7, 3),
 //!     delay: DelayModel::Uniform { min: 1, max: 10 },
+//!     faults: FaultSchedule::none(),
 //!     seed: 1,
 //!     max_events: 1_000_000,
 //! });
@@ -60,6 +80,7 @@ pub mod nodes;
 pub mod pairs;
 pub mod runner;
 pub mod scaling;
+pub mod spec;
 pub mod table1;
 pub mod trace;
 mod ucwrap;

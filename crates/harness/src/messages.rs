@@ -9,7 +9,7 @@
 //! asymptotic gap — and the fact that it does not depend on which path
 //! decides — concrete.
 
-use crate::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use crate::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_metrics::{Summary, Table};
 use dex_simnet::DelayModel;
@@ -40,7 +40,8 @@ pub fn mean_messages(
 ) -> f64 {
     let mut messages = Summary::new();
     for i in 0..runs {
-        let r = run_spec(&RunSpec {
+        let r = run_instance(&RunInstance {
+            faults: dex_simnet::FaultSchedule::none(),
             config: cfg,
             algo,
             underlying: UnderlyingKind::Oracle,

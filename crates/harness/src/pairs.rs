@@ -56,6 +56,7 @@ pub fn fast_fractions(
     seed0: u64,
 ) -> FastFractions {
     let stats = run_batch_auto(&BatchSpec {
+        chaos: crate::spec::ChaosSpec::None,
         config: cfg,
         algo,
         underlying: UnderlyingKind::Oracle,

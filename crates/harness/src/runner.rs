@@ -1,6 +1,7 @@
 //! Single-run and batch experiment execution.
 
 use crate::nodes::{BoscoNode, CrashNode, DexNode, PlainNode};
+use crate::spec::ChaosSpec;
 use crate::ucwrap::AnyUc;
 use dex_adversary::{ByzantineActor, ByzantineStrategy, FaultPlan};
 use dex_baselines::{
@@ -10,8 +11,8 @@ use dex_baselines::{
 use dex_conditions::{FrequencyPair, PrivilegedPair};
 use dex_core::{DecisionPath, DexActor, DexProcess};
 use dex_metrics::{Counter, Summary};
-use dex_obs::{obs_code, ProcessTrace, RunTrace, SchemeRules, TraceMeta};
-use dex_simnet::{DelayModel, Simulation};
+use dex_obs::{obs_code, ChaosMeta, ProcessTrace, RunTrace, SchemeRules, TraceMeta};
+use dex_simnet::{DelayModel, FaultSchedule, Simulation};
 use dex_types::{InputVector, ProcessId, SystemConfig};
 use dex_workloads::InputGenerator;
 use rand::rngs::StdRng;
@@ -68,7 +69,7 @@ pub enum UnderlyingKind {
 
 /// Full description of a single run.
 #[derive(Clone, Debug)]
-pub struct RunSpec {
+pub struct RunInstance {
     /// System size and fault bound.
     pub config: SystemConfig,
     /// Algorithm under test.
@@ -83,6 +84,9 @@ pub struct RunSpec {
     pub input: InputVector<u64>,
     /// Network delay model.
     pub delay: DelayModel,
+    /// Network chaos schedule (partitions, lossy links, crash windows);
+    /// [`FaultSchedule::none()`] for a clean network.
+    pub faults: FaultSchedule,
     /// Simulation seed.
     pub seed: u64,
     /// Delivery cap (guards against livelock).
@@ -183,11 +187,11 @@ impl RunResult {
     }
 }
 
-fn byz_strategy(spec: &RunSpec) -> ByzantineStrategy<u64> {
+fn byz_strategy(spec: &RunInstance) -> ByzantineStrategy<u64> {
     spec.strategy.clone()
 }
 
-fn make_uc(spec: &RunSpec, me: ProcessId) -> AnyUc {
+fn make_uc(spec: &RunInstance, me: ProcessId) -> AnyUc {
     match spec.underlying {
         UnderlyingKind::Oracle => {
             AnyUc::oracle(spec.config, me, spec.fault_plan.coordinator(spec.config))
@@ -203,7 +207,7 @@ fn make_uc(spec: &RunSpec, me: ProcessId) -> AnyUc {
 /// Panics if the spec's algorithm cannot be instantiated for its
 /// configuration (e.g. `DexFreq` with `n ≤ 6t`) or the fault plan exceeds
 /// `t` — misconfigured experiments should fail loudly.
-pub fn run_spec(spec: &RunSpec) -> RunResult {
+pub fn run_instance(spec: &RunInstance) -> RunResult {
     assert_eq!(
         spec.input.n(),
         spec.config.n(),
@@ -223,13 +227,13 @@ pub struct TracedRun {
     pub trace: RunTrace,
 }
 
-/// Like [`run_spec`], but with per-process event recording enabled, so the
+/// Like [`run_instance`], but with per-process event recording enabled, so the
 /// finished run can be replayed through the `dex-obs` invariant checker.
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`run_spec`].
-pub fn run_spec_traced(spec: &RunSpec) -> TracedRun {
+/// Panics under the same conditions as [`run_instance`].
+pub fn run_instance_traced(spec: &RunInstance) -> TracedRun {
     assert_eq!(
         spec.input.n(),
         spec.config.n(),
@@ -245,7 +249,7 @@ pub fn run_spec_traced(spec: &RunSpec) -> TracedRun {
     }
 }
 
-fn dispatch_spec(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+fn dispatch_spec(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     match spec.algo {
         Algo::DexFreq | Algo::DexPrv { .. } => run_dex(spec, trace),
         Algo::Bosco => run_bosco(spec, trace),
@@ -258,7 +262,7 @@ fn dispatch_spec(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
 /// Builds the checker-facing metadata for a run: which invariant family
 /// applies (DEX predicate rules vs. opaque structural checks), who is
 /// faulty, and a code→value legend for humans reading the artifact.
-fn trace_meta(spec: &RunSpec) -> TraceMeta {
+fn trace_meta(spec: &RunInstance) -> TraceMeta {
     let rules = match spec.algo {
         Algo::DexFreq => SchemeRules::Frequency,
         Algo::DexPrv { m } => SchemeRules::Privileged {
@@ -287,7 +291,32 @@ fn trace_meta(spec: &RunSpec) -> TraceMeta {
         rules,
         faulty,
         legend: legend.into_iter().collect(),
+        chaos: chaos_meta(&spec.faults, &spec.fault_plan),
     }
+}
+
+/// Derives the checker-facing chaos metadata from a run's compiled fault
+/// schedule. `eventually_clean` — the premise of the termination-after-heal
+/// invariant — holds when every disturbance is transient: all crashed
+/// processes recover, and every probabilistic *drop* is confined to links
+/// touching a FaultPlan-faulty process (a correct↔correct link that loses
+/// messages voids any liveness guarantee; duplication never does).
+fn chaos_meta(faults: &FaultSchedule, plan: &FaultPlan) -> Option<ChaosMeta> {
+    if faults.is_empty() {
+        return None;
+    }
+    let drops_budgeted = faults.links().iter().filter(|l| l.drop > 0.0).all(|l| {
+        l.from.is_some_and(|q| plan.is_faulty(q)) || l.to.is_some_and(|q| plan.is_faulty(q))
+    });
+    Some(ChaosMeta {
+        last_heal: faults.last_heal().unwrap_or(0),
+        eventually_clean: faults.all_recover() && drops_budgeted,
+        crashes: faults
+            .crash_windows()
+            .iter()
+            .map(|w| (w.process.index() as u16, w.from, w.until))
+            .collect(),
+    })
 }
 
 /// Harvests every node's trace after a run, substituting an empty trace
@@ -307,7 +336,7 @@ fn collect_traces<'a, N: 'a>(
         .collect()
 }
 
-fn run_crash(spec: &RunSpec, rule: CrashRule, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
     let mut nodes: Vec<CrashNode> = cfg
         .processes()
@@ -327,7 +356,11 @@ fn run_crash(spec: &RunSpec, rule: CrashRule, trace: bool) -> (RunResult, Vec<Pr
             node.enable_obs(i as u16);
         }
     }
-    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let mut sim = Simulation::builder(nodes)
+        .seed(spec.seed)
+        .delay(spec.delay.clone())
+        .faults(spec.faults.clone())
+        .build();
     let run = sim.run(spec.max_events);
     let outcomes = sim
         .actors()
@@ -359,7 +392,7 @@ fn run_crash(spec: &RunSpec, rule: CrashRule, trace: bool) -> (RunResult, Vec<Pr
     )
 }
 
-fn run_dex(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
     let mut nodes: Vec<DexNode> = cfg
         .processes()
@@ -397,7 +430,11 @@ fn run_dex(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
             node.enable_obs(i as u16);
         }
     }
-    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let mut sim = Simulation::builder(nodes)
+        .seed(spec.seed)
+        .delay(spec.delay.clone())
+        .faults(spec.faults.clone())
+        .build();
     let run = sim.run(spec.max_events);
     let outcomes = sim
         .actors()
@@ -431,7 +468,7 @@ fn dex_outcome(d: Option<&dex_core::DecisionRecord<u64>>) -> Outcome {
     }
 }
 
-fn run_bosco(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
     let mut nodes: Vec<BoscoNode> = cfg
         .processes()
@@ -451,7 +488,11 @@ fn run_bosco(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
             node.enable_obs(i as u16);
         }
     }
-    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let mut sim = Simulation::builder(nodes)
+        .seed(spec.seed)
+        .delay(spec.delay.clone())
+        .faults(spec.faults.clone())
+        .build();
     let run = sim.run(spec.max_events);
     let outcomes = sim
         .actors()
@@ -483,7 +524,7 @@ fn run_bosco(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     )
 }
 
-fn run_plain(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+fn run_plain(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
     let cfg = spec.config;
     let mut nodes: Vec<PlainNode> = cfg
         .processes()
@@ -503,7 +544,11 @@ fn run_plain(spec: &RunSpec, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
             node.enable_obs(i as u16);
         }
     }
-    let mut sim = Simulation::new(nodes, spec.seed, spec.delay.clone());
+    let mut sim = Simulation::builder(nodes)
+        .seed(spec.seed)
+        .delay(spec.delay.clone())
+        .faults(spec.faults.clone())
+        .build();
     let run = sim.run(spec.max_events);
     let outcomes = sim
         .actors()
@@ -560,6 +605,9 @@ pub struct BatchSpec<'a> {
     pub workload: &'a (dyn InputGenerator + Sync),
     /// Delay model.
     pub delay: DelayModel,
+    /// Symbolic chaos schedule, compiled per run against that run's fault
+    /// plan (see [`ChaosSpec::build`]).
+    pub chaos: ChaosSpec,
     /// Number of runs.
     pub runs: usize,
     /// Base seed; run `i` uses `seed0 + i`.
@@ -615,7 +663,8 @@ fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
         Placement::LastK => FaultPlan::last_k(spec.config, spec.f),
         Placement::RandomK => FaultPlan::random_k(spec.config, spec.f, &mut rng),
     };
-    let run = run_spec(&RunSpec {
+    let faults = spec.chaos.build(spec.config, &fault_plan);
+    let run = run_instance(&RunInstance {
         config: spec.config,
         algo: spec.algo,
         underlying: spec.underlying,
@@ -623,6 +672,7 @@ fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
         fault_plan: fault_plan.clone(),
         input: input.clone(),
         delay: spec.delay.clone(),
+        faults,
         seed,
         max_events: spec.max_events,
     });
@@ -662,7 +712,8 @@ pub fn traced_batch_run(spec: &BatchSpec<'_>, i: usize) -> TracedRun {
         Placement::LastK => FaultPlan::last_k(spec.config, spec.f),
         Placement::RandomK => FaultPlan::random_k(spec.config, spec.f, &mut rng),
     };
-    run_spec_traced(&RunSpec {
+    let faults = spec.chaos.build(spec.config, &fault_plan);
+    run_instance_traced(&RunInstance {
         config: spec.config,
         algo: spec.algo,
         underlying: spec.underlying,
@@ -670,6 +721,7 @@ pub fn traced_batch_run(spec: &BatchSpec<'_>, i: usize) -> TracedRun {
         fault_plan,
         input,
         delay: spec.delay.clone(),
+        faults,
         seed,
         max_events: spec.max_events,
     })
@@ -740,8 +792,8 @@ mod tests {
     use super::*;
     use dex_workloads::Unanimous;
 
-    fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunSpec {
-        RunSpec {
+    fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunInstance {
+        RunInstance {
             config: SystemConfig::new(n, t).unwrap(),
             algo,
             underlying: UnderlyingKind::Oracle,
@@ -749,6 +801,7 @@ mod tests {
             fault_plan: FaultPlan::none(),
             input,
             delay: DelayModel::Uniform { min: 1, max: 10 },
+            faults: FaultSchedule::none(),
             seed: 7,
             max_events: 1_000_000,
         }
@@ -757,7 +810,7 @@ mod tests {
     #[test]
     fn dex_freq_unanimous_is_one_step() {
         let spec = base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3));
-        let r = run_spec(&spec);
+        let r = run_instance(&spec);
         assert!(r.quiescent && r.agreement_ok() && r.all_decided());
         assert_eq!(r.max_steps(), Some(1));
         assert!(r.decided().all(|p| p.path == "1-step" && p.value == 3));
@@ -766,7 +819,7 @@ mod tests {
     #[test]
     fn bosco_unanimous_is_one_step() {
         let spec = base_spec(7, 1, Algo::Bosco, InputVector::unanimous(7, 3));
-        let r = run_spec(&spec);
+        let r = run_instance(&spec);
         assert_eq!(r.max_steps(), Some(1));
         assert!(r.decided().all(|p| p.path == "1-step"));
     }
@@ -774,7 +827,7 @@ mod tests {
     #[test]
     fn underlying_only_is_two_steps() {
         let spec = base_spec(7, 1, Algo::UnderlyingOnly, InputVector::unanimous(7, 3));
-        let r = run_spec(&spec);
+        let r = run_instance(&spec);
         assert_eq!(r.max_steps(), Some(2));
         assert!(r.decided().all(|p| p.path == "fallback"));
     }
@@ -784,7 +837,7 @@ mod tests {
         // m = 1, 5 of 6 propose it: #m = 5 > 3t = 3.
         let input = InputVector::new(vec![1, 1, 1, 1, 1, 0]);
         let spec = base_spec(6, 1, Algo::DexPrv { m: 1 }, input);
-        let r = run_spec(&spec);
+        let r = run_instance(&spec);
         assert!(r.agreement_ok());
         assert!(r.decided().all(|p| p.value == 1));
         assert_eq!(r.max_steps(), Some(1));
@@ -792,11 +845,11 @@ mod tests {
 
     #[test]
     fn silent_fault_run_with_dex() {
-        let spec = RunSpec {
+        let spec = RunInstance {
             fault_plan: FaultPlan::last_k(SystemConfig::new(7, 1).unwrap(), 1),
             ..base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3))
         };
-        let r = run_spec(&spec);
+        let r = run_instance(&spec);
         assert!(r.quiescent && r.agreement_ok() && r.all_decided());
         assert!(matches!(r.outcomes[6], Outcome::Faulty));
         // 6 unanimous entries reachable: margin 6 > 4 ⇒ still one-step.
@@ -806,13 +859,13 @@ mod tests {
     #[test]
     fn equivocator_cannot_break_agreement() {
         for seed in 0..10 {
-            let spec = RunSpec {
+            let spec = RunInstance {
                 fault_plan: FaultPlan::last_k(SystemConfig::new(7, 1).unwrap(), 1),
                 strategy: ByzantineStrategy::EchoPoison { values: vec![3, 9] },
                 seed,
                 ..base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3))
             };
-            let r = run_spec(&spec);
+            let r = run_instance(&spec);
             assert!(r.agreement_ok(), "seed {seed}");
             assert!(r.unanimity_ok(&InputVector::unanimous(7, 3), &spec.fault_plan));
             assert!(r.all_decided(), "seed {seed}");
@@ -832,6 +885,7 @@ mod tests {
             placement: Placement::RandomK,
             workload: &workload,
             delay: DelayModel::Uniform { min: 1, max: 10 },
+            chaos: ChaosSpec::None,
             runs: 20,
             seed0: 100,
             max_events: 1_000_000,
@@ -855,6 +909,7 @@ mod tests {
             placement: Placement::RandomK,
             workload: &workload,
             delay: DelayModel::Uniform { min: 1, max: 10 },
+            chaos: ChaosSpec::None,
             runs: 24,
             seed0: 9,
             max_events: 5_000_000,
@@ -870,15 +925,69 @@ mod tests {
     }
 
     #[test]
+    fn chaos_batch_stays_safe_and_live() {
+        // Partition + heal under an equivocating Byzantine process at f = t:
+        // deliveries are deferred, never lost, so the batch must stay clean.
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let workload = dex_workloads::BernoulliMix { p: 0.8, a: 1, b: 0 };
+        let stats = run_batch(&BatchSpec {
+            config: cfg,
+            algo: Algo::DexFreq,
+            underlying: UnderlyingKind::Oracle,
+            strategy: ByzantineStrategy::Equivocate { values: vec![0, 1] },
+            f: 1,
+            placement: Placement::RandomK,
+            workload: &workload,
+            delay: DelayModel::Uniform { min: 1, max: 10 },
+            chaos: ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+            runs: 12,
+            seed0: 40,
+            max_events: 5_000_000,
+        });
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.runs, 12);
+    }
+
+    #[test]
+    fn traced_chaos_run_carries_chaos_meta() {
+        let mut spec = base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3));
+        assert!(run_instance_traced(&spec).trace.meta.chaos.is_none());
+        spec.faults = FaultSchedule::new().crash(ProcessId::new(2), 3, 90);
+        let traced = run_instance_traced(&spec);
+        let report = dex_obs::check(&traced.trace);
+        let chaos = traced.trace.meta.chaos.expect("chaos meta for chaos run");
+        assert_eq!(chaos.last_heal, 90);
+        assert!(chaos.eventually_clean);
+        assert_eq!(chaos.crashes, vec![(2, 3, Some(90))]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert!(report
+            .checks
+            .iter()
+            .any(|(name, _)| *name == "termination-after-heal"));
+    }
+
+    #[test]
+    fn unbudgeted_drops_void_the_liveness_premise() {
+        // A drop probability on a correct↔correct link is a genuine loss:
+        // the meta must not claim the schedule eventually comes clean.
+        let spec = RunInstance {
+            faults: FaultSchedule::new().lossy_link(Some(ProcessId::new(1)), None, 0.5, 0.0),
+            ..base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3))
+        };
+        let chaos = run_instance_traced(&spec).trace.meta.chaos.unwrap();
+        assert!(!chaos.eventually_clean);
+    }
+
+    #[test]
     fn mvc_underlying_full_stack_run() {
         // Split input forces the randomized fallback to do real work.
         let input = InputVector::new(vec![3, 3, 3, 9, 9, 9, 9]);
-        let spec = RunSpec {
+        let spec = RunInstance {
             underlying: UnderlyingKind::Mvc { coin_seed: 11 },
             max_events: 10_000_000,
             ..base_spec(7, 1, Algo::DexFreq, input)
         };
-        let r = run_spec(&spec);
+        let r = run_instance(&spec);
         assert!(r.quiescent);
         assert!(r.agreement_ok());
         assert!(r.all_decided());

@@ -60,6 +60,7 @@ pub fn run(opts: Opts) -> Table {
     ] {
         let cfg = SystemConfig::new(n, opts.t).expect("n > 6t by construction");
         let dex = run_batch_auto(&BatchSpec {
+            chaos: crate::spec::ChaosSpec::None,
             config: cfg,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,
@@ -74,6 +75,7 @@ pub fn run(opts: Opts) -> Table {
         });
         assert!(dex.clean(), "{dex:?}");
         let bosco = run_batch_auto(&BatchSpec {
+            chaos: crate::spec::ChaosSpec::None,
             config: cfg,
             algo: Algo::Bosco,
             underlying: UnderlyingKind::Oracle,

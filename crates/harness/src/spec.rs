@@ -1,0 +1,821 @@
+//! The unified, serializable experiment specification.
+//!
+//! A [`RunSpec`] is the *single* description of an experiment: system size,
+//! algorithm, workload, adversary, underlying consensus, delay model, chaos
+//! schedule, batch size and seed. It maps **1:1 onto the `dex-sim` CLI
+//! flags** — [`RunSpec::from_args`] parses exactly what the binary accepts,
+//! [`RunSpec::to_args`] renders a spec back into that flag vector, and
+//! [`RunSpec::to_json`] emits a deterministic JSON description for
+//! artifacts and logs. Experiment modules and tests construct a `RunSpec`
+//! and call [`run`](RunSpec::run) / [`run_auto`](RunSpec::run_auto) /
+//! [`traced`](RunSpec::traced); the lower-level [`RunInstance`] /
+//! [`BatchSpec`](crate::runner::BatchSpec) remain available for
+//! programmatic setups (custom generators, `Skewed`/`Targeted` delays,
+//! hand-built fault schedules) that have no CLI spelling.
+//!
+//! Chaos schedules are specified *symbolically* ([`ChaosSpec`]) and
+//! compiled per run against that run's Byzantine [`FaultPlan`] — so e.g.
+//! `drop:0.3` always attaches its lossy links to the processes that are
+//! *actually* faulty in run `i`, keeping correct↔correct links reliable and
+//! liveness assertable.
+
+use crate::runner::{
+    run_batch, run_batch_auto, traced_batch_run, Algo, BatchSpec, BatchStats, Placement, TracedRun,
+    UnderlyingKind,
+};
+use dex_adversary::{ByzantineStrategy, FaultPlan};
+use dex_simnet::{DelayModel, FaultSchedule};
+use dex_types::{ProcessId, SystemConfig};
+use dex_workloads::{
+    BernoulliMix, InputGenerator, SplitCount, Unanimous, UniformRandom, ZipfRequests,
+};
+use std::fmt::Write as _;
+
+/// Input-vector generator selection, mirroring `--workload`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WorkloadSpec {
+    /// Every process proposes `value` (`unanimous:<v>`).
+    Unanimous {
+        /// The common proposal.
+        value: u64,
+    },
+    /// Each process proposes `1` with probability `p`, else `0`
+    /// (`bernoulli:<p>`).
+    Bernoulli {
+        /// Probability of proposing `1`.
+        p: f64,
+    },
+    /// Uniform over `0..domain` (`uniform:<domain>`).
+    Uniform {
+        /// Domain size.
+        domain: u64,
+    },
+    /// Zipf-distributed requests over `0..domain` (`zipf:<domain>:<s>`).
+    Zipf {
+        /// Domain size.
+        domain: u64,
+        /// Skew exponent.
+        s: f64,
+    },
+    /// `minor_count` processes propose `0`, the rest `1`
+    /// (`split:<minor_count>`).
+    Split {
+        /// Size of the minority.
+        minor_count: usize,
+    },
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec::Unanimous { value: 1 }
+    }
+}
+
+impl WorkloadSpec {
+    /// Instantiates the generator this spec describes.
+    pub fn generator(&self) -> Box<dyn InputGenerator + Sync> {
+        match *self {
+            WorkloadSpec::Unanimous { value } => Box::new(Unanimous { value }),
+            WorkloadSpec::Bernoulli { p } => Box::new(BernoulliMix { p, a: 1, b: 0 }),
+            WorkloadSpec::Uniform { domain } => Box::new(UniformRandom { domain }),
+            WorkloadSpec::Zipf { domain, s } => Box::new(ZipfRequests { domain, s }),
+            WorkloadSpec::Split { minor_count } => Box::new(SplitCount {
+                major: 1,
+                minor: 0,
+                minor_count,
+            }),
+        }
+    }
+
+    /// Parses a `--workload` value.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = raw.split(':').collect();
+        let num = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse()
+                .map_err(|_| format!("bad {what} in workload {raw:?}"))
+        };
+        match parts.as_slice() {
+            ["unanimous"] => Ok(WorkloadSpec::Unanimous { value: 1 }),
+            ["unanimous", v] => Ok(WorkloadSpec::Unanimous {
+                value: num(v, "value")?,
+            }),
+            ["bernoulli", p] => Ok(WorkloadSpec::Bernoulli {
+                p: p.parse()
+                    .map_err(|_| format!("bad probability in workload {raw:?}"))?,
+            }),
+            ["uniform", d] => Ok(WorkloadSpec::Uniform {
+                domain: num(d, "domain")?,
+            }),
+            ["zipf", d, s] => Ok(WorkloadSpec::Zipf {
+                domain: num(d, "domain")?,
+                s: s.parse()
+                    .map_err(|_| format!("bad skew in workload {raw:?}"))?,
+            }),
+            ["split", mc] => Ok(WorkloadSpec::Split {
+                minor_count: num(mc, "minority count")? as usize,
+            }),
+            _ => Err(format!("unknown workload {raw:?}")),
+        }
+    }
+
+    /// Renders the `--workload` value this spec parses from.
+    pub fn flag(&self) -> String {
+        match self {
+            WorkloadSpec::Unanimous { value } => format!("unanimous:{value}"),
+            WorkloadSpec::Bernoulli { p } => format!("bernoulli:{p}"),
+            WorkloadSpec::Uniform { domain } => format!("uniform:{domain}"),
+            WorkloadSpec::Zipf { domain, s } => format!("zipf:{domain}:{s}"),
+            WorkloadSpec::Split { minor_count } => format!("split:{minor_count}"),
+        }
+    }
+}
+
+/// Byzantine-strategy selection, mirroring `--adversary`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AdversarySpec {
+    /// Crash-like silence (`silent`).
+    #[default]
+    Silent,
+    /// Consistent lie with `value` (`lie:<v>`).
+    Lie {
+        /// The value it pushes.
+        value: u64,
+    },
+    /// Equivocation between `0` and `1` (`equivocate`).
+    Equivocate,
+    /// Equivocation plus forged protocol reactions (`echo-poison`).
+    EchoPoison,
+    /// Honest proposal of `1` to the first `reach` recipients, then crash
+    /// (`crash-mid:<reach>`).
+    CrashMid {
+        /// Recipients reached before crashing.
+        reach: usize,
+    },
+}
+
+impl AdversarySpec {
+    /// Instantiates the strategy this spec describes.
+    pub fn strategy(&self) -> ByzantineStrategy<u64> {
+        match *self {
+            AdversarySpec::Silent => ByzantineStrategy::Silent,
+            AdversarySpec::Lie { value } => ByzantineStrategy::ConsistentLie { value },
+            AdversarySpec::Equivocate => ByzantineStrategy::Equivocate { values: vec![0, 1] },
+            AdversarySpec::EchoPoison => ByzantineStrategy::EchoPoison { values: vec![0, 1] },
+            AdversarySpec::CrashMid { reach } => ByzantineStrategy::CrashMid { value: 1, reach },
+        }
+    }
+
+    /// Parses an `--adversary` value.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        match raw.split(':').collect::<Vec<_>>().as_slice() {
+            ["silent"] => Ok(AdversarySpec::Silent),
+            ["lie"] => Ok(AdversarySpec::Lie { value: 0 }),
+            ["lie", v] => Ok(AdversarySpec::Lie {
+                value: v
+                    .parse()
+                    .map_err(|_| format!("bad value in adversary {raw:?}"))?,
+            }),
+            ["equivocate"] => Ok(AdversarySpec::Equivocate),
+            ["echo-poison"] => Ok(AdversarySpec::EchoPoison),
+            ["crash-mid", r] => Ok(AdversarySpec::CrashMid {
+                reach: r
+                    .parse()
+                    .map_err(|_| format!("bad reach in adversary {raw:?}"))?,
+            }),
+            _ => Err(format!("unknown adversary {raw:?}")),
+        }
+    }
+
+    /// Renders the `--adversary` value this spec parses from.
+    pub fn flag(&self) -> String {
+        match self {
+            AdversarySpec::Silent => "silent".into(),
+            AdversarySpec::Lie { value } => format!("lie:{value}"),
+            AdversarySpec::Equivocate => "equivocate".into(),
+            AdversarySpec::EchoPoison => "echo-poison".into(),
+            AdversarySpec::CrashMid { reach } => format!("crash-mid:{reach}"),
+        }
+    }
+}
+
+/// Underlying-consensus selection, mirroring `--underlying`. The MVC
+/// common-coin seed is the run spec's base seed, resolved at batch time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UnderlyingSpec {
+    /// Idealized 2-step coordinator (`oracle`).
+    #[default]
+    Oracle,
+    /// Real randomized stack (`mvc`).
+    Mvc,
+}
+
+impl UnderlyingSpec {
+    /// Parses an `--underlying` value.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "oracle" => Ok(UnderlyingSpec::Oracle),
+            "mvc" => Ok(UnderlyingSpec::Mvc),
+            _ => Err(format!("unknown underlying {raw:?}")),
+        }
+    }
+
+    /// Renders the `--underlying` value this spec parses from.
+    pub fn flag(&self) -> &'static str {
+        match self {
+            UnderlyingSpec::Oracle => "oracle",
+            UnderlyingSpec::Mvc => "mvc",
+        }
+    }
+}
+
+/// Symbolic chaos-schedule selection, mirroring `--chaos`.
+///
+/// A `ChaosSpec` is *compiled* into a concrete
+/// [`FaultSchedule`] per run via [`build`](ChaosSpec::build), against that
+/// run's Byzantine [`FaultPlan`] — drop-heavy schedules attach their lossy
+/// links to the run's actually-faulty processes (so correct↔correct links
+/// stay reliable), and crash/partition schedules avoid silencing the
+/// processes the plan already controls.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum ChaosSpec {
+    /// No chaos (`none`): the compiled schedule is empty and the run is
+    /// bit-identical to a chaos-free build.
+    #[default]
+    None,
+    /// Every link incident to a *FaultPlan-faulty* process drops messages
+    /// with probability `p` (`drop:<p>`). Confining genuine losses to
+    /// already-faulty processes keeps the fault budget honest: liveness
+    /// must still hold.
+    DropHeavy {
+        /// Per-message drop probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// Every message is duplicated with probability `p` (`dup:<p>`) —
+    /// harmless to first-write-wins protocols, by design.
+    DupHeavy {
+        /// Per-message duplication probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// The first `⌈n/2⌉` processes are cut off from the rest over
+    /// `[open, heal)` (`partition:<open>:<heal>`); cross-cut messages are
+    /// held and re-delivered after the heal.
+    PartitionHeal {
+        /// Instant the cut opens.
+        open: u64,
+        /// Instant the cut heals.
+        heal: u64,
+    },
+    /// `max(t, 1)` correct, non-coordinator processes are silenced over
+    /// `[down, up)` and recover (`crash:<down>:<up>`); `down ≥ 1` so the
+    /// victims' `on_start` sends at time 0 stay legal.
+    CrashRecover {
+        /// Instant the victims go down (≥ 1).
+        down: u64,
+        /// Recovery instant.
+        up: u64,
+    },
+}
+
+impl ChaosSpec {
+    /// The four canonical non-trivial schedules of the CI chaos matrix.
+    pub const MATRIX: [ChaosSpec; 4] = [
+        ChaosSpec::DropHeavy { p: 0.4 },
+        ChaosSpec::DupHeavy { p: 0.35 },
+        ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+        ChaosSpec::CrashRecover { down: 3, up: 100 },
+    ];
+
+    /// `true` for [`ChaosSpec::None`].
+    pub fn is_none(&self) -> bool {
+        *self == ChaosSpec::None
+    }
+
+    /// Short label for artifact names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosSpec::None => "none",
+            ChaosSpec::DropHeavy { .. } => "drop",
+            ChaosSpec::DupHeavy { .. } => "dup",
+            ChaosSpec::PartitionHeal { .. } => "partition",
+            ChaosSpec::CrashRecover { .. } => "crash",
+        }
+    }
+
+    /// Parses a `--chaos` value.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let prob = |s: &str| -> Result<f64, String> {
+            let p: f64 = s
+                .parse()
+                .map_err(|_| format!("bad probability in chaos {raw:?}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} out of [0, 1] in chaos {raw:?}"));
+            }
+            Ok(p)
+        };
+        let time = |s: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("bad time in chaos {raw:?}"))
+        };
+        match raw.split(':').collect::<Vec<_>>().as_slice() {
+            ["none"] => Ok(ChaosSpec::None),
+            ["drop", p] => Ok(ChaosSpec::DropHeavy { p: prob(p)? }),
+            ["dup", p] => Ok(ChaosSpec::DupHeavy { p: prob(p)? }),
+            ["partition", open, heal] => {
+                let (open, heal) = (time(open)?, time(heal)?);
+                if open > heal {
+                    return Err(format!("partition window [{open}, {heal}) is inverted"));
+                }
+                Ok(ChaosSpec::PartitionHeal { open, heal })
+            }
+            ["crash", down, up] => {
+                let (down, up) = (time(down)?, time(up)?);
+                if down == 0 {
+                    return Err("crash windows must start at t ≥ 1 (on_start runs at 0)".into());
+                }
+                if down > up {
+                    return Err(format!("crash window [{down}, {up}) is inverted"));
+                }
+                Ok(ChaosSpec::CrashRecover { down, up })
+            }
+            _ => Err(format!("unknown chaos {raw:?}")),
+        }
+    }
+
+    /// Renders the `--chaos` value this spec parses from.
+    pub fn flag(&self) -> String {
+        match self {
+            ChaosSpec::None => "none".into(),
+            ChaosSpec::DropHeavy { p } => format!("drop:{p}"),
+            ChaosSpec::DupHeavy { p } => format!("dup:{p}"),
+            ChaosSpec::PartitionHeal { open, heal } => format!("partition:{open}:{heal}"),
+            ChaosSpec::CrashRecover { down, up } => format!("crash:{down}:{up}"),
+        }
+    }
+
+    /// Compiles the symbolic spec into a concrete [`FaultSchedule`] for a
+    /// run whose Byzantine processes are given by `plan`.
+    pub fn build(&self, config: SystemConfig, plan: &FaultPlan) -> FaultSchedule {
+        match *self {
+            ChaosSpec::None => FaultSchedule::none(),
+            ChaosSpec::DropHeavy { p } => FaultSchedule::new().lossy_processes(
+                config.processes().filter(|q| plan.is_faulty(*q)),
+                p,
+                0.0,
+            ),
+            ChaosSpec::DupHeavy { p } => FaultSchedule::new().dup_all(p),
+            ChaosSpec::PartitionHeal { open, heal } => FaultSchedule::new().partition(
+                config.processes().take(config.n().div_ceil(2)),
+                open,
+                heal,
+            ),
+            ChaosSpec::CrashRecover { down, up } => {
+                // Crash correct, non-coordinator processes: the oracle
+                // coordinator (p0) stays up so the fallback path works, and
+                // crashing a Byzantine process would waste the window.
+                let victims: Vec<ProcessId> = config
+                    .processes()
+                    .filter(|q| !plan.is_faulty(*q) && q.index() != 0)
+                    .collect();
+                let k = config.t().max(1).min(victims.len());
+                let mut sched = FaultSchedule::new();
+                for &q in victims.iter().rev().take(k) {
+                    sched = sched.crash(q, down, up);
+                }
+                sched
+            }
+        }
+    }
+}
+
+/// The unified experiment description: every knob of a `dex-sim` batch, as
+/// one serde-able value. See the module docs for the flag mapping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunSpec {
+    /// System size (`--n`).
+    pub n: usize,
+    /// Fault bound (`--t`).
+    pub t: usize,
+    /// Actual Byzantine processes per run, `≤ t` (`--f`).
+    pub f: usize,
+    /// Algorithm under test (`--algo`).
+    pub algo: Algo,
+    /// Input-vector generator (`--workload`).
+    pub workload: WorkloadSpec,
+    /// Byzantine strategy (`--adversary`).
+    pub adversary: AdversarySpec,
+    /// Underlying consensus (`--underlying`).
+    pub underlying: UnderlyingSpec,
+    /// Fault placement policy (`--placement`).
+    pub placement: Placement,
+    /// Link-delay model (`--delay`; `uniform:<min>:<max>`, `constant:<d>`
+    /// or `exp:<mean>` — the `Skewed`/`Targeted` models have no CLI
+    /// spelling and require the programmatic API).
+    pub delay: DelayModel,
+    /// Network chaos schedule (`--chaos`).
+    pub chaos: ChaosSpec,
+    /// Batch size (`--runs`).
+    pub runs: usize,
+    /// Base seed; run `i` uses `seed + i` (`--seed`).
+    pub seed: u64,
+    /// Delivery cap per run (`--max-events`).
+    pub max_events: u64,
+    /// Whether to re-execute run 0 with event recording (`--trace`).
+    pub trace: bool,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            n: 7,
+            t: 1,
+            f: 0,
+            algo: Algo::DexFreq,
+            workload: WorkloadSpec::default(),
+            adversary: AdversarySpec::default(),
+            underlying: UnderlyingSpec::default(),
+            placement: Placement::RandomK,
+            delay: DelayModel::Uniform { min: 1, max: 10 },
+            chaos: ChaosSpec::default(),
+            runs: 20,
+            seed: 0,
+            max_events: 50_000_000,
+            trace: false,
+        }
+    }
+}
+
+fn parse_algo(raw: &str) -> Result<Algo, String> {
+    match raw.split(':').collect::<Vec<_>>().as_slice() {
+        ["dex-freq"] => Ok(Algo::DexFreq),
+        ["dex-prv"] => Ok(Algo::DexPrv { m: 1 }),
+        ["dex-prv", m] => Ok(Algo::DexPrv {
+            m: m.parse()
+                .map_err(|_| format!("bad privileged value in algo {raw:?}"))?,
+        }),
+        ["bosco"] => Ok(Algo::Bosco),
+        ["plain"] | ["underlying-only"] => Ok(Algo::UnderlyingOnly),
+        ["brasileiro"] => Ok(Algo::Brasileiro),
+        ["crash-adaptive"] => Ok(Algo::CrashAdaptive),
+        _ => Err(format!("unknown algo {raw:?}")),
+    }
+}
+
+fn algo_flag(algo: Algo) -> String {
+    match algo {
+        Algo::DexPrv { m } => format!("dex-prv:{m}"),
+        Algo::UnderlyingOnly => "plain".into(),
+        other => other.label().into(),
+    }
+}
+
+fn parse_delay(raw: &str) -> Result<DelayModel, String> {
+    let num = |s: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("bad number in delay {raw:?}"))
+    };
+    match raw.split(':').collect::<Vec<_>>().as_slice() {
+        ["constant", d] => Ok(DelayModel::Constant(num(d)?)),
+        ["uniform", min, max] => Ok(DelayModel::Uniform {
+            min: num(min)?,
+            max: num(max)?,
+        }),
+        ["exp", mean] => Ok(DelayModel::Exponential { mean: num(mean)? }),
+        _ => Err(format!("unknown delay {raw:?}")),
+    }
+}
+
+fn delay_flag(delay: &DelayModel) -> String {
+    match delay {
+        DelayModel::Constant(d) => format!("constant:{d}"),
+        DelayModel::Uniform { min, max } => format!("uniform:{min}:{max}"),
+        DelayModel::Exponential { mean } => format!("exp:{mean}"),
+        other => panic!("delay model {other:?} has no CLI spelling"),
+    }
+}
+
+fn parse_placement(raw: &str) -> Result<Placement, String> {
+    match raw {
+        "random-k" => Ok(Placement::RandomK),
+        "last-k" => Ok(Placement::LastK),
+        _ => Err(format!("unknown placement {raw:?}")),
+    }
+}
+
+fn placement_flag(placement: Placement) -> &'static str {
+    match placement {
+        Placement::RandomK => "random-k",
+        Placement::LastK => "last-k",
+    }
+}
+
+impl RunSpec {
+    /// Validates the configuration (`n > t` constraints, `f ≤ t`) and
+    /// returns the [`SystemConfig`].
+    pub fn config(&self) -> Result<SystemConfig, String> {
+        let config = SystemConfig::new(self.n, self.t).map_err(|e| e.to_string())?;
+        if self.f > self.t {
+            return Err(format!(
+                "f = {} exceeds the fault bound t = {}",
+                self.f, self.t
+            ));
+        }
+        Ok(config)
+    }
+
+    /// Resolves the underlying-consensus kind (the MVC coin seed is the
+    /// spec's base seed).
+    pub fn underlying_kind(&self) -> UnderlyingKind {
+        match self.underlying {
+            UnderlyingSpec::Oracle => UnderlyingKind::Oracle,
+            UnderlyingSpec::Mvc => UnderlyingKind::Mvc {
+                coin_seed: self.seed,
+            },
+        }
+    }
+
+    /// Lowers the spec to a [`BatchSpec`] and hands it to `body` (the
+    /// borrowed workload generator lives for the duration of the call).
+    pub fn with_batch<R>(&self, body: impl FnOnce(&BatchSpec<'_>) -> R) -> Result<R, String> {
+        let config = self.config()?;
+        let workload = self.workload.generator();
+        let batch = BatchSpec {
+            config,
+            algo: self.algo,
+            underlying: self.underlying_kind(),
+            strategy: self.adversary.strategy(),
+            f: self.f,
+            placement: self.placement,
+            workload: workload.as_ref(),
+            delay: self.delay.clone(),
+            chaos: self.chaos.clone(),
+            runs: self.runs,
+            seed0: self.seed,
+            max_events: self.max_events,
+        };
+        Ok(body(&batch))
+    }
+
+    /// Executes the batch sequentially.
+    pub fn run(&self) -> Result<BatchStats, String> {
+        self.with_batch(run_batch)
+    }
+
+    /// Executes the batch with one worker per core (same statistics).
+    pub fn run_auto(&self) -> Result<BatchStats, String> {
+        self.with_batch(run_batch_auto)
+    }
+
+    /// Re-executes batch run `i` with event recording enabled.
+    pub fn traced(&self, i: usize) -> Result<TracedRun, String> {
+        self.with_batch(|batch| traced_batch_run(batch, i))
+    }
+
+    /// The `results/` artifact path a `--trace` invocation of this spec
+    /// writes: `trace_<seed>.json` for chaos-free specs (unchanged from
+    /// the pre-chaos layout), `trace_chaos_<label>_<seed>.json` otherwise.
+    pub fn trace_artifact(&self) -> String {
+        if self.chaos.is_none() {
+            format!("results/trace_{}.json", self.seed)
+        } else {
+            format!(
+                "results/trace_chaos_{}_{}.json",
+                self.chaos.label(),
+                self.seed
+            )
+        }
+    }
+
+    /// Renders the spec as the `dex-sim` flag vector that parses back into
+    /// it. Every flag is emitted explicitly (defaults included), in a fixed
+    /// order, so the output is deterministic and self-describing.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--n".into(),
+            self.n.to_string(),
+            "--t".into(),
+            self.t.to_string(),
+            "--f".into(),
+            self.f.to_string(),
+            "--algo".into(),
+            algo_flag(self.algo),
+            "--workload".into(),
+            self.workload.flag(),
+            "--adversary".into(),
+            self.adversary.flag(),
+            "--underlying".into(),
+            self.underlying.flag().into(),
+            "--placement".into(),
+            placement_flag(self.placement).into(),
+            "--delay".into(),
+            delay_flag(&self.delay),
+            "--chaos".into(),
+            self.chaos.flag(),
+            "--runs".into(),
+            self.runs.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+            "--max-events".into(),
+            self.max_events.to_string(),
+        ];
+        if self.trace {
+            args.push("--trace".into());
+        }
+        args
+    }
+
+    /// Parses a `dex-sim` flag vector (`["--n", "7", "--algo", ...]`).
+    /// Unspecified flags take their defaults; `--trace` takes no value.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Result<Self, String> {
+        let mut spec = RunSpec::default();
+        let mut it = args.iter().map(AsRef::as_ref);
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument {arg:?} (flags look like --name value)"
+                ));
+            };
+            if name == "trace" {
+                spec.trace = true;
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            let int = |what: &str| -> Result<u64, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("could not parse --{what} {value}"))
+            };
+            match name {
+                "n" => spec.n = int("n")? as usize,
+                "t" => spec.t = int("t")? as usize,
+                "f" => spec.f = int("f")? as usize,
+                "runs" => spec.runs = int("runs")? as usize,
+                "seed" => spec.seed = int("seed")?,
+                "max-events" => spec.max_events = int("max-events")?,
+                "algo" => spec.algo = parse_algo(value)?,
+                "workload" => spec.workload = WorkloadSpec::parse(value)?,
+                "adversary" => spec.adversary = AdversarySpec::parse(value)?,
+                "underlying" => spec.underlying = UnderlyingSpec::parse(value)?,
+                "placement" => spec.placement = parse_placement(value)?,
+                "delay" => spec.delay = parse_delay(value)?,
+                "chaos" => spec.chaos = ChaosSpec::parse(value)?,
+                _ => return Err(format!("unknown flag --{name}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Deterministic one-line JSON description of the spec (fixed key
+    /// order, no floats beyond their shortest display form) — for logs and
+    /// artifact headers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"n\":{},\"t\":{},\"f\":{},\"algo\":\"{}\",\"workload\":\"{}\",\
+             \"adversary\":\"{}\",\"underlying\":\"{}\",\"placement\":\"{}\",\
+             \"delay\":\"{}\",\"chaos\":\"{}\",\"runs\":{},\"seed\":{},\
+             \"max_events\":{},\"trace\":{}}}",
+            self.n,
+            self.t,
+            self.f,
+            algo_flag(self.algo),
+            self.workload.flag(),
+            self.adversary.flag(),
+            self.underlying.flag(),
+            placement_flag(self.placement),
+            delay_flag(&self.delay),
+            self.chaos.flag(),
+            self.runs,
+            self.seed,
+            self.max_events,
+            self.trace,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_round_trip_through_parse_and_render() {
+        let spec = RunSpec {
+            n: 10,
+            t: 1,
+            f: 1,
+            algo: Algo::DexPrv { m: 3 },
+            workload: WorkloadSpec::Bernoulli { p: 0.8 },
+            adversary: AdversarySpec::Equivocate,
+            underlying: UnderlyingSpec::Mvc,
+            placement: Placement::LastK,
+            delay: DelayModel::Exponential { mean: 4 },
+            chaos: ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+            runs: 8,
+            seed: 31,
+            max_events: 1_000_000,
+            trace: true,
+        };
+        let args = spec.to_args();
+        assert_eq!(RunSpec::from_args(&args).unwrap(), spec);
+    }
+
+    #[test]
+    fn default_spec_matches_cli_defaults() {
+        let spec = RunSpec::from_args::<&str>(&[]).unwrap();
+        assert_eq!(spec, RunSpec::default());
+        assert_eq!(spec.n, 7);
+        assert_eq!(spec.workload, WorkloadSpec::Unanimous { value: 1 });
+        assert!(spec.chaos.is_none());
+        assert_eq!(spec.trace_artifact(), "results/trace_0.json");
+    }
+
+    #[test]
+    fn chaos_parse_rejects_bad_windows_and_probabilities() {
+        assert!(ChaosSpec::parse("drop:1.5").is_err());
+        assert!(ChaosSpec::parse("crash:0:50").is_err(), "down must be ≥ 1");
+        assert!(ChaosSpec::parse("partition:80:10").is_err());
+        assert!(ChaosSpec::parse("flood:1").is_err());
+        assert_eq!(
+            ChaosSpec::parse("crash:3:100").unwrap(),
+            ChaosSpec::CrashRecover { down: 3, up: 100 }
+        );
+    }
+
+    #[test]
+    fn drop_heavy_compiles_onto_the_faulty_processes_only() {
+        let config = SystemConfig::new(7, 1).unwrap();
+        let plan = FaultPlan::last_k(config, 1);
+        let sched = ChaosSpec::DropHeavy { p: 0.4 }.build(config, &plan);
+        assert!(!sched.is_empty());
+        for link in sched.links() {
+            let touches_faulty = link.from.is_some_and(|q| plan.is_faulty(q))
+                || link.to.is_some_and(|q| plan.is_faulty(q));
+            assert!(touches_faulty, "lossy link must touch a faulty process");
+        }
+        // With no faulty processes there is nothing to attach drops to.
+        assert!(ChaosSpec::DropHeavy { p: 0.4 }
+            .build(config, &FaultPlan::none())
+            .is_empty());
+    }
+
+    #[test]
+    fn crash_recover_spares_the_coordinator_and_the_byzantine() {
+        let config = SystemConfig::new(7, 1).unwrap();
+        let plan = FaultPlan::last_k(config, 1);
+        let sched = ChaosSpec::CrashRecover { down: 3, up: 100 }.build(config, &plan);
+        let windows = sched.crash_windows();
+        assert_eq!(windows.len(), 1);
+        let victim = windows[0].process;
+        assert_ne!(victim.index(), 0, "coordinator must stay up");
+        assert!(!plan.is_faulty(victim), "victim must be correct");
+        assert!(sched.all_recover());
+        assert_eq!(sched.last_heal(), Some(100));
+    }
+
+    #[test]
+    fn chaos_artifact_names_carry_the_schedule_label() {
+        let spec = RunSpec {
+            chaos: ChaosSpec::DupHeavy { p: 0.3 },
+            seed: 9,
+            ..RunSpec::default()
+        };
+        assert_eq!(spec.trace_artifact(), "results/trace_chaos_dup_9.json");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_fixed_order() {
+        let spec = RunSpec::default();
+        let s = spec.to_json();
+        assert_eq!(s, spec.to_json());
+        assert!(s.starts_with("{\"n\":7,\"t\":1,\"f\":0,\"algo\":\"dex-freq\""));
+        assert!(s.contains("\"chaos\":\"none\""));
+        assert!(s.ends_with("\"trace\":false}"));
+    }
+
+    #[test]
+    fn spec_runs_a_clean_batch_end_to_end() {
+        let spec = RunSpec {
+            runs: 5,
+            f: 1,
+            adversary: AdversarySpec::Equivocate,
+            workload: WorkloadSpec::Bernoulli { p: 0.8 },
+            max_events: 1_000_000,
+            ..RunSpec::default()
+        };
+        let stats = spec.run().unwrap();
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.runs, 5);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_not_executed() {
+        let spec = RunSpec {
+            f: 2, // exceeds t = 1
+            ..RunSpec::default()
+        };
+        assert!(spec.run().is_err());
+        assert!(RunSpec::from_args(&["--frobnicate", "1"]).is_err());
+    }
+}

@@ -69,6 +69,7 @@ fn batch(
     seed0: u64,
 ) -> crate::runner::BatchStats {
     run_batch_auto(&BatchSpec {
+        chaos: crate::spec::ChaosSpec::None,
         config: cfg,
         algo,
         underlying: UnderlyingKind::Oracle,

@@ -2,7 +2,7 @@
 //! and decision-path censuses per input class.
 
 use crate::nodes::DexNode;
-use crate::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use crate::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use crate::ucwrap::AnyUc;
 use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_conditions::FrequencyPair;
@@ -29,7 +29,10 @@ pub fn annotated_run(input: InputVector<u64>, t: usize, seed: u64) -> String {
             ))
         })
         .collect();
-    let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+    let mut sim = Simulation::builder(nodes)
+        .seed(seed)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build();
     sim.enable_trace();
     let out = sim.run(1_000_000);
     let mut rendered = String::new();
@@ -80,7 +83,8 @@ pub fn path_census(t: usize, runs: usize, seed0: u64) -> Table {
             for e in entries.iter_mut().take(mc) {
                 *e = 0;
             }
-            let result = run_spec(&RunSpec {
+            let result = run_instance(&RunInstance {
+                faults: dex_simnet::FaultSchedule::none(),
                 config: cfg,
                 algo: Algo::DexFreq,
                 underlying: UnderlyingKind::Oracle,

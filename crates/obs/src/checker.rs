@@ -26,6 +26,21 @@
 //!   origin is what that origin recorded sending (`IdbInit` on itself).
 //! * **log-agreement** — replication only: no two correct replicas commit
 //!   different commands in the same slot.
+//!
+//! When the run carried a fault schedule ([`TraceMeta::chaos`] is set) two
+//! further invariants apply — appended conditionally so fault-free
+//! artifacts keep their exact byte layout:
+//!
+//! * **crash-silence** — a correct process records no network activity
+//!   (`Send`/`Deliver`) inside any of its crash windows: the simulator
+//!   must actually have silenced it.
+//! * **termination-after-heal** — when the schedule is *eventually clean*
+//!   (every crash recovers, drops confined to Byzantine-incident links),
+//!   every correct process decides: partitions and crash windows are just
+//!   long-but-finite delays, so GST-style liveness must hold after the
+//!   last heal. Not asserted for unclean schedules — losing messages
+//!   between correct processes genuinely forfeits one-shot liveness
+//!   (safety is still checked unconditionally).
 
 use crate::event::{Event, EventKind, PredTag, Scheme, ViewTag};
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,6 +72,28 @@ impl SchemeRules {
     }
 }
 
+/// Fault-schedule metadata for a chaos run.
+///
+/// Present only when a non-empty schedule was installed — its absence
+/// keeps fault-free artifacts byte-identical to pre-chaos builds (no new
+/// JSON keys, no new checker rows).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChaosMeta {
+    /// The last instant at which a timed disturbance ends (partition heal,
+    /// crash recovery, lossy-window close); `0` when the schedule has no
+    /// timed windows.
+    pub last_heal: u64,
+    /// Whether GST-style liveness is assertable: every crash recovers and
+    /// every probabilistic drop is confined to links touching a process
+    /// already counted Byzantine (drops on correct↔correct links are real
+    /// losses, and a one-shot protocol cannot promise termination without
+    /// reliable links between correct processes).
+    pub eventually_clean: bool,
+    /// Crash windows `(process, from, until)`; `until = None` means the
+    /// process never recovers.
+    pub crashes: Vec<(u16, u64, Option<u64>)>,
+}
+
 /// Run metadata carried alongside the event logs.
 #[derive(Clone, Debug)]
 pub struct TraceMeta {
@@ -75,6 +112,9 @@ pub struct TraceMeta {
     pub faulty: Vec<u16>,
     /// Human-readable decoding of value codes, sorted by code.
     pub legend: Vec<(u64, String)>,
+    /// Fault-schedule metadata; `None` for fault-free runs (keeps their
+    /// artifacts byte-identical to pre-chaos builds).
+    pub chaos: Option<ChaosMeta>,
 }
 
 /// One process's recorded events.
@@ -475,6 +515,54 @@ pub fn check(run: &RunTrace) -> CheckReport {
         }
     }
 
+    // Chaos invariants — evaluated (and listed in the report) only when a
+    // fault schedule was active, so fault-free artifacts are unchanged.
+    let mut crash_silence = 0usize;
+    let mut termination_after_heal = 0usize;
+    if let Some(chaos) = &run.meta.chaos {
+        for (p, from, until) in &chaos.crashes {
+            let Some(tr) = correct.iter().find(|tr| tr.id == *p) else {
+                continue; // Byzantine victim: its log is untrusted anyway
+            };
+            crash_silence += 1;
+            let end = until.unwrap_or(u64::MAX);
+            if let Some(e) = tr.events.iter().find(|e| {
+                matches!(e.kind, EventKind::Send { .. } | EventKind::Deliver { .. })
+                    && e.at >= *from
+                    && e.at < end
+            }) {
+                let window = match until {
+                    Some(u) => format!("[{from}, {u})"),
+                    None => format!("[{from}, ∞)"),
+                };
+                violations.push(Violation {
+                    invariant: "crash-silence",
+                    process: *p,
+                    detail: format!("network event at t={} inside crash window {}", e.at, window),
+                });
+            }
+        }
+        if chaos.eventually_clean {
+            for tr in &correct {
+                termination_after_heal += 1;
+                let decided = tr
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::Decide { .. }));
+                if !decided {
+                    violations.push(Violation {
+                        invariant: "termination-after-heal",
+                        process: tr.id,
+                        detail: format!(
+                            "no decision recorded although every disturbance ended by t={}",
+                            chaos.last_heal
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     report.checks = vec![
         ("single-decision", single_decision),
         ("agreement", agreement),
@@ -486,6 +574,12 @@ pub fn check(run: &RunTrace) -> CheckReport {
         ("idb-validity", idb_validity),
         ("log-agreement", log_agreement),
     ];
+    if run.meta.chaos.is_some() {
+        report.checks.push(("crash-silence", crash_silence));
+        report
+            .checks
+            .push(("termination-after-heal", termination_after_heal));
+    }
     report.violations = violations;
     report
 }
@@ -504,6 +598,15 @@ mod tests {
             rules,
             faulty: Vec::new(),
             legend: Vec::new(),
+            chaos: None,
+        }
+    }
+
+    fn chaos_meta(crashes: Vec<(u16, u64, Option<u64>)>, eventually_clean: bool) -> ChaosMeta {
+        ChaosMeta {
+            last_heal: 100,
+            eventually_clean,
+            crashes,
         }
     }
 
@@ -667,6 +770,73 @@ mod tests {
         processes.push(unanimous_one_step(6, 43)); // liar, but faulty
         let run = RunTrace { meta: m, processes };
         assert!(check(&run).is_ok());
+    }
+
+    #[test]
+    fn chaos_checks_are_absent_without_chaos_meta() {
+        let run = RunTrace {
+            meta: meta(SchemeRules::Frequency),
+            processes: (0..7).map(|i| unanimous_one_step(i, 42)).collect(),
+        };
+        let report = check(&run);
+        assert!(report
+            .checks
+            .iter()
+            .all(|(name, _)| *name != "crash-silence" && *name != "termination-after-heal"));
+    }
+
+    #[test]
+    fn crash_silence_violation_is_flagged() {
+        let mut m = meta(SchemeRules::Frequency);
+        // Process 0 is supposed to be down over [2, 10) …
+        m.chaos = Some(chaos_meta(vec![(0, 2, Some(10))], true));
+        let mut processes: Vec<ProcessTrace> = (0..7).map(|i| unanimous_one_step(i, 42)).collect();
+        // … but records a delivery at t = 5, inside the window.
+        processes[0]
+            .events
+            .push(ev(5, 1, EventKind::Deliver { from: 3 }));
+        let run = RunTrace { meta: m, processes };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "crash-silence" && v.process == 0));
+    }
+
+    #[test]
+    fn undecided_process_fails_termination_when_eventually_clean() {
+        let mut m = meta(SchemeRules::Frequency);
+        m.chaos = Some(chaos_meta(Vec::new(), true));
+        let mut processes: Vec<ProcessTrace> = (0..6).map(|i| unanimous_one_step(i, 42)).collect();
+        processes.push(ProcessTrace {
+            id: 6,
+            events: Vec::new(), // never decides
+        });
+        let run = RunTrace { meta: m, processes };
+        let report = check(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "termination-after-heal" && v.process == 6));
+    }
+
+    #[test]
+    fn termination_is_not_asserted_for_unclean_schedules() {
+        let mut m = meta(SchemeRules::Frequency);
+        m.chaos = Some(chaos_meta(Vec::new(), false));
+        let mut processes: Vec<ProcessTrace> = (0..6).map(|i| unanimous_one_step(i, 42)).collect();
+        processes.push(ProcessTrace {
+            id: 6,
+            events: Vec::new(),
+        });
+        let run = RunTrace { meta: m, processes };
+        let report = check(&run);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        // The row still appears (count 0) so artifacts are self-describing.
+        assert!(report
+            .checks
+            .iter()
+            .any(|(name, count)| *name == "termination-after-heal" && *count == 0));
     }
 
     #[test]

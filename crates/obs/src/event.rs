@@ -155,6 +155,35 @@ pub enum EventKind {
         /// Code of the committed command.
         code: u64,
     },
+    /// The fault schedule destroyed a message this process had sent
+    /// (probabilistic link drop, or the recipient never recovers).
+    LinkDrop {
+        /// The recipient that will never see the message.
+        to: u16,
+    },
+    /// The fault schedule duplicated a message this process sent — the
+    /// recipient will deliver it twice.
+    LinkDup {
+        /// The recipient that will see the message twice.
+        to: u16,
+    },
+    /// A network partition opened; messages crossing the cut are held
+    /// until it heals (recorded on every process).
+    PartitionOpen {
+        /// Index of the partition window in the fault schedule.
+        id: u16,
+    },
+    /// A network partition healed; held messages are released (recorded on
+    /// every process).
+    PartitionHeal {
+        /// Index of the partition window in the fault schedule.
+        id: u16,
+    },
+    /// This process crashed: deliveries to it are deferred to its recovery
+    /// (or dropped, if it never recovers).
+    Crash,
+    /// This process recovered; deferred deliveries resume from now.
+    Recover,
 }
 
 /// One recorded event: a timestamp, the causal depth of the message being

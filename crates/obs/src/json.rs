@@ -103,6 +103,24 @@ fn event(e: &Event, out: &mut String) {
             let _ = write!(out, "\"commit\",\"slot\":{slot},\"code\":");
             code(c, out);
         }
+        EventKind::LinkDrop { to } => {
+            let _ = write!(out, "\"link_drop\",\"to\":{to}");
+        }
+        EventKind::LinkDup { to } => {
+            let _ = write!(out, "\"link_dup\",\"to\":{to}");
+        }
+        EventKind::PartitionOpen { id } => {
+            let _ = write!(out, "\"partition_open\",\"id\":{id}");
+        }
+        EventKind::PartitionHeal { id } => {
+            let _ = write!(out, "\"partition_heal\",\"id\":{id}");
+        }
+        EventKind::Crash => {
+            out.push_str("\"crash\"");
+        }
+        EventKind::Recover => {
+            out.push_str("\"recover\"");
+        }
     }
     out.push('}');
 }
@@ -130,7 +148,31 @@ pub fn render(run: &RunTrace, report: &CheckReport) -> String {
         }
         let _ = write!(out, "{f}");
     }
-    out.push_str("],\n\"legend\":[");
+    // The chaos block is emitted only for chaos runs: fault-free artifacts
+    // keep their pre-chaos byte layout exactly.
+    if let Some(chaos) = &run.meta.chaos {
+        let _ = write!(
+            out,
+            "],\n\"chaos\":{{\"last_heal\":{},\"eventually_clean\":{},\"crashes\":[",
+            chaos.last_heal, chaos.eventually_clean
+        );
+        for (i, (p, from, until)) in chaos.crashes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"process\":{p},\"from\":{from},\"until\":");
+            match until {
+                Some(u) => {
+                    let _ = write!(out, "{u}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]},\n\"legend\":[");
+    } else {
+        out.push_str("],\n\"legend\":[");
+    }
     for (i, (c, label)) in run.meta.legend.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -198,6 +240,7 @@ mod tests {
                 rules: SchemeRules::Frequency,
                 faulty: vec![3],
                 legend: vec![(5, "5".into())],
+                chaos: None,
             },
             processes: vec![ProcessTrace {
                 id: 0,
@@ -259,6 +302,43 @@ mod tests {
         assert!(s.contains("\"scheme\":\"1-step\""));
         assert!(s.contains("\"faulty\":[3]"));
         assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn chaos_meta_and_events_render_only_for_chaos_runs() {
+        let clean = {
+            let run = sample();
+            let report = check(&run);
+            render(&run, &report)
+        };
+        assert!(!clean.contains("\"chaos\""));
+
+        let mut run = sample();
+        run.meta.chaos = Some(crate::checker::ChaosMeta {
+            last_heal: 80,
+            eventually_clean: true,
+            crashes: vec![(1, 5, Some(60)), (2, 7, None)],
+        });
+        run.processes[0].events.push(Event {
+            at: 2,
+            depth: 1,
+            kind: EventKind::LinkDrop { to: 3 },
+        });
+        run.processes[0].events.push(Event {
+            at: 3,
+            depth: 0,
+            kind: EventKind::PartitionHeal { id: 0 },
+        });
+        let report = check(&run);
+        let s = render(&run, &report);
+        assert!(s.contains(
+            "\"chaos\":{\"last_heal\":80,\"eventually_clean\":true,\
+             \"crashes\":[{\"process\":1,\"from\":5,\"until\":60},\
+             {\"process\":2,\"from\":7,\"until\":null}]}"
+        ));
+        assert!(s.contains("\"kind\":\"link_drop\",\"to\":3"));
+        assert!(s.contains("\"kind\":\"partition_heal\",\"id\":0"));
+        assert!(s.contains("\"invariant\":\"crash-silence\""));
     }
 
     #[test]

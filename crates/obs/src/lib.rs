@@ -24,7 +24,9 @@ mod recorder;
 pub mod checker;
 pub mod json;
 
-pub use checker::{check, CheckReport, ProcessTrace, RunTrace, SchemeRules, TraceMeta, Violation};
+pub use checker::{
+    check, ChaosMeta, CheckReport, ProcessTrace, RunTrace, SchemeRules, TraceMeta, Violation,
+};
 pub use event::{obs_code, Event, EventKind, PredTag, Scheme, ViewTag};
 pub use log::{EventLog, CHUNK_EVENTS};
 pub use recorder::Recorder;

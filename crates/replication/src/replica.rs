@@ -404,7 +404,10 @@ pub fn run_generic_cluster<SM: StateMachine>(
         })
         .collect();
 
-    let mut sim = Simulation::new(nodes, options.seed, DelayModel::Uniform { min: 1, max: 10 });
+    let mut sim = Simulation::builder(nodes)
+        .seed(options.seed)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build();
     let run = sim.run(50_000_000);
 
     let mut logs = Vec::new();
@@ -497,7 +500,10 @@ mod tests {
                 Node::Correct(r)
             })
             .collect();
-        let mut sim = Simulation::new(nodes, 11, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(nodes)
+            .seed(11)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(50_000_000).quiescent);
         let processes: Vec<dex_obs::ProcessTrace> = sim
             .actors()
@@ -517,6 +523,7 @@ mod tests {
                 rules: dex_obs::SchemeRules::Opaque,
                 faulty: Vec::new(),
                 legend: Vec::new(),
+                chaos: None,
             },
             processes,
         };

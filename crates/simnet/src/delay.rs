@@ -79,7 +79,9 @@ impl DelayModel {
                 let mean = (*mean).max(1) as f64;
                 let u: f64 = rng.random_range(0.0_f64..1.0).max(1e-12);
                 let d = (-u.ln() * mean).ceil() as u64;
-                d.clamp(1, (mean as u64) * 50)
+                // Saturating: a huge mean would overflow the clamp bound in
+                // release builds, silently producing tiny delays.
+                d.clamp(1, (mean as u64).saturating_mul(50))
             }
             DelayModel::Skewed { base, slow, factor } => {
                 let d = base.sample(rng, from, to);
@@ -184,6 +186,23 @@ mod tests {
         };
         let mut r = rng();
         assert_eq!(m.sample(&mut r, ProcessId::new(0), ProcessId::new(1)), 1);
+    }
+
+    #[test]
+    fn extreme_skew_over_exponential_saturates_instead_of_wrapping() {
+        // A huge exponential mean times a huge skew factor used to overflow
+        // `u64` in release builds, wrapping to a tiny delay. It must
+        // saturate: slow means *slow*.
+        let m = DelayModel::Skewed {
+            base: Box::new(DelayModel::Exponential { mean: u64::MAX / 2 }),
+            slow: vec![ProcessId::new(0)],
+            factor: u64::MAX,
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            let d = m.sample(&mut r, ProcessId::new(0), ProcessId::new(1));
+            assert!(d >= 1);
+        }
     }
 
     #[test]

@@ -44,21 +44,27 @@
 //!     }
 //! }
 //!
-//! let mut sim = Simulation::new(
-//!     vec![Ping { got: 0 }, Ping { got: 0 }],
-//!     42,
-//!     DelayModel::Constant(10),
-//! );
+//! let mut sim = Simulation::builder(vec![Ping { got: 0 }, Ping { got: 0 }])
+//!     .seed(42)
+//!     .delay(DelayModel::Constant(10))
+//!     .build();
 //! let outcome = sim.run(10_000);
 //! assert!(outcome.quiescent);
 //! assert_eq!(sim.actor(ProcessId::new(1)).got, 1);
 //! ```
+//!
+//! Hostile schedules — timed partitions, lossy links, crash/recovery
+//! windows — are injected with a [`FaultSchedule`] via
+//! [`SimulationBuilder::faults`]; see the [`faults`](crate::faults) module
+//! docs for semantics and the determinism argument.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod actor;
+mod builder;
 mod delay;
+pub mod faults;
 mod sim;
 mod slab;
 mod stats;
@@ -66,8 +72,10 @@ mod time;
 mod trace;
 
 pub use actor::{Actor, Context};
+pub use builder::SimulationBuilder;
 pub use delay::DelayModel;
 pub use dex_types::Dest;
+pub use faults::{CrashWindow, FaultSchedule, LinkFault, Partition};
 pub use sim::{RunOutcome, Simulation};
 pub use stats::NetStats;
 pub use time::Time;

@@ -1,7 +1,9 @@
 //! The discrete-event simulation engine.
 
 use crate::actor::{Actor, Context};
+use crate::builder::SimulationBuilder;
 use crate::delay::DelayModel;
+use crate::faults::FaultSchedule;
 use crate::slab::PayloadSlab;
 use crate::stats::NetStats;
 use crate::time::Time;
@@ -10,6 +12,56 @@ use dex_types::{Dest, ProcessId, StepDepth};
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Salt xored into the simulation seed for the chaos RNG, so fault
+/// decisions never perturb the delay-model stream: a run with an empty
+/// schedule is bit-identical to one built without chaos at all.
+const CHAOS_SALT: u64 = 0xC4A0_5A1F_FA17_5EED;
+
+/// A schedule boundary to surface as an observability event, ordered by
+/// `(time, kind, subject)` for deterministic emission.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Boundary {
+    PartitionOpen(u16),
+    PartitionHeal(u16),
+    Crash(ProcessId),
+    Recover(ProcessId),
+}
+
+/// Chaos machinery, present only when the schedule is non-empty.
+#[derive(Debug)]
+struct ChaosState {
+    schedule: FaultSchedule,
+    /// Separate RNG stream for drop/dup decisions and duplicate jitter.
+    rng: StdRng,
+    /// Schedule boundaries sorted by time, emitted as obs events as
+    /// virtual time passes them.
+    boundaries: Vec<(u64, Boundary)>,
+    next_boundary: usize,
+}
+
+impl ChaosState {
+    fn new(schedule: FaultSchedule, seed: u64) -> Self {
+        let mut boundaries: Vec<(u64, Boundary)> = Vec::new();
+        for (i, p) in schedule.partitions().iter().enumerate() {
+            boundaries.push((p.from, Boundary::PartitionOpen(i as u16)));
+            boundaries.push((p.until, Boundary::PartitionHeal(i as u16)));
+        }
+        for c in schedule.crash_windows() {
+            boundaries.push((c.from, Boundary::Crash(c.process)));
+            if let Some(until) = c.until {
+                boundaries.push((until, Boundary::Recover(c.process)));
+            }
+        }
+        boundaries.sort_unstable();
+        ChaosState {
+            schedule,
+            rng: StdRng::seed_from_u64(seed ^ CHAOS_SALT),
+            boundaries,
+            next_boundary: 0,
+        }
+    }
+}
 
 /// Compact heap entry: ordering fields plus a key into the payload slab.
 ///
@@ -73,6 +125,9 @@ pub struct Simulation<A: Actor> {
     delay: DelayModel,
     stats: NetStats,
     trace: Option<Trace>,
+    /// Fault-injection state; `None` for an empty schedule, keeping the
+    /// chaos-free hot path branch-cheap and byte-identical to older builds.
+    chaos: Option<ChaosState>,
     started: bool,
     /// Recycled outbox buffer handed to each delivery's [`Context`], so the
     /// per-message hot path allocates nothing in the steady state.
@@ -87,8 +142,41 @@ impl<A: Actor> Simulation<A> {
     /// # Panics
     ///
     /// Panics if `actors` is empty.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulation::builder(actors).seed(..).delay(..).build()`"
+    )]
     pub fn new(actors: Vec<A>, seed: u64, delay: DelayModel) -> Self {
+        Simulation::builder(actors).seed(seed).delay(delay).build()
+    }
+
+    /// Starts a [`SimulationBuilder`] over the given actors (actor `i` is
+    /// process `p_i`). This is the construction entry point; see the
+    /// builder for the available knobs (seed, delay model, fault schedule,
+    /// tracing).
+    pub fn builder(actors: Vec<A>) -> SimulationBuilder<A> {
+        SimulationBuilder::new(actors)
+    }
+
+    /// Assembles a simulation from the builder's parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors` is empty or `faults` names a process outside
+    /// `0..n`.
+    pub(crate) fn from_parts(
+        actors: Vec<A>,
+        seed: u64,
+        delay: DelayModel,
+        faults: FaultSchedule,
+        trace: Option<TraceDetail>,
+        depth_hint: usize,
+    ) -> Self {
         assert!(!actors.is_empty(), "need at least one actor");
+        faults.validate(actors.len());
+        let chaos = (!faults.is_empty()).then(|| ChaosState::new(faults, seed));
+        let mut stats = NetStats::default();
+        stats.per_depth.reserve(depth_hint);
         Simulation {
             actors,
             queue: BinaryHeap::new(),
@@ -97,11 +185,17 @@ impl<A: Actor> Simulation<A> {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             delay,
-            stats: NetStats::default(),
-            trace: None,
+            stats,
+            trace: trace.map(Trace::with_detail),
+            chaos,
             started: false,
             scratch: Vec::new(),
         }
+    }
+
+    /// The fault schedule driving this simulation, when one was installed.
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.chaos.as_ref().map(|c| &c.schedule)
     }
 
     /// Enables trace recording **with payload rendering** — one string
@@ -161,8 +255,11 @@ impl<A: Actor> Simulation<A> {
     /// expansion produced — so the RNG stream, `seq` numbering and thus the
     /// whole virtual-time schedule are unchanged by the slab fast path.
     fn schedule(&mut self, from: ProcessId, to: ProcessId, depth: StepDepth, slot: u32) {
+        // The link delay is always drawn first, from the main RNG: chaos
+        // decisions use their own stream, so the delay schedule of messages
+        // untouched by faults is identical with and without a schedule.
         let delay = self.delay.sample(&mut self.rng, from, to);
-        let deliver_at = self.now + delay;
+        let mut deliver_at = self.now + delay;
         self.stats.record_send(depth);
         if let Some(rec) = self.actors[from.index()].recorder_mut() {
             rec.record_at(
@@ -186,6 +283,41 @@ impl<A: Actor> Simulation<A> {
                 payload,
             });
         }
+        // Route the delivery through the fault schedule. Decision order is
+        // fixed (partition hold → drop → dup → crash hold) so a given
+        // (seed, schedule) pair replays bit-for-bit.
+        let mut duplicate_at = None;
+        if let Some(chaos) = self.chaos.as_mut() {
+            let send_at = self.now.as_units();
+            if let Some(heal) = chaos.schedule.partition_hold(from, to, send_at) {
+                // Held by the cut, then it travels: re-based on the heal
+                // instant, so the message arrives after the partition —
+                // a long-but-finite delay, exactly what asynchrony allows.
+                deliver_at = Time::new(heal) + delay;
+                self.stats.held_partition += 1;
+            }
+            let (p_drop, p_dup) = chaos.schedule.link_probs(from, to, send_at);
+            if p_drop > 0.0 && chaos.rng.random_range(0.0f64..1.0) < p_drop {
+                self.drop_message(from, to, depth, slot);
+                return;
+            }
+            if p_dup > 0.0 && chaos.rng.random_range(0.0f64..1.0) < p_dup {
+                duplicate_at = Some(deliver_at + chaos.rng.random_range(1u64..=8));
+            }
+            match chaos.schedule.crash_hold(to, deliver_at.as_units()) {
+                Some(Some(recovery)) => {
+                    // The recipient is down: its inbox queues until recovery.
+                    deliver_at = Time::new(recovery);
+                    self.stats.held_crash += 1;
+                }
+                Some(None) => {
+                    // The recipient never comes back; the message is lost.
+                    self.drop_message(from, to, depth, slot);
+                    return;
+                }
+                None => {}
+            }
+        }
         self.seq += 1;
         self.queue.push(Reverse(QueueKey {
             deliver_at,
@@ -193,6 +325,107 @@ impl<A: Actor> Simulation<A> {
             slot,
             to,
         }));
+        if let Some(dup_at) = duplicate_at {
+            self.duplicate_message(from, to, depth, slot, dup_at);
+        }
+    }
+
+    /// Destroys a scheduled delivery: the send already happened (and was
+    /// recorded), the network loses the message.
+    fn drop_message(&mut self, from: ProcessId, to: ProcessId, depth: StepDepth, slot: u32) {
+        self.stats.dropped += 1;
+        if let Some(rec) = self.actors[from.index()].recorder_mut() {
+            rec.record_at(
+                self.now.as_units(),
+                depth.get(),
+                dex_obs::EventKind::LinkDrop {
+                    to: to.index() as u16,
+                },
+            );
+        }
+        self.slab.release(slot);
+    }
+
+    /// Enqueues a second delivery of `slot` at `dup_at`, sharing the
+    /// original payload (no clone). The duplicate is itself subject to the
+    /// recipient's crash windows.
+    fn duplicate_message(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        depth: StepDepth,
+        slot: u32,
+        dup_at: Time,
+    ) {
+        let chaos = self.chaos.as_mut().expect("duplication implies chaos");
+        let deliver_at = match chaos.schedule.crash_hold(to, dup_at.as_units()) {
+            Some(Some(recovery)) => {
+                self.stats.held_crash += 1;
+                Time::new(recovery)
+            }
+            Some(None) => return, // recipient never recovers: dup is moot
+            None => dup_at,
+        };
+        self.stats.duplicated += 1;
+        if let Some(rec) = self.actors[from.index()].recorder_mut() {
+            rec.record_at(
+                self.now.as_units(),
+                depth.get(),
+                dex_obs::EventKind::LinkDup {
+                    to: to.index() as u16,
+                },
+            );
+        }
+        self.slab.retain(slot);
+        self.seq += 1;
+        self.queue.push(Reverse(QueueKey {
+            deliver_at,
+            seq: self.seq,
+            slot,
+            to,
+        }));
+    }
+
+    /// Emits obs events for schedule boundaries (partition open/heal,
+    /// crash/recover) up to and including `up_to`, stamped with their own
+    /// instants. Crash transitions land on the victim's recorder; partition
+    /// transitions on every process (the network state changed for all).
+    fn flush_boundaries(&mut self, up_to: u64) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        while let Some(&(at, boundary)) = chaos.boundaries.get(chaos.next_boundary) {
+            if at > up_to {
+                break;
+            }
+            chaos.next_boundary += 1;
+            match boundary {
+                Boundary::Crash(p) => {
+                    if let Some(rec) = self.actors[p.index()].recorder_mut() {
+                        rec.record_at(at, 0, dex_obs::EventKind::Crash);
+                    }
+                }
+                Boundary::Recover(p) => {
+                    if let Some(rec) = self.actors[p.index()].recorder_mut() {
+                        rec.record_at(at, 0, dex_obs::EventKind::Recover);
+                    }
+                }
+                Boundary::PartitionOpen(id) => {
+                    for actor in &mut self.actors {
+                        if let Some(rec) = actor.recorder_mut() {
+                            rec.record_at(at, 0, dex_obs::EventKind::PartitionOpen { id });
+                        }
+                    }
+                }
+                Boundary::PartitionHeal(id) => {
+                    for actor in &mut self.actors {
+                        if let Some(rec) = actor.recorder_mut() {
+                            rec.record_at(at, 0, dex_obs::EventKind::PartitionHeal { id });
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn dispatch(&mut self, from: ProcessId, outbox: &mut Vec<(Dest, A::Msg)>, depth: StepDepth) {
@@ -241,8 +474,16 @@ impl<A: Actor> Simulation<A> {
     /// network is quiescent.
     pub fn step(&mut self) -> Option<(ProcessId, ProcessId, StepDepth)> {
         self.start();
-        let Reverse(key) = self.queue.pop()?;
+        let Some(Reverse(key)) = self.queue.pop() else {
+            // Quiescent: surface any boundaries virtual time never reached
+            // (e.g. a heal scheduled after the last delivery).
+            self.flush_boundaries(u64::MAX);
+            return None;
+        };
         self.now = key.deliver_at;
+        if self.chaos.is_some() {
+            self.flush_boundaries(self.now.as_units());
+        }
         let to = key.to;
         let (from, depth) = self.slab.meta(key.slot);
         self.stats.record_delivery(depth);
@@ -354,15 +595,16 @@ mod tests {
     }
 
     fn echo_sim(n: usize, seed: u64) -> Simulation<Echo> {
-        Simulation::new(
+        Simulation::builder(
             (0..n)
                 .map(|_| Echo {
                     received: Vec::new(),
                 })
                 .collect(),
-            seed,
-            DelayModel::Uniform { min: 1, max: 10 },
         )
+        .seed(seed)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build()
     }
 
     #[test]
@@ -404,7 +646,9 @@ mod tests {
                 ctx.send(from, ());
             }
         }
-        let mut sim = Simulation::new(vec![Forever, Forever], 0, DelayModel::Constant(1));
+        let mut sim = Simulation::builder(vec![Forever, Forever])
+            .delay(DelayModel::Constant(1))
+            .build();
         let out = sim.run(100);
         assert_eq!(out.delivered, 100);
         assert!(!out.quiescent);
@@ -513,7 +757,9 @@ mod tests {
                 self.got = true;
             }
         }
-        let mut sim = Simulation::new(vec![SelfSend { got: false }], 0, DelayModel::Constant(1));
+        let mut sim = Simulation::builder(vec![SelfSend { got: false }])
+            .delay(DelayModel::Constant(1))
+            .build();
         sim.run(10);
         assert!(sim.actor(ProcessId::new(0)).got);
     }
@@ -557,7 +803,7 @@ mod tests {
     fn multicast_payloads_are_never_cloned_by_the_network() {
         let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let n = 5;
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             (0..n)
                 .map(|_| Gossip {
                     counter: counter.clone(),
@@ -565,9 +811,10 @@ mod tests {
                     got: 0,
                 })
                 .collect(),
-            3,
-            DelayModel::Uniform { min: 1, max: 4 },
-        );
+        )
+        .seed(3)
+        .delay(DelayModel::Uniform { min: 1, max: 4 })
+        .build();
         let out = sim.run(1_000_000);
         assert!(out.quiescent);
         // Every broadcast reached all n processes…
@@ -576,6 +823,177 @@ mod tests {
         // …and neither the actors nor the network ever cloned a payload.
         assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 0);
         assert_eq!(sim.stats().payload_clones, 0);
+    }
+
+    fn echo_sim_with(n: usize, seed: u64, faults: FaultSchedule) -> Simulation<Echo> {
+        Simulation::builder(
+            (0..n)
+                .map(|_| Echo {
+                    received: Vec::new(),
+                })
+                .collect(),
+        )
+        .seed(seed)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .faults(faults)
+        .build()
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_no_schedule() {
+        let render = |faults: Option<FaultSchedule>| {
+            let mut sim = match faults {
+                Some(f) => echo_sim_with(4, 77, f),
+                None => echo_sim(4, 77),
+            };
+            sim.enable_trace();
+            sim.run(10_000);
+            sim.trace().unwrap().render()
+        };
+        assert_eq!(render(None), render(Some(FaultSchedule::none())));
+    }
+
+    #[test]
+    fn untouched_messages_keep_their_schedule_under_chaos() {
+        // A schedule whose windows all open long after quiescence must not
+        // perturb a single delivery: chaos randomness lives on its own
+        // stream and windowed faults match nothing here.
+        let chaos = FaultSchedule::new()
+            .partition([ProcessId::new(0)], 1_000_000, 2_000_000)
+            .crash(ProcessId::new(1), 1_000_000, 1_500_000)
+            .lossy_link_during(None, None, 0.9, 0.9, 1_000_000, 2_000_000);
+        let render = |faults: Option<FaultSchedule>| {
+            let mut sim = match faults {
+                Some(f) => echo_sim_with(4, 99, f),
+                None => echo_sim(4, 99),
+            };
+            sim.enable_trace();
+            sim.run(10_000);
+            sim.trace().unwrap().render()
+        };
+        assert_eq!(render(None), render(Some(chaos)));
+    }
+
+    #[test]
+    fn certain_drop_loses_every_message() {
+        let mut sim = echo_sim_with(3, 5, FaultSchedule::new().lossy_link(None, None, 1.0, 0.0));
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(out.delivered, 0, "every delivery was dropped");
+        assert_eq!(sim.stats().dropped, sim.stats().sent);
+        assert!(sim.stats().sent > 0);
+    }
+
+    #[test]
+    fn certain_dup_doubles_every_delivery() {
+        let mut sim = echo_sim_with(3, 5, FaultSchedule::new().dup_all(1.0));
+        let out = sim.run(100_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.stats().duplicated, sim.stats().sent);
+        assert_eq!(sim.stats().delivered, sim.stats().sent * 2);
+    }
+
+    #[test]
+    fn partition_defers_cross_cut_deliveries_past_the_heal() {
+        // p0 broadcasts at t=0; the cut {p0} vs {p1, p2} is open over
+        // [0, 500), so nothing crosses it before t=500 — but everything
+        // still arrives (held, not lost).
+        let mut sim = echo_sim_with(
+            3,
+            1,
+            FaultSchedule::new().partition([ProcessId::new(0)], 0, 500),
+        );
+        sim.start();
+        while let Some((from, to, _)) = sim.step() {
+            if from != to && (from == ProcessId::new(0)) != (to == ProcessId::new(0)) {
+                assert!(
+                    sim.now().as_units() > 500,
+                    "cross-cut delivery at {} during the partition",
+                    sim.now()
+                );
+            }
+        }
+        assert_eq!(sim.stats().dropped, 0);
+        assert_eq!(sim.stats().delivered, 6, "same traffic as the clean run");
+        assert!(sim.stats().held_partition > 0);
+    }
+
+    #[test]
+    fn crash_window_defers_deliveries_to_recovery() {
+        let victim = ProcessId::new(1);
+        let mut sim = echo_sim_with(3, 1, FaultSchedule::new().crash(victim, 1, 800));
+        sim.start();
+        while let Some((_, to, _)) = sim.step() {
+            if to == victim {
+                assert!(
+                    sim.now().as_units() >= 800,
+                    "delivery to the crashed process at {}",
+                    sim.now()
+                );
+            }
+        }
+        assert!(sim.stats().held_crash > 0);
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn permanent_crash_drops_inbound_traffic() {
+        let victim = ProcessId::new(1);
+        let mut sim = echo_sim_with(3, 1, FaultSchedule::new().crash_forever(victim, 1));
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert!(sim.actor(victim).received.is_empty());
+        assert!(sim.stats().dropped > 0);
+    }
+
+    #[test]
+    fn chaos_runs_replay_bit_for_bit() {
+        let chaos = || {
+            FaultSchedule::new()
+                .partition([ProcessId::new(0), ProcessId::new(1)], 3, 40)
+                .crash(ProcessId::new(2), 2, 30)
+                .lossy_link(None, None, 0.3, 0.3)
+        };
+        let render = |seed: u64| {
+            let mut sim = echo_sim_with(5, seed, chaos());
+            sim.enable_trace();
+            sim.run(100_000);
+            (sim.trace().unwrap().render(), sim.stats().clone())
+        };
+        assert_eq!(render(11), render(11));
+        assert_ne!(render(11).0, render(12).0);
+    }
+
+    #[test]
+    fn duplicated_multicast_payloads_are_shared_not_cloned() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let n = 5;
+        let mut sim = Simulation::builder(
+            (0..n)
+                .map(|_| Gossip {
+                    counter: counter.clone(),
+                    rounds: 2,
+                    got: 0,
+                })
+                .collect::<Vec<_>>(),
+        )
+        .seed(3)
+        .delay(DelayModel::Uniform { min: 1, max: 4 })
+        .faults(FaultSchedule::new().dup_all(0.5))
+        .build();
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        assert!(sim.stats().duplicated > 0);
+        // Duplicates retain the slab slot; the network still never clones.
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(sim.stats().payload_clones, 0);
+        assert_eq!(sim.slab.live(), 0, "all slots released despite dups");
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn builder_rejects_schedules_naming_unknown_processes() {
+        let _ = echo_sim_with(2, 0, FaultSchedule::new().crash(ProcessId::new(7), 1, 2));
     }
 
     #[test]

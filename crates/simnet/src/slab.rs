@@ -82,6 +82,14 @@ impl<M> PayloadSlab<M> {
         (s.from, s.depth)
     }
 
+    /// Adds one pending delivery to a live slot (a chaos duplication shares
+    /// the original payload instead of cloning it).
+    pub(crate) fn retain(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.remaining > 0, "cannot retain a freed slot");
+        s.remaining += 1;
+    }
+
     /// Records one completed delivery; drops the payload and recycles the
     /// slot when it was the last one.
     pub(crate) fn release(&mut self, slot: u32) {
@@ -140,6 +148,18 @@ mod tests {
         assert_eq!(*slab.payload(b), 2);
         slab.release(b);
         slab.release(b);
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn retain_adds_a_pending_delivery() {
+        let mut slab: PayloadSlab<u64> = PayloadSlab::new();
+        let s = slab.insert(7, p(0), StepDepth::ONE, 1);
+        slab.retain(s); // a duplication: two deliveries now share the slot
+        slab.release(s);
+        assert_eq!(slab.live(), 1, "duplicate still pending");
+        assert_eq!(*slab.payload(s), 7);
+        slab.release(s);
         assert_eq!(slab.live(), 0);
     }
 

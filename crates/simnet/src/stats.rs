@@ -24,6 +24,16 @@ pub struct NetStats {
     /// contributes **zero**; only the per-recipient
     /// `Context::broadcast_others` expansion clones (`n − 1` per call).
     pub payload_clones: u64,
+    /// Messages destroyed by the fault schedule: probabilistic link drops
+    /// plus deliveries to permanently crashed processes.
+    pub dropped: u64,
+    /// Extra deliveries injected by probabilistic link duplication (each
+    /// shares the original payload — no clone).
+    pub duplicated: u64,
+    /// Deliveries deferred past a partition heal.
+    pub held_partition: u64,
+    /// Deliveries deferred past a crash recovery.
+    pub held_crash: u64,
     /// The deepest causal step observed on any message.
     pub max_depth: StepDepth,
     /// Delivered-message count per causal depth (index = depth − 1).

@@ -43,7 +43,9 @@ impl Add<u64> for Time {
     type Output = Time;
 
     fn add(self, rhs: u64) -> Time {
-        Time(self.0 + rhs)
+        // Saturating: heavily skewed delay models can push schedules near
+        // u64::MAX, and a wrapping add would deliver "in the past".
+        Time(self.0.saturating_add(rhs))
     }
 }
 
@@ -70,5 +72,11 @@ mod tests {
     #[test]
     fn display_shows_units() {
         assert_eq!((Time::ZERO + 3).to_string(), "t=3");
+    }
+
+    #[test]
+    fn addition_saturates_instead_of_wrapping() {
+        let far = Time::new(u64::MAX - 1);
+        assert_eq!((far + 10).as_units(), u64::MAX);
     }
 }

@@ -68,11 +68,10 @@ impl Actor for Expanded {
 }
 
 fn run_fast(n: usize, budget: u32, seed: u64, delay: DelayModel) -> (Trace, NetStats, Vec<u64>) {
-    let mut sim = Simulation::new(
-        (0..n).map(|_| Fast { budget, sum: 0 }).collect(),
-        seed,
-        delay,
-    );
+    let mut sim = Simulation::builder((0..n).map(|_| Fast { budget, sum: 0 }).collect())
+        .seed(seed)
+        .delay(delay)
+        .build();
     sim.enable_trace();
     let out = sim.run(u64::MAX);
     assert!(out.quiescent);
@@ -86,11 +85,10 @@ fn run_expanded(
     seed: u64,
     delay: DelayModel,
 ) -> (Trace, NetStats, Vec<u64>) {
-    let mut sim = Simulation::new(
-        (0..n).map(|_| Expanded { budget, sum: 0 }).collect(),
-        seed,
-        delay,
-    );
+    let mut sim = Simulation::builder((0..n).map(|_| Expanded { budget, sum: 0 }).collect())
+        .seed(seed)
+        .delay(delay)
+        .build();
     sim.enable_trace();
     let out = sim.run(u64::MAX);
     assert!(out.quiescent);

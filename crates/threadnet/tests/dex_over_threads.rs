@@ -118,6 +118,7 @@ fn traced_run_checks_clean_under_threads() {
             rules: dex_obs::SchemeRules::Frequency,
             faulty: Vec::new(),
             legend: Vec::new(),
+            chaos: None,
         },
         processes,
     };

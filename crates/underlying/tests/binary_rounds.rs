@@ -45,7 +45,10 @@ fn run(proposals: &[bool], coin: CoinMode, seed: u64) -> Simulation<BinNode> {
             proposal: *p,
         })
         .collect();
-    let mut sim = Simulation::new(actors, seed, DelayModel::Uniform { min: 1, max: 10 });
+    let mut sim = Simulation::builder(actors)
+        .seed(seed)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build();
     let out = sim.run(30_000_000);
     assert!(out.quiescent, "binary consensus must wind down");
     sim
@@ -111,7 +114,10 @@ fn round_cap_halts_without_decision_instead_of_livelocking() {
             }
         })
         .collect();
-    let mut sim = Simulation::new(actors, 3, DelayModel::Constant(1));
+    let mut sim = Simulation::builder(actors)
+        .seed(3)
+        .delay(DelayModel::Constant(1))
+        .build();
     let out = sim.run(5_000_000);
     assert!(out.quiescent);
     for node in sim.actors() {
@@ -160,7 +166,10 @@ fn silent_fault_does_not_block_rounds() {
     }
     let mut nodes: Vec<Node> = actors.into_iter().take(5).map(Node::Live).collect();
     nodes.push(Node::Dead(Silent));
-    let mut sim = Simulation::new(nodes, 11, DelayModel::Uniform { min: 1, max: 10 });
+    let mut sim = Simulation::builder(nodes)
+        .seed(11)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build();
     assert!(sim.run(30_000_000).quiescent);
     let mut decisions = Vec::new();
     for node in sim.actors() {

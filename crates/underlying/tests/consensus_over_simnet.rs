@@ -142,7 +142,10 @@ fn oracle_decides_in_two_steps_all_correct() {
     let cfg = SystemConfig::new(4, 1).unwrap();
     for seed in 0..20 {
         let nodes = oracle_nodes(cfg, &[7, 7, 9, 7], &[]);
-        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(100_000).quiescent);
         let ds = decisions(&sim);
         // Agreement + termination.
@@ -164,7 +167,10 @@ fn oracle_tolerates_crashed_minority() {
     let cfg = SystemConfig::new(4, 1).unwrap();
     for seed in 0..10 {
         let nodes = oracle_nodes(cfg, &[5, 5, 5, 5], &[3]);
-        let mut sim = Simulation::new(nodes, seed, DelayModel::default());
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed)
+            .delay(DelayModel::default())
+            .build();
         assert!(sim.run(100_000).quiescent);
         let ds = decisions(&sim);
         for (i, d) in ds.iter().enumerate() {
@@ -180,7 +186,10 @@ fn oracle_crashed_coordinator_candidate_is_skipped() {
     // Process 0 is crashed; the helper must route around it.
     let cfg = SystemConfig::new(4, 1).unwrap();
     let nodes = oracle_nodes(cfg, &[5, 6, 6, 6], &[0]);
-    let mut sim = Simulation::new(nodes, 1, DelayModel::default());
+    let mut sim = Simulation::builder(nodes)
+        .seed(1)
+        .delay(DelayModel::default())
+        .build();
     assert!(sim.run(100_000).quiescent);
     let ds = decisions(&sim);
     assert_eq!(ds[1], Some(6));
@@ -193,7 +202,10 @@ fn mvc_unanimity_all_correct() {
     let cfg = SystemConfig::new(6, 1).unwrap();
     for seed in 0..10 {
         let nodes = mvc_nodes(cfg, &[7; 6], &[], CoinMode::Common { seed: 99 });
-        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         let out = sim.run(3_000_000);
         assert!(out.quiescent, "seed {seed}: must terminate");
         let ds = decisions(&sim);
@@ -206,7 +218,10 @@ fn mvc_agreement_on_split_proposals() {
     let cfg = SystemConfig::new(6, 1).unwrap();
     for seed in 0..10 {
         let nodes = mvc_nodes(cfg, &[1, 2, 3, 4, 5, 6], &[], CoinMode::Common { seed: 5 });
-        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(3_000_000).quiescent, "seed {seed}");
         let ds = decisions(&sim);
         assert!(ds.iter().all(|d| d.is_some()), "seed {seed}");
@@ -219,7 +234,10 @@ fn mvc_tolerates_silent_fault() {
     let cfg = SystemConfig::new(6, 1).unwrap();
     for seed in 0..10 {
         let nodes = mvc_nodes(cfg, &[4; 6], &[2], CoinMode::Common { seed: 3 });
-        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(3_000_000).quiescent, "seed {seed}");
         let ds = decisions(&sim);
         for (i, d) in ds.iter().enumerate() {
@@ -236,7 +254,10 @@ fn mvc_local_coin_still_terminates() {
     // needs only a couple of lucky flips.
     let cfg = SystemConfig::new(6, 1).unwrap();
     let nodes = mvc_nodes(cfg, &[1, 1, 1, 2, 2, 2], &[], CoinMode::Local);
-    let mut sim = Simulation::new(nodes, 42, DelayModel::Uniform { min: 1, max: 5 });
+    let mut sim = Simulation::builder(nodes)
+        .seed(42)
+        .delay(DelayModel::Uniform { min: 1, max: 5 })
+        .build();
     assert!(sim.run(20_000_000).quiescent);
     let ds = decisions(&sim);
     assert!(ds.iter().all(|d| d.is_some()));
@@ -248,7 +269,10 @@ fn mvc_decisions_are_deterministic_per_seed() {
     let cfg = SystemConfig::new(6, 1).unwrap();
     let run = |seed| {
         let nodes = mvc_nodes(cfg, &[1, 2, 1, 2, 1, 2], &[], CoinMode::Common { seed: 8 });
-        let mut sim = Simulation::new(nodes, seed, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(nodes)
+            .seed(seed)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(3_000_000).quiescent);
         decisions(&sim)
     };

@@ -28,7 +28,8 @@ fn votes_to_string(input: &InputVector<u64>) -> String {
 
 fn decide(algo: Algo, input: &InputVector<u64>, seed: u64) -> (u64, &'static str, u32) {
     let config = SystemConfig::new(13, 2).expect("13 > 3t");
-    let result = run_spec(&RunSpec {
+    let result = run_instance(&RunInstance {
+        faults: FaultSchedule::none(),
         config,
         algo,
         underlying: UnderlyingKind::Oracle,

@@ -142,7 +142,10 @@ fn main() {
                 )
             })
             .collect();
-        let mut sim = Simulation::new(actors, 9, DelayModel::Uniform { min: 1, max: 10 });
+        let mut sim = Simulation::builder(actors)
+            .seed(9)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
         assert!(sim.run(1_000_000).quiescent);
         let d0 = sim
             .actor(ProcessId::new(0))

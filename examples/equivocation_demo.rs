@@ -72,7 +72,10 @@ fn main() {
         .collect();
     nodes.push(Node::Equivocator);
 
-    let mut sim = Simulation::new(nodes, 3, DelayModel::Uniform { min: 1, max: 15 });
+    let mut sim = Simulation::builder(nodes)
+        .seed(3)
+        .delay(DelayModel::Uniform { min: 1, max: 15 })
+        .build();
     assert!(sim.run(1_000_000).quiescent);
 
     for i in 0..4 {

@@ -9,7 +9,8 @@ use dex::prelude::*;
 
 fn run_once(label: &str, input: InputVector<u64>) {
     let config = SystemConfig::new(7, 1).expect("7 > 3t");
-    let result = run_spec(&RunSpec {
+    let result = run_instance(&RunInstance {
+        faults: FaultSchedule::none(),
         config,
         algo: Algo::DexFreq,
         underlying: UnderlyingKind::Oracle,

@@ -36,7 +36,8 @@ fn main() {
     for slot in 0..SLOTS {
         // Each replica proposes the next request id it observed.
         let proposals = contention.generate(config.n(), &mut rng);
-        let result = run_spec(&RunSpec {
+        let result = run_instance(&RunInstance {
+            faults: FaultSchedule::none(),
             config,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,

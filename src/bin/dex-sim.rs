@@ -5,6 +5,11 @@
 //!     --workload bernoulli:0.8 --adversary equivocate --f 1 --runs 50
 //! ```
 //!
+//! The flag set *is* [`RunSpec`](dex::harness::spec::RunSpec): the binary
+//! parses its arguments with `RunSpec::from_args`, so every experiment the
+//! CLI can express is a serializable spec value (and vice versa —
+//! `RunSpec::to_args` renders the exact invocation back).
+//!
 //! Flags (all optional):
 //!
 //! | flag | values | default |
@@ -16,70 +21,35 @@
 //! | `--workload` | `unanimous:<v>`, `bernoulli:<p>`, `uniform:<domain>`, `zipf:<domain>:<s>`, `split:<minor_count>` | `unanimous:1` |
 //! | `--adversary` | `silent`, `lie:<v>`, `equivocate`, `echo-poison`, `crash-mid:<reach>` | `silent` |
 //! | `--underlying` | `oracle`, `mvc` | `oracle` |
+//! | `--placement` | `random-k`, `last-k` | `random-k` |
+//! | `--delay` | `uniform:<min>:<max>`, `constant:<d>`, `exp:<mean>` | `uniform:1:10` |
+//! | `--chaos` | `none`, `drop:<p>`, `dup:<p>`, `partition:<open>:<heal>`, `crash:<down>:<up>` | `none` |
 //! | `--runs` | batch size | `20` |
 //! | `--seed` | base seed | `0` |
-//! | `--trace` | (no value) record run 0, check invariants, write `results/trace_<seed>.json` | off |
+//! | `--max-events` | delivery cap per run | `50000000` |
+//! | `--trace` | (no value) record run 0, check invariants, write the trace artifact | off |
+//!
+//! Chaos runs write `results/trace_chaos_<label>_<seed>.json`; chaos-free
+//! runs keep the `results/trace_<seed>.json` name (byte-identical to the
+//! pre-chaos artifacts).
 
-use dex::adversary::ByzantineStrategy;
-use dex::harness::runner::{
-    run_batch, traced_batch_run, Algo, BatchSpec, Placement, UnderlyingKind,
-};
-use dex::simnet::DelayModel;
-use dex::types::SystemConfig;
-use dex::workloads::{
-    BernoulliMix, InputGenerator, SplitCount, Unanimous, UniformRandom, ZipfRequests,
-};
-use std::collections::HashMap;
+use dex::harness::spec::RunSpec;
 use std::process::ExitCode;
 
-/// Flags that take no value; their presence means "on".
-const BOOLEAN_FLAGS: &[&str] = &["trace", "help"];
-
-fn parse_flags() -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            let value = if BOOLEAN_FLAGS.contains(&name) {
-                "1".to_string()
-            } else {
-                args.next().unwrap_or_else(|| {
-                    eprintln!("missing value for --{name}");
-                    std::process::exit(2);
-                })
-            };
-            flags.insert(name.to_string(), value);
-        } else {
-            eprintln!("unexpected argument: {arg} (flags look like --name value)");
-            std::process::exit(2);
-        }
-    }
-    flags
-}
-
-fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    match flags.get(key) {
-        None => default,
-        Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("could not parse --{key} {raw}");
-            std::process::exit(2);
-        }),
-    }
-}
-
 fn main() -> ExitCode {
-    let flags = parse_flags();
-    if flags.contains_key("help") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") {
         println!("see the module docs at the top of src/bin/dex-sim.rs for the flag table");
         return ExitCode::SUCCESS;
     }
-    let n: usize = parse(&flags, "n", 7);
-    let t: usize = parse(&flags, "t", 1);
-    let f: usize = parse(&flags, "f", 0);
-    let runs: usize = parse(&flags, "runs", 20);
-    let seed0: u64 = parse(&flags, "seed", 0);
-
-    let config = match SystemConfig::new(n, t) {
+    let spec = match RunSpec::from_args(&args) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match spec.config() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("bad configuration: {e}");
@@ -87,112 +57,22 @@ fn main() -> ExitCode {
         }
     };
 
-    let algo_raw = flags.get("algo").map(String::as_str).unwrap_or("dex-freq");
-    let algo = match algo_raw.split(':').collect::<Vec<_>>().as_slice() {
-        ["dex-freq"] => Algo::DexFreq,
-        ["dex-prv"] => Algo::DexPrv { m: 1 },
-        ["dex-prv", m] => Algo::DexPrv {
-            m: m.parse().expect("numeric privileged value"),
-        },
-        ["bosco"] => Algo::Bosco,
-        ["plain"] | ["underlying-only"] => Algo::UnderlyingOnly,
-        ["brasileiro"] => Algo::Brasileiro,
-        ["crash-adaptive"] => Algo::CrashAdaptive,
-        _ => {
-            eprintln!("unknown --algo {algo_raw}");
+    let stats = match spec.run() {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
-
-    let workload_raw = flags
-        .get("workload")
-        .map(String::as_str)
-        .unwrap_or("unanimous:1");
-    let workload: Box<dyn InputGenerator + Sync> =
-        match workload_raw.split(':').collect::<Vec<_>>().as_slice() {
-            ["unanimous", v] => Box::new(Unanimous {
-                value: v.parse().expect("numeric value"),
-            }),
-            ["unanimous"] => Box::new(Unanimous { value: 1 }),
-            ["bernoulli", p] => Box::new(BernoulliMix {
-                p: p.parse().expect("probability"),
-                a: 1,
-                b: 0,
-            }),
-            ["uniform", d] => Box::new(UniformRandom {
-                domain: d.parse().expect("domain size"),
-            }),
-            ["zipf", d, s] => Box::new(ZipfRequests {
-                domain: d.parse().expect("domain size"),
-                s: s.parse().expect("skew"),
-            }),
-            ["split", mc] => Box::new(SplitCount {
-                major: 1,
-                minor: 0,
-                minor_count: mc.parse().expect("minority count"),
-            }),
-            _ => {
-                eprintln!("unknown --workload {workload_raw}");
-                return ExitCode::from(2);
-            }
-        };
-
-    let adversary_raw = flags
-        .get("adversary")
-        .map(String::as_str)
-        .unwrap_or("silent");
-    let strategy = match adversary_raw.split(':').collect::<Vec<_>>().as_slice() {
-        ["silent"] => ByzantineStrategy::Silent,
-        ["lie", v] => ByzantineStrategy::ConsistentLie {
-            value: v.parse().expect("numeric value"),
-        },
-        ["lie"] => ByzantineStrategy::ConsistentLie { value: 0 },
-        ["equivocate"] => ByzantineStrategy::Equivocate { values: vec![0, 1] },
-        ["echo-poison"] => ByzantineStrategy::EchoPoison { values: vec![0, 1] },
-        ["crash-mid", reach] => ByzantineStrategy::CrashMid {
-            value: 1,
-            reach: reach.parse().expect("reach"),
-        },
-        _ => {
-            eprintln!("unknown --adversary {adversary_raw}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let underlying = match flags
-        .get("underlying")
-        .map(String::as_str)
-        .unwrap_or("oracle")
-    {
-        "oracle" => UnderlyingKind::Oracle,
-        "mvc" => UnderlyingKind::Mvc { coin_seed: seed0 },
-        other => {
-            eprintln!("unknown --underlying {other}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let batch = BatchSpec {
-        config,
-        algo,
-        underlying,
-        strategy,
-        f,
-        placement: Placement::RandomK,
-        workload: workload.as_ref(),
-        delay: DelayModel::Uniform { min: 1, max: 10 },
-        runs,
-        seed0,
-        max_events: 50_000_000,
-    };
-    let stats = run_batch(&batch);
 
     println!(
-        "{} on {} | workload {} | adversary {} (f = {f}) | {} runs",
-        algo.label(),
+        "{} on {} | workload {} | adversary {} (f = {}) | chaos {} | {} runs",
+        spec.algo.label(),
         config,
-        workload.name(),
-        adversary_raw,
+        spec.workload.flag(),
+        spec.adversary.flag(),
+        spec.f,
+        spec.chaos.flag(),
         stats.runs
     );
     println!(
@@ -218,15 +98,15 @@ fn main() -> ExitCode {
         stats.non_quiescent,
     );
     let mut trace_ok = true;
-    if flags.contains_key("trace") {
-        let traced = traced_batch_run(&batch, 0);
+    if spec.trace {
+        let traced = spec.traced(0).expect("spec validated above");
         let report = dex::obs::check(&traced.trace);
         let events: usize = traced.trace.processes.iter().map(|p| p.events.len()).sum();
         if let Err(e) = std::fs::create_dir_all("results") {
             eprintln!("cannot create results/: {e}");
             return ExitCode::FAILURE;
         }
-        let path = format!("results/trace_{seed0}.json");
+        let path = spec.trace_artifact();
         if let Err(e) = std::fs::write(&path, dex::obs::json::render(&traced.trace, &report)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -30,26 +30,35 @@
 //! # Quickstart
 //!
 //! Seven processes, one tolerated fault, unanimous proposals — the paper's
-//! flagship scenario, deciding in a **single communication step**:
+//! flagship scenario, deciding in a **single communication step** — as one
+//! [`RunSpec`](harness::spec::RunSpec):
 //!
 //! ```
 //! use dex::prelude::*;
 //!
-//! let config = SystemConfig::new(7, 1)?;
-//! let result = run_spec(&RunSpec {
-//!     config,
-//!     algo: Algo::DexFreq,
-//!     underlying: UnderlyingKind::Oracle,
-//!     strategy: ByzantineStrategy::Silent,
-//!     fault_plan: FaultPlan::none(),
-//!     input: InputVector::unanimous(7, 42),
-//!     delay: DelayModel::Uniform { min: 1, max: 10 },
-//!     seed: 1,
-//!     max_events: 1_000_000,
-//! });
-//! assert!(result.agreement_ok() && result.all_decided());
-//! assert_eq!(result.max_steps(), Some(1));
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! let spec = RunSpec {
+//!     workload: WorkloadSpec::Unanimous { value: 42 },
+//!     runs: 5,
+//!     ..RunSpec::default()
+//! };
+//! let stats = spec.run()?;
+//! assert!(stats.clean());
+//! assert_eq!(stats.steps.mean(), 1.0); // every decision in one step
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! The same spec survives a healing partition — safety throughout, every
+//! correct process deciding after the heal:
+//!
+//! ```
+//! # use dex::prelude::*;
+//! let spec = RunSpec {
+//!     chaos: ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+//!     runs: 5,
+//!     ..RunSpec::default()
+//! };
+//! assert!(spec.run()?.clean());
+//! # Ok::<(), String>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios (state-machine replication,
@@ -80,11 +89,14 @@ pub mod prelude {
     pub use dex_conditions::{FrequencyPair, LegalityPair, PrivilegedPair};
     pub use dex_core::{DecisionPath, DexActor, DexMsg, DexProcess};
     pub use dex_harness::runner::{
-        run_batch, run_spec, run_spec_traced, traced_batch_run, Algo, BatchSpec, Placement,
-        RunResult, RunSpec, TracedRun, UnderlyingKind,
+        run_batch, run_instance, run_instance_traced, traced_batch_run, Algo, BatchSpec,
+        BatchStats, Outcome, Placement, RunInstance, RunResult, TracedRun, UnderlyingKind,
     };
-    pub use dex_obs::{check, CheckReport, RunTrace};
-    pub use dex_simnet::{Actor, Context, DelayModel, Simulation};
+    pub use dex_harness::spec::{AdversarySpec, ChaosSpec, RunSpec, UnderlyingSpec, WorkloadSpec};
+    pub use dex_obs::{check, CheckReport, Recorder, RunTrace};
+    pub use dex_simnet::{
+        Actor, Context, DelayModel, FaultSchedule, Simulation, SimulationBuilder, TraceDetail,
+    };
     pub use dex_types::{InputVector, ProcessId, StepDepth, SystemConfig, View};
     pub use dex_underlying::{OracleConsensus, Outbox, ReducedMvc, UnderlyingConsensus};
 }

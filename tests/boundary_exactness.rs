@@ -5,7 +5,7 @@
 
 use dex::adversary::{ByzantineStrategy, FaultPlan};
 use dex::conditions::{FrequencyPair, PairError, PrivilegedPair};
-use dex::harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex::harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex::simnet::DelayModel;
 use dex::types::{InputVector, ProcessId, SystemConfig};
 
@@ -16,8 +16,9 @@ fn lockstep_spec(
     strategy: ByzantineStrategy<u64>,
     f: usize,
     seed: u64,
-) -> RunSpec {
-    RunSpec {
+) -> RunInstance {
+    RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
         config: cfg,
         algo,
         underlying: UnderlyingKind::Oracle,
@@ -61,7 +62,7 @@ fn p1_fires_exactly_above_4t() {
     let mut in_c1 = vec![1u64; 13];
     in_c1[0] = 0;
     in_c1[1] = 0;
-    let r = run_spec(&lockstep_spec(
+    let r = run_instance(&lockstep_spec(
         cfg,
         Algo::DexFreq,
         InputVector::new(in_c1),
@@ -76,7 +77,7 @@ fn p1_fires_exactly_above_4t() {
     for e in in_c2.iter_mut().take(3) {
         *e = 0;
     }
-    let r = run_spec(&lockstep_spec(
+    let r = run_instance(&lockstep_spec(
         cfg,
         Algo::DexFreq,
         InputVector::new(in_c2),
@@ -99,7 +100,7 @@ fn p2_boundary_at_2t() {
         for e in entries.iter_mut().take(mc) {
             *e = 0;
         }
-        let r = run_spec(&lockstep_spec(
+        let r = run_instance(&lockstep_spec(
             cfg,
             Algo::DexFreq,
             InputVector::new(entries),
@@ -126,7 +127,7 @@ fn prv_p1_boundary_at_3t() {
         for e in entries.iter_mut().take(commits) {
             *e = 1;
         }
-        let r = run_spec(&lockstep_spec(
+        let r = run_instance(&lockstep_spec(
             cfg,
             Algo::DexPrv { m: 1 },
             InputVector::new(entries),
@@ -154,7 +155,7 @@ fn bosco_strong_boundary_at_7t() {
     // scheduling). We pin the exact counting instead:
     let t = 2;
     let strong = SystemConfig::new(7 * t + 1, t).unwrap(); // 15
-    let r = run_spec(&lockstep_spec(
+    let r = run_instance(&lockstep_spec(
         strong,
         Algo::Bosco,
         InputVector::unanimous(15, 1),
@@ -173,7 +174,8 @@ fn bosco_strong_boundary_at_7t() {
     let weak = SystemConfig::new(6 * t + 1, t).unwrap(); // 13
     let mut one_step_everywhere = true;
     for seed in 0..30 {
-        let r = run_spec(&RunSpec {
+        let r = run_instance(&RunInstance {
+            faults: dex::simnet::FaultSchedule::none(),
             delay: DelayModel::Uniform { min: 1, max: 20 },
             seed,
             ..lockstep_spec(

@@ -1,0 +1,99 @@
+//! The chaos acceptance matrix: every canonical chaos schedule, composed
+//! with a Byzantine adversary at full strength (`f = t`), across many
+//! seeds — and every run must come back from the structured invariant
+//! checker with zero violations.
+//!
+//! This is the headline guarantee of the fault-schedule layer: network
+//! chaos (drops, duplication, partitions, crash windows) *composes* with
+//! protocol-level Byzantine behaviour without ever endangering safety, and
+//! because each schedule in [`ChaosSpec::MATRIX`] is eventually clean
+//! (partitions heal, crashes recover, drops stay confined to links that
+//! touch a Byzantine process), the checker's GST-style
+//! `termination-after-heal` invariant is armed and must hold too.
+
+use dex::harness::spec::{AdversarySpec, ChaosSpec, RunSpec, WorkloadSpec};
+
+const SEEDS: u64 = 8;
+
+fn chaos_spec(chaos: ChaosSpec, seed: u64) -> RunSpec {
+    RunSpec {
+        f: 1, // f = t: the adversary at full strength under every schedule
+        workload: WorkloadSpec::Bernoulli { p: 0.8 },
+        adversary: AdversarySpec::Equivocate,
+        chaos,
+        runs: 1,
+        seed,
+        ..RunSpec::default()
+    }
+}
+
+#[test]
+fn chaos_matrix_passes_the_invariant_checker_on_every_seed() {
+    for chaos in ChaosSpec::MATRIX {
+        for seed in 0..SEEDS {
+            let spec = chaos_spec(chaos.clone(), seed);
+            let traced = spec.traced(0).expect("valid spec");
+            let report = dex::obs::check(&traced.trace);
+            assert!(
+                report.is_ok(),
+                "chaos `{}` seed {seed}: {:?}",
+                chaos.label(),
+                report.violations
+            );
+
+            let meta = traced
+                .trace
+                .meta
+                .chaos
+                .as_ref()
+                .expect("chaos meta present");
+            assert!(
+                meta.eventually_clean,
+                "every matrix schedule is eventually clean (chaos `{}`)",
+                chaos.label()
+            );
+            assert!(
+                report
+                    .checks
+                    .iter()
+                    .any(|&(name, count)| name == "termination-after-heal" && count > 0),
+                "the GST-style liveness invariant must be armed (chaos `{}`)",
+                chaos.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_free_specs_carry_no_chaos_meta() {
+    let spec = chaos_spec(ChaosSpec::None, 31);
+    let traced = spec.traced(0).expect("valid spec");
+    assert!(
+        traced.trace.meta.chaos.is_none(),
+        "chaos-free runs keep the pre-chaos artifact shape"
+    );
+    assert!(dex::obs::check(&traced.trace).is_ok());
+}
+
+#[test]
+fn chaos_trace_artifact_is_byte_stable() {
+    // The rendered artifact — events, checker rows, and the chaos block —
+    // must be identical across re-executions of the same spec.
+    let spec = chaos_spec(ChaosSpec::PartitionHeal { open: 5, heal: 120 }, 31);
+    let render = |spec: &RunSpec| {
+        let traced = spec.traced(0).expect("valid spec");
+        let report = dex::obs::check(&traced.trace);
+        dex::obs::json::render(&traced.trace, &report)
+    };
+    let first = render(&spec);
+    let second = render(&spec);
+    assert_eq!(first, second, "chaos artifacts must replay byte-for-byte");
+    assert!(
+        first.contains("\"chaos\":{\"last_heal\":120,\"eventually_clean\":true,"),
+        "the artifact must carry the chaos block"
+    );
+    assert_eq!(
+        spec.trace_artifact(),
+        "results/trace_chaos_partition_31.json"
+    );
+}

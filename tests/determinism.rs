@@ -3,13 +3,14 @@
 //! every number in EXPERIMENTS.md reproducible.
 
 use dex::adversary::{ByzantineStrategy, FaultPlan};
-use dex::harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex::harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex::simnet::DelayModel;
 use dex::types::{InputVector, SystemConfig};
 
-fn spec(algo: Algo, underlying: UnderlyingKind, seed: u64) -> RunSpec {
+fn spec(algo: Algo, underlying: UnderlyingKind, seed: u64) -> RunInstance {
     let config = SystemConfig::new(8, 1).unwrap();
-    RunSpec {
+    RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
         config,
         algo,
         underlying,
@@ -25,16 +26,16 @@ fn spec(algo: Algo, underlying: UnderlyingKind, seed: u64) -> RunSpec {
 #[test]
 fn identical_seeds_reproduce_runs() {
     for algo in [Algo::DexFreq, Algo::DexPrv { m: 1 }, Algo::Bosco] {
-        let a = run_spec(&spec(algo, UnderlyingKind::Oracle, 42));
-        let b = run_spec(&spec(algo, UnderlyingKind::Oracle, 42));
+        let a = run_instance(&spec(algo, UnderlyingKind::Oracle, 42));
+        let b = run_instance(&spec(algo, UnderlyingKind::Oracle, 42));
         assert_eq!(a, b, "{} must replay identically", algo.label());
     }
 }
 
 #[test]
 fn different_seeds_change_schedules() {
-    let a = run_spec(&spec(Algo::DexFreq, UnderlyingKind::Oracle, 1));
-    let b = run_spec(&spec(Algo::DexFreq, UnderlyingKind::Oracle, 2));
+    let a = run_instance(&spec(Algo::DexFreq, UnderlyingKind::Oracle, 1));
+    let b = run_instance(&spec(Algo::DexFreq, UnderlyingKind::Oracle, 2));
     // Values must agree across runs only *within* a run; message counts
     // almost surely differ between seeds.
     assert!(a.agreement_ok() && b.agreement_ok());
@@ -47,12 +48,12 @@ fn different_seeds_change_schedules() {
 
 #[test]
 fn randomized_underlying_replays_too() {
-    let a = run_spec(&spec(
+    let a = run_instance(&spec(
         Algo::DexFreq,
         UnderlyingKind::Mvc { coin_seed: 3 },
         9,
     ));
-    let b = run_spec(&spec(
+    let b = run_instance(&spec(
         Algo::DexFreq,
         UnderlyingKind::Mvc { coin_seed: 3 },
         9,

@@ -26,6 +26,7 @@ fn grid(underlying: UnderlyingKind, runs: usize) {
         for strategy in &strategies {
             for workload in &workloads {
                 let stats = run_batch(&BatchSpec {
+                    chaos: dex::harness::spec::ChaosSpec::None,
                     config: cfg,
                     algo,
                     underlying,
@@ -67,6 +68,7 @@ fn underlying_only_baseline_is_safe_too() {
     let cfg = SystemConfig::new(8, 1).unwrap();
     let workload = UniformRandom { domain: 3 };
     let stats = run_batch(&BatchSpec {
+        chaos: dex::harness::spec::ChaosSpec::None,
         config: cfg,
         algo: Algo::UnderlyingOnly,
         underlying: UnderlyingKind::Oracle,

@@ -4,7 +4,7 @@
 
 use dex::adversary::{ByzantineStrategy, FaultPlan};
 use dex::conditions::{FrequencyPair, LegalityPair};
-use dex::harness::runner::{run_spec, Algo, Outcome, RunSpec, UnderlyingKind};
+use dex::harness::runner::{run_instance, Algo, Outcome, RunInstance, UnderlyingKind};
 use dex::simnet::DelayModel;
 use dex::types::{InputVector, ProcessId, SystemConfig};
 use proptest::prelude::*;
@@ -56,7 +56,8 @@ proptest! {
         } else {
             FaultPlan::from_ids(cfg, [ProcessId::new(1 + faulty_pos % (N - 1))])
         };
-        let result = run_spec(&RunSpec {
+        let result = run_instance(&RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
             config: cfg,
             algo,
             underlying: UnderlyingKind::Oracle,
@@ -95,7 +96,8 @@ proptest! {
         let input = InputVector::new(entries);
         let pair = FrequencyPair::new(cfg).unwrap();
         let fault_plan = FaultPlan::last_k(cfg, f);
-        let result = run_spec(&RunSpec {
+        let result = run_instance(&RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
             config: cfg,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,
@@ -139,7 +141,8 @@ proptest! {
         let input = InputVector::new(entries);
         let pair = FrequencyPair::new(cfg).unwrap();
         let fault_plan = FaultPlan::last_k(cfg, f);
-        let result = run_spec(&RunSpec {
+        let result = run_instance(&RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
             config: cfg,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,

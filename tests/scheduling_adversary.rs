@@ -5,7 +5,7 @@
 //! process falls back without dragging anyone into disagreement).
 
 use dex::adversary::{ByzantineStrategy, FaultPlan};
-use dex::harness::runner::{run_spec, Algo, Outcome, RunSpec, UnderlyingKind};
+use dex::harness::runner::{run_instance, Algo, Outcome, RunInstance, UnderlyingKind};
 use dex::simnet::DelayModel;
 use dex::types::{InputVector, ProcessId, SystemConfig};
 
@@ -26,7 +26,8 @@ fn starving_one_process_of_proposals_only_slows_that_process() {
     // the late messages or the fallback) and everyone agrees.
     let links: Vec<(usize, usize, u64)> = (0..6).map(|from| (from, 6, 50_000)).collect();
     for seed in 0..10 {
-        let r = run_spec(&RunSpec {
+        let r = run_instance(&RunInstance {
+            faults: dex::simnet::FaultSchedule::none(),
             config: cfg,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,
@@ -59,7 +60,8 @@ fn slow_coordinator_link_cannot_break_agreement() {
     // coordinator from half the system: the fallback gets slow, not wrong.
     let links: Vec<(usize, usize, u64)> = (3..7).map(|from| (from, 0, 20_000)).collect();
     for seed in 0..10 {
-        let r = run_spec(&RunSpec {
+        let r = run_instance(&RunInstance {
+            faults: dex::simnet::FaultSchedule::none(),
             config: cfg,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,
@@ -92,7 +94,8 @@ fn byzantine_plus_scheduling_adversary() {
         }
     }
     for seed in 0..10 {
-        let r = run_spec(&RunSpec {
+        let r = run_instance(&RunInstance {
+            faults: dex::simnet::FaultSchedule::none(),
             config: cfg,
             algo: Algo::DexFreq,
             underlying: UnderlyingKind::Oracle,

@@ -5,7 +5,7 @@
 
 use dex::adversary::{ByzantineStrategy, FaultPlan};
 use dex::conditions::{FrequencyPair, LegalityPair, PrivilegedPair};
-use dex::harness::runner::{run_spec, Algo, RunSpec, UnderlyingKind};
+use dex::harness::runner::{run_instance, Algo, RunInstance, UnderlyingKind};
 use dex::simnet::DelayModel;
 use dex::types::{InputVector, ProcessId, SystemConfig};
 
@@ -19,7 +19,8 @@ fn worst_steps(
     lie: u64,
     seed: u64,
 ) -> u32 {
-    let result = run_spec(&RunSpec {
+    let result = run_instance(&RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
         config: cfg,
         algo,
         underlying: UnderlyingKind::Oracle,

@@ -7,7 +7,7 @@ use dex::adversary::{ByzantineStrategy, FaultPlan};
 use dex::conditions::LegalityPair;
 use dex::core::{DexActor, DexProcess};
 use dex::harness::runner::{
-    run_spec_traced, traced_batch_run, Algo, BatchSpec, Placement, RunSpec, UnderlyingKind,
+    run_instance_traced, traced_batch_run, Algo, BatchSpec, Placement, RunInstance, UnderlyingKind,
 };
 use dex::harness::AnyUc;
 use dex::obs::{check, ProcessTrace, RunTrace, SchemeRules, TraceMeta};
@@ -15,8 +15,9 @@ use dex::simnet::{DelayModel, Simulation};
 use dex::types::{InputVector, ProcessId, SystemConfig, View};
 use dex::workloads::BernoulliMix;
 
-fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunSpec {
-    RunSpec {
+fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunInstance {
+    RunInstance {
+        faults: dex::simnet::FaultSchedule::none(),
         config: SystemConfig::new(n, t).unwrap(),
         algo,
         underlying: UnderlyingKind::Oracle,
@@ -29,8 +30,8 @@ fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunSpec
     }
 }
 
-fn assert_clean(spec: &RunSpec) {
-    let traced = run_spec_traced(spec);
+fn assert_clean(spec: &RunInstance) {
+    let traced = run_instance_traced(spec);
     assert!(traced.result.quiescent && traced.result.agreement_ok());
     let report = check(&traced.trace);
     assert!(
@@ -45,7 +46,7 @@ fn assert_clean(spec: &RunSpec) {
 #[test]
 fn unanimous_one_step_run_checks_clean() {
     let spec = base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3));
-    let traced = run_spec_traced(&spec);
+    let traced = run_instance_traced(&spec);
     assert_eq!(traced.result.max_steps(), Some(1));
     let report = check(&traced.trace);
     assert!(report.is_ok(), "{:?}", report.violations);
@@ -70,7 +71,7 @@ fn split_fallback_run_checks_clean() {
 fn privileged_pair_run_checks_clean() {
     let input = InputVector::new(vec![1, 1, 1, 1, 1, 0]);
     let spec = base_spec(6, 1, Algo::DexPrv { m: 1 }, input);
-    let traced = run_spec_traced(&spec);
+    let traced = run_instance_traced(&spec);
     assert_eq!(traced.result.max_steps(), Some(1));
     let report = check(&traced.trace);
     assert!(report.is_ok(), "{:?}", report.violations);
@@ -79,13 +80,14 @@ fn privileged_pair_run_checks_clean() {
 #[test]
 fn adversarial_runs_check_clean() {
     for seed in 0..5 {
-        let spec = RunSpec {
+        let spec = RunInstance {
+            faults: dex::simnet::FaultSchedule::none(),
             fault_plan: FaultPlan::last_k(SystemConfig::new(7, 1).unwrap(), 1),
             strategy: ByzantineStrategy::EchoPoison { values: vec![3, 9] },
             seed,
             ..base_spec(7, 1, Algo::DexFreq, InputVector::unanimous(7, 3))
         };
-        let traced = run_spec_traced(&spec);
+        let traced = run_instance_traced(&spec);
         let report = check(&traced.trace);
         assert!(report.is_ok(), "seed {seed}: {:?}", report.violations);
     }
@@ -102,6 +104,7 @@ fn baseline_runs_check_clean() {
 fn traced_batch_run_matches_batch_derivation_and_is_stable() {
     let workload = BernoulliMix { p: 0.8, a: 1, b: 0 };
     let batch = BatchSpec {
+        chaos: dex::harness::spec::ChaosSpec::None,
         config: SystemConfig::new(7, 1).unwrap(),
         algo: Algo::DexFreq,
         underlying: UnderlyingKind::Oracle,
@@ -181,7 +184,10 @@ fn checker_flags_unsound_one_step_pair() {
             actor
         })
         .collect();
-    let mut sim = Simulation::new(actors, 3, DelayModel::Uniform { min: 1, max: 10 });
+    let mut sim = Simulation::builder(actors)
+        .seed(3)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .build();
     assert!(sim.run(1_000_000).quiescent);
     let one_stepped = sim
         .actors()
@@ -202,6 +208,7 @@ fn checker_flags_unsound_one_step_pair() {
             rules: SchemeRules::Frequency,
             faulty: Vec::new(),
             legend: Vec::new(),
+            chaos: None,
         },
         processes,
     };
