@@ -61,9 +61,11 @@
 
 mod actor;
 mod process;
+mod resend;
 
 pub use actor::{DecisionRecord, DexActor};
 pub use process::{Decision, DecisionPath, DexMsg, DexProcess};
+pub use resend::{Reliable, ReliableMsg, ResendPolicy};
 
 use dex_conditions::{FrequencyPair, PrivilegedPair};
 

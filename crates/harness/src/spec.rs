@@ -274,6 +274,21 @@ pub enum ChaosSpec {
         /// Recovery instant.
         up: u64,
     },
+    /// Like [`CrashRecover`](ChaosSpec::CrashRecover), but the victims
+    /// come back with **amnesia** (`crash-restart:<down>:<up>`): in-window
+    /// deliveries are *lost*, and at `up` the process is torn down and
+    /// rebuilt through its [`Recoverable`](dex_simnet::Recoverable) hook.
+    /// Because state is genuinely destroyed, such a schedule is *not*
+    /// eventually clean — termination-after-heal is not assertable and the
+    /// variant deliberately stays out of [`ChaosSpec::MATRIX`]; it exists
+    /// for the recovery suite, where the replication layer's WAL + catch-up
+    /// protocol is what restores liveness.
+    CrashRestart {
+        /// Instant the victims go down (≥ 1).
+        down: u64,
+        /// Restart instant.
+        up: u64,
+    },
 }
 
 impl ChaosSpec {
@@ -298,6 +313,7 @@ impl ChaosSpec {
             ChaosSpec::DupHeavy { .. } => "dup",
             ChaosSpec::PartitionHeal { .. } => "partition",
             ChaosSpec::CrashRecover { .. } => "crash",
+            ChaosSpec::CrashRestart { .. } => "crash-restart",
         }
     }
 
@@ -336,6 +352,16 @@ impl ChaosSpec {
                 }
                 Ok(ChaosSpec::CrashRecover { down, up })
             }
+            ["crash-restart", down, up] => {
+                let (down, up) = (time(down)?, time(up)?);
+                if down == 0 {
+                    return Err("crash windows must start at t ≥ 1 (on_start runs at 0)".into());
+                }
+                if down > up {
+                    return Err(format!("crash-restart window [{down}, {up}) is inverted"));
+                }
+                Ok(ChaosSpec::CrashRestart { down, up })
+            }
             _ => Err(format!("unknown chaos {raw:?}")),
         }
     }
@@ -348,6 +374,7 @@ impl ChaosSpec {
             ChaosSpec::DupHeavy { p } => format!("dup:{p}"),
             ChaosSpec::PartitionHeal { open, heal } => format!("partition:{open}:{heal}"),
             ChaosSpec::CrashRecover { down, up } => format!("crash:{down}:{up}"),
+            ChaosSpec::CrashRestart { down, up } => format!("crash-restart:{down}:{up}"),
         }
     }
 
@@ -379,6 +406,21 @@ impl ChaosSpec {
                 let mut sched = FaultSchedule::new();
                 for &q in victims.iter().rev().take(k) {
                     sched = sched.crash(q, down, up);
+                }
+                sched
+            }
+            ChaosSpec::CrashRestart { down, up } => {
+                // Same victim choice as CrashRecover, but with amnesia:
+                // in-window deliveries are lost and the process is rebuilt
+                // through its `Recoverable` hook at `up`.
+                let victims: Vec<ProcessId> = config
+                    .processes()
+                    .filter(|q| !plan.is_faulty(*q) && q.index() != 0)
+                    .collect();
+                let k = config.t().max(1).min(victims.len());
+                let mut sched = FaultSchedule::new();
+                for &q in victims.iter().rev().take(k) {
+                    sched = sched.crash_restart(q, down, up);
                 }
                 sched
             }
@@ -772,6 +814,29 @@ mod tests {
         assert!(!plan.is_faulty(victim), "victim must be correct");
         assert!(sched.all_recover());
         assert_eq!(sched.last_heal(), Some(100));
+    }
+
+    #[test]
+    fn crash_restart_compiles_to_an_amnesiac_schedule_outside_the_matrix() {
+        assert_eq!(
+            ChaosSpec::parse("crash-restart:3:100").unwrap(),
+            ChaosSpec::CrashRestart { down: 3, up: 100 }
+        );
+        assert!(ChaosSpec::parse("crash-restart:0:50").is_err());
+        let spec = ChaosSpec::CrashRestart { down: 3, up: 100 };
+        assert_eq!(ChaosSpec::parse(&spec.flag()).unwrap(), spec);
+
+        let config = SystemConfig::new(7, 1).unwrap();
+        let plan = FaultPlan::last_k(config, 1);
+        let sched = spec.build(config, &plan);
+        let windows = sched.crash_windows();
+        assert_eq!(windows.len(), 1);
+        assert_ne!(windows[0].process.index(), 0, "coordinator must stay up");
+        assert!(!plan.is_faulty(windows[0].process));
+        // Amnesia destroys state: the schedule is *not* eventually clean,
+        // which is exactly why the variant stays out of the CI matrix.
+        assert!(!sched.all_recover());
+        assert!(!ChaosSpec::MATRIX.contains(&spec));
     }
 
     #[test]

@@ -41,6 +41,11 @@
 //!   last heal. Not asserted for unclean schedules — losing messages
 //!   between correct processes genuinely forfeits one-shot liveness
 //!   (safety is still checked unconditionally).
+//! * **recovered-prefix** — replication only: every slot a recovering or
+//!   lagging replica adopted through the catch-up protocol (`CatchUp`
+//!   events) carries exactly the command some correct replica committed
+//!   for that slot — a restarted replica re-derives the cluster's log,
+//!   never invents one.
 
 use crate::event::{Event, EventKind, PredTag, Scheme, ViewTag};
 use std::collections::{BTreeMap, BTreeSet};
@@ -519,6 +524,7 @@ pub fn check(run: &RunTrace) -> CheckReport {
     // fault schedule was active, so fault-free artifacts are unchanged.
     let mut crash_silence = 0usize;
     let mut termination_after_heal = 0usize;
+    let mut recovered_prefix = 0usize;
     if let Some(chaos) = &run.meta.chaos {
         for (p, from, until) in &chaos.crashes {
             let Some(tr) = correct.iter().find(|tr| tr.id == *p) else {
@@ -561,6 +567,37 @@ pub fn check(run: &RunTrace) -> CheckReport {
                 }
             }
         }
+
+        // Catch-up adoptions must re-derive the cluster's log, byte for
+        // byte: an adopted slot whose command differs from (or lacks) a
+        // correct replica's commit means recovery invented history.
+        for tr in &correct {
+            for e in &tr.events {
+                if let EventKind::CatchUp { slot, code } = e.kind {
+                    recovered_prefix += 1;
+                    match committed.get(&slot) {
+                        Some((_, ref_code)) if *ref_code == code => {}
+                        Some((first, ref_code)) => violations.push(Violation {
+                            invariant: "recovered-prefix",
+                            process: tr.id,
+                            detail: format!(
+                                "caught up slot {} as {:016x} but replica {} \
+                                 committed {:016x}",
+                                slot, code, first, ref_code
+                            ),
+                        }),
+                        None => violations.push(Violation {
+                            invariant: "recovered-prefix",
+                            process: tr.id,
+                            detail: format!(
+                                "caught up slot {} that no correct replica committed",
+                                slot
+                            ),
+                        }),
+                    }
+                }
+            }
+        }
     }
 
     report.checks = vec![
@@ -579,6 +616,7 @@ pub fn check(run: &RunTrace) -> CheckReport {
         report
             .checks
             .push(("termination-after-heal", termination_after_heal));
+        report.checks.push(("recovered-prefix", recovered_prefix));
     }
     report.violations = violations;
     report
@@ -837,6 +875,73 @@ mod tests {
             .checks
             .iter()
             .any(|(name, count)| *name == "termination-after-heal" && *count == 0));
+    }
+
+    #[test]
+    fn catch_up_matching_the_committed_log_passes() {
+        let mut m = meta(SchemeRules::Opaque);
+        m.chaos = Some(chaos_meta(vec![(1, 2, Some(10))], false));
+        let t0 = ProcessTrace {
+            id: 0,
+            events: vec![ev(0, 1, EventKind::Commit { slot: 3, code: 5 })],
+        };
+        let t1 = ProcessTrace {
+            id: 1,
+            events: vec![ev(12, 0, EventKind::CatchUp { slot: 3, code: 5 })],
+        };
+        let run = RunTrace {
+            meta: m,
+            processes: vec![t0, t1],
+        };
+        let report = check(&run);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert!(report
+            .checks
+            .iter()
+            .any(|(name, count)| *name == "recovered-prefix" && *count == 1));
+    }
+
+    #[test]
+    fn catch_up_diverging_from_the_committed_log_is_flagged() {
+        let mut m = meta(SchemeRules::Opaque);
+        m.chaos = Some(chaos_meta(vec![(1, 2, Some(10))], false));
+        let t0 = ProcessTrace {
+            id: 0,
+            events: vec![ev(0, 1, EventKind::Commit { slot: 3, code: 5 })],
+        };
+        let t1 = ProcessTrace {
+            id: 1,
+            events: vec![
+                // Wrong command for slot 3, and a slot nobody committed.
+                ev(12, 0, EventKind::CatchUp { slot: 3, code: 9 }),
+                ev(12, 0, EventKind::CatchUp { slot: 7, code: 1 }),
+            ],
+        };
+        let run = RunTrace {
+            meta: m,
+            processes: vec![t0, t1],
+        };
+        let report = check(&run);
+        let flagged: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant == "recovered-prefix")
+            .collect();
+        assert_eq!(flagged.len(), 2, "{:?}", report.violations);
+        assert!(flagged.iter().all(|v| v.process == 1));
+    }
+
+    #[test]
+    fn recovered_prefix_row_is_absent_without_chaos_meta() {
+        let run = RunTrace {
+            meta: meta(SchemeRules::Frequency),
+            processes: (0..7).map(|i| unanimous_one_step(i, 42)).collect(),
+        };
+        let report = check(&run);
+        assert!(report
+            .checks
+            .iter()
+            .all(|(name, _)| *name != "recovered-prefix"));
     }
 
     #[test]

@@ -184,6 +184,20 @@ pub enum EventKind {
     Crash,
     /// This process recovered; deferred deliveries resume from now.
     Recover,
+    /// A recovering/lagging replica adopted `slot` through the catch-up
+    /// protocol (quorum-validated replies or WAL replay, replication layer
+    /// only).
+    CatchUp {
+        /// The adopted log slot.
+        slot: u32,
+        /// Code of the adopted command.
+        code: u64,
+    },
+    /// The resend layer retransmitted an unacknowledged message to `to`.
+    Resend {
+        /// The recipient of the retransmission.
+        to: u16,
+    },
 }
 
 /// One recorded event: a timestamp, the causal depth of the message being

@@ -121,6 +121,13 @@ fn event(e: &Event, out: &mut String) {
         EventKind::Recover => {
             out.push_str("\"recover\"");
         }
+        EventKind::CatchUp { slot, code: c } => {
+            let _ = write!(out, "\"catch_up\",\"slot\":{slot},\"code\":");
+            code(c, out);
+        }
+        EventKind::Resend { to } => {
+            let _ = write!(out, "\"resend\",\"to\":{to}");
+        }
     }
     out.push('}');
 }

@@ -34,12 +34,14 @@ pub type ClusterOutcome = GenericClusterOutcome<Command>;
 /// Same conditions as [`run_generic_cluster`].
 pub fn run_cluster(options: ClusterOptions) -> ClusterOutcome {
     run_generic_cluster::<KvStore>(GenericClusterOptions {
-        config: options.config,
-        pending: options.pending,
-        target_slots: options.target_slots,
         byzantine: options.byzantine,
         byz_values: vec![Command::put(666, 666), Command::put(999, 999)],
-        seed: options.seed,
+        ..GenericClusterOptions::new(
+            options.config,
+            options.pending,
+            options.target_slots,
+            options.seed,
+        )
     })
 }
 

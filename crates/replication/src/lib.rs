@@ -49,13 +49,15 @@ mod kvstore;
 mod log;
 mod machine;
 mod replica;
+mod wal;
 
 pub use cluster::{run_cluster, ClusterOptions, ClusterOutcome};
 pub use command::Command;
 pub use kvstore::KvStore;
-pub use log::ReplicatedLog;
+pub use log::{CommitOutcome, ReplicatedLog};
 pub use machine::{StateMachine, TotalOrder};
 pub use replica::{
-    run_generic_cluster, GenericClusterOptions, GenericClusterOutcome, Replica, ReplicaMsg,
+    run_generic_cluster, GenericClusterOptions, GenericClusterOutcome, Node, Replica, ReplicaMsg,
     SlotPath,
 };
+pub use wal::{Durability, FileWal, MemWal, Snapshot, Wal, WalCodec, WalRecord};

@@ -2,6 +2,33 @@
 
 use dex_types::Value;
 
+/// What [`ReplicatedLog::commit`] did with the offered decision.
+///
+/// Re-commits happen legitimately — a restarted replica replays its WAL
+/// into a log that partially overlaps what catch-up already adopted — so
+/// duplicates must be distinguishable from first-time commits, and a
+/// *conflicting* re-commit (an agreement violation) must never be silently
+/// papered over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[must_use = "a Conflict outcome is an agreement violation and must be handled"]
+pub enum CommitOutcome {
+    /// The slot was empty and now holds the value.
+    Committed,
+    /// The slot already held exactly this value; nothing changed.
+    Duplicate,
+    /// The slot already held a **different** value. The original value is
+    /// kept; debug builds panic at the commit site instead of returning
+    /// this.
+    Conflict,
+}
+
+impl CommitOutcome {
+    /// Whether the slot's value changed (first-time commit).
+    pub fn is_new(self) -> bool {
+        self == CommitOutcome::Committed
+    }
+}
+
 /// A commit log: slot `s` holds the command consensus instance `s` decided.
 /// Slots may commit out of order (instances run concurrently); commands are
 /// *applied* strictly in order via [`next_applicable`](Self::next_applicable).
@@ -9,12 +36,14 @@ use dex_types::Value;
 /// # Examples
 ///
 /// ```
-/// use dex_replication::ReplicatedLog;
+/// use dex_replication::{CommitOutcome, ReplicatedLog};
 /// let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
-/// log.commit(1, 20); // slot 1 decides before slot 0
+/// // Slot 1 decides before slot 0.
+/// assert_eq!(log.commit(1, 20), CommitOutcome::Committed);
 /// assert_eq!(log.next_applicable(), None);
-/// log.commit(0, 10);
+/// assert_eq!(log.commit(0, 10), CommitOutcome::Committed);
 /// assert_eq!(log.next_applicable(), Some(&10));
+/// assert_eq!(log.commit(0, 10), CommitOutcome::Duplicate);
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReplicatedLog<V> {
@@ -37,22 +66,30 @@ impl<V: Value> ReplicatedLog<V> {
         ReplicatedLog::default()
     }
 
-    /// Records the decision of slot `slot`.
+    /// Records the decision of slot `slot` and reports what happened.
     ///
-    /// # Panics
-    ///
-    /// Panics if the slot was already committed with a *different* value —
-    /// that would be an agreement violation and must never be papered over.
-    pub fn commit(&mut self, slot: usize, value: V) {
+    /// A matching re-commit is a harmless [`CommitOutcome::Duplicate`]; a
+    /// conflicting one keeps the original value and returns
+    /// [`CommitOutcome::Conflict`] — in debug builds it panics instead,
+    /// because a conflict is an agreement violation and the blast site is
+    /// the most useful place to stop.
+    pub fn commit(&mut self, slot: usize, value: V) -> CommitOutcome {
         if self.slots.len() <= slot {
             self.slots.resize(slot + 1, None);
         }
         match &self.slots[slot] {
-            Some(existing) => assert_eq!(
-                existing, &value,
-                "slot {slot} double-committed with different values"
-            ),
-            None => self.slots[slot] = Some(value),
+            Some(existing) if *existing == value => CommitOutcome::Duplicate,
+            Some(existing) => {
+                debug_assert_eq!(
+                    existing, &value,
+                    "slot {slot} double-committed with different values"
+                );
+                CommitOutcome::Conflict
+            }
+            None => {
+                self.slots[slot] = Some(value);
+                CommitOutcome::Committed
+            }
         }
     }
 
@@ -113,11 +150,11 @@ mod tests {
     #[test]
     fn out_of_order_commit_in_order_apply() {
         let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
-        log.commit(2, 30);
+        assert_eq!(log.commit(2, 30), CommitOutcome::Committed);
         assert_eq!(log.committed_prefix(), 0);
         assert_eq!(log.next_applicable(), None);
-        log.commit(0, 10);
-        log.commit(1, 20);
+        assert_eq!(log.commit(0, 10), CommitOutcome::Committed);
+        assert_eq!(log.commit(1, 20), CommitOutcome::Committed);
         assert_eq!(log.committed_prefix(), 3);
         assert_eq!(log.next_applicable(), Some(&10));
         log.mark_applied();
@@ -132,17 +169,27 @@ mod tests {
     #[test]
     fn idempotent_recommit_is_fine() {
         let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
-        log.commit(0, 5);
-        log.commit(0, 5);
+        assert!(log.commit(0, 5).is_new());
+        assert_eq!(log.commit(0, 5), CommitOutcome::Duplicate);
         assert_eq!(log.get(0), Some(&5));
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "double-committed")]
     fn conflicting_recommit_panics() {
         let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
-        log.commit(0, 5);
-        log.commit(0, 6);
+        let _ = log.commit(0, 5);
+        let _ = log.commit(0, 6);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn conflicting_recommit_keeps_the_original_and_reports_it() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new();
+        let _ = log.commit(0, 5);
+        assert_eq!(log.commit(0, 6), CommitOutcome::Conflict);
+        assert_eq!(log.get(0), Some(&5), "original value wins");
     }
 
     #[test]

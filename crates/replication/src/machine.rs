@@ -9,8 +9,9 @@ use dex_types::Value;
 /// Determinism is the whole contract: identical command sequences must
 /// yield identical [`digest`](Self::digest)s on every replica. The default
 /// command (`Default`) is the "empty slot" proposal used when a replica's
-/// request queue is dry.
-pub trait StateMachine: Default + Send + 'static {
+/// request queue is dry. `Clone` is required so the durability layer can
+/// capture point-in-time snapshots of the applied state (see `wal`).
+pub trait StateMachine: Default + Clone + Send + 'static {
     /// The replicated operation type.
     type Command: Value + Default;
 

@@ -39,6 +39,30 @@ pub trait Actor {
     }
 }
 
+/// An actor that survives a [`CrashMode::Restart`](crate::CrashMode)
+/// crash by rebuilding from persisted state.
+///
+/// When a restart-mode crash window recovers, the runtime calls
+/// [`restart`](Recoverable::restart) on the actor (its struct is reused as
+/// the container for both volatile and durable state — the implementation
+/// is responsible for wiping everything that would not have survived a real
+/// crash and re-deriving it from whatever it persisted, e.g. a WAL plus
+/// snapshot). Sends queued from the hook enter the network at the recovery
+/// instant with causal depth 1, like `on_start` sends — a reboot starts a
+/// fresh causal chain.
+///
+/// Install the hook with
+/// [`SimulationBuilder::recoverable`](crate::SimulationBuilder::recoverable);
+/// without it, restart windows only lose the in-window inbox and the actor
+/// resumes with its volatile state untouched (amnesia of the network, not
+/// of the process — usually *not* what a crash test wants).
+pub trait Recoverable: Actor {
+    /// Rebuild after a crash: drop volatile state, restore from durable
+    /// state, and optionally send recovery traffic (e.g. catch-up
+    /// requests).
+    fn restart(&mut self, ctx: &mut Context<'_, Self::Msg>);
+}
+
 /// Everything an actor may observe and do while handling one delivery.
 ///
 /// Outgoing messages are buffered as `(Dest, Msg)` pairs and dispatched by
@@ -54,6 +78,7 @@ pub struct Context<'a, M> {
     depth: StepDepth,
     rng: &'a mut StdRng,
     outbox: Vec<(Dest, M)>,
+    timers: Vec<(u64, M)>,
     clones: u64,
 }
 
@@ -86,6 +111,7 @@ impl<'a, M: Clone> Context<'a, M> {
             depth,
             rng,
             outbox,
+            timers: Vec::new(),
             clones: 0,
         }
     }
@@ -110,6 +136,13 @@ impl<'a, M: Clone> Context<'a, M> {
     /// entry is still unexpanded; the runtime decides how to fan it out.
     pub fn take_outbox(&mut self) -> Vec<(Dest, M)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the buffered `(delay, Msg)` timers armed with
+    /// [`send_self_after`](Self::send_self_after) — for external runtimes
+    /// that implement their own clock (e.g. wall-time in `dex-threadnet`).
+    pub fn take_timers(&mut self) -> Vec<(u64, M)> {
+        std::mem::take(&mut self.timers)
     }
 
     /// This actor's process id.
@@ -155,6 +188,23 @@ impl<'a, M: Clone> Context<'a, M> {
         self.outbox.push((Dest::All, msg));
     }
 
+    /// Arms a deterministic timer: `msg` is delivered back to this actor
+    /// exactly `delay` time units from now (`delay` must be positive).
+    ///
+    /// Timers are local, not network traffic: they bypass the delay model
+    /// and link faults (no drop, duplication, or partition hold) and draw
+    /// nothing from any RNG stream — a run without timers is bit-identical
+    /// to one built before timers existed. They *are* subject to the
+    /// actor's own crash windows: a silence window defers the tick to
+    /// recovery, a restart or permanent crash loses it (a dead process has
+    /// no pending timers). The delivered tick arrives via
+    /// [`Actor::on_message`] with `from == me` and causal depth
+    /// `self.depth().next()`, like any send from this handler.
+    pub fn send_self_after(&mut self, delay: u64, msg: M) {
+        assert!(delay > 0, "a timer needs a positive delay");
+        self.timers.push((delay, msg));
+    }
+
     /// Sends `msg` to every process except this one.
     ///
     /// This is a per-recipient expansion (it clones the payload `n − 1`
@@ -182,8 +232,10 @@ impl<'a, M: Clone> Context<'a, M> {
         self.clones
     }
 
-    pub(crate) fn into_outbox(self) -> Vec<(Dest, M)> {
-        self.outbox
+    /// Decomposes into the buffered sends and armed timers.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(self) -> (Vec<(Dest, M)>, Vec<(u64, M)>) {
+        (self.outbox, self.timers)
     }
 }
 
@@ -202,8 +254,10 @@ mod tests {
         ctx.broadcast(7);
         ctx.broadcast_others(5);
         ctx.send_dest(Dest::All, 4);
+        ctx.send_self_after(17, 3);
         assert_eq!(ctx.cloned(), 2, "only broadcast_others clones");
-        let out = ctx.into_outbox();
+        let (out, timers) = ctx.into_parts();
+        assert_eq!(timers, vec![(17, 3)]);
         // send + one unexpanded broadcast + 2 expanded others + send_dest.
         assert_eq!(out.len(), 1 + 1 + 2 + 1);
         assert_eq!(out[0], (Dest::To(ProcessId::new(0)), 9));

@@ -23,10 +23,10 @@
 //! assert_eq!(sim.n(), 3);
 //! ```
 
-use crate::actor::Actor;
+use crate::actor::{Actor, Recoverable};
 use crate::delay::DelayModel;
 use crate::faults::FaultSchedule;
-use crate::sim::Simulation;
+use crate::sim::{RestartHook, Simulation};
 use crate::trace::TraceDetail;
 
 /// Builder for a [`Simulation`]; start one with
@@ -42,6 +42,7 @@ pub struct SimulationBuilder<A: Actor> {
     faults: FaultSchedule,
     trace: Option<TraceDetail>,
     depth_hint: usize,
+    restart_hook: Option<RestartHook<A>>,
 }
 
 impl<A: Actor> SimulationBuilder<A> {
@@ -53,6 +54,7 @@ impl<A: Actor> SimulationBuilder<A> {
             faults: FaultSchedule::none(),
             trace: None,
             depth_hint: 0,
+            restart_hook: None,
         }
     }
 
@@ -74,6 +76,21 @@ impl<A: Actor> SimulationBuilder<A> {
     /// one without chaos.
     pub fn faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Arms the crash-recovery hook: when a
+    /// [`CrashMode::Restart`](crate::CrashMode) window in the fault
+    /// schedule recovers, the simulation calls
+    /// [`Recoverable::restart`] on the victim so it rebuilds from
+    /// persisted state (and its recovery sends enter the network at the
+    /// recovery instant). Without this, restart windows only lose the
+    /// in-window inbox.
+    pub fn recoverable(mut self) -> Self
+    where
+        A: Recoverable,
+    {
+        self.restart_hook = Some(A::restart);
         self
     }
 
@@ -106,6 +123,7 @@ impl<A: Actor> SimulationBuilder<A> {
             self.faults,
             self.trace,
             self.depth_hint,
+            self.restart_hook,
         )
     }
 }

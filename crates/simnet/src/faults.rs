@@ -77,16 +77,38 @@ impl Partition {
     }
 }
 
-/// A crash silence window for one process.
+/// What happens to a crashed process's volatile state when it comes back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CrashMode {
+    /// The process is merely silent: deliveries queue while it is down and
+    /// resume at the recovery instant, and its in-memory state survives
+    /// intact. This models a long GC pause or scheduling stall, not a real
+    /// crash.
+    #[default]
+    Silence,
+    /// The process actually crashes and restarts with **amnesia**: every
+    /// delivery that lands inside the window is lost (a dead process has no
+    /// inbox), and at the recovery instant the runtime invokes the actor's
+    /// [`Recoverable::restart`](crate::Recoverable::restart) hook so it can
+    /// rebuild from whatever it persisted. Because in-window traffic is
+    /// genuinely lost, a `Restart` window endangers liveness unless the
+    /// application layer recovers it (WAL replay + catch-up).
+    Restart,
+}
+
+/// A crash window for one process.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CrashWindow {
-    /// The silenced process.
+    /// The crashed process.
     pub process: ProcessId,
     /// Instant the process goes down.
     pub from: u64,
     /// Recovery instant (deliveries resume at exactly this time), or
     /// `None` for a permanent crash.
     pub until: Option<u64>,
+    /// Whether the process keeps ([`CrashMode::Silence`]) or loses
+    /// ([`CrashMode::Restart`]) its volatile state and in-window inbox.
+    pub mode: CrashMode,
 }
 
 /// A deterministic chaos schedule for one simulation run.
@@ -236,6 +258,28 @@ impl FaultSchedule {
             process,
             from,
             until: Some(until),
+            mode: CrashMode::Silence,
+        });
+        self
+    }
+
+    /// Crashes `process` over `[from, until)` with **amnesia**: deliveries
+    /// landing in the window are lost, and at `until` the runtime invokes
+    /// the actor's restart hook (see
+    /// [`Recoverable`](crate::Recoverable) and
+    /// [`SimulationBuilder::recoverable`](crate::SimulationBuilder::recoverable))
+    /// so it can rebuild from persisted state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted.
+    pub fn crash_restart(mut self, process: ProcessId, from: u64, until: u64) -> Self {
+        assert!(from <= until, "crash window [{from}, {until}) is inverted");
+        self.crashes.push(CrashWindow {
+            process,
+            from,
+            until: Some(until),
+            mode: CrashMode::Restart,
         });
         self
     }
@@ -247,6 +291,7 @@ impl FaultSchedule {
             process,
             from,
             until: None,
+            mode: CrashMode::Silence,
         });
         self
     }
@@ -280,13 +325,20 @@ impl FaultSchedule {
             .max()
     }
 
-    /// Whether every timed disturbance eventually ends: all crash windows
-    /// recover (partitions always heal by construction). Lossy links are
-    /// not considered here — whether drops endanger liveness depends on
-    /// whether they are confined to the fault budget, which only the
-    /// experiment layer knows (see `dex-harness`).
+    /// Whether every timed disturbance eventually ends *cleanly*: all crash
+    /// windows recover in [`CrashMode::Silence`] (partitions always heal by
+    /// construction). A [`CrashMode::Restart`] window does end, but it
+    /// loses the victim's in-window inbox like a burst of drops — whether
+    /// the run still terminates then depends on application-level recovery
+    /// (catch-up / retransmission), which this schedule cannot see, so
+    /// restart windows do not count as clean here. Lossy links are likewise
+    /// not considered — whether drops endanger liveness depends on whether
+    /// they are confined to the fault budget, which only the experiment
+    /// layer knows (see `dex-harness`).
     pub fn all_recover(&self) -> bool {
-        self.crashes.iter().all(|c| c.until.is_some())
+        self.crashes
+            .iter()
+            .all(|c| c.until.is_some() && c.mode == CrashMode::Silence)
     }
 
     /// Panics if the schedule names a process outside `0..n` — a
@@ -336,7 +388,9 @@ impl FaultSchedule {
 
     /// How a delivery to `to` at `deliver_at` interacts with `to`'s crash
     /// windows: `None` = unaffected, `Some(Some(t))` = deferred to `t`,
-    /// `Some(None)` = the process never recovers, the message is lost.
+    /// `Some(None)` = the message is lost — either the process never
+    /// recovers, or the covering window is a [`CrashMode::Restart`] (a dead
+    /// process has no inbox; restart amnesia loses in-window traffic).
     pub(crate) fn crash_hold(&self, to: ProcessId, deliver_at: u64) -> Option<Option<u64>> {
         let mut when = deliver_at;
         let mut held = false;
@@ -346,15 +400,19 @@ impl FaultSchedule {
                 .iter()
                 .filter(|c| c.process == to && c.from <= when)
                 .filter(|c| c.until.is_none_or(|u| when < u))
-                .map(|c| c.until)
-                .min_by_key(|u| u.unwrap_or(u64::MAX));
+                .min_by_key(|c| c.until.unwrap_or(u64::MAX));
             match covering {
-                Some(None) => return Some(None),
-                Some(Some(u)) if u > when => {
-                    when = u;
+                Some(c) if c.until.is_none() || c.mode == CrashMode::Restart => {
+                    return Some(None);
+                }
+                Some(c) => {
+                    // Silence window with a recovery: the inbox queues.
+                    // The filter guarantees `until > when`, so this makes
+                    // progress and chained windows defer to the last one.
+                    when = c.until.expect("covering silence window recovers");
                     held = true;
                 }
-                _ => break,
+                None => break,
             }
         }
         held.then_some(Some(when))
@@ -429,6 +487,29 @@ mod tests {
     fn chained_crash_windows_defer_to_the_last_recovery() {
         let s = FaultSchedule::new().crash(p(0), 10, 30).crash(p(0), 30, 60);
         assert_eq!(s.crash_hold(p(0), 12), Some(Some(60)));
+    }
+
+    #[test]
+    fn restart_windows_lose_in_window_deliveries() {
+        let s = FaultSchedule::new().crash_restart(p(1), 10, 30);
+        assert_eq!(s.crash_hold(p(1), 15), Some(None), "amnesia: lost");
+        assert_eq!(s.crash_hold(p(1), 9), None);
+        assert_eq!(s.crash_hold(p(1), 30), None, "recovered: delivered");
+        assert_eq!(s.last_heal(), Some(30), "the window still ends");
+        assert!(
+            !s.all_recover(),
+            "restart loses traffic, so it is not clean recovery"
+        );
+    }
+
+    #[test]
+    fn silence_deferral_into_a_restart_window_is_lost() {
+        // A silence window defers the delivery to t=30 — which lands inside
+        // a restart window, so the message dies with the second crash.
+        let s = FaultSchedule::new()
+            .crash(p(0), 10, 30)
+            .crash_restart(p(0), 30, 60);
+        assert_eq!(s.crash_hold(p(0), 12), Some(None));
     }
 
     #[test]

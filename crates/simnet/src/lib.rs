@@ -71,11 +71,11 @@ mod stats;
 mod time;
 mod trace;
 
-pub use actor::{Actor, Context};
+pub use actor::{Actor, Context, Recoverable};
 pub use builder::SimulationBuilder;
 pub use delay::DelayModel;
 pub use dex_types::Dest;
-pub use faults::{CrashWindow, FaultSchedule, LinkFault, Partition};
+pub use faults::{CrashMode, CrashWindow, FaultSchedule, LinkFault, Partition};
 pub use sim::{RunOutcome, Simulation};
 pub use stats::NetStats;
 pub use time::Time;

@@ -26,6 +26,10 @@ enum Boundary {
     PartitionHeal(u16),
     Crash(ProcessId),
     Recover(ProcessId),
+    /// Recovery of a [`CrashMode::Restart`](crate::CrashMode) window: emits
+    /// the same `Recover` obs event, then reboots the actor through the
+    /// [`Recoverable`](crate::Recoverable) hook when one is installed.
+    Restart(ProcessId),
 }
 
 /// Chaos machinery, present only when the schedule is non-empty.
@@ -50,7 +54,13 @@ impl ChaosState {
         for c in schedule.crash_windows() {
             boundaries.push((c.from, Boundary::Crash(c.process)));
             if let Some(until) = c.until {
-                boundaries.push((until, Boundary::Recover(c.process)));
+                boundaries.push((
+                    until,
+                    match c.mode {
+                        crate::faults::CrashMode::Silence => Boundary::Recover(c.process),
+                        crate::faults::CrashMode::Restart => Boundary::Restart(c.process),
+                    },
+                ));
             }
         }
         boundaries.sort_unstable();
@@ -132,7 +142,17 @@ pub struct Simulation<A: Actor> {
     /// Recycled outbox buffer handed to each delivery's [`Context`], so the
     /// per-message hot path allocates nothing in the steady state.
     scratch: Vec<(Dest, A::Msg)>,
+    /// Reboot hook for [`CrashMode::Restart`](crate::CrashMode) recoveries,
+    /// installed via
+    /// [`SimulationBuilder::recoverable`](crate::SimulationBuilder::recoverable).
+    restart_hook: Option<RestartHook<A>>,
 }
+
+/// Signature of the reboot hook a [`CrashMode::Restart`](crate::CrashMode)
+/// recovery invokes on the wiped actor: installed by
+/// [`SimulationBuilder::recoverable`](crate::SimulationBuilder::recoverable),
+/// it is the actor's `Recoverable::restart` taken as a plain fn pointer.
+pub(crate) type RestartHook<A> = fn(&mut A, &mut Context<'_, <A as Actor>::Msg>);
 
 impl<A: Actor> Simulation<A> {
     /// Creates a simulation over the given actors (actor `i` is process
@@ -171,6 +191,7 @@ impl<A: Actor> Simulation<A> {
         faults: FaultSchedule,
         trace: Option<TraceDetail>,
         depth_hint: usize,
+        restart_hook: Option<RestartHook<A>>,
     ) -> Self {
         assert!(!actors.is_empty(), "need at least one actor");
         faults.validate(actors.len());
@@ -190,6 +211,7 @@ impl<A: Actor> Simulation<A> {
             chaos,
             started: false,
             scratch: Vec::new(),
+            restart_hook,
         }
     }
 
@@ -386,45 +408,141 @@ impl<A: Actor> Simulation<A> {
         }));
     }
 
-    /// Emits obs events for schedule boundaries (partition open/heal,
-    /// crash/recover) up to and including `up_to`, stamped with their own
-    /// instants. Crash transitions land on the victim's recorder; partition
-    /// transitions on every process (the network state changed for all).
-    fn flush_boundaries(&mut self, up_to: u64) {
+    /// The instant of the next unprocessed schedule boundary, if any.
+    fn next_boundary_at(&self) -> Option<u64> {
+        let chaos = self.chaos.as_ref()?;
+        chaos.boundaries.get(chaos.next_boundary).map(|&(at, _)| at)
+    }
+
+    /// Processes exactly one schedule boundary (partition open/heal,
+    /// crash/recover/restart): emits its obs event, stamped with its own
+    /// instant, and — for a restart recovery — reboots the victim through
+    /// the installed [`Recoverable`](crate::Recoverable) hook. Crash
+    /// transitions land on the victim's recorder; partition transitions on
+    /// every process (the network state changed for all).
+    fn process_next_boundary(&mut self) {
         let Some(chaos) = self.chaos.as_mut() else {
             return;
         };
-        while let Some(&(at, boundary)) = chaos.boundaries.get(chaos.next_boundary) {
-            if at > up_to {
-                break;
+        let Some(&(at, boundary)) = chaos.boundaries.get(chaos.next_boundary) else {
+            return;
+        };
+        chaos.next_boundary += 1;
+        match boundary {
+            Boundary::Crash(p) => {
+                if let Some(rec) = self.actors[p.index()].recorder_mut() {
+                    rec.record_at(at, 0, dex_obs::EventKind::Crash);
+                }
             }
-            chaos.next_boundary += 1;
-            match boundary {
-                Boundary::Crash(p) => {
-                    if let Some(rec) = self.actors[p.index()].recorder_mut() {
-                        rec.record_at(at, 0, dex_obs::EventKind::Crash);
-                    }
+            Boundary::Recover(p) => {
+                if let Some(rec) = self.actors[p.index()].recorder_mut() {
+                    rec.record_at(at, 0, dex_obs::EventKind::Recover);
                 }
-                Boundary::Recover(p) => {
-                    if let Some(rec) = self.actors[p.index()].recorder_mut() {
-                        rec.record_at(at, 0, dex_obs::EventKind::Recover);
-                    }
+            }
+            Boundary::Restart(p) => {
+                if let Some(rec) = self.actors[p.index()].recorder_mut() {
+                    rec.record_at(at, 0, dex_obs::EventKind::Recover);
                 }
-                Boundary::PartitionOpen(id) => {
-                    for actor in &mut self.actors {
-                        if let Some(rec) = actor.recorder_mut() {
-                            rec.record_at(at, 0, dex_obs::EventKind::PartitionOpen { id });
-                        }
-                    }
-                }
-                Boundary::PartitionHeal(id) => {
-                    for actor in &mut self.actors {
-                        if let Some(rec) = actor.recorder_mut() {
-                            rec.record_at(at, 0, dex_obs::EventKind::PartitionHeal { id });
-                        }
+                self.restart_actor(p, at);
+            }
+            Boundary::PartitionOpen(id) => {
+                for actor in &mut self.actors {
+                    if let Some(rec) = actor.recorder_mut() {
+                        rec.record_at(at, 0, dex_obs::EventKind::PartitionOpen { id });
                     }
                 }
             }
+            Boundary::PartitionHeal(id) => {
+                for actor in &mut self.actors {
+                    if let Some(rec) = actor.recorder_mut() {
+                        rec.record_at(at, 0, dex_obs::EventKind::PartitionHeal { id });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reboots `p` at the recovery instant `at` of a restart-mode crash
+    /// window: virtual time advances to the reboot, the hook rebuilds the
+    /// actor from persisted state, and its recovery sends and timers enter
+    /// the network there with causal depth 1 (a reboot starts a fresh
+    /// causal chain, like `on_start`).
+    fn restart_actor(&mut self, p: ProcessId, at: u64) {
+        let Some(hook) = self.restart_hook else {
+            return;
+        };
+        self.now = self.now.max(Time::new(at));
+        let n = self.actors.len();
+        if let Some(rec) = self.actors[p.index()].recorder_mut() {
+            rec.set_clock(self.now.as_units(), 0);
+        }
+        let buf = std::mem::take(&mut self.scratch);
+        let mut ctx = Context::with_buffer(p, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
+        hook(&mut self.actors[p.index()], &mut ctx);
+        self.stats.payload_clones += ctx.cloned();
+        let (mut outbox, mut timers) = ctx.into_parts();
+        self.dispatch(p, &mut outbox, StepDepth::ONE);
+        self.dispatch_timers(p, &mut timers, StepDepth::ONE);
+        self.scratch = outbox;
+    }
+
+    /// Enqueues the timers an actor armed via
+    /// [`Context::send_self_after`]: exact-delay self-deliveries that
+    /// bypass the delay model and link faults (drawing nothing from any RNG
+    /// stream) but respect the actor's own crash windows — a silence window
+    /// defers the tick to recovery, a restart or permanent crash loses it.
+    fn dispatch_timers(
+        &mut self,
+        me: ProcessId,
+        timers: &mut Vec<(u64, A::Msg)>,
+        depth: StepDepth,
+    ) {
+        for (delay, payload) in timers.drain(..) {
+            let slot = self.slab.insert(payload, me, depth, 1);
+            let mut deliver_at = self.now + delay;
+            self.stats.record_send(depth);
+            if let Some(rec) = self.actors[me.index()].recorder_mut() {
+                rec.record_at(
+                    self.now.as_units(),
+                    depth.get(),
+                    dex_obs::EventKind::Send {
+                        to: me.index() as u16,
+                    },
+                );
+            }
+            if let Some(trace) = &mut self.trace {
+                let payload = match trace.detail() {
+                    TraceDetail::Payloads => format!("{:?}", self.slab.payload(slot)),
+                    TraceDetail::Events => String::new(),
+                };
+                trace.push(TraceEvent::Send {
+                    from: me,
+                    to: me,
+                    depth,
+                    at: self.now,
+                    payload,
+                });
+            }
+            if let Some(chaos) = self.chaos.as_mut() {
+                match chaos.schedule.crash_hold(me, deliver_at.as_units()) {
+                    Some(Some(recovery)) => {
+                        deliver_at = Time::new(recovery);
+                        self.stats.held_crash += 1;
+                    }
+                    Some(None) => {
+                        self.drop_message(me, me, depth, slot);
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            self.seq += 1;
+            self.queue.push(Reverse(QueueKey {
+                deliver_at,
+                seq: self.seq,
+                slot,
+                to: me,
+            }));
         }
     }
 
@@ -463,8 +581,9 @@ impl<A: Actor> Simulation<A> {
                 Context::with_buffer(me, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
             self.actors[i].on_start(&mut ctx);
             self.stats.payload_clones += ctx.cloned();
-            let mut outbox = ctx.into_outbox();
+            let (mut outbox, mut timers) = ctx.into_parts();
             self.dispatch(me, &mut outbox, StepDepth::ONE);
+            self.dispatch_timers(me, &mut timers, StepDepth::ONE);
             self.scratch = outbox;
         }
     }
@@ -474,16 +593,22 @@ impl<A: Actor> Simulation<A> {
     /// network is quiescent.
     pub fn step(&mut self) -> Option<(ProcessId, ProcessId, StepDepth)> {
         self.start();
-        let Some(Reverse(key)) = self.queue.pop() else {
-            // Quiescent: surface any boundaries virtual time never reached
-            // (e.g. a heal scheduled after the last delivery).
-            self.flush_boundaries(u64::MAX);
-            return None;
-        };
-        self.now = key.deliver_at;
-        if self.chaos.is_some() {
-            self.flush_boundaries(self.now.as_units());
+        // Interleave schedule boundaries with deliveries in time order: a
+        // boundary at `t` fires before a delivery at `t` (matching the old
+        // flush order), and a restart hook may wake a quiescent network —
+        // its recovery sends become new deliveries, so re-examine the queue
+        // after every boundary.
+        loop {
+            let delivery = self.queue.peek().map(|&Reverse(k)| k.deliver_at.as_units());
+            match (delivery, self.next_boundary_at()) {
+                (None, None) => return None,
+                (Some(_), None) => break,
+                (Some(d), Some(b)) if b > d => break,
+                _ => self.process_next_boundary(),
+            }
         }
+        let Reverse(key) = self.queue.pop().expect("a delivery was peeked above");
+        self.now = key.deliver_at;
         let to = key.to;
         let (from, depth) = self.slab.meta(key.slot);
         self.stats.record_delivery(depth);
@@ -513,9 +638,10 @@ impl<A: Actor> Simulation<A> {
         let mut ctx = Context::with_buffer(to, n, self.now, depth, &mut self.rng, buf);
         self.actors[to.index()].on_message(from, self.slab.payload(key.slot), &mut ctx);
         self.stats.payload_clones += ctx.cloned();
-        let mut outbox = ctx.into_outbox();
+        let (mut outbox, mut timers) = ctx.into_parts();
         self.slab.release(key.slot);
         self.dispatch(to, &mut outbox, depth.next());
+        self.dispatch_timers(to, &mut timers, depth.next());
         self.scratch = outbox;
         Some((from, to, depth))
     }
@@ -994,6 +1120,160 @@ mod tests {
     #[should_panic(expected = "out-of-range")]
     fn builder_rejects_schedules_naming_unknown_processes() {
         let _ = echo_sim_with(2, 0, FaultSchedule::new().crash(ProcessId::new(7), 1, 2));
+    }
+
+    /// Mirrors every delivery to a durable "disk"; restart wipes the
+    /// volatile copy, reloads from disk, and announces itself.
+    struct Persistent {
+        volatile: Vec<u32>,
+        disk: Vec<u32>,
+        restarts: u32,
+    }
+
+    impl Actor for Persistent {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.broadcast_others(7);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: &u32, _ctx: &mut Context<'_, u32>) {
+            self.volatile.push(*msg);
+            self.disk.push(*msg);
+        }
+    }
+
+    impl crate::actor::Recoverable for Persistent {
+        fn restart(&mut self, ctx: &mut Context<'_, u32>) {
+            self.restarts += 1;
+            self.volatile = self.disk.clone();
+            ctx.broadcast_others(99);
+        }
+    }
+
+    fn persistent_sim(n: usize, faults: FaultSchedule) -> Simulation<Persistent> {
+        Simulation::builder(
+            (0..n)
+                .map(|_| Persistent {
+                    volatile: Vec::new(),
+                    disk: Vec::new(),
+                    restarts: 0,
+                })
+                .collect(),
+        )
+        .seed(1)
+        .delay(DelayModel::Uniform { min: 1, max: 10 })
+        .faults(faults)
+        .recoverable()
+        .build()
+    }
+
+    #[test]
+    fn restart_loses_the_window_and_invokes_the_reboot_hook() {
+        let victim = ProcessId::new(1);
+        let mut sim = persistent_sim(3, FaultSchedule::new().crash_restart(victim, 1, 500));
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        // The initial broadcast landed inside the window: genuinely lost.
+        assert!(sim.stats().dropped > 0);
+        assert!(sim.actor(victim).disk.is_empty());
+        // The hook ran once, at the recovery instant, and its recovery
+        // broadcast reached the other processes.
+        assert_eq!(sim.actor(victim).restarts, 1);
+        for other in [ProcessId::new(0), ProcessId::new(2)] {
+            assert_eq!(sim.actor(other).restarts, 0);
+            assert!(sim.actor(other).disk.contains(&99));
+        }
+    }
+
+    #[test]
+    fn restart_recovery_traffic_wakes_a_quiescent_network() {
+        // All pre-crash traffic drains long before the recovery instant:
+        // the queue is empty when the boundary fires, yet the run must
+        // continue and deliver the hook's sends.
+        let victim = ProcessId::new(1);
+        let mut sim = persistent_sim(3, FaultSchedule::new().crash_restart(victim, 1, 100_000));
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.actor(victim).restarts, 1);
+        assert!(sim.actor(ProcessId::new(0)).disk.contains(&99));
+        assert!(out.ended_at.as_units() > 100_000, "delivered after reboot");
+    }
+
+    #[test]
+    fn without_the_hook_restart_windows_only_lose_traffic() {
+        let victim = ProcessId::new(1);
+        let mut sim = {
+            let actors = (0..3)
+                .map(|_| Persistent {
+                    volatile: Vec::new(),
+                    disk: Vec::new(),
+                    restarts: 0,
+                })
+                .collect();
+            Simulation::builder(actors)
+                .seed(1)
+                .delay(DelayModel::Uniform { min: 1, max: 10 })
+                .faults(FaultSchedule::new().crash_restart(victim, 1, 500))
+                .build()
+        };
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.actor(victim).restarts, 0, "no hook, no reboot");
+        assert!(sim.stats().dropped > 0);
+    }
+
+    /// Arms a chain of exact-delay self-timers.
+    struct TickTock {
+        ticks: Vec<(u64, ProcessId)>,
+    }
+    impl Actor for TickTock {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.send_self_after(25, 1);
+        }
+        fn on_message(&mut self, from: ProcessId, msg: &u32, ctx: &mut Context<'_, u32>) {
+            self.ticks.push((ctx.now().as_units(), from));
+            if *msg < 3 {
+                ctx.send_self_after(25, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_exactly_and_locally() {
+        let mut sim = Simulation::builder(vec![TickTock { ticks: Vec::new() }])
+            .seed(9)
+            .delay(DelayModel::Uniform { min: 1, max: 10 })
+            .build();
+        let out = sim.run(1_000);
+        assert!(out.quiescent);
+        let me = ProcessId::new(0);
+        // Exact delays — the delay model was never consulted.
+        assert_eq!(
+            sim.actor(me).ticks,
+            vec![(25, me), (50, me), (75, me)],
+            "timers bypass the delay model and deliver exactly on schedule"
+        );
+    }
+
+    #[test]
+    fn timers_respect_crash_windows() {
+        // A tick due at t=25 inside a silence window [10, 400) is deferred
+        // to the recovery instant; under a restart window it is lost.
+        let me = ProcessId::new(0);
+        let run = |faults: FaultSchedule| {
+            let mut sim = Simulation::builder(vec![TickTock { ticks: Vec::new() }])
+                .seed(9)
+                .faults(faults)
+                .build();
+            sim.run(1_000);
+            sim.actor(me).ticks.clone()
+        };
+        let deferred = run(FaultSchedule::new().crash(me, 10, 400));
+        assert_eq!(deferred.first(), Some(&(400, me)), "deferred to recovery");
+        let lost = run(FaultSchedule::new().crash_restart(me, 10, 400));
+        assert!(lost.is_empty(), "restart amnesia loses pending timers");
     }
 
     #[test]

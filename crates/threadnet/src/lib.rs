@@ -8,9 +8,18 @@
 //! order is whatever the OS scheduler produces. Causal step depths are
 //! carried on the wire exactly as in the simulator.
 //!
+//! Timers armed with [`Context::send_self_after`] are honoured too: the
+//! simulator's virtual time units map to **microseconds of wall clock**
+//! here, each worker keeps its own pending-timer list, and an armed timer
+//! counts as in-flight traffic — quiescence waits for it, exactly as the
+//! simulator's event queue would.
+//!
 //! Quiescence is detected with an in-flight message counter: the network
-//! has drained when no message is queued, delayed, or being handled. A
-//! wall-clock timeout bounds runaway protocols.
+//! has drained when no message is queued, delayed, being handled, or
+//! waiting on a timer. A wall-clock timeout bounds runaway protocols; a
+//! run cut off non-quiescent reports the residual in-flight count and the
+//! per-process undrained inbox depths it left behind, so a stuck run is
+//! diagnosable instead of just `quiescent: false`.
 //!
 //! # Examples
 //!
@@ -78,8 +87,19 @@ pub struct NetworkResult<A> {
     pub actors: Vec<A>,
     /// Whether the network drained before the timeout.
     pub quiescent: bool,
-    /// Total messages delivered.
+    /// Total messages delivered (timer firings included).
     pub delivered: u64,
+    /// In-flight messages (queued, delayed, being handled, or pending on
+    /// a timer) at the moment a non-quiescent run was cut off. `0` for
+    /// quiescent runs. A best-effort snapshot — the network is racing the
+    /// supervisor by definition — but it distinguishes "cut off mid-storm"
+    /// from "cut off waiting on one straggler".
+    pub residual_inflight: u64,
+    /// Per-process undrained inbox depths (messages forwarded by the
+    /// dispatcher but never handled) at the same cutoff instant; index =
+    /// process id, all zeros for quiescent runs. Pinpoints *which*
+    /// process a stuck run starved or overwhelmed.
+    pub undrained: Vec<u64>,
 }
 
 struct Envelope<M> {
@@ -113,6 +133,99 @@ impl<M> Ord for Delayed<M> {
     }
 }
 
+/// A timer armed by the local actor: fires at `due` with causal depth
+/// `depth` (the depth its tick is delivered at, like any send).
+struct PendingTimer<M> {
+    due: Instant,
+    depth: StepDepth,
+    payload: M,
+}
+
+/// The simulator shares one payload among a multicast's recipients;
+/// threads cannot, so fan-out is expanded (with the necessary clones) at
+/// this boundary.
+fn expand<M: Clone>(n: usize, out: Vec<(Dest, M)>) -> Vec<(ProcessId, M)> {
+    let mut flat = Vec::with_capacity(out.len());
+    for (dest, payload) in out {
+        match dest {
+            Dest::To(to) => flat.push((to, payload)),
+            Dest::All => {
+                for j in 0..n - 1 {
+                    flat.push((ProcessId::new(j), payload.clone()));
+                }
+                flat.push((ProcessId::new(n - 1), payload));
+            }
+        }
+    }
+    flat
+}
+
+/// Handles one delivery (network envelope or fired timer) at a worker:
+/// runs the actor, records obs events, queues reactions to the dispatcher
+/// and newly armed timers to the local list. Each queued reaction and
+/// armed timer counts `+1` in flight; the handled delivery counts `−1`.
+#[allow(clippy::too_many_arguments)]
+fn deliver<A: Actor>(
+    actor: &mut A,
+    me: ProcessId,
+    n: usize,
+    env: Envelope<A::Msg>,
+    start: Instant,
+    rng: &mut StdRng,
+    local_seq: &mut u64,
+    timers: &mut Vec<PendingTimer<A::Msg>>,
+    dispatch_tx: &Sender<(usize, Envelope<A::Msg>)>,
+    inflight: &AtomicI64,
+    delivered: &AtomicI64,
+) {
+    let now = Time::new(start.elapsed().as_micros() as u64);
+    *local_seq += 1;
+    if let Some(rec) = actor.recorder_mut() {
+        rec.set_clock(*local_seq, env.depth.get());
+        rec.record(dex_obs::EventKind::Deliver {
+            from: env.from.index() as u16,
+        });
+    }
+    let mut ctx = Context::external(me, n, now, env.depth, rng);
+    actor.on_message(env.from, &env.payload, &mut ctx);
+    let out = expand(n, ctx.take_outbox());
+    let armed = ctx.take_timers();
+    drop(ctx);
+    if let Some(rec) = actor.recorder_mut() {
+        for (to, _) in &out {
+            rec.record_at(
+                *local_seq,
+                env.depth.next().get(),
+                dex_obs::EventKind::Send {
+                    to: to.index() as u16,
+                },
+            );
+        }
+    }
+    for (to, payload) in out {
+        inflight.fetch_add(1, Ordering::AcqRel);
+        let _ = dispatch_tx.send((
+            to.index(),
+            Envelope {
+                from: me,
+                depth: env.depth.next(),
+                payload,
+            },
+        ));
+    }
+    let armed_at = Instant::now();
+    for (delay, payload) in armed {
+        inflight.fetch_add(1, Ordering::AcqRel);
+        timers.push(PendingTimer {
+            due: armed_at + Duration::from_micros(delay),
+            depth: env.depth.next(),
+            payload,
+        });
+    }
+    delivered.fetch_add(1, Ordering::AcqRel);
+    inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
 /// Runs the actors to quiescence (or timeout) on one thread per actor.
 ///
 /// Actor `i` becomes process `p_i`. Returns the actors for post-run
@@ -143,17 +256,22 @@ where
     // each message for its sampled delay, then forwards to the worker.
     let (dispatch_tx, dispatch_rx) = unbounded::<(usize, Envelope<A::Msg>)>();
 
-    // In-flight accounting: +1 when a message enters the dispatcher, −1
-    // after the receiving worker has fully handled it (including queueing
-    // its reactions). Zero ⇒ quiescent.
+    // In-flight accounting: +1 when a message enters the dispatcher or a
+    // timer is armed, −1 after the receiving worker has fully handled the
+    // delivery (including queueing its reactions). Zero ⇒ quiescent.
     let inflight = Arc::new(AtomicI64::new(0));
     let delivered = Arc::new(AtomicI64::new(0));
     let shutdown = Arc::new(AtomicBool::new(false));
+    // Per-process inbox depth: +1 when the dispatcher forwards to a worker
+    // queue, −1 when the worker dequeues. The vendored channel has no
+    // `len()`, so depth is tracked at the endpoints.
+    let queue_depths: Arc<Vec<AtomicI64>> = Arc::new((0..n).map(|_| AtomicI64::new(0)).collect());
 
     // Dispatcher thread.
     let dispatcher = {
         let worker_txs = worker_txs.clone();
         let shutdown = Arc::clone(&shutdown);
+        let queue_depths = Arc::clone(&queue_depths);
         let (lo, hi) = options.delay_us;
         let mut rng = StdRng::seed_from_u64(options.seed ^ 0xD15_0A7C);
         thread::spawn(move || {
@@ -181,12 +299,14 @@ where
                 let now = Instant::now();
                 while heap.peek().is_some_and(|Reverse(d)| d.due <= now) {
                     let Reverse(d) = heap.pop().expect("peeked");
+                    queue_depths[d.to].fetch_add(1, Ordering::AcqRel);
                     // A send failure means the worker already shut down.
                     let _ = worker_txs[d.to].send(d.env);
                 }
                 if shutdown.load(Ordering::Acquire) {
                     // Flush anything still delayed, then exit.
                     while let Some(Reverse(d)) = heap.pop() {
+                        queue_depths[d.to].fetch_add(1, Ordering::AcqRel);
                         let _ = worker_txs[d.to].send(d.env);
                     }
                     break;
@@ -203,49 +323,24 @@ where
         let inflight = Arc::clone(&inflight);
         let delivered = Arc::clone(&delivered);
         let shutdown = Arc::clone(&shutdown);
+        let queue_depths = Arc::clone(&queue_depths);
         let seed = options.seed;
         handles.push(thread::spawn(move || {
             let me = ProcessId::new(i);
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            // The simulator shares one payload among a multicast's
-            // recipients; threads cannot, so fan-out is expanded (with the
-            // necessary clones) at this boundary.
-            let expand = |out: Vec<(Dest, A::Msg)>| -> Vec<(ProcessId, A::Msg)> {
-                let mut flat = Vec::with_capacity(out.len());
-                for (dest, payload) in out {
-                    match dest {
-                        Dest::To(to) => flat.push((to, payload)),
-                        Dest::All => {
-                            for j in 0..n - 1 {
-                                flat.push((ProcessId::new(j), payload.clone()));
-                            }
-                            flat.push((ProcessId::new(n - 1), payload));
-                        }
-                    }
-                }
-                flat
-            };
-            let queue_out = |out: Vec<(ProcessId, A::Msg)>, depth: StepDepth| {
-                for (to, payload) in out {
-                    inflight.fetch_add(1, Ordering::AcqRel);
-                    let _ = dispatch_tx.send((
-                        to.index(),
-                        Envelope {
-                            from: me,
-                            depth,
-                            payload,
-                        },
-                    ));
-                }
-            };
             // Per-process delivery sequence, used as the recorder's clock:
             // wall time is not reproducible, but per-process event order is
             // what the trace checker consumes.
             let mut local_seq = 0u64;
+            // Timers are local to their actor, so each worker owns its
+            // pending list (virtual units = microseconds here).
+            let mut timers: Vec<PendingTimer<A::Msg>> = Vec::new();
             {
                 let mut ctx = Context::external(me, n, Time::ZERO, StepDepth::ZERO, &mut rng);
                 actor.on_start(&mut ctx);
-                let out = expand(ctx.take_outbox());
+                let out = expand(n, ctx.take_outbox());
+                let armed = ctx.take_timers();
+                drop(ctx);
                 if let Some(rec) = actor.recorder_mut() {
                     for (to, _) in &out {
                         rec.record_at(
@@ -257,36 +352,81 @@ where
                         );
                     }
                 }
-                queue_out(out, StepDepth::ONE);
+                for (to, payload) in out {
+                    inflight.fetch_add(1, Ordering::AcqRel);
+                    let _ = dispatch_tx.send((
+                        to.index(),
+                        Envelope {
+                            from: me,
+                            depth: StepDepth::ONE,
+                            payload,
+                        },
+                    ));
+                }
+                let armed_at = Instant::now();
+                for (delay, payload) in armed {
+                    inflight.fetch_add(1, Ordering::AcqRel);
+                    timers.push(PendingTimer {
+                        due: armed_at + Duration::from_micros(delay),
+                        depth: StepDepth::ONE,
+                        payload,
+                    });
+                }
             }
             loop {
-                match rx.recv_timeout(Duration::from_millis(20)) {
+                // Fire due timers, earliest first, before waiting on the
+                // inbox again.
+                loop {
+                    let now = Instant::now();
+                    let due_idx = timers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.due <= now)
+                        .min_by_key(|(_, t)| t.due)
+                        .map(|(idx, _)| idx);
+                    let Some(idx) = due_idx else { break };
+                    let timer = timers.remove(idx);
+                    let env = Envelope {
+                        from: me,
+                        depth: timer.depth,
+                        payload: timer.payload,
+                    };
+                    deliver(
+                        &mut actor,
+                        me,
+                        n,
+                        env,
+                        start,
+                        &mut rng,
+                        &mut local_seq,
+                        &mut timers,
+                        &dispatch_tx,
+                        &inflight,
+                        &delivered,
+                    );
+                }
+                let wait = timers
+                    .iter()
+                    .map(|t| t.due.saturating_duration_since(Instant::now()))
+                    .min()
+                    .unwrap_or(Duration::from_millis(20))
+                    .min(Duration::from_millis(20));
+                match rx.recv_timeout(wait) {
                     Ok(env) => {
-                        let now = Time::new(start.elapsed().as_micros() as u64);
-                        local_seq += 1;
-                        if let Some(rec) = actor.recorder_mut() {
-                            rec.set_clock(local_seq, env.depth.get());
-                            rec.record(dex_obs::EventKind::Deliver {
-                                from: env.from.index() as u16,
-                            });
-                        }
-                        let mut ctx = Context::external(me, n, now, env.depth, &mut rng);
-                        actor.on_message(env.from, &env.payload, &mut ctx);
-                        let out = expand(ctx.take_outbox());
-                        if let Some(rec) = actor.recorder_mut() {
-                            for (to, _) in &out {
-                                rec.record_at(
-                                    local_seq,
-                                    env.depth.next().get(),
-                                    dex_obs::EventKind::Send {
-                                        to: to.index() as u16,
-                                    },
-                                );
-                            }
-                        }
-                        queue_out(out, env.depth.next());
-                        delivered.fetch_add(1, Ordering::AcqRel);
-                        inflight.fetch_sub(1, Ordering::AcqRel);
+                        queue_depths[i].fetch_sub(1, Ordering::AcqRel);
+                        deliver(
+                            &mut actor,
+                            me,
+                            n,
+                            env,
+                            start,
+                            &mut rng,
+                            &mut local_seq,
+                            &mut timers,
+                            &dispatch_tx,
+                            &inflight,
+                            &delivered,
+                        );
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if shutdown.load(Ordering::Acquire) {
@@ -303,7 +443,7 @@ where
     drop(worker_txs);
 
     // Supervise: quiescent when nothing is in flight (checked twice with a
-    // settle gap to dodge the enqueue/han­dle race), or timeout.
+    // settle gap to dodge the enqueue/handle race), or timeout.
     let mut quiescent = false;
     while start.elapsed() < options.timeout {
         if inflight.load(Ordering::Acquire) == 0 {
@@ -316,6 +456,20 @@ where
             thread::sleep(Duration::from_millis(5));
         }
     }
+    // Snapshot the residue *before* tearing the network down: after
+    // shutdown the workers keep draining, which would under-report what
+    // the cutoff actually interrupted.
+    let (residual_inflight, undrained) = if quiescent {
+        (0, vec![0; n])
+    } else {
+        (
+            inflight.load(Ordering::Acquire).max(0) as u64,
+            queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Acquire).max(0) as u64)
+                .collect(),
+        )
+    };
     shutdown.store(true, Ordering::Release);
     dispatcher.join().expect("dispatcher thread panicked");
     let actors = handles
@@ -326,6 +480,8 @@ where
         actors,
         quiescent,
         delivered: delivered.load(Ordering::Acquire) as u64,
+        residual_inflight,
+        undrained,
     }
 }
 
@@ -377,6 +533,9 @@ mod tests {
         for a in &result.actors[1..] {
             assert_eq!(a.got.len(), 1);
         }
+        // A drained run leaves no residue to report.
+        assert_eq!(result.residual_inflight, 0);
+        assert_eq!(result.undrained, vec![0; 4]);
     }
 
     #[test]
@@ -393,7 +552,7 @@ mod tests {
     }
 
     #[test]
-    fn timeout_cuts_off_livelock() {
+    fn timeout_cuts_off_livelock_and_reports_residue() {
         struct Forever;
         impl Actor for Forever {
             type Msg = ();
@@ -413,5 +572,56 @@ mod tests {
             },
         );
         assert!(!result.quiescent);
+        // A ping-pong livelock always has the ball in the air somewhere.
+        assert!(result.residual_inflight > 0);
+        assert_eq!(result.undrained.len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_timers_fire_in_order_and_count_toward_quiescence() {
+        struct Alarm {
+            fired: Vec<(u32, StepDepth)>,
+        }
+        impl Actor for Alarm {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.me() == ProcessId::new(0) {
+                    ctx.send_self_after(5_000, 1); // 5 ms
+                    ctx.send_self_after(60_000, 2); // 60 ms
+                }
+            }
+            fn on_message(&mut self, from: ProcessId, msg: &u32, ctx: &mut Context<'_, u32>) {
+                assert_eq!(from, ctx.me(), "timer ticks are local");
+                self.fired.push((*msg, ctx.depth()));
+                if *msg == 1 {
+                    // Chained timer: fires well before the 60 ms one.
+                    ctx.send_self_after(1_000, 3);
+                }
+            }
+        }
+        let actors = vec![Alarm { fired: Vec::new() }, Alarm { fired: Vec::new() }];
+        let result = run_network(
+            actors,
+            NetworkOptions {
+                seed: 4,
+                delay_us: (10, 100),
+                timeout: Duration::from_secs(10),
+            },
+        );
+        // Quiescence had to wait for the 60 ms timer: the run is only
+        // quiescent because every pending timer fired.
+        assert!(result.quiescent);
+        assert_eq!(result.delivered, 3);
+        let fired = &result.actors[0].fired;
+        assert_eq!(
+            fired.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+            vec![1, 3, 2],
+            "timers fire in due order, chained ones in between"
+        );
+        // on_start timers deliver at depth 1; the chained one at depth 2.
+        assert_eq!(fired[0].1, StepDepth::ONE);
+        assert_eq!(fired[1].1, StepDepth::new(2));
+        assert_eq!(fired[2].1, StepDepth::ONE);
+        assert!(result.actors[1].fired.is_empty());
     }
 }

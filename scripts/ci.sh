@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: formatting, lints, a warning-free release build, the full
 # test suite, example smoke runs, a determinism check of the --trace
-# artifact, the chaos acceptance matrix, a criterion smoke run of the
-# view-algebra microbenchmarks, and the bench-regression gate.
+# artifact, the chaos acceptance matrix, the crash-recovery matrix, a
+# criterion smoke run of the view-algebra microbenchmarks, and the
+# bench-regression gate.
 #
 # The workspace builds fully offline: every external dependency is vendored
 # as a path crate under vendor/ and pinned by the committed Cargo.lock.
@@ -46,6 +47,9 @@ rm -f results/trace_31.json results/trace_31.first.json
 
 echo "== chaos matrix: 8 seeds x 4 schedules through the invariant checker"
 ./scripts/chaos_matrix.sh
+
+echo "== recovery matrix: crash-restart x seeds, WAL + catch-up + resend"
+./scripts/recovery_matrix.sh
 
 echo "== bench smoke: view_ops"
 # CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads it

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Crash-recovery acceptance matrix: restart-with-amnesia schedules, the
+# catch-up protocol, and resend-layer liveness, gated end to end.
+#
+# Three legs:
+#   1. The release-mode recovery suite (tests/recovery_matrix.rs): f = t
+#      Byzantine clusters with CrashMode::Restart windows re-derive
+#      byte-identical committed prefixes through snapshot + WAL + catch-up
+#      (checked slot-by-slot by the trace checker's recovered-prefix
+#      invariant), and sustained-drop schedules that starve plain runs
+#      terminate under the dex-core resend layer.
+#   2. CLI surface: `--chaos crash-restart:<down>:<up>` parses, runs the
+#      batch + checker across seeds, and renders a byte-stable artifact.
+#      (The window sits after decision time: one-shot consensus has no
+#      retransmission, so a mid-protocol amnesia crash leaves the victim
+#      undecided by design — recovery liveness lives in the replication
+#      layer, which is what leg 1 exercises.)
+#   3. Fault-free pin: the seed-31 chaos-free trace artifact must render
+#      byte-identically across re-executions — the recovery layer is
+#      strictly additive and must not perturb existing schedules.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "recovery suite: restart schedules x seeds through the invariant checker"
+cargo test --release -q --test recovery_matrix
+
+echo "recovery CLI: crash-restart schedule across seeds"
+BASE=(--n 7 --t 1 --f 1 --algo dex-freq --workload bernoulli:0.8
+      --adversary equivocate --runs 3 --trace)
+for seed in 0 1 2 3; do
+  cargo run --release -q --bin dex-sim -- \
+    "${BASE[@]}" --chaos crash-restart:200:300 --seed "$seed" > /dev/null
+done
+echo "recovery CLI: 4 seeds clean"
+
+echo "recovery determinism: crash-restart:200:300 seed 31 twice, byte-identical artifact"
+rm -f results/trace_chaos_crash-restart_31.json \
+      results/trace_chaos_crash-restart_31.first.json
+cargo run --release -q --bin dex-sim -- \
+  "${BASE[@]}" --chaos crash-restart:200:300 --seed 31 > /dev/null
+mv results/trace_chaos_crash-restart_31.json \
+   results/trace_chaos_crash-restart_31.first.json
+cargo run --release -q --bin dex-sim -- \
+  "${BASE[@]}" --chaos crash-restart:200:300 --seed 31 > /dev/null
+cmp results/trace_chaos_crash-restart_31.json \
+    results/trace_chaos_crash-restart_31.first.json
+
+echo "fault-free pin: chaos-free seed 31 twice, byte-identical artifact"
+TRACE_ARGS=(--n 7 --t 1 --algo dex-freq --workload bernoulli:0.8 --f 1
+            --adversary equivocate --runs 3 --seed 31 --trace)
+rm -f results/trace_31.json results/trace_31.first.json
+cargo run --release -q --bin dex-sim -- "${TRACE_ARGS[@]}" > /dev/null
+mv results/trace_31.json results/trace_31.first.json
+cargo run --release -q --bin dex-sim -- "${TRACE_ARGS[@]}" > /dev/null
+cmp results/trace_31.json results/trace_31.first.json
+
+rm -f results/trace_31.json results/trace_31.first.json \
+      results/trace_chaos_crash-restart_*.json
+
+echo "recovery matrix OK"

@@ -23,7 +23,7 @@
 //! | `--underlying` | `oracle`, `mvc` | `oracle` |
 //! | `--placement` | `random-k`, `last-k` | `random-k` |
 //! | `--delay` | `uniform:<min>:<max>`, `constant:<d>`, `exp:<mean>` | `uniform:1:10` |
-//! | `--chaos` | `none`, `drop:<p>`, `dup:<p>`, `partition:<open>:<heal>`, `crash:<down>:<up>` | `none` |
+//! | `--chaos` | `none`, `drop:<p>`, `dup:<p>`, `partition:<open>:<heal>`, `crash:<down>:<up>`, `crash-restart:<down>:<up>` | `none` |
 //! | `--runs` | batch size | `20` |
 //! | `--seed` | base seed | `0` |
 //! | `--max-events` | delivery cap per run | `50000000` |
