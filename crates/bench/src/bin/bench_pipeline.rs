@@ -1,0 +1,161 @@
+//! Emits `BENCH_pipeline.json`: committed-values throughput of the
+//! pipelined replication engine at window 1 (sequential chain) vs
+//! windows 8 and 32.
+//!
+//! Each measurement drives one fault-free cluster through
+//! [`dex_harness::pipeline::PipelineRun`]: every replica holds the same
+//! stream of client batches and the cluster commits a fixed number of log
+//! slots, `BATCH` values per slot. The throughput metric is *committed
+//! values per kilo-tick of virtual time* — fully deterministic (same spec
+//! + seed ⇒ same number), so the regression gate in
+//! `scripts/bench_check.sh` can assert a hard speedup ratio (window 8
+//! must beat window 1 by ≥ 2× at n = 31) instead of tolerating
+//! wall-clock noise. Wall time is reported per row as a secondary,
+//! non-gated column.
+//!
+//! The windows race the *same* slot values: the binary asserts the
+//! committed logs are identical across windows (pipelining reorders
+//! network traffic, never the log) and that the network layer cloned no
+//! payload (all replication traffic rides the `Dest::All` slab path).
+//!
+//! Usage: `cargo run --release -p dex-bench --bin bench_pipeline [out.json]`
+//! (run from the repo root; the default output path is
+//! `BENCH_pipeline.json` in the current directory).
+
+use dex_harness::pipeline::{PipelineOutcome, PipelineRun};
+use dex_types::SystemConfig;
+use std::time::Instant;
+
+/// System sizes with their fault bounds (largest `t` with `n > 6t`) and
+/// the slot count each cluster commits. Slot counts shrink as `n` grows
+/// to keep the bench bounded (n = 127 moves ~1.6 GB of simulated wire
+/// traffic per window); below n = 127 they exceed the largest window so
+/// the slot pool actually recycles, while the 16-slot n = 127 row turns
+/// the window-32 column into an unbounded-pipelining upper bound.
+const SIZES: [(usize, usize, u64); 4] = [(7, 1, 48), (13, 2, 48), (31, 5, 40), (127, 21, 16)];
+const WINDOWS: [u64; 3] = [1, 8, 32];
+const BATCH: u64 = 4;
+const SEED: u64 = 42;
+
+struct Row {
+    n: usize,
+    slots: u64,
+    committed: u64,
+    /// `values_per_ktick`, one per entry of [`WINDOWS`].
+    vpk: [u64; WINDOWS.len()],
+    wall_ms: [f64; WINDOWS.len()],
+    clones: u64,
+    multicasts: u64,
+}
+
+fn measure(n: usize, t: usize, slots: u64) -> Row {
+    let config = SystemConfig::new(n, t).expect("n > 6t by construction");
+    let mut vpk = [0u64; WINDOWS.len()];
+    let mut wall_ms = [0f64; WINDOWS.len()];
+    let mut clones = 0;
+    let mut multicasts = 0;
+    let mut committed = 0;
+    let mut reference: Option<PipelineOutcome> = None;
+    for (i, &window) in WINDOWS.iter().enumerate() {
+        let run = PipelineRun {
+            config,
+            window,
+            batch: BATCH,
+            slots,
+            seed: SEED,
+        };
+        let start = Instant::now();
+        let outcome = run.execute();
+        wall_ms[i] = start.elapsed().as_secs_f64() * 1e3;
+        vpk[i] = outcome.values_per_ktick();
+        clones += outcome.payload_clones;
+        multicasts += outcome.multicasts;
+        committed = outcome.committed_values;
+        // Pipelining reorders network traffic, never the log: every
+        // window must commit the same values into the same slots.
+        if let Some(reference) = &reference {
+            assert_eq!(
+                reference.log, outcome.log,
+                "n = {n}: window {window} diverged from the sequential log"
+            );
+        } else {
+            reference = Some(outcome);
+        }
+    }
+    assert_eq!(clones, 0, "n = {n}: network layer cloned a payload");
+    Row {
+        n,
+        slots,
+        committed,
+        vpk,
+        wall_ms,
+        clones,
+        multicasts,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    println!("== Pipelined replication throughput (committed values per kilo-tick)\n");
+    println!(
+        "{:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "n", "slots", "committed", "w1 vpk", "w8 vpk", "w32 vpk", "w8 spd", "w32 spd", "wall ms"
+    );
+    let rows: Vec<Row> = SIZES.iter().map(|&(n, t, s)| measure(n, t, s)).collect();
+    for r in &rows {
+        println!(
+            "{:>5} {:>6} {:>10} {:>9} {:>9} {:>9} {:>8.2}x {:>9.2}x {:>9.1}",
+            r.n,
+            r.slots,
+            r.committed,
+            r.vpk[0],
+            r.vpk[1],
+            r.vpk[2],
+            r.vpk[1] as f64 / r.vpk[0] as f64,
+            r.vpk[2] as f64 / r.vpk[0] as f64,
+            r.wall_ms.iter().sum::<f64>(),
+        );
+    }
+    let min_w8 = rows
+        .iter()
+        .map(|r| r.vpk[1] as f64 / r.vpk[0] as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nwindow-8 speedup over sequential: ≥ {min_w8:.2}x (gate: ≥ 2x at n = 31)");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"pipeline\",\n");
+    json.push_str("  \"unit\": \"committed_values_per_kilo_tick\",\n");
+    json.push_str(&format!("  \"batch\": {BATCH},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"min_w8_speedup\": {min_w8:.2},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"slots\": {}, \"committed_values\": {}, \"w1_vpk\": {}, \
+             \"w8_vpk\": {}, \"w32_vpk\": {}, \"w8_speedup\": {:.2}, \"w32_speedup\": {:.2}, \
+             \"clones_per_multicast\": {:.2}, \"wall_ms\": {:.1}}}{}\n",
+            r.n,
+            r.slots,
+            r.committed,
+            r.vpk[0],
+            r.vpk[1],
+            r.vpk[2],
+            r.vpk[1] as f64 / r.vpk[0] as f64,
+            r.vpk[2] as f64 / r.vpk[0] as f64,
+            r.clones as f64 / r.multicasts as f64,
+            r.wall_ms.iter().sum::<f64>(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("[json written to {out_path}]"),
+        Err(e) => {
+            eprintln!("[json not written: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

@@ -109,6 +109,16 @@ impl<K: InstanceKey, V: Value> IdenticalBroadcast<K, V> {
         }
     }
 
+    /// Forgets all broadcast instances, keeping the witness-map capacity.
+    ///
+    /// This is the recycling hook for pipelined replication: one IDB state
+    /// machine is reused across many consecutive log slots, so the
+    /// per-instance witness maps are cleared in place instead of the whole
+    /// machine being reallocated per slot.
+    pub fn reset(&mut self) {
+        self.instances.clear();
+    }
+
     /// Whether this process has already accepted (Id-Received) for `key`.
     pub fn has_accepted(&self, key: &K) -> bool {
         self.instances.get(key).is_some_and(|s| s.accepted)

@@ -60,6 +60,13 @@ impl DecisionGate {
         }
     }
 
+    /// Rewinds the watermark to `quorum` for a recycled view. The eval/skip
+    /// diagnostics keep accumulating across slots — they count work done by
+    /// this gate object, not by one protocol instance.
+    pub fn reset(&mut self, quorum: usize) {
+        self.skip_until = quorum;
+    }
+
     /// Evaluates `pair.p1(view)`, unless the watermark proves the predicate
     /// cannot yet hold. On a failed evaluation the watermark advances by
     /// the pair's [`LegalityPair::p1_deficit`] bound.

@@ -145,6 +145,29 @@ where
         }
     }
 
+    /// Resets the machine in place for a fresh consensus instance, reusing
+    /// every allocation the previous instance grew: the `J1`/`J2` view
+    /// buffers and their tally tables, the IDB witness maps, and the UC
+    /// forwarding outbox all keep their capacity. The caller supplies a
+    /// fresh underlying-consensus machine (its state is tiny compared to
+    /// the tallies) and takes back the old one.
+    ///
+    /// This is the slot-recycling hook for pipelined replication: instead
+    /// of allocating one `DexProcess` per log slot, a replica keeps a small
+    /// pool and recycles machines as decided slots retire.
+    pub fn recycle(&mut self, uc: U) -> U {
+        self.idb.reset();
+        self.j1.reset();
+        self.j2.reset();
+        self.p1_gate.reset(self.config.quorum());
+        self.p2_gate.reset(self.config.quorum());
+        self.uc_out.drain_iter().for_each(drop);
+        self.decided = None;
+        self.proposed = false;
+        self.uc_proposed = false;
+        std::mem::replace(&mut self.uc, uc)
+    }
+
     /// Turns on structured event recording for this process (preallocates
     /// the log's first chunk; see `dex-obs`).
     pub fn enable_obs(&mut self) {

@@ -78,6 +78,7 @@ pub mod latency;
 pub mod messages;
 pub mod nodes;
 pub mod pairs;
+pub mod pipeline;
 pub mod runner;
 pub mod scaling;
 pub mod spec;

@@ -292,6 +292,7 @@ fn trace_meta(spec: &RunInstance) -> TraceMeta {
         faulty,
         legend: legend.into_iter().collect(),
         chaos: chaos_meta(&spec.faults, &spec.fault_plan),
+        pipeline: None,
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! A [`RunSpec`] is the *single* description of an experiment: system size,
 //! algorithm, workload, adversary, underlying consensus, delay model, chaos
-//! schedule, batch size and seed. It maps **1:1 onto the `dex-sim` CLI
+//! schedule, pipeline window/batch, batch size and seed. It maps **1:1 onto the `dex-sim` CLI
 //! flags** — [`RunSpec::from_args`] parses exactly what the binary accepts,
 //! [`RunSpec::to_args`] renders a spec back into that flag vector, and
 //! [`RunSpec::to_json`] emits a deterministic JSON description for
@@ -428,6 +428,66 @@ impl ChaosSpec {
     }
 }
 
+/// Pipelined-replication selection, mirroring `--pipeline`
+/// (`<window>:<batch>`).
+///
+/// The default `1:1` keeps `dex-sim` on the single-shot consensus path —
+/// anything else routes the invocation through the pipelined replication
+/// engine (see [`crate::pipeline`]): a cluster of replicas keeping
+/// `window` log slots in flight concurrently, each slot carrying a batch
+/// of `batch` client values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PipelineSpec {
+    /// Slots each replica may keep in flight past its committed prefix
+    /// (`1` = the sequential engine, byte-for-byte).
+    pub window: u64,
+    /// Client values batched into each slot's proposed command.
+    pub batch: u64,
+}
+
+impl Default for PipelineSpec {
+    fn default() -> Self {
+        PipelineSpec {
+            window: 1,
+            batch: 1,
+        }
+    }
+}
+
+impl PipelineSpec {
+    /// `true` when the spec is the default `1:1` — the single-shot
+    /// consensus path, not the replication engine.
+    pub fn is_off(&self) -> bool {
+        *self == PipelineSpec::default()
+    }
+
+    /// Parses a `--pipeline` value (`<window>` or `<window>:<batch>`).
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let num = |s: &str, what: &str| -> Result<u64, String> {
+            match s.parse() {
+                Ok(v) if v > 0 => Ok(v),
+                _ => Err(format!("bad {what} in pipeline {raw:?} (need ≥ 1)")),
+            }
+        };
+        match raw.split(':').collect::<Vec<_>>().as_slice() {
+            [w] => Ok(PipelineSpec {
+                window: num(w, "window")?,
+                batch: 1,
+            }),
+            [w, b] => Ok(PipelineSpec {
+                window: num(w, "window")?,
+                batch: num(b, "batch")?,
+            }),
+            _ => Err(format!("unknown pipeline {raw:?}")),
+        }
+    }
+
+    /// Renders the `--pipeline` value this spec parses from.
+    pub fn flag(&self) -> String {
+        format!("{}:{}", self.window, self.batch)
+    }
+}
+
 /// The unified experiment description: every knob of a `dex-sim` batch, as
 /// one serde-able value. See the module docs for the flag mapping.
 #[derive(Clone, PartialEq, Debug)]
@@ -454,6 +514,9 @@ pub struct RunSpec {
     pub delay: DelayModel,
     /// Network chaos schedule (`--chaos`).
     pub chaos: ChaosSpec,
+    /// Pipelined replication (`--pipeline <window>:<batch>`; `1:1` keeps
+    /// the single-shot consensus path).
+    pub pipeline: PipelineSpec,
     /// Batch size (`--runs`).
     pub runs: usize,
     /// Base seed; run `i` uses `seed + i` (`--seed`).
@@ -477,6 +540,7 @@ impl Default for RunSpec {
             placement: Placement::RandomK,
             delay: DelayModel::Uniform { min: 1, max: 10 },
             chaos: ChaosSpec::default(),
+            pipeline: PipelineSpec::default(),
             runs: 20,
             seed: 0,
             max_events: 50_000_000,
@@ -651,6 +715,8 @@ impl RunSpec {
             delay_flag(&self.delay),
             "--chaos".into(),
             self.chaos.flag(),
+            "--pipeline".into(),
+            self.pipeline.flag(),
             "--runs".into(),
             self.runs.to_string(),
             "--seed".into(),
@@ -701,6 +767,7 @@ impl RunSpec {
                 "placement" => spec.placement = parse_placement(value)?,
                 "delay" => spec.delay = parse_delay(value)?,
                 "chaos" => spec.chaos = ChaosSpec::parse(value)?,
+                "pipeline" => spec.pipeline = PipelineSpec::parse(value)?,
                 _ => return Err(format!("unknown flag --{name}")),
             }
         }
@@ -716,7 +783,7 @@ impl RunSpec {
             out,
             "{{\"n\":{},\"t\":{},\"f\":{},\"algo\":\"{}\",\"workload\":\"{}\",\
              \"adversary\":\"{}\",\"underlying\":\"{}\",\"placement\":\"{}\",\
-             \"delay\":\"{}\",\"chaos\":\"{}\",\"runs\":{},\"seed\":{},\
+             \"delay\":\"{}\",\"chaos\":\"{}\",\"pipeline\":\"{}\",\"runs\":{},\"seed\":{},\
              \"max_events\":{},\"trace\":{}}}",
             self.n,
             self.t,
@@ -728,6 +795,7 @@ impl RunSpec {
             placement_flag(self.placement),
             delay_flag(&self.delay),
             self.chaos.flag(),
+            self.pipeline.flag(),
             self.runs,
             self.seed,
             self.max_events,
@@ -754,6 +822,10 @@ mod tests {
             placement: Placement::LastK,
             delay: DelayModel::Exponential { mean: 4 },
             chaos: ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+            pipeline: PipelineSpec {
+                window: 8,
+                batch: 4,
+            },
             runs: 8,
             seed: 31,
             max_events: 1_000_000,
@@ -761,6 +833,38 @@ mod tests {
         };
         let args = spec.to_args();
         assert_eq!(RunSpec::from_args(&args).unwrap(), spec);
+    }
+
+    #[test]
+    fn pipeline_parses_window_and_batch() {
+        assert!(PipelineSpec::default().is_off());
+        assert_eq!(
+            PipelineSpec::parse("8").unwrap(),
+            PipelineSpec {
+                window: 8,
+                batch: 1
+            }
+        );
+        let spec = PipelineSpec::parse("8:4").unwrap();
+        assert_eq!(
+            spec,
+            PipelineSpec {
+                window: 8,
+                batch: 4
+            }
+        );
+        assert!(!spec.is_off());
+        assert_eq!(PipelineSpec::parse(&spec.flag()).unwrap(), spec);
+        assert!(PipelineSpec::parse("0:4").is_err(), "window must be ≥ 1");
+        assert!(PipelineSpec::parse("8:0").is_err(), "batch must be ≥ 1");
+        assert!(PipelineSpec::parse("8:4:2").is_err());
+        // Batching without a wider window is still a pipeline run: slots
+        // carry multi-value commands even though only one is in flight.
+        assert!(!PipelineSpec {
+            window: 1,
+            batch: 4
+        }
+        .is_off());
     }
 
     #[test]

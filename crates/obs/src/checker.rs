@@ -120,6 +120,25 @@ pub struct TraceMeta {
     /// Fault-schedule metadata; `None` for fault-free runs (keeps their
     /// artifacts byte-identical to pre-chaos builds).
     pub chaos: Option<ChaosMeta>,
+    /// Pipelined-replication metadata; `None` for single-shot and
+    /// sequential runs (keeps their artifacts byte-identical to
+    /// pre-pipeline builds). When present, the pipeline invariants
+    /// (`window-bound`, `slot-reuse-isolation`) are evaluated and listed.
+    pub pipeline: Option<PipelineMeta>,
+}
+
+/// Metadata of a pipelined replication run (see `dex-replication`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineMeta {
+    /// The pipeline window `W`: slots a replica may keep in flight past
+    /// its committed floor.
+    pub window: u64,
+    /// Client values batched into each slot's proposal.
+    pub batch: u64,
+    /// Total payload bytes the network carried during the run (simnet's
+    /// `bytes_on_wire` counter) — the wire-cost side of the throughput
+    /// story this artifact documents.
+    pub bytes_on_wire: u64,
 }
 
 /// One process's recorded events.
@@ -600,6 +619,81 @@ pub fn check(run: &RunTrace) -> CheckReport {
         }
     }
 
+    // Pipeline invariants — evaluated (and listed in the report) only for
+    // pipelined runs, so sequential artifacts are unchanged.
+    let mut window_bound = 0usize;
+    let mut slot_reuse_isolation = 0usize;
+    if let Some(pipeline) = &run.meta.pipeline {
+        // A crash-restart victim may legitimately re-commit a slot whose
+        // WAL tail was lost to amnesia; exempt it from the double-commit
+        // audit (recovered-prefix already validates what it re-derives).
+        let crashed: BTreeSet<u16> = run
+            .meta
+            .chaos
+            .as_ref()
+            .map(|c| c.crashes.iter().map(|(p, _, _)| *p).collect())
+            .unwrap_or_default();
+        for tr in &correct {
+            // window-bound: a replica never opens a slot more than W past
+            // its committed floor at the moment of proposing.
+            for e in &tr.events {
+                if let EventKind::SlotPropose { slot, floor } = e.kind {
+                    window_bound += 1;
+                    if u64::from(slot) >= u64::from(floor) + pipeline.window {
+                        violations.push(Violation {
+                            invariant: "window-bound",
+                            process: tr.id,
+                            detail: format!(
+                                "proposed slot {} with committed floor {} under window {}",
+                                slot, floor, pipeline.window
+                            ),
+                        });
+                    }
+                }
+            }
+            // slot-reuse-isolation: recycling must never leak state across
+            // slots. Observable symptoms audited here: an instance may be
+            // recycled only after the slot it served was locally committed
+            // (or adopted), and no slot is ever committed twice by one
+            // replica — a double commit is exactly what tally bleed
+            // through a stale recycled view would produce.
+            let mut committed_here: BTreeSet<u32> = BTreeSet::new();
+            for e in &tr.events {
+                match e.kind {
+                    // The guard carries the insert: a first commit records
+                    // the slot and falls through to the wildcard arm.
+                    EventKind::Commit { slot, .. }
+                        if !committed_here.insert(slot) && !crashed.contains(&tr.id) =>
+                    {
+                        violations.push(Violation {
+                            invariant: "slot-reuse-isolation",
+                            process: tr.id,
+                            detail: format!("slot {} committed twice", slot),
+                        });
+                    }
+                    EventKind::CatchUp { slot, .. } => {
+                        committed_here.insert(slot);
+                    }
+                    EventKind::SlotReuse { slot, freed } => {
+                        slot_reuse_isolation += 1;
+                        if !committed_here.contains(&freed) {
+                            violations.push(Violation {
+                                invariant: "slot-reuse-isolation",
+                                process: tr.id,
+                                detail: format!(
+                                    "slot {}'s instance recycled for slot {} before \
+                                     slot {} committed locally",
+                                    freed, slot, freed
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
     report.checks = vec![
         ("single-decision", single_decision),
         ("agreement", agreement),
@@ -617,6 +711,12 @@ pub fn check(run: &RunTrace) -> CheckReport {
             .checks
             .push(("termination-after-heal", termination_after_heal));
         report.checks.push(("recovered-prefix", recovered_prefix));
+    }
+    if run.meta.pipeline.is_some() {
+        report.checks.push(("window-bound", window_bound));
+        report
+            .checks
+            .push(("slot-reuse-isolation", slot_reuse_isolation));
     }
     report.violations = violations;
     report
@@ -637,6 +737,7 @@ mod tests {
             faulty: Vec::new(),
             legend: Vec::new(),
             chaos: None,
+            pipeline: None,
         }
     }
 

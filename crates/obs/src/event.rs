@@ -198,6 +198,27 @@ pub enum EventKind {
         /// The recipient of the retransmission.
         to: u16,
     },
+    /// A replica opened `slot` for proposing while its committed floor
+    /// stood at `floor` (replication layer). In pipelined mode up to `W`
+    /// slots may be open past the floor; the checker's `window-bound`
+    /// invariant audits exactly that.
+    SlotPropose {
+        /// The slot being proposed.
+        slot: u32,
+        /// The contiguous committed prefix length at that moment.
+        floor: u32,
+    },
+    /// A retired slot instance was recycled from the pool to serve `slot`
+    /// (pipelined replication only): its tallies, witness maps and gates
+    /// were reset in place. `freed` is the committed slot it last served —
+    /// the checker's `slot-reuse-isolation` invariant verifies no state
+    /// bleeds across the reuse.
+    SlotReuse {
+        /// The slot the recycled instance now serves.
+        slot: u32,
+        /// The committed slot whose instance was recycled.
+        freed: u32,
+    },
 }
 
 /// One recorded event: a timestamp, the causal depth of the message being

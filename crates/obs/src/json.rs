@@ -128,6 +128,12 @@ fn event(e: &Event, out: &mut String) {
         EventKind::Resend { to } => {
             let _ = write!(out, "\"resend\",\"to\":{to}");
         }
+        EventKind::SlotPropose { slot, floor } => {
+            let _ = write!(out, "\"slot_propose\",\"slot\":{slot},\"floor\":{floor}");
+        }
+        EventKind::SlotReuse { slot, freed } => {
+            let _ = write!(out, "\"slot_reuse\",\"slot\":{slot},\"freed\":{freed}");
+        }
     }
     out.push('}');
 }
@@ -155,12 +161,13 @@ pub fn render(run: &RunTrace, report: &CheckReport) -> String {
         }
         let _ = write!(out, "{f}");
     }
+    out.push(']');
     // The chaos block is emitted only for chaos runs: fault-free artifacts
     // keep their pre-chaos byte layout exactly.
     if let Some(chaos) = &run.meta.chaos {
         let _ = write!(
             out,
-            "],\n\"chaos\":{{\"last_heal\":{},\"eventually_clean\":{},\"crashes\":[",
+            ",\n\"chaos\":{{\"last_heal\":{},\"eventually_clean\":{},\"crashes\":[",
             chaos.last_heal, chaos.eventually_clean
         );
         for (i, (p, from, until)) in chaos.crashes.iter().enumerate() {
@@ -176,10 +183,19 @@ pub fn render(run: &RunTrace, report: &CheckReport) -> String {
             }
             out.push('}');
         }
-        out.push_str("]},\n\"legend\":[");
-    } else {
-        out.push_str("],\n\"legend\":[");
+        out.push_str("]}");
     }
+    // Likewise the pipeline block: only pipelined replication runs carry
+    // it (window/batch semantics plus the run's wire-byte accounting), so
+    // sequential artifacts keep their pre-pipeline byte layout exactly.
+    if let Some(pipeline) = &run.meta.pipeline {
+        let _ = write!(
+            out,
+            ",\n\"pipeline\":{{\"window\":{},\"batch\":{},\"bytes_on_wire\":{}}}",
+            pipeline.window, pipeline.batch, pipeline.bytes_on_wire
+        );
+    }
+    out.push_str(",\n\"legend\":[");
     for (i, (c, label)) in run.meta.legend.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -248,6 +264,7 @@ mod tests {
                 faulty: vec![3],
                 legend: vec![(5, "5".into())],
                 chaos: None,
+                pipeline: None,
             },
             processes: vec![ProcessTrace {
                 id: 0,

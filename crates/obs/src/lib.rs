@@ -25,7 +25,8 @@ pub mod checker;
 pub mod json;
 
 pub use checker::{
-    check, ChaosMeta, CheckReport, ProcessTrace, RunTrace, SchemeRules, TraceMeta, Violation,
+    check, ChaosMeta, CheckReport, PipelineMeta, ProcessTrace, RunTrace, SchemeRules, TraceMeta,
+    Violation,
 };
 pub use event::{obs_code, Event, EventKind, PredTag, Scheme, ViewTag};
 pub use log::{EventLog, CHUNK_EVENTS};

@@ -14,7 +14,11 @@
 //! * [`Replica`] — a simulation actor running **one DEX instance per log
 //!   slot** (proposals move to the next slot once the previous one
 //!   commits), multiplexing all slot traffic over a single channel and
-//!   applying committed commands in order.
+//!   applying committed commands in order. With
+//!   [`Replica::enable_pipelining`] the chain becomes a sliding window:
+//!   up to `W` slots run concurrently past the committed prefix, slot
+//!   state is pooled and recycled via [`SlotMux`], and same-window UC
+//!   fallbacks coalesce into one batched round (see DESIGN.md §13).
 //!
 //! Under low request contention almost every slot commits on DEX's
 //! one-step path; the tests verify that all correct replicas end with
@@ -48,6 +52,7 @@ mod command;
 mod kvstore;
 mod log;
 mod machine;
+mod mux;
 mod replica;
 mod wal;
 
@@ -56,6 +61,7 @@ pub use command::Command;
 pub use kvstore::KvStore;
 pub use log::{CommitOutcome, ReplicatedLog};
 pub use machine::{StateMachine, TotalOrder};
+pub use mux::{Checkout, SlotInstance, SlotMux};
 pub use replica::{
     run_generic_cluster, GenericClusterOptions, GenericClusterOutcome, Node, Replica, ReplicaMsg,
     SlotPath,

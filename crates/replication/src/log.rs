@@ -49,6 +49,10 @@ impl CommitOutcome {
 pub struct ReplicatedLog<V> {
     slots: Vec<Option<V>>,
     applied: usize,
+    /// Cached length of the contiguous committed prefix. The pipelined
+    /// proposer reads the floor after every commit, so this is maintained
+    /// incrementally instead of rescanned.
+    prefix: usize,
 }
 
 impl<V: Value> Default for ReplicatedLog<V> {
@@ -56,6 +60,7 @@ impl<V: Value> Default for ReplicatedLog<V> {
         ReplicatedLog {
             slots: Vec::new(),
             applied: 0,
+            prefix: 0,
         }
     }
 }
@@ -88,6 +93,9 @@ impl<V: Value> ReplicatedLog<V> {
             }
             None => {
                 self.slots[slot] = Some(value);
+                while self.prefix < self.slots.len() && self.slots[self.prefix].is_some() {
+                    self.prefix += 1;
+                }
                 CommitOutcome::Committed
             }
         }
@@ -103,9 +111,14 @@ impl<V: Value> ReplicatedLog<V> {
         self.slots.get(slot).and_then(Option::as_ref)
     }
 
-    /// Number of committed slots in the contiguous prefix.
+    /// Number of committed slots in the contiguous prefix. O(1) — the
+    /// cursor is advanced incrementally on commit.
     pub fn committed_prefix(&self) -> usize {
-        self.slots.iter().take_while(|s| s.is_some()).count()
+        debug_assert_eq!(
+            self.prefix,
+            self.slots.iter().take_while(|s| s.is_some()).count()
+        );
+        self.prefix
     }
 
     /// Number of slots applied to the state machine so far.

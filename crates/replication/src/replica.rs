@@ -1,16 +1,17 @@
 //! The replica actor: one DEX instance per log slot, generic over the
-//! replicated [`StateMachine`].
+//! replicated [`StateMachine`], with an optional pipelined mode that keeps
+//! a window of `W` slots in flight concurrently (see [`SlotMux`]).
 
 use crate::log::ReplicatedLog;
 use crate::machine::StateMachine;
+use crate::mux::{Checkout, SlotMux};
 use crate::wal::{Durability, WalRecord};
 use dex_adversary::{ByzantineActor, ByzantineStrategy, ProtocolForgery};
-use dex_conditions::FrequencyPair;
-use dex_core::{DecisionPath, DexMsg, DexProcess, Reliable, ResendPolicy};
+use dex_core::{DecisionPath, DexMsg, Reliable, ResendPolicy};
 use dex_obs::{obs_code, EventKind, Recorder};
-use dex_simnet::{Actor, Context, DelayModel, FaultSchedule, Recoverable, Simulation};
-use dex_types::{ProcessId, StepDepth, SystemConfig, Value};
-use dex_underlying::{OracleConsensus, OracleMsg, Outbox};
+use dex_simnet::{Actor, Context, DelayModel, FaultSchedule, NetStats, Recoverable, Simulation};
+use dex_types::{Dest, ProcessId, StepDepth, SystemConfig, Value};
+use dex_underlying::{OracleMsg, Outbox};
 use std::collections::{HashMap, VecDeque};
 
 /// Per-slot DEX wire messages for command type `C`.
@@ -56,6 +57,18 @@ pub enum ReplicaMsg<C> {
     /// Self-addressed retry timer for the catch-up backoff loop (local
     /// only — ignored unless it arrives from this very replica).
     CatchUpTick,
+    /// Underlying-consensus traffic for several slots, coalesced into one
+    /// wire message. Pipelined replicas (`window > 1`) buffer the UC
+    /// proposals of slots that fall back inside the same window and ship
+    /// them to the coordinator together — one network round amortized
+    /// across the window instead of one per falling-back slot.
+    UcBatch {
+        /// `(slot, message)` pairs, demultiplexed on arrival.
+        entries: Vec<(u64, OracleMsg<C>)>,
+    },
+    /// Self-addressed flush timer for the UC coalescing buffer (local
+    /// only — ignored unless it arrives from this very replica).
+    UcFlushTick,
 }
 
 impl<C: Value> ProtocolForgery for ReplicaMsg<C> {
@@ -104,8 +117,6 @@ impl<C: Value> ProtocolForgery for ReplicaMsg<C> {
         }
     }
 }
-
-type SlotInstance<C> = DexProcess<C, FrequencyPair, OracleConsensus<C>>;
 
 /// How one slot decided at one replica.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -167,7 +178,7 @@ pub struct Replica<SM: StateMachine> {
     coordinator: ProcessId,
     pending: VecDeque<SM::Command>,
     target_slots: u64,
-    instances: HashMap<u64, SlotInstance<SM::Command>>,
+    mux: SlotMux<SM::Command>,
     log: ReplicatedLog<SM::Command>,
     machine: SM,
     paths: Vec<SlotPath>,
@@ -176,6 +187,17 @@ pub struct Replica<SM: StateMachine> {
     durable: Option<Durability<SM>>,
     catch_up: CatchUpState<SM::Command>,
     restarts: u32,
+    /// UC proposals awaiting the coalescing flush (pipelined mode only).
+    uc_pending: Vec<(u64, OracleMsg<SM::Command>)>,
+    /// Whether a [`ReplicaMsg::UcFlushTick`] is currently in flight.
+    uc_flush_armed: bool,
+    /// Pending entries handed to in-flight slots (pipelined mode only):
+    /// the first `claimed` entries of `pending` back open proposals, so
+    /// the next slot to open proposes entry `claimed`, not the front —
+    /// each in-flight slot carries a *distinct* client command.
+    claimed: usize,
+    /// Messages saved by UC coalescing: entries shipped minus batches sent.
+    uc_coalesced: u64,
 }
 
 impl<SM: StateMachine> Replica<SM> {
@@ -193,7 +215,7 @@ impl<SM: StateMachine> Replica<SM> {
             coordinator,
             pending: pending.into(),
             target_slots,
-            instances: HashMap::new(),
+            mux: SlotMux::new(config, me, coordinator),
             log: ReplicatedLog::new(),
             machine: SM::default(),
             paths: Vec::new(),
@@ -202,7 +224,36 @@ impl<SM: StateMachine> Replica<SM> {
             durable: None,
             catch_up: CatchUpState::default(),
             restarts: 0,
+            uc_pending: Vec::new(),
+            uc_flush_armed: false,
+            claimed: 0,
+            uc_coalesced: 0,
         }
+    }
+
+    /// Turns on the pipelined engine: up to `window` slots run their DEX
+    /// instances concurrently, decided slots retire into the recycling
+    /// pool once the committed floor slides a full window past them, and
+    /// same-window UC fallbacks are coalesced into [`ReplicaMsg::UcBatch`]
+    /// rounds. `window == 1` is the sequential pre-pipeline engine,
+    /// byte-for-byte.
+    pub fn enable_pipelining(&mut self, window: u64) {
+        self.mux.set_window(window);
+    }
+
+    /// The pipeline window (`1` = sequential).
+    pub fn window(&self) -> u64 {
+        self.mux.window()
+    }
+
+    /// The slot mux (instance routing/recycling diagnostics).
+    pub fn mux(&self) -> &SlotMux<SM::Command> {
+        &self.mux
+    }
+
+    /// Messages saved so far by coalescing same-window UC fallbacks.
+    pub fn uc_coalesced(&self) -> u64 {
+        self.uc_coalesced
     }
 
     /// Attaches a durable store: every commit is WAL-logged + fsynced, and
@@ -252,48 +303,94 @@ impl<SM: StateMachine> Replica<SM> {
         &self.paths
     }
 
-    fn instance(&mut self, slot: u64) -> &mut SlotInstance<SM::Command> {
-        let (config, me, coordinator) = (self.config, self.me, self.coordinator);
-        self.instances.entry(slot).or_insert_with(|| {
-            DexProcess::new(
-                config,
-                me,
-                FrequencyPair::new(config).expect("n > 6t checked by cluster builder"),
-                OracleConsensus::new(config, me, coordinator),
-            )
-        })
+    /// Records a pool reuse as a structured event (the checker's
+    /// `slot-reuse-isolation` invariant audits these).
+    fn note_checkout(&mut self, slot: u64, how: Checkout) {
+        if let Checkout::Recycled(freed) = how {
+            if self.obs.is_active() {
+                self.obs.record(EventKind::SlotReuse {
+                    slot: slot as u32,
+                    freed: freed as u32,
+                });
+            }
+        }
     }
 
     /// Picks the proposal for a slot: first pending command not already
     /// committed somewhere in the log prefix.
+    ///
+    /// In pipelined mode each open slot must carry a *distinct* command,
+    /// so the first `claimed` surviving entries are skipped — they already
+    /// back slots in flight — and the claim count advances past the entry
+    /// handed out here.
     fn next_proposal(&mut self) -> SM::Command {
         let prefix = self.log.prefix();
         while let Some(cmd) = self.pending.front().cloned() {
             if prefix.contains(&cmd) {
                 self.pending.pop_front();
-            } else {
+                self.claimed = self.claimed.saturating_sub(1);
+            } else if self.mux.window() == 1 {
                 return cmd;
+            } else {
+                break;
             }
         }
-        SM::Command::default()
+        if self.mux.window() == 1 {
+            return SM::Command::default();
+        }
+        match self.pending.get(self.claimed).cloned() {
+            Some(cmd) => {
+                self.claimed += 1;
+                cmd
+            }
+            None => SM::Command::default(),
+        }
     }
 
     fn propose_due_slots(&mut self, ctx: &mut Context<'_, ReplicaMsg<SM::Command>>) {
-        // Propose slot s when all slots < s have committed locally (via
-        // own decision, restore or catch-up alike).
-        while self.next_to_propose < self.target_slots
-            && (self.next_to_propose == 0
-                || self.log.is_committed((self.next_to_propose - 1) as usize))
-        {
+        // Propose slot s while it lies inside the pipeline window above
+        // the committed floor: every slot ≤ s − W has committed locally
+        // (via own decision, restore or catch-up alike). With W = 1 this
+        // is exactly the sequential rule — propose s once all slots < s
+        // have committed.
+        loop {
+            let floor = self.log.committed_prefix() as u64;
+            if self.next_to_propose >= self.target_slots
+                || self.next_to_propose >= floor.saturating_add(self.mux.window())
+            {
+                break;
+            }
             let slot = self.next_to_propose;
             self.next_to_propose += 1;
             if self.log.is_committed(slot as usize) {
                 continue; // already known (restored or caught up)
             }
+            if self.obs.is_active() {
+                self.obs.record(EventKind::SlotPropose {
+                    slot: slot as u32,
+                    floor: floor as u32,
+                });
+            }
             let proposal = self.next_proposal();
             let mut out = Outbox::new();
-            self.instance(slot).propose(proposal, ctx.rng(), &mut out);
-            flush_slot(slot, out, ctx);
+            let how = {
+                let (instance, how) = self.mux.checkout(slot);
+                instance.propose(proposal, ctx.rng(), &mut out);
+                how
+            };
+            self.note_checkout(slot, how);
+            self.flush_slot(slot, out, ctx);
+        }
+        self.slide_window();
+    }
+
+    /// Retires decided slots a full window behind the committed floor into
+    /// the recycling pool. No-op in sequential mode.
+    fn slide_window(&mut self) {
+        let window = self.mux.window();
+        if window > 1 {
+            let floor = self.log.committed_prefix() as u64;
+            self.mux.retire_below(floor.saturating_sub(window));
         }
     }
 
@@ -317,12 +414,37 @@ impl<SM: StateMachine> Replica<SM> {
         if slot >= self.target_slots {
             return; // Byzantine traffic beyond the agreed horizon
         }
+        if self.mux.is_retired(slot) {
+            // Retired ⊆ committed prefix: the instance has been recycled,
+            // so instead of resurrecting it for a straggler, answer a late
+            // *proposer* with a targeted catch-up reply — `t + 1` matching
+            // replies let a lagging replica adopt the slot — and drop
+            // other late traffic (echo obligations for every peer still
+            // inside the window were discharged before retirement).
+            if from != self.me {
+                if let DexMsg::Proposal(_) = inner {
+                    let value = self
+                        .log
+                        .get(slot as usize)
+                        .expect("retired slots are committed")
+                        .clone();
+                    ctx.send(
+                        from,
+                        ReplicaMsg::CatchUpReply {
+                            slots: vec![(slot, value)],
+                        },
+                    );
+                }
+            }
+            return;
+        }
         let mut out = Outbox::new();
-        let decision = {
-            let instance = self.instance(slot);
-            instance.on_message(from, inner, ctx.rng(), &mut out)
+        let (decision, how) = {
+            let (instance, how) = self.mux.checkout(slot);
+            (instance.on_message(from, inner, ctx.rng(), &mut out), how)
         };
-        flush_slot(slot, out, ctx);
+        self.note_checkout(slot, how);
+        self.flush_slot(slot, out, ctx);
         if let Some(d) = decision {
             // A restarted replica's fresh instance can re-decide a slot it
             // already restored from disk — agreement makes that a harmless
@@ -345,9 +467,22 @@ impl<SM: StateMachine> Replica<SM> {
                 path: d.path,
                 depth: ctx.depth(),
             });
-            // Drop the command we proposed if it just committed.
-            if self.pending.front() == Some(&d.value) {
-                self.pending.pop_front();
+            // Drop the command we proposed if it just committed. In
+            // pipelined mode the committed value may back any in-flight
+            // slot, so the whole claimed region is searched, and the claim
+            // backing the removed entry is released.
+            if self.mux.window() == 1 {
+                if self.pending.front() == Some(&d.value) {
+                    self.pending.pop_front();
+                }
+            } else if let Some(pos) = self
+                .pending
+                .iter()
+                .take(self.claimed)
+                .position(|c| c == &d.value)
+            {
+                self.pending.remove(pos);
+                self.claimed -= 1;
             }
             self.apply_ready();
             self.propose_due_slots(ctx);
@@ -471,11 +606,77 @@ impl<SM: StateMachine> Replica<SM> {
         self.request_catch_up(ctx);
     }
 
+    /// Flushes one slot instance's outbox onto the wire, tagging every
+    /// message with its slot. `Dest` is forwarded untouched, so a protocol
+    /// broadcast stays a single `Dest::All` slab entry — the zero-clone
+    /// multicast fast path survives the slot layer.
+    ///
+    /// In pipelined mode, UC proposals bound for the coordinator are held
+    /// back in the coalescing buffer instead: slots that fall back inside
+    /// the same window share one [`ReplicaMsg::UcBatch`] round (flushed by
+    /// a 1-tick self timer) rather than paying one message each.
+    fn flush_slot(
+        &mut self,
+        slot: u64,
+        mut out: Outbox<SlotMsg<SM::Command>>,
+        ctx: &mut Context<'_, ReplicaMsg<SM::Command>>,
+    ) {
+        for (dest, inner) in out.drain() {
+            match (dest, inner) {
+                (Dest::To(to), DexMsg::Uc(m))
+                    if self.mux.window() > 1 && to == self.coordinator =>
+                {
+                    self.uc_pending.push((slot, m));
+                    if !self.uc_flush_armed {
+                        self.uc_flush_armed = true;
+                        ctx.send_self_after(1, ReplicaMsg::UcFlushTick);
+                    }
+                }
+                (dest, inner) => ctx.send_dest(dest, ReplicaMsg::Slot { slot, inner }),
+            }
+        }
+    }
+
+    /// Ships the coalesced UC proposals as one batch to the coordinator.
+    fn on_uc_flush_tick(
+        &mut self,
+        from: ProcessId,
+        ctx: &mut Context<'_, ReplicaMsg<SM::Command>>,
+    ) {
+        if from != self.me {
+            return; // forged tick
+        }
+        self.uc_flush_armed = false;
+        if self.uc_pending.is_empty() {
+            return; // restart raced the timer
+        }
+        let entries = std::mem::take(&mut self.uc_pending);
+        self.uc_coalesced += entries.len() as u64 - 1;
+        ctx.send(self.coordinator, ReplicaMsg::UcBatch { entries });
+    }
+
+    /// Demultiplexes a coalesced UC batch back into per-slot instances.
+    fn on_uc_batch(
+        &mut self,
+        from: ProcessId,
+        entries: &[(u64, OracleMsg<SM::Command>)],
+        ctx: &mut Context<'_, ReplicaMsg<SM::Command>>,
+    ) {
+        for (slot, m) in entries {
+            // Per-slot guards (horizon, retirement, oracle authentication)
+            // all apply exactly as for un-batched traffic.
+            self.on_slot_msg(from, *slot, &DexMsg::Uc(m.clone()), ctx);
+        }
+    }
+
     /// Rebuilds volatile state from the durable store: the unsynced WAL
     /// tail is lost, then snapshot + surviving records re-derive the
     /// committed prefix (and applied machine) exactly as persisted.
     fn restore(&mut self) {
-        self.instances.clear();
+        self.mux.clear();
+        self.uc_pending.clear();
+        self.uc_flush_armed = false;
+        self.claimed = 0;
         self.log = ReplicatedLog::new();
         self.machine = SM::default();
         self.paths.clear();
@@ -501,16 +702,6 @@ impl<SM: StateMachine> Replica<SM> {
     }
 }
 
-fn flush_slot<C: Value>(
-    slot: u64,
-    mut out: Outbox<SlotMsg<C>>,
-    ctx: &mut Context<'_, ReplicaMsg<C>>,
-) {
-    for (dest, inner) in out.drain() {
-        ctx.send_dest(dest, ReplicaMsg::Slot { slot, inner });
-    }
-}
-
 impl<SM: StateMachine> Actor for Replica<SM> {
     type Msg = ReplicaMsg<SM::Command>;
 
@@ -526,6 +717,8 @@ impl<SM: StateMachine> Actor for Replica<SM> {
             }
             ReplicaMsg::CatchUpReply { slots } => self.on_catch_up_reply(from, slots, ctx),
             ReplicaMsg::CatchUpTick => self.on_catch_up_tick(from, ctx),
+            ReplicaMsg::UcBatch { entries } => self.on_uc_batch(from, entries, ctx),
+            ReplicaMsg::UcFlushTick => self.on_uc_flush_tick(from, ctx),
         }
     }
 }
@@ -643,6 +836,11 @@ pub struct GenericClusterOptions<C> {
     /// Turn off for runs that are *expected* to starve, e.g. sustained
     /// loss without the resend layer.
     pub require_convergence: bool,
+    /// Pipeline window `W`: how many slots each replica keeps in flight
+    /// concurrently. `1` (the default) is the sequential engine,
+    /// byte-for-byte; larger windows enable slot recycling and UC
+    /// coalescing (see [`Replica::enable_pipelining`]).
+    pub window: u64,
 }
 
 impl<C> GenericClusterOptions<C> {
@@ -660,6 +858,7 @@ impl<C> GenericClusterOptions<C> {
             durable: false,
             reliable: false,
             require_convergence: true,
+            window: 1,
         }
     }
 }
@@ -675,6 +874,17 @@ pub struct GenericClusterOutcome<C> {
     pub paths: Vec<Vec<SlotPath>>,
     /// Whether the simulation drained.
     pub quiescent: bool,
+    /// Virtual time at which the run drained — the denominator of the
+    /// committed-values-per-tick throughput metric.
+    pub ticks: u64,
+    /// Network-layer statistics for the run (multicasts, payload clones,
+    /// bytes on wire, …).
+    pub net: NetStats,
+    /// Per-replica count of recycled slot instances (`0` for Byzantine
+    /// replicas and in sequential mode).
+    pub recycled: Vec<u64>,
+    /// Per-replica count of messages saved by UC-batch coalescing.
+    pub uc_coalesced: Vec<u64>,
 }
 
 impl<C: Value> GenericClusterOutcome<C> {
@@ -758,6 +968,9 @@ pub fn run_generic_cluster<SM: StateMachine>(
                 if options.durable {
                     replica.enable_durability(Durability::mem(DEFAULT_SNAPSHOT_EVERY));
                 }
+                if options.window > 1 {
+                    replica.enable_pipelining(options.window);
+                }
                 Node::Correct(replica)
             }
         })
@@ -778,10 +991,14 @@ pub fn run_generic_cluster<SM: StateMachine>(
             .build();
         let run = sim.run(50_000_000);
         let quiescent = run.quiescent;
+        let ticks = run.ended_at.as_units();
+        let net = sim.stats().clone();
         collect_outcome(
             sim.actors().iter().map(Reliable::inner),
             &options,
             quiescent,
+            ticks,
+            net,
         )
     } else {
         let mut sim = Simulation::builder(nodes)
@@ -792,7 +1009,9 @@ pub fn run_generic_cluster<SM: StateMachine>(
             .build();
         let run = sim.run(50_000_000);
         let quiescent = run.quiescent;
-        collect_outcome(sim.actors().iter(), &options, quiescent)
+        let ticks = run.ended_at.as_units();
+        let net = sim.stats().clone();
+        collect_outcome(sim.actors().iter(), &options, quiescent, ticks, net)
     }
 }
 
@@ -804,10 +1023,14 @@ fn collect_outcome<'a, SM: StateMachine>(
     nodes: impl Iterator<Item = &'a Node<SM>>,
     options: &GenericClusterOptions<SM::Command>,
     quiescent: bool,
+    ticks: u64,
+    net: NetStats,
 ) -> GenericClusterOutcome<SM::Command> {
     let mut logs = Vec::new();
     let mut digests = Vec::new();
     let mut paths = Vec::new();
+    let mut recycled = Vec::new();
+    let mut uc_coalesced = Vec::new();
     for node in nodes {
         match node {
             Node::Correct(r) => {
@@ -822,11 +1045,15 @@ fn collect_outcome<'a, SM: StateMachine>(
                 logs.push(Some(r.log().prefix()));
                 digests.push(Some(r.machine().digest()));
                 paths.push(r.paths().to_vec());
+                recycled.push(r.mux().recycled());
+                uc_coalesced.push(r.uc_coalesced());
             }
             Node::Byz(_) => {
                 logs.push(None);
                 digests.push(None);
                 paths.push(Vec::new());
+                recycled.push(0);
+                uc_coalesced.push(0);
             }
         }
     }
@@ -835,6 +1062,10 @@ fn collect_outcome<'a, SM: StateMachine>(
         digests,
         paths,
         quiescent,
+        ticks,
+        net,
+        recycled,
+        uc_coalesced,
     }
 }
 
@@ -965,6 +1196,7 @@ mod tests {
                     eventually_clean: false,
                     crashes: vec![(victim as u16, 40, Some(5_000))],
                 }),
+                pipeline: None,
             },
             processes,
         };
@@ -1072,6 +1304,7 @@ mod tests {
                 faulty: Vec::new(),
                 legend: Vec::new(),
                 chaos: None,
+                pipeline: None,
             },
             processes,
         };

@@ -37,6 +37,18 @@ pub trait Actor {
     fn recorder_mut(&mut self) -> Option<&mut dex_obs::Recorder> {
         None
     }
+
+    /// Estimated wire size of one message, in bytes — feeds the
+    /// [`NetStats::bytes_on_wire`](crate::NetStats::bytes_on_wire)
+    /// counter. The default is the payload's shallow in-memory size: a
+    /// deterministic, allocation-free proxy that is exact for the `Copy`
+    /// message types most protocols here use. Actors whose messages carry
+    /// heap data (boxed batches, vectors) may override it with a deep
+    /// measure; the simulator never relies on the value for scheduling,
+    /// only for accounting.
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        core::mem::size_of_val(msg)
+    }
 }
 
 /// An actor that survives a [`CrashMode::Restart`](crate::CrashMode)

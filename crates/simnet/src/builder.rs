@@ -1,8 +1,7 @@
 //! Fluent construction of a [`Simulation`].
 //!
-//! The positional `Simulation::new(actors, seed, delay)` constructor did
-//! not scale past two knobs; the builder names every knob and defaults the
-//! rest:
+//! The builder is the only construction path: positional constructors do
+//! not scale past two knobs, so every knob is named and defaulted instead:
 //!
 //! ```
 //! use dex_simnet::{Actor, Context, DelayModel, FaultSchedule, Simulation};

@@ -155,21 +155,6 @@ pub struct Simulation<A: Actor> {
 pub(crate) type RestartHook<A> = fn(&mut A, &mut Context<'_, <A as Actor>::Msg>);
 
 impl<A: Actor> Simulation<A> {
-    /// Creates a simulation over the given actors (actor `i` is process
-    /// `p_i`), a seed for all randomness (delays and actor RNG), and a delay
-    /// model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `actors` is empty.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Simulation::builder(actors).seed(..).delay(..).build()`"
-    )]
-    pub fn new(actors: Vec<A>, seed: u64, delay: DelayModel) -> Self {
-        Simulation::builder(actors).seed(seed).delay(delay).build()
-    }
-
     /// Starts a [`SimulationBuilder`] over the given actors (actor `i` is
     /// process `p_i`). This is the construction entry point; see the
     /// builder for the available knobs (seed, delay model, fault schedule,
@@ -283,6 +268,7 @@ impl<A: Actor> Simulation<A> {
         let delay = self.delay.sample(&mut self.rng, from, to);
         let mut deliver_at = self.now + delay;
         self.stats.record_send(depth);
+        self.stats.bytes_on_wire += A::msg_bytes(self.slab.payload(slot)) as u64;
         if let Some(rec) = self.actors[from.index()].recorder_mut() {
             rec.record_at(
                 self.now.as_units(),

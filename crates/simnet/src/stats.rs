@@ -34,6 +34,14 @@ pub struct NetStats {
     pub held_partition: u64,
     /// Deliveries deferred past a crash recovery.
     pub held_crash: u64,
+    /// Payload bytes carried by the network: each scheduled delivery adds
+    /// the size of the payload it carries (see [`Actor::msg_bytes`]), so a
+    /// `Dest::All` multicast to `n` processes counts `n × size` — the slab
+    /// stores the payload once, but the wire still carries every copy.
+    /// Self-addressed timers are local and contribute nothing.
+    ///
+    /// [`Actor::msg_bytes`]: crate::Actor::msg_bytes
+    pub bytes_on_wire: u64,
     /// The deepest causal step observed on any message.
     pub max_depth: StepDepth,
     /// Delivered-message count per causal depth (index = depth − 1).

@@ -112,6 +112,11 @@ fn broadcast_trace_is_byte_identical_to_eager_expansion() {
         assert_eq!(fs.delivered, es.delivered, "seed {seed}");
         assert_eq!(fs.max_depth, es.max_depth, "seed {seed}");
         assert_eq!(fs.per_depth, es.per_depth, "seed {seed}");
+        // Wire-byte accounting is per scheduled delivery, so sharing the
+        // payload in the slab must not make the multicast look cheaper on
+        // the wire than the expansion: every u64 message costs 8 bytes.
+        assert_eq!(fs.bytes_on_wire, es.bytes_on_wire, "seed {seed}");
+        assert_eq!(fs.bytes_on_wire, fs.sent * 8, "seed {seed}");
         // The fast path shares payloads; the expansion clones them n − 1
         // times per multicast inside `Context::send`'s caller-side loop.
         assert_eq!(fs.payload_clones, 0, "seed {seed}");

@@ -119,6 +119,7 @@ fn traced_run_checks_clean_under_threads() {
             faulty: Vec::new(),
             legend: Vec::new(),
             chaos: None,
+            pipeline: None,
         },
         processes,
     };

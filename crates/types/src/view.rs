@@ -162,6 +162,22 @@ impl<V: Value> View<V> {
         prev
     }
 
+    /// Resets every entry back to `⊥` in place, keeping the allocated
+    /// `entries` buffer and `counts` table capacity. This is the slot
+    /// recycling hook: a pipelined replica reuses one `View` per tally
+    /// across many consecutive log slots instead of reallocating
+    /// [`View::bottom`] each time.
+    pub fn reset(&mut self) {
+        for slot in &mut self.entries {
+            *slot = None;
+        }
+        self.counts.clear();
+        self.non_default = 0;
+        self.top1 = None;
+        self.top2 = None;
+        self.debug_check_tally();
+    }
+
     /// `#_v(J)`: the number of occurrences of `v`. O(1).
     pub fn count_of(&self, v: &V) -> usize {
         self.counts.get(v).copied().unwrap_or(0)

@@ -1,0 +1,134 @@
+//! Per-slot client-value batching for pipelined replication.
+//!
+//! The pipelined replication engine (`dex-replication` with a window
+//! `W > 1`) proposes one *batch* of client values per log slot: the batch
+//! is the slot's proposed command, committed atomically into the
+//! replicated log, so throughput scales with both the window (slots in
+//! flight) and the batch size (values per slot). This module generates the
+//! deterministic client stream and chunks it — same seed ⇒ same batches,
+//! so pipelined and sequential runs propose identical per-slot values and
+//! their logs can be compared slot-by-slot.
+//!
+//! # Examples
+//!
+//! ```
+//! use dex_workloads::{slot_batches, ClientStream};
+//!
+//! let batches = slot_batches(7, 3, 4);
+//! assert_eq!(batches.len(), 3);
+//! assert!(batches.iter().all(|b| b.len() == 4));
+//! // The batches are exactly the stream, chunked in order.
+//! let flat: Vec<u64> = batches.iter().flatten().copied().collect();
+//! assert_eq!(flat, ClientStream::new(7).take(12));
+//! ```
+
+use rand::rngs::StdRng;
+
+/// Domain separator: batch streams must not correlate with the run seed's
+/// other consumers (delay model, input generators).
+const STREAM_SALT: u64 = 0xBA7C_85EA_D5CA_FEED;
+
+/// A deterministic stream of client request ids.
+///
+/// Ids are uniform non-zero `u64`s: zero is excluded because replication
+/// state machines treat the `Default` command as a no-op filler, and a
+/// client request must never be mistaken for one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClientStream {
+    seed: u64,
+}
+
+impl ClientStream {
+    /// Creates the stream for a run seed.
+    pub fn new(seed: u64) -> Self {
+        ClientStream { seed }
+    }
+
+    /// The first `count` client values of the stream.
+    pub fn take(&self, count: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ STREAM_SALT);
+        (0..count)
+            .map(|_| loop {
+                let v: u64 = rng.random();
+                if v != 0 {
+                    break v;
+                }
+            })
+            .collect()
+    }
+}
+
+/// Chunks `values` into consecutive batches of exactly `batch` values.
+///
+/// A trailing partial chunk is dropped — every slot's command has the same
+/// shape, which keeps per-slot log comparison trivial.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn chunk_batches(values: &[u64], batch: usize) -> Vec<Vec<u64>> {
+    assert!(batch > 0, "a batch holds at least one value");
+    values
+        .chunks_exact(batch)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// The per-slot batch sequence of a run: `slots` batches of `batch` client
+/// values each, drawn from [`ClientStream::new(seed)`](ClientStream).
+///
+/// Every replica in a benchmark cluster is handed this same sequence as
+/// its pending queue — replicas then propose identical batches per slot
+/// (the client-broadcast-without-contention scenario of §1.1), which is
+/// what lets the one-step path fire and makes the committed log
+/// independent of which replica's proposal won.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn slot_batches(seed: u64, slots: u64, batch: u64) -> Vec<Vec<u64>> {
+    let stream = ClientStream::new(seed);
+    chunk_batches(&stream.take((slots * batch) as usize), batch as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_nonzero() {
+        let a = ClientStream::new(31).take(256);
+        let b = ClientStream::new(31).take(256);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v != 0));
+        assert_ne!(a, ClientStream::new(32).take(256));
+    }
+
+    #[test]
+    fn prefixes_agree() {
+        let long = ClientStream::new(9).take(64);
+        let short = ClientStream::new(9).take(16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn chunking_is_exact_and_ordered() {
+        let values: Vec<u64> = (1..=10).collect();
+        let batches = chunk_batches(&values, 3);
+        assert_eq!(batches, vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+    }
+
+    #[test]
+    fn slot_batches_cover_the_stream_prefix() {
+        let batches = slot_batches(11, 5, 4);
+        assert_eq!(batches.len(), 5);
+        let flat: Vec<u64> = batches.iter().flatten().copied().collect();
+        assert_eq!(flat, ClientStream::new(11).take(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_batch_is_rejected() {
+        chunk_batches(&[1, 2], 0);
+    }
+}

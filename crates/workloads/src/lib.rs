@@ -36,6 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
+
+pub use batch::{chunk_batches, slot_batches, ClientStream};
+
 use dex_types::InputVector;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -10,6 +10,11 @@
 #   * BENCH_simnet.json — shared-payload delivery core vs the legacy
 #     eager-clone engine (speedup per n), plus a hard zero on
 #     fastpath_clones_per_multicast: Dest::All traffic must never clone.
+#   * BENCH_pipeline.json — pipelined replication throughput, window 8 vs
+#     the sequential window-1 chain (w8_speedup per n). Deterministic
+#     virtual-time metric, so two hard checks ride on top of the
+#     regression comparison: window 8 must beat window 1 by ≥ 2x at
+#     n = 31, and clones_per_multicast must be exactly zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,10 +51,12 @@ require_baseline() {
 
 require_baseline BENCH_view_tally.json
 require_baseline BENCH_simnet.json
+require_baseline BENCH_pipeline.json
 
 FRESH_TALLY=$(mktemp -t bench_view_tally.XXXXXX)
 FRESH_SIMNET=$(mktemp -t bench_simnet.XXXXXX)
-trap 'rm -f "$FRESH_TALLY" "$FRESH_SIMNET"' EXIT
+FRESH_PIPELINE=$(mktemp -t bench_pipeline.XXXXXX)
+trap 'rm -f "$FRESH_TALLY" "$FRESH_SIMNET" "$FRESH_PIPELINE"' EXIT
 
 echo "-- view tally: naive vs incremental (read_speedup)"
 ./scripts/bench_view_tally.sh "$FRESH_TALLY" > /dev/null
@@ -64,6 +71,31 @@ compare_speedups BENCH_simnet.json "$FRESH_SIMNET" speedup
 if sed -n 's/.*"fastpath_clones_per_multicast": *\([0-9.]*\).*/\1/p' "$FRESH_SIMNET" \
    | grep -qv '^0\(\.0*\)\?$'; then
   echo "zero-clone violation: fastpath_clones_per_multicast != 0" >&2
+  exit 1
+fi
+
+echo "-- pipelined replication: window 8 vs sequential (w8_speedup)"
+./scripts/bench_pipeline.sh "$FRESH_PIPELINE" > /dev/null
+compare_speedups BENCH_pipeline.json "$FRESH_PIPELINE" w8_speedup
+
+# The pipeline metric is virtual-time throughput — deterministic, so the
+# headline claim gates hard: at n = 31, a window of 8 in-flight slots
+# must at least double sequential committed-values throughput.
+sed -n 's/.*"n": *31,.*"w8_speedup": *\([0-9.]*\).*/\1/p' "$FRESH_PIPELINE" \
+  | awk '
+    { found = 1
+      if ($1 < 2.0) {
+        printf "pipeline gate: w8_speedup %.2fx < 2x at n=31\n", $1 > "/dev/stderr"
+        exit 1
+      }
+    }
+    END { if (!found) { print "pipeline gate: no n=31 row" > "/dev/stderr"; exit 1 } }
+  '
+
+# Replication traffic must ride the slab fast path: zero payload clones.
+if sed -n 's/.*"clones_per_multicast": *\([0-9.]*\).*/\1/p' "$FRESH_PIPELINE" \
+   | grep -qv '^0\(\.0*\)\?$'; then
+  echo "zero-clone violation: pipeline clones_per_multicast != 0" >&2
   exit 1
 fi
 

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_pipeline.json at the repo root: committed-values
+# throughput of the pipelined replication engine at windows 1 / 8 / 32
+# (see DESIGN.md, "Pipelined slots"). Pass an argument to write elsewhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p dex-bench --bin bench_pipeline -- "${1:-BENCH_pipeline.json}"

@@ -56,7 +56,7 @@ echo "== bench smoke: view_ops"
 # per sample (see vendor/criterion).
 CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
 
-echo "== bench gate: view-tally + simnet speedups vs committed baselines"
+echo "== bench gate: view-tally + simnet + pipeline speedups vs committed baselines"
 ./scripts/bench_check.sh
 
 echo "== ci OK"

@@ -24,6 +24,7 @@
 //! | `--placement` | `random-k`, `last-k` | `random-k` |
 //! | `--delay` | `uniform:<min>:<max>`, `constant:<d>`, `exp:<mean>` | `uniform:1:10` |
 //! | `--chaos` | `none`, `drop:<p>`, `dup:<p>`, `partition:<open>:<heal>`, `crash:<down>:<up>`, `crash-restart:<down>:<up>` | `none` |
+//! | `--pipeline` | `<window>` or `<window>:<batch>` — run the pipelined replication engine instead of single-shot batches | `1:1` (off) |
 //! | `--runs` | batch size | `20` |
 //! | `--seed` | base seed | `0` |
 //! | `--max-events` | delivery cap per run | `50000000` |
@@ -32,9 +33,78 @@
 //! Chaos runs write `results/trace_chaos_<label>_<seed>.json`; chaos-free
 //! runs keep the `results/trace_<seed>.json` name (byte-identical to the
 //! pre-chaos artifacts).
+//!
+//! A non-default `--pipeline <window>:<batch>` routes the invocation
+//! through the pipelined replication engine: one cluster run committing
+//! 16 slots of `batch` client values each with `window` slots in flight,
+//! reporting committed-values-per-kilo-tick throughput and wire bytes.
+//! With `--trace` it writes `results/trace_pipeline_<seed>.json`, whose
+//! metadata carries the pipeline block (window, batch, bytes on wire) and
+//! whose checker verdict includes the pipeline invariants.
 
+use dex::harness::pipeline::{PipelineRun, DEFAULT_SLOTS};
 use dex::harness::spec::RunSpec;
 use std::process::ExitCode;
+
+fn run_pipeline(spec: &RunSpec) -> ExitCode {
+    let run = match PipelineRun::from_spec(spec, DEFAULT_SLOTS) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = run.execute();
+    println!(
+        "pipeline on {} | window {} | batch {} | {} slots",
+        run.config, run.window, run.batch, run.slots
+    );
+    println!(
+        "committed {} values in {} ticks — {} values/ktick",
+        outcome.committed_values,
+        outcome.ticks,
+        outcome.values_per_ktick()
+    );
+    println!(
+        "wire: {} bytes, {} multicasts, {} payload clones | recycled {} slot instances, coalesced {} UC messages",
+        outcome.bytes_on_wire,
+        outcome.multicasts,
+        outcome.payload_clones,
+        outcome.recycled,
+        outcome.uc_coalesced,
+    );
+    if !spec.trace {
+        return ExitCode::SUCCESS;
+    }
+    let (_, trace) = run.traced();
+    let report = dex::obs::check(&trace);
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = format!("results/trace_pipeline_{}.json", spec.seed);
+    if let Err(e) = std::fs::write(&path, dex::obs::json::render(&trace, &report)) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace: re-executed with recording — {} invariant checks, {} violations → {path}",
+        report.total_checks(),
+        report.violations.len(),
+    );
+    for v in &report.violations {
+        eprintln!(
+            "trace violation [{}] p{}: {}",
+            v.invariant, v.process, v.detail
+        );
+    }
+    if report.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("VIOLATIONS DETECTED");
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +126,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if !spec.pipeline.is_off() {
+        return run_pipeline(&spec);
+    }
 
     let stats = match spec.run() {
         Ok(stats) => stats,

@@ -20,16 +20,22 @@
 use dex::obs;
 use dex::prelude::*;
 use dex::replication::{
-    run_generic_cluster, Command, Durability, GenericClusterOptions, KvStore, Node, Replica,
-    TotalOrder,
+    run_generic_cluster, Command, Durability, FileWal, GenericClusterOptions, KvStore, Node,
+    Replica, TotalOrder,
 };
 
 const TARGET_SLOTS: u64 = 4;
 
 /// Builds the traced `f = t` restart cluster: six correct durable replicas
 /// plus one Byzantine (id 6), with replica `victim` crashing into amnesia
-/// over `[40, 6000)`.
-fn run_restart_cluster(seed: u64, victim: usize) -> (Simulation<Node<KvStore>>, obs::RunTrace) {
+/// over `[40, 6000)`. `durability` builds each correct replica's store
+/// from its id — in-memory for the matrix sweep, file-backed for the
+/// real-medium case.
+fn run_restart_cluster(
+    seed: u64,
+    victim: usize,
+    durability: impl Fn(usize) -> Durability<KvStore>,
+) -> (Simulation<Node<KvStore>>, obs::RunTrace) {
     let cfg = SystemConfig::new(7, 1).unwrap();
     let requests = vec![
         Command::put(1, 10),
@@ -53,7 +59,7 @@ fn run_restart_cluster(seed: u64, victim: usize) -> (Simulation<Node<KvStore>>, 
                     requests.clone(),
                     TARGET_SLOTS,
                 );
-                r.enable_durability(Durability::mem(2));
+                r.enable_durability(durability(i));
                 r.enable_obs();
                 Node::Correct(r)
             }
@@ -91,6 +97,7 @@ fn run_restart_cluster(seed: u64, victim: usize) -> (Simulation<Node<KvStore>>, 
                 eventually_clean: false,
                 crashes: vec![(victim as u16, 40, Some(6_000))],
             }),
+            pipeline: None,
         },
         processes,
     };
@@ -100,7 +107,7 @@ fn run_restart_cluster(seed: u64, victim: usize) -> (Simulation<Node<KvStore>>, 
 #[test]
 fn restart_matrix_rederives_prefixes_and_passes_the_checker() {
     for (seed, victim) in [(5, 3), (17, 2), (23, 5)] {
-        let (sim, trace) = run_restart_cluster(seed, victim);
+        let (sim, trace) = run_restart_cluster(seed, victim, |_| Durability::mem(2));
         let actors = sim.actors();
 
         // Convergence: every correct replica committed the full prefix,
@@ -160,6 +167,64 @@ fn restart_matrix_rederives_prefixes_and_passes_the_checker() {
             "seed {seed}: recovery must re-derive committed slots"
         );
     }
+}
+
+#[test]
+fn restart_recovery_holds_on_a_file_backed_wal() {
+    // Same cluster as the matrix sweep, but every correct replica logs to
+    // a real file: appends go through fsync, the crash discards only the
+    // unsynced buffer, and restart replays from disk. The medium must be
+    // invisible to the protocol — logs and checker verdict match the
+    // MemWal run for the same seed and victim bit for bit.
+    let (seed, victim) = (5, 3);
+    let dir = std::env::temp_dir().join(format!(
+        "dex-recovery-filewal-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (file_sim, file_trace) = run_restart_cluster(seed, victim, |i| {
+        let path = dir.join(format!("replica-{i}.wal"));
+        let _ = std::fs::remove_file(&path);
+        Durability::new(Box::new(FileWal::<Command>::open(path).unwrap()), 2)
+    });
+    let (mem_sim, _) = run_restart_cluster(seed, victim, |_| Durability::mem(2));
+
+    let logs = |sim: &Simulation<Node<KvStore>>| -> Vec<Vec<Command>> {
+        sim.actors()
+            .iter()
+            .filter_map(|node| match node {
+                Node::Correct(r) => Some(r.log().prefix()),
+                Node::Byz(_) => None,
+            })
+            .collect()
+    };
+    let file_logs = logs(&file_sim);
+    assert_eq!(
+        file_logs,
+        logs(&mem_sim),
+        "storage medium leaked into consensus"
+    );
+    assert!(file_logs.iter().all(|l| l.len() == TARGET_SLOTS as usize));
+
+    // The reboot really went through the disk: the restart hook fired and
+    // the victim's WAL file exists on the real filesystem.
+    let Node::Correct(v) = &file_sim.actors()[victim] else {
+        panic!("victim is correct")
+    };
+    assert_eq!(v.restarts(), 1, "restart hook must fire");
+    assert!(dir.join(format!("replica-{victim}.wal")).exists());
+
+    let report = obs::check(&file_trace);
+    assert!(report.is_ok(), "{:?}", report.violations);
+    assert!(
+        report
+            .checks
+            .iter()
+            .any(|(name, count)| *name == "recovered-prefix" && *count > 0),
+        "recovery must re-derive committed slots from the file store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -209,6 +209,7 @@ fn checker_flags_unsound_one_step_pair() {
             faulty: Vec::new(),
             legend: Vec::new(),
             chaos: None,
+            pipeline: None,
         },
         processes,
     };
