@@ -6,8 +6,8 @@
 //! [`dex_harness::pipeline::PipelineRun`]: every replica holds the same
 //! stream of client batches and the cluster commits a fixed number of log
 //! slots, `BATCH` values per slot. The throughput metric is *committed
-//! values per kilo-tick of virtual time* — fully deterministic (same spec
-//! + seed ⇒ same number), so the regression gate in
+//! values per kilo-tick of virtual time* — fully deterministic (same
+//! spec + seed ⇒ same number), so the regression gate in
 //! `scripts/bench_check.sh` can assert a hard speedup ratio (window 8
 //! must beat window 1 by ≥ 2× at n = 31) instead of tolerating
 //! wall-clock noise. Wall time is reported per row as a secondary,

@@ -16,6 +16,11 @@
 //! * [`runner`] — single-run and batch execution with safety checking
 //!   (agreement / unanimity / termination violations are *counted*, the
 //!   experiment asserts they stay zero) and step/latency statistics.
+//! * [`campaign`] — the million-client testbed sweep: a
+//!   [`CampaignSpec`](campaign::CampaignSpec) fans contention-phase
+//!   workloads across seeds × adversaries × chaos schedules × legal
+//!   `(n, t)` pairs on a worker pool and folds the digests into a
+//!   byte-stable fast-decision-rate artifact (see `DESIGN.md` §14).
 //! * One module per paper experiment (see `DESIGN.md` §4): [`table1`],
 //!   [`crash_rows`], [`adaptive`], [`double_expedition`], [`average_case`],
 //!   [`pairs`], [`coverage`], [`idb`], [`trace`], [`messages`],
@@ -70,6 +75,7 @@
 
 pub mod adaptive;
 pub mod average_case;
+pub mod campaign;
 pub mod coverage;
 pub mod crash_rows;
 pub mod double_expedition;

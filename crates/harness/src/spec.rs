@@ -27,7 +27,8 @@ use dex_adversary::{ByzantineStrategy, FaultPlan};
 use dex_simnet::{DelayModel, FaultSchedule};
 use dex_types::{ProcessId, SystemConfig};
 use dex_workloads::{
-    BernoulliMix, InputGenerator, SplitCount, Unanimous, UniformRandom, ZipfRequests,
+    BernoulliMix, InputGenerator, PopulationModel, SplitCount, Unanimous, UniformRandom,
+    ZipfRequests,
 };
 use std::fmt::Write as _;
 
@@ -63,6 +64,23 @@ pub enum WorkloadSpec {
         /// Size of the minority.
         minor_count: usize,
     },
+    /// Million-client hot-key population
+    /// (`hotkey:<clients>:<s>:<hot>:<bias>`): Zipf popularity with skew
+    /// `s` over `clients` request ids, extra mass `hot` on the hottest id,
+    /// and per-process bias `bias` toward a deterministic home key — the
+    /// campaign engine's population model
+    /// ([`dex_workloads::PopulationModel`]) as a CLI workload, so every
+    /// campaign cell compiles down to an ordinary per-seed `RunSpec`.
+    HotKey {
+        /// Number of distinct client request ids.
+        clients: u64,
+        /// Zipf popularity exponent.
+        s: f64,
+        /// Extra probability mass on the hottest id.
+        hot: f64,
+        /// Per-process home-key bias probability.
+        bias: f64,
+    },
 }
 
 impl Default for WorkloadSpec {
@@ -84,6 +102,20 @@ impl WorkloadSpec {
                 minor: 0,
                 minor_count,
             }),
+            WorkloadSpec::HotKey {
+                clients,
+                s,
+                hot,
+                bias,
+            } => Box::new(
+                PopulationModel {
+                    clients,
+                    skew: s,
+                    hot,
+                    bias,
+                }
+                .compile(),
+            ),
         }
     }
 
@@ -114,6 +146,28 @@ impl WorkloadSpec {
             ["split", mc] => Ok(WorkloadSpec::Split {
                 minor_count: num(mc, "minority count")? as usize,
             }),
+            ["hotkey", clients, s, hot, bias] => {
+                let prob = |s: &str, what: &str| -> Result<f64, String> {
+                    let p: f64 = s
+                        .parse()
+                        .map_err(|_| format!("bad {what} in workload {raw:?}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("{what} {p} out of [0, 1] in workload {raw:?}"));
+                    }
+                    Ok(p)
+                };
+                let clients = num(clients, "client count")?;
+                if clients == 0 {
+                    return Err(format!("empty client population in workload {raw:?}"));
+                }
+                Ok(WorkloadSpec::HotKey {
+                    clients,
+                    s: s.parse()
+                        .map_err(|_| format!("bad skew in workload {raw:?}"))?,
+                    hot: prob(hot, "hot probability")?,
+                    bias: prob(bias, "bias probability")?,
+                })
+            }
             _ => Err(format!("unknown workload {raw:?}")),
         }
     }
@@ -126,6 +180,12 @@ impl WorkloadSpec {
             WorkloadSpec::Uniform { domain } => format!("uniform:{domain}"),
             WorkloadSpec::Zipf { domain, s } => format!("zipf:{domain}:{s}"),
             WorkloadSpec::Split { minor_count } => format!("split:{minor_count}"),
+            WorkloadSpec::HotKey {
+                clients,
+                s,
+                hot,
+                bias,
+            } => format!("hotkey:{clients}:{s}:{hot}:{bias}"),
         }
     }
 }
@@ -865,6 +925,31 @@ mod tests {
             batch: 4
         }
         .is_off());
+    }
+
+    #[test]
+    fn hotkey_workload_parses_round_trips_and_generates() {
+        let spec = WorkloadSpec::parse("hotkey:1000:1.2:0.9:0.1").unwrap();
+        assert_eq!(
+            spec,
+            WorkloadSpec::HotKey {
+                clients: 1000,
+                s: 1.2,
+                hot: 0.9,
+                bias: 0.1,
+            }
+        );
+        assert_eq!(WorkloadSpec::parse(&spec.flag()).unwrap(), spec);
+        let gen = spec.generator();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let input = gen.generate(13, &mut rng);
+        assert!(input.as_slice().iter().all(|v| *v < 1000));
+        // Hot mass dominates at hot = 0.9.
+        assert!(input.count_of(&0) >= 7, "{input:?}");
+
+        assert!(WorkloadSpec::parse("hotkey:0:1:0.5:0.5").is_err());
+        assert!(WorkloadSpec::parse("hotkey:10:1:1.5:0").is_err());
+        assert!(WorkloadSpec::parse("hotkey:10:1:0.5").is_err());
     }
 
     #[test]

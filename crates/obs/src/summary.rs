@@ -1,0 +1,185 @@
+//! Per-run decide summaries — extraction without retention.
+//!
+//! A campaign runs thousands of seeds; keeping every run's full event
+//! trace alive just to count decisions would dwarf the runs themselves.
+//! [`DecideSummary`] is the streaming alternative: it folds an event
+//! stream down to the handful of numbers the campaign aggregator needs —
+//! per-scheme decision counts and each decider's first-decision depth and
+//! latency — in O(1) state per process, so the trace can be dropped (or
+//! never materialized) the moment the fold finishes.
+
+use crate::checker::RunTrace;
+use crate::event::{Event, EventKind, Scheme};
+
+/// One correct process's first decision, as seen in its event stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecideRecord {
+    /// The process index.
+    pub process: u16,
+    /// The mechanism that produced the decision.
+    pub scheme: Scheme,
+    /// Causal step depth at the decision.
+    pub depth: u32,
+    /// Virtual-time latency of the decision.
+    pub latency: u64,
+}
+
+/// Streaming fold of decide events: scheme counts plus one
+/// [`DecideRecord`] per deciding process (first decision wins, matching
+/// the protocols' decide-once discipline).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DecideSummary {
+    /// One-step (P1) decisions.
+    pub one_step: u32,
+    /// Two-step (P2) decisions.
+    pub two_step: u32,
+    /// Decisions adopted from the underlying consensus.
+    pub fallback: u32,
+    /// First decision of each deciding process, in process-id order.
+    pub decisions: Vec<DecideRecord>,
+}
+
+impl DecideSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        DecideSummary::default()
+    }
+
+    /// Folds one process's event stream in. Only the first `Decide` event
+    /// counts; everything else is skipped in O(1) per event.
+    pub fn fold_process<'a>(&mut self, process: u16, events: impl IntoIterator<Item = &'a Event>) {
+        for ev in events {
+            if let EventKind::Decide { scheme, .. } = ev.kind {
+                match scheme {
+                    Scheme::OneStep => self.one_step += 1,
+                    Scheme::TwoStep => self.two_step += 1,
+                    Scheme::Fallback => self.fallback += 1,
+                }
+                self.decisions.push(DecideRecord {
+                    process,
+                    scheme,
+                    depth: ev.depth,
+                    latency: ev.at,
+                });
+                return;
+            }
+        }
+    }
+
+    /// Summarizes a finished trace, excluding the processes its metadata
+    /// marks faulty (their streams are adversarial noise).
+    pub fn from_trace(trace: &RunTrace) -> Self {
+        let mut summary = DecideSummary::new();
+        for p in &trace.processes {
+            if trace.meta.faulty.contains(&p.id) {
+                continue;
+            }
+            summary.fold_process(p.id, &p.events);
+        }
+        summary
+    }
+
+    /// Total decisions folded in.
+    pub fn decided(&self) -> u32 {
+        self.one_step + self.two_step + self.fallback
+    }
+
+    /// Decisions on an expedited path (one- or two-step) — the numerator
+    /// of the campaign's fast-decision rate.
+    pub fn fast(&self) -> u32 {
+        self.one_step + self.two_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{ProcessTrace, SchemeRules, TraceMeta};
+
+    fn decide(at: u64, depth: u32, scheme: Scheme) -> Event {
+        Event {
+            at,
+            depth,
+            kind: EventKind::Decide { scheme, code: 1 },
+        }
+    }
+
+    fn send(at: u64) -> Event {
+        Event {
+            at,
+            depth: 0,
+            kind: EventKind::Send { to: 0 },
+        }
+    }
+
+    #[test]
+    fn fold_takes_the_first_decision_only() {
+        let mut s = DecideSummary::new();
+        s.fold_process(
+            3,
+            &[
+                send(1),
+                decide(5, 1, Scheme::OneStep),
+                decide(9, 2, Scheme::Fallback),
+            ],
+        );
+        assert_eq!(s.one_step, 1);
+        assert_eq!(s.fallback, 0);
+        assert_eq!(
+            s.decisions,
+            vec![DecideRecord {
+                process: 3,
+                scheme: Scheme::OneStep,
+                depth: 1,
+                latency: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn undecided_streams_contribute_nothing() {
+        let mut s = DecideSummary::new();
+        s.fold_process(0, &[send(1), send(2)]);
+        assert_eq!(s.decided(), 0);
+        assert!(s.decisions.is_empty());
+    }
+
+    #[test]
+    fn from_trace_excludes_faulty_processes() {
+        let meta = TraceMeta {
+            seed: 0,
+            n: 3,
+            t: 1,
+            algo: "dex-freq".into(),
+            rules: SchemeRules::Frequency,
+            faulty: vec![2],
+            legend: Vec::new(),
+            chaos: None,
+            pipeline: None,
+        };
+        let trace = RunTrace {
+            meta,
+            processes: vec![
+                ProcessTrace {
+                    id: 0,
+                    events: vec![decide(4, 1, Scheme::OneStep)],
+                },
+                ProcessTrace {
+                    id: 1,
+                    events: vec![decide(7, 2, Scheme::TwoStep)],
+                },
+                ProcessTrace {
+                    id: 2,
+                    events: vec![decide(2, 1, Scheme::OneStep)], // faulty: ignored
+                },
+            ],
+        };
+        let s = DecideSummary::from_trace(&trace);
+        assert_eq!((s.one_step, s.two_step, s.fallback), (1, 1, 0));
+        assert_eq!(s.fast(), 2);
+        assert_eq!(s.decided(), 2);
+        assert_eq!(s.decisions.len(), 2);
+        assert_eq!(s.decisions[0].process, 0);
+        assert_eq!(s.decisions[1].latency, 7);
+    }
+}

@@ -175,7 +175,7 @@ mod tests {
     use super::*;
     use dex_types::Dest;
     use dex_underlying::Outbox;
-    use rand::{rngs::StdRng, SeedableRng};
+    use rand::rngs::StdRng;
 
     fn cfg() -> SystemConfig {
         SystemConfig::new(7, 1).unwrap()

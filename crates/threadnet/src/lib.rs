@@ -586,15 +586,19 @@ mod tests {
             type Msg = u32;
             fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
                 if ctx.me() == ProcessId::new(0) {
+                    // The long timer dwarfs the short one by two orders of
+                    // magnitude so the chained timer armed by tick 1 still
+                    // fires first even when a loaded scheduler delays the
+                    // tick-1 handler by hundreds of milliseconds.
                     ctx.send_self_after(5_000, 1); // 5 ms
-                    ctx.send_self_after(60_000, 2); // 60 ms
+                    ctx.send_self_after(500_000, 2); // 500 ms
                 }
             }
             fn on_message(&mut self, from: ProcessId, msg: &u32, ctx: &mut Context<'_, u32>) {
                 assert_eq!(from, ctx.me(), "timer ticks are local");
                 self.fired.push((*msg, ctx.depth()));
                 if *msg == 1 {
-                    // Chained timer: fires well before the 60 ms one.
+                    // Chained timer: fires well before the 500 ms one.
                     ctx.send_self_after(1_000, 3);
                 }
             }
@@ -608,7 +612,7 @@ mod tests {
                 timeout: Duration::from_secs(10),
             },
         );
-        // Quiescence had to wait for the 60 ms timer: the run is only
+        // Quiescence had to wait for the 500 ms timer: the run is only
         // quiescent because every pending timer fired.
         assert!(result.quiescent);
         assert_eq!(result.delivered, 3);

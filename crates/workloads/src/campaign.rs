@@ -1,0 +1,395 @@
+//! Million-client campaign workload model.
+//!
+//! The paper's average-case claim is about *populations*, not single input
+//! vectors: a replicated service fronting millions of clients sees skewed
+//! request popularity (a few hot keys dominate), contention that varies
+//! over time (calm traffic, flash crowds, dispersal), and per-replica bias
+//! (each replica tends to propose requests from its own region first).
+//! This module models exactly that and compiles it down to the repo's
+//! deterministic seeded [`InputGenerator`] machinery, so a campaign over
+//! thousands of seeds is still replayable run by run.
+//!
+//! Three layers:
+//!
+//! * [`PopulationModel`] — the symbolic description: client count, Zipf
+//!   popularity skew, extra hot-key mass, per-process proposal bias.
+//! * [`ClientPopulation`] — the *compiled* sampler: the Zipf cumulative
+//!   table over all clients is precomputed **once** (O(clients)) and every
+//!   per-proposal draw is then a binary search (O(log clients)). A million
+//!   clients costs one 8 MB table per phase, not per run.
+//! * [`ContentionPhase`] / [`PhaseSchedule`] — time-varying contention: a
+//!   campaign's run sequence walks through phases (e.g. calm → flash crowd
+//!   → dispersed), each with its own population model; the phase of run
+//!   `i` is a pure function of `i`.
+//!
+//! Determinism: a compiled population draws only from the `StdRng` handed
+//! to [`generate`](InputGenerator::generate); the cumulative table is a
+//! pure function of the model. Same seed ⇒ same input vector, regardless
+//! of which worker thread runs the sample (pinned by the proptest suite in
+//! `tests/prop_campaign.rs`).
+
+use crate::InputGenerator;
+use dex_types::InputVector;
+use rand::rngs::StdRng;
+
+/// Symbolic description of a client population: who proposes what, how
+/// often, and how contended it is.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PopulationModel {
+    /// Number of distinct client request ids (the proposal-value domain).
+    pub clients: u64,
+    /// Zipf popularity exponent over client ranks (`s → 0` uniform chaos,
+    /// large `s` one dominant request).
+    pub skew: f64,
+    /// Extra probability mass pinned on the single hottest id — the
+    /// "everyone sees the same breaking request" regime, layered on top of
+    /// the Zipf tail.
+    pub hot: f64,
+    /// Probability that a process proposes its *own* preferred client id
+    /// (a deterministic per-process "home" key) instead of a popularity
+    /// draw — regional bias working against convergence.
+    pub bias: f64,
+}
+
+impl PopulationModel {
+    /// A calm, convergent population: strong hot key, little bias.
+    pub const CALM: PopulationModel = PopulationModel {
+        clients: 1_000_000,
+        skew: 1.2,
+        hot: 0.9,
+        bias: 0.0,
+    };
+
+    /// A contended flash-crowd population: several keys competing, some
+    /// regional bias.
+    pub const CONTENDED: PopulationModel = PopulationModel {
+        clients: 1_000_000,
+        skew: 0.8,
+        hot: 0.3,
+        bias: 0.2,
+    };
+
+    /// A dispersed population: weak skew, strong bias — the worst case for
+    /// any fast path.
+    pub const DISPERSED: PopulationModel = PopulationModel {
+        clients: 1_000_000,
+        skew: 0.2,
+        hot: 0.0,
+        bias: 0.5,
+    };
+
+    /// Compiles the model into a sampler, precomputing the Zipf cumulative
+    /// table. Do this once per phase, not per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty client population or probabilities outside
+    /// `[0, 1]`.
+    pub fn compile(&self) -> ClientPopulation {
+        assert!(self.clients > 0, "population must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&self.hot),
+            "hot probability out of [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.bias),
+            "bias probability out of [0, 1]"
+        );
+        // Cumulative (unnormalized) Zipf mass over ranks 1..=clients, in a
+        // fixed summation order so the table is bit-reproducible.
+        let mut cumulative = Vec::with_capacity(self.clients as usize);
+        let mut total = 0.0;
+        for rank in 1..=self.clients {
+            total += 1.0 / (rank as f64).powf(self.skew);
+            cumulative.push(total);
+        }
+        ClientPopulation {
+            model: *self,
+            cumulative,
+        }
+    }
+}
+
+/// A compiled [`PopulationModel`]: the shared, read-only sampler a whole
+/// campaign phase draws its input vectors from.
+#[derive(Clone, Debug)]
+pub struct ClientPopulation {
+    model: PopulationModel,
+    /// `cumulative[k]` = unnormalized Zipf mass of ranks `1..=k+1`; the
+    /// last entry is the total mass.
+    cumulative: Vec<f64>,
+}
+
+impl ClientPopulation {
+    /// The model this sampler was compiled from.
+    pub fn model(&self) -> &PopulationModel {
+        &self.model
+    }
+
+    /// The deterministic "home" client id of process `i` — the key its
+    /// bias draws propose. Spread multiplicatively so neighbouring
+    /// processes do not share a home key.
+    pub fn home(&self, process: usize) -> u64 {
+        (process as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1)
+            % self.model.clients
+    }
+
+    /// One popularity draw: client id in `0..clients`, id 0 being the
+    /// hottest rank.
+    fn draw_popular(&self, rng: &mut StdRng) -> u64 {
+        let total = *self.cumulative.last().expect("non-empty population");
+        let x = rng.next_f64() * total;
+        self.cumulative.partition_point(|&c| c <= x) as u64
+    }
+
+    /// One proposal of process `i`: bias draw, then hot-key draw, then the
+    /// Zipf tail. Exactly three RNG decisions per proposal, in a fixed
+    /// order, so replay is trivially stable.
+    pub fn propose(&self, process: usize, rng: &mut StdRng) -> u64 {
+        let biased = rng.random_bool(self.model.bias);
+        let hot = rng.random_bool(self.model.hot);
+        let zipf = self.draw_popular(rng);
+        if biased {
+            self.home(process)
+        } else if hot {
+            0
+        } else {
+            zipf
+        }
+    }
+}
+
+impl InputGenerator for ClientPopulation {
+    fn generate(&self, n: usize, rng: &mut StdRng) -> InputVector<u64> {
+        (0..n).map(|i| self.propose(i, rng)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "population(|C|={}, s={:.2}, hot={:.2}, bias={:.2})",
+            self.model.clients, self.model.skew, self.model.hot, self.model.bias
+        )
+    }
+}
+
+/// One stretch of a campaign's run sequence with a fixed population model.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ContentionPhase {
+    /// Short label for artifacts and reports (e.g. `"calm"`).
+    pub label: String,
+    /// The population active during this phase.
+    pub model: PopulationModel,
+    /// How many consecutive runs the phase covers (must be ≥ 1).
+    pub runs: usize,
+}
+
+impl ContentionPhase {
+    /// Convenience constructor.
+    pub fn new(label: &str, model: PopulationModel, runs: usize) -> Self {
+        assert!(runs > 0, "a phase must cover at least one run");
+        ContentionPhase {
+            label: label.to_string(),
+            model,
+            runs,
+        }
+    }
+}
+
+/// A cyclic schedule of contention phases over a campaign's run indices.
+///
+/// Run `i` belongs to the phase containing `i mod total_runs()` — the
+/// schedule tiles an arbitrarily long seed sequence, so "2 000 seeds of
+/// calm/crowd/dispersed in proportion 2:1:1" is one schedule regardless of
+/// the campaign's size.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PhaseSchedule {
+    phases: Vec<ContentionPhase>,
+}
+
+impl PhaseSchedule {
+    /// Builds a schedule from its phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty phase list.
+    pub fn new(phases: Vec<ContentionPhase>) -> Self {
+        assert!(!phases.is_empty(), "a schedule needs at least one phase");
+        PhaseSchedule { phases }
+    }
+
+    /// The canonical three-phase day: calm traffic, a flash crowd, then
+    /// dispersal, in proportion 2:1:1.
+    pub fn canonical(runs_per_cycle: usize) -> Self {
+        assert!(
+            runs_per_cycle >= 4,
+            "the canonical cycle needs ≥ 4 runs (2:1:1 split)"
+        );
+        let quarter = runs_per_cycle / 4;
+        PhaseSchedule::new(vec![
+            ContentionPhase::new("calm", PopulationModel::CALM, runs_per_cycle - 2 * quarter),
+            ContentionPhase::new("crowd", PopulationModel::CONTENDED, quarter),
+            ContentionPhase::new("dispersed", PopulationModel::DISPERSED, quarter),
+        ])
+    }
+
+    /// The phases, in schedule order.
+    pub fn phases(&self) -> &[ContentionPhase] {
+        &self.phases
+    }
+
+    /// Length of one schedule cycle in runs.
+    pub fn cycle_runs(&self) -> usize {
+        self.phases.iter().map(|p| p.runs).sum()
+    }
+
+    /// The phase index of run `i` (cyclic).
+    pub fn phase_index(&self, run: usize) -> usize {
+        let mut offset = run % self.cycle_runs();
+        for (idx, phase) in self.phases.iter().enumerate() {
+            if offset < phase.runs {
+                return idx;
+            }
+            offset -= phase.runs;
+        }
+        unreachable!("offset < cycle_runs by construction")
+    }
+
+    /// The phase of run `i` (cyclic).
+    pub fn phase_at(&self, run: usize) -> &ContentionPhase {
+        &self.phases[self.phase_index(run)]
+    }
+
+    /// Compiles every phase's population once, in schedule order — the
+    /// shared read-only samplers a campaign's workers draw from.
+    pub fn compile(&self) -> Vec<ClientPopulation> {
+        self.phases.iter().map(|p| p.model.compile()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn compiled_population_is_deterministic_per_seed() {
+        let pop = PopulationModel::CONTENDED.compile();
+        let a = pop.generate(13, &mut rng(7));
+        let b = pop.generate(13, &mut rng(7));
+        assert_eq!(a, b);
+        // A fresh compilation of the same model draws identically too.
+        let again = PopulationModel::CONTENDED.compile();
+        assert_eq!(again.generate(13, &mut rng(7)), a);
+    }
+
+    #[test]
+    fn hot_mass_concentrates_on_the_hottest_id() {
+        let pop = PopulationModel {
+            clients: 1000,
+            skew: 1.0,
+            hot: 0.9,
+            bias: 0.0,
+        }
+        .compile();
+        let input = pop.generate(500, &mut rng(3));
+        // 90% pinned hot mass plus the Zipf head: id 0 dominates clearly.
+        assert!(input.count_of(&0) > 400, "got {}", input.count_of(&0));
+    }
+
+    #[test]
+    fn bias_proposes_the_per_process_home_key() {
+        let pop = PopulationModel {
+            clients: 1_000_000,
+            skew: 1.0,
+            hot: 0.0,
+            bias: 1.0,
+        }
+        .compile();
+        let input = pop.generate(9, &mut rng(4));
+        for (i, v) in input.as_slice().iter().enumerate() {
+            assert_eq!(*v, pop.home(i), "process {i}");
+        }
+        // Home keys are spread: no two of the first 9 processes collide.
+        let mut homes: Vec<u64> = (0..9).map(|i| pop.home(i)).collect();
+        homes.sort_unstable();
+        homes.dedup();
+        assert_eq!(homes.len(), 9);
+    }
+
+    #[test]
+    fn draws_stay_in_the_client_domain() {
+        let pop = PopulationModel {
+            clients: 17,
+            skew: 0.0,
+            hot: 0.1,
+            bias: 0.1,
+        }
+        .compile();
+        let input = pop.generate(200, &mut rng(5));
+        assert!(input.as_slice().iter().all(|v| *v < 17));
+    }
+
+    #[test]
+    fn zero_skew_is_near_uniform() {
+        let pop = PopulationModel {
+            clients: 10,
+            skew: 0.0,
+            hot: 0.0,
+            bias: 0.0,
+        }
+        .compile();
+        let input = pop.generate(1000, &mut rng(6));
+        let max = (0..10).map(|v| input.count_of(&v)).max().unwrap();
+        assert!(max < 200, "got {max}");
+    }
+
+    #[test]
+    fn phase_schedule_boundaries_are_exact() {
+        let sched = PhaseSchedule::new(vec![
+            ContentionPhase::new("a", PopulationModel::CALM, 3),
+            ContentionPhase::new("b", PopulationModel::CONTENDED, 1),
+            ContentionPhase::new("c", PopulationModel::DISPERSED, 2),
+        ]);
+        assert_eq!(sched.cycle_runs(), 6);
+        // Exact boundaries: runs 0-2 → a, 3 → b, 4-5 → c.
+        let expect = [0, 0, 0, 1, 2, 2];
+        for (run, want) in expect.iter().enumerate() {
+            assert_eq!(sched.phase_index(run), *want, "run {run}");
+        }
+        // Cyclic: the second cycle repeats the first exactly.
+        for run in 0..6 {
+            assert_eq!(sched.phase_index(run + 6), sched.phase_index(run));
+        }
+        assert_eq!(sched.phase_at(3).label, "b");
+        assert_eq!(sched.phase_at(5).label, "c");
+    }
+
+    #[test]
+    fn canonical_schedule_splits_two_one_one() {
+        let sched = PhaseSchedule::canonical(8);
+        assert_eq!(sched.cycle_runs(), 8);
+        assert_eq!(sched.phases().len(), 3);
+        assert_eq!(sched.phase_at(0).label, "calm");
+        assert_eq!(sched.phase_at(3).label, "calm");
+        assert_eq!(sched.phase_at(4).label, "crowd");
+        assert_eq!(sched.phase_at(6).label, "dispersed");
+        assert_eq!(sched.compile().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_is_rejected() {
+        let _ = PhaseSchedule::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_phase_is_rejected() {
+        let _ = ContentionPhase::new("x", PopulationModel::CALM, 0);
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`ZipfRequests`] — replicated-state-machine request contention: values
 //!   are client request ids drawn from a Zipf distribution; the skew `s`
 //!   controls how often all replicas see the same hot request (§1.1).
+//! * [`campaign`] — the million-client population model behind the
+//!   `dex-campaign` testbed sweeps: precompiled Zipf popularity tables,
+//!   hot-key mass, per-process proposal bias, and time-varying
+//!   [`ContentionPhase`] schedules.
 //!
 //! # Examples
 //!
@@ -37,8 +41,10 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod campaign;
 
 pub use batch::{chunk_batches, slot_batches, ClientStream};
+pub use campaign::{ClientPopulation, ContentionPhase, PhaseSchedule, PopulationModel};
 
 use dex_types::InputVector;
 use rand::rngs::StdRng;

@@ -1,0 +1,114 @@
+//! Property-based tests of the campaign population model: per-seed
+//! determinism of the Zipf/hot-key generator, domain containment, the
+//! hot-mass and bias knobs, and exactness of contention-phase schedule
+//! boundaries for arbitrary schedules.
+
+use dex_workloads::{ContentionPhase, InputGenerator, PhaseSchedule, PopulationModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+
+fn model_strategy() -> impl Strategy<Value = PopulationModel> {
+    (1u64..5_000, 0.0f64..2.0, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(clients, skew, hot, bias)| {
+        PopulationModel {
+            clients,
+            skew,
+            hot,
+            bias,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn population_draws_are_deterministic_per_seed(
+        model in model_strategy(),
+        n in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let population = model.compile();
+        let a = population.generate(n, &mut StdRng::seed_from_u64(seed));
+        let b = population.generate(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn population_draws_stay_inside_the_client_domain(
+        model in model_strategy(),
+        n in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let clients = model.clients;
+        let input = model.compile().generate(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(input.as_slice().iter().all(|&v| v < clients));
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ(
+        // Full hot mass or full bias pins every draw; the strategy stays
+        // clear of both, and of tiny domains where collisions are cheap.
+        model in (101u64..5_000, 0.0f64..2.0, 0.0f64..0.85, 0.0f64..0.85).prop_map(
+            |(clients, skew, hot, bias)| PopulationModel { clients, skew, hot, bias },
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let population = model.compile();
+        let base = population.generate(16, &mut StdRng::seed_from_u64(seed));
+        let differs = (1..=20).any(|off| {
+            population.generate(16, &mut StdRng::seed_from_u64(seed + off)) != base
+        });
+        prop_assert!(differs, "20 consecutive seeds drew identical vectors");
+    }
+
+    #[test]
+    fn full_bias_sends_every_process_to_its_home_key(
+        clients in 100u64..100_000,
+        n in 2usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let model = PopulationModel { clients, skew: 1.0, hot: 0.5, bias: 1.0 };
+        let population = model.compile();
+        let input = population.generate(n, &mut StdRng::seed_from_u64(seed));
+        for (i, v) in input.as_slice().iter().enumerate() {
+            prop_assert_eq!(*v, population.home(i));
+        }
+    }
+
+    #[test]
+    fn phase_boundaries_are_exact_for_arbitrary_schedules(
+        lens in proptest::collection::vec(1usize..6, 1..5),
+        probe in 0usize..200,
+    ) {
+        let phases: Vec<ContentionPhase> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &runs)| {
+                ContentionPhase::new(&format!("phase{i}"), PopulationModel::CALM, runs)
+            })
+            .collect();
+        let schedule = PhaseSchedule::new(phases);
+        let cycle = schedule.cycle_runs();
+        prop_assert_eq!(cycle, lens.iter().sum::<usize>());
+        // phase_index walks the cumulative boundaries, cyclically.
+        let offset = probe % cycle;
+        let mut expected = 0;
+        let mut acc = 0;
+        for (i, &runs) in lens.iter().enumerate() {
+            if offset < acc + runs {
+                expected = i;
+                break;
+            }
+            acc += runs;
+        }
+        prop_assert_eq!(schedule.phase_index(probe), expected);
+        prop_assert_eq!(schedule.phase_index(probe), schedule.phase_index(probe + cycle));
+        prop_assert_eq!(
+            schedule.phase_at(probe).label,
+            format!("phase{expected}")
+        );
+    }
+}

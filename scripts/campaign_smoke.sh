@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Campaign-smoke gate: the fixed CI campaign (smoke preset: 4 seeds x
+# {clean + canonical chaos MATRIX} x {silent, equivocate} x both legal
+# dex-freq pairs) run twice at different --jobs counts, cmp-ing the
+# artifacts byte-for-byte — worker count and scheduling order must not
+# leak into the results — and asserting the paper's adaptivity claim on
+# the aggregated curves: the fast-decision rate is monotone non-increasing
+# in f, and strictly higher at some f < t than at f = t on at least one
+# canonical chaos schedule (--assert-monotone-f checks both).
+#
+# Leaves results/campaign_smoke.json and results/campaign_smoke.md behind
+# for CI artifact upload and the step summary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "campaign smoke: --jobs 1"
+cargo run --release -q --bin dex-campaign -- \
+  --config smoke --jobs 1 --out results/campaign_smoke_jobs1.json \
+  --assert-monotone-f > /dev/null
+
+echo "campaign smoke: --jobs 8"
+cargo run --release -q --bin dex-campaign -- \
+  --config smoke --jobs 8 --out results/campaign_smoke.json \
+  --summary-md results/campaign_smoke.md --assert-monotone-f
+
+echo "campaign determinism: --jobs 1 vs --jobs 8, byte-identical artifact"
+cmp results/campaign_smoke.json results/campaign_smoke_jobs1.json
+rm -f results/campaign_smoke_jobs1.json
+
+echo "campaign smoke OK"

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: formatting, lints, a warning-free release build, the full
-# test suite, example smoke runs, a determinism check of the --trace
-# artifact, the chaos acceptance matrix, the crash-recovery matrix, a
-# criterion smoke run of the view-algebra microbenchmarks, and the
-# bench-regression gate.
+# Tier-1 CI gate, as a stage dispatcher: `ci.sh <stage>` runs one stage,
+# `ci.sh` (or `ci.sh all`) runs the full sequence. CI jobs and humans use
+# the same entrypoints — the workflow matrix in .github/workflows/ci.yml
+# fans these exact stages out as jobs.
+#
+# Stages:
+#   lint             cargo fmt --check + clippy -D warnings (first-party)
+#   build            warning-free release build of the workspace + examples
+#   test             full test suite, example smokes, trace determinism
+#   chaos-matrix     chaos schedules x seeds through the invariant checker
+#   recovery-matrix  crash-restart recovery: WAL + catch-up + resend
+#   campaign-smoke   fixed campaign twice at different --jobs, cmp + curves
+#   bench-gate       criterion smoke + bench-regression gate vs baselines
+#   all              everything above, in order (the default)
 #
 # The workspace builds fully offline: every external dependency is vendored
 # as a path crate under vendor/ and pinned by the committed Cargo.lock.
@@ -13,50 +22,96 @@ cd "$(dirname "$0")/.."
 # Lints gate first-party code only; vendored stand-ins are checked as-is.
 FIRST_PARTY=(--workspace --exclude criterion --exclude crossbeam --exclude proptest --exclude rand)
 
-echo "== fmt"
-cargo fmt --all -- --check
+stage_lint() {
+  echo "== fmt"
+  cargo fmt --all -- --check
 
-echo "== clippy"
-cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
+  echo "== clippy"
+  cargo clippy "${FIRST_PARTY[@]}" --all-targets -- -D warnings
+}
 
-echo "== build (release, deny warnings)"
-RUSTFLAGS="-D warnings" cargo build --release --workspace
+stage_build() {
+  echo "== build (release, deny warnings)"
+  RUSTFLAGS="-D warnings" cargo build --release --workspace
 
-echo "== build examples (deny warnings)"
-RUSTFLAGS="-D warnings" cargo build --release --examples
+  echo "== build examples (deny warnings)"
+  RUSTFLAGS="-D warnings" cargo build --release --examples
+}
 
-echo "== test"
-cargo test -q --workspace
+stage_test() {
+  echo "== test"
+  cargo test -q --workspace
 
-echo "== example smoke: quickstart, equivocation_demo"
-cargo run --release -q --example quickstart > /dev/null
-cargo run --release -q --example equivocation_demo > /dev/null
+  echo "== example smoke: quickstart, equivocation_demo"
+  cargo run --release -q --example quickstart > /dev/null
+  cargo run --release -q --example equivocation_demo > /dev/null
 
-echo "== trace determinism: multicast fast path vs eager expansion"
-cargo test -q -p dex-simnet --test prop_multicast
+  echo "== trace determinism: multicast fast path vs eager expansion"
+  cargo test -q -p dex-simnet --test prop_multicast
 
-echo "== trace determinism: dex-sim --trace twice, byte-identical artifact"
-TRACE_ARGS=(--n 7 --t 1 --algo dex-freq --workload bernoulli:0.8 --f 1
-            --adversary equivocate --runs 3 --seed 31 --trace)
-rm -f results/trace_31.json results/trace_31.first.json
-cargo run --release -q --bin dex-sim -- "${TRACE_ARGS[@]}" > /dev/null
-mv results/trace_31.json results/trace_31.first.json
-cargo run --release -q --bin dex-sim -- "${TRACE_ARGS[@]}" > /dev/null
-cmp results/trace_31.json results/trace_31.first.json
-rm -f results/trace_31.json results/trace_31.first.json
+  echo "== trace determinism: dex-sim --trace twice, byte-identical artifact"
+  local trace_args=(--n 7 --t 1 --algo dex-freq --workload bernoulli:0.8 --f 1
+                    --adversary equivocate --runs 3 --seed 31 --trace)
+  rm -f results/trace_31.json results/trace_31.first.json
+  cargo run --release -q --bin dex-sim -- "${trace_args[@]}" > /dev/null
+  mv results/trace_31.json results/trace_31.first.json
+  cargo run --release -q --bin dex-sim -- "${trace_args[@]}" > /dev/null
+  cmp results/trace_31.json results/trace_31.first.json
+  rm -f results/trace_31.json results/trace_31.first.json
+}
 
-echo "== chaos matrix: 8 seeds x 4 schedules through the invariant checker"
-./scripts/chaos_matrix.sh
+stage_chaos_matrix() {
+  echo "== chaos matrix: 8 seeds x 4 schedules through the invariant checker"
+  ./scripts/chaos_matrix.sh
+}
 
-echo "== recovery matrix: crash-restart x seeds, WAL + catch-up + resend"
-./scripts/recovery_matrix.sh
+stage_recovery_matrix() {
+  echo "== recovery matrix: crash-restart x seeds, WAL + catch-up + resend"
+  ./scripts/recovery_matrix.sh
+}
 
-echo "== bench smoke: view_ops"
-# CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads it
-# per sample (see vendor/criterion).
-CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
+stage_campaign_smoke() {
+  echo "== campaign smoke: fixed sweep twice at different --jobs, cmp + rate curves"
+  ./scripts/campaign_smoke.sh
+}
 
-echo "== bench gate: view-tally + simnet + pipeline speedups vs committed baselines"
-./scripts/bench_check.sh
+stage_bench_gate() {
+  echo "== bench smoke: view_ops"
+  # CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads
+  # it per sample (see vendor/criterion).
+  CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
 
-echo "== ci OK"
+  echo "== bench gate: view-tally + simnet + pipeline speedups vs committed baselines"
+  ./scripts/bench_check.sh
+}
+
+usage() {
+  sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+}
+
+stage="${1:-all}"
+case "$stage" in
+  lint) stage_lint ;;
+  build) stage_build ;;
+  test) stage_test ;;
+  chaos-matrix) stage_chaos_matrix ;;
+  recovery-matrix) stage_recovery_matrix ;;
+  campaign-smoke) stage_campaign_smoke ;;
+  bench-gate) stage_bench_gate ;;
+  all)
+    stage_lint
+    stage_build
+    stage_test
+    stage_chaos_matrix
+    stage_recovery_matrix
+    stage_campaign_smoke
+    stage_bench_gate
+    echo "== ci OK"
+    ;;
+  -h|--help|help) usage ;;
+  *)
+    echo "unknown stage '$stage'" >&2
+    usage >&2
+    exit 2
+    ;;
+esac

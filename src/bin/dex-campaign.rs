@@ -1,0 +1,228 @@
+//! `dex-campaign` — the million-client testbed sweep driver.
+//!
+//! ```text
+//! cargo run --release --bin dex-campaign -- --config smoke --jobs 8
+//! ```
+//!
+//! Runs a [`CampaignSpec`] — a grid of seeds × contention phases ×
+//! adversaries × chaos schedules × legal `(n, t)` pairs — on a pool of
+//! worker threads and writes the byte-stable artifact
+//! `results/campaign_<config>.json` plus (optionally) a markdown summary
+//! table. The artifact is identical for any `--jobs` value; CI pins this
+//! by running the smoke campaign twice and `cmp`-ing the bytes.
+//!
+//! Flags (all optional):
+//!
+//! | flag | meaning | default |
+//! |---|---|---|
+//! | `--config <name>` | campaign preset: `smoke`, `standard` | `smoke` |
+//! | `--seeds <n>` | override runs per grid cell | preset value |
+//! | `--seed0 <s>` | override the base seed | preset value |
+//! | `--jobs <n>` | worker threads | available parallelism |
+//! | `--out <path>` | artifact path | `results/campaign_<config>.json` |
+//! | `--summary-md <path>` | also write the markdown rate table here | off |
+//! | `--assert-monotone-f` | fail unless fast rates are monotone non-increasing in `f` *and* strictly adaptive (higher at some `f < t` than at `f = t`) in ≥ 1 group | off |
+//! | `--replay <cell> <run>` | print the equivalent single-run `dex-sim` flags for one grid point and exit | off |
+//!
+//! Exit codes: `0` success, `1` campaign failure (safety violation or a
+//! failed `--assert-monotone-f` audit), `2` bad flags.
+
+use dex::harness::campaign::{run_campaign, CampaignSpec};
+use std::process::ExitCode;
+
+struct Options {
+    spec: CampaignSpec,
+    jobs: usize,
+    out: Option<String>,
+    summary_md: Option<String>,
+    assert_monotone: bool,
+    replay: Option<(usize, usize)>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut config = "smoke".to_string();
+    let mut seeds: Option<usize> = None;
+    let mut seed0: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut out = None;
+    let mut summary_md = None;
+    let mut assert_monotone = false;
+    let mut replay = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--config" => config = value("a preset name")?.clone(),
+            "--seeds" => {
+                seeds = Some(
+                    value("a count")?
+                        .parse()
+                        .map_err(|_| format!("bad count in {flag}"))?,
+                )
+            }
+            "--seed0" => {
+                seed0 = Some(
+                    value("a seed")?
+                        .parse()
+                        .map_err(|_| format!("bad seed in {flag}"))?,
+                )
+            }
+            "--jobs" => {
+                jobs = Some(
+                    value("a thread count")?
+                        .parse()
+                        .map_err(|_| format!("bad thread count in {flag}"))?,
+                )
+            }
+            "--out" => out = Some(value("a path")?.clone()),
+            "--summary-md" => summary_md = Some(value("a path")?.clone()),
+            "--assert-monotone-f" => assert_monotone = true,
+            "--replay" => {
+                let cell = value("a cell index")?
+                    .parse()
+                    .map_err(|_| "bad cell index in --replay".to_string())?;
+                let run = it
+                    .next()
+                    .ok_or("--replay needs <cell> <run>")?
+                    .parse()
+                    .map_err(|_| "bad run index in --replay".to_string())?;
+                replay = Some((cell, run));
+            }
+            _ => return Err(format!("unknown flag {flag:?}")),
+        }
+    }
+    let mut spec = CampaignSpec::by_name(&config)
+        .ok_or_else(|| format!("unknown campaign config {config:?} (try smoke, standard)"))?;
+    if let Some(s) = seeds {
+        spec.seeds = s;
+    }
+    if let Some(s) = seed0 {
+        spec.seed0 = s;
+    }
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(Options {
+        spec,
+        jobs,
+        out,
+        summary_md,
+        assert_monotone,
+        replay,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") {
+        println!("see the module docs at the top of src/bin/dex-campaign.rs for the flag table");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = opts.spec.validate() {
+        eprintln!("invalid campaign: {e}");
+        return ExitCode::from(2);
+    }
+    if let Some((cell_idx, run)) = opts.replay {
+        let cells = opts.spec.cells();
+        let Some(cell) = cells.get(cell_idx) else {
+            eprintln!(
+                "cell {cell_idx} out of range (grid has {} cells)",
+                cells.len()
+            );
+            return ExitCode::from(2);
+        };
+        if run >= opts.spec.seeds {
+            eprintln!(
+                "run {run} out of range (campaign has {} seeds)",
+                opts.spec.seeds
+            );
+            return ExitCode::from(2);
+        }
+        let replay = opts.spec.runspec_for(cell, run);
+        println!("dex-sim {}", replay.to_args().join(" "));
+        return ExitCode::SUCCESS;
+    }
+    let grid = opts.spec.cells().len();
+    println!(
+        "campaign {} | {} cells × {} seeds = {} runs | {} jobs",
+        opts.spec.name,
+        grid,
+        opts.spec.seeds,
+        grid * opts.spec.seeds,
+        opts.jobs,
+    );
+    let report = match run_campaign(&opts.spec, opts.jobs) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = opts
+        .out
+        .unwrap_or_else(|| format!("results/campaign_{}.json", opts.spec.name));
+    if let Some(dir) = std::path::Path::new(&out)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.render_json()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let markdown = report.summary_markdown();
+    print!("{markdown}");
+    if let Some(path) = &opts.summary_md {
+        if let Err(e) = std::fs::write(path, &markdown) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("artifact: {out}");
+    if report.agreement_violations() > 0 {
+        eprintln!(
+            "AGREEMENT VIOLATIONS: {} runs disagreed",
+            report.agreement_violations()
+        );
+        return ExitCode::FAILURE;
+    }
+    let audit = report.check_f_monotonicity();
+    println!(
+        "f-monotonicity: {} violations, {} strictly adaptive groups ({} on canonical chaos)",
+        audit.violations.len(),
+        audit.strict,
+        audit.strict_canonical,
+    );
+    if opts.assert_monotone {
+        for v in &audit.violations {
+            eprintln!("monotonicity violation: {v}");
+        }
+        if !audit.monotone() {
+            eprintln!("FAIL: fast-decision rate rose with f");
+            return ExitCode::FAILURE;
+        }
+        if audit.strict == 0 {
+            eprintln!("FAIL: no group showed a strictly higher fast rate at f < t than at f = t");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
