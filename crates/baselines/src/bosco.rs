@@ -1,8 +1,9 @@
 //! The Bosco one-step Byzantine consensus baseline.
 
+use dex_broadcast::EchoAggregator;
 use dex_obs::{obs_code, EventKind, Recorder, Scheme, ViewTag};
-use dex_simnet::{Actor, Context, Time};
-use dex_types::{ProcessId, StepDepth, SystemConfig, Value, View};
+use dex_simnet::{Actor, Context, MsgClass, Time};
+use dex_types::{Dest, ProcessId, StepDepth, SystemConfig, Value, View};
 use dex_underlying::{Outbox, UnderlyingConsensus};
 use rand::rngs::StdRng;
 
@@ -13,6 +14,35 @@ pub enum BoscoMsg<V, U> {
     Vote(V),
     /// Underlying-consensus traffic.
     Uc(U),
+    /// Aggregated votes, batching identically to the DEX echo batches
+    /// (`DexMsg::EchoBatch`): every vote the sender coalesced in one
+    /// delivery tick, unbatched by receivers in entry order. Bosco emits
+    /// exactly one vote per process, so the compression is trivial — this
+    /// exists for structural parity so every algorithm behind `RunSpec`'s
+    /// aggregation switch batches the same way.
+    VoteBatch(Vec<V>),
+    /// Local flush timer for the vote aggregator (self-addressed, never
+    /// crosses a network link).
+    VoteFlushTick,
+}
+
+/// Classifies Bosco wire traffic for the per-class
+/// [`NetStats`](dex_simnet::NetStats) breakdown.
+pub fn bosco_msg_class<V, U>(msg: &BoscoMsg<V, U>) -> MsgClass {
+    match msg {
+        BoscoMsg::Vote(_) => MsgClass::Init,
+        BoscoMsg::VoteBatch(entries) => MsgClass::Batch(entries.len() as u32),
+        BoscoMsg::Uc(_) | BoscoMsg::VoteFlushTick => MsgClass::Other,
+    }
+}
+
+/// Wire size of Bosco traffic: shallow except for the heap-carried batch.
+pub fn bosco_msg_bytes<V, U>(msg: &BoscoMsg<V, U>) -> usize {
+    let shallow = core::mem::size_of_val(msg);
+    match msg {
+        BoscoMsg::VoteBatch(entries) => shallow + entries.len() * core::mem::size_of::<V>(),
+        _ => shallow,
+    }
 }
 
 /// Which mechanism decided.
@@ -110,6 +140,9 @@ where
     ) -> Option<BoscoDecision<V>> {
         match msg {
             BoscoMsg::Vote(v) => self.on_vote(from, v, rng, out),
+            // Aggregation plumbing is demuxed by the actor layer; the
+            // state machine never sees these variants.
+            BoscoMsg::VoteBatch(_) | BoscoMsg::VoteFlushTick => None,
             BoscoMsg::Uc(m) => {
                 self.uc.on_message(from, m, rng, &mut self.uc_out);
                 forward_uc(&mut self.uc_out, out);
@@ -214,6 +247,9 @@ where
     proposal: V,
     decision: Option<BoscoRecord<V>>,
     obs: Recorder,
+    /// Vote aggregation state; `None` keeps the wire protocol
+    /// byte-identical to pre-aggregation builds.
+    agg: Option<EchoAggregator<ProcessId, V>>,
 }
 
 impl<V, U> BoscoActor<V, U>
@@ -228,6 +264,38 @@ where
             proposal,
             decision: None,
             obs: Recorder::disabled(),
+            agg: None,
+        }
+    }
+
+    /// Turns on vote aggregation: outgoing votes are coalesced per
+    /// delivery tick into [`BoscoMsg::VoteBatch`] multicasts, exactly like
+    /// the DEX echo batches.
+    pub fn enable_aggregation(&mut self) {
+        self.agg = Some(EchoAggregator::new());
+    }
+
+    /// Drains the protocol outbox, diverting `Dest::All` votes into the
+    /// aggregator when aggregation is on (keyed by this process — each
+    /// process votes once, so the key only guards against re-offers).
+    fn flush_agg(
+        &mut self,
+        out: &mut Outbox<BoscoMsg<V, U::Msg>>,
+        ctx: &mut Context<'_, BoscoMsg<V, U::Msg>>,
+    ) {
+        let me = ctx.me();
+        for (dest, m) in out.drain_iter() {
+            match (self.agg.as_mut(), dest, m) {
+                (Some(agg), Dest::All, BoscoMsg::Vote(v)) => {
+                    agg.offer(me, v, ctx.depth().next());
+                }
+                (_, dest, m) => ctx.send_dest(dest, m),
+            }
+        }
+        if let Some(agg) = self.agg.as_mut() {
+            if agg.try_arm() {
+                ctx.send_self_after(1, BoscoMsg::VoteFlushTick);
+            }
         }
     }
 
@@ -266,26 +334,68 @@ where
             });
         }
         self.process.propose(v, ctx.rng(), &mut out);
-        flush(&mut out, ctx);
+        self.flush_agg(&mut out, ctx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
-        // First value wins in the vote view, so only a fresh entry is a
-        // mutation worth recording.
-        if self.obs.is_active() {
-            if let BoscoMsg::Vote(v) = msg {
-                if self.process.votes.get(from).is_none() {
-                    self.obs.record(EventKind::ViewSet {
-                        view: ViewTag::J1,
-                        origin: from.index() as u16,
-                        code: obs_code(v),
-                    });
-                }
-            }
-        }
         let mut out = Outbox::new();
-        let d = self.process.on_message(from, msg, ctx.rng(), &mut out);
-        flush(&mut out, ctx);
+        let d = match msg {
+            BoscoMsg::VoteFlushTick => {
+                // Only our own timer may flush; a forged tick from a peer
+                // must not drain the aggregator.
+                if from != ctx.me() {
+                    return;
+                }
+                // Aggregation off (or a restart raced the timer): nothing
+                // buffered, nothing to send.
+                let Some(agg) = self.agg.as_mut() else { return };
+                for (depth, entries) in agg.take_batches() {
+                    let values: Vec<V> = entries.into_iter().map(|(_, v)| v).collect();
+                    ctx.send_dest_at(Dest::All, BoscoMsg::VoteBatch(values), depth);
+                }
+                return;
+            }
+            BoscoMsg::VoteBatch(values) => {
+                // Unbatch in entry order, feeding each vote through the
+                // exact path an unbatched `Vote` would take (obs peek
+                // included).
+                let mut decision = None;
+                for v in values {
+                    if self.obs.is_active() && self.process.votes.get(from).is_none() {
+                        self.obs.record(EventKind::ViewSet {
+                            view: ViewTag::J1,
+                            origin: from.index() as u16,
+                            code: obs_code(v),
+                        });
+                    }
+                    let d = self.process.on_message(
+                        from,
+                        &BoscoMsg::Vote(v.clone()),
+                        ctx.rng(),
+                        &mut out,
+                    );
+                    decision = decision.or(d);
+                }
+                decision
+            }
+            _ => {
+                // First value wins in the vote view, so only a fresh entry
+                // is a mutation worth recording.
+                if self.obs.is_active() {
+                    if let BoscoMsg::Vote(v) = msg {
+                        if self.process.votes.get(from).is_none() {
+                            self.obs.record(EventKind::ViewSet {
+                                view: ViewTag::J1,
+                                origin: from.index() as u16,
+                                code: obs_code(v),
+                            });
+                        }
+                    }
+                }
+                self.process.on_message(from, msg, ctx.rng(), &mut out)
+            }
+        };
+        self.flush_agg(&mut out, ctx);
         if let Some(d) = d {
             self.obs.record(EventKind::Decide {
                 scheme: match d.path {
@@ -305,6 +415,14 @@ where
 
     fn recorder_mut(&mut self) -> Option<&mut Recorder> {
         self.obs.active_mut()
+    }
+
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        bosco_msg_bytes(msg)
+    }
+
+    fn msg_class(msg: &Self::Msg) -> MsgClass {
+        bosco_msg_class(msg)
     }
 }
 

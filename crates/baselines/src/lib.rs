@@ -30,7 +30,10 @@ mod bosco;
 pub mod crash;
 mod underlying_only;
 
-pub use bosco::{BoscoActor, BoscoDecision, BoscoMsg, BoscoPath, BoscoProcess, BoscoRecord};
+pub use bosco::{
+    bosco_msg_bytes, bosco_msg_class, BoscoActor, BoscoDecision, BoscoMsg, BoscoPath, BoscoProcess,
+    BoscoRecord,
+};
 pub use crash::{
     CrashActor, CrashDecision, CrashMsg, CrashOneStep, CrashPath, CrashRecord, CrashRule,
 };

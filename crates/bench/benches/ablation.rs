@@ -103,6 +103,7 @@ fn bench_network_regimes(c: &mut Criterion) {
                         delay: delay.clone(),
                         seed,
                         max_events: 5_000_000,
+                        aggregate: false,
                     }))
                 })
             },

@@ -21,6 +21,7 @@ fn spec(input: InputVector<u64>, seed: u64) -> RunInstance {
         delay: DelayModel::Uniform { min: 1, max: 10 },
         seed,
         max_events: 5_000_000,
+        aggregate: false,
     }
 }
 

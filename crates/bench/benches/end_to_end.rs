@@ -40,6 +40,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                         runs: 5,
                         seed0: seed * 1000,
                         max_events: 5_000_000,
+                        aggregate: false,
                     });
                     assert!(stats.clean());
                     black_box(stats)

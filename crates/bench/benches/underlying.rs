@@ -35,6 +35,7 @@ fn bench_underlying(c: &mut Criterion) {
                         delay: DelayModel::Uniform { min: 1, max: 10 },
                         seed,
                         max_events: 20_000_000,
+                        aggregate: false,
                     });
                     assert!(r.agreement_ok());
                     black_box(r)

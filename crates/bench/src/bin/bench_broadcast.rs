@@ -1,0 +1,218 @@
+//! Emits `BENCH_broadcast.json`: wire cost of the IDB echo flood with the
+//! echo-aggregation layer off vs on.
+//!
+//! Without aggregation every correct process re-multicasts each Init it
+//! delivers as an individual Echo — n² echo multicasts per consensus
+//! instance, n³ point-to-point sends. With `--aggregate` each process
+//! coalesces all echoes it emits within one delivery tick into a single
+//! `EchoBatch` multicast riding the `Dest::All` slab path, so the echo
+//! term collapses from n per process per tick to 1.
+//!
+//! Both columns run the *same* batch spec (same seeds, same workload
+//! draws, same fault placement) through [`dex_harness::runner::run_batch`];
+//! the only difference is the `aggregate` bit. The metric is *sent
+//! messages per decision* and *wire bytes per decision* — deterministic
+//! quantities (same spec ⇒ same numbers), so `scripts/bench_check.sh` can
+//! assert a hard ≥ 3× message reduction at n = 31 instead of tolerating
+//! wall-clock noise. The binary asserts the same gate itself, plus: both
+//! columns stay violation-free, the aggregated column sends zero
+//! individual echoes, and neither column clones a payload (echo batches
+//! must stay on the zero-clone multicast path).
+//!
+//! Usage: `cargo run --release -p dex-bench --bin bench_broadcast [out.json]`
+//! (default output path `BENCH_broadcast.json` in the current directory).
+
+use dex_adversary::ByzantineStrategy;
+use dex_harness::runner::{run_batch, Algo, BatchSpec, BatchStats, Placement, UnderlyingKind};
+use dex_harness::spec::ChaosSpec;
+use dex_simnet::DelayModel;
+use dex_types::SystemConfig;
+use dex_workloads::BernoulliMix;
+use std::time::Instant;
+
+/// System sizes with their fault bounds (largest `t` with `n > 6t`) and
+/// per-size run counts. Run counts shrink as `n` grows: the unaggregated
+/// n = 127 column moves ~2M sends per run, which is exactly the cost this
+/// bench exists to document, not to drown in.
+const SIZES: [(usize, usize, usize); 4] = [(7, 1, 24), (13, 2, 16), (31, 5, 8), (127, 21, 2)];
+const SEED0: u64 = 42;
+const P_COMMON: f64 = 0.8;
+
+struct Column {
+    sent_per_decision: f64,
+    bytes_per_decision: f64,
+    echoes: u64,
+    batches: u64,
+    echoes_batched: u64,
+    clones: u64,
+    wall_ms: f64,
+}
+
+struct Row {
+    n: usize,
+    runs: usize,
+    off: Column,
+    on: Column,
+}
+
+impl Row {
+    fn msg_ratio(&self) -> f64 {
+        self.off.sent_per_decision / self.on.sent_per_decision
+    }
+
+    fn byte_ratio(&self) -> f64 {
+        self.off.bytes_per_decision / self.on.bytes_per_decision
+    }
+}
+
+fn column(n: usize, t: usize, runs: usize, aggregate: bool) -> Column {
+    let workload = BernoulliMix {
+        p: P_COMMON,
+        a: 1,
+        b: 0,
+    };
+    let start = Instant::now();
+    let stats = run_batch(&BatchSpec {
+        config: SystemConfig::new(n, t).expect("n > 6t by construction"),
+        algo: Algo::DexFreq,
+        underlying: UnderlyingKind::Oracle,
+        strategy: ByzantineStrategy::Silent,
+        f: 0,
+        placement: Placement::LastK,
+        workload: &workload,
+        delay: DelayModel::Uniform { min: 1, max: 10 },
+        chaos: ChaosSpec::None,
+        aggregate,
+        runs,
+        seed0: SEED0,
+        max_events: 50_000_000,
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(stats.clean(), "n = {n} aggregate = {aggregate}: {stats:?}");
+    let decisions = decisions(&stats) as f64;
+    Column {
+        sent_per_decision: stats.net.sent as f64 / decisions,
+        bytes_per_decision: stats.net.bytes_on_wire as f64 / decisions,
+        echoes: stats.net.sent_echo,
+        batches: stats.net.sent_batch,
+        echoes_batched: stats.net.echoes_batched,
+        clones: stats.net.payload_clones,
+        wall_ms,
+    }
+}
+
+fn decisions(stats: &BatchStats) -> u64 {
+    stats.paths.iter().map(|(_, count)| count).sum()
+}
+
+fn measure(n: usize, t: usize, runs: usize) -> Row {
+    let off = column(n, t, runs, false);
+    let on = column(n, t, runs, true);
+    // The echo flood must collapse entirely: every correct-process echo
+    // rides a batch, none go out individually, and the batches stay on
+    // the zero-clone slab path.
+    assert_eq!(on.echoes, 0, "n = {n}: aggregated run sent a bare echo");
+    assert!(on.echoes_batched > 0, "n = {n}: no echoes were batched");
+    assert_eq!(off.clones + on.clones, 0, "n = {n}: payload clone on wire");
+    Row { n, runs, off, on }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_broadcast.json".to_string());
+
+    println!("== Echo aggregation wire cost (sent messages / bytes per decision)\n");
+    println!(
+        "{:>5} {:>5} {:>11} {:>11} {:>8} {:>12} {:>12} {:>8} {:>9}",
+        "n",
+        "runs",
+        "off msg/dec",
+        "on msg/dec",
+        "msg ×",
+        "off byte/dec",
+        "on byte/dec",
+        "byte ×",
+        "wall ms"
+    );
+    let rows: Vec<Row> = SIZES.iter().map(|&(n, t, r)| measure(n, t, r)).collect();
+    for r in &rows {
+        println!(
+            "{:>5} {:>5} {:>11.1} {:>11.1} {:>7.2}x {:>12.1} {:>12.1} {:>7.2}x {:>9.1}",
+            r.n,
+            r.runs,
+            r.off.sent_per_decision,
+            r.on.sent_per_decision,
+            r.msg_ratio(),
+            r.off.bytes_per_decision,
+            r.on.bytes_per_decision,
+            r.byte_ratio(),
+            r.off.wall_ms + r.on.wall_ms,
+        );
+    }
+
+    let at = |n: usize| rows.iter().find(|r| r.n == n).expect("row present");
+    // The headline gate: at n = 31 aggregation must cut sent messages per
+    // decision by at least 3×, and bytes must drop too (entry framing
+    // overhead loses to the n× echo collapse from n = 31 up).
+    for n in [31, 127] {
+        let r = at(n);
+        assert!(
+            r.msg_ratio() >= 3.0,
+            "n = {n}: message reduction {:.2}x < 3x",
+            r.msg_ratio()
+        );
+        assert!(
+            r.byte_ratio() > 1.0,
+            "n = {n}: bytes per decision did not drop ({:.2}x)",
+            r.byte_ratio()
+        );
+    }
+    println!(
+        "\nmessage reduction at n = 31: {:.2}x (gate: ≥ 3x) | at n = 127: {:.2}x",
+        at(31).msg_ratio(),
+        at(127).msg_ratio()
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"broadcast\",\n");
+    json.push_str("  \"unit\": \"sent_messages_per_decision\",\n");
+    json.push_str(&format!("  \"seed0\": {SEED0},\n"));
+    json.push_str(&format!("  \"p_common\": {P_COMMON},\n"));
+    json.push_str(&format!(
+        "  \"msg_reduction_n31\": {:.2},\n",
+        at(31).msg_ratio()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"runs\": {}, \"off_msgs_per_decision\": {:.1}, \
+             \"on_msgs_per_decision\": {:.1}, \"msg_reduction\": {:.2}, \
+             \"off_bytes_per_decision\": {:.1}, \"on_bytes_per_decision\": {:.1}, \
+             \"byte_reduction\": {:.2}, \"off_echoes\": {}, \"on_batches\": {}, \
+             \"echoes_batched\": {}, \"clones_on_wire\": {}, \"wall_ms\": {:.1}}}{}\n",
+            r.n,
+            r.runs,
+            r.off.sent_per_decision,
+            r.on.sent_per_decision,
+            r.msg_ratio(),
+            r.off.bytes_per_decision,
+            r.on.bytes_per_decision,
+            r.byte_ratio(),
+            r.off.echoes,
+            r.on.batches,
+            r.on.echoes_batched,
+            r.off.clones + r.on.clones,
+            r.off.wall_ms + r.on.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("[json written to {out_path}]"),
+        Err(e) => {
+            eprintln!("[json not written: {e}]");
+            std::process::exit(1);
+        }
+    }
+}

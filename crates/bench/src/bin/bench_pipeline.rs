@@ -63,6 +63,7 @@ fn measure(n: usize, t: usize, slots: u64) -> Row {
             batch: BATCH,
             slots,
             seed: SEED,
+            aggregate: false,
         };
         let start = Instant::now();
         let outcome = run.execute();

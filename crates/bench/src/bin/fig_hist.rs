@@ -32,6 +32,7 @@ fn histogram(algo: Algo, p: f64, runs: usize) -> Histogram {
             delay: DelayModel::Uniform { min: 1, max: 10 },
             seed: 77 + i as u64,
             max_events: 10_000_000,
+            aggregate: false,
         });
         assert!(r.quiescent && r.agreement_ok() && r.all_decided());
         for d in r.decided() {

@@ -96,6 +96,7 @@ fn random_spec(rng: &mut StdRng) -> RunInstance {
         delay,
         seed: rng.random(),
         max_events: 20_000_000,
+        aggregate: false,
     }
 }
 

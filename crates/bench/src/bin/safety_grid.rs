@@ -73,6 +73,7 @@ fn main() {
                     runs,
                     seed0: 2010,
                     max_events: 10_000_000,
+                    aggregate: false,
                 });
                 total_violations += stats.agreement_violations
                     + stats.unanimity_violations

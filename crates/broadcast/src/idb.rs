@@ -109,14 +109,21 @@ impl<K: InstanceKey, V: Value> IdenticalBroadcast<K, V> {
         }
     }
 
-    /// Forgets all broadcast instances, keeping the witness-map capacity.
+    /// Forgets all broadcast instances, keeping bounded witness-map
+    /// capacity.
     ///
     /// This is the recycling hook for pipelined replication: one IDB state
     /// machine is reused across many consecutive log slots, so the
     /// per-instance witness maps are cleared in place instead of the whole
-    /// machine being reallocated per slot.
+    /// machine being reallocated per slot. Retained capacity is bounded by
+    /// [`RETAINED_CAPACITY`](crate::RETAINED_CAPACITY): a slot that opened
+    /// unusually many instances (e.g. a long UC round tail) must not pin
+    /// that high-water mark for the rest of a long pipelined campaign.
     pub fn reset(&mut self) {
         self.instances.clear();
+        if self.instances.capacity() > crate::RETAINED_CAPACITY {
+            self.instances.shrink_to(crate::RETAINED_CAPACITY);
+        }
     }
 
     /// Whether this process has already accepted (Id-Received) for `key`.
@@ -313,6 +320,42 @@ mod tests {
         }
         assert!(idb.has_accepted(&k1));
         assert!(!idb.has_accepted(&k2));
+    }
+
+    #[test]
+    fn reset_pins_retained_capacity() {
+        // One pathological slot opens far more tagged instances than the
+        // retention bound (a long UC round tail); recycling must not pin
+        // that high-water mark.
+        let mut idb: IdenticalBroadcast<(ProcessId, u64), u64> = IdenticalBroadcast::new(cfg(5, 1));
+        for tag in 0..(8 * crate::RETAINED_CAPACITY as u64) {
+            idb.on_message(
+                p(1),
+                &IdbMessage::Echo {
+                    key: (p(0), tag),
+                    value: 7,
+                },
+            );
+        }
+        assert!(idb.instances.capacity() > crate::RETAINED_CAPACITY);
+        idb.reset();
+        assert!(
+            idb.instances.capacity() <= 2 * crate::RETAINED_CAPACITY,
+            "reset must bound retained capacity, kept {}",
+            idb.instances.capacity()
+        );
+        assert!(idb.instances.is_empty());
+        // Still fully usable after the bounded reset.
+        for i in 1..=4 {
+            idb.on_message(
+                p(i),
+                &IdbMessage::Echo {
+                    key: (p(0), 0),
+                    value: 9,
+                },
+            );
+        }
+        assert!(idb.has_accepted(&(p(0), 0)));
     }
 
     #[test]

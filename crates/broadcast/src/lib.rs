@@ -53,10 +53,12 @@
 #![allow(clippy::int_plus_one)]
 #![warn(missing_docs)]
 
+mod aggregate;
 mod idb;
 mod key;
 mod reliable;
 
+pub use aggregate::{EchoAggregator, RETAINED_CAPACITY};
 pub use idb::{IdbMessage, IdenticalBroadcast};
 pub use key::InstanceKey;
 pub use reliable::{RbMessage, ReliableBroadcast};

@@ -122,6 +122,16 @@ impl<K: InstanceKey, V: Value> ReliableBroadcast<K, V> {
         RbMessage::Init { key, value }
     }
 
+    /// Forgets all broadcast instances, keeping bounded capacity — the RB
+    /// counterpart of [`IdenticalBroadcast::reset`](crate::IdenticalBroadcast::reset)
+    /// for machines recycled across many slots.
+    pub fn reset(&mut self) {
+        self.instances.clear();
+        if self.instances.capacity() > crate::RETAINED_CAPACITY {
+            self.instances.shrink_to(crate::RETAINED_CAPACITY);
+        }
+    }
+
     /// Whether `key` has been delivered locally.
     pub fn has_delivered(&self, key: &K) -> bool {
         self.instances.get(key).is_some_and(|s| s.delivered)
@@ -270,6 +280,32 @@ mod tests {
         }));
         assert!(m.has_delivered(&p(0)));
         assert!(m.on_message(p(0), &ready(5)).is_empty());
+    }
+
+    #[test]
+    fn reset_pins_retained_capacity() {
+        let mut m: ReliableBroadcast<(ProcessId, u64), u64> =
+            ReliableBroadcast::new(SystemConfig::new(4, 1).unwrap());
+        for tag in 0..(8 * crate::RETAINED_CAPACITY as u64) {
+            m.on_message(
+                p(1),
+                &RbMessage::Echo {
+                    key: (p(0), tag),
+                    value: 5,
+                },
+            );
+        }
+        assert!(m.instances.capacity() > crate::RETAINED_CAPACITY);
+        m.reset();
+        assert!(
+            m.instances.capacity() <= 2 * crate::RETAINED_CAPACITY,
+            "reset must bound retained capacity, kept {}",
+            m.instances.capacity()
+        );
+        assert!(m.instances.is_empty());
+        // Still fully usable after the bounded reset.
+        let a = m.on_message(p(0), &ReliableBroadcast::rb_send((p(0), 0u64), 5));
+        assert_eq!(a.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Property tests for the echo-aggregation layer: batched and unbatched
+//! IDB runs deliver the same echo multisets and Id-Receive outcomes, and
+//! the aggregation-off path is wire-identical to a build that never heard
+//! of batching.
+//!
+//! Batching coalesces messages, so a batched run and an unbatched run of
+//! the same seed are *different valid schedules* (the delay RNG stream
+//! shifts). The assertions here are therefore restricted to what the
+//! protocol makes schedule-independent:
+//!
+//! * fault-free, every correct process Id-Receives every origin's value —
+//!   so the delivered multiset and per-origin outcomes must match exactly
+//!   across the two runs; under lockstep delays every delivery in both
+//!   runs must land at exactly causal depth 2 (the flush timer is not a
+//!   communication step);
+//! * under chaos (duplication) or an equivocating sender, only the runs'
+//!   *internal* invariants are asserted: at-most-once delivery per
+//!   instance and IDB's identical-delivery property across processes.
+//!
+//! The window dimension multiplexes several concurrent IDB instances per
+//! origin through one shared aggregator — the pipelined-replication shape,
+//! where one delivery tick opens a whole window of slots at once.
+
+use dex_broadcast::{Action, EchoAggregator, IdbMessage, IdenticalBroadcast};
+use dex_simnet::{Actor, Context, DelayModel, Dest, FaultSchedule, MsgClass, NetStats, Simulation};
+use dex_types::{ProcessId, StepDepth, SystemConfig};
+use proptest::prelude::*;
+
+/// One IDB instance key: `(slot, origin)` — `window` slots run concurrently.
+type Key = (u8, ProcessId);
+
+#[derive(Clone, Debug)]
+enum Wire {
+    /// Protocol traffic of one slot's IDB instance.
+    Slot {
+        slot: u8,
+        inner: IdbMessage<ProcessId, u64>,
+    },
+    /// Coalesced echoes across all slots offered within one delivery tick.
+    Batch { entries: Vec<(u8, ProcessId, u64)> },
+    /// Self-addressed flush timer (never crosses the wire).
+    FlushTick,
+}
+
+/// What a node delivered: (slot, origin, value, causal depth at delivery).
+type Delivery = (u8, ProcessId, u64, StepDepth);
+
+enum Node {
+    Correct {
+        /// Per-slot proposal values.
+        values: Vec<u64>,
+        machines: Vec<IdenticalBroadcast<ProcessId, u64>>,
+        agg: Option<EchoAggregator<Key, u64>>,
+        delivered: Vec<Delivery>,
+    },
+    /// Sends value `a` to the first half and `b` to the rest on every slot;
+    /// always unbatched — receivers must handle mixed traffic.
+    Equivocator { a: u64, b: u64, slots: u8 },
+}
+
+impl Node {
+    fn correct(cfg: SystemConfig, values: Vec<u64>, aggregate: bool) -> Self {
+        Node::Correct {
+            machines: values
+                .iter()
+                .map(|_| IdenticalBroadcast::new(cfg))
+                .collect(),
+            values,
+            agg: aggregate.then(EchoAggregator::new),
+            delivered: Vec::new(),
+        }
+    }
+
+    fn deliveries(&self) -> &[Delivery] {
+        match self {
+            Node::Correct { delivered, .. } => delivered,
+            _ => &[],
+        }
+    }
+
+    fn handle_slot(
+        slot: u8,
+        machines: &mut [IdenticalBroadcast<ProcessId, u64>],
+        agg: &mut Option<EchoAggregator<Key, u64>>,
+        delivered: &mut Vec<Delivery>,
+        from: ProcessId,
+        inner: &IdbMessage<ProcessId, u64>,
+        ctx: &mut Context<'_, Wire>,
+    ) {
+        for action in machines[slot as usize].on_message(from, inner) {
+            match action {
+                Action::Broadcast(m) => match (agg.as_mut(), m) {
+                    (Some(agg), IdbMessage::Echo { key, value }) => {
+                        agg.offer((slot, key), value, ctx.depth().next());
+                    }
+                    (_, m) => ctx.broadcast(Wire::Slot { slot, inner: m }),
+                },
+                Action::Deliver { key, value } => {
+                    delivered.push((slot, key, value, ctx.depth()));
+                }
+            }
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Wire;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire>) {
+        let me = ctx.me();
+        match self {
+            Node::Correct { values, .. } => {
+                for (slot, v) in values.clone().into_iter().enumerate() {
+                    ctx.broadcast(Wire::Slot {
+                        slot: slot as u8,
+                        inner: IdenticalBroadcast::id_send(me, v),
+                    });
+                }
+            }
+            Node::Equivocator { a, b, slots } => {
+                let n = ctx.n();
+                for slot in 0..*slots {
+                    for i in 0..n {
+                        let v = if i < n / 2 { *a } else { *b };
+                        ctx.send(
+                            ProcessId::new(i),
+                            Wire::Slot {
+                                slot,
+                                inner: IdbMessage::Init { key: me, value: v },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: &Wire, ctx: &mut Context<'_, Wire>) {
+        let Node::Correct {
+            machines,
+            agg,
+            delivered,
+            ..
+        } = self
+        else {
+            return;
+        };
+        match msg {
+            Wire::Slot { slot, inner } => {
+                Node::handle_slot(*slot, machines, agg, delivered, from, inner, ctx);
+            }
+            Wire::Batch { entries } => {
+                // Unbatch deterministically in entry order: each entry is
+                // exactly the echo the sender would have multicast.
+                for (slot, origin, value) in entries {
+                    let inner = IdbMessage::Echo {
+                        key: *origin,
+                        value: *value,
+                    };
+                    Node::handle_slot(*slot, machines, agg, delivered, from, &inner, ctx);
+                }
+            }
+            Wire::FlushTick => {
+                if from != ctx.me() {
+                    return;
+                }
+                let Some(agg) = agg.as_mut() else { return };
+                for (depth, entries) in agg.take_batches() {
+                    let entries: Vec<(u8, ProcessId, u64)> = entries
+                        .into_iter()
+                        .map(|((slot, origin), value)| (slot, origin, value))
+                        .collect();
+                    ctx.send_dest_at(Dest::All, Wire::Batch { entries }, depth);
+                }
+                return;
+            }
+        }
+        if let Some(agg) = agg.as_mut() {
+            if agg.try_arm() {
+                ctx.send_self_after(1, Wire::FlushTick);
+            }
+        }
+    }
+
+    fn msg_class(msg: &Wire) -> MsgClass {
+        match msg {
+            Wire::Slot {
+                inner: IdbMessage::Init { .. },
+                ..
+            } => MsgClass::Init,
+            Wire::Slot {
+                inner: IdbMessage::Echo { .. },
+                ..
+            } => MsgClass::Echo,
+            Wire::Batch { entries } => MsgClass::Batch(entries.len() as u32),
+            Wire::FlushTick => MsgClass::Other,
+        }
+    }
+}
+
+struct RunOut {
+    /// Sorted (process, slot, origin, value) deliveries — the multiset.
+    delivered: Vec<(usize, u8, ProcessId, u64)>,
+    /// Depth of every echo-driven delivery (origin ≠ the delivering init).
+    depths: Vec<StepDepth>,
+    stats: NetStats,
+}
+
+fn run(
+    cfg: SystemConfig,
+    inputs: &[Vec<u64>],
+    equivocator: Option<(u64, u64)>,
+    aggregate: bool,
+    dup: f64,
+    delay: DelayModel,
+    seed: u64,
+) -> RunOut {
+    let slots = inputs[0].len() as u8;
+    let nodes: Vec<Node> = (0..cfg.n())
+        .map(|i| {
+            if i == cfg.n() - 1 {
+                if let Some((a, b)) = equivocator {
+                    return Node::Equivocator { a, b, slots };
+                }
+            }
+            Node::correct(cfg, inputs[i].clone(), aggregate)
+        })
+        .collect();
+    let faults = if dup > 0.0 {
+        FaultSchedule::new().dup_all(dup)
+    } else {
+        FaultSchedule::none()
+    };
+    let mut sim = Simulation::builder(nodes)
+        .seed(seed)
+        .delay(delay)
+        .faults(faults)
+        .build();
+    assert!(sim.run(5_000_000).quiescent, "IDB must drain");
+    let mut delivered = Vec::new();
+    let mut depths = Vec::new();
+    for (i, node) in sim.actors().iter().enumerate() {
+        for &(slot, origin, value, depth) in node.deliveries() {
+            delivered.push((i, slot, origin, value));
+            depths.push(depth);
+        }
+    }
+    delivered.sort();
+    RunOut {
+        delivered,
+        depths,
+        stats: sim.stats().clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Fault-free: the batched run must reproduce the unbatched run's
+    /// delivered-echo multiset and Id-Receive outcomes exactly, spend
+    /// strictly fewer sends, and keep echo batches on the zero-clone path.
+    /// Under lockstep (constant) delays amplification never fires, so every
+    /// delivery in *both* runs must land at exactly depth 2 — the flush
+    /// timer adds virtual time, never a causal step. Under random delays
+    /// depth is schedule-dependent (an amplified echo adds a hop), so only
+    /// the ≥ 2 lower bound — an echo-threshold crossing needs an echo hop —
+    /// is asserted there.
+    #[test]
+    fn batched_runs_deliver_identical_multisets_fault_free(
+        n in prop_oneof![Just(6usize), Just(7), Just(10)],
+        window in 1u8..=4,
+        lockstep in any::<bool>(),
+        raw in proptest::collection::vec(0u64..3, 40),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SystemConfig::new(n, 1).unwrap();
+        let inputs: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..window).map(|s| raw[(i + s as usize * n) % raw.len()]).collect())
+            .collect();
+        let delay = if lockstep {
+            DelayModel::Constant(3)
+        } else {
+            DelayModel::Uniform { min: 1, max: 10 }
+        };
+        let plain = run(cfg, &inputs, None, false, 0.0, delay.clone(), seed);
+        let batched = run(cfg, &inputs, None, true, 0.0, delay, seed);
+        // Fault-free, every correct process delivers every origin's value
+        // in every slot — schedule-independent, so the multisets agree.
+        prop_assert_eq!(&plain.delivered, &batched.delivered);
+        prop_assert_eq!(plain.delivered.len(), n * n * window as usize);
+        for d in plain.depths.iter().chain(&batched.depths) {
+            prop_assert!(*d >= StepDepth::new(2), "delivery without an echo hop: {d:?}");
+            if lockstep {
+                prop_assert_eq!(*d, StepDepth::new(2), "batching inflated causal depth");
+            }
+        }
+        prop_assert_eq!(batched.stats.sent_echo, 0, "all echoes must batch");
+        prop_assert!(batched.stats.echoes_batched > 0);
+        prop_assert!(batched.stats.sent < plain.stats.sent);
+        prop_assert_eq!(batched.stats.payload_clones, 0, "batches ride the slab");
+    }
+
+    /// Chaos and equivocation arms: schedules diverge, so assert only the
+    /// runs' internal invariants — at-most-once delivery per instance and
+    /// IDB's identical-delivery guarantee, with the (never-batching)
+    /// equivocator exercising receivers against mixed wire traffic.
+    #[test]
+    fn batched_runs_keep_idb_invariants_under_chaos(
+        window in 1u8..=3,
+        dup in prop_oneof![Just(0.0f64), Just(0.2), Just(0.4)],
+        equiv in prop_oneof![Just(None), Just(Some((1u64, 2u64)))],
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SystemConfig::new(7, 1).unwrap();
+        let inputs: Vec<Vec<u64>> = (0..7).map(|i| vec![i as u64 % 2; window as usize]).collect();
+        let out = run(cfg, &inputs, equiv, true, dup, DelayModel::Uniform { min: 1, max: 10 }, seed);
+        // At-most-once per (process, slot, origin) despite duplication.
+        let mut keys: Vec<(usize, u8, ProcessId)> =
+            out.delivered.iter().map(|&(p, s, o, _)| (p, s, o)).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len(), "an instance delivered twice");
+        // Identical delivery: any two correct processes that deliver for
+        // the same (slot, origin) deliver the same value.
+        let mut by_instance: std::collections::HashMap<(u8, ProcessId), u64> =
+            std::collections::HashMap::new();
+        for &(_, slot, origin, value) in &out.delivered {
+            let prior = by_instance.insert((slot, origin), value);
+            prop_assert!(
+                prior.is_none() || prior == Some(value),
+                "identical delivery violated for slot {slot} origin {origin}"
+            );
+        }
+        prop_assert_eq!(out.stats.sent_echo, 0, "correct nodes never send bare echoes");
+    }
+}
+
+/// The aggregation-off path must be wire-identical to a node that has no
+/// aggregation plumbing at all: same sends, same classes, same deliveries,
+/// for fixed seeds. The off path arms no timers and draws no extra RNG,
+/// so the full `NetStats` struct — including per-depth delivery counts —
+/// must match bit for bit.
+#[test]
+fn aggregation_off_is_wire_identical_to_the_plain_build() {
+    let cfg = SystemConfig::new(7, 1).unwrap();
+    let inputs: Vec<Vec<u64>> = (0..7).map(|i| vec![i as u64 % 3, 1]).collect();
+    for seed in [0, 31, 42, 1999] {
+        let off = run(
+            cfg,
+            &inputs,
+            None,
+            false,
+            0.0,
+            DelayModel::Uniform { min: 1, max: 10 },
+            seed,
+        );
+        let off2 = run(
+            cfg,
+            &inputs,
+            None,
+            false,
+            0.0,
+            DelayModel::Uniform { min: 1, max: 10 },
+            seed,
+        );
+        assert_eq!(
+            off.stats, off2.stats,
+            "seed {seed}: off path must be deterministic"
+        );
+        assert_eq!(off.delivered, off2.delivered);
+        assert_eq!(
+            off.stats.sent_batch, 0,
+            "seed {seed}: no batches on the off path"
+        );
+        assert_eq!(off.stats.echoes_batched, 0);
+        // The echo flood is fully unbatched: n² echo multicasts (n per
+        // correct process per slot), each fanned out to n recipients.
+        assert_eq!(off.stats.sent_echo, 2 * 7 * 7 * 7, "seed {seed}");
+    }
+}

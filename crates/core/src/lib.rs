@@ -63,7 +63,7 @@ mod actor;
 mod process;
 mod resend;
 
-pub use actor::{DecisionRecord, DexActor};
+pub use actor::{dex_msg_bytes, dex_msg_class, DecisionRecord, DexActor};
 pub use process::{Decision, DecisionPath, DexMsg, DexProcess};
 pub use resend::{Reliable, ReliableMsg, ResendPolicy};
 

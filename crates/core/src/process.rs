@@ -16,6 +16,16 @@ pub enum DexMsg<V, U> {
     Idb(IdbMessage<ProcessId, V>),
     /// Underlying-consensus traffic (lines 13, 19).
     Uc(U),
+    /// Aggregated IDB echoes: every `(origin, value)` echo this sender
+    /// coalesced within one delivery tick, multicast as one message over
+    /// the `Dest::All` slab path. Receivers unbatch in entry order, so the
+    /// delivered-echo multiset equals the unbatched protocol's exactly
+    /// (see `dex_broadcast::EchoAggregator`). Only sent when aggregation
+    /// is enabled on the actor.
+    EchoBatch(Vec<(ProcessId, V)>),
+    /// Local flush timer for the echo aggregator: not protocol traffic,
+    /// never crosses a network link (self-addressed with delay 1).
+    EchoFlushTick,
 }
 
 /// Which mechanism produced a decision.
@@ -253,6 +263,10 @@ where
             DexMsg::Proposal(v) => self.on_proposal(from, v),
             DexMsg::Idb(m) => self.on_idb(from, m, rng, out),
             DexMsg::Uc(m) => self.on_uc(from, m, rng, out),
+            // Aggregation plumbing is handled one layer up: the actor
+            // demuxes a batch into per-entry `Idb(Echo)` calls and consumes
+            // flush ticks locally, so the state machine never sees either.
+            DexMsg::EchoBatch(_) | DexMsg::EchoFlushTick => None,
         }
     }
 

@@ -74,6 +74,7 @@ fn one_step_fraction(
             delay: DelayModel::Uniform { min: 1, max: 10 },
             seed: seed0 + i as u64,
             max_events: 5_000_000,
+            aggregate: false,
         });
         assert!(result.quiescent && result.agreement_ok() && result.all_decided());
         let correct = result.decided().count();

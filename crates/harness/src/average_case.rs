@@ -57,6 +57,7 @@ pub fn mean_steps(cfg: SystemConfig, algo: Algo, p: f64, f: usize, runs: usize, 
         runs,
         seed0,
         max_events: 5_000_000,
+        aggregate: false,
     });
     assert!(stats.clean(), "violations at p={p}: {stats:?}");
     stats.steps.mean()

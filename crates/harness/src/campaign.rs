@@ -235,6 +235,8 @@ impl CampaignSpec {
             delay: self.delay.clone(),
             chaos: cell.chaos.clone(),
             pipeline: PipelineSpec::default(),
+            aggregate: crate::spec::AggregationSpec::Off,
+            stats: false,
             runs: 1,
             seed: self.seed0 + run as u64,
             max_events: self.max_events,
@@ -310,6 +312,7 @@ fn execute_task(
         faults,
         seed,
         max_events: spec.max_events,
+        aggregate: false,
     });
     let mut digest = RunDigest {
         cell: cell_idx,

@@ -59,6 +59,7 @@ fn fractions(
         runs,
         seed0,
         max_events: 5_000_000,
+        aggregate: false,
     });
     assert!(stats.clean(), "{stats:?}");
     let one = stats.path_fraction("1-step");

@@ -82,6 +82,7 @@ pub fn run(opts: Opts) -> Table {
                     runs: opts.runs,
                     seed0: opts.seed0,
                     max_events: 5_000_000,
+                    aggregate: false,
                 });
                 assert!(stats.clean(), "{}/{wname}/f={f}: {stats:?}", algo.label());
                 table.row(vec![

@@ -72,6 +72,7 @@ pub fn measure(
             delay: DelayModel::Uniform { min: 1, max: 10 },
             seed: seed0 + i as u64,
             max_events: 5_000_000,
+            aggregate: false,
         });
         assert!(result.quiescent && result.agreement_ok() && result.all_decided());
         for r in result.decided() {

@@ -70,6 +70,7 @@ pub fn run(opts: Opts) -> Table {
                     runs: opts.runs,
                     seed0: opts.seed0,
                     max_events: 10_000_000,
+                    aggregate: false,
                 });
                 assert!(stats.clean(), "{stats:?}");
                 table.row(vec![

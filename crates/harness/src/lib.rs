@@ -64,6 +64,7 @@
 //!     faults: FaultSchedule::none(),
 //!     seed: 1,
 //!     max_events: 1_000_000,
+//!     aggregate: false,
 //! });
 //! assert!(result.agreement_ok());
 //! assert_eq!(result.max_steps(), Some(1)); // unanimous ⇒ one-step everywhere

@@ -51,6 +51,7 @@ pub fn mean_messages(
             delay: DelayModel::Uniform { min: 1, max: 10 },
             seed: seed0 + i as u64,
             max_events: 50_000_000,
+            aggregate: false,
         });
         assert!(r.quiescent && r.agreement_ok() && r.all_decided());
         messages.add(r.messages as f64);

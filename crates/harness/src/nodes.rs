@@ -60,6 +60,17 @@ impl DexNode {
         };
         obs.is_active().then(|| obs.trace())
     }
+
+    /// Turns on echo aggregation on correct nodes (no-op for Byzantine
+    /// nodes — the adversary never batches, which also exercises receivers
+    /// against mixed batched/unbatched traffic).
+    pub fn enable_aggregation(&mut self) {
+        match self {
+            DexNode::Freq(a) => a.enable_aggregation(),
+            DexNode::Prv(a) => a.enable_aggregation(),
+            DexNode::Byz(_) => {}
+        }
+    }
 }
 
 impl Actor for DexNode {
@@ -88,6 +99,14 @@ impl Actor for DexNode {
             DexNode::Byz(_) => None,
         }
     }
+
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        dex_core::dex_msg_bytes(msg)
+    }
+
+    fn msg_class(msg: &Self::Msg) -> dex_simnet::MsgClass {
+        dex_core::dex_msg_class(msg)
+    }
 }
 
 /// A Bosco system node.
@@ -111,6 +130,14 @@ impl BoscoNode {
         match self {
             BoscoNode::Correct(a) => a.obs().is_active().then(|| a.obs().trace()),
             BoscoNode::Byz(_) => None,
+        }
+    }
+
+    /// Turns on vote aggregation on correct nodes (no-op for Byzantine
+    /// nodes).
+    pub fn enable_aggregation(&mut self) {
+        if let BoscoNode::Correct(a) = self {
+            a.enable_aggregation();
         }
     }
 }
@@ -137,6 +164,14 @@ impl Actor for BoscoNode {
             BoscoNode::Correct(a) => a.recorder_mut(),
             BoscoNode::Byz(_) => None,
         }
+    }
+
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        dex_baselines::bosco_msg_bytes(msg)
+    }
+
+    fn msg_class(msg: &Self::Msg) -> dex_simnet::MsgClass {
+        dex_baselines::bosco_msg_class(msg)
     }
 }
 

@@ -68,6 +68,7 @@ pub fn fast_fractions(
         runs,
         seed0,
         max_events: 5_000_000,
+        aggregate: false,
     });
     assert!(stats.clean(), "{stats:?}");
     FastFractions {

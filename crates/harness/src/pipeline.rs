@@ -38,6 +38,9 @@ pub struct PipelineRun {
     pub slots: u64,
     /// Simulation seed (also seeds the client-value stream).
     pub seed: u64,
+    /// Coalesce each replica's per-tick echo fan-out into one batched
+    /// multicast (`--aggregate`); off preserves the unbatched wire.
+    pub aggregate: bool,
 }
 
 /// What a pipelined run produced and what it cost.
@@ -58,6 +61,11 @@ pub struct PipelineOutcome {
     pub recycled: u64,
     /// Wire messages saved by UC-batch coalescing, summed over replicas.
     pub uc_coalesced: u64,
+    /// Individual echo sends avoided by echo aggregation, summed over
+    /// replicas (`0` when aggregation is off).
+    pub echoes_coalesced: u64,
+    /// Full network counters (per-class sends, batched echoes).
+    pub net: dex_simnet::NetStats,
     /// The committed log (batches, in slot order) every correct replica
     /// agreed on.
     pub log: Vec<Vec<u64>>,
@@ -98,6 +106,7 @@ impl PipelineRun {
             batch: spec.pipeline.batch,
             slots,
             seed: spec.seed,
+            aggregate: spec.aggregate.is_on(),
         })
     }
 
@@ -116,6 +125,7 @@ impl PipelineRun {
     pub fn execute(&self) -> PipelineOutcome {
         let outcome = run_generic_cluster::<TotalOrder<Vec<u64>>>(GenericClusterOptions {
             window: self.window,
+            aggregate: self.aggregate,
             ..GenericClusterOptions::new(self.config, self.pending(), self.slots, self.seed)
         });
         assert!(outcome.converged(), "pipelined cluster must converge");
@@ -128,6 +138,8 @@ impl PipelineRun {
             multicasts: outcome.net.multicasts,
             recycled: outcome.recycled.iter().sum(),
             uc_coalesced: outcome.uc_coalesced.iter().sum(),
+            echoes_coalesced: outcome.echoes_coalesced.iter().sum(),
+            net: outcome.net,
             log,
         }
     }
@@ -153,6 +165,9 @@ impl PipelineRun {
                 if self.window > 1 {
                     r.enable_pipelining(self.window);
                 }
+                if self.aggregate {
+                    r.enable_echo_aggregation();
+                }
                 Node::Correct(r)
             })
             .collect();
@@ -166,6 +181,7 @@ impl PipelineRun {
         let mut log = None;
         let mut recycled = 0;
         let mut uc_coalesced = 0;
+        let mut echoes_coalesced = 0;
         let processes: Vec<ProcessTrace> = sim
             .actors()
             .iter()
@@ -182,6 +198,7 @@ impl PipelineRun {
                 log.get_or_insert_with(|| r.log().prefix());
                 recycled += r.mux().recycled();
                 uc_coalesced += r.uc_coalesced();
+                echoes_coalesced += r.echoes_coalesced();
                 r.obs().trace()
             })
             .collect();
@@ -194,6 +211,8 @@ impl PipelineRun {
             multicasts: stats.multicasts,
             recycled,
             uc_coalesced,
+            echoes_coalesced,
+            net: stats.clone(),
             log,
         };
         let trace = RunTrace {
@@ -210,6 +229,13 @@ impl PipelineRun {
                     window: self.window,
                     batch: self.batch,
                     bytes_on_wire: outcome.bytes_on_wire,
+                    sent_by_class: [
+                        stats.sent_init,
+                        stats.sent_echo,
+                        stats.sent_batch,
+                        stats.sent_other,
+                    ],
+                    echoes_batched: stats.echoes_batched,
                 }),
             },
             processes,

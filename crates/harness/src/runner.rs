@@ -91,6 +91,10 @@ pub struct RunInstance {
     pub seed: u64,
     /// Delivery cap (guards against livelock).
     pub max_events: u64,
+    /// Enable echo/vote aggregation on correct nodes (Byzantine nodes never
+    /// batch). Off keeps the wire byte-identical to the pre-aggregation
+    /// runner.
+    pub aggregate: bool,
 }
 
 /// Result of one correct process.
@@ -127,6 +131,9 @@ pub struct RunResult {
     pub quiescent: bool,
     /// Total messages delivered.
     pub messages: u64,
+    /// Full network counters for the run (per-class sends, batched echoes,
+    /// bytes on wire).
+    pub net: dex_simnet::NetStats,
 }
 
 impl RunResult {
@@ -388,6 +395,7 @@ fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Ve
             outcomes,
             quiescent: run.quiescent,
             messages: sim.stats().delivered,
+            net: sim.stats().clone(),
         },
         traces,
     )
@@ -431,6 +439,11 @@ fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
             node.enable_obs(i as u16);
         }
     }
+    if spec.aggregate {
+        for node in nodes.iter_mut() {
+            node.enable_aggregation();
+        }
+    }
     let mut sim = Simulation::builder(nodes)
         .seed(spec.seed)
         .delay(spec.delay.clone())
@@ -452,6 +465,7 @@ fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
             outcomes,
             quiescent: run.quiescent,
             messages: sim.stats().delivered,
+            net: sim.stats().clone(),
         },
         traces,
     )
@@ -489,6 +503,11 @@ fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
             node.enable_obs(i as u16);
         }
     }
+    if spec.aggregate {
+        for node in nodes.iter_mut() {
+            node.enable_aggregation();
+        }
+    }
     let mut sim = Simulation::builder(nodes)
         .seed(spec.seed)
         .delay(spec.delay.clone())
@@ -520,6 +539,7 @@ fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
             outcomes,
             quiescent: run.quiescent,
             messages: sim.stats().delivered,
+            net: sim.stats().clone(),
         },
         traces,
     )
@@ -573,6 +593,7 @@ fn run_plain(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
             outcomes,
             quiescent: run.quiescent,
             messages: sim.stats().delivered,
+            net: sim.stats().clone(),
         },
         traces,
     )
@@ -609,6 +630,8 @@ pub struct BatchSpec<'a> {
     /// Symbolic chaos schedule, compiled per run against that run's fault
     /// plan (see [`ChaosSpec::build`]).
     pub chaos: ChaosSpec,
+    /// Enable echo/vote aggregation on correct nodes in every run.
+    pub aggregate: bool,
     /// Number of runs.
     pub runs: usize,
     /// Base seed; run `i` uses `seed0 + i`.
@@ -638,6 +661,9 @@ pub struct BatchStats {
     pub unanimity_violations: usize,
     /// Runs that hit the event cap (must stay 0 for terminating protocols).
     pub non_quiescent: usize,
+    /// Network counters summed over all runs (per-class sends, batched
+    /// echoes, bytes on wire; `max_depth` takes the batch maximum).
+    pub net: dex_simnet::NetStats,
 }
 
 impl BatchStats {
@@ -676,6 +702,7 @@ fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
         faults,
         seed,
         max_events: spec.max_events,
+        aggregate: spec.aggregate,
     });
     stats.runs += 1;
     if !run.quiescent {
@@ -699,6 +726,7 @@ fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
         }
     }
     stats.messages.add(run.messages as f64);
+    stats.net.merge(&run.net);
 }
 
 /// Reconstructs batch run `i`'s spec — the same seed, workload draw and
@@ -725,6 +753,7 @@ pub fn traced_batch_run(spec: &BatchSpec<'_>, i: usize) -> TracedRun {
         faults,
         seed,
         max_events: spec.max_events,
+        aggregate: spec.aggregate,
     })
 }
 
@@ -781,6 +810,7 @@ pub fn run_batch_parallel(spec: &BatchSpec<'_>, threads: usize) -> BatchStats {
         merged.steps.merge(&p.steps);
         merged.latency.merge(&p.latency);
         merged.messages.merge(&p.messages);
+        merged.net.merge(&p.net);
         for (path, count) in p.paths.iter() {
             merged.paths.add_n(path, count);
         }
@@ -805,6 +835,7 @@ mod tests {
             faults: FaultSchedule::none(),
             seed: 7,
             max_events: 1_000_000,
+            aggregate: false,
         }
     }
 
@@ -887,6 +918,7 @@ mod tests {
             workload: &workload,
             delay: DelayModel::Uniform { min: 1, max: 10 },
             chaos: ChaosSpec::None,
+            aggregate: false,
             runs: 20,
             seed0: 100,
             max_events: 1_000_000,
@@ -911,6 +943,7 @@ mod tests {
             workload: &workload,
             delay: DelayModel::Uniform { min: 1, max: 10 },
             chaos: ChaosSpec::None,
+            aggregate: false,
             runs: 24,
             seed0: 9,
             max_events: 5_000_000,
@@ -941,6 +974,7 @@ mod tests {
             workload: &workload,
             delay: DelayModel::Uniform { min: 1, max: 10 },
             chaos: ChaosSpec::PartitionHeal { open: 5, heal: 120 },
+            aggregate: false,
             runs: 12,
             seed0: 40,
             max_events: 5_000_000,

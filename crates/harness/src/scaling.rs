@@ -72,6 +72,7 @@ pub fn run(opts: Opts) -> Table {
             runs: opts.runs,
             seed0: opts.seed0,
             max_events: 50_000_000,
+            aggregate: false,
         });
         assert!(dex.clean(), "{dex:?}");
         let bosco = run_batch_auto(&BatchSpec {
@@ -87,6 +88,7 @@ pub fn run(opts: Opts) -> Table {
             runs: opts.runs,
             seed0: opts.seed0,
             max_events: 50_000_000,
+            aggregate: false,
         });
         assert!(bosco.clean(), "{bosco:?}");
         let one = dex.path_fraction("1-step");

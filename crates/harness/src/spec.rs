@@ -548,6 +548,45 @@ impl PipelineSpec {
     }
 }
 
+/// Echo/vote aggregation selection, mirroring the **valueless**
+/// `--aggregate` flag.
+///
+/// `Off` (the default) keeps the wire protocol byte-identical to
+/// pre-aggregation builds — the seed trace artifacts `cmp` equal. `On`
+/// coalesces each process's per-tick echo flood (votes, for Bosco) into
+/// one batched multicast per causal depth (see
+/// [`dex_broadcast::EchoAggregator`]), cutting the IDB wire complexity
+/// from `n²` point-to-point echoes to `n` batches per tick. Algorithms
+/// without an echo/vote flood (`plain`, the crash rows) ignore the switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AggregationSpec {
+    /// Unbatched echoes — the paper's literal message pattern.
+    #[default]
+    Off,
+    /// Per-tick batched echoes riding the `Dest::All` zero-clone path.
+    On,
+}
+
+impl AggregationSpec {
+    /// `true` for [`AggregationSpec::Off`].
+    pub fn is_off(&self) -> bool {
+        *self == AggregationSpec::Off
+    }
+
+    /// `true` for [`AggregationSpec::On`].
+    pub fn is_on(&self) -> bool {
+        *self == AggregationSpec::On
+    }
+
+    /// Short label for JSON and reports.
+    pub fn flag(&self) -> &'static str {
+        match self {
+            AggregationSpec::Off => "off",
+            AggregationSpec::On => "on",
+        }
+    }
+}
+
 /// The unified experiment description: every knob of a `dex-sim` batch, as
 /// one serde-able value. See the module docs for the flag mapping.
 #[derive(Clone, PartialEq, Debug)]
@@ -577,6 +616,12 @@ pub struct RunSpec {
     /// Pipelined replication (`--pipeline <window>:<batch>`; `1:1` keeps
     /// the single-shot consensus path).
     pub pipeline: PipelineSpec,
+    /// Echo/vote aggregation (the valueless `--aggregate` flag; off keeps
+    /// the wire byte-identical to pre-aggregation builds).
+    pub aggregate: AggregationSpec,
+    /// Print the per-class wire-statistics breakdown after the batch (the
+    /// valueless `--stats` flag).
+    pub stats: bool,
     /// Batch size (`--runs`).
     pub runs: usize,
     /// Base seed; run `i` uses `seed + i` (`--seed`).
@@ -601,6 +646,8 @@ impl Default for RunSpec {
             delay: DelayModel::Uniform { min: 1, max: 10 },
             chaos: ChaosSpec::default(),
             pipeline: PipelineSpec::default(),
+            aggregate: AggregationSpec::default(),
+            stats: false,
             runs: 20,
             seed: 0,
             max_events: 50_000_000,
@@ -713,6 +760,7 @@ impl RunSpec {
             workload: workload.as_ref(),
             delay: self.delay.clone(),
             chaos: self.chaos.clone(),
+            aggregate: self.aggregate.is_on(),
             runs: self.runs,
             seed0: self.seed,
             max_events: self.max_events,
@@ -784,6 +832,12 @@ impl RunSpec {
             "--max-events".into(),
             self.max_events.to_string(),
         ];
+        if self.aggregate.is_on() {
+            args.push("--aggregate".into());
+        }
+        if self.stats {
+            args.push("--stats".into());
+        }
         if self.trace {
             args.push("--trace".into());
         }
@@ -803,6 +857,14 @@ impl RunSpec {
             };
             if name == "trace" {
                 spec.trace = true;
+                continue;
+            }
+            if name == "aggregate" {
+                spec.aggregate = AggregationSpec::On;
+                continue;
+            }
+            if name == "stats" {
+                spec.stats = true;
                 continue;
             }
             let value = it
@@ -843,7 +905,8 @@ impl RunSpec {
             out,
             "{{\"n\":{},\"t\":{},\"f\":{},\"algo\":\"{}\",\"workload\":\"{}\",\
              \"adversary\":\"{}\",\"underlying\":\"{}\",\"placement\":\"{}\",\
-             \"delay\":\"{}\",\"chaos\":\"{}\",\"pipeline\":\"{}\",\"runs\":{},\"seed\":{},\
+             \"delay\":\"{}\",\"chaos\":\"{}\",\"pipeline\":\"{}\",\"aggregate\":\"{}\",\
+             \"stats\":{},\"runs\":{},\"seed\":{},\
              \"max_events\":{},\"trace\":{}}}",
             self.n,
             self.t,
@@ -856,6 +919,8 @@ impl RunSpec {
             delay_flag(&self.delay),
             self.chaos.flag(),
             self.pipeline.flag(),
+            self.aggregate.flag(),
+            self.stats,
             self.runs,
             self.seed,
             self.max_events,
@@ -886,6 +951,8 @@ mod tests {
                 window: 8,
                 batch: 4,
             },
+            aggregate: AggregationSpec::On,
+            stats: true,
             runs: 8,
             seed: 31,
             max_events: 1_000_000,
@@ -893,6 +960,30 @@ mod tests {
         };
         let args = spec.to_args();
         assert_eq!(RunSpec::from_args(&args).unwrap(), spec);
+    }
+
+    #[test]
+    fn aggregate_and_stats_flags_are_valueless_and_default_off() {
+        let spec = RunSpec::from_args(&["--aggregate", "--stats"]).unwrap();
+        assert!(spec.aggregate.is_on());
+        assert!(spec.stats);
+        assert_eq!(
+            spec,
+            RunSpec {
+                aggregate: AggregationSpec::On,
+                stats: true,
+                ..RunSpec::default()
+            }
+        );
+        let off = RunSpec::default();
+        assert!(off.aggregate.is_off());
+        assert!(!off.to_args().iter().any(|a| a == "--aggregate"));
+        assert!(off
+            .to_json()
+            .contains("\"aggregate\":\"off\",\"stats\":false"));
+        assert!(spec
+            .to_json()
+            .contains("\"aggregate\":\"on\",\"stats\":true"));
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn batch(
         runs,
         seed0,
         max_events: 5_000_000,
+        aggregate: false,
     })
 }
 

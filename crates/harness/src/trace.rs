@@ -94,6 +94,7 @@ pub fn path_census(t: usize, runs: usize, seed0: u64) -> Table {
                 delay: DelayModel::Uniform { min: 1, max: 10 },
                 seed: seed0 + i as u64,
                 max_events: 5_000_000,
+                aggregate: false,
             });
             assert!(result.agreement_ok() && result.all_decided());
             for r in result.decided() {

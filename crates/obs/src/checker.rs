@@ -139,6 +139,13 @@ pub struct PipelineMeta {
     /// `bytes_on_wire` counter) — the wire-cost side of the throughput
     /// story this artifact documents.
     pub bytes_on_wire: u64,
+    /// Sent messages per wire class `[init, echo, batch, other]` — the
+    /// four counters partition the run's total sends exactly, so an
+    /// aggregated artifact documents where its wire budget went.
+    pub sent_by_class: [u64; 4],
+    /// Echo entries that travelled inside batch messages instead of as
+    /// individual echoes (`0` for unaggregated runs).
+    pub echoes_batched: u64,
 }
 
 /// One process's recorded events.

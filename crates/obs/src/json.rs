@@ -191,8 +191,17 @@ pub fn render(run: &RunTrace, report: &CheckReport) -> String {
     if let Some(pipeline) = &run.meta.pipeline {
         let _ = write!(
             out,
-            ",\n\"pipeline\":{{\"window\":{},\"batch\":{},\"bytes_on_wire\":{}}}",
-            pipeline.window, pipeline.batch, pipeline.bytes_on_wire
+            ",\n\"pipeline\":{{\"window\":{},\"batch\":{},\"bytes_on_wire\":{},\
+             \"sent_init\":{},\"sent_echo\":{},\"sent_batch\":{},\"sent_other\":{},\
+             \"echoes_batched\":{}}}",
+            pipeline.window,
+            pipeline.batch,
+            pipeline.bytes_on_wire,
+            pipeline.sent_by_class[0],
+            pipeline.sent_by_class[1],
+            pipeline.sent_by_class[2],
+            pipeline.sent_by_class[3],
+            pipeline.echoes_batched
         );
     }
     out.push_str(",\n\"legend\":[");

@@ -7,9 +7,12 @@ use crate::machine::StateMachine;
 use crate::mux::{Checkout, SlotMux};
 use crate::wal::{Durability, WalRecord};
 use dex_adversary::{ByzantineActor, ByzantineStrategy, ProtocolForgery};
+use dex_broadcast::{EchoAggregator, IdbMessage};
 use dex_core::{DecisionPath, DexMsg, Reliable, ResendPolicy};
 use dex_obs::{obs_code, EventKind, Recorder};
-use dex_simnet::{Actor, Context, DelayModel, FaultSchedule, NetStats, Recoverable, Simulation};
+use dex_simnet::{
+    Actor, Context, DelayModel, FaultSchedule, MsgClass, NetStats, Recoverable, Simulation,
+};
 use dex_types::{Dest, ProcessId, StepDepth, SystemConfig, Value};
 use dex_underlying::{OracleMsg, Outbox};
 use std::collections::{HashMap, VecDeque};
@@ -69,6 +72,48 @@ pub enum ReplicaMsg<C> {
     /// Self-addressed flush timer for the UC coalescing buffer (local
     /// only — ignored unless it arrives from this very replica).
     UcFlushTick,
+    /// Echoes across all in-flight slots that one replica emitted within
+    /// one delivery tick, coalesced into a single multicast: `(slot,
+    /// origin, value)` triples, demultiplexed on arrival in entry order
+    /// through the exact per-slot path (horizon, retirement and quorum
+    /// guards reapply). Only sent when echo aggregation is enabled.
+    EchoBatch {
+        /// Coalesced echoes, grouped by would-be send depth upstream.
+        entries: Vec<(u64, ProcessId, C)>,
+    },
+    /// Self-addressed flush timer for the echo aggregator (local only —
+    /// ignored unless it arrives from this very replica).
+    EchoFlushTick,
+}
+
+/// Classifies cluster wire traffic for the per-class
+/// [`NetStats`](dex_simnet::NetStats) breakdown. Slot-tagged DEX traffic
+/// delegates to [`dex_core::dex_msg_class`]; [`ReplicaMsg::UcBatch`] stays
+/// `Other` so `echoes_batched` counts echo aggregation alone.
+pub fn replica_msg_class<C: Value>(msg: &ReplicaMsg<C>) -> MsgClass {
+    match msg {
+        ReplicaMsg::Slot { inner, .. } => dex_core::dex_msg_class(inner),
+        ReplicaMsg::EchoBatch { entries } => MsgClass::Batch(entries.len() as u32),
+        _ => MsgClass::Other,
+    }
+}
+
+/// Wire size of cluster traffic: shallow except for the heap-carried
+/// batch and catch-up payloads.
+pub fn replica_msg_bytes<C: Value>(msg: &ReplicaMsg<C>) -> usize {
+    let shallow = core::mem::size_of_val(msg);
+    match msg {
+        ReplicaMsg::EchoBatch { entries } => {
+            shallow + entries.len() * core::mem::size_of::<(u64, ProcessId, C)>()
+        }
+        ReplicaMsg::UcBatch { entries } => {
+            shallow + entries.len() * core::mem::size_of::<(u64, OracleMsg<C>)>()
+        }
+        ReplicaMsg::CatchUpReply { slots } => {
+            shallow + slots.len() * core::mem::size_of::<(u64, C)>()
+        }
+        _ => shallow,
+    }
 }
 
 impl<C: Value> ProtocolForgery for ReplicaMsg<C> {
@@ -198,6 +243,12 @@ pub struct Replica<SM: StateMachine> {
     claimed: usize,
     /// Messages saved by UC coalescing: entries shipped minus batches sent.
     uc_coalesced: u64,
+    /// Echo aggregation state, keyed `(slot, origin)`; `None` keeps the
+    /// wire protocol byte-identical to pre-aggregation builds.
+    agg: Option<EchoAggregator<(u64, ProcessId), SM::Command>>,
+    /// Messages saved by echo aggregation: echoes shipped minus batches
+    /// sent.
+    echoes_coalesced: u64,
 }
 
 impl<SM: StateMachine> Replica<SM> {
@@ -228,7 +279,24 @@ impl<SM: StateMachine> Replica<SM> {
             uc_flush_armed: false,
             claimed: 0,
             uc_coalesced: 0,
+            agg: None,
+            echoes_coalesced: 0,
         }
+    }
+
+    /// Turns on echo aggregation: outgoing `Dest::All` echoes across all
+    /// in-flight slots are coalesced per delivery tick into
+    /// [`ReplicaMsg::EchoBatch`] multicasts (see
+    /// `dex_core::DexActor::enable_aggregation` for the single-shot
+    /// analogue). Composes with pipelining: a window of `W` slots flooding
+    /// echoes concurrently shares the same per-tick batches.
+    pub fn enable_echo_aggregation(&mut self) {
+        self.agg = Some(EchoAggregator::new());
+    }
+
+    /// Messages saved so far by echo aggregation.
+    pub fn echoes_coalesced(&self) -> u64 {
+        self.echoes_coalesced
     }
 
     /// Turns on the pipelined engine: up to `window` slots run their DEX
@@ -390,7 +458,14 @@ impl<SM: StateMachine> Replica<SM> {
         let window = self.mux.window();
         if window > 1 {
             let floor = self.log.committed_prefix() as u64;
-            self.mux.retire_below(floor.saturating_sub(window));
+            let retire_floor = floor.saturating_sub(window);
+            self.mux.retire_below(retire_floor);
+            // The aggregator's first-echo memory only matters while a
+            // slot's instance is live; dropping retired keys bounds it to
+            // O(window × n) entries regardless of run length.
+            if let Some(agg) = self.agg.as_mut() {
+                agg.retain_seen(|(slot, _)| *slot >= retire_floor);
+            }
         }
     }
 
@@ -622,8 +697,11 @@ impl<SM: StateMachine> Replica<SM> {
         ctx: &mut Context<'_, ReplicaMsg<SM::Command>>,
     ) {
         for (dest, inner) in out.drain() {
-            match (dest, inner) {
-                (Dest::To(to), DexMsg::Uc(m))
+            match (self.agg.as_mut(), dest, inner) {
+                (Some(agg), Dest::All, DexMsg::Idb(IdbMessage::Echo { key, value })) => {
+                    agg.offer((slot, key), value, ctx.depth().next());
+                }
+                (_, Dest::To(to), DexMsg::Uc(m))
                     if self.mux.window() > 1 && to == self.coordinator =>
                 {
                     self.uc_pending.push((slot, m));
@@ -632,8 +710,53 @@ impl<SM: StateMachine> Replica<SM> {
                         ctx.send_self_after(1, ReplicaMsg::UcFlushTick);
                     }
                 }
-                (dest, inner) => ctx.send_dest(dest, ReplicaMsg::Slot { slot, inner }),
+                (_, dest, inner) => ctx.send_dest(dest, ReplicaMsg::Slot { slot, inner }),
             }
+        }
+        if let Some(agg) = self.agg.as_mut() {
+            if agg.try_arm() {
+                ctx.send_self_after(1, ReplicaMsg::EchoFlushTick);
+            }
+        }
+    }
+
+    /// Ships the per-depth echo batches accumulated since the timer armed.
+    fn on_echo_flush_tick(
+        &mut self,
+        from: ProcessId,
+        ctx: &mut Context<'_, ReplicaMsg<SM::Command>>,
+    ) {
+        if from != self.me {
+            return; // forged tick
+        }
+        // Aggregation off (or a restart raced the timer): `take_batches`
+        // on a reset aggregator yields nothing.
+        let Some(agg) = self.agg.as_mut() else { return };
+        for (depth, entries) in agg.take_batches() {
+            self.echoes_coalesced += entries.len() as u64 - 1;
+            let entries: Vec<(u64, ProcessId, SM::Command)> = entries
+                .into_iter()
+                .map(|((slot, origin), value)| (slot, origin, value))
+                .collect();
+            ctx.send_dest_at(Dest::All, ReplicaMsg::EchoBatch { entries }, depth);
+        }
+    }
+
+    /// Demultiplexes a coalesced echo batch back into per-slot instances.
+    fn on_echo_batch(
+        &mut self,
+        from: ProcessId,
+        entries: &[(u64, ProcessId, SM::Command)],
+        ctx: &mut Context<'_, ReplicaMsg<SM::Command>>,
+    ) {
+        for (slot, origin, value) in entries {
+            // Per-slot guards (horizon, retirement, first-echo) all apply
+            // exactly as for un-batched echo traffic.
+            let inner = DexMsg::Idb(IdbMessage::Echo {
+                key: *origin,
+                value: value.clone(),
+            });
+            self.on_slot_msg(from, *slot, &inner, ctx);
         }
     }
 
@@ -676,6 +799,12 @@ impl<SM: StateMachine> Replica<SM> {
         self.mux.clear();
         self.uc_pending.clear();
         self.uc_flush_armed = false;
+        if let Some(agg) = self.agg.as_mut() {
+            // Restart amnesia covers the aggregation buffer too: pending
+            // echoes die with the crash (resend/catch-up recovers), and the
+            // first-echo memory must not outlive the instances it guarded.
+            agg.reset();
+        }
         self.claimed = 0;
         self.log = ReplicatedLog::new();
         self.machine = SM::default();
@@ -719,7 +848,17 @@ impl<SM: StateMachine> Actor for Replica<SM> {
             ReplicaMsg::CatchUpTick => self.on_catch_up_tick(from, ctx),
             ReplicaMsg::UcBatch { entries } => self.on_uc_batch(from, entries, ctx),
             ReplicaMsg::UcFlushTick => self.on_uc_flush_tick(from, ctx),
+            ReplicaMsg::EchoBatch { entries } => self.on_echo_batch(from, entries, ctx),
+            ReplicaMsg::EchoFlushTick => self.on_echo_flush_tick(from, ctx),
         }
+    }
+
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        replica_msg_bytes(msg)
+    }
+
+    fn msg_class(msg: &Self::Msg) -> MsgClass {
+        replica_msg_class(msg)
     }
 }
 
@@ -788,6 +927,14 @@ impl<SM: StateMachine> Actor for Node<SM> {
             Node::Byz(_) => None,
         }
     }
+
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        replica_msg_bytes(msg)
+    }
+
+    fn msg_class(msg: &Self::Msg) -> MsgClass {
+        replica_msg_class(msg)
+    }
 }
 
 impl<SM: StateMachine> Recoverable for Node<SM> {
@@ -841,6 +988,11 @@ pub struct GenericClusterOptions<C> {
     /// byte-for-byte; larger windows enable slot recycling and UC
     /// coalescing (see [`Replica::enable_pipelining`]).
     pub window: u64,
+    /// Coalesce each replica's per-tick `Dest::All` echoes into
+    /// [`ReplicaMsg::EchoBatch`] multicasts (see
+    /// [`Replica::enable_echo_aggregation`]). Off by default: the wire
+    /// protocol stays byte-identical to pre-aggregation builds.
+    pub aggregate: bool,
 }
 
 impl<C> GenericClusterOptions<C> {
@@ -859,6 +1011,7 @@ impl<C> GenericClusterOptions<C> {
             reliable: false,
             require_convergence: true,
             window: 1,
+            aggregate: false,
         }
     }
 }
@@ -885,6 +1038,8 @@ pub struct GenericClusterOutcome<C> {
     pub recycled: Vec<u64>,
     /// Per-replica count of messages saved by UC-batch coalescing.
     pub uc_coalesced: Vec<u64>,
+    /// Per-replica count of messages saved by echo aggregation.
+    pub echoes_coalesced: Vec<u64>,
 }
 
 impl<C: Value> GenericClusterOutcome<C> {
@@ -971,6 +1126,9 @@ pub fn run_generic_cluster<SM: StateMachine>(
                 if options.window > 1 {
                     replica.enable_pipelining(options.window);
                 }
+                if options.aggregate {
+                    replica.enable_echo_aggregation();
+                }
                 Node::Correct(replica)
             }
         })
@@ -1031,6 +1189,7 @@ fn collect_outcome<'a, SM: StateMachine>(
     let mut paths = Vec::new();
     let mut recycled = Vec::new();
     let mut uc_coalesced = Vec::new();
+    let mut echoes_coalesced = Vec::new();
     for node in nodes {
         match node {
             Node::Correct(r) => {
@@ -1047,6 +1206,7 @@ fn collect_outcome<'a, SM: StateMachine>(
                 paths.push(r.paths().to_vec());
                 recycled.push(r.mux().recycled());
                 uc_coalesced.push(r.uc_coalesced());
+                echoes_coalesced.push(r.echoes_coalesced());
             }
             Node::Byz(_) => {
                 logs.push(None);
@@ -1054,6 +1214,7 @@ fn collect_outcome<'a, SM: StateMachine>(
                 paths.push(Vec::new());
                 recycled.push(0);
                 uc_coalesced.push(0);
+                echoes_coalesced.push(0);
             }
         }
     }
@@ -1066,6 +1227,7 @@ fn collect_outcome<'a, SM: StateMachine>(
         net,
         recycled,
         uc_coalesced,
+        echoes_coalesced,
     }
 }
 
@@ -1317,6 +1479,58 @@ mod tests {
             .map(|(_, count)| *count)
             .unwrap();
         assert!(log_checks > 0, "commit events must drive log-agreement");
+    }
+
+    #[test]
+    fn aggregated_cluster_converges_with_fewer_messages() {
+        // Same workload, same seeds, aggregation off vs on (composed with
+        // a pipeline window so several slots flood echoes concurrently):
+        // both converge to identical logs within each run, and the
+        // aggregated run ships strictly fewer messages.
+        for seed in [3, 19] {
+            let base =
+                GenericClusterOptions::new(cfg(), vec![vec![501u64, 502, 503, 504]; 7], 4, seed);
+            let plain = run_generic_cluster::<TotalOrder<u64>>(GenericClusterOptions {
+                window: 4,
+                ..base.clone()
+            });
+            let agg = run_generic_cluster::<TotalOrder<u64>>(GenericClusterOptions {
+                window: 4,
+                aggregate: true,
+                ..base
+            });
+            assert!(plain.converged(), "seed {seed}: {:?}", plain.logs);
+            assert!(agg.converged(), "seed {seed}: {:?}", agg.logs);
+            assert!(
+                agg.net.sent < plain.net.sent,
+                "seed {seed}: aggregation must cut traffic ({} vs {})",
+                agg.net.sent,
+                plain.net.sent
+            );
+            assert!(agg.net.echoes_batched > 0, "seed {seed}");
+            assert!(
+                agg.echoes_coalesced.iter().sum::<u64>() > 0,
+                "seed {seed}: correct replicas must coalesce echoes"
+            );
+            assert_eq!(agg.net.payload_clones, 0, "seed {seed}");
+            // Aggregation diverts every Dest::All echo into batches.
+            assert_eq!(agg.net.sent_echo, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aggregated_cluster_recovers_through_restart() {
+        // Restart amnesia must cover the aggregation buffer: the victim's
+        // pending echoes die with the crash, recovery proceeds via WAL +
+        // catch-up exactly as without aggregation.
+        let outcome = run_generic_cluster::<TotalOrder<u64>>(GenericClusterOptions {
+            faults: FaultSchedule::none().crash_restart(ProcessId::new(4), 30, 4_000),
+            durable: true,
+            window: 2,
+            aggregate: true,
+            ..GenericClusterOptions::new(cfg(), vec![vec![601u64, 602]; 7], 3, 23)
+        });
+        assert!(outcome.converged(), "{:?}", outcome.logs);
     }
 
     #[test]

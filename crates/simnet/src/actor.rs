@@ -49,6 +49,31 @@ pub trait Actor {
     fn msg_bytes(msg: &Self::Msg) -> usize {
         core::mem::size_of_val(msg)
     }
+
+    /// Classifies one message for the per-class
+    /// [`NetStats`](crate::NetStats) breakdown (init/echo/batch/other). The
+    /// default lumps everything under [`MsgClass::Other`], which keeps the
+    /// aggregate counters exact for actors that never override it; protocol
+    /// actors classify their wire enums so aggregation wins are
+    /// attributable per class.
+    fn msg_class(msg: &Self::Msg) -> MsgClass {
+        let _ = msg;
+        MsgClass::Other
+    }
+}
+
+/// Coarse wire-message classes for [`NetStats`](crate::NetStats)
+/// accounting (see [`Actor::msg_class`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgClass {
+    /// A broadcast-opening message (IDB/RB `init`, proposals, votes).
+    Init,
+    /// A point-to-point or multicast echo sent individually.
+    Echo,
+    /// An aggregated echo batch carrying this many coalesced entries.
+    Batch(u32),
+    /// Anything else (UC traffic, catch-up, timers, client messages).
+    Other,
 }
 
 /// An actor that survives a [`CrashMode::Restart`](crate::CrashMode)
@@ -90,6 +115,11 @@ pub struct Context<'a, M> {
     depth: StepDepth,
     rng: &'a mut StdRng,
     outbox: Vec<(Dest, M)>,
+    /// Sends carrying an explicit causal depth (see
+    /// [`send_dest_at`](Self::send_dest_at)). Kept separate from `outbox`
+    /// so the default depth-`next()` path stays allocation- and
+    /// branch-free.
+    outbox_at: Vec<(Dest, M, StepDepth)>,
     timers: Vec<(u64, M)>,
     clones: u64,
 }
@@ -123,6 +153,7 @@ impl<'a, M: Clone> Context<'a, M> {
             depth,
             rng,
             outbox,
+            outbox_at: Vec::new(),
             timers: Vec::new(),
             clones: 0,
         }
@@ -148,6 +179,14 @@ impl<'a, M: Clone> Context<'a, M> {
     /// entry is still unexpanded; the runtime decides how to fan it out.
     pub fn take_outbox(&mut self) -> Vec<(Dest, M)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the buffered depth-stamped sends queued with
+    /// [`send_dest_at`](Self::send_dest_at). External runtimes must drain
+    /// this alongside [`take_outbox`](Self::take_outbox) or
+    /// depth-preserving traffic (flushed echo batches) would be lost.
+    pub fn take_outbox_at(&mut self) -> Vec<(Dest, M, StepDepth)> {
+        std::mem::take(&mut self.outbox_at)
     }
 
     /// Drains the buffered `(delay, Msg)` timers armed with
@@ -191,6 +230,23 @@ impl<'a, M: Clone> Context<'a, M> {
     /// carry a [`Dest`].
     pub fn send_dest(&mut self, dest: Dest, msg: M) {
         self.outbox.push((dest, msg));
+    }
+
+    /// Queues `msg` for `dest` carrying an **explicit** causal depth
+    /// instead of the handler default `self.depth().next()`.
+    ///
+    /// This exists for one caller: the echo-aggregation flush. A flush
+    /// tick is a local timer, not a communication step, so the batches it
+    /// emits must travel at the depth their unbatched echoes would have
+    /// had — one batch per depth bucket (see
+    /// `dex_broadcast::EchoAggregator`). The paper's step metric, the
+    /// trace checker's exact step-scheme invariants, and the per-depth
+    /// delivery stats all stay unperturbed. `depth` must be a depth this
+    /// actor could legitimately have sent at, i.e. captured from a prior
+    /// `ctx.depth().next()`; the simulator trusts it for accounting only
+    /// and never for scheduling.
+    pub fn send_dest_at(&mut self, dest: Dest, msg: M, depth: StepDepth) {
+        self.outbox_at.push((dest, msg, depth));
     }
 
     /// Sends `msg` to **every** process, including this one. The message
@@ -244,10 +300,11 @@ impl<'a, M: Clone> Context<'a, M> {
         self.clones
     }
 
-    /// Decomposes into the buffered sends and armed timers.
+    /// Decomposes into the buffered sends, depth-stamped sends, and armed
+    /// timers.
     #[allow(clippy::type_complexity)]
-    pub(crate) fn into_parts(self) -> (Vec<(Dest, M)>, Vec<(u64, M)>) {
-        (self.outbox, self.timers)
+    pub(crate) fn into_parts(self) -> (Vec<(Dest, M)>, Vec<(Dest, M, StepDepth)>, Vec<(u64, M)>) {
+        (self.outbox, self.outbox_at, self.timers)
     }
 }
 
@@ -267,9 +324,12 @@ mod tests {
         ctx.broadcast_others(5);
         ctx.send_dest(Dest::All, 4);
         ctx.send_self_after(17, 3);
+        ctx.send_dest_at(Dest::All, 6, StepDepth::new(2));
         assert_eq!(ctx.cloned(), 2, "only broadcast_others clones");
-        let (out, timers) = ctx.into_parts();
+        let (out, out_at, timers) = ctx.into_parts();
         assert_eq!(timers, vec![(17, 3)]);
+        // Depth-stamped sends travel in their own buffer.
+        assert_eq!(out_at, vec![(Dest::All, 6, StepDepth::new(2))]);
         // send + one unexpanded broadcast + 2 expanded others + send_dest.
         assert_eq!(out.len(), 1 + 1 + 2 + 1);
         assert_eq!(out[0], (Dest::To(ProcessId::new(0)), 9));

@@ -71,7 +71,7 @@ mod stats;
 mod time;
 mod trace;
 
-pub use actor::{Actor, Context, Recoverable};
+pub use actor::{Actor, Context, MsgClass, Recoverable};
 pub use builder::SimulationBuilder;
 pub use delay::DelayModel;
 pub use dex_types::Dest;

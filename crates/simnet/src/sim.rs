@@ -1,6 +1,6 @@
 //! The discrete-event simulation engine.
 
-use crate::actor::{Actor, Context};
+use crate::actor::{Actor, Context, MsgClass};
 use crate::builder::SimulationBuilder;
 use crate::delay::DelayModel;
 use crate::faults::FaultSchedule;
@@ -261,14 +261,22 @@ impl<A: Actor> Simulation<A> {
     /// ascending order — exactly the order the old eager per-recipient
     /// expansion produced — so the RNG stream, `seq` numbering and thus the
     /// whole virtual-time schedule are unchanged by the slab fast path.
-    fn schedule(&mut self, from: ProcessId, to: ProcessId, depth: StepDepth, slot: u32) {
+    fn schedule(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        depth: StepDepth,
+        slot: u32,
+        class: MsgClass,
+        bytes: u64,
+    ) {
         // The link delay is always drawn first, from the main RNG: chaos
         // decisions use their own stream, so the delay schedule of messages
         // untouched by faults is identical with and without a schedule.
         let delay = self.delay.sample(&mut self.rng, from, to);
         let mut deliver_at = self.now + delay;
-        self.stats.record_send(depth);
-        self.stats.bytes_on_wire += A::msg_bytes(self.slab.payload(slot)) as u64;
+        self.stats.record_send(depth, class);
+        self.stats.bytes_on_wire += bytes;
         if let Some(rec) = self.actors[from.index()].recorder_mut() {
             rec.record_at(
                 self.now.as_units(),
@@ -466,8 +474,9 @@ impl<A: Actor> Simulation<A> {
         let mut ctx = Context::with_buffer(p, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
         hook(&mut self.actors[p.index()], &mut ctx);
         self.stats.payload_clones += ctx.cloned();
-        let (mut outbox, mut timers) = ctx.into_parts();
+        let (mut outbox, mut outbox_at, mut timers) = ctx.into_parts();
         self.dispatch(p, &mut outbox, StepDepth::ONE);
+        self.dispatch_at(p, &mut outbox_at);
         self.dispatch_timers(p, &mut timers, StepDepth::ONE);
         self.scratch = outbox;
     }
@@ -486,7 +495,8 @@ impl<A: Actor> Simulation<A> {
         for (delay, payload) in timers.drain(..) {
             let slot = self.slab.insert(payload, me, depth, 1);
             let mut deliver_at = self.now + delay;
-            self.stats.record_send(depth);
+            self.stats
+                .record_send(depth, A::msg_class(self.slab.payload(slot)));
             if let Some(rec) = self.actors[me.index()].recorder_mut() {
                 rec.record_at(
                     self.now.as_units(),
@@ -535,18 +545,51 @@ impl<A: Actor> Simulation<A> {
     fn dispatch(&mut self, from: ProcessId, outbox: &mut Vec<(Dest, A::Msg)>, depth: StepDepth) {
         let n = self.actors.len();
         for (dest, payload) in outbox.drain(..) {
-            match dest {
-                Dest::To(to) => {
-                    let slot = self.slab.insert(payload, from, depth, 1);
-                    self.schedule(from, to, depth, slot);
-                }
-                Dest::All => {
-                    // One shared payload, n pending deliveries, zero clones.
-                    self.stats.multicasts += 1;
-                    let slot = self.slab.insert(payload, from, depth, n as u32);
-                    for i in 0..n {
-                        self.schedule(from, ProcessId::new(i), depth, slot);
-                    }
+            self.dispatch_one(from, dest, payload, depth, n);
+        }
+    }
+
+    /// Dispatches depth-stamped sends queued via
+    /// [`Context::send_dest_at`]: each entry travels at its own explicit
+    /// causal depth instead of the handler default. Used by the
+    /// echo-aggregation flush, whose batches must arrive at the depth
+    /// their unbatched echoes would have had.
+    fn dispatch_at(&mut self, from: ProcessId, outbox_at: &mut Vec<(Dest, A::Msg, StepDepth)>) {
+        let n = self.actors.len();
+        for (dest, payload, depth) in outbox_at.drain(..) {
+            self.dispatch_one(from, dest, payload, depth, n);
+        }
+    }
+
+    fn dispatch_one(
+        &mut self,
+        from: ProcessId,
+        dest: Dest,
+        payload: A::Msg,
+        depth: StepDepth,
+        n: usize,
+    ) {
+        // Class and size are computed once per dispatched message and
+        // passed down: for a `Dest::All` multicast `schedule` runs n times,
+        // and re-deriving them per recipient would put a payload walk on
+        // the delivery fast path. Echo entries carried inside a batch are
+        // likewise counted once, like `multicasts` — not per recipient.
+        let class = A::msg_class(&payload);
+        let bytes = A::msg_bytes(&payload) as u64;
+        if let MsgClass::Batch(entries) = class {
+            self.stats.echoes_batched += entries as u64;
+        }
+        match dest {
+            Dest::To(to) => {
+                let slot = self.slab.insert(payload, from, depth, 1);
+                self.schedule(from, to, depth, slot, class, bytes);
+            }
+            Dest::All => {
+                // One shared payload, n pending deliveries, zero clones.
+                self.stats.multicasts += 1;
+                let slot = self.slab.insert(payload, from, depth, n as u32);
+                for i in 0..n {
+                    self.schedule(from, ProcessId::new(i), depth, slot, class, bytes);
                 }
             }
         }
@@ -567,8 +610,9 @@ impl<A: Actor> Simulation<A> {
                 Context::with_buffer(me, n, self.now, StepDepth::ZERO, &mut self.rng, buf);
             self.actors[i].on_start(&mut ctx);
             self.stats.payload_clones += ctx.cloned();
-            let (mut outbox, mut timers) = ctx.into_parts();
+            let (mut outbox, mut outbox_at, mut timers) = ctx.into_parts();
             self.dispatch(me, &mut outbox, StepDepth::ONE);
+            self.dispatch_at(me, &mut outbox_at);
             self.dispatch_timers(me, &mut timers, StepDepth::ONE);
             self.scratch = outbox;
         }
@@ -624,9 +668,10 @@ impl<A: Actor> Simulation<A> {
         let mut ctx = Context::with_buffer(to, n, self.now, depth, &mut self.rng, buf);
         self.actors[to.index()].on_message(from, self.slab.payload(key.slot), &mut ctx);
         self.stats.payload_clones += ctx.cloned();
-        let (mut outbox, mut timers) = ctx.into_parts();
+        let (mut outbox, mut outbox_at, mut timers) = ctx.into_parts();
         self.slab.release(key.slot);
         self.dispatch(to, &mut outbox, depth.next());
+        self.dispatch_at(to, &mut outbox_at);
         self.dispatch_timers(to, &mut timers, depth.next());
         self.scratch = outbox;
         Some((from, to, depth))

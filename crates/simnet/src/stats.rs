@@ -1,5 +1,6 @@
 //! Network-level statistics.
 
+use crate::actor::MsgClass;
 use dex_types::StepDepth;
 
 /// Counters maintained by the simulator across one run.
@@ -42,6 +43,24 @@ pub struct NetStats {
     ///
     /// [`Actor::msg_bytes`]: crate::Actor::msg_bytes
     pub bytes_on_wire: u64,
+    /// Sent messages classified [`MsgClass::Init`] — broadcast openers
+    /// (IDB/RB inits, proposals, votes). The four `sent_*` class counters
+    /// partition [`sent`](Self::sent) exactly.
+    pub sent_init: u64,
+    /// Sent messages classified [`MsgClass::Echo`] — individually-sent
+    /// echoes (the n² flood the aggregation layer exists to compress).
+    pub sent_echo: u64,
+    /// Sent messages classified [`MsgClass::Batch`] — aggregated echo
+    /// batches on the wire (each counts once here however many entries it
+    /// carries; the entries land in [`echoes_batched`](Self::echoes_batched)).
+    pub sent_batch: u64,
+    /// Sent messages in no other class (UC traffic, catch-up, timers).
+    pub sent_other: u64,
+    /// Echo entries carried inside batch messages: the echoes that *would*
+    /// have been individual `sent_echo` messages without aggregation.
+    /// Counted once per multicast (not per recipient), mirroring how
+    /// [`multicasts`](Self::multicasts) counts.
+    pub echoes_batched: u64,
     /// The deepest causal step observed on any message.
     pub max_depth: StepDepth,
     /// Delivered-message count per causal depth (index = depth − 1).
@@ -49,8 +68,14 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    pub(crate) fn record_send(&mut self, depth: StepDepth) {
+    pub(crate) fn record_send(&mut self, depth: StepDepth, class: MsgClass) {
         self.sent += 1;
+        match class {
+            MsgClass::Init => self.sent_init += 1,
+            MsgClass::Echo => self.sent_echo += 1,
+            MsgClass::Batch(_) => self.sent_batch += 1,
+            MsgClass::Other => self.sent_other += 1,
+        }
         if depth > self.max_depth {
             self.max_depth = depth;
         }
@@ -70,6 +95,35 @@ impl NetStats {
         let idx = depth.get().saturating_sub(1) as usize;
         self.per_depth.get(idx).copied().unwrap_or(0)
     }
+
+    /// Folds another run's counters into this one — batch runners use this
+    /// to aggregate wire statistics across runs (sums everywhere except
+    /// `max_depth`, which takes the maximum).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.multicasts += other.multicasts;
+        self.payload_clones += other.payload_clones;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.held_partition += other.held_partition;
+        self.held_crash += other.held_crash;
+        self.bytes_on_wire += other.bytes_on_wire;
+        self.sent_init += other.sent_init;
+        self.sent_echo += other.sent_echo;
+        self.sent_batch += other.sent_batch;
+        self.sent_other += other.sent_other;
+        self.echoes_batched += other.echoes_batched;
+        if other.max_depth > self.max_depth {
+            self.max_depth = other.max_depth;
+        }
+        if self.per_depth.len() < other.per_depth.len() {
+            self.per_depth.resize(other.per_depth.len(), 0);
+        }
+        for (mine, theirs) in self.per_depth.iter_mut().zip(&other.per_depth) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -79,8 +133,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut s = NetStats::default();
-        s.record_send(StepDepth::new(1));
-        s.record_send(StepDepth::new(3));
+        s.record_send(StepDepth::new(1), MsgClass::Init);
+        s.record_send(StepDepth::new(3), MsgClass::Other);
         s.record_delivery(StepDepth::new(1));
         s.record_delivery(StepDepth::new(1));
         s.record_delivery(StepDepth::new(3));
@@ -90,5 +144,43 @@ mod tests {
         assert_eq!(s.delivered_at_depth(StepDepth::new(1)), 2);
         assert_eq!(s.delivered_at_depth(StepDepth::new(2)), 0);
         assert_eq!(s.delivered_at_depth(StepDepth::new(3)), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_depth() {
+        let mut a = NetStats::default();
+        a.record_send(StepDepth::new(1), MsgClass::Init);
+        a.record_delivery(StepDepth::new(1));
+        let mut b = NetStats::default();
+        b.record_send(StepDepth::new(3), MsgClass::Batch(4));
+        b.echoes_batched = 4;
+        b.record_delivery(StepDepth::new(3));
+        a.merge(&b);
+        assert_eq!(a.sent, 2);
+        assert_eq!(a.sent_init, 1);
+        assert_eq!(a.sent_batch, 1);
+        assert_eq!(a.echoes_batched, 4);
+        assert_eq!(a.max_depth, StepDepth::new(3));
+        assert_eq!(a.delivered_at_depth(StepDepth::new(1)), 1);
+        assert_eq!(a.delivered_at_depth(StepDepth::new(3)), 1);
+    }
+
+    #[test]
+    fn class_counters_partition_sent() {
+        let mut s = NetStats::default();
+        s.record_send(StepDepth::new(1), MsgClass::Init);
+        s.record_send(StepDepth::new(2), MsgClass::Echo);
+        s.record_send(StepDepth::new(2), MsgClass::Echo);
+        s.record_send(StepDepth::new(2), MsgClass::Batch(5));
+        s.record_send(StepDepth::new(3), MsgClass::Other);
+        assert_eq!(s.sent_init, 1);
+        assert_eq!(s.sent_echo, 2);
+        assert_eq!(s.sent_batch, 1);
+        assert_eq!(s.sent_other, 1);
+        assert_eq!(
+            s.sent_init + s.sent_echo + s.sent_batch + s.sent_other,
+            s.sent,
+            "class counters must partition sent exactly"
+        );
     }
 }

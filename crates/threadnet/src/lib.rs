@@ -160,6 +160,27 @@ fn expand<M: Clone>(n: usize, out: Vec<(Dest, M)>) -> Vec<(ProcessId, M)> {
     flat
 }
 
+/// Expands depth-stamped sends (`Context::send_dest_at`) the same way as
+/// [`expand`], carrying each entry's explicit causal depth through to the
+/// envelope. Draining this buffer alongside the plain outbox keeps
+/// depth-preserving traffic (echo-aggregation flushes) from being lost on
+/// the threaded runtime.
+fn expand_at<M: Clone>(n: usize, out: Vec<(Dest, M, StepDepth)>) -> Vec<(ProcessId, M, StepDepth)> {
+    let mut flat = Vec::with_capacity(out.len());
+    for (dest, payload, depth) in out {
+        match dest {
+            Dest::To(to) => flat.push((to, payload, depth)),
+            Dest::All => {
+                for j in 0..n - 1 {
+                    flat.push((ProcessId::new(j), payload.clone(), depth));
+                }
+                flat.push((ProcessId::new(n - 1), payload, depth));
+            }
+        }
+    }
+    flat
+}
+
 /// Handles one delivery (network envelope or fired timer) at a worker:
 /// runs the actor, records obs events, queues reactions to the dispatcher
 /// and newly armed timers to the local list. Each queued reaction and
@@ -189,6 +210,7 @@ fn deliver<A: Actor>(
     let mut ctx = Context::external(me, n, now, env.depth, rng);
     actor.on_message(env.from, &env.payload, &mut ctx);
     let out = expand(n, ctx.take_outbox());
+    let out_at = expand_at(n, ctx.take_outbox_at());
     let armed = ctx.take_timers();
     drop(ctx);
     if let Some(rec) = actor.recorder_mut() {
@@ -196,6 +218,15 @@ fn deliver<A: Actor>(
             rec.record_at(
                 *local_seq,
                 env.depth.next().get(),
+                dex_obs::EventKind::Send {
+                    to: to.index() as u16,
+                },
+            );
+        }
+        for (to, _, depth) in &out_at {
+            rec.record_at(
+                *local_seq,
+                depth.get(),
                 dex_obs::EventKind::Send {
                     to: to.index() as u16,
                 },
@@ -209,6 +240,17 @@ fn deliver<A: Actor>(
             Envelope {
                 from: me,
                 depth: env.depth.next(),
+                payload,
+            },
+        ));
+    }
+    for (to, payload, depth) in out_at {
+        inflight.fetch_add(1, Ordering::AcqRel);
+        let _ = dispatch_tx.send((
+            to.index(),
+            Envelope {
+                from: me,
+                depth,
                 payload,
             },
         ));
@@ -339,6 +381,7 @@ where
                 let mut ctx = Context::external(me, n, Time::ZERO, StepDepth::ZERO, &mut rng);
                 actor.on_start(&mut ctx);
                 let out = expand(n, ctx.take_outbox());
+                let out_at = expand_at(n, ctx.take_outbox_at());
                 let armed = ctx.take_timers();
                 drop(ctx);
                 if let Some(rec) = actor.recorder_mut() {
@@ -359,6 +402,17 @@ where
                         Envelope {
                             from: me,
                             depth: StepDepth::ONE,
+                            payload,
+                        },
+                    ));
+                }
+                for (to, payload, depth) in out_at {
+                    inflight.fetch_add(1, Ordering::AcqRel);
+                    let _ = dispatch_tx.send((
+                        to.index(),
+                        Envelope {
+                            from: me,
+                            depth,
                             payload,
                         },
                     ));

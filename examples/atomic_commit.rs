@@ -39,6 +39,7 @@ fn decide(algo: Algo, input: &InputVector<u64>, seed: u64) -> (u64, &'static str
         delay: DelayModel::Uniform { min: 1, max: 10 },
         seed,
         max_events: 5_000_000,
+        aggregate: false,
     });
     assert!(result.agreement_ok() && result.all_decided());
     let slowest = result

@@ -20,6 +20,7 @@ fn run_once(label: &str, input: InputVector<u64>) {
         delay: DelayModel::Uniform { min: 1, max: 10 },
         seed: 2010,
         max_events: 1_000_000,
+        aggregate: false,
     });
     assert!(result.agreement_ok(), "agreement must hold");
     assert!(result.all_decided(), "termination must hold");

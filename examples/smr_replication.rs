@@ -47,6 +47,7 @@ fn main() {
             delay: DelayModel::Uniform { min: 1, max: 10 },
             seed: 5000 + slot as u64,
             max_events: 5_000_000,
+            aggregate: false,
         });
         assert!(result.agreement_ok(), "replicas diverged at slot {slot}");
         assert!(result.all_decided(), "slot {slot} never committed");

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_broadcast.json at the repo root: wire cost of the IDB
+# echo flood with the aggregation layer off vs on (sent messages and bytes
+# per decision at n = 7 / 13 / 31 / 127 — see DESIGN.md, "Echo
+# aggregation"). Pass an argument to write elsewhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p dex-bench --bin bench_broadcast -- "${1:-BENCH_broadcast.json}"

@@ -15,6 +15,11 @@
 #     virtual-time metric, so two hard checks ride on top of the
 #     regression comparison: window 8 must beat window 1 by ≥ 2x at
 #     n = 31, and clones_per_multicast must be exactly zero.
+#   * BENCH_broadcast.json — echo aggregation wire cost, batched vs
+#     unbatched sent messages per decision (msg_reduction per n). Also a
+#     deterministic virtual-wire metric, with two hard checks: aggregation
+#     must cut sent messages per decision by ≥ 3x at n = 31, and
+#     clones_on_wire must be exactly zero (batches ride the slab path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,11 +57,13 @@ require_baseline() {
 require_baseline BENCH_view_tally.json
 require_baseline BENCH_simnet.json
 require_baseline BENCH_pipeline.json
+require_baseline BENCH_broadcast.json
 
 FRESH_TALLY=$(mktemp -t bench_view_tally.XXXXXX)
 FRESH_SIMNET=$(mktemp -t bench_simnet.XXXXXX)
 FRESH_PIPELINE=$(mktemp -t bench_pipeline.XXXXXX)
-trap 'rm -f "$FRESH_TALLY" "$FRESH_SIMNET" "$FRESH_PIPELINE"' EXIT
+FRESH_BROADCAST=$(mktemp -t bench_broadcast.XXXXXX)
+trap 'rm -f "$FRESH_TALLY" "$FRESH_SIMNET" "$FRESH_PIPELINE" "$FRESH_BROADCAST"' EXIT
 
 echo "-- view tally: naive vs incremental (read_speedup)"
 ./scripts/bench_view_tally.sh "$FRESH_TALLY" > /dev/null
@@ -96,6 +103,30 @@ sed -n 's/.*"n": *31,.*"w8_speedup": *\([0-9.]*\).*/\1/p' "$FRESH_PIPELINE" \
 if sed -n 's/.*"clones_per_multicast": *\([0-9.]*\).*/\1/p' "$FRESH_PIPELINE" \
    | grep -qv '^0\(\.0*\)\?$'; then
   echo "zero-clone violation: pipeline clones_per_multicast != 0" >&2
+  exit 1
+fi
+
+echo "-- echo aggregation: unbatched vs batched wire cost (msg_reduction)"
+./scripts/bench_broadcast.sh "$FRESH_BROADCAST" > /dev/null
+compare_speedups BENCH_broadcast.json "$FRESH_BROADCAST" msg_reduction
+
+# Deterministic virtual-wire metric, so the headline claim gates hard: at
+# n = 31 aggregation must cut sent messages per decision by at least 3x.
+sed -n 's/.*"n": *31,.*"msg_reduction": *\([0-9.]*\).*/\1/p' "$FRESH_BROADCAST" \
+  | awk '
+    { found = 1
+      if ($1 < 3.0) {
+        printf "broadcast gate: msg_reduction %.2fx < 3x at n=31\n", $1 > "/dev/stderr"
+        exit 1
+      }
+    }
+    END { if (!found) { print "broadcast gate: no n=31 row" > "/dev/stderr"; exit 1 } }
+  '
+
+# Echo batches must stay on the zero-clone multicast path.
+if sed -n 's/.*"clones_on_wire": *\([0-9.]*\).*/\1/p' "$FRESH_BROADCAST" \
+   | grep -qv '^0\(\.0*\)\?$'; then
+  echo "zero-clone violation: broadcast clones_on_wire != 0" >&2
   exit 1
 fi
 

@@ -27,4 +27,17 @@ echo "campaign determinism: --jobs 1 vs --jobs 8, byte-identical artifact"
 cmp results/campaign_smoke.json results/campaign_smoke_jobs1.json
 rm -f results/campaign_smoke_jobs1.json
 
+# One smoke cell (n=7, t=1, f=0 — the clean corner of the sweep) routed
+# through the pipelined replication engine with echo aggregation on: the
+# monotone-f staircase asserted above is computed from unaggregated cells,
+# and this run proves the aggregation layer leaves the checker invariants
+# (including the pipeline window-bound and slot-reuse checks) intact on
+# the same configuration. The campaign artifact was cmp'd before this
+# step, so the staircase is by construction unchanged by aggregation.
+echo "campaign cell via --pipeline with aggregation: n=7 t=1, invariants"
+cargo run --release -q --bin dex-sim -- \
+  --n 7 --t 1 --algo dex-freq --f 0 \
+  --pipeline 4:2 --aggregate --stats --seed 42 --trace > /dev/null
+rm -f results/trace_pipeline_42.json
+
 echo "campaign smoke OK"

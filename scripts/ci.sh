@@ -81,7 +81,7 @@ stage_bench_gate() {
   # it per sample (see vendor/criterion).
   CRITERION_MEASURE_MS=2 cargo bench --bench view_ops -p dex-bench
 
-  echo "== bench gate: view-tally + simnet + pipeline speedups vs committed baselines"
+  echo "== bench gate: view-tally + simnet + pipeline + broadcast speedups vs committed baselines"
   ./scripts/bench_check.sh
 }
 

@@ -25,6 +25,8 @@
 //! | `--delay` | `uniform:<min>:<max>`, `constant:<d>`, `exp:<mean>` | `uniform:1:10` |
 //! | `--chaos` | `none`, `drop:<p>`, `dup:<p>`, `partition:<open>:<heal>`, `crash:<down>:<up>`, `crash-restart:<down>:<up>` | `none` |
 //! | `--pipeline` | `<window>` or `<window>:<batch>` — run the pipelined replication engine instead of single-shot batches | `1:1` (off) |
+//! | `--aggregate` | (no value) coalesce each correct process's per-tick echo/vote fan-out into one batched multicast | off |
+//! | `--stats` | (no value) print the per-class wire breakdown (init/echo/batch/other sends, batched echoes, bytes) | off |
 //! | `--runs` | batch size | `20` |
 //! | `--seed` | base seed | `0` |
 //! | `--max-events` | delivery cap per run | `50000000` |
@@ -66,13 +68,17 @@ fn run_pipeline(spec: &RunSpec) -> ExitCode {
         outcome.values_per_ktick()
     );
     println!(
-        "wire: {} bytes, {} multicasts, {} payload clones | recycled {} slot instances, coalesced {} UC messages",
+        "wire: {} bytes, {} multicasts, {} payload clones | recycled {} slot instances, coalesced {} UC messages, {} echoes",
         outcome.bytes_on_wire,
         outcome.multicasts,
         outcome.payload_clones,
         outcome.recycled,
         outcome.uc_coalesced,
+        outcome.echoes_coalesced,
     );
+    if spec.stats {
+        print_net_breakdown(&outcome.net);
+    }
     if !spec.trace {
         return ExitCode::SUCCESS;
     }
@@ -104,6 +110,21 @@ fn run_pipeline(spec: &RunSpec) -> ExitCode {
         eprintln!("VIOLATIONS DETECTED");
         ExitCode::FAILURE
     }
+}
+
+/// Prints the per-class wire breakdown (`--stats`). The four class
+/// counters partition `sent` exactly; `echoes batched` is how many
+/// individual echo sends the aggregation layer absorbed into batches.
+fn print_net_breakdown(net: &dex::simnet::NetStats) {
+    println!(
+        "wire classes: init {}  echo {}  batch {}  other {}  | echoes batched {}  bytes {}",
+        net.sent_init,
+        net.sent_echo,
+        net.sent_batch,
+        net.sent_other,
+        net.echoes_batched,
+        net.bytes_on_wire,
+    );
 }
 
 fn main() -> ExitCode {
@@ -171,6 +192,9 @@ fn main() -> ExitCode {
         stats.undecided,
         stats.non_quiescent,
     );
+    if spec.stats {
+        print_net_breakdown(&stats.net);
+    }
     let mut trace_ok = true;
     if spec.trace {
         let traced = spec.traced(0).expect("spec validated above");

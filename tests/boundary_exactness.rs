@@ -28,6 +28,7 @@ fn lockstep_spec(
         delay: DelayModel::Constant(1),
         seed,
         max_events: 10_000_000,
+        aggregate: false,
     }
 }
 

@@ -20,6 +20,7 @@ fn spec(algo: Algo, underlying: UnderlyingKind, seed: u64) -> RunInstance {
         delay: DelayModel::Exponential { mean: 7 },
         seed,
         max_events: 20_000_000,
+        aggregate: false,
     }
 }
 

@@ -38,6 +38,7 @@ fn grid(underlying: UnderlyingKind, runs: usize) {
                     runs,
                     seed0: 77,
                     max_events: 20_000_000,
+                    aggregate: false,
                 });
                 assert!(
                     stats.clean(),
@@ -80,6 +81,7 @@ fn underlying_only_baseline_is_safe_too() {
         runs: 20,
         seed0: 5,
         max_events: 5_000_000,
+        aggregate: false,
     });
     assert!(stats.clean(), "{stats:?}");
     assert_eq!(stats.steps.mean(), 2.0);

@@ -67,6 +67,7 @@ proptest! {
             delay: DelayModel::Uniform { min: 1, max: 15 },
             seed,
             max_events: 20_000_000,
+            aggregate: false,
         });
 
         // Termination (Lemma 1).
@@ -107,6 +108,7 @@ proptest! {
             delay: DelayModel::Constant(1),
             seed,
             max_events: 20_000_000,
+            aggregate: false,
         });
         prop_assert!(result.quiescent && result.agreement_ok() && result.all_decided());
         let steps = result.max_steps().unwrap();
@@ -152,6 +154,7 @@ proptest! {
             delay: DelayModel::Uniform { min: 1, max: 15 },
             seed,
             max_events: 20_000_000,
+            aggregate: false,
         });
         prop_assert!(result.quiescent && result.agreement_ok() && result.all_decided());
         if pair.in_c2(&input, f) {

@@ -37,6 +37,7 @@ fn starving_one_process_of_proposals_only_slows_that_process() {
             delay: targeted(links.clone()),
             seed,
             max_events: 10_000_000,
+            aggregate: false,
         });
         assert!(
             r.quiescent && r.agreement_ok() && r.all_decided(),
@@ -71,6 +72,7 @@ fn slow_coordinator_link_cannot_break_agreement() {
             delay: targeted(links.clone()),
             seed,
             max_events: 10_000_000,
+            aggregate: false,
         });
         assert!(
             r.quiescent && r.agreement_ok() && r.all_decided(),
@@ -111,6 +113,7 @@ fn byzantine_plus_scheduling_adversary() {
             },
             seed,
             max_events: 10_000_000,
+            aggregate: false,
         });
         assert!(
             r.quiescent && r.agreement_ok() && r.all_decided(),

@@ -32,6 +32,7 @@ fn worst_steps(
         delay: DelayModel::Constant(1),
         seed,
         max_events: 10_000_000,
+        aggregate: false,
     });
     assert!(result.quiescent && result.agreement_ok() && result.all_decided());
     result.max_steps().expect("correct processes decided")

@@ -27,6 +27,7 @@ fn base_spec(n: usize, t: usize, algo: Algo, input: InputVector<u64>) -> RunInst
         delay: DelayModel::Uniform { min: 1, max: 10 },
         seed: 7,
         max_events: 1_000_000,
+        aggregate: false,
     }
 }
 
@@ -116,6 +117,7 @@ fn traced_batch_run_matches_batch_derivation_and_is_stable() {
         runs: 3,
         seed0: 42,
         max_events: 5_000_000,
+        aggregate: false,
     };
     let a = traced_batch_run(&batch, 0);
     let b = traced_batch_run(&batch, 0);
