@@ -236,6 +236,7 @@ impl CampaignSpec {
             chaos: cell.chaos.clone(),
             pipeline: PipelineSpec::default(),
             aggregate: crate::spec::AggregationSpec::Off,
+            runtime: crate::spec::RuntimeSpec::Simnet,
             stats: false,
             runs: 1,
             seed: self.seed0 + run as u64,

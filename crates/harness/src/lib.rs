@@ -13,6 +13,9 @@
 //! * [`spec`] — the unified, serializable [`RunSpec`](spec::RunSpec)
 //!   (system size, algorithm, workload, adversary, chaos schedule, seed…)
 //!   that maps 1:1 onto the `dex-sim` CLI flags and runs batches directly.
+//! * [`stats`] — the shared [`RunStats`](stats::RunStats) carrier every
+//!   runtime's result surface projects into, so `--stats` prints the same
+//!   per-class wire breakdown on simnet, threadnet and netd alike.
 //! * [`runner`] — single-run and batch execution with safety checking
 //!   (agreement / unanimity / termination violations are *counted*, the
 //!   experiment asserts they stay zero) and step/latency statistics.
@@ -89,6 +92,7 @@ pub mod pipeline;
 pub mod runner;
 pub mod scaling;
 pub mod spec;
+pub mod stats;
 pub mod table1;
 pub mod trace;
 mod ucwrap;

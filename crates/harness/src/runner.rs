@@ -344,10 +344,12 @@ fn collect_traces<'a, N: 'a>(
         .collect()
 }
 
-fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+/// Builds the crash-model actor vector for a run — shared by the simnet
+/// and threaded execution paths, so both runtimes drive byte-identical
+/// actor populations.
+fn crash_nodes(spec: &RunInstance, rule: CrashRule) -> Vec<CrashNode> {
     let cfg = spec.config;
-    let mut nodes: Vec<CrashNode> = cfg
-        .processes()
+    cfg.processes()
         .map(|me| {
             if spec.fault_plan.is_faulty(me) {
                 CrashNode::Byz(ByzantineActor::new(byz_strategy(spec)))
@@ -358,7 +360,30 @@ fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Ve
                 ))
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Reads one crash-model node's outcome after a run (any runtime).
+fn crash_node_outcome(node: &CrashNode) -> Outcome {
+    match node {
+        CrashNode::Byz(_) => Outcome::Faulty,
+        CrashNode::Correct(a) => match a.decision() {
+            None => Outcome::Undecided,
+            Some(d) => Outcome::Decided(ProcessResult {
+                value: d.value,
+                path: match d.path {
+                    CrashPath::OneStep => DecisionPath::OneStep.label(),
+                    CrashPath::Underlying => DecisionPath::Underlying.label(),
+                },
+                steps: d.depth.get(),
+                latency: d.at.as_units(),
+            }),
+        },
+    }
+}
+
+fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+    let mut nodes = crash_nodes(spec, rule);
     if trace {
         for (i, node) in nodes.iter_mut().enumerate() {
             node.enable_obs(i as u16);
@@ -370,25 +395,7 @@ fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Ve
         .faults(spec.faults.clone())
         .build();
     let run = sim.run(spec.max_events);
-    let outcomes = sim
-        .actors()
-        .iter()
-        .map(|node| match node {
-            CrashNode::Byz(_) => Outcome::Faulty,
-            CrashNode::Correct(a) => match a.decision() {
-                None => Outcome::Undecided,
-                Some(d) => Outcome::Decided(ProcessResult {
-                    value: d.value,
-                    path: match d.path {
-                        CrashPath::OneStep => DecisionPath::OneStep.label(),
-                        CrashPath::Underlying => DecisionPath::Underlying.label(),
-                    },
-                    steps: d.depth.get(),
-                    latency: d.at.as_units(),
-                }),
-            },
-        })
-        .collect();
+    let outcomes = sim.actors().iter().map(crash_node_outcome).collect();
     let traces = collect_traces(sim.actors().iter(), CrashNode::obs_trace);
     (
         RunResult {
@@ -401,7 +408,10 @@ fn run_crash(spec: &RunInstance, rule: CrashRule, trace: bool) -> (RunResult, Ve
     )
 }
 
-fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+/// Builds the DEX actor vector for a run (frequency or privileged pair),
+/// applying the spec's aggregation switch — shared by the simnet and
+/// threaded execution paths.
+fn dex_nodes(spec: &RunInstance) -> Vec<DexNode> {
     let cfg = spec.config;
     let mut nodes: Vec<DexNode> = cfg
         .processes()
@@ -434,14 +444,28 @@ fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
             }
         })
         .collect();
-    if trace {
-        for (i, node) in nodes.iter_mut().enumerate() {
-            node.enable_obs(i as u16);
-        }
-    }
     if spec.aggregate {
         for node in nodes.iter_mut() {
             node.enable_aggregation();
+        }
+    }
+    nodes
+}
+
+/// Reads one DEX node's outcome after a run (any runtime).
+fn dex_node_outcome(node: &DexNode) -> Outcome {
+    match node {
+        DexNode::Byz(_) => Outcome::Faulty,
+        DexNode::Freq(a) => dex_outcome(a.decision()),
+        DexNode::Prv(a) => dex_outcome(a.decision()),
+    }
+}
+
+fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+    let mut nodes = dex_nodes(spec);
+    if trace {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.enable_obs(i as u16);
         }
     }
     let mut sim = Simulation::builder(nodes)
@@ -450,15 +474,7 @@ fn run_dex(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
         .faults(spec.faults.clone())
         .build();
     let run = sim.run(spec.max_events);
-    let outcomes = sim
-        .actors()
-        .iter()
-        .map(|node| match node {
-            DexNode::Byz(_) => Outcome::Faulty,
-            DexNode::Freq(a) => dex_outcome(a.decision()),
-            DexNode::Prv(a) => dex_outcome(a.decision()),
-        })
-        .collect();
+    let outcomes = sim.actors().iter().map(dex_node_outcome).collect();
     let traces = collect_traces(sim.actors().iter(), DexNode::obs_trace);
     (
         RunResult {
@@ -483,7 +499,9 @@ fn dex_outcome(d: Option<&dex_core::DecisionRecord<u64>>) -> Outcome {
     }
 }
 
-fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+/// Builds the Bosco actor vector for a run — shared by the simnet and
+/// threaded execution paths.
+fn bosco_nodes(spec: &RunInstance) -> Vec<BoscoNode> {
     let cfg = spec.config;
     let mut nodes: Vec<BoscoNode> = cfg
         .processes()
@@ -498,14 +516,38 @@ fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
             }
         })
         .collect();
-    if trace {
-        for (i, node) in nodes.iter_mut().enumerate() {
-            node.enable_obs(i as u16);
-        }
-    }
     if spec.aggregate {
         for node in nodes.iter_mut() {
             node.enable_aggregation();
+        }
+    }
+    nodes
+}
+
+/// Reads one Bosco node's outcome after a run (any runtime).
+fn bosco_node_outcome(node: &BoscoNode) -> Outcome {
+    match node {
+        BoscoNode::Byz(_) => Outcome::Faulty,
+        BoscoNode::Correct(a) => match a.decision() {
+            None => Outcome::Undecided,
+            Some(d) => Outcome::Decided(ProcessResult {
+                value: d.value,
+                path: match d.path {
+                    BoscoPath::OneStep => DecisionPath::OneStep.label(),
+                    BoscoPath::Underlying => DecisionPath::Underlying.label(),
+                },
+                steps: d.depth.get(),
+                latency: d.at.as_units(),
+            }),
+        },
+    }
+}
+
+fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+    let mut nodes = bosco_nodes(spec);
+    if trace {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.enable_obs(i as u16);
         }
     }
     let mut sim = Simulation::builder(nodes)
@@ -514,25 +556,7 @@ fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
         .faults(spec.faults.clone())
         .build();
     let run = sim.run(spec.max_events);
-    let outcomes = sim
-        .actors()
-        .iter()
-        .map(|node| match node {
-            BoscoNode::Byz(_) => Outcome::Faulty,
-            BoscoNode::Correct(a) => match a.decision() {
-                None => Outcome::Undecided,
-                Some(d) => Outcome::Decided(ProcessResult {
-                    value: d.value,
-                    path: match d.path {
-                        BoscoPath::OneStep => DecisionPath::OneStep.label(),
-                        BoscoPath::Underlying => DecisionPath::Underlying.label(),
-                    },
-                    steps: d.depth.get(),
-                    latency: d.at.as_units(),
-                }),
-            },
-        })
-        .collect();
+    let outcomes = sim.actors().iter().map(bosco_node_outcome).collect();
     let traces = collect_traces(sim.actors().iter(), BoscoNode::obs_trace);
     (
         RunResult {
@@ -545,10 +569,11 @@ fn run_bosco(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
     )
 }
 
-fn run_plain(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+/// Builds the underlying-only actor vector for a run — shared by the
+/// simnet and threaded execution paths.
+fn plain_nodes(spec: &RunInstance) -> Vec<PlainNode> {
     let cfg = spec.config;
-    let mut nodes: Vec<PlainNode> = cfg
-        .processes()
+    cfg.processes()
         .map(|me| {
             if spec.fault_plan.is_faulty(me) {
                 PlainNode::Byz(ByzantineActor::new(byz_strategy(spec)))
@@ -559,7 +584,27 @@ fn run_plain(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
                 ))
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Reads one underlying-only node's outcome after a run (any runtime).
+fn plain_node_outcome(node: &PlainNode) -> Outcome {
+    match node {
+        PlainNode::Byz(_) => Outcome::Faulty,
+        PlainNode::Correct(a) => match a.decision() {
+            None => Outcome::Undecided,
+            Some(d) => Outcome::Decided(ProcessResult {
+                value: d.value,
+                path: DecisionPath::Underlying.label(),
+                steps: d.depth.get(),
+                latency: d.at.as_units(),
+            }),
+        },
+    }
+}
+
+fn run_plain(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) {
+    let mut nodes = plain_nodes(spec);
     if trace {
         for (i, node) in nodes.iter_mut().enumerate() {
             node.enable_obs(i as u16);
@@ -571,22 +616,7 @@ fn run_plain(spec: &RunInstance, trace: bool) -> (RunResult, Vec<ProcessTrace>) 
         .faults(spec.faults.clone())
         .build();
     let run = sim.run(spec.max_events);
-    let outcomes = sim
-        .actors()
-        .iter()
-        .map(|node| match node {
-            PlainNode::Byz(_) => Outcome::Faulty,
-            PlainNode::Correct(a) => match a.decision() {
-                None => Outcome::Undecided,
-                Some(d) => Outcome::Decided(ProcessResult {
-                    value: d.value,
-                    path: DecisionPath::Underlying.label(),
-                    steps: d.depth.get(),
-                    latency: d.at.as_units(),
-                }),
-            },
-        })
-        .collect();
+    let outcomes = sim.actors().iter().map(plain_node_outcome).collect();
     let traces = collect_traces(sim.actors().iter(), PlainNode::obs_trace);
     (
         RunResult {
@@ -681,6 +711,36 @@ impl BatchStats {
     }
 }
 
+/// Folds one finished run into the batch aggregate, checking the safety
+/// and liveness predicates against that run's input and fault plan. Both
+/// the simnet and threaded batch runners fold through here, so every
+/// runtime is held to the same violation ledger.
+fn fold_run(stats: &mut BatchStats, run: &RunResult, input: &InputVector<u64>, plan: &FaultPlan) {
+    stats.runs += 1;
+    if !run.quiescent {
+        stats.non_quiescent += 1;
+    }
+    if !run.agreement_ok() {
+        stats.agreement_violations += 1;
+    }
+    if !run.unanimity_ok(input, plan) {
+        stats.unanimity_violations += 1;
+    }
+    for outcome in &run.outcomes {
+        match outcome {
+            Outcome::Faulty => {}
+            Outcome::Undecided => stats.undecided += 1,
+            Outcome::Decided(r) => {
+                stats.paths.add(r.path);
+                stats.steps.add(f64::from(r.steps));
+                stats.latency.add(r.latency as f64);
+            }
+        }
+    }
+    stats.messages.add(run.messages as f64);
+    stats.net.merge(&run.net);
+}
+
 /// Executes one indexed run of a batch and folds it into `stats`.
 fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
     let seed = spec.seed0 + i as u64;
@@ -704,29 +764,7 @@ fn run_batch_index(spec: &BatchSpec<'_>, i: usize, stats: &mut BatchStats) {
         max_events: spec.max_events,
         aggregate: spec.aggregate,
     });
-    stats.runs += 1;
-    if !run.quiescent {
-        stats.non_quiescent += 1;
-    }
-    if !run.agreement_ok() {
-        stats.agreement_violations += 1;
-    }
-    if !run.unanimity_ok(&input, &fault_plan) {
-        stats.unanimity_violations += 1;
-    }
-    for outcome in &run.outcomes {
-        match outcome {
-            Outcome::Faulty => {}
-            Outcome::Undecided => stats.undecided += 1,
-            Outcome::Decided(r) => {
-                stats.paths.add(r.path);
-                stats.steps.add(f64::from(r.steps));
-                stats.latency.add(r.latency as f64);
-            }
-        }
-    }
-    stats.messages.add(run.messages as f64);
-    stats.net.merge(&run.net);
+    fold_run(stats, &run, &input, &fault_plan);
 }
 
 /// Reconstructs batch run `i`'s spec — the same seed, workload draw and
@@ -755,6 +793,116 @@ pub fn traced_batch_run(spec: &BatchSpec<'_>, i: usize) -> TracedRun {
         max_events: spec.max_events,
         aggregate: spec.aggregate,
     })
+}
+
+/// Derives the threaded runtime's [`NetworkOptions`] from a spec's delay
+/// model: virtual units map to microseconds, so `uniform:50:500` means a
+/// 50–500 µs jitter window. Models without a CLI spelling fall back to
+/// their nearest uniform envelope.
+fn thread_options(delay: &DelayModel, seed: u64) -> dex_threadnet::NetworkOptions {
+    let delay_us = match delay {
+        DelayModel::Constant(d) => (*d, *d),
+        DelayModel::Uniform { min, max } => (*min, *max),
+        DelayModel::Exponential { mean } => (1, (2 * mean).max(1)),
+        // Skewed/Targeted shape *which link* is slow, which the threaded
+        // dispatcher's single jitter window cannot express; keep the
+        // overall envelope.
+        _ => (1, 10),
+    };
+    dex_threadnet::NetworkOptions {
+        seed,
+        delay_us,
+        timeout: std::time::Duration::from_secs(30),
+    }
+}
+
+/// Executes one run of a batch on the threaded runtime and reads it back
+/// as the same [`RunResult`] the simulator path produces (latencies are
+/// wall-clock microseconds instead of virtual ticks).
+fn run_thread_instance(inst: &RunInstance) -> RunResult {
+    let options = thread_options(&inst.delay, inst.seed);
+    fn finish<N>(
+        res: dex_threadnet::NetworkResult<N>,
+        outcome: impl Fn(&N) -> Outcome,
+    ) -> RunResult {
+        RunResult {
+            outcomes: res.actors.iter().map(outcome).collect(),
+            quiescent: res.quiescent,
+            messages: res.delivered,
+            net: res.stats,
+        }
+    }
+    match inst.algo {
+        Algo::DexFreq | Algo::DexPrv { .. } => finish(
+            dex_threadnet::run_network(dex_nodes(inst), options),
+            dex_node_outcome,
+        ),
+        Algo::Bosco => finish(
+            dex_threadnet::run_network(bosco_nodes(inst), options),
+            bosco_node_outcome,
+        ),
+        Algo::UnderlyingOnly => finish(
+            dex_threadnet::run_network(plain_nodes(inst), options),
+            plain_node_outcome,
+        ),
+        Algo::Brasileiro => finish(
+            dex_threadnet::run_network(crash_nodes(inst, CrashRule::Brasileiro), options),
+            crash_node_outcome,
+        ),
+        Algo::CrashAdaptive => finish(
+            dex_threadnet::run_network(crash_nodes(inst, CrashRule::Adaptive), options),
+            crash_node_outcome,
+        ),
+    }
+}
+
+/// Executes a spec's batch on the threaded runtime (`--runtime
+/// threadnet`): the same actors, workload draws and fault placements as
+/// the simulator path — run `i` uses `seed + i`, the workload rng is
+/// `seed ^ 0x5EED_5EED` — but each process is an OS thread and messages
+/// cross a delay-jittered dispatcher, so latencies come back in
+/// wall-clock microseconds.
+///
+/// The threaded runtime has no fault injector, so chaos schedules are
+/// rejected rather than silently ignored.
+pub fn run_thread_batch(spec: &crate::spec::RunSpec) -> Result<BatchStats, String> {
+    let config = spec.config()?;
+    if !spec.chaos.is_none() {
+        return Err(format!(
+            "--runtime threadnet has no fault injector; --chaos {} requires simnet \
+             (netd owns the real kill -9 schedule)",
+            spec.chaos.flag()
+        ));
+    }
+    if !spec.pipeline.is_off() {
+        return Err("--pipeline runs on the simnet engine; drop --runtime threadnet".into());
+    }
+    let workload = spec.workload.generator();
+    let mut stats = BatchStats::default();
+    for i in 0..spec.runs {
+        let seed = spec.seed + i as u64;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+        let input = workload.generate(config.n(), &mut rng);
+        let fault_plan = match spec.placement {
+            Placement::LastK => FaultPlan::last_k(config, spec.f),
+            Placement::RandomK => FaultPlan::random_k(config, spec.f, &mut rng),
+        };
+        let run = run_thread_instance(&RunInstance {
+            config,
+            algo: spec.algo,
+            underlying: spec.underlying_kind(),
+            strategy: spec.adversary.strategy(),
+            fault_plan: fault_plan.clone(),
+            input: input.clone(),
+            delay: spec.delay.clone(),
+            faults: FaultSchedule::none(),
+            seed,
+            max_events: spec.max_events,
+            aggregate: spec.aggregate.is_on(),
+        });
+        fold_run(&mut stats, &run, &input, &fault_plan);
+    }
+    Ok(stats)
 }
 
 /// Executes a batch of runs, aggregating statistics.
@@ -1011,6 +1159,30 @@ mod tests {
         };
         let chaos = run_instance_traced(&spec).trace.meta.chaos.unwrap();
         assert!(!chaos.eventually_clean);
+    }
+
+    #[test]
+    fn thread_batch_runs_the_same_actors_over_threads() {
+        let spec = crate::spec::RunSpec {
+            runs: 2,
+            f: 1,
+            adversary: crate::spec::AdversarySpec::Equivocate,
+            workload: crate::spec::WorkloadSpec::Bernoulli { p: 0.8 },
+            runtime: crate::spec::RuntimeSpec::Thread,
+            delay: DelayModel::Uniform { min: 10, max: 100 },
+            ..Default::default()
+        };
+        let stats = spec.run().expect("thread batch runs");
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.runs, 2);
+        assert!(stats.net.sent > 0 && stats.net.delivered > 0);
+        assert!(stats.latency.mean() > 0.0, "wall-clock latencies");
+        // Chaos schedules are rejected, not silently ignored.
+        let chaotic = crate::spec::RunSpec {
+            chaos: ChaosSpec::DropHeavy { p: 0.4 },
+            ..spec
+        };
+        assert!(chaotic.run().is_err());
     }
 
     #[test]

@@ -587,6 +587,51 @@ impl AggregationSpec {
     }
 }
 
+/// Which runtime executes the batch (`--runtime`). All three run the same
+/// actor state machines; what changes is the substrate carrying the
+/// messages — and therefore what a run's numbers *mean* (virtual ticks vs
+/// wall-clock microseconds vs real sockets).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RuntimeSpec {
+    /// The deterministic discrete-event simulator (`dex-simnet`) —
+    /// reproducible schedules, fault injection, tracing.
+    #[default]
+    Simnet,
+    /// One OS thread per process over crossbeam channels
+    /// (`dex-threadnet`) — real concurrency, delay-jittered dispatch,
+    /// wall-clock timers.
+    Thread,
+    /// One OS *process* per consensus process over localhost TCP
+    /// (`dex-netd`) — real sockets, kill-9-able processes. In-process
+    /// execution is impossible by construction; [`RunSpec::run`] reports
+    /// an error pointing at the `dex-netd` cluster harness, which owns
+    /// the child-spawning orchestration.
+    Netd,
+}
+
+impl RuntimeSpec {
+    /// Parses a `--runtime` value.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "simnet" => Ok(RuntimeSpec::Simnet),
+            "threadnet" => Ok(RuntimeSpec::Thread),
+            "netd" => Ok(RuntimeSpec::Netd),
+            _ => Err(format!(
+                "unknown runtime {raw:?} (expected simnet, threadnet or netd)"
+            )),
+        }
+    }
+
+    /// Short label for flags, JSON and reports.
+    pub fn flag(&self) -> &'static str {
+        match self {
+            RuntimeSpec::Simnet => "simnet",
+            RuntimeSpec::Thread => "threadnet",
+            RuntimeSpec::Netd => "netd",
+        }
+    }
+}
+
 /// The unified experiment description: every knob of a `dex-sim` batch, as
 /// one serde-able value. See the module docs for the flag mapping.
 #[derive(Clone, PartialEq, Debug)]
@@ -619,6 +664,8 @@ pub struct RunSpec {
     /// Echo/vote aggregation (the valueless `--aggregate` flag; off keeps
     /// the wire byte-identical to pre-aggregation builds).
     pub aggregate: AggregationSpec,
+    /// Which runtime executes the batch (`--runtime`).
+    pub runtime: RuntimeSpec,
     /// Print the per-class wire-statistics breakdown after the batch (the
     /// valueless `--stats` flag).
     pub stats: bool,
@@ -647,6 +694,7 @@ impl Default for RunSpec {
             chaos: ChaosSpec::default(),
             pipeline: PipelineSpec::default(),
             aggregate: AggregationSpec::default(),
+            runtime: RuntimeSpec::default(),
             stats: false,
             runs: 20,
             seed: 0,
@@ -768,18 +816,45 @@ impl RunSpec {
         Ok(body(&batch))
     }
 
-    /// Executes the batch sequentially.
+    /// Executes the batch sequentially on the spec's runtime.
+    ///
+    /// `Simnet` runs the deterministic simulator; `Thread` hands the same
+    /// actors to `dex-threadnet` (one OS thread per process, wall-clock
+    /// delays from the spec's delay model). `Netd` cannot run in-process
+    /// — the error points at the `dex-netd` cluster harness.
     pub fn run(&self) -> Result<BatchStats, String> {
-        self.with_batch(run_batch)
+        match self.runtime {
+            RuntimeSpec::Simnet => self.with_batch(run_batch),
+            RuntimeSpec::Thread => crate::runner::run_thread_batch(self),
+            RuntimeSpec::Netd => Err(
+                "--runtime netd spawns real OS processes and cannot run in-process; \
+                 use the dex-netd cluster harness (dex-netd --cluster <flags>)"
+                    .into(),
+            ),
+        }
     }
 
-    /// Executes the batch with one worker per core (same statistics).
+    /// Executes the batch with one worker per core (same statistics). The
+    /// threaded runtime already owns all cores per run, so it stays
+    /// sequential across runs.
     pub fn run_auto(&self) -> Result<BatchStats, String> {
-        self.with_batch(run_batch_auto)
+        match self.runtime {
+            RuntimeSpec::Simnet => self.with_batch(run_batch_auto),
+            _ => self.run(),
+        }
     }
 
-    /// Re-executes batch run `i` with event recording enabled.
+    /// Re-executes batch run `i` with event recording enabled. Tracing
+    /// re-runs a deterministic schedule, so it requires the simnet
+    /// runtime.
     pub fn traced(&self, i: usize) -> Result<TracedRun, String> {
+        if self.runtime != RuntimeSpec::Simnet {
+            return Err(format!(
+                "--trace re-executes a deterministic schedule and requires the simnet \
+                 runtime (got --runtime {})",
+                self.runtime.flag()
+            ));
+        }
         self.with_batch(|batch| traced_batch_run(batch, i))
     }
 
@@ -825,6 +900,8 @@ impl RunSpec {
             self.chaos.flag(),
             "--pipeline".into(),
             self.pipeline.flag(),
+            "--runtime".into(),
+            self.runtime.flag().into(),
             "--runs".into(),
             self.runs.to_string(),
             "--seed".into(),
@@ -890,6 +967,7 @@ impl RunSpec {
                 "delay" => spec.delay = parse_delay(value)?,
                 "chaos" => spec.chaos = ChaosSpec::parse(value)?,
                 "pipeline" => spec.pipeline = PipelineSpec::parse(value)?,
+                "runtime" => spec.runtime = RuntimeSpec::parse(value)?,
                 _ => return Err(format!("unknown flag --{name}")),
             }
         }
@@ -906,7 +984,7 @@ impl RunSpec {
             "{{\"n\":{},\"t\":{},\"f\":{},\"algo\":\"{}\",\"workload\":\"{}\",\
              \"adversary\":\"{}\",\"underlying\":\"{}\",\"placement\":\"{}\",\
              \"delay\":\"{}\",\"chaos\":\"{}\",\"pipeline\":\"{}\",\"aggregate\":\"{}\",\
-             \"stats\":{},\"runs\":{},\"seed\":{},\
+             \"runtime\":\"{}\",\"stats\":{},\"runs\":{},\"seed\":{},\
              \"max_events\":{},\"trace\":{}}}",
             self.n,
             self.t,
@@ -920,6 +998,7 @@ impl RunSpec {
             self.chaos.flag(),
             self.pipeline.flag(),
             self.aggregate.flag(),
+            self.runtime.flag(),
             self.stats,
             self.runs,
             self.seed,
@@ -952,6 +1031,7 @@ mod tests {
                 batch: 4,
             },
             aggregate: AggregationSpec::On,
+            runtime: RuntimeSpec::Thread,
             stats: true,
             runs: 8,
             seed: 31,
@@ -980,10 +1060,10 @@ mod tests {
         assert!(!off.to_args().iter().any(|a| a == "--aggregate"));
         assert!(off
             .to_json()
-            .contains("\"aggregate\":\"off\",\"stats\":false"));
+            .contains("\"aggregate\":\"off\",\"runtime\":\"simnet\",\"stats\":false"));
         assert!(spec
             .to_json()
-            .contains("\"aggregate\":\"on\",\"stats\":true"));
+            .contains("\"aggregate\":\"on\",\"runtime\":\"simnet\",\"stats\":true"));
     }
 
     #[test]
@@ -1136,7 +1216,30 @@ mod tests {
         assert_eq!(s, spec.to_json());
         assert!(s.starts_with("{\"n\":7,\"t\":1,\"f\":0,\"algo\":\"dex-freq\""));
         assert!(s.contains("\"chaos\":\"none\""));
+        assert!(s.contains("\"runtime\":\"simnet\""));
         assert!(s.ends_with("\"trace\":false}"));
+    }
+
+    #[test]
+    fn runtime_flag_parses_dispatches_and_gates_tracing() {
+        assert_eq!(RuntimeSpec::parse("simnet").unwrap(), RuntimeSpec::Simnet);
+        assert_eq!(
+            RuntimeSpec::parse("threadnet").unwrap(),
+            RuntimeSpec::Thread
+        );
+        assert_eq!(RuntimeSpec::parse("netd").unwrap(), RuntimeSpec::Netd);
+        assert!(RuntimeSpec::parse("quic").is_err());
+        let spec = RunSpec::from_args(&["--runtime", "threadnet"]).unwrap();
+        assert_eq!(spec.runtime, RuntimeSpec::Thread);
+        // Tracing replays a deterministic schedule — simnet only.
+        assert!(spec.traced(0).is_err());
+        // Netd is not an in-process runtime; the error routes the caller
+        // to the cluster harness.
+        let netd = RunSpec {
+            runtime: RuntimeSpec::Netd,
+            ..RunSpec::default()
+        };
+        assert!(netd.run().unwrap_err().contains("dex-netd"));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! The shared result carrier unifying the three runtimes' outputs.
+//!
+//! Each runtime reports results in its own native shape —
+//! [`BatchStats`](crate::runner::BatchStats) from simnet batches,
+//! `NetworkResult` from `dex-threadnet`, [`PipelineOutcome`] from the
+//! pipelined replication engine, and the netd cluster's child reports —
+//! but they all carry the same [`NetStats`] wire ledger, a decision
+//! count, and some notion of elapsed time. [`RunStats`] is the common
+//! projection: `dex-sim --stats` and `dex-netd` print their per-class
+//! wire breakdown through [`RunStats::breakdown_line`], so the line is
+//! *identical in format* on every runtime and any diff between runtimes
+//! is a genuine wire difference, not a formatting one.
+
+use crate::pipeline::PipelineOutcome;
+use crate::runner::BatchStats;
+use crate::spec::RuntimeSpec;
+use dex_simnet::NetStats;
+use std::time::Duration;
+
+/// Runtime-independent summary of one experiment execution.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Which runtime produced the numbers.
+    pub runtime: RuntimeSpec,
+    /// Correct-process decisions (or committed values, for pipeline runs).
+    pub decisions: u64,
+    /// Elapsed virtual time in the runtime's native units: simulator
+    /// ticks for simnet, microseconds for the wall-clock runtimes (where
+    /// virtual and wall time coincide by construction). `0` when the
+    /// source carries no clock.
+    pub elapsed_virtual: u64,
+    /// Elapsed wall-clock time; [`Duration::ZERO`] for the simulator,
+    /// whose virtual schedule costs no real time to speak of.
+    pub elapsed_wall: Duration,
+    /// The full wire ledger (per-class sends, batched echoes, bytes).
+    pub net: NetStats,
+}
+
+impl RunStats {
+    /// Projects a simnet or threadnet batch result. `wall` is the
+    /// caller-measured execution time ([`Duration::ZERO`] if unmeasured).
+    pub fn of_batch(stats: &BatchStats, runtime: RuntimeSpec, wall: Duration) -> Self {
+        RunStats {
+            runtime,
+            decisions: stats.paths.total(),
+            elapsed_virtual: match runtime {
+                // Virtual latencies are per-decision, not a batch clock.
+                RuntimeSpec::Simnet => 0,
+                _ => wall.as_micros() as u64,
+            },
+            elapsed_wall: wall,
+            net: stats.net.clone(),
+        }
+    }
+
+    /// Projects a pipelined replication outcome (always simnet).
+    pub fn of_pipeline(out: &PipelineOutcome) -> Self {
+        RunStats {
+            runtime: RuntimeSpec::Simnet,
+            decisions: out.committed_values,
+            elapsed_virtual: out.ticks,
+            elapsed_wall: Duration::ZERO,
+            net: out.net.clone(),
+        }
+    }
+
+    /// Builds a carrier directly from a wire ledger — the netd cluster
+    /// harness sums its children's reported counters into one of these.
+    pub fn of_net(net: NetStats, decisions: u64, wall: Duration) -> Self {
+        RunStats {
+            runtime: RuntimeSpec::Netd,
+            decisions,
+            elapsed_virtual: wall.as_micros() as u64,
+            elapsed_wall: wall,
+            net,
+        }
+    }
+
+    /// The canonical `--stats` breakdown line. One implementation for
+    /// every runtime: the four class counters partition `sent` exactly,
+    /// `echoes batched` is what the aggregation layer absorbed.
+    pub fn breakdown_line(&self) -> String {
+        format!(
+            "wire classes: init {}  echo {}  batch {}  other {}  | echoes batched {}  bytes {}",
+            self.net.sent_init,
+            self.net.sent_echo,
+            self.net.sent_batch,
+            self.net.sent_other,
+            self.net.echoes_batched,
+            self.net.bytes_on_wire,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AdversarySpec, RunSpec, WorkloadSpec};
+
+    #[test]
+    fn breakdown_line_is_identical_across_runtimes_for_the_same_ledger() {
+        let net = NetStats {
+            sent_init: 7,
+            sent_echo: 42,
+            sent_batch: 6,
+            sent_other: 14,
+            echoes_batched: 36,
+            bytes_on_wire: 1234,
+            ..NetStats::default()
+        };
+        let as_netd = RunStats::of_net(net.clone(), 5, Duration::from_millis(3));
+        let batch = BatchStats {
+            net,
+            ..BatchStats::default()
+        };
+        let as_sim = RunStats::of_batch(&batch, RuntimeSpec::Simnet, Duration::ZERO);
+        assert_eq!(as_netd.breakdown_line(), as_sim.breakdown_line());
+        assert_eq!(
+            as_sim.breakdown_line(),
+            "wire classes: init 7  echo 42  batch 6  other 14  | echoes batched 36  bytes 1234"
+        );
+    }
+
+    #[test]
+    fn batch_projection_counts_decisions_and_clocks_per_runtime() {
+        let spec = RunSpec {
+            runs: 2,
+            f: 1,
+            adversary: AdversarySpec::Equivocate,
+            workload: WorkloadSpec::Bernoulli { p: 0.8 },
+            max_events: 1_000_000,
+            ..RunSpec::default()
+        };
+        let batch = spec.run().unwrap();
+        let stats = RunStats::of_batch(&batch, spec.runtime, Duration::ZERO);
+        // 2 runs × 6 correct processes all decided.
+        assert_eq!(stats.decisions, 12);
+        assert_eq!(stats.elapsed_virtual, 0, "simnet has no batch clock");
+        assert!(stats.net.sent > 0);
+    }
+}

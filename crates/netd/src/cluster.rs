@@ -1,0 +1,986 @@
+//! The cluster harness: spawn, drive, kill and judge real OS processes.
+//!
+//! `dex-netd --cluster` is the orchestrator. From one
+//! [`RunSpec`](dex_harness::spec::RunSpec) — the same serializable spec
+//! that drives simnet and threadnet — it runs two phases on localhost
+//! TCP:
+//!
+//! 1. **Consensus cells** (the campaign MATRIX's fault-free cells): per
+//!    run, the workload draws an input vector with the *identical*
+//!    seeding discipline as `run_batch` (`seed + i`, workload RNG
+//!    `seed ^ 0x5EED_5EED`), `n` child processes are spawned — each a
+//!    [`DexActor`] on an [`Endpoint`](crate::endpoint::Endpoint) — and
+//!    every correct process must report a decision; agreement is asserted
+//!    across the children's `DECIDED` reports.
+//! 2. **kill -9 + respawn**: `n` replica children run multi-slot DEX
+//!    against per-process [`FileWal`]s. One non-coordinator victim is
+//!    killed with a literal `SIGKILL` mid-run, then respawned with
+//!    `--respawn`; the fresh incarnation replays its WAL, re-proposes,
+//!    and closes the gap through the `t + 1`-vouched catch-up protocol.
+//!    The phase converges when every replica reports the full committed
+//!    prefix and a single state-machine digest.
+//!
+//! Children report on stdout with a line protocol (`DECIDED …`,
+//! `PROGRESS …`, `DONE …`, `STATS …`); the parent folds the per-child
+//! wire ledgers into one [`NetStats`] and emits wall-clock artifacts
+//! (`BENCH_netd.json`, `results/netd_<seed>.json`) shape-compatible with
+//! the simnet bench artifacts. Each child also watches its stdin and
+//! exits when the parent goes away, so an aborted harness never leaks
+//! orphan processes.
+
+use crate::endpoint::Endpoint;
+use dex_conditions::FrequencyPair;
+use dex_core::{DexActor, DexProcess};
+use dex_harness::spec::{RunSpec, RuntimeSpec};
+use dex_harness::stats::RunStats;
+use dex_replication::{Durability, FileWal, Replica, StateMachine, TotalOrder};
+use dex_simnet::NetStats;
+use dex_types::{ProcessId, StepDepth, SystemConfig};
+use dex_underlying::OracleConsensus;
+use rand::rngs::StdRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Which phases a `--cluster` invocation runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Fault-free consensus cells only.
+    Cells,
+    /// The kill -9 + respawn replication run only.
+    Kill9,
+    /// Both, cells first.
+    Both,
+}
+
+/// Parsed `--cluster` options: the shared [`RunSpec`] plus netd-specific
+/// knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterOpts {
+    /// The spec driving workload, `n`/`t`, seeding and `--stats`.
+    pub spec: RunSpec,
+    /// First listen port; process `i` binds `port_base + i`.
+    pub port_base: u16,
+    /// Committed slots the kill-9 phase must reach.
+    pub slots: u64,
+    /// Pipeline window for the kill-9 replicas.
+    pub window: u64,
+    /// Phase selection.
+    pub phase: Phase,
+    /// Per-phase wall-clock budget before the harness gives up.
+    pub timeout: Duration,
+}
+
+/// Options one spawned child parses back out of its argv.
+#[derive(Clone, Debug)]
+pub struct NodeOpts {
+    /// This process's id.
+    pub me: ProcessId,
+    /// Cluster size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Run seed (shared by the whole cluster; per-process RNGs derive).
+    pub seed: u64,
+    /// First listen port.
+    pub port_base: u16,
+    /// What this child runs.
+    pub role: Role,
+}
+
+/// A child's role.
+#[derive(Clone, Debug)]
+pub enum Role {
+    /// Single-shot DEX consensus on a proposal.
+    Consensus {
+        /// This process's input value.
+        propose: u64,
+        /// Echo aggregation on the actor.
+        aggregate: bool,
+    },
+    /// Multi-slot replication against a WAL.
+    Replica {
+        /// WAL path (unique per process, stable across respawns).
+        wal: PathBuf,
+        /// Target committed slots.
+        slots: u64,
+        /// Pipeline window.
+        window: u64,
+        /// Boot through crash recovery instead of `on_start`.
+        respawn: bool,
+    },
+}
+
+/// Derives a default port base from the parent pid so concurrent
+/// harnesses on one machine do not collide.
+pub fn default_port_base() -> u16 {
+    23000 + (std::process::id() % 20000) as u16
+}
+
+// ---------------------------------------------------------------------
+// The stdout line protocol.
+// ---------------------------------------------------------------------
+
+/// Extracts `key=` from a `KEY k1=v1 k2=v2 …` report line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace().find_map(|tok| {
+        tok.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+    })
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+/// Renders a child's wire ledger as its `STATS` report line.
+pub fn format_stats_line(net: &NetStats) -> String {
+    format!(
+        "STATS sent={} delivered={} multicasts={} clones={} bytes={} init={} echo={} batch={} other={} batched={} max_depth={}",
+        net.sent,
+        net.delivered,
+        net.multicasts,
+        net.payload_clones,
+        net.bytes_on_wire,
+        net.sent_init,
+        net.sent_echo,
+        net.sent_batch,
+        net.sent_other,
+        net.echoes_batched,
+        net.max_depth.get(),
+    )
+}
+
+/// Parses a `STATS` line back into a ledger (parent side).
+pub fn parse_stats_line(line: &str) -> Option<NetStats> {
+    if !line.starts_with("STATS ") {
+        return None;
+    }
+    Some(NetStats {
+        sent: field_u64(line, "sent")?,
+        delivered: field_u64(line, "delivered")?,
+        multicasts: field_u64(line, "multicasts")?,
+        payload_clones: field_u64(line, "clones")?,
+        bytes_on_wire: field_u64(line, "bytes")?,
+        sent_init: field_u64(line, "init")?,
+        sent_echo: field_u64(line, "echo")?,
+        sent_batch: field_u64(line, "batch")?,
+        sent_other: field_u64(line, "other")?,
+        echoes_batched: field_u64(line, "batched")?,
+        max_depth: StepDepth::new(field_u64(line, "max_depth")? as u32),
+        ..NetStats::default()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Child mains.
+// ---------------------------------------------------------------------
+
+/// Exits this process when its stdin reaches EOF — i.e. when the parent
+/// harness died or dropped the pipe. Children otherwise serve forever
+/// (late echoes, catch-up replies) and are reaped by the parent.
+fn exit_with_parent() {
+    thread::spawn(|| {
+        let mut sink = [0u8; 64];
+        loop {
+            match std::io::stdin().read(&mut sink) {
+                Ok(0) | Err(_) => std::process::exit(0),
+                Ok(_) => {}
+            }
+        }
+    });
+}
+
+/// Runs one child process until killed by the parent. Never returns on
+/// the happy path.
+pub fn run_node(opts: NodeOpts) -> Result<(), String> {
+    exit_with_parent();
+    let cfg = SystemConfig::new(opts.n, opts.t).map_err(|e| e.to_string())?;
+    match opts.role.clone() {
+        Role::Consensus { propose, aggregate } => consensus_node(opts, cfg, propose, aggregate),
+        Role::Replica {
+            wal,
+            slots,
+            window,
+            respawn,
+        } => replica_node(opts, cfg, wal, slots, window, respawn),
+    }
+}
+
+fn consensus_node(
+    opts: NodeOpts,
+    cfg: SystemConfig,
+    propose: u64,
+    aggregate: bool,
+) -> Result<(), String> {
+    let pair = FrequencyPair::new(cfg).map_err(|e| e.to_string())?;
+    let uc = OracleConsensus::new(cfg, opts.me, ProcessId::new(0));
+    let mut actor = DexActor::new(DexProcess::new(cfg, opts.me, pair, uc), propose);
+    if aggregate {
+        actor.enable_aggregation();
+    }
+    let mut ep = Endpoint::new(actor, opts.me, opts.n, opts.port_base, opts.seed)
+        .map_err(|e| format!("bind: {e}"))?;
+    ep.boot();
+    let mut announced = false;
+    loop {
+        ep.pump(Duration::from_millis(10));
+        if !announced {
+            if let Some(d) = ep.actor().decision() {
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(
+                    out,
+                    "DECIDED value={} path={} depth={} elapsed_us={}",
+                    d.value,
+                    d.path.label(),
+                    d.depth.get(),
+                    ep.elapsed_us(),
+                );
+                let _ = writeln!(out, "{}", format_stats_line(ep.stats()));
+                let _ = out.flush();
+                announced = true;
+            }
+        }
+        // Decided processes keep serving: peers may still need echoes.
+    }
+}
+
+fn replica_node(
+    opts: NodeOpts,
+    cfg: SystemConfig,
+    wal: PathBuf,
+    slots: u64,
+    window: u64,
+    respawn: bool,
+) -> Result<(), String> {
+    // Identical pending client commands at every replica — the
+    // replicated-log setting: all replicas order the same request
+    // stream, so every slot's consensus instance is unanimous.
+    let pending: Vec<u64> = (0..slots)
+        .map(|s| opts.seed.wrapping_mul(1000).wrapping_add(s))
+        .collect();
+    let mut replica: Replica<TotalOrder<u64>> =
+        Replica::new(cfg, opts.me, ProcessId::new(0), pending, slots);
+    if window > 1 {
+        replica.enable_pipelining(window);
+    }
+    // `snapshot_every = 0`: never compact, recovery replays the full WAL.
+    // In-memory snapshots would not survive a kill -9 anyway.
+    let file_wal = FileWal::open(&wal).map_err(|e| format!("wal {}: {e}", wal.display()))?;
+    replica.enable_durability(Durability::new(Box::new(file_wal), 0));
+    let mut ep = Endpoint::new(replica, opts.me, opts.n, opts.port_base, opts.seed)
+        .map_err(|e| format!("bind: {e}"))?;
+    if respawn {
+        ep.boot_restart();
+    } else {
+        ep.boot();
+    }
+    let mut last_prefix = usize::MAX;
+    let mut done = false;
+    loop {
+        ep.pump(Duration::from_millis(5));
+        let prefix = ep.actor().log().committed_prefix();
+        if prefix != last_prefix {
+            println!("PROGRESS prefix={prefix}");
+            let _ = std::io::stdout().flush();
+            last_prefix = prefix;
+        }
+        if !done && prefix as u64 >= slots {
+            let mut out = std::io::stdout().lock();
+            let _ = writeln!(
+                out,
+                "DONE digest={:#018x} prefix={} restarts={} elapsed_us={}",
+                ep.actor().machine().digest(),
+                prefix,
+                ep.actor().restarts(),
+                ep.elapsed_us(),
+            );
+            let _ = writeln!(out, "{}", format_stats_line(ep.stats()));
+            let _ = out.flush();
+            done = true;
+        }
+        // Finished replicas keep serving catch-up requests until killed.
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parent orchestration.
+// ---------------------------------------------------------------------
+
+/// A spawned child plus its parsed stdout line stream.
+struct ChildHandle {
+    child: Child,
+    rx: mpsc::Receiver<String>,
+    argv: Vec<String>,
+}
+
+impl ChildHandle {
+    /// Next stdout line before `deadline`.
+    fn line_by(&self, deadline: Instant) -> Option<String> {
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        self.rx.recv_timeout(deadline - now).ok()
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill(); // SIGKILL on unix
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_node_process(argv: Vec<String>) -> Result<ChildHandle, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .args(&argv)
+        .stdin(Stdio::piped()) // the child's parent-liveness watch
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn child: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            match line {
+                Ok(l) => {
+                    if tx.send(l).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(ChildHandle { child, rx, argv })
+}
+
+/// One child's `DECIDED` report.
+#[derive(Clone, Debug)]
+struct Decision {
+    value: u64,
+    path: String,
+    depth: u64,
+    elapsed_us: u64,
+}
+
+/// Outcome of one consensus-cell run.
+#[derive(Clone, Debug)]
+pub struct CellRun {
+    /// Decided value (agreement-checked across all processes).
+    pub value: u64,
+    /// Per-process decision latencies, µs of wall clock.
+    pub latencies_us: Vec<u64>,
+    /// Processes that decided on the one-step path.
+    pub one_step: u64,
+    /// Deepest causal step depth any decision reported.
+    pub depth_max: u64,
+    /// Summed per-child wire ledgers.
+    pub net: NetStats,
+    /// Whole-run wall clock, µs (spawn to last decision).
+    pub wall_us: u64,
+}
+
+/// Runs one fault-free consensus cell: spawn `n`, wait for `n` decisions,
+/// assert agreement, reap.
+fn run_consensus_cell(opts: &ClusterOpts, run_idx: usize) -> Result<CellRun, String> {
+    let spec = &opts.spec;
+    let seed = spec.seed + run_idx as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
+    let input = spec.workload.generator().generate(spec.n, &mut rng);
+    let start = Instant::now();
+    let deadline = start + opts.timeout;
+    let mut children = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let argv: Vec<String> = [
+            "--node",
+            &i.to_string(),
+            "--mode",
+            "consensus",
+            "--n",
+            &spec.n.to_string(),
+            "--t",
+            &spec.t.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--port-base",
+            &opts.port_base.to_string(),
+            "--propose",
+            &input[ProcessId::new(i)].to_string(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut argv = argv;
+        if !spec.aggregate.is_off() {
+            argv.push("--aggregate".into());
+        }
+        children.push(spawn_node_process(argv)?);
+    }
+    let mut decisions: Vec<Decision> = Vec::with_capacity(spec.n);
+    let mut net = NetStats::default();
+    let mut failure = None;
+    'collect: for (i, child) in children.iter().enumerate() {
+        let mut decided = None;
+        loop {
+            let Some(line) = child.line_by(deadline) else {
+                failure = Some(format!(
+                    "run {run_idx}: process {i} reported no decision within {:?}",
+                    opts.timeout
+                ));
+                break 'collect;
+            };
+            if line.starts_with("DECIDED ") {
+                decided = Some(Decision {
+                    value: field_u64(&line, "value").ok_or("bad DECIDED line")?,
+                    path: field(&line, "path").ok_or("bad DECIDED line")?.to_string(),
+                    depth: field_u64(&line, "depth").ok_or("bad DECIDED line")?,
+                    elapsed_us: field_u64(&line, "elapsed_us").ok_or("bad DECIDED line")?,
+                });
+            } else if let Some(stats) = parse_stats_line(&line) {
+                net.merge(&stats);
+                decisions.push(decided.take().ok_or("STATS before DECIDED")?);
+                continue 'collect;
+            }
+        }
+    }
+    let wall_us = start.elapsed().as_micros() as u64;
+    for child in &mut children {
+        child.kill();
+    }
+    if let Some(err) = failure {
+        return Err(err);
+    }
+    let first = decisions[0].value;
+    if decisions.iter().any(|d| d.value != first) {
+        return Err(format!(
+            "run {run_idx}: AGREEMENT VIOLATION across processes: {:?}",
+            decisions.iter().map(|d| d.value).collect::<Vec<_>>()
+        ));
+    }
+    Ok(CellRun {
+        value: first,
+        latencies_us: decisions.iter().map(|d| d.elapsed_us).collect(),
+        one_step: decisions.iter().filter(|d| d.path == "1-step").count() as u64,
+        depth_max: decisions.iter().map(|d| d.depth).max().unwrap_or(0),
+        net,
+        wall_us,
+    })
+}
+
+/// Outcome of the kill -9 + respawn phase.
+#[derive(Clone, Debug)]
+pub struct Kill9Run {
+    /// Slots every replica committed (== the target on success).
+    pub prefix: usize,
+    /// The single state-machine digest all replicas agreed on.
+    pub digest: String,
+    /// Restart counter reported by the respawned victim (expect 1).
+    pub restarts: u64,
+    /// Whole-phase wall clock, µs.
+    pub wall_us: u64,
+    /// Summed wire ledgers (survivors + the victim's second incarnation;
+    /// the first incarnation's ledger died with the process, as a real
+    /// crash's accounting does).
+    pub net: NetStats,
+}
+
+/// Runs the kill -9 schedule: spawn `n` replicas, SIGKILL a
+/// non-coordinator mid-run, respawn it, require full convergence.
+fn run_kill9(opts: &ClusterOpts) -> Result<Kill9Run, String> {
+    let spec = &opts.spec;
+    let seed = spec.seed;
+    let wal_dir = std::env::temp_dir().join(format!("dex-netd-{}-{seed}", std::process::id()));
+    std::fs::create_dir_all(&wal_dir).map_err(|e| format!("wal dir: {e}"))?;
+    let start = Instant::now();
+    let deadline = start + opts.timeout;
+    let argv_for = |i: usize, respawn: bool| -> Vec<String> {
+        let mut argv: Vec<String> = [
+            "--node",
+            &i.to_string(),
+            "--mode",
+            "replica",
+            "--n",
+            &spec.n.to_string(),
+            "--t",
+            &spec.t.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--port-base",
+            &opts.port_base.to_string(),
+            "--slots",
+            &opts.slots.to_string(),
+            "--window",
+            &opts.window.to_string(),
+            "--wal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        argv.push(wal_dir.join(format!("wal_{i}.log")).display().to_string());
+        if respawn {
+            argv.push("--respawn".into());
+        }
+        argv
+    };
+    let mut children = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        children.push(spawn_node_process(argv_for(i, false))?);
+    }
+    // The victim: not the UC coordinator (p0 stays up so fallbacks keep
+    // deciding), and guaranteed to have synced at least one commit to its
+    // WAL before dying, so recovery exercises replay *and* catch-up.
+    let victim = 1usize;
+    let mut saw_commit = false;
+    while !saw_commit {
+        let Some(line) = children[victim].line_by(deadline) else {
+            for c in &mut children {
+                c.kill();
+            }
+            return Err("kill9: victim never committed a slot".into());
+        };
+        if let Some(prefix) = field_u64(&line, "prefix") {
+            saw_commit = prefix >= 1;
+        }
+    }
+    // The literal kill -9 (SIGKILL via Child::kill), then the respawn.
+    children[victim].kill();
+    let mut respawned = spawn_node_process(argv_for(victim, true))?;
+    std::mem::swap(&mut children[victim], &mut respawned);
+    println!(
+        "kill9: SIGKILLed process {victim} after first commit, respawned as `{}`",
+        children[victim].argv.join(" ")
+    );
+    // Convergence: every live child reports DONE with one digest.
+    let mut digests = Vec::with_capacity(spec.n);
+    let mut prefixes = Vec::with_capacity(spec.n);
+    let mut restarts = 0u64;
+    let mut net = NetStats::default();
+    let mut failure = None;
+    'collect: for (i, child) in children.iter().enumerate() {
+        let mut done = false;
+        loop {
+            let Some(line) = child.line_by(deadline) else {
+                failure = Some(format!(
+                    "kill9: process {i} did not converge within {:?}",
+                    opts.timeout
+                ));
+                break 'collect;
+            };
+            if line.starts_with("DONE ") {
+                digests.push(field(&line, "digest").ok_or("bad DONE line")?.to_string());
+                prefixes.push(field_u64(&line, "prefix").ok_or("bad DONE line")? as usize);
+                if i == victim {
+                    restarts = field_u64(&line, "restarts").ok_or("bad DONE line")?;
+                }
+                done = true;
+            } else if done {
+                if let Some(stats) = parse_stats_line(&line) {
+                    net.merge(&stats);
+                    continue 'collect;
+                }
+            }
+        }
+    }
+    let wall_us = start.elapsed().as_micros() as u64;
+    for child in &mut children {
+        child.kill();
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    if let Some(err) = failure {
+        return Err(err);
+    }
+    let digest = digests[0].clone();
+    if digests.iter().any(|d| *d != digest) {
+        return Err(format!("kill9: digest divergence: {digests:?}"));
+    }
+    if prefixes.iter().any(|p| *p as u64 != opts.slots) {
+        return Err(format!(
+            "kill9: incomplete prefixes {prefixes:?} (target {})",
+            opts.slots
+        ));
+    }
+    if restarts != 1 {
+        return Err(format!(
+            "kill9: victim reported {restarts} restarts, expected 1"
+        ));
+    }
+    Ok(Kill9Run {
+        prefix: opts.slots as usize,
+        digest,
+        restarts,
+        wall_us,
+        net,
+    })
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+/// Runs the configured phases and writes the artifacts. The entry point
+/// behind `dex-netd --cluster`.
+pub fn run_cluster(opts: &ClusterOpts) -> Result<(), String> {
+    let spec = &opts.spec;
+    if spec.runtime != RuntimeSpec::Netd {
+        return Err("cluster specs must carry --runtime netd".into());
+    }
+    if spec.f != 0 {
+        return Err(
+            "netd runs fault-free cells: --f must be 0 (the kill -9 schedule is the fault)".into(),
+        );
+    }
+    if !spec.chaos.is_none() {
+        return Err(
+            "netd has no virtual fault injector; drop --chaos (kill -9 is real here)".into(),
+        );
+    }
+    SystemConfig::new(spec.n, spec.t).map_err(|e| e.to_string())?;
+    let workload_flag = spec.workload.flag();
+    let mut cell_runs: Vec<CellRun> = Vec::new();
+    let mut kill9: Option<Kill9Run> = None;
+    if opts.phase != Phase::Kill9 {
+        for i in 0..spec.runs {
+            let run = run_consensus_cell(opts, i)?;
+            println!(
+                "cell {workload_flag} run {i}: decided {} ({} of {} one-step) in {:.1} ms",
+                run.value,
+                run.one_step,
+                spec.n,
+                run.wall_us as f64 / 1000.0,
+            );
+            cell_runs.push(run);
+        }
+    }
+    if opts.phase != Phase::Cells {
+        let run = run_kill9(opts)?;
+        println!(
+            "kill9: converged at prefix {} digest {} after {} restart in {:.1} ms",
+            run.prefix,
+            run.digest,
+            run.restarts,
+            run.wall_us as f64 / 1000.0,
+        );
+        kill9 = Some(run);
+    }
+    // The unified result surface: same carrier, same breakdown line as
+    // `dex-sim --stats` on the other runtimes.
+    let mut net = NetStats::default();
+    let mut decisions = 0u64;
+    let mut wall = Duration::ZERO;
+    for run in &cell_runs {
+        net.merge(&run.net);
+        decisions += run.latencies_us.len() as u64;
+        wall += Duration::from_micros(run.wall_us);
+    }
+    if let Some(k) = &kill9 {
+        net.merge(&k.net);
+        decisions += (k.prefix * spec.n) as u64;
+        wall += Duration::from_micros(k.wall_us);
+    }
+    let stats = RunStats::of_net(net, decisions, wall);
+    if spec.stats {
+        println!("{}", stats.breakdown_line());
+    }
+    write_artifacts(opts, &workload_flag, &cell_runs, kill9.as_ref(), &stats)
+        .map_err(|e| format!("artifacts: {e}"))?;
+    Ok(())
+}
+
+/// Emits `BENCH_netd.json` and `results/netd_<seed>.json`.
+fn write_artifacts(
+    opts: &ClusterOpts,
+    workload_flag: &str,
+    cells: &[CellRun],
+    kill9: Option<&Kill9Run>,
+    stats: &RunStats,
+) -> std::io::Result<()> {
+    let spec = &opts.spec;
+    let mut rows = Vec::new();
+    for (i, run) in cells.iter().enumerate() {
+        rows.push(format!(
+            concat!(
+                "{{\"cell\":\"consensus\",\"workload\":\"{}\",\"run\":{},\"seed\":{},",
+                "\"decided\":{},\"one_step\":{},\"depth_max\":{},\"latency_mean_us\":{:.1},",
+                "\"latency_max_us\":{},\"bytes_on_wire\":{},\"wall_us\":{}}}"
+            ),
+            workload_flag,
+            i,
+            spec.seed + i as u64,
+            run.latencies_us.len(),
+            run.one_step,
+            run.depth_max,
+            mean(&run.latencies_us),
+            run.latencies_us.iter().max().copied().unwrap_or(0),
+            run.net.bytes_on_wire,
+            run.wall_us,
+        ));
+    }
+    if let Some(k) = kill9 {
+        rows.push(format!(
+            concat!(
+                "{{\"cell\":\"kill9\",\"slots\":{},\"window\":{},\"restarts\":{},",
+                "\"converged\":true,\"digest\":\"{}\",\"bytes_on_wire\":{},\"wall_us\":{}}}"
+            ),
+            opts.slots, opts.window, k.restarts, k.digest, k.net.bytes_on_wire, k.wall_us,
+        ));
+    }
+    let body = format!(
+        concat!(
+            "{{\"bench\":\"netd\",\"unit\":\"us (wall clock, real processes over localhost TCP)\",",
+            "\"n\":{},\"t\":{},\"runs\":{},\"decisions\":{},\"bytes_on_wire\":{},",
+            "\"results\":[{}]}}\n"
+        ),
+        spec.n,
+        spec.t,
+        spec.runs,
+        stats.decisions,
+        stats.net.bytes_on_wire,
+        rows.join(","),
+    );
+    std::fs::write("BENCH_netd.json", &body)?;
+    std::fs::create_dir_all("results")?;
+    let report = format!(
+        "{{\"spec\":{},\"bench\":{}}}",
+        spec.to_json(),
+        body.trim_end(),
+    );
+    std::fs::write(format!("results/netd_{}.json", spec.seed), report)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Argv parsing (child + cluster).
+// ---------------------------------------------------------------------
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad {flag} value `{raw}`"))
+}
+
+/// Parses a `--node` child argv (everything after the program name).
+pub fn parse_node_args(mut args: Vec<String>) -> Result<NodeOpts, String> {
+    let me = take_value(&mut args, "--node")?.ok_or("--node <id> required")?;
+    let mode = take_value(&mut args, "--mode")?.ok_or("--mode required")?;
+    let n: usize = parse_num("--n", &take_value(&mut args, "--n")?.ok_or("--n required")?)?;
+    let t: usize = parse_num("--t", &take_value(&mut args, "--t")?.ok_or("--t required")?)?;
+    let seed: u64 = parse_num(
+        "--seed",
+        &take_value(&mut args, "--seed")?.ok_or("--seed required")?,
+    )?;
+    let port_base: u16 = parse_num(
+        "--port-base",
+        &take_value(&mut args, "--port-base")?.ok_or("--port-base required")?,
+    )?;
+    let role = match mode.as_str() {
+        "consensus" => Role::Consensus {
+            propose: parse_num(
+                "--propose",
+                &take_value(&mut args, "--propose")?.ok_or("--propose required")?,
+            )?,
+            aggregate: take_flag(&mut args, "--aggregate"),
+        },
+        "replica" => Role::Replica {
+            wal: PathBuf::from(take_value(&mut args, "--wal")?.ok_or("--wal required")?),
+            slots: parse_num(
+                "--slots",
+                &take_value(&mut args, "--slots")?.ok_or("--slots required")?,
+            )?,
+            window: parse_num(
+                "--window",
+                &take_value(&mut args, "--window")?.unwrap_or_else(|| "1".into()),
+            )?,
+            respawn: take_flag(&mut args, "--respawn"),
+        },
+        other => return Err(format!("unknown --mode `{other}`")),
+    };
+    if !args.is_empty() {
+        return Err(format!("unknown node flags: {args:?}"));
+    }
+    Ok(NodeOpts {
+        me: ProcessId::new(parse_num("--node", &me)?),
+        n,
+        t,
+        seed,
+        port_base,
+        role,
+    })
+}
+
+/// Parses a `--cluster` argv: netd knobs are stripped, the rest must be a
+/// valid [`RunSpec`] flag set (with `--runtime netd` implied).
+pub fn parse_cluster_args(mut args: Vec<String>) -> Result<ClusterOpts, String> {
+    take_flag(&mut args, "--cluster");
+    let port_base = match take_value(&mut args, "--port-base")? {
+        Some(raw) => parse_num("--port-base", &raw)?,
+        None => default_port_base(),
+    };
+    let slots: u64 = match take_value(&mut args, "--slots")? {
+        Some(raw) => parse_num("--slots", &raw)?,
+        None => 8,
+    };
+    let window: u64 = match take_value(&mut args, "--window")? {
+        Some(raw) => parse_num("--window", &raw)?,
+        None => 4,
+    };
+    let phase = match take_value(&mut args, "--phase")?.as_deref() {
+        None | Some("both") => Phase::Both,
+        Some("cells") => Phase::Cells,
+        Some("kill9") => Phase::Kill9,
+        Some(other) => return Err(format!("unknown --phase `{other}` (cells|kill9|both)")),
+    };
+    let timeout = match take_value(&mut args, "--timeout-secs")? {
+        Some(raw) => Duration::from_secs(parse_num("--timeout-secs", &raw)?),
+        None => Duration::from_secs(60),
+    };
+    if !args.iter().any(|a| a == "--runtime") {
+        args.push("--runtime".into());
+        args.push("netd".into());
+    }
+    let spec = RunSpec::from_args(&args)?;
+    Ok(ClusterOpts {
+        spec,
+        port_base,
+        slots,
+        window,
+        phase,
+        timeout,
+    })
+}
+
+/// `dex-netd` entry: dispatches `--cluster` vs `--node` argv forms.
+pub fn main(args: Vec<String>) -> Result<(), String> {
+    if args.iter().any(|a| a == "--cluster") {
+        run_cluster(&parse_cluster_args(args)?)
+    } else if args.iter().any(|a| a == "--node") {
+        run_node(parse_node_args(args)?)
+    } else {
+        Err(concat!(
+            "usage: dex-netd --cluster [spec flags] [--port-base P] [--slots K] ",
+            "[--window W] [--phase cells|kill9|both] [--timeout-secs S]\n",
+            "       (children are spawned internally via --node)"
+        )
+        .into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_line_round_trips_the_ledger() {
+        let net = NetStats {
+            sent: 10,
+            delivered: 9,
+            multicasts: 2,
+            payload_clones: 0,
+            bytes_on_wire: 512,
+            sent_init: 3,
+            sent_echo: 4,
+            sent_batch: 1,
+            sent_other: 2,
+            echoes_batched: 6,
+            max_depth: StepDepth::new(3),
+            ..NetStats::default()
+        };
+        let line = format_stats_line(&net);
+        let back = parse_stats_line(&line).expect("parses");
+        assert_eq!(back, net);
+        assert_eq!(parse_stats_line("STATS sent=oops"), None);
+        assert_eq!(parse_stats_line("DECIDED value=1"), None);
+    }
+
+    #[test]
+    fn node_argv_round_trips_both_roles() {
+        let opts = parse_node_args(
+            "--node 2 --mode consensus --n 5 --t 0 --seed 9 --port-base 23000 --propose 7"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .expect("consensus argv");
+        assert_eq!(opts.me, ProcessId::new(2));
+        assert!(matches!(
+            opts.role,
+            Role::Consensus {
+                propose: 7,
+                aggregate: false
+            }
+        ));
+        let opts = parse_node_args(
+            "--node 1 --mode replica --n 5 --t 0 --seed 9 --port-base 23000 --wal /tmp/w.log --slots 8 --window 4 --respawn"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .expect("replica argv");
+        match opts.role {
+            Role::Replica {
+                slots,
+                window,
+                respawn,
+                ..
+            } => {
+                assert_eq!((slots, window), (8, 4));
+                assert!(respawn);
+            }
+            other => panic!("wrong role {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_argv_carries_spec_and_netd_knobs() {
+        let opts = parse_cluster_args(
+            "--cluster --n 5 --t 0 --workload unanimous:7 --runs 2 --seed 31 --slots 6 --phase cells"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .expect("cluster argv");
+        assert_eq!(opts.spec.n, 5);
+        assert_eq!(opts.spec.runtime, RuntimeSpec::Netd);
+        assert_eq!(opts.slots, 6);
+        assert_eq!(opts.phase, Phase::Cells);
+        // Chaos is rejected up front: the kill -9 schedule is the fault.
+        let err = parse_cluster_args(
+            "--cluster --n 5 --t 0 --chaos drop:0.4"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .map(|o| run_cluster(&o));
+        match err {
+            Ok(Err(msg)) => assert!(msg.contains("chaos"), "{msg}"),
+            other => panic!("expected chaos rejection, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Length-prefixed framing for the netd TCP links.
+//!
+//! One frame per logical message:
+//!
+//! ```text
+//! [u32 LE total_len][u8 class][u32 LE depth][payload …]
+//!                   └──────── total_len bytes ────────┘
+//! ```
+//!
+//! `class` tags the payload's [`MsgClass`](dex_simnet::MsgClass) (plus the
+//! out-of-band `0xFF` hello used during connection setup), `depth` carries
+//! the causal step depth on the wire — exactly as the simulator and the
+//! threaded runtime stamp their envelopes — and `payload` is the
+//! [`WireCodec`](crate::codec::WireCodec) encoding of the message.
+//!
+//! [`FrameBuf`] is the receive-side accumulator. Like the replication
+//! crate's WAL codec it is **torn-tail tolerant**: a partial frame at the
+//! end of the buffered bytes is not an error, just "wait for more". Only
+//! a structurally impossible prefix (zero/oversized length) is
+//! [`FrameError::Corrupt`], which condemns the connection — framing never
+//! resynchronizes inside a stream, it reconnects.
+
+use dex_simnet::MsgClass;
+
+/// Frames larger than this are rejected as corrupt: no legitimate DEX or
+/// replication message gets anywhere near 16 MiB, so an insane length
+/// prefix is a torn/hostile stream, not a big batch.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Frame header size on the wire: the `u32` length prefix itself.
+const LEN_PREFIX: usize = 4;
+/// Bytes of the length-counted region before the payload: class + depth.
+const FRAME_OVERHEAD: usize = 1 + 4;
+
+/// Class byte for the connection-setup hello frame (never a message).
+pub const CLASS_HELLO: u8 = 0xFF;
+/// Magic payload of a hello frame.
+pub const HELLO_MAGIC: &[u8; 4] = b"DEXD";
+
+/// Maps a payload's [`MsgClass`] to its wire tag byte. The batch entry
+/// count is not carried — receivers recover it from the decoded payload.
+pub fn class_byte(class: MsgClass) -> u8 {
+    match class {
+        MsgClass::Init => 0,
+        MsgClass::Echo => 1,
+        MsgClass::Batch(_) => 2,
+        MsgClass::Other => 3,
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// The class tag byte ([`class_byte`] output, or [`CLASS_HELLO`]).
+    pub class: u8,
+    /// Causal step depth (sender id for hello frames).
+    pub depth: u32,
+    /// The [`WireCodec`](crate::codec::WireCodec)-encoded message.
+    pub payload: Vec<u8>,
+}
+
+/// Why a stream stopped yielding frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// Structurally impossible bytes: a length prefix of zero, shorter
+    /// than the fixed header, or beyond [`MAX_FRAME`]. The connection is
+    /// beyond recovery and must be dropped.
+    Corrupt,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt frame prefix")
+    }
+}
+
+/// Encodes one frame.
+pub fn encode_frame(class: u8, depth: u32, payload: &[u8]) -> Vec<u8> {
+    let total = FRAME_OVERHEAD + payload.len();
+    debug_assert!(total as u32 <= MAX_FRAME);
+    let mut out = Vec::with_capacity(LEN_PREFIX + total);
+    out.extend_from_slice(&(total as u32).to_le_bytes());
+    out.push(class);
+    out.extend_from_slice(&depth.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The hello frame process `me` sends right after connecting, so the
+/// acceptor learns who dialed before any protocol traffic flows.
+pub fn hello_frame(me: usize) -> Vec<u8> {
+    encode_frame(CLASS_HELLO, me as u32, HELLO_MAGIC)
+}
+
+/// Checks a decoded frame is a well-formed hello and returns the sender.
+pub fn hello_sender(frame: &Frame) -> Option<usize> {
+    (frame.class == CLASS_HELLO && frame.payload == HELLO_MAGIC).then_some(frame.depth as usize)
+}
+
+/// Receive-side frame accumulator: push raw socket bytes in, pull whole
+/// frames out. A torn tail (anything short of a complete frame) yields
+/// `Ok(None)` and is retried once more bytes arrive.
+///
+/// # Examples
+///
+/// ```
+/// use dex_netd::frame::{encode_frame, FrameBuf};
+///
+/// let wire = encode_frame(3, 2, b"hi");
+/// let mut buf = FrameBuf::new();
+/// buf.extend(&wire[..5]); // torn mid-header
+/// assert_eq!(buf.next_frame().unwrap(), None);
+/// buf.extend(&wire[5..]);
+/// let frame = buf.next_frame().unwrap().unwrap();
+/// assert_eq!((frame.class, frame.depth, &frame.payload[..]), (3, 2, &b"hi"[..]));
+/// ```
+#[derive(Default, Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuf {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing, so a long-lived
+        // connection doesn't accrete every frame it ever parsed.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet parsed into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Parses the next complete frame, `Ok(None)` when the tail is torn.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < LEN_PREFIX {
+            return Ok(None);
+        }
+        let total = u32::from_le_bytes(avail[..LEN_PREFIX].try_into().expect("4 bytes"));
+        if total < FRAME_OVERHEAD as u32 || total > MAX_FRAME {
+            return Err(FrameError::Corrupt);
+        }
+        let total = total as usize;
+        if avail.len() < LEN_PREFIX + total {
+            return Ok(None); // torn tail — wait for more bytes
+        }
+        let body = &avail[LEN_PREFIX..LEN_PREFIX + total];
+        let frame = Frame {
+            class: body[0],
+            depth: u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")),
+            payload: body[FRAME_OVERHEAD..].to_vec(),
+        };
+        self.pos += LEN_PREFIX + total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_byte_dribble() {
+        let frames = [
+            encode_frame(0, 1, b"alpha"),
+            encode_frame(2, 7, &[]),
+            encode_frame(3, 2, &[0xAB; 300]),
+        ];
+        let wire: Vec<u8> = frames.iter().flatten().copied().collect();
+        // Feed one byte at a time: every prefix short of a full frame is
+        // a torn tail, never an error.
+        let mut buf = FrameBuf::new();
+        let mut got = Vec::new();
+        for b in wire {
+            buf.extend(&[b]);
+            while let Some(f) = buf.next_frame().expect("no corruption") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].payload, b"alpha");
+        assert_eq!(
+            got[1],
+            Frame {
+                class: 2,
+                depth: 7,
+                payload: vec![]
+            }
+        );
+        assert_eq!(got[2].payload.len(), 300);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn garbage_length_prefix_is_corrupt() {
+        // Length below the fixed header.
+        let mut buf = FrameBuf::new();
+        buf.extend(&2u32.to_le_bytes());
+        assert_eq!(buf.next_frame(), Err(FrameError::Corrupt));
+        // Length beyond the sanity bound.
+        let mut buf = FrameBuf::new();
+        buf.extend(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(buf.next_frame(), Err(FrameError::Corrupt));
+    }
+
+    #[test]
+    fn short_read_then_completion_yields_the_frame() {
+        let wire = encode_frame(1, 9, b"payload");
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire[..wire.len() - 1]);
+        assert_eq!(buf.next_frame(), Ok(None));
+        buf.extend(&wire[wire.len() - 1..]);
+        let f = buf.next_frame().unwrap().unwrap();
+        assert_eq!((f.class, f.depth), (1, 9));
+        assert_eq!(f.payload, b"payload");
+    }
+
+    #[test]
+    fn hello_frames_identify_the_dialer() {
+        let wire = hello_frame(4);
+        let mut buf = FrameBuf::new();
+        buf.extend(&wire);
+        let f = buf.next_frame().unwrap().unwrap();
+        assert_eq!(hello_sender(&f), Some(4));
+        // A protocol frame is not a hello.
+        let mut buf = FrameBuf::new();
+        buf.extend(&encode_frame(0, 4, HELLO_MAGIC));
+        assert_eq!(hello_sender(&buf.next_frame().unwrap().unwrap()), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Loopback listener with `SO_REUSEADDR`.
+//!
+//! The kill-9 schedule respawns a child that must rebind the port its
+//! previous incarnation owned. Connections accepted on a listening port
+//! share that port as their local endpoint, and whichever side closes
+//! first leaves a kernel `TIME_WAIT` entry that survives the process —
+//! so a plain `TcpListener::bind` by the respawned child can fail with
+//! `EADDRINUSE` for a minute. `SO_REUSEADDR` is the standard fix, but the
+//! standard library does not expose it, so on Linux the socket is built
+//! through a minimal `libc`-free FFI shim (the workspace vendors no libc
+//! crate) and handed to [`TcpListener`] as a raw fd. Everywhere else the
+//! plain bind is used and a fast respawn may have to retry.
+
+use std::io;
+use std::net::TcpListener;
+
+/// Binds `127.0.0.1:port` for listening, with `SO_REUSEADDR` where the
+/// platform shim supports it.
+pub fn bind_reusable(port: u16) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        linux::bind_reuseaddr(port)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        TcpListener::bind(("127.0.0.1", port))
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::net::TcpListener;
+    use std::os::fd::{FromRawFd, RawFd};
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    /// Close-on-exec at creation, so cluster children never inherit each
+    /// other's listening sockets through `Command::spawn`.
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` (fields in network byte order where the ABI
+    /// says so).
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn last_error(fd: Option<RawFd>) -> io::Error {
+        let err = io::Error::last_os_error();
+        if let Some(fd) = fd {
+            // SAFETY: `fd` came from a successful `socket` call above and
+            // has not been handed to any owning wrapper yet.
+            unsafe { close(fd) };
+        }
+        err
+    }
+
+    pub fn bind_reuseaddr(port: u16) -> io::Result<TcpListener> {
+        // SAFETY: plain syscall wrappers on owned values; the fd's
+        // ownership moves linearly from `socket` either into
+        // `TcpListener::from_raw_fd` or into `close` on the error paths.
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            if fd < 0 {
+                return Err(last_error(None));
+            }
+            let one: i32 = 1;
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0 {
+                return Err(last_error(Some(fd)));
+            }
+            let addr = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: port.to_be(),
+                sin_addr: u32::from_be_bytes([127, 0, 0, 1]).to_be(),
+                sin_zero: [0; 8],
+            };
+            if bind(fd, &addr, core::mem::size_of::<SockAddrIn>() as u32) < 0 {
+                return Err(last_error(Some(fd)));
+            }
+            if listen(fd, 128) < 0 {
+                return Err(last_error(Some(fd)));
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn test_port() -> u16 {
+        // Processes running the suite concurrently must not collide.
+        20000 + (std::process::id() % 20000) as u16
+    }
+
+    #[test]
+    fn rebinding_after_drop_succeeds_immediately() {
+        let port = test_port();
+        let first = bind_reusable(port).expect("first bind");
+        // Open (and abruptly drop) a connection so the port has seen
+        // traffic — the TIME_WAIT scenario a respawned child faces.
+        let client = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        let (mut accepted, _) = first.accept().expect("accept");
+        accepted.write_all(b"x").expect("write");
+        drop(accepted);
+        let mut byte = [0u8; 1];
+        let _ = client.try_clone().and_then(|mut c| c.read(&mut byte));
+        drop(client);
+        drop(first);
+        let again = bind_reusable(port).expect("rebind with SO_REUSEADDR");
+        assert_eq!(
+            again.local_addr().expect("addr").port(),
+            port,
+            "same port reacquired"
+        );
+    }
+}

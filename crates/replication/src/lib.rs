@@ -64,6 +64,6 @@ pub use machine::{StateMachine, TotalOrder};
 pub use mux::{Checkout, SlotInstance, SlotMux};
 pub use replica::{
     replica_msg_bytes, replica_msg_class, run_generic_cluster, GenericClusterOptions,
-    GenericClusterOutcome, Node, Replica, ReplicaMsg, SlotPath,
+    GenericClusterOutcome, Node, Replica, ReplicaMsg, SlotMsg, SlotPath,
 };
 pub use wal::{Durability, FileWal, MemWal, Snapshot, Wal, WalCodec, WalRecord};

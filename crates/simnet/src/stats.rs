@@ -1,7 +1,7 @@
 //! Network-level statistics.
 
-use crate::actor::MsgClass;
-use dex_types::StepDepth;
+use crate::actor::{Actor, MsgClass};
+use dex_types::{Dest, StepDepth};
 
 /// Counters maintained by the simulator across one run.
 ///
@@ -88,6 +88,68 @@ impl NetStats {
             self.per_depth.resize(idx + 1, 0);
         }
         self.per_depth[idx] += 1;
+    }
+
+    /// Counts one logical send against the ledger, the way the simulator's
+    /// own dispatcher does: class and size are computed **once** per
+    /// logical send, batch entries land in
+    /// [`echoes_batched`](Self::echoes_batched) once (not per recipient),
+    /// and a `Dest::All` multicast counts one multicast plus `n` recipient
+    /// copies in [`sent`](Self::sent) and
+    /// [`bytes_on_wire`](Self::bytes_on_wire).
+    ///
+    /// `fanout_clones` is what the runtime's transport actually clones per
+    /// multicast: `0` for the simulator's shared slab and for `dex-netd`
+    /// (one encoded frame shared across sockets), `n − 1` for the threaded
+    /// runtime's per-channel payload expansion. External runtimes
+    /// (`dex-threadnet`, `dex-netd`) call this so their wire ledgers stay
+    /// comparable with the simulator's line for line.
+    pub fn note_send<A: Actor>(
+        &mut self,
+        n: usize,
+        dest: &Dest,
+        payload: &A::Msg,
+        depth: StepDepth,
+        fanout_clones: u64,
+    ) {
+        let class = A::msg_class(payload);
+        let bytes = A::msg_bytes(payload) as u64;
+        if let MsgClass::Batch(entries) = class {
+            self.echoes_batched += u64::from(entries);
+        }
+        let copies = match dest {
+            Dest::To(_) => 1,
+            Dest::All => {
+                self.multicasts += 1;
+                self.payload_clones += fanout_clones;
+                n as u64
+            }
+        };
+        self.sent += copies;
+        self.bytes_on_wire += bytes * copies;
+        match class {
+            MsgClass::Init => self.sent_init += copies,
+            MsgClass::Echo => self.sent_echo += copies,
+            MsgClass::Batch(_) => self.sent_batch += copies,
+            MsgClass::Other => self.sent_other += copies,
+        }
+        if depth > self.max_depth {
+            self.max_depth = depth;
+        }
+    }
+
+    /// Counts one armed timer: the simulator records each timer as a send
+    /// of its payload's class with **no** wire bytes (self-delivery stays
+    /// local). External runtimes call this when an actor arms a timer.
+    pub fn note_timer<A: Actor>(&mut self, payload: &A::Msg, depth: StepDepth) {
+        self.record_send(depth, A::msg_class(payload));
+    }
+
+    /// Counts one handled delivery (network envelope or fired timer) at
+    /// causal depth `depth`. External runtimes call this where the
+    /// simulator would call its internal delivery hook.
+    pub fn note_delivery(&mut self, depth: StepDepth) {
+        self.record_delivery(depth);
     }
 
     /// Delivered messages at a given causal depth.

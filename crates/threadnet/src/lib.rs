@@ -49,7 +49,7 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use dex_simnet::{Actor, Context, Dest, Time};
+use dex_simnet::{Actor, Context, Dest, NetStats, Time};
 use dex_types::{ProcessId, StepDepth};
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
@@ -100,6 +100,30 @@ pub struct NetworkResult<A> {
     /// process id, all zeros for quiescent runs. Pinpoints *which*
     /// process a stuck run starved or overwhelmed.
     pub undrained: Vec<u64>,
+    /// Wire statistics, accumulated per worker and merged at join. The
+    /// ledger matches the simulator's: class and size computed once per
+    /// logical send, `Dest::All` counted as one multicast (whose payload
+    /// the thread boundary clones `n − 1` times, so `payload_clones` is
+    /// honest here where the simulator reports zero), every recipient
+    /// copy counted in `sent` and `bytes_on_wire`, armed timers counted
+    /// as byte-free sends.
+    pub stats: NetStats,
+    /// Wall-clock time from network start to supervisor teardown.
+    pub elapsed: Duration,
+}
+
+/// Counts one logical send against a worker's wire statistics via the
+/// shared [`NetStats::note_send`] ledger hook. The thread boundary clones
+/// multicast payloads `n − 1` times (one per peer channel), and the ledger
+/// records that honestly where the simulator's shared slab reports zero.
+fn note_send<A: Actor>(
+    wire: &mut NetStats,
+    n: usize,
+    dest: &Dest,
+    payload: &A::Msg,
+    depth: StepDepth,
+) {
+    wire.note_send::<A>(n, dest, payload, depth, n as u64 - 1);
 }
 
 struct Envelope<M> {
@@ -198,9 +222,11 @@ fn deliver<A: Actor>(
     dispatch_tx: &Sender<(usize, Envelope<A::Msg>)>,
     inflight: &AtomicI64,
     delivered: &AtomicI64,
+    wire: &mut NetStats,
 ) {
     let now = Time::new(start.elapsed().as_micros() as u64);
     *local_seq += 1;
+    wire.note_delivery(env.depth);
     if let Some(rec) = actor.recorder_mut() {
         rec.set_clock(*local_seq, env.depth.get());
         rec.record(dex_obs::EventKind::Deliver {
@@ -209,10 +235,21 @@ fn deliver<A: Actor>(
     }
     let mut ctx = Context::external(me, n, now, env.depth, rng);
     actor.on_message(env.from, &env.payload, &mut ctx);
-    let out = expand(n, ctx.take_outbox());
-    let out_at = expand_at(n, ctx.take_outbox_at());
+    let raw_out = ctx.take_outbox();
+    let raw_out_at = ctx.take_outbox_at();
     let armed = ctx.take_timers();
     drop(ctx);
+    for (dest, payload) in &raw_out {
+        note_send::<A>(wire, n, dest, payload, env.depth.next());
+    }
+    for (dest, payload, depth) in &raw_out_at {
+        note_send::<A>(wire, n, dest, payload, *depth);
+    }
+    for (_, payload) in &armed {
+        wire.note_timer::<A>(payload, env.depth.next());
+    }
+    let out = expand(n, raw_out);
+    let out_at = expand_at(n, raw_out_at);
     if let Some(rec) = actor.recorder_mut() {
         for (to, _) in &out {
             rec.record_at(
@@ -374,16 +411,29 @@ where
             // wall time is not reproducible, but per-process event order is
             // what the trace checker consumes.
             let mut local_seq = 0u64;
+            // Per-worker wire ledger, merged across workers at join.
+            let mut wire = NetStats::default();
             // Timers are local to their actor, so each worker owns its
             // pending list (virtual units = microseconds here).
             let mut timers: Vec<PendingTimer<A::Msg>> = Vec::new();
             {
                 let mut ctx = Context::external(me, n, Time::ZERO, StepDepth::ZERO, &mut rng);
                 actor.on_start(&mut ctx);
-                let out = expand(n, ctx.take_outbox());
-                let out_at = expand_at(n, ctx.take_outbox_at());
+                let raw_out = ctx.take_outbox();
+                let raw_out_at = ctx.take_outbox_at();
                 let armed = ctx.take_timers();
                 drop(ctx);
+                for (dest, payload) in &raw_out {
+                    note_send::<A>(&mut wire, n, dest, payload, StepDepth::ONE);
+                }
+                for (dest, payload, depth) in &raw_out_at {
+                    note_send::<A>(&mut wire, n, dest, payload, *depth);
+                }
+                for (_, payload) in &armed {
+                    wire.note_timer::<A>(payload, StepDepth::ONE);
+                }
+                let out = expand(n, raw_out);
+                let out_at = expand_at(n, raw_out_at);
                 if let Some(rec) = actor.recorder_mut() {
                     for (to, _) in &out {
                         rec.record_at(
@@ -457,6 +507,7 @@ where
                         &dispatch_tx,
                         &inflight,
                         &delivered,
+                        &mut wire,
                     );
                 }
                 let wait = timers
@@ -480,6 +531,7 @@ where
                             &dispatch_tx,
                             &inflight,
                             &delivered,
+                            &mut wire,
                         );
                     }
                     Err(RecvTimeoutError::Timeout) => {
@@ -490,7 +542,7 @@ where
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            actor
+            (actor, wire)
         }));
     }
     drop(dispatch_tx);
@@ -526,16 +578,21 @@ where
     };
     shutdown.store(true, Ordering::Release);
     dispatcher.join().expect("dispatcher thread panicked");
-    let actors = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread panicked"))
-        .collect();
+    let mut actors = Vec::with_capacity(n);
+    let mut stats = NetStats::default();
+    for h in handles {
+        let (actor, wire) = h.join().expect("worker thread panicked");
+        stats.merge(&wire);
+        actors.push(actor);
+    }
     NetworkResult {
         actors,
         quiescent,
         delivered: delivered.load(Ordering::Acquire) as u64,
         residual_inflight,
         undrained,
+        stats,
+        elapsed: start.elapsed(),
     }
 }
 
@@ -590,6 +647,18 @@ mod tests {
         // A drained run leaves no residue to report.
         assert_eq!(result.residual_inflight, 0);
         assert_eq!(result.undrained, vec![0; 4]);
+        // The per-worker wire ledgers merge to the same totals the
+        // simulator would report: 3 opener sends + 3 replies, all
+        // unclassified (`Echo`'s `u32` payload has no class override),
+        // no multicasts (`broadcast_others` expands to unicasts), and
+        // the deepest causal step is the reply depth.
+        assert_eq!(result.stats.sent, 6);
+        assert_eq!(result.stats.delivered, result.delivered);
+        assert_eq!(result.stats.sent_other, 6);
+        assert_eq!(result.stats.multicasts, 0);
+        assert_eq!(result.stats.max_depth, StepDepth::new(2));
+        assert_eq!(result.stats.delivered_at_depth(StepDepth::new(2)), 3);
+        assert!(result.elapsed > Duration::ZERO);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 #   chaos-matrix     chaos schedules x seeds through the invariant checker
 #   recovery-matrix  crash-restart recovery: WAL + catch-up + resend
 #   campaign-smoke   fixed campaign twice at different --jobs, cmp + curves
+#   netd-smoke       real-process TCP cluster: MATRIX cell + kill -9 respawn
 #   bench-gate       criterion smoke + bench-regression gate vs baselines
 #   all              everything above, in order (the default)
 #
@@ -75,6 +76,11 @@ stage_campaign_smoke() {
   ./scripts/campaign_smoke.sh
 }
 
+stage_netd_smoke() {
+  echo "== netd smoke: 5 real processes over TCP, decide + kill -9 + respawn"
+  ./scripts/netd_smoke.sh
+}
+
 stage_bench_gate() {
   echo "== bench smoke: view_ops"
   # CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads
@@ -97,6 +103,7 @@ case "$stage" in
   chaos-matrix) stage_chaos_matrix ;;
   recovery-matrix) stage_recovery_matrix ;;
   campaign-smoke) stage_campaign_smoke ;;
+  netd-smoke) stage_netd_smoke ;;
   bench-gate) stage_bench_gate ;;
   all)
     stage_lint
@@ -105,6 +112,7 @@ case "$stage" in
     stage_chaos_matrix
     stage_recovery_matrix
     stage_campaign_smoke
+    stage_netd_smoke
     stage_bench_gate
     echo "== ci OK"
     ;;

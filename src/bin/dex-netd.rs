@@ -1,0 +1,19 @@
+//! `dex-netd` binary: the process-level TCP runtime.
+//!
+//! Two argv forms, dispatched by `dex_netd::cluster::main`:
+//!
+//! * `dex-netd --cluster [spec flags] [--port-base P] [--slots K]
+//!   [--window W] [--phase cells|kill9|both]` — the parent harness:
+//!   spawns `n` local child processes per run, drives fault-free MATRIX
+//!   consensus cells and the kill -9 + respawn replication schedule, and
+//!   writes `BENCH_netd.json` + `results/netd_<seed>.json`.
+//! * `dex-netd --node I --mode consensus|replica …` — one child process
+//!   (spawned by the parent; not normally invoked by hand).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(err) = dex_netd::cluster::main(args) {
+        eprintln!("dex-netd: {err}");
+        std::process::exit(1);
+    }
+}

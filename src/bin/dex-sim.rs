@@ -26,7 +26,8 @@
 //! | `--chaos` | `none`, `drop:<p>`, `dup:<p>`, `partition:<open>:<heal>`, `crash:<down>:<up>`, `crash-restart:<down>:<up>` | `none` |
 //! | `--pipeline` | `<window>` or `<window>:<batch>` — run the pipelined replication engine instead of single-shot batches | `1:1` (off) |
 //! | `--aggregate` | (no value) coalesce each correct process's per-tick echo/vote fan-out into one batched multicast | off |
-//! | `--stats` | (no value) print the per-class wire breakdown (init/echo/batch/other sends, batched echoes, bytes) | off |
+//! | `--runtime` | `simnet` (deterministic simulation), `threadnet` (one OS thread per process), `netd` (one OS *process* per process — use the `dex-netd` binary) | `simnet` |
+//! | `--stats` | (no value) print the per-class wire breakdown (init/echo/batch/other sends, batched echoes, bytes) — same line on every runtime | off |
 //! | `--runs` | batch size | `20` |
 //! | `--seed` | base seed | `0` |
 //! | `--max-events` | delivery cap per run | `50000000` |
@@ -46,7 +47,9 @@
 
 use dex::harness::pipeline::{PipelineRun, DEFAULT_SLOTS};
 use dex::harness::spec::RunSpec;
+use dex::harness::stats::RunStats;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn run_pipeline(spec: &RunSpec) -> ExitCode {
     let run = match PipelineRun::from_spec(spec, DEFAULT_SLOTS) {
@@ -77,7 +80,7 @@ fn run_pipeline(spec: &RunSpec) -> ExitCode {
         outcome.echoes_coalesced,
     );
     if spec.stats {
-        print_net_breakdown(&outcome.net);
+        println!("{}", RunStats::of_pipeline(&outcome).breakdown_line());
     }
     if !spec.trace {
         return ExitCode::SUCCESS;
@@ -112,21 +115,6 @@ fn run_pipeline(spec: &RunSpec) -> ExitCode {
     }
 }
 
-/// Prints the per-class wire breakdown (`--stats`). The four class
-/// counters partition `sent` exactly; `echoes batched` is how many
-/// individual echo sends the aggregation layer absorbed into batches.
-fn print_net_breakdown(net: &dex::simnet::NetStats) {
-    println!(
-        "wire classes: init {}  echo {}  batch {}  other {}  | echoes batched {}  bytes {}",
-        net.sent_init,
-        net.sent_echo,
-        net.sent_batch,
-        net.sent_other,
-        net.echoes_batched,
-        net.bytes_on_wire,
-    );
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help") {
@@ -152,6 +140,7 @@ fn main() -> ExitCode {
         return run_pipeline(&spec);
     }
 
+    let started = Instant::now();
     let stats = match spec.run() {
         Ok(stats) => stats,
         Err(e) => {
@@ -159,6 +148,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let wall = started.elapsed();
 
     println!(
         "{} on {} | workload {} | adversary {} (f = {}) | chaos {} | {} runs",
@@ -193,7 +183,10 @@ fn main() -> ExitCode {
         stats.non_quiescent,
     );
     if spec.stats {
-        print_net_breakdown(&stats.net);
+        println!(
+            "{}",
+            RunStats::of_batch(&stats, spec.runtime, wall).breakdown_line()
+        );
     }
     let mut trace_ok = true;
     if spec.trace {

@@ -21,6 +21,7 @@
 //! | [`adversary`] | `dex-adversary` | Byzantine strategies, fault plans |
 //! | [`simnet`] | `dex-simnet` | deterministic discrete-event simulator |
 //! | [`threadnet`] | `dex-threadnet` | threaded runtime over crossbeam channels |
+//! | [`netd`] | `dex-netd` | process-level runtime: wire codec, TCP mesh, kill -9 cluster harness |
 //! | [`workloads`] | `dex-workloads` | input-vector generators |
 //! | [`metrics`] | `dex-metrics` | summaries, counters, tables |
 //! | [`obs`] | `dex-obs` | structured event traces + trace-driven invariant checker |
@@ -75,6 +76,7 @@ pub use dex_conditions as conditions;
 pub use dex_core as core;
 pub use dex_harness as harness;
 pub use dex_metrics as metrics;
+pub use dex_netd as netd;
 pub use dex_obs as obs;
 pub use dex_replication as replication;
 pub use dex_simnet as simnet;
@@ -92,7 +94,9 @@ pub mod prelude {
         run_batch, run_instance, run_instance_traced, traced_batch_run, Algo, BatchSpec,
         BatchStats, Outcome, Placement, RunInstance, RunResult, TracedRun, UnderlyingKind,
     };
-    pub use dex_harness::spec::{AdversarySpec, ChaosSpec, RunSpec, UnderlyingSpec, WorkloadSpec};
+    pub use dex_harness::spec::{
+        AdversarySpec, ChaosSpec, RunSpec, RuntimeSpec, UnderlyingSpec, WorkloadSpec,
+    };
     pub use dex_obs::{check, CheckReport, Recorder, RunTrace};
     pub use dex_simnet::{
         Actor, Context, DelayModel, FaultSchedule, Simulation, SimulationBuilder, TraceDetail,

@@ -1,0 +1,63 @@
+//! End-to-end netd cluster test: the acceptance scenario for the
+//! process-level runtime, run against the real `dex-netd` binary.
+//!
+//! A 5-process localhost cluster must (a) decide a canonical fault-free
+//! MATRIX cell with agreement across all processes, and (b) survive a
+//! literal `kill -9` + respawn of one replica, converging through
+//! `FileWal` replay and `t + 1` catch-up. The harness itself asserts
+//! agreement, convergence and the restart count; this test asserts the
+//! harness succeeds and emits the artifacts.
+
+use std::process::Command;
+
+#[test]
+fn five_process_cluster_decides_and_survives_kill9() {
+    let dir = std::env::temp_dir().join(format!("dex-netd-itest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    let output = Command::new(env!("CARGO_BIN_EXE_dex-netd"))
+        .current_dir(&dir)
+        .args([
+            "--cluster",
+            "--n",
+            "5",
+            "--t",
+            "0",
+            "--workload",
+            "bernoulli:0.8",
+            "--runs",
+            "1",
+            "--seed",
+            "31",
+            "--slots",
+            "6",
+            "--timeout-secs",
+            "120",
+        ])
+        .output()
+        .expect("spawn dex-netd --cluster");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "cluster harness failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("decided"),
+        "consensus cell reported no decision:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("converged at prefix 6") && stdout.contains("after 1 restart"),
+        "kill -9 phase did not converge as expected:\n{stdout}"
+    );
+    let bench = std::fs::read_to_string(dir.join("BENCH_netd.json")).expect("BENCH_netd.json");
+    assert!(bench.contains("\"cell\":\"consensus\""), "bench: {bench}");
+    assert!(
+        bench.contains("\"cell\":\"kill9\"") && bench.contains("\"converged\":true"),
+        "bench: {bench}"
+    );
+    assert!(
+        dir.join("results/netd_31.json").exists(),
+        "results artifact missing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
