@@ -438,6 +438,21 @@ impl ChaosSpec {
         }
     }
 
+    /// Compiles the spec against a canonical *last-`f`* fault budget —
+    /// the placement the netd cluster harness uses, where the budget
+    /// processes are real child processes running correct code whose
+    /// liveness is simply not awaited. With `f == 0` the plan is empty
+    /// (so `DropHeavy` compiles to an empty schedule, exactly as in the
+    /// simulator: no faulty processes means nothing to attach drops to).
+    pub fn build_with_budget(&self, config: SystemConfig, f: usize) -> FaultSchedule {
+        let plan = if f > 0 {
+            FaultPlan::last_k(config, f)
+        } else {
+            FaultPlan::none()
+        };
+        self.build(config, &plan)
+    }
+
     /// Compiles the symbolic spec into a concrete [`FaultSchedule`] for a
     /// run whose Byzantine processes are given by `plan`.
     pub fn build(&self, config: SystemConfig, plan: &FaultPlan) -> FaultSchedule {
@@ -587,11 +602,133 @@ impl AggregationSpec {
     }
 }
 
+/// A per-process address table for the netd mesh (`--peers`), mapping
+/// process `i` to the `host:port` its TCP listener binds (and peers dial).
+/// The default — no table — keeps the established localhost layout
+/// (`127.0.0.1`, `port_base + i`); an explicit table lets a cluster later
+/// span hosts without touching the wire protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AddressTable {
+    entries: Vec<(String, u16)>,
+}
+
+impl AddressTable {
+    /// The canonical single-host table: `127.0.0.1:port_base + i`.
+    pub fn localhost(n: usize, port_base: u16) -> Self {
+        AddressTable {
+            entries: (0..n)
+                .map(|i| ("127.0.0.1".to_string(), port_base + i as u16))
+                .collect(),
+        }
+    }
+
+    /// Parses a `--peers` value: a comma-separated `host:port` list, one
+    /// entry per process in id order (`"10.0.0.1:9000,10.0.0.2:9000"`).
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for part in raw.split(',') {
+            let (host, port) = part
+                .rsplit_once(':')
+                .ok_or_else(|| format!("peer entry {part:?} is not host:port"))?;
+            if host.is_empty() {
+                return Err(format!("peer entry {part:?} has an empty host"));
+            }
+            let port: u16 = port
+                .parse()
+                .map_err(|_| format!("bad port in peer entry {part:?}"))?;
+            entries.push((host.to_string(), port));
+        }
+        if entries.is_empty() {
+            return Err("empty --peers table".into());
+        }
+        Ok(AddressTable { entries })
+    }
+
+    /// Renders the `--peers` value this table parses from.
+    pub fn flag(&self) -> String {
+        self.entries
+            .iter()
+            .map(|(h, p)| format!("{h}:{p}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Number of processes the table addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` for a table with no entries (unreachable via `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Host of process `i`.
+    pub fn host(&self, i: usize) -> &str {
+        &self.entries[i].0
+    }
+
+    /// Listener port of process `i`.
+    pub fn port(&self, i: usize) -> u16 {
+        self.entries[i].1
+    }
+}
+
+/// The netd kill-9 schedule (`--kill <after>[:divergent]`): SIGKILL the
+/// victim replica once its committed prefix reaches `after`, and — when
+/// `divergent` — give every replica a *different* pending-command stream
+/// so the kill lands mid-disagreement and recovery must reconcile real
+/// divergence (WAL replay + `t+1` catch-up), not just replay identical
+/// state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KillSpec {
+    /// Victim committed-prefix threshold that triggers the SIGKILL (≥ 1).
+    pub after: u64,
+    /// Whether replicas propose divergent per-process pending commands.
+    pub divergent: bool,
+}
+
+impl Default for KillSpec {
+    fn default() -> Self {
+        KillSpec {
+            after: 1,
+            divergent: false,
+        }
+    }
+}
+
+impl KillSpec {
+    /// Parses a `--kill` value (`<after>` or `<after>:divergent`).
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let (after, divergent) = match raw.split(':').collect::<Vec<_>>().as_slice() {
+            [a] => (*a, false),
+            [a, "divergent"] => (*a, true),
+            _ => return Err(format!("unknown kill schedule {raw:?}")),
+        };
+        let after: u64 = after
+            .parse()
+            .map_err(|_| format!("bad prefix threshold in kill schedule {raw:?}"))?;
+        if after == 0 {
+            return Err("kill threshold must be ≥ 1 (a victim with nothing committed has no divergent state to recover)".into());
+        }
+        Ok(KillSpec { after, divergent })
+    }
+
+    /// Renders the `--kill` value this spec parses from.
+    pub fn flag(&self) -> String {
+        if self.divergent {
+            format!("{}:divergent", self.after)
+        } else {
+            self.after.to_string()
+        }
+    }
+}
+
 /// Which runtime executes the batch (`--runtime`). All three run the same
 /// actor state machines; what changes is the substrate carrying the
 /// messages — and therefore what a run's numbers *mean* (virtual ticks vs
 /// wall-clock microseconds vs real sockets).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub enum RuntimeSpec {
     /// The deterministic discrete-event simulator (`dex-simnet`) —
     /// reproducible schedules, fault injection, tracing.
@@ -601,12 +738,17 @@ pub enum RuntimeSpec {
     /// (`dex-threadnet`) — real concurrency, delay-jittered dispatch,
     /// wall-clock timers.
     Thread,
-    /// One OS *process* per consensus process over localhost TCP
-    /// (`dex-netd`) — real sockets, kill-9-able processes. In-process
-    /// execution is impossible by construction; [`RunSpec::run`] reports
-    /// an error pointing at the `dex-netd` cluster harness, which owns
-    /// the child-spawning orchestration.
-    Netd,
+    /// One OS *process* per consensus process over real TCP sockets
+    /// (`dex-netd`) — kill-9-able processes, optionally spread across
+    /// hosts by an explicit [`AddressTable`] (`peers: None` keeps the
+    /// localhost `port_base + i` layout). In-process execution is
+    /// impossible by construction; [`RunSpec::run`] reports an error
+    /// pointing at the `dex-netd` cluster harness, which owns the
+    /// child-spawning orchestration.
+    Netd {
+        /// Explicit per-process `host:port` table, `None` for localhost.
+        peers: Option<AddressTable>,
+    },
 }
 
 impl RuntimeSpec {
@@ -615,7 +757,7 @@ impl RuntimeSpec {
         match raw {
             "simnet" => Ok(RuntimeSpec::Simnet),
             "threadnet" => Ok(RuntimeSpec::Thread),
-            "netd" => Ok(RuntimeSpec::Netd),
+            "netd" => Ok(RuntimeSpec::Netd { peers: None }),
             _ => Err(format!(
                 "unknown runtime {raw:?} (expected simnet, threadnet or netd)"
             )),
@@ -627,7 +769,20 @@ impl RuntimeSpec {
         match self {
             RuntimeSpec::Simnet => "simnet",
             RuntimeSpec::Thread => "threadnet",
-            RuntimeSpec::Netd => "netd",
+            RuntimeSpec::Netd { .. } => "netd",
+        }
+    }
+
+    /// `true` for the netd runtime (with or without a peer table).
+    pub fn is_netd(&self) -> bool {
+        matches!(self, RuntimeSpec::Netd { .. })
+    }
+
+    /// The netd peer table, if the runtime is netd and one was given.
+    pub fn peers(&self) -> Option<&AddressTable> {
+        match self {
+            RuntimeSpec::Netd { peers } => peers.as_ref(),
+            _ => None,
         }
     }
 }
@@ -664,8 +819,13 @@ pub struct RunSpec {
     /// Echo/vote aggregation (the valueless `--aggregate` flag; off keeps
     /// the wire byte-identical to pre-aggregation builds).
     pub aggregate: AggregationSpec,
-    /// Which runtime executes the batch (`--runtime`).
+    /// Which runtime executes the batch (`--runtime`), with the optional
+    /// netd peer table (`--peers`).
     pub runtime: RuntimeSpec,
+    /// The netd kill-9 schedule (`--kill`); only the cluster harness's
+    /// kill9 phase consults it. The default (`1`, non-divergent) is the
+    /// established kill-at-first-commit schedule.
+    pub kill: KillSpec,
     /// Print the per-class wire-statistics breakdown after the batch (the
     /// valueless `--stats` flag).
     pub stats: bool,
@@ -695,6 +855,7 @@ impl Default for RunSpec {
             pipeline: PipelineSpec::default(),
             aggregate: AggregationSpec::default(),
             runtime: RuntimeSpec::default(),
+            kill: KillSpec::default(),
             stats: false,
             runs: 20,
             seed: 0,
@@ -823,10 +984,10 @@ impl RunSpec {
     /// delays from the spec's delay model). `Netd` cannot run in-process
     /// — the error points at the `dex-netd` cluster harness.
     pub fn run(&self) -> Result<BatchStats, String> {
-        match self.runtime {
+        match &self.runtime {
             RuntimeSpec::Simnet => self.with_batch(run_batch),
             RuntimeSpec::Thread => crate::runner::run_thread_batch(self),
-            RuntimeSpec::Netd => Err(
+            RuntimeSpec::Netd { .. } => Err(
                 "--runtime netd spawns real OS processes and cannot run in-process; \
                  use the dex-netd cluster harness (dex-netd --cluster <flags>)"
                     .into(),
@@ -838,7 +999,7 @@ impl RunSpec {
     /// threaded runtime already owns all cores per run, so it stays
     /// sequential across runs.
     pub fn run_auto(&self) -> Result<BatchStats, String> {
-        match self.runtime {
+        match &self.runtime {
             RuntimeSpec::Simnet => self.with_batch(run_batch_auto),
             _ => self.run(),
         }
@@ -902,13 +1063,21 @@ impl RunSpec {
             self.pipeline.flag(),
             "--runtime".into(),
             self.runtime.flag().into(),
+        ];
+        if let Some(table) = self.runtime.peers() {
+            args.push("--peers".into());
+            args.push(table.flag());
+        }
+        args.extend([
+            "--kill".into(),
+            self.kill.flag(),
             "--runs".into(),
             self.runs.to_string(),
             "--seed".into(),
             self.seed.to_string(),
             "--max-events".into(),
             self.max_events.to_string(),
-        ];
+        ]);
         if self.aggregate.is_on() {
             args.push("--aggregate".into());
         }
@@ -925,6 +1094,9 @@ impl RunSpec {
     /// Unspecified flags take their defaults; `--trace` takes no value.
     pub fn from_args<S: AsRef<str>>(args: &[S]) -> Result<Self, String> {
         let mut spec = RunSpec::default();
+        // `--peers` is applied after the loop: it modifies the runtime
+        // variant, and flag order must not matter.
+        let mut peers: Option<AddressTable> = None;
         let mut it = args.iter().map(AsRef::as_ref);
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
@@ -968,8 +1140,20 @@ impl RunSpec {
                 "chaos" => spec.chaos = ChaosSpec::parse(value)?,
                 "pipeline" => spec.pipeline = PipelineSpec::parse(value)?,
                 "runtime" => spec.runtime = RuntimeSpec::parse(value)?,
+                "peers" => peers = Some(AddressTable::parse(value)?),
+                "kill" => spec.kill = KillSpec::parse(value)?,
                 _ => return Err(format!("unknown flag --{name}")),
             }
+        }
+        if let Some(table) = peers {
+            if !spec.runtime.is_netd() {
+                return Err(format!(
+                    "--peers addresses real TCP listeners and requires --runtime netd \
+                     (got --runtime {})",
+                    spec.runtime.flag()
+                ));
+            }
+            spec.runtime = RuntimeSpec::Netd { peers: Some(table) };
         }
         Ok(spec)
     }
@@ -983,7 +1167,8 @@ impl RunSpec {
             out,
             "{{\"n\":{},\"t\":{},\"f\":{},\"algo\":\"{}\",\"workload\":\"{}\",\
              \"adversary\":\"{}\",\"underlying\":\"{}\",\"placement\":\"{}\",\
-             \"delay\":\"{}\",\"chaos\":\"{}\",\"pipeline\":\"{}\",\"aggregate\":\"{}\",\
+             \"delay\":\"{}\",\"chaos\":\"{}\",\"pipeline\":\"{}\",\"peers\":\"{}\",\
+             \"kill\":\"{}\",\"aggregate\":\"{}\",\
              \"runtime\":\"{}\",\"stats\":{},\"runs\":{},\"seed\":{},\
              \"max_events\":{},\"trace\":{}}}",
             self.n,
@@ -997,6 +1182,11 @@ impl RunSpec {
             delay_flag(&self.delay),
             self.chaos.flag(),
             self.pipeline.flag(),
+            self.runtime
+                .peers()
+                .map(AddressTable::flag)
+                .unwrap_or_default(),
+            self.kill.flag(),
             self.aggregate.flag(),
             self.runtime.flag(),
             self.stats,
@@ -1032,6 +1222,10 @@ mod tests {
             },
             aggregate: AggregationSpec::On,
             runtime: RuntimeSpec::Thread,
+            kill: KillSpec {
+                after: 2,
+                divergent: true,
+            },
             stats: true,
             runs: 8,
             seed: 31,
@@ -1227,7 +1421,10 @@ mod tests {
             RuntimeSpec::parse("threadnet").unwrap(),
             RuntimeSpec::Thread
         );
-        assert_eq!(RuntimeSpec::parse("netd").unwrap(), RuntimeSpec::Netd);
+        assert_eq!(
+            RuntimeSpec::parse("netd").unwrap(),
+            RuntimeSpec::Netd { peers: None }
+        );
         assert!(RuntimeSpec::parse("quic").is_err());
         let spec = RunSpec::from_args(&["--runtime", "threadnet"]).unwrap();
         assert_eq!(spec.runtime, RuntimeSpec::Thread);
@@ -1236,10 +1433,88 @@ mod tests {
         // Netd is not an in-process runtime; the error routes the caller
         // to the cluster harness.
         let netd = RunSpec {
-            runtime: RuntimeSpec::Netd,
+            runtime: RuntimeSpec::Netd { peers: None },
             ..RunSpec::default()
         };
         assert!(netd.run().unwrap_err().contains("dex-netd"));
+    }
+
+    #[test]
+    fn address_table_parses_round_trips_and_defaults_to_localhost() {
+        let table = AddressTable::parse("10.0.0.1:9000,10.0.0.2:9001").unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!((table.host(0), table.port(0)), ("10.0.0.1", 9000));
+        assert_eq!((table.host(1), table.port(1)), ("10.0.0.2", 9001));
+        assert_eq!(AddressTable::parse(&table.flag()).unwrap(), table);
+        let local = AddressTable::localhost(3, 25000);
+        assert_eq!(local.len(), 3);
+        assert_eq!((local.host(2), local.port(2)), ("127.0.0.1", 25002));
+        assert!(AddressTable::parse("nohost").is_err());
+        assert!(AddressTable::parse(":9000").is_err());
+        assert!(AddressTable::parse("h:notaport").is_err());
+    }
+
+    #[test]
+    fn peers_flag_requires_netd_and_round_trips() {
+        let spec = RunSpec::from_args(&[
+            "--runtime",
+            "netd",
+            "--peers",
+            "127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002",
+        ])
+        .unwrap();
+        let table = spec.runtime.peers().expect("table survives parsing");
+        assert_eq!(table.len(), 3);
+        assert_eq!(RunSpec::from_args(&spec.to_args()).unwrap(), spec);
+        assert!(spec
+            .to_json()
+            .contains("\"peers\":\"127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002\""));
+        // Order must not matter: --peers before --runtime still applies.
+        let swapped =
+            RunSpec::from_args(&["--peers", "127.0.0.1:9000", "--runtime", "netd"]).unwrap();
+        assert!(swapped.runtime.peers().is_some());
+        // On a non-netd runtime the flag is an error, not silently ignored.
+        let err = RunSpec::from_args(&["--peers", "127.0.0.1:9000"]).unwrap_err();
+        assert!(err.contains("netd"), "{err}");
+    }
+
+    #[test]
+    fn kill_schedule_parses_round_trips_and_defaults() {
+        assert_eq!(
+            KillSpec::default(),
+            KillSpec {
+                after: 1,
+                divergent: false
+            }
+        );
+        assert_eq!(
+            KillSpec::parse("3:divergent").unwrap(),
+            KillSpec {
+                after: 3,
+                divergent: true
+            }
+        );
+        assert_eq!(
+            KillSpec::parse("2").unwrap(),
+            KillSpec {
+                after: 2,
+                divergent: false
+            }
+        );
+        assert!(KillSpec::parse("0").is_err(), "threshold must be ≥ 1");
+        assert!(KillSpec::parse("3:weird").is_err());
+        let spec = RunSpec {
+            kill: KillSpec {
+                after: 2,
+                divergent: true,
+            },
+            ..RunSpec::default()
+        };
+        assert_eq!(RunSpec::from_args(&spec.to_args()).unwrap(), spec);
+        assert!(spec.to_json().contains("\"kill\":\"2:divergent\""));
+        assert!(RunSpec::default()
+            .to_json()
+            .contains("\"peers\":\"\",\"kill\":\"1\""));
     }
 
     #[test]

@@ -40,14 +40,15 @@ impl RunStats {
     /// Projects a simnet or threadnet batch result. `wall` is the
     /// caller-measured execution time ([`Duration::ZERO`] if unmeasured).
     pub fn of_batch(stats: &BatchStats, runtime: RuntimeSpec, wall: Duration) -> Self {
+        let elapsed_virtual = match &runtime {
+            // Virtual latencies are per-decision, not a batch clock.
+            RuntimeSpec::Simnet => 0,
+            _ => wall.as_micros() as u64,
+        };
         RunStats {
             runtime,
             decisions: stats.paths.total(),
-            elapsed_virtual: match runtime {
-                // Virtual latencies are per-decision, not a batch clock.
-                RuntimeSpec::Simnet => 0,
-                _ => wall.as_micros() as u64,
-            },
+            elapsed_virtual,
             elapsed_wall: wall,
             net: stats.net.clone(),
         }
@@ -68,7 +69,7 @@ impl RunStats {
     /// harness sums its children's reported counters into one of these.
     pub fn of_net(net: NetStats, decisions: u64, wall: Duration) -> Self {
         RunStats {
-            runtime: RuntimeSpec::Netd,
+            runtime: RuntimeSpec::Netd { peers: None },
             decisions,
             elapsed_virtual: wall.as_micros() as u64,
             elapsed_wall: wall,
@@ -132,7 +133,7 @@ mod tests {
             ..RunSpec::default()
         };
         let batch = spec.run().unwrap();
-        let stats = RunStats::of_batch(&batch, spec.runtime, Duration::ZERO);
+        let stats = RunStats::of_batch(&batch, spec.runtime.clone(), Duration::ZERO);
         // 2 runs × 6 correct processes all decided.
         assert_eq!(stats.decisions, 12);
         assert_eq!(stats.elapsed_virtual, 0, "simnet has no batch clock");

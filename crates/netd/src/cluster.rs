@@ -28,20 +28,24 @@
 //! exits when the parent goes away, so an aborted harness never leaks
 //! orphan processes.
 
+use crate::chaos::{splitmix64, ChaosRuntime, DEFAULT_SCALE_US};
 use crate::endpoint::Endpoint;
 use dex_conditions::FrequencyPair;
 use dex_core::{DexActor, DexProcess};
-use dex_harness::spec::{RunSpec, RuntimeSpec};
+use dex_harness::campaign::{CampaignCell, CampaignSpec};
+use dex_harness::spec::{AddressTable, ChaosSpec, RunSpec};
 use dex_harness::stats::RunStats;
 use dex_replication::{Durability, FileWal, Replica, StateMachine, TotalOrder};
 use dex_simnet::NetStats;
 use dex_types::{ProcessId, StepDepth, SystemConfig};
 use dex_underlying::OracleConsensus;
 use rand::rngs::StdRng;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -72,6 +76,9 @@ pub struct ClusterOpts {
     pub phase: Phase,
     /// Per-phase wall-clock budget before the harness gives up.
     pub timeout: Duration,
+    /// Wall microseconds one virtual chaos-schedule unit spans
+    /// (`--chaos-scale-us`, default [`DEFAULT_SCALE_US`]).
+    pub scale_us: u64,
 }
 
 /// Options one spawned child parses back out of its argv.
@@ -87,6 +94,17 @@ pub struct NodeOpts {
     pub seed: u64,
     /// First listen port.
     pub port_base: u16,
+    /// Chaos schedule this child compiles into its [`ChaosRuntime`]
+    /// (`ChaosSpec::None` runs clean).
+    pub chaos: ChaosSpec,
+    /// Fault budget the chaos schedule is compiled against (last-`f`
+    /// placement; the budget children are real processes running correct
+    /// code whose liveness the parent does not await).
+    pub f: usize,
+    /// Wall microseconds per virtual chaos-schedule unit.
+    pub scale_us: u64,
+    /// Explicit peer address table; `None` means localhost `port_base + i`.
+    pub peers: Option<AddressTable>,
     /// What this child runs.
     pub role: Role,
 }
@@ -111,6 +129,9 @@ pub enum Role {
         window: u64,
         /// Boot through crash recovery instead of `on_start`.
         respawn: bool,
+        /// Draw per-process *divergent* pending commands instead of the
+        /// identical stream (the divergent-state kill -9 schedule).
+        divergent: bool,
     },
 }
 
@@ -152,6 +173,46 @@ pub fn format_stats_line(net: &NetStats) -> String {
         net.echoes_batched,
         net.max_depth.get(),
     )
+}
+
+/// One `CHAOS` line a child printed for one outbound link: the
+/// seed-deterministic fault-trace digest plus realized counters. Only the
+/// digest is compared across runs — counters are informational (wall-clock
+/// runs legitimately differ in how many frames each connection carries).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChaosReport {
+    /// Destination process of the reported link.
+    pub to: usize,
+    /// [`ChaosRuntime::sched_digest`] for the link.
+    pub sched: u64,
+    /// Logical frames offered to the link.
+    pub frames: u64,
+    /// Frames the schedule dropped.
+    pub drops: u64,
+    /// Frames the schedule duplicated.
+    pub dups: u64,
+    /// Frames held by a partition or crash window.
+    pub held: u64,
+    /// Mid-frame connection tears (test schedules only).
+    pub torn: u64,
+}
+
+/// Parses a child's `CHAOS to=… sched=0x… frames=…` report line.
+pub fn parse_chaos_line(line: &str) -> Option<ChaosReport> {
+    if !line.starts_with("CHAOS ") {
+        return None;
+    }
+    let sched = field(line, "sched")?;
+    let sched = u64::from_str_radix(sched.trim_start_matches("0x"), 16).ok()?;
+    Some(ChaosReport {
+        to: field_u64(line, "to")? as usize,
+        sched,
+        frames: field_u64(line, "frames")?,
+        drops: field_u64(line, "drops")?,
+        dups: field_u64(line, "dups")?,
+        held: field_u64(line, "held")?,
+        torn: field_u64(line, "torn")?,
+    })
 }
 
 /// Parses a `STATS` line back into a ledger (parent side).
@@ -206,8 +267,17 @@ pub fn run_node(opts: NodeOpts) -> Result<(), String> {
             slots,
             window,
             respawn,
-        } => replica_node(opts, cfg, wal, slots, window, respawn),
+            divergent,
+        } => replica_node(opts, cfg, wal, slots, window, respawn, divergent),
     }
+}
+
+/// The address table a child binds against: explicit `--peers`, or the
+/// single-host default of `port_base + i` on loopback.
+fn node_addrs(opts: &NodeOpts) -> AddressTable {
+    opts.peers
+        .clone()
+        .unwrap_or_else(|| AddressTable::localhost(opts.n, opts.port_base))
 }
 
 fn consensus_node(
@@ -222,7 +292,19 @@ fn consensus_node(
     if aggregate {
         actor.enable_aggregation();
     }
-    let mut ep = Endpoint::new(actor, opts.me, opts.n, opts.port_base, opts.seed)
+    let chaos = if opts.chaos.is_none() {
+        None
+    } else {
+        Some(Arc::new(ChaosRuntime::new(
+            &opts.chaos,
+            cfg,
+            opts.f,
+            opts.me,
+            opts.seed,
+            opts.scale_us,
+        )))
+    };
+    let mut ep = Endpoint::with_net(actor, opts.me, node_addrs(&opts), opts.seed, chaos.clone())
         .map_err(|e| format!("bind: {e}"))?;
     ep.boot();
     let mut announced = false;
@@ -231,6 +313,11 @@ fn consensus_node(
         if !announced {
             if let Some(d) = ep.actor().decision() {
                 let mut out = std::io::stdout().lock();
+                if let Some(chaos) = &chaos {
+                    for line in chaos.trace_lines() {
+                        let _ = writeln!(out, "{line}");
+                    }
+                }
                 let _ = writeln!(
                     out,
                     "DECIDED value={} path={} depth={} elapsed_us={}",
@@ -255,13 +342,25 @@ fn replica_node(
     slots: u64,
     window: u64,
     respawn: bool,
+    divergent: bool,
 ) -> Result<(), String> {
     // Identical pending client commands at every replica — the
     // replicated-log setting: all replicas order the same request
-    // stream, so every slot's consensus instance is unanimous.
-    let pending: Vec<u64> = (0..slots)
-        .map(|s| opts.seed.wrapping_mul(1000).wrapping_add(s))
-        .collect();
+    // stream, so every slot's consensus instance is unanimous. Under
+    // `--divergent` every process instead derives its *own* pending
+    // stream from `(seed, me, slot)`: slots are contested, decisions ride
+    // the coordinator fallback, and the kill -9 victim dies holding state
+    // no other process can reconstruct locally — convergence then proves
+    // WAL replay plus `t + 1` catch-up, not lockstep recomputation.
+    let pending: Vec<u64> = if divergent {
+        (0..slots)
+            .map(|s| splitmix64(opts.seed ^ ((opts.me.index() as u64) << 32) ^ s))
+            .collect()
+    } else {
+        (0..slots)
+            .map(|s| opts.seed.wrapping_mul(1000).wrapping_add(s))
+            .collect()
+    };
     let mut replica: Replica<TotalOrder<u64>> =
         Replica::new(cfg, opts.me, ProcessId::new(0), pending, slots);
     if window > 1 {
@@ -271,7 +370,7 @@ fn replica_node(
     // In-memory snapshots would not survive a kill -9 anyway.
     let file_wal = FileWal::open(&wal).map_err(|e| format!("wal {}: {e}", wal.display()))?;
     replica.enable_durability(Durability::new(Box::new(file_wal), 0));
-    let mut ep = Endpoint::new(replica, opts.me, opts.n, opts.port_base, opts.seed)
+    let mut ep = Endpoint::with_net(replica, opts.me, node_addrs(&opts), opts.seed, None)
         .map_err(|e| format!("bind: {e}"))?;
     if respawn {
         ep.boot_restart();
@@ -368,25 +467,46 @@ struct Decision {
     elapsed_us: u64,
 }
 
+/// One directed link's entry in a run's fault trace: the digest is a pure
+/// function of `(seed, from, to, schedule)`, so sorted lists of these are
+/// byte-comparable across repeated runs of one seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkTrace {
+    /// Source process.
+    pub from: usize,
+    /// Destination process.
+    pub to: usize,
+    /// The link's schedule digest.
+    pub sched: u64,
+}
+
 /// Outcome of one consensus-cell run.
 #[derive(Clone, Debug)]
 pub struct CellRun {
-    /// Decided value (agreement-checked across all processes).
+    /// Decided value (agreement-checked across all awaited processes).
     pub value: u64,
     /// Per-process decision latencies, µs of wall clock.
     pub latencies_us: Vec<u64>,
     /// Processes that decided on the one-step path.
     pub one_step: u64,
+    /// Processes that decided on the two-step path.
+    pub two_step: u64,
     /// Deepest causal step depth any decision reported.
     pub depth_max: u64,
     /// Summed per-child wire ledgers.
     pub net: NetStats,
     /// Whole-run wall clock, µs (spawn to last decision).
     pub wall_us: u64,
+    /// Per-link fault-trace digests reported by the awaited survivors,
+    /// sorted by `(from, to)`; empty on chaos-free cells.
+    pub links: Vec<LinkTrace>,
 }
 
-/// Runs one fault-free consensus cell: spawn `n`, wait for `n` decisions,
-/// assert agreement, reap.
+/// Runs one consensus cell: spawn `n`, wait for the `n - f` survivors'
+/// decisions, assert agreement, reap. Under a chaos schedule the last `f`
+/// children are the fault budget — real processes running correct code
+/// whose links the schedule degrades and whose liveness is deliberately
+/// not awaited (mirroring the simulator's budget semantics).
 fn run_consensus_cell(opts: &ClusterOpts, run_idx: usize) -> Result<CellRun, String> {
     let spec = &opts.spec;
     let seed = spec.seed + run_idx as u64;
@@ -419,12 +539,28 @@ fn run_consensus_cell(opts: &ClusterOpts, run_idx: usize) -> Result<CellRun, Str
         if !spec.aggregate.is_off() {
             argv.push("--aggregate".into());
         }
+        if !spec.chaos.is_none() {
+            argv.push("--chaos".into());
+            argv.push(spec.chaos.flag());
+            argv.push("--f".into());
+            argv.push(spec.f.to_string());
+            argv.push("--chaos-scale-us".into());
+            argv.push(opts.scale_us.to_string());
+        }
+        if let Some(table) = spec.runtime.peers() {
+            argv.push("--peers".into());
+            argv.push(table.flag());
+        }
         children.push(spawn_node_process(argv)?);
     }
-    let mut decisions: Vec<Decision> = Vec::with_capacity(spec.n);
+    // Under chaos the last `f` children are the fault budget: spawned (so
+    // the survivors' quorums are honest) but never awaited.
+    let survivors = spec.n - spec.f;
+    let mut decisions: Vec<Decision> = Vec::with_capacity(survivors);
+    let mut links: Vec<LinkTrace> = Vec::new();
     let mut net = NetStats::default();
     let mut failure = None;
-    'collect: for (i, child) in children.iter().enumerate() {
+    'collect: for (i, child) in children.iter().enumerate().take(survivors) {
         let mut decided = None;
         loop {
             let Some(line) = child.line_by(deadline) else {
@@ -440,6 +576,12 @@ fn run_consensus_cell(opts: &ClusterOpts, run_idx: usize) -> Result<CellRun, Str
                     path: field(&line, "path").ok_or("bad DECIDED line")?.to_string(),
                     depth: field_u64(&line, "depth").ok_or("bad DECIDED line")?,
                     elapsed_us: field_u64(&line, "elapsed_us").ok_or("bad DECIDED line")?,
+                });
+            } else if let Some(report) = parse_chaos_line(&line) {
+                links.push(LinkTrace {
+                    from: i,
+                    to: report.to,
+                    sched: report.sched,
                 });
             } else if let Some(stats) = parse_stats_line(&line) {
                 net.merge(&stats);
@@ -462,13 +604,16 @@ fn run_consensus_cell(opts: &ClusterOpts, run_idx: usize) -> Result<CellRun, Str
             decisions.iter().map(|d| d.value).collect::<Vec<_>>()
         ));
     }
+    links.sort_by_key(|l| (l.from, l.to));
     Ok(CellRun {
         value: first,
         latencies_us: decisions.iter().map(|d| d.elapsed_us).collect(),
         one_step: decisions.iter().filter(|d| d.path == "1-step").count() as u64,
+        two_step: decisions.iter().filter(|d| d.path == "2-step").count() as u64,
         depth_max: decisions.iter().map(|d| d.depth).max().unwrap_or(0),
         net,
         wall_us,
+        links,
     })
 }
 
@@ -481,6 +626,13 @@ pub struct Kill9Run {
     pub digest: String,
     /// Restart counter reported by the respawned victim (expect 1).
     pub restarts: u64,
+    /// Whether the divergent-state schedule ran.
+    pub divergent: bool,
+    /// The victim's committed prefix when the SIGKILL landed.
+    pub killed_at: u64,
+    /// The prefix every survivor was proven past before the respawn
+    /// (divergent schedule only, else 0).
+    pub survivor_floor: u64,
     /// Whole-phase wall clock, µs.
     pub wall_us: u64,
     /// Summed wire ledgers (survivors + the victim's second incarnation;
@@ -490,10 +642,16 @@ pub struct Kill9Run {
 }
 
 /// Runs the kill -9 schedule: spawn `n` replicas, SIGKILL a
-/// non-coordinator mid-run, respawn it, require full convergence.
+/// non-coordinator once its committed prefix reaches `spec.kill.after`,
+/// respawn it, require full convergence. Under `spec.kill.divergent` the
+/// replicas hold per-process *differing* pending commands, and every
+/// survivor must be proven past `min(slots, killed_at + 2)` while the
+/// victim is down — survivor progress, before any recovery — before the
+/// respawn is even spawned.
 fn run_kill9(opts: &ClusterOpts) -> Result<Kill9Run, String> {
     let spec = &opts.spec;
     let seed = spec.seed;
+    let divergent = spec.kill.divergent;
     let wal_dir = std::env::temp_dir().join(format!("dex-netd-{}-{seed}", std::process::id()));
     std::fs::create_dir_all(&wal_dir).map_err(|e| format!("wal dir: {e}"))?;
     let start = Instant::now();
@@ -525,6 +683,13 @@ fn run_kill9(opts: &ClusterOpts) -> Result<Kill9Run, String> {
         if respawn {
             argv.push("--respawn".into());
         }
+        if divergent {
+            argv.push("--divergent".into());
+        }
+        if let Some(table) = spec.runtime.peers() {
+            argv.push("--peers".into());
+            argv.push(table.flag());
+        }
         argv
     };
     let mut children = Vec::with_capacity(spec.n);
@@ -532,27 +697,82 @@ fn run_kill9(opts: &ClusterOpts) -> Result<Kill9Run, String> {
         children.push(spawn_node_process(argv_for(i, false))?);
     }
     // The victim: not the UC coordinator (p0 stays up so fallbacks keep
-    // deciding), and guaranteed to have synced at least one commit to its
-    // WAL before dying, so recovery exercises replay *and* catch-up.
+    // deciding), and guaranteed to have synced `spec.kill.after` commits
+    // to its WAL before dying, so recovery exercises replay *and*
+    // catch-up.
     let victim = 1usize;
-    let mut saw_commit = false;
-    while !saw_commit {
+    let mut killed_at = 0u64;
+    while killed_at < spec.kill.after {
         let Some(line) = children[victim].line_by(deadline) else {
             for c in &mut children {
                 c.kill();
             }
-            return Err("kill9: victim never committed a slot".into());
+            return Err(format!(
+                "kill9: victim never committed {} slots",
+                spec.kill.after
+            ));
         };
         if let Some(prefix) = field_u64(&line, "prefix") {
-            saw_commit = prefix >= 1;
+            killed_at = killed_at.max(prefix);
         }
     }
-    // The literal kill -9 (SIGKILL via Child::kill), then the respawn.
+    // The literal kill -9 (SIGKILL via Child::kill).
     children[victim].kill();
+    // Divergent schedule: before the respawn exists, every survivor must
+    // demonstrably outrun the dead victim — the cluster keeps committing
+    // with one replica's state gone and n - 1 divergent pending streams.
+    // Non-PROGRESS lines (an early DONE and its STATS) are stashed for
+    // the convergence pass rather than dropped.
+    let mut stash: Vec<VecDeque<String>> = (0..spec.n).map(|_| VecDeque::new()).collect();
+    let survivor_floor = if divergent {
+        opts.slots.min(killed_at + 2)
+    } else {
+        0
+    };
+    if divergent {
+        let mut progress_failure = None;
+        'survivors: for (i, child) in children.iter().enumerate() {
+            if i == victim {
+                continue;
+            }
+            loop {
+                let Some(line) = child.line_by(deadline) else {
+                    progress_failure = Some(format!(
+                        "kill9: survivor {i} stalled below prefix {survivor_floor} \
+                         while the victim was down"
+                    ));
+                    break 'survivors;
+                };
+                if line.starts_with("PROGRESS ") {
+                    if field_u64(&line, "prefix").is_some_and(|p| p >= survivor_floor) {
+                        break;
+                    }
+                } else {
+                    let finished = line.starts_with("DONE ");
+                    stash[i].push_back(line);
+                    if finished {
+                        break; // DONE ⇒ the full prefix, ≥ any floor
+                    }
+                }
+            }
+        }
+        if let Some(err) = progress_failure {
+            for c in &mut children {
+                c.kill();
+            }
+            let _ = std::fs::remove_dir_all(&wal_dir);
+            return Err(err);
+        }
+        println!(
+            "kill9: all {} survivors progressed to ≥ {survivor_floor} with the victim dead at {killed_at}",
+            spec.n - 1
+        );
+    }
+    // Now the respawn.
     let mut respawned = spawn_node_process(argv_for(victim, true))?;
     std::mem::swap(&mut children[victim], &mut respawned);
     println!(
-        "kill9: SIGKILLed process {victim} after first commit, respawned as `{}`",
+        "kill9: SIGKILLed process {victim} at prefix {killed_at}, respawned as `{}`",
         children[victim].argv.join(" ")
     );
     // Convergence: every live child reports DONE with one digest.
@@ -564,12 +784,18 @@ fn run_kill9(opts: &ClusterOpts) -> Result<Kill9Run, String> {
     'collect: for (i, child) in children.iter().enumerate() {
         let mut done = false;
         loop {
-            let Some(line) = child.line_by(deadline) else {
-                failure = Some(format!(
-                    "kill9: process {i} did not converge within {:?}",
-                    opts.timeout
-                ));
-                break 'collect;
+            let line = match stash[i].pop_front() {
+                Some(line) => line,
+                None => {
+                    let Some(line) = child.line_by(deadline) else {
+                        failure = Some(format!(
+                            "kill9: process {i} did not converge within {:?}",
+                            opts.timeout
+                        ));
+                        break 'collect;
+                    };
+                    line
+                }
             };
             if line.starts_with("DONE ") {
                 digests.push(field(&line, "digest").ok_or("bad DONE line")?.to_string());
@@ -613,6 +839,9 @@ fn run_kill9(opts: &ClusterOpts) -> Result<Kill9Run, String> {
         prefix: opts.slots as usize,
         digest,
         restarts,
+        divergent,
+        killed_at,
+        survivor_floor,
         wall_us,
         net,
     })
@@ -626,24 +855,56 @@ fn mean(xs: &[u64]) -> f64 {
     }
 }
 
+/// Validates a parsed cluster invocation before any process spawns — the
+/// rules that make chaos, fault budgets and the kill schedule compose.
+fn validate_cluster(opts: &ClusterOpts) -> Result<(), String> {
+    let spec = &opts.spec;
+    if !spec.runtime.is_netd() {
+        return Err("cluster specs must carry --runtime netd".into());
+    }
+    if matches!(spec.chaos, ChaosSpec::CrashRestart { .. }) {
+        return Err(
+            "amnesiac crash-restart is a real process death on this runtime: \
+             use --phase kill9 (the kill -9 + respawn schedule) instead of --chaos crash-restart"
+                .into(),
+        );
+    }
+    if !spec.chaos.is_none() && opts.phase != Phase::Cells {
+        return Err(
+            "chaos schedules drive the consensus-cell phase only: add --phase cells \
+             (the kill -9 phase's fault is the SIGKILL itself)"
+                .into(),
+        );
+    }
+    if spec.f != 0 && spec.chaos.is_none() {
+        return Err(
+            "netd children all run correct code: --f marks the chaos fault budget \
+             and needs --chaos"
+                .into(),
+        );
+    }
+    if opts.phase != Phase::Cells && spec.kill.after >= opts.slots {
+        return Err(format!(
+            "--kill {} must land mid-run: it needs to be < --slots {}",
+            spec.kill.after, opts.slots
+        ));
+    }
+    if spec.kill.divergent && spec.t == 0 {
+        return Err(
+            "--kill N:divergent needs t ≥ 1: divergent pending commands make slots \
+             contested, and recovery must close the gap through the t + 1-vouched catch-up"
+                .into(),
+        );
+    }
+    SystemConfig::new(spec.n, spec.t).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 /// Runs the configured phases and writes the artifacts. The entry point
 /// behind `dex-netd --cluster`.
 pub fn run_cluster(opts: &ClusterOpts) -> Result<(), String> {
     let spec = &opts.spec;
-    if spec.runtime != RuntimeSpec::Netd {
-        return Err("cluster specs must carry --runtime netd".into());
-    }
-    if spec.f != 0 {
-        return Err(
-            "netd runs fault-free cells: --f must be 0 (the kill -9 schedule is the fault)".into(),
-        );
-    }
-    if !spec.chaos.is_none() {
-        return Err(
-            "netd has no virtual fault injector; drop --chaos (kill -9 is real here)".into(),
-        );
-    }
-    SystemConfig::new(spec.n, spec.t).map_err(|e| e.to_string())?;
+    validate_cluster(opts)?;
     let workload_flag = spec.workload.flag();
     let mut cell_runs: Vec<CellRun> = Vec::new();
     let mut kill9: Option<Kill9Run> = None;
@@ -651,13 +912,22 @@ pub fn run_cluster(opts: &ClusterOpts) -> Result<(), String> {
         for i in 0..spec.runs {
             let run = run_consensus_cell(opts, i)?;
             println!(
-                "cell {workload_flag} run {i}: decided {} ({} of {} one-step) in {:.1} ms",
+                "cell {workload_flag} run {i}: decided {} ({} of {} one-step, chaos {}) in {:.1} ms",
                 run.value,
                 run.one_step,
-                spec.n,
+                spec.n - spec.f,
+                spec.chaos.label(),
                 run.wall_us as f64 / 1000.0,
             );
             cell_runs.push(run);
+        }
+        if !spec.chaos.is_none() {
+            write_chaos_artifact(opts, &cell_runs).map_err(|e| format!("chaos artifact: {e}"))?;
+            println!(
+                "chaos {}: per-link fault traces → results/netd_chaos_{}.json",
+                spec.chaos.flag(),
+                spec.seed
+            );
         }
     }
     if opts.phase != Phase::Cells {
@@ -695,6 +965,47 @@ pub fn run_cluster(opts: &ClusterOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// Emits `results/netd_chaos_<seed>.json`: per run, the sorted list of
+/// per-link fault-trace digests the survivors reported. Deterministic by
+/// construction — digests are pure functions of `(seed, from, to,
+/// schedule)` and realized counters are excluded — so repeated harness
+/// invocations of one seed must produce byte-identical files (asserted by
+/// the reproducibility test and `scripts/netd_chaos.sh`).
+fn write_chaos_artifact(opts: &ClusterOpts, cells: &[CellRun]) -> std::io::Result<()> {
+    let spec = &opts.spec;
+    let runs: Vec<String> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let links: Vec<String> = run
+                .links
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{\"from\":{},\"to\":{},\"sched\":\"{:#018x}\"}}",
+                        l.from, l.to, l.sched
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"run\":{},\"seed\":{},\"links\":[{}]}}",
+                i,
+                spec.seed + i as u64,
+                links.join(",")
+            )
+        })
+        .collect();
+    std::fs::create_dir_all("results")?;
+    std::fs::write(
+        format!("results/netd_chaos_{}.json", spec.seed),
+        format!(
+            "{{\"spec\":{},\"runs\":[{}]}}\n",
+            spec.to_json(),
+            runs.join(",")
+        ),
+    )
+}
+
 /// Emits `BENCH_netd.json` and `results/netd_<seed>.json`.
 fn write_artifacts(
     opts: &ClusterOpts,
@@ -708,15 +1019,17 @@ fn write_artifacts(
     for (i, run) in cells.iter().enumerate() {
         rows.push(format!(
             concat!(
-                "{{\"cell\":\"consensus\",\"workload\":\"{}\",\"run\":{},\"seed\":{},",
-                "\"decided\":{},\"one_step\":{},\"depth_max\":{},\"latency_mean_us\":{:.1},",
+                "{{\"cell\":\"consensus\",\"workload\":\"{}\",\"chaos\":\"{}\",\"run\":{},\"seed\":{},",
+                "\"decided\":{},\"one_step\":{},\"two_step\":{},\"depth_max\":{},\"latency_mean_us\":{:.1},",
                 "\"latency_max_us\":{},\"bytes_on_wire\":{},\"wall_us\":{}}}"
             ),
             workload_flag,
+            spec.chaos.flag(),
             i,
             spec.seed + i as u64,
             run.latencies_us.len(),
             run.one_step,
+            run.two_step,
             run.depth_max,
             mean(&run.latencies_us),
             run.latencies_us.iter().max().copied().unwrap_or(0),
@@ -728,9 +1041,18 @@ fn write_artifacts(
         rows.push(format!(
             concat!(
                 "{{\"cell\":\"kill9\",\"slots\":{},\"window\":{},\"restarts\":{},",
+                "\"divergent\":{},\"killed_at_prefix\":{},\"survivor_floor\":{},",
                 "\"converged\":true,\"digest\":\"{}\",\"bytes_on_wire\":{},\"wall_us\":{}}}"
             ),
-            opts.slots, opts.window, k.restarts, k.digest, k.net.bytes_on_wire, k.wall_us,
+            opts.slots,
+            opts.window,
+            k.restarts,
+            k.divergent,
+            k.killed_at,
+            k.survivor_floor,
+            k.digest,
+            k.net.bytes_on_wire,
+            k.wall_us,
         ));
     }
     let body = format!(
@@ -800,6 +1122,22 @@ pub fn parse_node_args(mut args: Vec<String>) -> Result<NodeOpts, String> {
         "--port-base",
         &take_value(&mut args, "--port-base")?.ok_or("--port-base required")?,
     )?;
+    let chaos = match take_value(&mut args, "--chaos")? {
+        Some(raw) => ChaosSpec::parse(&raw)?,
+        None => ChaosSpec::None,
+    };
+    let f: usize = match take_value(&mut args, "--f")? {
+        Some(raw) => parse_num("--f", &raw)?,
+        None => 0,
+    };
+    let scale_us: u64 = match take_value(&mut args, "--chaos-scale-us")? {
+        Some(raw) => parse_num("--chaos-scale-us", &raw)?,
+        None => DEFAULT_SCALE_US,
+    };
+    let peers = match take_value(&mut args, "--peers")? {
+        Some(raw) => Some(AddressTable::parse(&raw)?),
+        None => None,
+    };
     let role = match mode.as_str() {
         "consensus" => Role::Consensus {
             propose: parse_num(
@@ -819,6 +1157,7 @@ pub fn parse_node_args(mut args: Vec<String>) -> Result<NodeOpts, String> {
                 &take_value(&mut args, "--window")?.unwrap_or_else(|| "1".into()),
             )?,
             respawn: take_flag(&mut args, "--respawn"),
+            divergent: take_flag(&mut args, "--divergent"),
         },
         other => return Err(format!("unknown --mode `{other}`")),
     };
@@ -831,6 +1170,10 @@ pub fn parse_node_args(mut args: Vec<String>) -> Result<NodeOpts, String> {
         t,
         seed,
         port_base,
+        chaos,
+        f,
+        scale_us,
+        peers,
         role,
     })
 }
@@ -861,6 +1204,10 @@ pub fn parse_cluster_args(mut args: Vec<String>) -> Result<ClusterOpts, String> 
         Some(raw) => Duration::from_secs(parse_num("--timeout-secs", &raw)?),
         None => Duration::from_secs(60),
     };
+    let scale_us: u64 = match take_value(&mut args, "--chaos-scale-us")? {
+        Some(raw) => parse_num("--chaos-scale-us", &raw)?,
+        None => DEFAULT_SCALE_US,
+    };
     if !args.iter().any(|a| a == "--runtime") {
         args.push("--runtime".into());
         args.push("netd".into());
@@ -873,19 +1220,152 @@ pub fn parse_cluster_args(mut args: Vec<String>) -> Result<ClusterOpts, String> 
         window,
         phase,
         timeout,
+        scale_us,
     })
 }
 
-/// `dex-netd` entry: dispatches `--cluster` vs `--node` argv forms.
+// ---------------------------------------------------------------------
+// Campaign cells over netd: wall-clock vs virtual fast-decision rates.
+// ---------------------------------------------------------------------
+
+/// Parses and runs `--campaign <name>:<cell>`: one campaign cell executed
+/// on *both* runtimes — simnet in-process and netd as real processes over
+/// TCP — recording the two fast-decision rates side by side in
+/// `results/campaign_netd_<name>.json`.
+fn run_campaign_args(mut args: Vec<String>) -> Result<(), String> {
+    let raw = take_value(&mut args, "--campaign")?.ok_or("--campaign <name>:<cell> required")?;
+    let (name, idx) = raw
+        .split_once(':')
+        .ok_or("--campaign wants <name>:<cell>, e.g. smoke:0")?;
+    let idx: usize = parse_num("--campaign cell", idx)?;
+    let port_base = match take_value(&mut args, "--port-base")? {
+        Some(raw) => parse_num("--port-base", &raw)?,
+        None => default_port_base(),
+    };
+    let runs: Option<usize> = take_value(&mut args, "--runs")?
+        .map(|raw| parse_num("--runs", &raw))
+        .transpose()?;
+    let timeout = match take_value(&mut args, "--timeout-secs")? {
+        Some(raw) => Duration::from_secs(parse_num("--timeout-secs", &raw)?),
+        None => Duration::from_secs(60),
+    };
+    if !args.is_empty() {
+        return Err(format!("unknown campaign flags: {args:?}"));
+    }
+    let campaign =
+        CampaignSpec::by_name(name).ok_or_else(|| format!("unknown campaign `{name}`"))?;
+    let cells = campaign.cells();
+    let cell = cells.get(idx).ok_or_else(|| {
+        format!(
+            "campaign `{name}` has {} cells; {idx} is out of range",
+            cells.len()
+        )
+    })?;
+    let runs = runs.unwrap_or(campaign.seeds);
+    run_campaign_cell(&campaign, cell, idx, runs, port_base, timeout)
+}
+
+/// Runs one campaign cell `runs` times on netd (real processes, wall
+/// clock) and on simnet (in-process, virtual time), then writes the
+/// side-by-side fast-decision-rate artifact. "Fast" is the paper's
+/// expedited set: one-step plus two-step decisions.
+fn run_campaign_cell(
+    campaign: &CampaignSpec,
+    cell: &CampaignCell,
+    idx: usize,
+    runs: usize,
+    port_base: u16,
+    timeout: Duration,
+) -> Result<(), String> {
+    let name = &campaign.name;
+    let (mut netd_fast, mut netd_total) = (0u64, 0u64);
+    let (mut sim_fast, mut sim_total) = (0u64, 0u64);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut wall_us = 0u64;
+    for run in 0..runs {
+        let spec = campaign.runspec_for_netd(cell, run)?;
+        let opts = ClusterOpts {
+            spec,
+            port_base,
+            slots: 8,
+            window: 1,
+            phase: Phase::Cells,
+            timeout,
+            scale_us: DEFAULT_SCALE_US,
+        };
+        let r = run_consensus_cell(&opts, 0)?;
+        netd_fast += r.one_step + r.two_step;
+        netd_total += r.latencies_us.len() as u64;
+        latencies.extend(r.latencies_us.iter().copied());
+        wall_us += r.wall_us;
+        let sim = campaign.runspec_for(cell, run).run()?;
+        sim_fast += sim.paths.count(&"1-step") + sim.paths.count(&"2-step");
+        sim_total += sim.paths.total();
+        println!(
+            "campaign {name}:{idx} run {run}: netd {}/{} fast in {:.1} ms, simnet {}/{} fast",
+            r.one_step + r.two_step,
+            r.latencies_us.len(),
+            r.wall_us as f64 / 1000.0,
+            sim_fast,
+            sim_total,
+        );
+    }
+    let rate = |fast: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            fast as f64 / total as f64
+        }
+    };
+    let (netd_rate, sim_rate) = (rate(netd_fast, netd_total), rate(sim_fast, sim_total));
+    let body = format!(
+        concat!(
+            "{{\"campaign\":\"{}\",\"cell\":{},\"n\":{},\"t\":{},\"f\":{},",
+            "\"adversary\":\"{}\",\"chaos\":\"{}\",\"runs\":{},",
+            "\"netd\":{{\"fast\":{},\"decisions\":{},\"fast_rate\":{:.6},",
+            "\"latency_mean_us\":{:.1},\"wall_us\":{}}},",
+            "\"simnet\":{{\"fast\":{},\"decisions\":{},\"fast_rate\":{:.6}}}}}\n"
+        ),
+        name,
+        idx,
+        cell.n,
+        cell.t,
+        cell.f,
+        cell.adversary.flag(),
+        cell.chaos.flag(),
+        runs,
+        netd_fast,
+        netd_total,
+        netd_rate,
+        mean(&latencies),
+        wall_us,
+        sim_fast,
+        sim_total,
+        sim_rate,
+    );
+    std::fs::create_dir_all("results").map_err(|e| format!("results dir: {e}"))?;
+    let path = format!("results/campaign_netd_{name}.json");
+    std::fs::write(&path, body).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "campaign {name}:{idx}: wall-clock fast-decision rate {netd_rate:.3} (netd) vs {sim_rate:.3} (simnet) over {runs} runs → {path}"
+    );
+    Ok(())
+}
+
+/// `dex-netd` entry: dispatches `--cluster`, `--campaign` and `--node`
+/// argv forms.
 pub fn main(args: Vec<String>) -> Result<(), String> {
-    if args.iter().any(|a| a == "--cluster") {
+    if args.iter().any(|a| a == "--campaign") {
+        run_campaign_args(args)
+    } else if args.iter().any(|a| a == "--cluster") {
         run_cluster(&parse_cluster_args(args)?)
     } else if args.iter().any(|a| a == "--node") {
         run_node(parse_node_args(args)?)
     } else {
         Err(concat!(
             "usage: dex-netd --cluster [spec flags] [--port-base P] [--slots K] ",
-            "[--window W] [--phase cells|kill9|both] [--timeout-secs S]\n",
+            "[--window W] [--phase cells|kill9|both] [--timeout-secs S] [--chaos-scale-us U]\n",
+            "       dex-netd --campaign <name>:<cell> [--runs R] [--port-base P] [--timeout-secs S]\n",
             "       (children are spawned internally via --node)"
         )
         .into())
@@ -937,7 +1417,7 @@ mod tests {
             }
         ));
         let opts = parse_node_args(
-            "--node 1 --mode replica --n 5 --t 0 --seed 9 --port-base 23000 --wal /tmp/w.log --slots 8 --window 4 --respawn"
+            "--node 1 --mode replica --n 5 --t 0 --seed 9 --port-base 23000 --wal /tmp/w.log --slots 8 --window 4 --respawn --divergent"
                 .split_whitespace()
                 .map(String::from)
                 .collect(),
@@ -948,39 +1428,123 @@ mod tests {
                 slots,
                 window,
                 respawn,
+                divergent,
                 ..
             } => {
                 assert_eq!((slots, window), (8, 4));
                 assert!(respawn);
+                assert!(divergent);
             }
             other => panic!("wrong role {other:?}"),
         }
     }
 
     #[test]
+    fn node_argv_carries_chaos_and_peers() {
+        let opts = parse_node_args(
+            "--node 2 --mode consensus --n 7 --t 1 --seed 9 --port-base 23000 --propose 7 \
+             --chaos drop:0.4 --f 1 --chaos-scale-us 500 --peers 10.0.0.1:9000,10.0.0.2:9001,10.0.0.3:9002"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .expect("chaos argv");
+        assert_eq!(opts.chaos, ChaosSpec::DropHeavy { p: 0.4 });
+        assert_eq!((opts.f, opts.scale_us), (1, 500));
+        let peers = opts.peers.expect("peers table");
+        assert_eq!(peers.len(), 3);
+        assert_eq!((peers.host(1), peers.port(1)), ("10.0.0.2", 9001));
+        // Defaults: clean, no budget, canonical scale, localhost table.
+        let opts = parse_node_args(
+            "--node 0 --mode consensus --n 5 --t 0 --seed 9 --port-base 23000 --propose 7"
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+        )
+        .expect("clean argv");
+        assert!(opts.chaos.is_none());
+        assert_eq!((opts.f, opts.scale_us), (0, DEFAULT_SCALE_US));
+        assert!(opts.peers.is_none());
+    }
+
+    #[test]
+    fn chaos_line_round_trips_the_report() {
+        let line = "CHAOS to=6 sched=0x00ab54a98ceb1f0a frames=12 drops=3 dups=0 held=2 torn=1";
+        let report = parse_chaos_line(line).expect("parses");
+        assert_eq!(report.to, 6);
+        assert_eq!(report.sched, 0x00ab_54a9_8ceb_1f0a);
+        assert_eq!(
+            (
+                report.frames,
+                report.drops,
+                report.dups,
+                report.held,
+                report.torn
+            ),
+            (12, 3, 0, 2, 1)
+        );
+        assert_eq!(parse_chaos_line("STATS sent=1"), None);
+        assert_eq!(parse_chaos_line("CHAOS to=6 sched=zzz frames=1"), None);
+    }
+
+    #[test]
     fn cluster_argv_carries_spec_and_netd_knobs() {
         let opts = parse_cluster_args(
-            "--cluster --n 5 --t 0 --workload unanimous:7 --runs 2 --seed 31 --slots 6 --phase cells"
+            "--cluster --n 5 --t 0 --workload unanimous:7 --runs 2 --seed 31 --slots 6 --phase cells --chaos-scale-us 250"
                 .split_whitespace()
                 .map(String::from)
                 .collect(),
         )
         .expect("cluster argv");
         assert_eq!(opts.spec.n, 5);
-        assert_eq!(opts.spec.runtime, RuntimeSpec::Netd);
+        assert!(opts.spec.runtime.is_netd());
         assert_eq!(opts.slots, 6);
         assert_eq!(opts.phase, Phase::Cells);
-        // Chaos is rejected up front: the kill -9 schedule is the fault.
-        let err = parse_cluster_args(
-            "--cluster --n 5 --t 0 --chaos drop:0.4"
-                .split_whitespace()
-                .map(String::from)
-                .collect(),
-        )
-        .map(|o| run_cluster(&o));
-        match err {
-            Ok(Err(msg)) => assert!(msg.contains("chaos"), "{msg}"),
-            other => panic!("expected chaos rejection, got {other:?}"),
+        assert_eq!(opts.scale_us, 250);
+    }
+
+    fn cluster_opts(argv: &str) -> ClusterOpts {
+        parse_cluster_args(argv.split_whitespace().map(String::from).collect())
+            .expect("cluster argv parses")
+    }
+
+    #[test]
+    fn validation_composes_chaos_budget_and_kill_rules() {
+        // The four MATRIX schedules are legal consensus-cell specs.
+        for chaos in ChaosSpec::MATRIX {
+            let opts = cluster_opts(&format!(
+                "--cluster --n 7 --t 1 --f 1 --chaos {} --phase cells",
+                chaos.flag()
+            ));
+            assert_eq!(validate_cluster(&opts), Ok(()), "{}", chaos.flag());
         }
+        // Chaos without the cells phase is rejected.
+        let err = validate_cluster(&cluster_opts("--cluster --n 5 --t 0 --chaos drop:0.4"))
+            .expect_err("chaos needs --phase cells");
+        assert!(err.contains("cells"), "{err}");
+        // Amnesiac restart chaos points at the real kill -9 schedule.
+        let err = validate_cluster(&cluster_opts(
+            "--cluster --n 5 --t 0 --chaos crash-restart:1:9 --phase cells",
+        ))
+        .expect_err("crash-restart is kill9's job");
+        assert!(err.contains("kill9"), "{err}");
+        // A fault budget without chaos to attach it to is rejected.
+        let err = validate_cluster(&cluster_opts("--cluster --n 7 --t 1 --f 1 --phase cells"))
+            .expect_err("--f needs --chaos");
+        assert!(err.contains("--chaos"), "{err}");
+        // The kill point must land mid-run.
+        let err = validate_cluster(&cluster_opts(
+            "--cluster --n 5 --t 0 --kill 6 --slots 6 --phase kill9",
+        ))
+        .expect_err("kill point past the last slot");
+        assert!(err.contains("--slots"), "{err}");
+        // Divergent kills need a catch-up quorum margin.
+        let err = validate_cluster(&cluster_opts(
+            "--cluster --n 5 --t 0 --kill 1:divergent --phase kill9",
+        ))
+        .expect_err("divergent needs t ≥ 1");
+        assert!(err.contains("divergent"), "{err}");
+        let opts = cluster_opts("--cluster --n 7 --t 1 --kill 2:divergent --phase kill9");
+        assert_eq!(validate_cluster(&opts), Ok(()));
     }
 }

@@ -15,7 +15,7 @@
 //! bytes: a Byzantine peer can corrupt its own link, not the process.
 
 use dex_broadcast::IdbMessage;
-use dex_core::DexMsg;
+use dex_core::{DexMsg, ReliableMsg};
 use dex_replication::{ReplicaMsg, SlotMsg};
 use dex_types::ProcessId;
 use dex_underlying::OracleMsg;
@@ -289,6 +289,43 @@ impl<C: WireCodec> WireCodec for ReplicaMsg<C> {
     }
 }
 
+impl<M: WireCodec> WireCodec for ReliableMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ReliableMsg::Data { seq, msg } => {
+                out.push(0);
+                seq.encode(out);
+                msg.encode(out);
+            }
+            ReliableMsg::Ack { seq } => {
+                out.push(1);
+                seq.encode(out);
+            }
+            ReliableMsg::Timer(msg) => {
+                out.push(2);
+                msg.encode(out);
+            }
+            ReliableMsg::RetryTick => out.push(3),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match get_u8(input)? {
+            0 => {
+                let seq = u64::decode(input)?;
+                let msg = M::decode(input)?;
+                Some(ReliableMsg::Data { seq, msg })
+            }
+            1 => Some(ReliableMsg::Ack {
+                seq: u64::decode(input)?,
+            }),
+            2 => Some(ReliableMsg::Timer(M::decode(input)?)),
+            3 => Some(ReliableMsg::RetryTick),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +386,26 @@ mod tests {
         for msg in msgs {
             let bytes = msg.to_bytes();
             assert_eq!(ReplicaMsg::from_bytes(&bytes), Some(msg));
+        }
+    }
+
+    #[test]
+    fn reliable_msg_round_trips_every_variant() {
+        let msgs: Vec<ReliableMsg<ReplicaMsg<u64>>> = vec![
+            ReliableMsg::Data {
+                seq: 12,
+                msg: ReplicaMsg::Slot {
+                    slot: 1,
+                    inner: DexMsg::Proposal(7),
+                },
+            },
+            ReliableMsg::Ack { seq: 12 },
+            ReliableMsg::Timer(ReplicaMsg::CatchUpTick),
+            ReliableMsg::RetryTick,
+        ];
+        for msg in msgs {
+            let bytes = msg.to_bytes();
+            assert_eq!(ReliableMsg::from_bytes(&bytes), Some(msg));
         }
     }
 

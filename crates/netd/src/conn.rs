@@ -23,16 +23,18 @@
 //! models, and the consensus/replication layers own retransmission
 //! semantics (catch-up, flush ticks).
 
+use crate::chaos::{ChaosRuntime, Verdict};
 use crate::frame::{hello_sender, FrameBuf};
+use dex_harness::spec::AddressTable;
 use dex_types::{ProcessId, StepDepth};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Initial dial-retry backoff.
 pub const BACKOFF_MIN: Duration = Duration::from_millis(20);
@@ -55,13 +57,26 @@ pub struct Delivery {
     pub payload: Vec<u8>,
 }
 
+/// One queued outbound frame, with its earliest-release instant when the
+/// chaos layer held it (partition or crash window). The queue stays FIFO
+/// — a held head blocks later frames, which is exactly what a real TCP
+/// connection through a partitioned network does.
+struct QueuedFrame {
+    bytes: Arc<[u8]>,
+    not_before: Option<Instant>,
+}
+
 /// Outbound state for one peer.
 struct PeerState {
-    queue: VecDeque<Arc<[u8]>>,
+    queue: VecDeque<QueuedFrame>,
     stream: Option<TcpStream>,
     /// Bumped on every (re)install, so a stale reader/writer error cannot
     /// tear down a newer connection.
     generation: u64,
+    /// Accept-order stamp of the newest *accepted* connection installed
+    /// for this peer (see [`Peer::install_accepted`]); dialed connections
+    /// are sequential in one thread and never need it.
+    accept_seq: u64,
     shutdown: bool,
 }
 
@@ -77,6 +92,7 @@ impl Peer {
                 queue: VecDeque::new(),
                 stream: None,
                 generation: 0,
+                accept_seq: 0,
                 shutdown: false,
             }),
             cv: Condvar::new(),
@@ -92,6 +108,27 @@ impl Peer {
         st.generation
     }
 
+    /// Installs an *accepted* connection, but only if it is newer (in
+    /// accept order) than the newest accepted connection already
+    /// installed for this peer. Identify threads run concurrently, so a
+    /// stale connection — torn while its replacement was already in the
+    /// accept queue — can finish identifying *after* the live one; letting
+    /// it install would clobber the live stream, and its instant EOF
+    /// would then clear the slot for good while the live reader keeps
+    /// delivering: a one-way ghost link. Returns `None` when refused; the
+    /// caller must still drain the stale connection's buffered frames.
+    fn install_accepted(&self, stream: TcpStream, accept_seq: u64) -> Option<u64> {
+        let mut st = self.state.lock().expect("peer lock");
+        if accept_seq <= st.accept_seq {
+            return None;
+        }
+        st.accept_seq = accept_seq;
+        st.generation += 1;
+        st.stream = Some(stream);
+        self.cv.notify_all();
+        Some(st.generation)
+    }
+
     /// Clears the stream if `generation` still names the live connection.
     fn uninstall(&self, generation: u64) {
         let mut st = self.state.lock().expect("peer lock");
@@ -100,12 +137,15 @@ impl Peer {
         }
     }
 
-    fn enqueue(&self, frame: Arc<[u8]>) {
+    fn enqueue(&self, frame: Arc<[u8]>, not_before: Option<Instant>) {
         let mut st = self.state.lock().expect("peer lock");
         if st.queue.len() >= MAX_QUEUE {
             st.queue.pop_front();
         }
-        st.queue.push_back(frame);
+        st.queue.push_back(QueuedFrame {
+            bytes: frame,
+            not_before,
+        });
         self.cv.notify_all();
     }
 
@@ -125,19 +165,40 @@ pub struct Mesh {
     peers: Vec<Option<Arc<Peer>>>,
     rx: Receiver<Delivery>,
     shutdown: Arc<AtomicBool>,
+    chaos: Option<Arc<ChaosRuntime>>,
 }
 
 impl Mesh {
-    /// Builds the mesh for process `me` of `n`: binds the listen port
-    /// (`port_base + me`), spawns the acceptor, one dialer per lower-id
-    /// peer, and one writer per peer. Returns as soon as the local socket
-    /// is bound — connections to peers establish (and re-establish) in
-    /// the background.
+    /// Builds the mesh for process `me` of `n` on the canonical localhost
+    /// layout (`127.0.0.1`, `port_base + i`), chaos-free. See
+    /// [`Mesh::with_net`] for the general form.
     pub fn new(me: ProcessId, n: usize, port_base: u16) -> std::io::Result<Mesh> {
-        let listener = crate::listener::bind_reusable(port_base + me.index() as u16)?;
+        Mesh::with_net(me, AddressTable::localhost(n, port_base), None)
+    }
+
+    /// Builds the mesh for process `me` against an explicit address table
+    /// (`n = addrs.len()`), with optional fault injection: binds the
+    /// listen socket (`addrs[me]`, loopback-bound when the table says
+    /// `127.0.0.1`, all-interfaces otherwise so remote peers can reach
+    /// it), spawns the acceptor, one dialer per lower-id peer, and one
+    /// writer per peer. Returns as soon as the local socket is bound —
+    /// connections to peers establish (and re-establish) in the
+    /// background. When `chaos` is `None` the fault path is never
+    /// consulted and the mesh behaves byte-identically to a chaos-free
+    /// build.
+    pub fn with_net(
+        me: ProcessId,
+        addrs: AddressTable,
+        chaos: Option<Arc<ChaosRuntime>>,
+    ) -> std::io::Result<Mesh> {
+        let n = addrs.len();
+        let local_host = addrs.host(me.index());
+        let loopback = local_host == "127.0.0.1" || local_host == "localhost";
+        let listener = crate::listener::bind_reusable_on(addrs.port(me.index()), loopback)?;
         listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let addrs = Arc::new(addrs);
         let mut peers: Vec<Option<Arc<Peer>>> = Vec::with_capacity(n);
         for j in 0..n {
             if j == me.index() {
@@ -145,12 +206,12 @@ impl Mesh {
                 continue;
             }
             let peer = Peer::new();
-            spawn_writer(Arc::clone(&peer));
+            spawn_writer(ProcessId::new(j), Arc::clone(&peer), chaos.clone());
             if j < me.index() {
                 spawn_dialer(
                     me,
                     ProcessId::new(j),
-                    port_base,
+                    Arc::clone(&addrs),
                     Arc::clone(&peer),
                     tx.clone(),
                     Arc::clone(&shutdown),
@@ -164,16 +225,30 @@ impl Mesh {
             peers,
             rx,
             shutdown,
+            chaos,
         })
     }
 
     /// Queues an encoded frame for `to`. Sending to a downed peer buffers
     /// (bounded); sending to self is a caller bug — the event loop keeps
-    /// self-traffic local and never encodes it.
+    /// self-traffic local and never encodes it. With a chaos runtime
+    /// installed the frame is routed through its verdict first: it may be
+    /// dropped outright, held until a partition heals or the recipient's
+    /// crash window ends, or duplicated with forward jitter.
     pub fn send(&self, to: ProcessId, frame: Arc<[u8]>) {
         assert_ne!(to, self.me, "self-sends never reach the mesh");
-        if let Some(peer) = &self.peers[to.index()] {
-            peer.enqueue(frame);
+        let Some(peer) = &self.peers[to.index()] else {
+            return;
+        };
+        match self.chaos.as_ref().map(|c| c.outbound(to)) {
+            None => peer.enqueue(frame, None),
+            Some(Verdict::Drop) => {}
+            Some(Verdict::Deliver { not_before, dup_at }) => {
+                peer.enqueue(Arc::clone(&frame), not_before);
+                if let Some(at) = dup_at {
+                    peer.enqueue(frame, Some(at));
+                }
+            }
         }
     }
 
@@ -207,10 +282,17 @@ impl Drop for Mesh {
     }
 }
 
-/// Writer thread: flushes one peer's queue whenever a stream is live.
-fn spawn_writer(peer: Arc<Peer>) {
+/// Writer thread: flushes one peer's queue whenever a stream is live and
+/// the head frame's chaos release time (if any) has been reached. Under a
+/// chaos runtime it also executes scheduled mid-frame connection tears —
+/// writing a strict prefix of the frame, killing the socket, and
+/// requeueing the *full* frame at the head, so the reconnect path (not
+/// the chaos layer) is what restores delivery: no frame is lost, and the
+/// peer's torn prefix dies with the condemned connection, so none is
+/// duplicated either.
+fn spawn_writer(to: ProcessId, peer: Arc<Peer>, chaos: Option<Arc<ChaosRuntime>>) {
     thread::spawn(move || loop {
-        let (frame, stream, generation) = {
+        let (frame, release, stream, generation) = {
             let mut st = peer.state.lock().expect("peer lock");
             loop {
                 // On shutdown, drain what a live stream can still take;
@@ -219,17 +301,40 @@ fn spawn_writer(peer: Arc<Peer>) {
                     return;
                 }
                 if st.stream.is_some() && !st.queue.is_empty() {
-                    break;
+                    // A held head blocks the queue until its release
+                    // instant (FIFO, like real TCP through a partition).
+                    let hold = st.queue.front().and_then(|f| {
+                        f.not_before
+                            .map(|at| at.saturating_duration_since(Instant::now()))
+                    });
+                    match hold {
+                        Some(wait) if !wait.is_zero() => {
+                            let (next, _) = peer.cv.wait_timeout(st, wait).expect("peer lock");
+                            st = next;
+                            continue;
+                        }
+                        _ => break,
+                    }
                 }
                 st = peer.cv.wait(st).expect("peer lock");
             }
             let frame = st.queue.pop_front().expect("checked non-empty");
             let stream = st.stream.as_ref().expect("checked some").try_clone();
-            (frame, stream, st.generation)
+            (frame.bytes, frame.not_before, stream, st.generation)
         };
-        let ok = match stream {
-            Ok(mut s) => s.write_all(&frame).is_ok(),
-            Err(_) => false,
+        let tear = chaos.as_ref().and_then(|c| c.tear_len(to, frame.len()));
+        let ok = match (stream, tear) {
+            (Ok(mut s), None) => s.write_all(&frame).is_ok(),
+            (Ok(mut s), Some(cut)) => {
+                // Deliberate mid-frame tear: send a strict prefix, then
+                // condemn the connection. Counts as a write failure below,
+                // so the full frame is requeued for the next incarnation.
+                let _ = s.write_all(&frame[..cut]);
+                let _ = s.flush();
+                let _ = s.shutdown(Shutdown::Both);
+                false
+            }
+            (Err(_), _) => false,
         };
         if !ok {
             // The connection died mid-frame: drop it (the peer's frame
@@ -239,7 +344,10 @@ fn spawn_writer(peer: Arc<Peer>) {
             if st.generation == generation {
                 st.stream = None;
             }
-            st.queue.push_front(frame);
+            st.queue.push_front(QueuedFrame {
+                bytes: frame,
+                not_before: release,
+            });
         }
     });
 }
@@ -250,7 +358,7 @@ fn spawn_writer(peer: Arc<Peer>) {
 fn spawn_dialer(
     me: ProcessId,
     to: ProcessId,
-    port_base: u16,
+    addrs: Arc<AddressTable>,
     peer: Arc<Peer>,
     tx: Sender<Delivery>,
     shutdown: Arc<AtomicBool>,
@@ -258,7 +366,7 @@ fn spawn_dialer(
     thread::spawn(move || {
         let mut backoff = BACKOFF_MIN;
         while !shutdown.load(Ordering::Acquire) {
-            let addr = ("127.0.0.1", port_base + to.index() as u16);
+            let addr = (addrs.host(to.index()), addrs.port(to.index()));
             let stream = match TcpStream::connect(addr) {
                 Ok(s) => s,
                 Err(_) => {
@@ -285,6 +393,10 @@ fn spawn_dialer(
 
 /// Acceptor thread: admits connections from higher-id peers, identifies
 /// each by its hello frame, installs the stream and hands it to a reader.
+/// Each connection is stamped with its accept order before the identify
+/// thread spawns, so concurrently-identifying connections from the same
+/// (rapidly reconnecting) peer install newest-wins regardless of which
+/// identify finishes first.
 fn spawn_acceptor(
     me: ProcessId,
     n: usize,
@@ -294,6 +406,8 @@ fn spawn_acceptor(
     shutdown: Arc<AtomicBool>,
 ) {
     thread::spawn(move || {
+        // Starts at 1: seq 0 is the "nothing accepted yet" floor.
+        let mut accept_seq = 0u64;
         while !shutdown.load(Ordering::Acquire) {
             let stream = match listener.accept() {
                 Ok((s, _)) => s,
@@ -301,8 +415,15 @@ fn spawn_acceptor(
                     thread::sleep(Duration::from_millis(10));
                     continue;
                 }
-                Err(_) => return,
+                Err(_) => {
+                    // Transient per-connection failures (e.g. a dial
+                    // reset while queued) must not kill the acceptor —
+                    // with it dies every future reconnection.
+                    thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
             };
+            accept_seq += 1;
             let _ = stream.set_nodelay(true);
             let peers = peers.clone();
             let tx = tx.clone();
@@ -317,9 +438,21 @@ fn spawn_acceptor(
                 }
                 let from = ProcessId::new(from);
                 let peer = peers[from.index()].as_ref().expect("peer slot").clone();
-                let generation = peer.install(stream.try_clone().expect("clone accepted stream"));
-                read_frames(stream, from, &tx, &shutdown, leftover);
-                peer.uninstall(generation);
+                match peer.install_accepted(
+                    stream.try_clone().expect("clone accepted stream"),
+                    accept_seq,
+                ) {
+                    Some(generation) => {
+                        read_frames(stream, from, &tx, &shutdown, leftover);
+                        peer.uninstall(generation);
+                    }
+                    None => {
+                        // Superseded by a newer accepted connection: never
+                        // touch the slot, but drain whatever frames this
+                        // stale (already torn) connection still buffers.
+                        read_frames(stream, from, &tx, &shutdown, leftover);
+                    }
+                }
             });
         }
     });
@@ -333,6 +466,10 @@ fn spawn_acceptor(
 fn identify(stream: &TcpStream) -> Option<(usize, FrameBuf)> {
     let mut s = stream.try_clone().ok()?;
     let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+    // A *total* deadline, not just per-read: a peer streaming bytes that
+    // never frame a hello (hostile, or torn mid-handshake) would
+    // otherwise defeat the read timeout indefinitely.
+    let deadline = Instant::now() + Duration::from_secs(5);
     let mut buf = FrameBuf::new();
     let mut chunk = [0u8; 256];
     loop {
@@ -340,6 +477,9 @@ fn identify(stream: &TcpStream) -> Option<(usize, FrameBuf)> {
             let sender = hello_sender(&frame)?;
             let _ = s.set_read_timeout(None);
             return Some((sender, buf));
+        }
+        if Instant::now() >= deadline {
+            return None;
         }
         match s.read(&mut chunk) {
             Ok(0) | Err(_) => return None,

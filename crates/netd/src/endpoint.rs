@@ -19,14 +19,17 @@
 //! never touches a socket: it loops through a local queue, preserving the
 //! simulator's semantics that a process always hears itself.
 
+use crate::chaos::ChaosRuntime;
 use crate::codec::WireCodec;
 use crate::conn::{Delivery, Mesh};
 use crate::frame::{class_byte, encode_frame};
+use dex_harness::spec::AddressTable;
 use dex_simnet::{Actor, Context, NetStats, Recoverable, Time};
 use dex_types::{Dest, ProcessId, StepDepth};
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// A timer armed by the local actor.
@@ -51,6 +54,7 @@ where
     local: VecDeque<(StepDepth, A::Msg)>,
     wire: NetStats,
     delivered: u64,
+    chaos: Option<Arc<ChaosRuntime>>,
     /// Frames whose payload failed to decode (hostile or torn peer).
     pub decode_failures: u64,
 }
@@ -69,17 +73,35 @@ where
         port_base: u16,
         seed: u64,
     ) -> std::io::Result<Self> {
+        Endpoint::with_net(actor, me, AddressTable::localhost(n, port_base), seed, None)
+    }
+
+    /// The general form of [`Endpoint::new`]: binds against an explicit
+    /// address table (`n = addrs.len()`) and optionally routes all
+    /// outbound traffic through a [`ChaosRuntime`]. The chaos runtime is
+    /// shared with the mesh: the endpoint consults it only for the local
+    /// process's crash-silence windows ([`ChaosRuntime::self_resume_at`]),
+    /// the mesh for everything link-level.
+    pub fn with_net(
+        actor: A,
+        me: ProcessId,
+        addrs: AddressTable,
+        seed: u64,
+        chaos: Option<Arc<ChaosRuntime>>,
+    ) -> std::io::Result<Self> {
+        let n = addrs.len();
         Ok(Endpoint {
             actor,
             me,
             n,
-            mesh: Mesh::new(me, n, port_base)?,
+            mesh: Mesh::with_net(me, addrs, chaos.clone())?,
             start: Instant::now(),
             rng: StdRng::seed_from_u64(seed.wrapping_add(me.index() as u64)),
             timers: Vec::new(),
             local: VecDeque::new(),
             wire: NetStats::default(),
             delivered: 0,
+            chaos,
             decode_failures: 0,
         })
     }
@@ -118,6 +140,19 @@ where
     /// or (waiting up to `idle`) one frame from the mesh. Returns whether
     /// anything was handled.
     pub fn pump(&mut self, idle: Duration) -> bool {
+        // A process inside its own crash-silence window is not scheduled:
+        // stall (bounded by `idle`) without handling timers, local
+        // traffic, or sockets. Inbound frames queue in the mesh channel
+        // and flush after recovery — the simulator's deferred in-window
+        // delivery, on real sockets.
+        if let Some(resume) = self.chaos.as_ref().and_then(|c| c.self_resume_at()) {
+            let nap = resume
+                .saturating_duration_since(Instant::now())
+                .min(idle)
+                .max(Duration::from_millis(1));
+            thread::sleep(nap);
+            return false;
+        }
         // Due timers first, earliest first.
         let now = Instant::now();
         let due_idx = self

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod codec;
 pub mod conn;
@@ -31,6 +32,7 @@ pub mod endpoint;
 pub mod frame;
 pub mod listener;
 
+pub use chaos::{ChaosRuntime, TearPoint, Verdict};
 pub use cluster::{run_cluster, ClusterOpts, Phase};
 pub use codec::WireCodec;
 pub use conn::Mesh;

@@ -17,13 +17,26 @@ use std::net::TcpListener;
 /// Binds `127.0.0.1:port` for listening, with `SO_REUSEADDR` where the
 /// platform shim supports it.
 pub fn bind_reusable(port: u16) -> io::Result<TcpListener> {
+    bind_reusable_on(port, true)
+}
+
+/// Binds `port` for listening on either the loopback interface
+/// (`loopback = true`, the single-host default) or all interfaces
+/// (`0.0.0.0`, required when an explicit address table spans hosts),
+/// with `SO_REUSEADDR` where the platform shim supports it.
+pub fn bind_reusable_on(port: u16, loopback: bool) -> io::Result<TcpListener> {
+    let ip: [u8; 4] = if loopback {
+        [127, 0, 0, 1]
+    } else {
+        [0, 0, 0, 0]
+    };
     #[cfg(target_os = "linux")]
     {
-        linux::bind_reuseaddr(port)
+        linux::bind_reuseaddr(port, ip)
     }
     #[cfg(not(target_os = "linux"))]
     {
-        TcpListener::bind(("127.0.0.1", port))
+        TcpListener::bind((std::net::Ipv4Addr::from(ip), port))
     }
 }
 
@@ -69,7 +82,7 @@ mod linux {
         err
     }
 
-    pub fn bind_reuseaddr(port: u16) -> io::Result<TcpListener> {
+    pub fn bind_reuseaddr(port: u16, ip: [u8; 4]) -> io::Result<TcpListener> {
         // SAFETY: plain syscall wrappers on owned values; the fd's
         // ownership moves linearly from `socket` either into
         // `TcpListener::from_raw_fd` or into `close` on the error paths.
@@ -85,7 +98,7 @@ mod linux {
             let addr = SockAddrIn {
                 sin_family: AF_INET as u16,
                 sin_port: port.to_be(),
-                sin_addr: u32::from_be_bytes([127, 0, 0, 1]).to_be(),
+                sin_addr: u32::from_be_bytes(ip).to_be(),
                 sin_zero: [0; 8],
             };
             if bind(fd, &addr, core::mem::size_of::<SockAddrIn>() as u32) < 0 {

@@ -343,7 +343,7 @@ impl FaultSchedule {
 
     /// Panics if the schedule names a process outside `0..n` — a
     /// misconfigured experiment should fail loudly at build time.
-    pub(crate) fn validate(&self, n: usize) {
+    pub fn validate(&self, n: usize) {
         let check = |p: ProcessId| {
             assert!(
                 p.index() < n,
@@ -365,7 +365,7 @@ impl FaultSchedule {
     /// If a message `from → to` sent at `at` crosses an open cut, the heal
     /// instant it must wait for; iterated to a fixpoint so back-to-back
     /// partitions chain.
-    pub(crate) fn partition_hold(&self, from: ProcessId, to: ProcessId, at: u64) -> Option<u64> {
+    pub fn partition_hold(&self, from: ProcessId, to: ProcessId, at: u64) -> Option<u64> {
         let mut when = at;
         let mut held = false;
         loop {
@@ -391,7 +391,7 @@ impl FaultSchedule {
     /// `Some(None)` = the message is lost — either the process never
     /// recovers, or the covering window is a [`CrashMode::Restart`] (a dead
     /// process has no inbox; restart amnesia loses in-window traffic).
-    pub(crate) fn crash_hold(&self, to: ProcessId, deliver_at: u64) -> Option<Option<u64>> {
+    pub fn crash_hold(&self, to: ProcessId, deliver_at: u64) -> Option<Option<u64>> {
         let mut when = deliver_at;
         let mut held = false;
         loop {
@@ -420,7 +420,7 @@ impl FaultSchedule {
 
     /// Combined `(drop, dup)` probabilities for a message `from → to` sent
     /// at `at`; matching entries compose independently.
-    pub(crate) fn link_probs(&self, from: ProcessId, to: ProcessId, at: u64) -> (f64, f64) {
+    pub fn link_probs(&self, from: ProcessId, to: ProcessId, at: u64) -> (f64, f64) {
         let (mut keep, mut single) = (1.0f64, 1.0f64);
         for l in self.links.iter().filter(|l| l.matches(from, to, at)) {
             keep *= 1.0 - l.drop;

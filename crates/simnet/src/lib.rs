@@ -76,7 +76,7 @@ pub use builder::SimulationBuilder;
 pub use delay::DelayModel;
 pub use dex_types::Dest;
 pub use faults::{CrashMode, CrashWindow, FaultSchedule, LinkFault, Partition};
-pub use sim::{RunOutcome, Simulation};
+pub use sim::{RunOutcome, Simulation, CHAOS_SALT};
 pub use stats::NetStats;
 pub use time::Time;
 pub use trace::{Trace, TraceDetail, TraceEvent};

@@ -16,7 +16,7 @@ use std::collections::BinaryHeap;
 /// Salt xored into the simulation seed for the chaos RNG, so fault
 /// decisions never perturb the delay-model stream: a run with an empty
 /// schedule is bit-identical to one built without chaos at all.
-const CHAOS_SALT: u64 = 0xC4A0_5A1F_FA17_5EED;
+pub const CHAOS_SALT: u64 = 0xC4A0_5A1F_FA17_5EED;
 
 /// A schedule boundary to surface as an observability event, ordered by
 /// `(time, kind, subject)` for deterministic emission.

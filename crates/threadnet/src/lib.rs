@@ -21,6 +21,14 @@
 //! per-process undrained inbox depths it left behind, so a stuck run is
 //! diagnosable instead of just `quiescent: false`.
 //!
+//! [`run_network_with_kill`] adds the thread-level analogue of the netd
+//! cluster's `kill -9` phase: one worker's actor is destroyed mid-run
+//! (volatile state and armed timers gone, envelopes arriving while dead
+//! are lost), then rebuilt from durable state via
+//! [`Recoverable::restart`] after a configurable down window — the same
+//! WAL-replay recovery story as the process-level runtime, exercised
+//! under OS threads where the survivors keep running throughout.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,12 +57,12 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use dex_simnet::{Actor, Context, Dest, NetStats, Time};
+use dex_simnet::{Actor, Context, Dest, NetStats, Recoverable, Time};
 use dex_types::{ProcessId, StepDepth};
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -110,6 +118,46 @@ pub struct NetworkResult<A> {
     pub stats: NetStats,
     /// Wall-clock time from network start to supervisor teardown.
     pub elapsed: Duration,
+    /// Completed kill/respawn cycles. Always `0` for [`run_network`];
+    /// `1` when [`run_network_with_kill`]'s victim died and its rebuilt
+    /// incarnation booted through [`Recoverable::restart`], `0` if the
+    /// run was cut off before the kill fired.
+    pub restarts: u64,
+}
+
+/// A thread-level `kill -9` plan for [`run_network_with_kill`].
+///
+/// At `after` into the run the victim's worker thread destroys its actor:
+/// in-memory state is gone, armed timers are lost, and every envelope
+/// arriving during the `down` window is discarded — a dead process loses
+/// its inbox. When the window closes, `rebuild` constructs the fresh
+/// incarnation (typically re-opening the same WAL the first incarnation
+/// wrote) and the worker boots it through [`Recoverable::restart`], whose
+/// recovery sends enter the network at causal depth 1 like `on_start`
+/// traffic. The worker thread itself survives — threads cannot be killed
+/// from outside — so the kill is simulated at the actor boundary, which
+/// is exactly the state a real `kill -9` destroys.
+pub struct ThreadKillPlan<A> {
+    /// The process to kill. Must not be the only process.
+    pub victim: ProcessId,
+    /// Wall-clock delay from network start to the kill.
+    pub after: Duration,
+    /// How long the victim stays dead before the respawn boots.
+    pub down: Duration,
+    /// Builds the respawned incarnation; its durable state (e.g. a
+    /// `FileWal` path) must match what the first incarnation persisted.
+    pub rebuild: Box<dyn FnOnce() -> A + Send>,
+}
+
+/// [`ThreadKillPlan`] lowered for the generic runner: the `restart` hook
+/// is captured as a plain fn pointer where the `Recoverable` bound is
+/// available, so `run_inner` itself needs only `Actor`.
+struct KillTask<A: Actor> {
+    victim: usize,
+    after: Duration,
+    down: Duration,
+    rebuild: Box<dyn FnOnce() -> A + Send>,
+    restart: fn(&mut A, &mut Context<'_, A::Msg>),
 }
 
 /// Counts one logical send against a worker's wire statistics via the
@@ -305,6 +353,211 @@ fn deliver<A: Actor>(
     inflight.fetch_sub(1, Ordering::AcqRel);
 }
 
+/// Per-thread worker machinery, factored out of the spawn closure so a
+/// kill/respawn run can drive the same boot-and-deliver loop across two
+/// actor incarnations on one thread. Owns everything that survives the
+/// kill: the RNG, the wire ledger, the inbox receiver, pending timers,
+/// and the per-process delivery sequence the recorder uses as its clock.
+struct Worker<A: Actor> {
+    me: ProcessId,
+    n: usize,
+    start: Instant,
+    rng: StdRng,
+    local_seq: u64,
+    wire: NetStats,
+    timers: Vec<PendingTimer<A::Msg>>,
+    rx: Receiver<Envelope<A::Msg>>,
+    dispatch_tx: Sender<(usize, Envelope<A::Msg>)>,
+    inflight: Arc<AtomicI64>,
+    delivered: Arc<AtomicI64>,
+    shutdown: Arc<AtomicBool>,
+    queue_depths: Arc<Vec<AtomicI64>>,
+}
+
+impl<A: Actor> Worker<A> {
+    /// Runs a boot hook (`on_start`, or [`Recoverable::restart`] on a
+    /// respawn) at `now` and flushes its sends and timers into the
+    /// network at causal depth 1 — a boot starts a fresh causal chain.
+    fn boot(
+        &mut self,
+        actor: &mut A,
+        now: Time,
+        hook: impl FnOnce(&mut A, &mut Context<'_, A::Msg>),
+    ) {
+        let mut ctx = Context::external(self.me, self.n, now, StepDepth::ZERO, &mut self.rng);
+        hook(actor, &mut ctx);
+        let raw_out = ctx.take_outbox();
+        let raw_out_at = ctx.take_outbox_at();
+        let armed = ctx.take_timers();
+        drop(ctx);
+        for (dest, payload) in &raw_out {
+            note_send::<A>(&mut self.wire, self.n, dest, payload, StepDepth::ONE);
+        }
+        for (dest, payload, depth) in &raw_out_at {
+            note_send::<A>(&mut self.wire, self.n, dest, payload, *depth);
+        }
+        for (_, payload) in &armed {
+            self.wire.note_timer::<A>(payload, StepDepth::ONE);
+        }
+        let out = expand(self.n, raw_out);
+        let out_at = expand_at(self.n, raw_out_at);
+        if let Some(rec) = actor.recorder_mut() {
+            for (to, _) in &out {
+                rec.record_at(
+                    self.local_seq,
+                    StepDepth::ONE.get(),
+                    dex_obs::EventKind::Send {
+                        to: to.index() as u16,
+                    },
+                );
+            }
+            for (to, _, depth) in &out_at {
+                rec.record_at(
+                    self.local_seq,
+                    depth.get(),
+                    dex_obs::EventKind::Send {
+                        to: to.index() as u16,
+                    },
+                );
+            }
+        }
+        for (to, payload) in out {
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            let _ = self.dispatch_tx.send((
+                to.index(),
+                Envelope {
+                    from: self.me,
+                    depth: StepDepth::ONE,
+                    payload,
+                },
+            ));
+        }
+        for (to, payload, depth) in out_at {
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            let _ = self.dispatch_tx.send((
+                to.index(),
+                Envelope {
+                    from: self.me,
+                    depth,
+                    payload,
+                },
+            ));
+        }
+        let armed_at = Instant::now();
+        for (delay, payload) in armed {
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            self.timers.push(PendingTimer {
+                due: armed_at + Duration::from_micros(delay),
+                depth: StepDepth::ONE,
+                payload,
+            });
+        }
+    }
+
+    /// Handles one delivery through the free [`deliver`] with this
+    /// worker's state.
+    fn handle(&mut self, actor: &mut A, env: Envelope<A::Msg>) {
+        deliver(
+            actor,
+            self.me,
+            self.n,
+            env,
+            self.start,
+            &mut self.rng,
+            &mut self.local_seq,
+            &mut self.timers,
+            &self.dispatch_tx,
+            &self.inflight,
+            &self.delivered,
+            &mut self.wire,
+        );
+    }
+
+    /// Delivery loop: fires due timers and handles inbox envelopes until
+    /// the network shuts down (returns `false`) or `die_at` passes
+    /// (returns `true` — the caller owns what happens to the corpse).
+    fn run(&mut self, actor: &mut A, die_at: Option<Instant>) -> bool {
+        loop {
+            if die_at.is_some_and(|at| Instant::now() >= at) {
+                return true;
+            }
+            // Fire due timers, earliest first, before waiting on the
+            // inbox again.
+            loop {
+                let now = Instant::now();
+                let due_idx = self
+                    .timers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.due <= now)
+                    .min_by_key(|(_, t)| t.due)
+                    .map(|(idx, _)| idx);
+                let Some(idx) = due_idx else { break };
+                let timer = self.timers.remove(idx);
+                let env = Envelope {
+                    from: self.me,
+                    depth: timer.depth,
+                    payload: timer.payload,
+                };
+                self.handle(actor, env);
+            }
+            let mut wait = self
+                .timers
+                .iter()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .min()
+                .unwrap_or(Duration::from_millis(20))
+                .min(Duration::from_millis(20));
+            if let Some(at) = die_at {
+                wait = wait.min(at.saturating_duration_since(Instant::now()));
+            }
+            match self.rx.recv_timeout(wait) {
+                Ok(env) => {
+                    self.queue_depths[self.me.index()].fetch_sub(1, Ordering::AcqRel);
+                    if die_at.is_some_and(|at| Instant::now() >= at) {
+                        // The kill lands before this envelope is
+                        // handled: it dies with the process.
+                        self.inflight.fetch_sub(1, Ordering::AcqRel);
+                        return true;
+                    }
+                    self.handle(actor, env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return false;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Destroys what a `kill -9` destroys, then sits dead for `down`:
+    /// armed timers are dropped (each was counted in flight), and every
+    /// envelope forwarded to the corpse during the window is discarded —
+    /// messages to a dead process are lost, not queued for the respawn.
+    fn crash(&mut self, down: Duration) {
+        let lost_timers = self.timers.len() as i64;
+        self.timers.clear();
+        self.inflight.fetch_sub(lost_timers, Ordering::AcqRel);
+        let until = Instant::now() + down;
+        loop {
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() || self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match self.rx.recv_timeout(left.min(Duration::from_millis(20))) {
+                Ok(_) => {
+                    self.queue_depths[self.me.index()].fetch_sub(1, Ordering::AcqRel);
+                    self.inflight.fetch_sub(1, Ordering::AcqRel);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+}
+
 /// Runs the actors to quiescence (or timeout) on one thread per actor.
 ///
 /// Actor `i` becomes process `p_i`. Returns the actors for post-run
@@ -314,6 +567,60 @@ fn deliver<A: Actor>(
 ///
 /// Panics if `actors` is empty or a worker thread panics.
 pub fn run_network<A>(actors: Vec<A>, options: NetworkOptions) -> NetworkResult<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send,
+{
+    run_inner(actors, options, None)
+}
+
+/// Runs the actors like [`run_network`], killing and respawning one of
+/// them mid-run per `plan` — the thread-level analogue of the netd
+/// cluster's `kill -9` phase.
+///
+/// A respawn-pending in-flight token is held from network start until
+/// the rebuilt incarnation's [`Recoverable::restart`] sends are queued,
+/// so the supervisor cannot declare quiescence while the victim is dead
+/// or the kill has yet to fire: the run drains only once recovery
+/// traffic has itself drained.
+///
+/// # Panics
+///
+/// Panics if `actors` is empty, `plan.victim` is out of range, or a
+/// worker thread panics.
+pub fn run_network_with_kill<A>(
+    actors: Vec<A>,
+    options: NetworkOptions,
+    plan: ThreadKillPlan<A>,
+) -> NetworkResult<A>
+where
+    A: Actor + Recoverable + Send + 'static,
+    A::Msg: Send,
+{
+    assert!(
+        plan.victim.index() < actors.len(),
+        "victim {} out of range for {} actors",
+        plan.victim.index(),
+        actors.len()
+    );
+    run_inner(
+        actors,
+        options,
+        Some(KillTask {
+            victim: plan.victim.index(),
+            after: plan.after,
+            down: plan.down,
+            rebuild: plan.rebuild,
+            restart: |a, ctx| a.restart(ctx),
+        }),
+    )
+}
+
+fn run_inner<A>(
+    actors: Vec<A>,
+    options: NetworkOptions,
+    mut kill: Option<KillTask<A>>,
+) -> NetworkResult<A>
 where
     A: Actor + Send + 'static,
     A::Msg: Send,
@@ -341,6 +648,13 @@ where
     let inflight = Arc::new(AtomicI64::new(0));
     let delivered = Arc::new(AtomicI64::new(0));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let restarts = Arc::new(AtomicU64::new(0));
+    // Respawn-pending token: held from network start until the respawned
+    // incarnation's restart sends are queued, so the network cannot drain
+    // while the kill is pending or the victim is down.
+    if kill.is_some() {
+        inflight.fetch_add(1, Ordering::AcqRel);
+    }
     // Per-process inbox depth: +1 when the dispatcher forwards to a worker
     // queue, −1 when the worker dequeues. The vendored channel has no
     // `len()`, so depth is tracked at the endpoints.
@@ -403,146 +717,68 @@ where
         let delivered = Arc::clone(&delivered);
         let shutdown = Arc::clone(&shutdown);
         let queue_depths = Arc::clone(&queue_depths);
+        let restarts = Arc::clone(&restarts);
         let seed = options.seed;
+        let task = if kill.as_ref().is_some_and(|k| k.victim == i) {
+            kill.take()
+        } else {
+            None
+        };
         handles.push(thread::spawn(move || {
-            let me = ProcessId::new(i);
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            // Per-process delivery sequence, used as the recorder's clock:
-            // wall time is not reproducible, but per-process event order is
-            // what the trace checker consumes.
-            let mut local_seq = 0u64;
-            // Per-worker wire ledger, merged across workers at join.
-            let mut wire = NetStats::default();
-            // Timers are local to their actor, so each worker owns its
-            // pending list (virtual units = microseconds here).
-            let mut timers: Vec<PendingTimer<A::Msg>> = Vec::new();
-            {
-                let mut ctx = Context::external(me, n, Time::ZERO, StepDepth::ZERO, &mut rng);
-                actor.on_start(&mut ctx);
-                let raw_out = ctx.take_outbox();
-                let raw_out_at = ctx.take_outbox_at();
-                let armed = ctx.take_timers();
-                drop(ctx);
-                for (dest, payload) in &raw_out {
-                    note_send::<A>(&mut wire, n, dest, payload, StepDepth::ONE);
+            let mut w = Worker {
+                me: ProcessId::new(i),
+                n,
+                start,
+                // Per-thread RNG; the per-process delivery sequence is the
+                // recorder's clock (wall time is not reproducible, but
+                // per-process event order is what the checker consumes).
+                rng: StdRng::seed_from_u64(seed.wrapping_add(i as u64)),
+                local_seq: 0,
+                // Per-worker wire ledger, merged across workers at join.
+                wire: NetStats::default(),
+                // Timers are local to their actor, so each worker owns
+                // its pending list (virtual units = microseconds here).
+                timers: Vec::new(),
+                rx,
+                dispatch_tx,
+                inflight,
+                delivered,
+                shutdown,
+                queue_depths,
+            };
+            w.boot(&mut actor, Time::ZERO, |a, ctx| a.on_start(ctx));
+            match task {
+                None => {
+                    w.run(&mut actor, None);
                 }
-                for (dest, payload, depth) in &raw_out_at {
-                    note_send::<A>(&mut wire, n, dest, payload, *depth);
-                }
-                for (_, payload) in &armed {
-                    wire.note_timer::<A>(payload, StepDepth::ONE);
-                }
-                let out = expand(n, raw_out);
-                let out_at = expand_at(n, raw_out_at);
-                if let Some(rec) = actor.recorder_mut() {
-                    for (to, _) in &out {
-                        rec.record_at(
-                            local_seq,
-                            StepDepth::ONE.get(),
-                            dex_obs::EventKind::Send {
-                                to: to.index() as u16,
-                            },
-                        );
+                Some(KillTask {
+                    after,
+                    down,
+                    rebuild,
+                    restart,
+                    ..
+                }) => {
+                    if w.run(&mut actor, Some(start + after)) {
+                        // kill -9: the first incarnation's volatile state
+                        // dies here; only what it persisted survives.
+                        drop(actor);
+                        w.crash(down);
+                        actor = rebuild();
+                        let now = Time::new(start.elapsed().as_micros() as u64);
+                        w.boot(&mut actor, now, restart);
+                        restarts.fetch_add(1, Ordering::AcqRel);
+                        // Recovery traffic is queued: release the
+                        // respawn-pending token.
+                        w.inflight.fetch_sub(1, Ordering::AcqRel);
+                        w.run(&mut actor, None);
+                    } else {
+                        // Cut off before the kill fired; release the
+                        // token so teardown accounting stays balanced.
+                        w.inflight.fetch_sub(1, Ordering::AcqRel);
                     }
-                }
-                for (to, payload) in out {
-                    inflight.fetch_add(1, Ordering::AcqRel);
-                    let _ = dispatch_tx.send((
-                        to.index(),
-                        Envelope {
-                            from: me,
-                            depth: StepDepth::ONE,
-                            payload,
-                        },
-                    ));
-                }
-                for (to, payload, depth) in out_at {
-                    inflight.fetch_add(1, Ordering::AcqRel);
-                    let _ = dispatch_tx.send((
-                        to.index(),
-                        Envelope {
-                            from: me,
-                            depth,
-                            payload,
-                        },
-                    ));
-                }
-                let armed_at = Instant::now();
-                for (delay, payload) in armed {
-                    inflight.fetch_add(1, Ordering::AcqRel);
-                    timers.push(PendingTimer {
-                        due: armed_at + Duration::from_micros(delay),
-                        depth: StepDepth::ONE,
-                        payload,
-                    });
                 }
             }
-            loop {
-                // Fire due timers, earliest first, before waiting on the
-                // inbox again.
-                loop {
-                    let now = Instant::now();
-                    let due_idx = timers
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, t)| t.due <= now)
-                        .min_by_key(|(_, t)| t.due)
-                        .map(|(idx, _)| idx);
-                    let Some(idx) = due_idx else { break };
-                    let timer = timers.remove(idx);
-                    let env = Envelope {
-                        from: me,
-                        depth: timer.depth,
-                        payload: timer.payload,
-                    };
-                    deliver(
-                        &mut actor,
-                        me,
-                        n,
-                        env,
-                        start,
-                        &mut rng,
-                        &mut local_seq,
-                        &mut timers,
-                        &dispatch_tx,
-                        &inflight,
-                        &delivered,
-                        &mut wire,
-                    );
-                }
-                let wait = timers
-                    .iter()
-                    .map(|t| t.due.saturating_duration_since(Instant::now()))
-                    .min()
-                    .unwrap_or(Duration::from_millis(20))
-                    .min(Duration::from_millis(20));
-                match rx.recv_timeout(wait) {
-                    Ok(env) => {
-                        queue_depths[i].fetch_sub(1, Ordering::AcqRel);
-                        deliver(
-                            &mut actor,
-                            me,
-                            n,
-                            env,
-                            start,
-                            &mut rng,
-                            &mut local_seq,
-                            &mut timers,
-                            &dispatch_tx,
-                            &inflight,
-                            &delivered,
-                            &mut wire,
-                        );
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if shutdown.load(Ordering::Acquire) {
-                            break;
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            (actor, wire)
+            (actor, w.wire)
         }));
     }
     drop(dispatch_tx);
@@ -593,6 +829,7 @@ where
         undrained,
         stats,
         elapsed: start.elapsed(),
+        restarts: restarts.load(Ordering::Acquire),
     }
 }
 
@@ -750,5 +987,138 @@ mod tests {
         assert_eq!(fired[1].1, StepDepth::new(2));
         assert_eq!(fired[2].1, StepDepth::ONE);
         assert!(result.actors[1].fired.is_empty());
+    }
+
+    #[derive(Clone, Debug)]
+    enum PingMsg {
+        Tick,
+        Ping,
+        Pong,
+    }
+
+    /// p0 pings p1 on a repeating timer until it has collected `want`
+    /// pongs; p1 counts handled pings into a shared cell that plays the
+    /// role of a WAL (it survives the kill; the struct does not).
+    struct PingNode {
+        durable_pongs: Arc<AtomicU64>,
+        restored: u64,
+        pongs_seen: u64,
+        want: u64,
+    }
+
+    impl Actor for PingNode {
+        type Msg = PingMsg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, PingMsg>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.send_self_after(20_000, PingMsg::Tick);
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: &PingMsg, ctx: &mut Context<'_, PingMsg>) {
+            match msg {
+                PingMsg::Tick => {
+                    if self.pongs_seen < self.want {
+                        ctx.send(ProcessId::new(1), PingMsg::Ping);
+                        ctx.send_self_after(20_000, PingMsg::Tick);
+                    }
+                }
+                PingMsg::Ping => {
+                    self.durable_pongs.fetch_add(1, Ordering::AcqRel);
+                    ctx.send(from, PingMsg::Pong);
+                }
+                PingMsg::Pong => self.pongs_seen += 1,
+            }
+        }
+    }
+
+    impl Recoverable for PingNode {
+        fn restart(&mut self, _ctx: &mut Context<'_, PingMsg>) {
+            self.restored = self.durable_pongs.load(Ordering::Acquire);
+        }
+    }
+
+    #[test]
+    fn kill_respawn_loses_down_window_traffic_and_restores_durable_state() {
+        let durable = Arc::new(AtomicU64::new(0));
+        let actors = vec![
+            PingNode {
+                durable_pongs: Arc::new(AtomicU64::new(0)),
+                restored: 0,
+                pongs_seen: 0,
+                want: 5,
+            },
+            PingNode {
+                durable_pongs: Arc::clone(&durable),
+                restored: 0,
+                pongs_seen: 0,
+                want: 5,
+            },
+        ];
+        let rebuild_cell = Arc::clone(&durable);
+        let result = run_network_with_kill(
+            actors,
+            NetworkOptions {
+                seed: 9,
+                delay_us: (10, 100),
+                timeout: Duration::from_secs(20),
+            },
+            ThreadKillPlan {
+                victim: ProcessId::new(1),
+                after: Duration::from_millis(50),
+                down: Duration::from_millis(120),
+                // The sentinel `restored` proves restart() ran: only the
+                // recovery hook overwrites it with the durable count.
+                rebuild: Box::new(move || PingNode {
+                    durable_pongs: rebuild_cell,
+                    restored: u64::MAX,
+                    pongs_seen: 0,
+                    want: 5,
+                }),
+            },
+        );
+        assert_eq!(result.restarts, 1, "the kill fired and the respawn booted");
+        assert!(result.quiescent, "the conversation must finish and drain");
+        // Pings swallowed by the down window were re-sent by the ticker
+        // until five of them found a live echoer.
+        assert!(result.actors[0].pongs_seen >= 5);
+        assert!(durable.load(Ordering::Acquire) >= result.actors[0].pongs_seen);
+        // The respawned incarnation rebooted through restart(), replacing
+        // its sentinel with the state the first incarnation persisted.
+        assert_ne!(result.actors[1].restored, u64::MAX);
+    }
+
+    #[test]
+    fn a_run_cut_off_before_the_kill_reports_zero_restarts() {
+        struct Quiet;
+        impl Actor for Quiet {
+            type Msg = ();
+            fn on_start(&mut self, _: &mut Context<'_, ()>) {}
+            fn on_message(&mut self, _: ProcessId, _: &(), _: &mut Context<'_, ()>) {}
+        }
+        impl Recoverable for Quiet {
+            fn restart(&mut self, _: &mut Context<'_, ()>) {}
+        }
+        // The kill is scheduled far beyond the timeout: the run is cut
+        // off first, the victim worker releases the respawn-pending token
+        // on shutdown, and the teardown must not hang or respawn.
+        let result = run_network_with_kill(
+            vec![Quiet, Quiet],
+            NetworkOptions {
+                seed: 0,
+                delay_us: (1, 10),
+                timeout: Duration::from_millis(200),
+            },
+            ThreadKillPlan {
+                victim: ProcessId::new(1),
+                after: Duration::from_secs(3600),
+                down: Duration::from_millis(1),
+                rebuild: Box::new(|| Quiet),
+            },
+        );
+        assert_eq!(result.restarts, 0);
+        // The pending kill holds the in-flight token, so an otherwise
+        // silent network is (correctly) reported non-quiescent.
+        assert!(!result.quiescent);
     }
 }

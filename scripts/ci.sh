@@ -12,6 +12,8 @@
 #   recovery-matrix  crash-restart recovery: WAL + catch-up + resend
 #   campaign-smoke   fixed campaign twice at different --jobs, cmp + curves
 #   netd-smoke       real-process TCP cluster: MATRIX cell + kill -9 respawn
+#   netd-chaos       fault-injected TCP links: chaos schedules, reproducible
+#                    fault traces, divergent-state kill -9, campaign rates
 #   bench-gate       criterion smoke + bench-regression gate vs baselines
 #   all              everything above, in order (the default)
 #
@@ -81,6 +83,11 @@ stage_netd_smoke() {
   ./scripts/netd_smoke.sh
 }
 
+stage_netd_chaos() {
+  echo "== netd chaos: MATRIX schedules on live sockets + divergent kill -9"
+  ./scripts/netd_chaos.sh
+}
+
 stage_bench_gate() {
   echo "== bench smoke: view_ops"
   # CRITERION_MEASURE_MS keeps the smoke run short; the bench harness reads
@@ -92,7 +99,7 @@ stage_bench_gate() {
 }
 
 usage() {
-  sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 stage="${1:-all}"
@@ -104,6 +111,7 @@ case "$stage" in
   recovery-matrix) stage_recovery_matrix ;;
   campaign-smoke) stage_campaign_smoke ;;
   netd-smoke) stage_netd_smoke ;;
+  netd-chaos) stage_netd_chaos ;;
   bench-gate) stage_bench_gate ;;
   all)
     stage_lint
@@ -113,6 +121,7 @@ case "$stage" in
     stage_recovery_matrix
     stage_campaign_smoke
     stage_netd_smoke
+    stage_netd_chaos
     stage_bench_gate
     echo "== ci OK"
     ;;

@@ -6,7 +6,17 @@
 //!   [--window W] [--phase cells|kill9|both]` — the parent harness:
 //!   spawns `n` local child processes per run, drives fault-free MATRIX
 //!   consensus cells and the kill -9 + respawn replication schedule, and
-//!   writes `BENCH_netd.json` + `results/netd_<seed>.json`.
+//!   writes `BENCH_netd.json` + `results/netd_<seed>.json`. Add
+//!   `--chaos <schedule>` to inject the schedule's faults onto the live
+//!   TCP links (per-link deterministic; fault traces land in
+//!   `results/netd_chaos_<seed>.json`), and `--kill <victim>[:divergent]`
+//!   to choose the kill9 victim — `:divergent` gives every replica its
+//!   own pending stream and proves survivor progress while the victim
+//!   is down.
+//! * `dex-netd --campaign smoke:<index> [--runs R]` — runs one campaign
+//!   cell on real processes and records the wall-clock fast-decision
+//!   rate next to the simnet rate for the same cell
+//!   (`results/campaign_netd_smoke.json`).
 //! * `dex-netd --node I --mode consensus|replica …` — one child process
 //!   (spawned by the parent; not normally invoked by hand).
 

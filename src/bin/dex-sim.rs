@@ -185,7 +185,7 @@ fn main() -> ExitCode {
     if spec.stats {
         println!(
             "{}",
-            RunStats::of_batch(&stats, spec.runtime, wall).breakdown_line()
+            RunStats::of_batch(&stats, spec.runtime.clone(), wall).breakdown_line()
         );
     }
     let mut trace_ok = true;
